@@ -1,0 +1,157 @@
+package repro
+
+// Ablation benchmarks: quantify each design choice of the NMAP pipeline
+// in isolation. Each bench logs its measured ablation table once, so a
+// bench run documents how much every ingredient contributes:
+//
+//   - the pairwise swap refinement on top of the greedy initialization
+//   - congestion-aware minimum-path routing vs dimension-ordered routing
+//   - all-path vs minimum-path traffic splitting
+//   - the full Section 6 split-mapping loop vs split routing on the
+//     single-path mapping
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/topology"
+)
+
+// BenchmarkAblationSwapRefinement measures NMAP with and without the
+// pairwise swap pass (initialization only), logging the cost deltas.
+func BenchmarkAblationSwapRefinement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "\n%-8s %10s %10s %7s\n", "app", "init", "NMAP", "gain")
+		for _, a := range apps.VideoApps() {
+			topo, err := topology.NewMesh(a.W, a.H, 1e9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProblem(a.Graph, topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			init := p.Initialize().CommCost()
+			full := p.MapSinglePath().Mapping.CommCost()
+			fmt.Fprintf(&sb, "%-8s %10.0f %10.0f %6.1f%%\n",
+				a.Graph.Name, init, full, 100*(1-full/init))
+		}
+		if i == 0 {
+			b.Log(sb.String())
+		}
+	}
+}
+
+// BenchmarkAblationCongestionRouting compares the bandwidth requirement
+// of congestion-aware minimum-path routing against plain dimension-
+// ordered routing on identical NMAP mappings.
+func BenchmarkAblationCongestionRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "\n%-8s %10s %10s\n", "app", "XY BW", "cong BW")
+		for _, a := range apps.VideoApps() {
+			topo, err := topology.NewMesh(a.W, a.H, 1e9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProblem(a.Graph, topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := p.MapSinglePath().Mapping
+			xy := p.MinBandwidthXY(m)
+			cong := p.MinBandwidthSinglePath(m)
+			if cong > xy+1e-6 {
+				b.Fatalf("%s: congestion-aware routing worse than XY", a.Graph.Name)
+			}
+			fmt.Fprintf(&sb, "%-8s %10.0f %10.0f\n", a.Graph.Name, xy, cong)
+		}
+		if i == 0 {
+			b.Log(sb.String())
+		}
+	}
+}
+
+// BenchmarkAblationSplitModes compares the minimum bandwidth of the two
+// splitting regimes (Eq. 10 minimum-path restriction vs all paths) on the
+// video applications.
+func BenchmarkAblationSplitModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "\n%-8s %10s %10s %10s\n", "app", "single", "minpaths", "allpaths")
+		for _, a := range apps.VideoApps() {
+			topo, err := topology.NewMesh(a.W, a.H, 1e9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.NewProblem(a.Graph, topo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := p.MapSinglePath().Mapping
+			single := p.MinBandwidthSinglePath(m)
+			tm, err := p.MinBandwidthSplit(m, core.SplitMinPaths)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ta, err := p.MinBandwidthSplit(m, core.SplitAllPaths)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "%-8s %10.0f %10.0f %10.0f\n", a.Graph.Name, single, tm, ta)
+		}
+		if i == 0 {
+			b.Log(sb.String())
+		}
+	}
+}
+
+// BenchmarkMapWithSplittingDSP measures the full Section 6 algorithm
+// (MCF1/MCF2-driven swap refinement) on the DSP filter at a constrained
+// bandwidth, and logs how it compares to split routing applied to the
+// single-path mapping.
+func BenchmarkMapWithSplittingDSP(b *testing.B) {
+	a := apps.DSP()
+	for i := 0; i < b.N; i++ {
+		topo, err := topology.NewMesh(a.W, a.H, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.NewProblem(a.Graph, topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := p.MapWithSplitting(core.SplitAllPaths)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Route.Feasible {
+			b.Fatal("split mapping infeasible at 400 MB/s")
+		}
+		if i == 0 {
+			single := p.MapSinglePath()
+			b.Logf("\nDSP @400MB/s links: single-path feasible=%v; split mapping cost=%.0f (%d MCF solves)",
+				single.Route.Feasible, res.Route.Cost, res.Swaps)
+		}
+	}
+}
+
+// BenchmarkExploreVOPD measures the full topology design-space sweep for
+// VOPD (the paper's concluding extension).
+func BenchmarkExploreVOPD(b *testing.B) {
+	a := apps.VOPD()
+	for i := 0; i < b.N; i++ {
+		designs, err := explore.Sweep(a.Graph, explore.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + explore.Format(designs))
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (via internal/expt) and measure the cost of the
+// core algorithmic kernels. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benches print their reproduced table/figure once (on the
+// first iteration) so a bench run doubles as a full reproduction log.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/mcf"
+	"repro/internal/noc"
+	"repro/internal/route"
+	"repro/internal/topology"
+	"repro/internal/xpipes"
+)
+
+// BenchmarkFig3 regenerates Figure 3: the communication cost of PMAP,
+// GMAP, PBB and NMAP on the six video applications.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig3(rows))
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: minimum link bandwidth under each
+// algorithm/routing combination.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig4(rows))
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: cost and bandwidth ratios of the
+// baselines over NMAP with split routing.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig3, err := expt.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig4, err := expt.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := expt.Table1(fig3, fig4)
+		if i == 0 {
+			b.Log("\n" + expt.FormatTable1(rows))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: PBB vs NMAP on random graphs of 25
+// to 65 cores.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.Table2(expt.DefaultTable2Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatTable2(rows))
+		}
+	}
+}
+
+// BenchmarkFig5c regenerates Figure 5(c): DSP packet latency vs link
+// bandwidth for single-path and split-traffic routing.
+func BenchmarkFig5c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := expt.Fig5c(expt.DefaultFig5cConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatFig5c(points))
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: the DSP NoC design summary.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := expt.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + expt.FormatTable3(d))
+		}
+	}
+}
+
+// --- algorithm kernels -------------------------------------------------
+
+func vopdProblem(b *testing.B) *core.Problem {
+	b.Helper()
+	a := apps.VOPD()
+	topo, err := topology.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkNMAPSinglePathVOPD measures the full NMAP run (initialization
+// plus the pairwise swap pass) on the 16-core VOPD.
+func BenchmarkNMAPSinglePathVOPD(b *testing.B) {
+	p := vopdProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := p.MapSinglePath(); !res.Mapping.Complete() {
+			b.Fatal("incomplete mapping")
+		}
+	}
+}
+
+// BenchmarkNMAPSinglePath65 measures NMAP at Table 2's largest size.
+func BenchmarkNMAPSinglePath65(b *testing.B) {
+	a, err := apps.Random(65, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := topology.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MapSinglePath()
+	}
+}
+
+// BenchmarkShortestPathRouting measures one congestion-aware routing pass
+// over all VOPD commodities (the inner loop of the swap refinement).
+func BenchmarkShortestPathRouting(b *testing.B) {
+	p := vopdProblem(b)
+	m := p.Initialize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.RouteSinglePath(m); !r.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkMCF2VOPD measures one MCF2 solve (split-traffic cost) for the
+// mapped VOPD, the kernel of mappingwithsplitting().
+func BenchmarkMCF2VOPD(b *testing.B) {
+	p := vopdProblem(b)
+	m := p.Initialize()
+	cs := p.Commodities(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := mcf.SolveMCF2(p.Topo, cs, mcf.Options{Mode: mcf.Aggregate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkLPSimplex measures the raw simplex solver on a dense
+// transportation-style program.
+func BenchmarkLPSimplex(b *testing.B) {
+	const suppliers, consumers = 12, 12
+	build := func() *lp.Problem {
+		p := lp.NewProblem()
+		vars := make([][]int, suppliers)
+		for i := range vars {
+			vars[i] = make([]int, consumers)
+			for j := range vars[i] {
+				vars[i][j] = p.AddVariable(float64((i*7+j*3)%11 + 1))
+			}
+		}
+		for i := 0; i < suppliers; i++ {
+			terms := make([]lp.Term, consumers)
+			for j := 0; j < consumers; j++ {
+				terms[j] = lp.Term{Var: vars[i][j], Coef: 1}
+			}
+			if err := p.AddConstraint(terms, lp.LE, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < consumers; j++ {
+			terms := make([]lp.Term, suppliers)
+			for i := 0; i < suppliers; i++ {
+				terms[i] = lp.Term{Var: vars[i][j], Coef: 1}
+			}
+			if err := p.AddConstraint(terms, lp.EQ, 80); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := build().Solve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Status != lp.Optimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+// BenchmarkPBBVOPD measures the branch-and-bound baseline at Figure 3's
+// budget on VOPD.
+func BenchmarkPBBVOPD(b *testing.B) {
+	p := vopdProblem(b)
+	cfg := baseline.PBBConfig{MaxQueue: 500, MaxExpand: 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := baseline.PBB(p, cfg); !m.Complete() {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkWormholeSimDSP measures simulation throughput (cycles/sec) of
+// the DSP design at Figure 5(c)'s low-bandwidth point.
+func BenchmarkWormholeSimDSP(b *testing.B) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := p.MapSinglePath()
+	tab := route.FromSinglePaths(res.Route.Paths)
+	design, err := xpipes.Compile(p, res.Mapping, tab, xpipes.DefaultLibrary())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := design.SimConfig(1100, 7)
+		cfg.MeasureCycles = 10000
+		st, err := noc.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Delivered == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+// BenchmarkQuadrantDijkstra measures one quadrant-restricted shortest
+// path query on an 8x8 mesh.
+func BenchmarkQuadrantDijkstra(b *testing.B) {
+	topo, err := topology.NewMesh(8, 8, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, dst := topo.Node(0, 0), topo.Node(7, 7)
+	in := topo.Quadrant(src, dst)
+	w := func(e graph.Edge) float64 { return 1 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := graph.Dijkstra(topo.Graph(), src, dst, in, w); !ok {
+			b.Fatal("no path")
+		}
+	}
+}
+
+// BenchmarkInitializeVOPD measures the greedy initialization phase alone.
+func BenchmarkInitializeVOPD(b *testing.B) {
+	p := vopdProblem(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := p.Initialize(); !m.Complete() {
+			b.Fatal("incomplete")
+		}
+	}
+}

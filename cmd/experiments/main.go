@@ -1,0 +1,83 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section. With no flags it runs everything; individual
+// experiments can be selected with -fig3, -fig4, -table1, -table2,
+// -fig5c, -table3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	fig3 := flag.Bool("fig3", false, "communication cost of the mapping algorithms (Figure 3)")
+	fig4 := flag.Bool("fig4", false, "minimum bandwidth per routing scheme (Figure 4)")
+	table1 := flag.Bool("table1", false, "cost and bandwidth ratios (Table 1)")
+	table2 := flag.Bool("table2", false, "PBB vs NMAP on random graphs (Table 2)")
+	fig5c := flag.Bool("fig5c", false, "DSP latency vs link bandwidth (Figure 5c)")
+	table3 := flag.Bool("table3", false, "DSP NoC design results (Table 3)")
+	ext := flag.Bool("ext", false, "extension: DSP latency/jitter across the congestion knee")
+	flag.Parse()
+
+	all := !*fig3 && !*fig4 && !*table1 && !*table2 && !*fig5c && !*table3 && !*ext
+
+	var fig3Rows []expt.Fig3Row
+	var fig4Rows []expt.Fig4Row
+	var err error
+
+	if all || *fig3 || *table1 {
+		if fig3Rows, err = expt.Fig3(); err != nil {
+			fatal(err)
+		}
+		if all || *fig3 {
+			fmt.Println(expt.FormatFig3(fig3Rows))
+		}
+	}
+	if all || *fig4 || *table1 {
+		if fig4Rows, err = expt.Fig4(); err != nil {
+			fatal(err)
+		}
+		if all || *fig4 {
+			fmt.Println(expt.FormatFig4(fig4Rows))
+		}
+	}
+	if all || *table1 {
+		fmt.Println(expt.FormatTable1(expt.Table1(fig3Rows, fig4Rows)))
+	}
+	if all || *table2 {
+		rows, err := expt.Table2(expt.DefaultTable2Config())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expt.FormatTable2(rows))
+	}
+	if all || *fig5c {
+		points, err := expt.Fig5c(expt.DefaultFig5cConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expt.FormatFig5c(points))
+	}
+	if all || *table3 {
+		d, err := expt.Table3()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expt.FormatTable3(d))
+	}
+	if all || *ext {
+		rows, err := expt.Extension(expt.DefaultExtensionConfig())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(expt.FormatExtension(rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

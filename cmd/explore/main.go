@@ -1,0 +1,57 @@
+// Command explore runs the paper's concluding extension: design-space
+// exploration for NoC topology selection. It sweeps candidate meshes and
+// tori for an application, maps each with NMAP, and reports cost,
+// bandwidth, area and power so the cheapest feasible topology can be
+// selected.
+//
+// Examples:
+//
+//	explore -app vopd
+//	explore -app mpeg4 -budget 500 -split
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/explore"
+)
+
+func main() {
+	appSpec := flag.String("app", "vopd", "application: benchmark name, random:N[:seed], or .json file")
+	budget := flag.Float64("budget", 0, "link bandwidth budget in MB/s (0 = unconstrained)")
+	split := flag.Bool("split", false, "judge feasibility with split-traffic routing")
+	flag.Parse()
+
+	a, err := cli.LoadApp(*appSpec)
+	if err != nil {
+		fatal(err)
+	}
+	designs, err := explore.Sweep(a.Graph, explore.Options{
+		BandwidthBudget: *budget,
+		SplitRouting:    *split,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design space for %s (%d cores):\n\n", a.Graph.Name, a.Graph.N())
+	fmt.Print(explore.Format(designs))
+	best, err := explore.Best(designs)
+	if err != nil {
+		fmt.Println("\nno design meets the budget")
+		os.Exit(2)
+	}
+	need, mode := best.MinBW, "single-path"
+	if *split {
+		need, mode = best.MinBWSplit, "split"
+	}
+	fmt.Printf("\nselected: %s (cost %.0f, needs %.0f MB/s links with %s routing, %.2f mm2)\n",
+		best.Candidate, best.CommCost, need, mode, best.AreaMM2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command nmap maps an application's cores onto a mesh NoC with the
+// algorithms of the paper: NMAP (single-path and split-traffic variants)
+// and the PMAP/GMAP/PBB baselines. It prints the mapping, the Eq. 7
+// communication cost and the bandwidth requirements of the routing modes.
+//
+// Examples:
+//
+//	nmap -app vopd
+//	nmap -app dsp -algo nmap -split allpaths -bw 400
+//	nmap -app random:40:3 -algo pbb
+//	nmap -app mydesign.json -mesh 5x4 -dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	appSpec := flag.String("app", "vopd", "application: benchmark name, random:N[:seed], or .json file")
+	meshSpec := flag.String("mesh", "", "mesh dimensions WxH (default: fit the application)")
+	linkBW := flag.Float64("bw", 0, "link bandwidth in MB/s (default: unconstrained)")
+	algo := flag.String("algo", "nmap", "mapping algorithm: nmap, gmap, pmap, pbb")
+	split := flag.String("split", "none", "traffic splitting for NMAP: none, minpaths, allpaths")
+	torus := flag.Bool("torus", false, "use a torus instead of a mesh")
+	dot := flag.Bool("dot", false, "also print the core graph in DOT format")
+	flag.Parse()
+
+	a, err := cli.LoadApp(*appSpec)
+	if err != nil {
+		fatal(err)
+	}
+	w, h := a.W, a.H
+	if pw, ph, ok, err := cli.ParseMesh(*meshSpec); err != nil {
+		fatal(err)
+	} else if ok {
+		w, h = pw, ph
+	}
+	bw := *linkBW
+	if bw <= 0 {
+		// Anything above the application's total traffic is equivalent to
+		// an unconstrained network.
+		bw = a.Graph.TotalWeight() * 10
+	}
+	var topo *topology.Topology
+	if *torus {
+		topo, err = topology.NewTorus(w, h, bw)
+	} else {
+		topo, err = topology.NewMesh(w, h, bw)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s, link BW %.0f MB/s\n\n", a.Graph.Name, topo, bw)
+	if *dot {
+		fmt.Println(a.Graph.DOT())
+	}
+
+	var m *core.Mapping
+	switch *algo {
+	case "gmap":
+		m = baseline.GMAP(p)
+	case "pmap":
+		m = baseline.PMAP(p)
+	case "pbb":
+		m = baseline.PBB(p, baseline.DefaultPBBConfig())
+	case "nmap":
+		switch *split {
+		case "none":
+			res := p.MapSinglePath()
+			m = res.Mapping
+			report(p, m)
+			if !res.Route.Feasible {
+				fmt.Println("WARNING: bandwidth constraints violated under single-path routing")
+			}
+			return
+		case "minpaths", "allpaths":
+			mode := core.SplitAllPaths
+			if *split == "minpaths" {
+				mode = core.SplitMinPaths
+			}
+			res, err := p.MapWithSplitting(mode)
+			if err != nil {
+				fatal(err)
+			}
+			m = res.Mapping
+			report(p, m)
+			fmt.Printf("split routing cost (total flow): %.0f, slack: %.0f\n",
+				res.Route.Cost, res.Route.Slack)
+			if !res.Route.Feasible {
+				fmt.Println("WARNING: bandwidth constraints not satisfiable even with splitting")
+			}
+			return
+		default:
+			fatal(fmt.Errorf("unknown -split %q", *split))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -algo %q", *algo))
+	}
+	report(p, m)
+}
+
+// report prints the mapping grid and its quality metrics.
+func report(p *core.Problem, m *core.Mapping) {
+	fmt.Println(m)
+	fmt.Printf("communication cost (Eq.7): %.0f hops*MB/s\n", m.CommCost())
+	fmt.Printf("min BW, dimension-ordered: %.0f MB/s\n", p.MinBandwidthXY(m))
+	fmt.Printf("min BW, single min-path:   %.0f MB/s\n", p.MinBandwidthSinglePath(m))
+	if tm, err := p.MinBandwidthSplit(m, core.SplitMinPaths); err == nil {
+		fmt.Printf("min BW, split min paths:   %.0f MB/s\n", tm)
+	}
+	if ta, err := p.MinBandwidthSplit(m, core.SplitAllPaths); err == nil {
+		fmt.Printf("min BW, split all paths:   %.0f MB/s\n", ta)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nmap:", err)
+	os.Exit(1)
+}

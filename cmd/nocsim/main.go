@@ -1,0 +1,110 @@
+// Command nocsim maps an application with NMAP, instantiates the NoC from
+// the ×pipes component library and runs the cycle-accurate wormhole
+// simulation, printing latency and throughput statistics.
+//
+// Examples:
+//
+//	nocsim -app dsp -bw 1100
+//	nocsim -app dsp -bw 1100 -routing split
+//	nocsim -app vopd -bw 2000 -routing xy -cycles 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/noc"
+	"repro/internal/route"
+	"repro/internal/xpipes"
+)
+
+func main() {
+	appSpec := flag.String("app", "dsp", "application: benchmark name, random:N[:seed], or .json file")
+	linkBW := flag.Float64("bw", 1100, "link bandwidth in MB/s")
+	routing := flag.String("routing", "minp", "routing: minp, split, xy")
+	cycles := flag.Uint64("cycles", 40000, "measurement window in cycles")
+	seed := flag.Int64("seed", 7, "traffic seed")
+	buf := flag.Int("buf", 0, "input buffer depth in flits (0 = library default; split routing without virtual channels wants >= 2 packets)")
+	flag.Parse()
+
+	a, err := cli.LoadApp(*appSpec)
+	if err != nil {
+		fatal(err)
+	}
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		fatal(err)
+	}
+	res := p.MapSinglePath()
+	cs := p.Commodities(res.Mapping)
+
+	var tab *route.Table
+	switch *routing {
+	case "minp":
+		tab = route.FromSinglePaths(res.Route.Paths)
+	case "xy":
+		tab = route.FromSinglePaths(p.RouteXY(res.Mapping).Paths)
+	case "split":
+		sol, err := mcf.SolveMinCongestion(topo, cs, mcf.Options{Mode: mcf.Aggregate})
+		if err != nil {
+			fatal(err)
+		}
+		if tab, err = route.FromFlows(topo, cs, sol.Flows); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -routing %q", *routing))
+	}
+
+	design, err := xpipes.Compile(p, res.Mapping, tab, xpipes.DefaultLibrary())
+	if err != nil {
+		fatal(err)
+	}
+	rep := design.Report()
+	fmt.Printf("%s mapped on %s (%s routing)\n", a.Graph.Name, topo, *routing)
+	fmt.Println(res.Mapping)
+	fmt.Printf("design: %d switches (%.2f mm2), %d NIs (%.2f mm2), total %.2f mm2\n",
+		rep.Switches, rep.SwitchAreaMM2, rep.NIs, rep.NIAreaMM2, rep.TotalAreaMM2)
+	fmt.Printf("routing tables: %d bits (%.1f%% of buffer bits)\n\n",
+		rep.RoutingTableBits, rep.TableOverhead*100)
+
+	cfg := design.SimConfig(*linkBW, *seed)
+	cfg.MeasureCycles = *cycles
+	if *buf > 0 {
+		cfg.BufferDepth = *buf
+	} else if *routing == "split" {
+		// Unrestricted multipath wormhole routing can deadlock without
+		// virtual channels; two-packet buffers avoid the wedge.
+		cfg.BufferDepth = 2 * cfg.PacketFlits()
+	}
+	st, err := noc.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated %d cycles at %.0f MB/s per link\n", st.Cycles, *linkBW)
+	fmt.Printf("packets: %d injected, %d delivered (clean drain: %v)\n",
+		st.Injected, st.Delivered, st.DrainedClean)
+	if st.Stalled {
+		fmt.Println("WARNING: stall watchdog fired (possible deadlock)")
+	}
+	fmt.Printf("latency: avg %.1f cy (network), %.1f cy (incl. source queue), p95 %d, max %d\n",
+		st.AvgLatency, st.AvgTotalLatency, st.P95Latency, st.MaxLatency)
+	fmt.Printf("offered load: %.2f flits/cycle aggregate\n\n", st.OfferedLoad)
+	fmt.Println("per-commodity average network latency:")
+	ds := a.Graph.Commodities()
+	for _, pc := range st.PerCommodity {
+		d := ds[pc.K]
+		fmt.Printf("  %-12s -> %-12s %7.0f MB/s  %6d pkts  %7.1f cy\n",
+			a.Graph.Cores[d.Src], a.Graph.Cores[d.Dst], d.Value, pc.Delivered, pc.AvgLatency)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nocsim:", err)
+	os.Exit(1)
+}

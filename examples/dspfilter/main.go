@@ -1,0 +1,72 @@
+// DSP filter: the paper's Section 7.2 case study end to end. The six-core
+// DSP design is mapped with NMAP, the network components are instantiated
+// from the ×pipes library, and the resulting NoC is simulated at flit
+// level with both single-path and split-traffic routing, reproducing the
+// latency comparison of Figure 5(c) at one bandwidth point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/noc"
+	"repro/internal/route"
+	"repro/internal/xpipes"
+)
+
+func main() {
+	app := apps.DSP()
+	mesh := app.Mesh(1e9)
+	problem, err := core.NewProblem(app.Graph, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Map with NMAP and read the Table 3 bandwidth numbers.
+	res := problem.MapSinglePath()
+	fmt.Println("DSP mapping on a 3x2 mesh:")
+	fmt.Println(res.Mapping)
+	fmt.Printf("single min-path BW requirement: %.0f MB/s\n", res.Route.MaxLoad)
+	perFlow, err := problem.MinBandwidthPerFlowSplit(res.Mapping, core.SplitAllPaths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-flow BW with splitting:     %.0f MB/s\n\n", perFlow)
+
+	// Instantiate the network from the component library.
+	lib := xpipes.DefaultLibrary()
+	cs := problem.Commodities(res.Mapping)
+	single := route.FromSinglePaths(res.Route.Paths)
+	sol, err := mcf.SolveMinCongestion(mesh, cs, mcf.Options{Mode: mcf.Aggregate})
+	if err != nil {
+		log.Fatal(err)
+	}
+	split, err := route.FromFlows(mesh, cs, sol.Flows)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name  string
+		table *route.Table
+	}{{"single min-path", single}, {"split-traffic", split}} {
+		design, err := xpipes.Compile(problem, res.Mapping, c.table, lib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := design.Report()
+		cfg := design.SimConfig(1100, 7) // 1.1 GB/s links, Fig. 5(c) low end
+		st, err := noc.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s routing:\n", c.name)
+		fmt.Printf("  area %.2f mm2, routing tables %.1f%% of buffer bits\n",
+			rep.TotalAreaMM2, rep.TableOverhead*100)
+		fmt.Printf("  avg packet latency %.1f cycles end-to-end, %.1f in-network (p95 %d) over %d packets\n\n",
+			st.AvgTotalLatency, st.AvgLatency, st.P95Latency, st.Delivered)
+	}
+}

@@ -1,0 +1,48 @@
+// Random sweep: scale the core count from 25 to 65 on random application
+// graphs and watch NMAP pull ahead of the partial branch-and-bound
+// baseline — the paper's Table 2 experiment, plus a wall-clock column
+// showing both algorithms stay interactive.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func main() {
+	fmt.Printf("%5s %6s %12s %10s %12s %10s %7s\n",
+		"cores", "mesh", "PBB cost", "PBB time", "NMAP cost", "NMAP time", "ratio")
+	for i, n := range []int{25, 35, 45, 55, 65} {
+		a, err := apps.Random(n, 2004+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		mesh, err := topology.NewMesh(a.W, a.H, 1e9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := core.NewProblem(a.Graph, mesh)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		t0 := time.Now()
+		pbb := baseline.PBB(p, baseline.PBBConfig{MaxQueue: 400, MaxExpand: 8000}).CommCost()
+		pbbTime := time.Since(t0)
+
+		t0 = time.Now()
+		nmap := p.MapSinglePath().Mapping.CommCost()
+		nmapTime := time.Since(t0)
+
+		fmt.Printf("%5d %6s %12.0f %10s %12.0f %10s %7.2f\n",
+			n, fmt.Sprintf("%dx%d", a.W, a.H), pbb, round(pbbTime), nmap, round(nmapTime), pbb/nmap)
+	}
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }

@@ -1,0 +1,210 @@
+// Package apps provides the benchmark core graphs used by the paper's
+// evaluation: the Video Object Plane Decoder (VOPD, Fig. 1/2a), an MPEG-4
+// decoder, the four high-end video applications of ref. [15]
+// (Picture-In-Picture, Multi-Window Application, MWA with Graphics, Dual
+// Screen Display), the DSP filter design of Section 7.2 and the random
+// graphs of Table 2.
+//
+// The paper prints only the VOPD graph (partially legible in the scanned
+// figure) and the DSP filter; the remaining applications come from a
+// proprietary chip-set reference. Graphs here are therefore documented
+// reconstructions: core counts match the paper exactly (14, 16, 8, 14,
+// 16, 16 and 6 cores) and the structures follow the publicly described
+// video pipelines (filter chains with memory hubs, bandwidths of tens to
+// hundreds of MB/s). DESIGN.md records the substitution rationale.
+package apps
+
+import (
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// App bundles a benchmark core graph with its recommended mesh size.
+type App struct {
+	Graph *graph.CoreGraph
+	W, H  int
+}
+
+// Mesh builds the app's mesh with the given uniform link bandwidth.
+func (a App) Mesh(linkBW float64) *topology.Topology {
+	m, err := topology.NewMesh(a.W, a.H, linkBW)
+	if err != nil {
+		panic("apps: invalid recommended mesh: " + err.Error())
+	}
+	return m
+}
+
+// VOPD returns the 16-core Video Object Plane Decoder of the paper's
+// Figures 1 and 2(a). The edge-weight multiset matches the figure
+// ({70, 3x362, 357, 353, 300, 2x313, 500, 94, 157, 49, 27, 8x16} MB/s);
+// the ancillary 16 MB/s control edges follow the canonical VOPD topology
+// that descended from this paper.
+func VOPD() App {
+	g := graph.NewCoreGraph("VOPD")
+	// Main decoding pipeline.
+	g.Connect("vld", "run_le_dec", 70)
+	g.Connect("run_le_dec", "inv_scan", 362)
+	g.Connect("inv_scan", "acdc_pred", 362)
+	g.Connect("acdc_pred", "stripe_mem", 49)
+	g.Connect("stripe_mem", "acdc_pred", 27)
+	g.Connect("acdc_pred", "iquant", 362)
+	g.Connect("iquant", "idct", 357)
+	g.Connect("idct", "up_samp", 353)
+	g.Connect("up_samp", "vop_rec", 300)
+	g.Connect("vop_rec", "pad", 313)
+	g.Connect("pad", "vop_mem", 313)
+	g.Connect("vop_mem", "pad", 94)
+	g.Connect("vop_mem", "up_samp", 500)
+	// Context modeling for the arithmetic decoder.
+	g.Connect("ctx_calc", "vld", 157)
+	// Low-bandwidth control and reference traffic.
+	g.Connect("demux", "vld", 16)
+	g.Connect("arm", "demux", 16)
+	g.Connect("ctx_calc", "arm", 16)
+	g.Connect("idct", "ref_mem", 16)
+	g.Connect("ref_mem", "up_samp2", 16)
+	g.Connect("up_samp2", "vop_rec", 16)
+	g.Connect("arm", "vop_mem", 16)
+	g.Connect("vop_mem", "arm", 16)
+	return App{Graph: g, W: 4, H: 4}
+}
+
+// MPEG4 returns a 14-core MPEG-4 decoder built around a shared SDRAM hub,
+// the structure reported for MPEG-4 decoder SoCs in the NoC literature.
+func MPEG4() App {
+	g := graph.NewCoreGraph("MPEG4")
+	g.Connect("vu", "sdram", 190)
+	g.Connect("sdram", "vu", 190)
+	g.Connect("au", "sdram", 60)
+	g.Connect("sdram", "au", 40)
+	g.Connect("med_cpu", "sdram", 600)
+	g.Connect("sdram", "med_cpu", 250)
+	g.Connect("sdram", "up_samp", 910)
+	g.Connect("up_samp", "disp", 500)
+	g.Connect("idct", "sdram", 250)
+	g.Connect("sdram", "idct", 250)
+	g.Connect("rast", "sram1", 192)
+	g.Connect("sram1", "disp", 128)
+	g.Connect("bab", "sram2", 173)
+	g.Connect("sram2", "med_cpu", 173)
+	g.Connect("risc", "sdram", 500)
+	g.Connect("sdram", "risc", 32)
+	g.Connect("risc", "rast", 32)
+	g.Connect("risc", "bab", 32)
+	g.Connect("au", "adac", 64)
+	g.Connect("vu", "idct", 190)
+	g.Connect("bitstream", "risc", 32)
+	return App{Graph: g, W: 4, H: 4}
+}
+
+// PIP returns the 8-core Picture-In-Picture application: a main scaling
+// pipeline plus a juggler-based overlay path.
+func PIP() App {
+	g := graph.NewCoreGraph("PIP")
+	g.Connect("inp_mem", "hs", 128)
+	g.Connect("hs", "vs", 64)
+	g.Connect("vs", "jug1", 64)
+	g.Connect("jug1", "mem", 64)
+	g.Connect("mem", "jug2", 64)
+	g.Connect("jug2", "hvs", 128)
+	g.Connect("hvs", "op_disp", 64)
+	g.Connect("inp_mem", "op_disp", 64)
+	return App{Graph: g, W: 3, H: 3}
+}
+
+// MWA returns the 14-core Multi-Window Application: two scaling pipelines
+// with noise reduction feeding a blender and display.
+func MWA() App {
+	g := graph.NewCoreGraph("MWA")
+	g.Connect("in", "nr", 96)
+	g.Connect("nr", "mem1", 96)
+	g.Connect("mem1", "hs1", 96)
+	g.Connect("hs1", "vs1", 96)
+	g.Connect("vs1", "mem2", 96)
+	g.Connect("in", "hs2", 128)
+	g.Connect("hs2", "vs2", 64)
+	g.Connect("vs2", "mem3", 64)
+	g.Connect("mem2", "jug", 96)
+	g.Connect("mem3", "jug", 64)
+	g.Connect("jug", "se", 96)
+	g.Connect("se", "blend", 96)
+	g.Connect("mem2", "blend", 96)
+	g.Connect("blend", "op_disp", 160)
+	g.Connect("hvs", "blend", 64)
+	g.Connect("mem3", "hvs", 64)
+	return App{Graph: g, W: 4, H: 4}
+}
+
+// MWAG returns the 16-core MWA-with-Graphics application: MWA plus a
+// graphics engine with its own memory that composites into the blender.
+func MWAG() App {
+	a := MWA()
+	g := a.Graph
+	g.Name = "MWAG"
+	g.Connect("gfx", "gfx_mem", 192)
+	g.Connect("gfx_mem", "blend", 128)
+	g.Connect("in", "gfx", 32)
+	return App{Graph: g, W: 4, H: 4}
+}
+
+// DSD returns the 16-core Dual Screen Display: two independent decode and
+// scale pipelines sharing an input demultiplexer and driving two displays.
+func DSD() App {
+	g := graph.NewCoreGraph("DSD")
+	g.Connect("demux", "dec1", 128)
+	g.Connect("dec1", "mem1", 192)
+	g.Connect("mem1", "hs1", 128)
+	g.Connect("hs1", "vs1", 96)
+	g.Connect("vs1", "mix1", 96)
+	g.Connect("mix1", "disp1", 160)
+	g.Connect("demux", "dec2", 128)
+	g.Connect("dec2", "mem2", 192)
+	g.Connect("mem2", "hs2", 128)
+	g.Connect("hs2", "vs2", 96)
+	g.Connect("vs2", "mix2", 96)
+	g.Connect("mix2", "disp2", 160)
+	g.Connect("osd", "mix1", 32)
+	g.Connect("osd", "mix2", 32)
+	g.Connect("cpu", "osd", 32)
+	g.Connect("cpu", "demux", 32)
+	g.Connect("demux", "audio", 64)
+	g.Connect("audio", "cpu", 32)
+	return App{Graph: g, W: 4, H: 4}
+}
+
+// DSP returns the 6-core DSP filter design of Section 7.2 (Fig. 5a): a
+// frequency-domain filter whose spectrum exchange between filter and IFFT
+// runs at 600 MB/s in both directions, with 200 MB/s sample, memory and
+// control edges, mapped onto a 3x2 mesh. The bidirectional 600 MB/s pair
+// reproduces Table 3 exactly: mapped on the mesh's two degree-3 nodes,
+// each direction splits across three disjoint minimal-capacity paths
+// (3 x 200 MB/s), while single-path routing needs a 600 MB/s link.
+func DSP() App {
+	g := graph.NewCoreGraph("DSP")
+	g.Connect("arm", "fft", 200)
+	g.Connect("memory", "fft", 200)
+	g.Connect("fft", "filter", 200)
+	g.Connect("filter", "ifft", 600)
+	g.Connect("ifft", "filter", 600)
+	g.Connect("ifft", "memory", 200)
+	g.Connect("ifft", "display", 200)
+	g.Connect("display", "arm", 200)
+	return App{Graph: g, W: 3, H: 2}
+}
+
+// VideoApps returns the six video applications in the order of the
+// paper's Figures 3 and 4.
+func VideoApps() []App {
+	return []App{MPEG4(), VOPD(), PIP(), MWA(), MWAG(), DSD()}
+}
+
+// Random returns a Table 2 style random application with the given core
+// count, sized to the smallest near-square mesh that fits.
+func Random(cores int, seed int64) (App, error) {
+	cg, err := graph.RandomCoreGraph(graph.DefaultRandomConfig(cores, seed))
+	if err != nil {
+		return App{}, err
+	}
+	w, h := topology.FitMesh(cores)
+	return App{Graph: cg, W: w, H: h}, nil
+}

@@ -1,0 +1,125 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestCoreCountsMatchPaper(t *testing.T) {
+	cases := []struct {
+		app  App
+		name string
+		n    int
+	}{
+		{MPEG4(), "MPEG4", 14},
+		{VOPD(), "VOPD", 16},
+		{PIP(), "PIP", 8},
+		{MWA(), "MWA", 14},
+		{MWAG(), "MWAG", 16},
+		{DSD(), "DSD", 16},
+		{DSP(), "DSP", 6},
+	}
+	for _, c := range cases {
+		if c.app.Graph.N() != c.n {
+			t.Errorf("%s has %d cores, want %d", c.name, c.app.Graph.N(), c.n)
+		}
+		if c.app.Graph.Name != c.name {
+			t.Errorf("graph name %q, want %q", c.app.Graph.Name, c.name)
+		}
+		if !c.app.Graph.Connected() {
+			t.Errorf("%s is not connected", c.name)
+		}
+		if c.app.W*c.app.H < c.n {
+			t.Errorf("%s mesh %dx%d too small for %d cores", c.name, c.app.W, c.app.H, c.n)
+		}
+	}
+}
+
+func TestVOPDEdgeWeightMultiset(t *testing.T) {
+	g := VOPD().Graph
+	want := map[float64]int{
+		70: 1, 362: 3, 357: 1, 353: 1, 300: 1, 313: 2,
+		500: 1, 94: 1, 157: 1, 49: 1, 27: 1, 16: 8,
+	}
+	got := map[float64]int{}
+	for _, e := range g.Edges() {
+		got[e.Weight]++
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("weight %g appears %d times, want %d", w, got[w], n)
+		}
+	}
+	if g.NumEdges() != 22 {
+		t.Errorf("VOPD has %d edges, want 22", g.NumEdges())
+	}
+}
+
+func TestDSPMatchesFig5a(t *testing.T) {
+	g := DSP().Graph
+	count600, count200 := 0, 0
+	for _, e := range g.Edges() {
+		switch e.Weight {
+		case 600:
+			count600++
+		case 200:
+			count200++
+		default:
+			t.Errorf("unexpected DSP edge weight %g", e.Weight)
+		}
+	}
+	if count600 != 2 || count200 != 6 {
+		t.Errorf("DSP has %dx600 + %dx200 edges, want 2x600 + 6x200", count600, count200)
+	}
+	if w, h := DSP().W, DSP().H; w != 3 || h != 2 {
+		t.Errorf("DSP mesh %dx%d, want 3x2", w, h)
+	}
+}
+
+func TestVideoAppsOrder(t *testing.T) {
+	va := VideoApps()
+	wantNames := []string{"MPEG4", "VOPD", "PIP", "MWA", "MWAG", "DSD"}
+	if len(va) != len(wantNames) {
+		t.Fatalf("VideoApps returned %d apps", len(va))
+	}
+	for i, a := range va {
+		if a.Graph.Name != wantNames[i] {
+			t.Errorf("app %d = %s, want %s", i, a.Graph.Name, wantNames[i])
+		}
+	}
+}
+
+func TestMeshHelper(t *testing.T) {
+	m := VOPD().Mesh(1000)
+	if m.N() != 16 {
+		t.Fatalf("VOPD mesh nodes = %d, want 16", m.N())
+	}
+	for _, l := range m.Links() {
+		if l.BW != 1000 {
+			t.Fatalf("link BW = %g, want 1000", l.BW)
+		}
+	}
+}
+
+func TestRandomApp(t *testing.T) {
+	for _, n := range []int{25, 35, 45, 55, 65} {
+		a, err := Random(n, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Graph.N() != n {
+			t.Fatalf("random app has %d cores, want %d", a.Graph.N(), n)
+		}
+		if a.W*a.H < n {
+			t.Fatalf("mesh %dx%d too small for %d", a.W, a.H, n)
+		}
+		w, h := topology.FitMesh(n)
+		if a.W != w || a.H != h {
+			t.Fatalf("mesh %dx%d, want %dx%d", a.W, a.H, w, h)
+		}
+	}
+	if _, err := Random(1, 7); err == nil {
+		t.Error("1-core random app accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func problem(t *testing.T, a apps.App) *core.Problem {
+	t.Helper()
+	topo, err := topology.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGMAPProducesValidCompleteMapping(t *testing.T) {
+	for _, a := range apps.VideoApps() {
+		p := problem(t, a)
+		m := GMAP(p)
+		if !m.Valid() || !m.Complete() {
+			t.Errorf("%s: GMAP mapping invalid", a.Graph.Name)
+		}
+		if c := m.CommCost(); c <= 0 {
+			t.Errorf("%s: GMAP cost %g", a.Graph.Name, c)
+		}
+	}
+}
+
+func TestPMAPProducesValidCompleteMapping(t *testing.T) {
+	for _, a := range apps.VideoApps() {
+		p := problem(t, a)
+		m := PMAP(p)
+		if !m.Valid() || !m.Complete() {
+			t.Errorf("%s: PMAP mapping invalid", a.Graph.Name)
+		}
+	}
+}
+
+func TestPBBProducesValidCompleteMapping(t *testing.T) {
+	for _, a := range []apps.App{apps.PIP(), apps.DSP()} {
+		p := problem(t, a)
+		m := PBB(p, DefaultPBBConfig())
+		if !m.Valid() || !m.Complete() {
+			t.Errorf("%s: PBB mapping invalid", a.Graph.Name)
+		}
+	}
+}
+
+func TestPBBNotWorseThanGreedy(t *testing.T) {
+	// PBB starts from the greedy upper bound, so it can never be worse.
+	for _, a := range apps.VideoApps() {
+		p := problem(t, a)
+		g := GMAP(p).CommCost()
+		b := PBB(p, PBBConfig{MaxQueue: 500, MaxExpand: 20000}).CommCost()
+		if b > g+1e-9 {
+			t.Errorf("%s: PBB cost %g worse than greedy %g", a.Graph.Name, b, g)
+		}
+	}
+}
+
+func TestPBBNearOptimalOnTinyProblem(t *testing.T) {
+	// On the 6-core DSP with a roomy budget PBB should match exhaustive
+	// search. Exhaustive optimum computed by permuting all placements.
+	a := apps.DSP()
+	p := problem(t, a)
+	best := 1e18
+	perm := []int{0, 1, 2, 3, 4, 5}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			m := core.NewMapping(p)
+			for v, u := range perm {
+				if err := m.Place(v, u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if c := m.CommCost(); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	m := PBB(p, PBBConfig{MaxQueue: 100000, MaxExpand: 1000000})
+	if c := m.CommCost(); c > best+1e-9 {
+		t.Fatalf("PBB cost %g, exhaustive optimum %g", c, best)
+	}
+}
+
+func TestNMAPBeatsOrMatchesBaselinesOnVideoApps(t *testing.T) {
+	// The paper's Figure 3 headline: NMAP cost <= GMAP and PMAP cost on
+	// every application (PBB is comparable to NMAP).
+	for _, a := range apps.VideoApps() {
+		p := problem(t, a)
+		nmap := p.MapSinglePath().Mapping.CommCost()
+		gmap := GMAP(p).CommCost()
+		pmap := PMAP(p).CommCost()
+		if nmap > gmap+1e-9 {
+			t.Errorf("%s: NMAP %g worse than GMAP %g", a.Graph.Name, nmap, gmap)
+		}
+		if nmap > pmap+1e-9 {
+			t.Errorf("%s: NMAP %g worse than PMAP %g", a.Graph.Name, nmap, pmap)
+		}
+	}
+}
+
+func TestPBBZeroConfigUsesDefaults(t *testing.T) {
+	p := problem(t, apps.PIP())
+	m := PBB(p, PBBConfig{})
+	if !m.Valid() || !m.Complete() {
+		t.Fatal("PBB with zero config failed")
+	}
+}
+
+func TestAlgorithmsDeterministic(t *testing.T) {
+	a := apps.VOPD()
+	for name, f := range map[string]func(*core.Problem) *core.Mapping{
+		"gmap": GMAP,
+		"pmap": PMAP,
+		"pbb":  func(p *core.Problem) *core.Mapping { return PBB(p, PBBConfig{MaxQueue: 200, MaxExpand: 5000}) },
+	} {
+		p1 := problem(t, a)
+		p2 := problem(t, a)
+		m1, m2 := f(p1), f(p2)
+		for v := 0; v < a.Graph.N(); v++ {
+			if m1.NodeOf(v) != m2.NodeOf(v) {
+				t.Errorf("%s: nondeterministic at core %d", name, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package baseline implements the three comparison algorithms of the
+// paper's evaluation: GMAP (the greedy upper-bound-cost mapping of
+// Hu–Marculescu [8]), PMAP (the two-phase cluster mapping of Koziris et
+// al. [12]) and PBB (the partial branch-and-bound of [8]). All three
+// produce a core.Mapping for a core.Problem; routing and cost evaluation
+// reuse the core package so every algorithm is scored identically.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// GMAP is the greedy mapping used for the upper bound cost (UBC)
+// calculation in Hu–Marculescu: repeatedly take the unmapped core with the
+// maximum communication to the already-mapped set and place it on the free
+// node minimizing the partial communication cost. Unlike NMAP's
+// initialization it breaks all ties toward the lowest IDs and performs no
+// swap refinement.
+func GMAP(p *core.Problem) *core.Mapping {
+	s := p.App.Undirected()
+	t := p.Topo
+	m := core.NewMapping(p)
+
+	// Seed: heaviest-communication core at the first max-degree node.
+	first, best := 0, -1.0
+	for v := 0; v < s.N(); v++ {
+		if c := s.VertexComm(v); c > best {
+			first, best = v, c
+		}
+	}
+	mustPlace(m, first, t.MaxDegreeNode())
+
+	for placed := 1; placed < p.App.N(); placed++ {
+		next, bestComm := -1, -1.0
+		for v := 0; v < s.N(); v++ {
+			if m.NodeOf(v) != -1 {
+				continue
+			}
+			comm := 0.0
+			for _, e := range s.Out(v) {
+				if m.NodeOf(e.To) != -1 {
+					comm += e.Weight
+				}
+			}
+			if comm > bestComm {
+				next, bestComm = v, comm
+			}
+		}
+		node, bestCost := -1, math.Inf(1)
+		for u := 0; u < t.N(); u++ {
+			if m.CoreAt(u) != -1 {
+				continue
+			}
+			cost := 0.0
+			for _, e := range s.Out(next) {
+				if w := m.NodeOf(e.To); w != -1 {
+					cost += e.Weight * float64(t.HopDist(u, w))
+				}
+			}
+			if cost < bestCost {
+				node, bestCost = u, cost
+			}
+		}
+		mustPlace(m, next, node)
+	}
+	return m
+}
+
+func mustPlace(m *core.Mapping, v, u int) {
+	if err := m.Place(v, u); err != nil {
+		panic("baseline: internal placement error: " + err.Error())
+	}
+}

@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PMAP reimplements the two-phase physical mapping of Koziris et al. [12]
+// from its published description (the original code is not available).
+// Phase one orders the clusters (here: cores, since the kernels have
+// already been merged into cores) by decreasing total external
+// communication. Phase two performs nearest-neighbor physical placement:
+// each cluster is placed as close as possible to the already-placed
+// cluster it communicates with most strongly, expanding outward from the
+// center of the processor array. The defining difference from GMAP/NMAP
+// initialization is that placement distance is measured only to the single
+// strongest neighbor, not communication-weighted over all placed cores.
+func PMAP(p *core.Problem) *core.Mapping {
+	s := p.App.Undirected()
+	t := p.Topo
+	m := core.NewMapping(p)
+
+	order := make([]int, s.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.VertexComm(order[a]) > s.VertexComm(order[b])
+	})
+
+	mustPlace(m, order[0], t.MaxDegreeNode())
+	placed := []int{order[0]}
+
+	for len(placed) < s.N() {
+		// Next cluster in phase-one order that touches the placed set;
+		// fall back to plain order for disconnected components.
+		next := -1
+		for _, v := range order {
+			if m.NodeOf(v) != -1 {
+				continue
+			}
+			for _, e := range s.Out(v) {
+				if m.NodeOf(e.To) != -1 {
+					next = v
+					break
+				}
+			}
+			if next != -1 {
+				break
+			}
+		}
+		if next == -1 {
+			for _, v := range order {
+				if m.NodeOf(v) == -1 {
+					next = v
+					break
+				}
+			}
+		}
+		// Strongest placed neighbor of next.
+		anchor, bestW := -1, -1.0
+		for _, e := range s.Out(next) {
+			if m.NodeOf(e.To) != -1 && e.Weight > bestW {
+				anchor, bestW = e.To, e.Weight
+			}
+		}
+		// Free node nearest to the anchor (or to the array center when the
+		// core is isolated from the placed set).
+		ref := t.MaxDegreeNode()
+		if anchor != -1 {
+			ref = m.NodeOf(anchor)
+		}
+		node, bestD := -1, math.MaxInt
+		for u := 0; u < t.N(); u++ {
+			if m.CoreAt(u) != -1 {
+				continue
+			}
+			if d := t.HopDist(ref, u); d < bestD {
+				node, bestD = u, d
+			}
+		}
+		mustPlace(m, next, node)
+		placed = append(placed, next)
+	}
+	return m
+}

@@ -1,0 +1,86 @@
+// Package cli holds helpers shared by the command-line tools: resolving
+// application specs (benchmark names, random graphs, JSON files) and
+// mesh geometry flags.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// LoadApp resolves an application spec:
+//
+//	vopd | mpeg4 | pip | mwa | mwag | dsd | dsp   benchmark applications
+//	random:N[:seed]                               random graph with N cores
+//	path/to/graph.json                            core graph JSON file
+func LoadApp(spec string) (apps.App, error) {
+	switch strings.ToLower(spec) {
+	case "vopd":
+		return apps.VOPD(), nil
+	case "mpeg4":
+		return apps.MPEG4(), nil
+	case "pip":
+		return apps.PIP(), nil
+	case "mwa":
+		return apps.MWA(), nil
+	case "mwag":
+		return apps.MWAG(), nil
+	case "dsd":
+		return apps.DSD(), nil
+	case "dsp":
+		return apps.DSP(), nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "random:"); ok {
+		parts := strings.Split(rest, ":")
+		n, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return apps.App{}, fmt.Errorf("cli: bad random core count %q", parts[0])
+		}
+		seed := int64(1)
+		if len(parts) > 1 {
+			if seed, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+				return apps.App{}, fmt.Errorf("cli: bad random seed %q", parts[1])
+			}
+		}
+		return apps.Random(n, seed)
+	}
+	if strings.HasSuffix(spec, ".json") {
+		f, err := os.Open(spec)
+		if err != nil {
+			return apps.App{}, fmt.Errorf("cli: %w", err)
+		}
+		defer f.Close()
+		cg, err := graph.ReadJSON(f)
+		if err != nil {
+			return apps.App{}, err
+		}
+		w, h := topology.FitMesh(cg.N())
+		return apps.App{Graph: cg, W: w, H: h}, nil
+	}
+	return apps.App{}, fmt.Errorf("cli: unknown application %q (want a benchmark name, random:N, or a .json file)", spec)
+}
+
+// ParseMesh parses "WxH" ("4x4"); an empty string returns ok=false so the
+// caller can fall back to the app's recommended mesh.
+func ParseMesh(spec string) (w, h int, ok bool, err error) {
+	if spec == "" {
+		return 0, 0, false, nil
+	}
+	parts := strings.Split(strings.ToLower(spec), "x")
+	if len(parts) != 2 {
+		return 0, 0, false, fmt.Errorf("cli: mesh spec %q, want WxH", spec)
+	}
+	if w, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, false, fmt.Errorf("cli: bad mesh width %q", parts[0])
+	}
+	if h, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, false, fmt.Errorf("cli: bad mesh height %q", parts[1])
+	}
+	return w, h, true, nil
+}

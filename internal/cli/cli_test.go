@@ -1,0 +1,79 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadAppNames(t *testing.T) {
+	for _, name := range []string{"vopd", "VOPD", "mpeg4", "pip", "mwa", "mwag", "dsd", "dsp"} {
+		a, err := LoadApp(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if a.Graph == nil || a.Graph.N() == 0 {
+			t.Errorf("%s: empty app", name)
+		}
+	}
+}
+
+func TestLoadAppRandom(t *testing.T) {
+	a, err := LoadApp("random:30:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.N() != 30 {
+		t.Fatalf("cores = %d, want 30", a.Graph.N())
+	}
+	if _, err := LoadApp("random:x"); err == nil {
+		t.Error("bad count accepted")
+	}
+	if _, err := LoadApp("random:10:zz"); err == nil {
+		t.Error("bad seed accepted")
+	}
+}
+
+func TestLoadAppJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "app.json")
+	content := `{"name":"custom","edges":[{"from":"a","to":"b","bw":100},{"from":"b","to":"c","bw":50}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadApp(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Name != "custom" || a.Graph.N() != 3 {
+		t.Fatalf("unexpected app: %s", a.Graph)
+	}
+	if a.W*a.H < 3 {
+		t.Fatalf("mesh %dx%d too small", a.W, a.H)
+	}
+	if _, err := LoadApp(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadAppUnknown(t *testing.T) {
+	if _, err := LoadApp("nosuchapp"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestParseMesh(t *testing.T) {
+	w, h, ok, err := ParseMesh("4x3")
+	if err != nil || !ok || w != 4 || h != 3 {
+		t.Fatalf("ParseMesh(4x3) = %d %d %v %v", w, h, ok, err)
+	}
+	if _, _, ok, err := ParseMesh(""); ok || err != nil {
+		t.Fatal("empty spec should be ok=false without error")
+	}
+	for _, bad := range []string{"4", "ax3", "4xb", "4x3x2"} {
+		if _, _, _, err := ParseMesh(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

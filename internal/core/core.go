@@ -1,0 +1,51 @@
+// Package core implements the paper's primary contribution: the NMAP
+// algorithm that maps application cores onto a mesh/torus NoC under
+// bandwidth constraints, minimizing average communication delay. Both
+// variants are provided: single minimum-path routing (Section 5) and
+// split-traffic routing driven by multi-commodity flow programs
+// (Section 6, NMAPTA all-path and NMAPTM minimum-path splitting).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+// Problem couples an application core graph with a NoC topology graph.
+type Problem struct {
+	App  *graph.CoreGraph
+	Topo *topology.Topology
+}
+
+// NewProblem validates |V| <= |U| and returns the mapping problem.
+func NewProblem(app *graph.CoreGraph, topo *topology.Topology) (*Problem, error) {
+	if app == nil || topo == nil {
+		return nil, fmt.Errorf("core: nil application or topology")
+	}
+	if app.N() > topo.N() {
+		return nil, fmt.Errorf("core: %d cores do not fit on %d nodes", app.N(), topo.N())
+	}
+	if app.N() == 0 {
+		return nil, fmt.Errorf("core: empty core graph")
+	}
+	return &Problem{App: app, Topo: topo}, nil
+}
+
+// Commodities returns the commodity set D of the current problem with
+// endpoints translated to mesh nodes under mapping m.
+func (p *Problem) Commodities(m *Mapping) []mcf.Commodity {
+	ds := p.App.Commodities()
+	out := make([]mcf.Commodity, len(ds))
+	for i, d := range ds {
+		out[i] = mcf.Commodity{
+			K:      d.K,
+			Src:    m.NodeOf(d.Src),
+			Dst:    m.NodeOf(d.Dst),
+			Demand: d.Value,
+		}
+	}
+	return out
+}

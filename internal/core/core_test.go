@@ -1,0 +1,262 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func vopdProblem(t *testing.T, bw float64) *Problem {
+	t.Helper()
+	a := apps.VOPD()
+	topo, err := topology.NewMesh(a.W, a.H, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	topo, _ := topology.NewMesh(2, 2, 100)
+	big := graph.NewCoreGraph("big")
+	for i := 0; i < 5; i++ {
+		big.AddCore("c")
+	}
+	if _, err := NewProblem(big, topo); err == nil {
+		t.Error("oversized app accepted")
+	}
+	if _, err := NewProblem(nil, topo); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := NewProblem(graph.NewCoreGraph("empty"), topo); err == nil {
+		t.Error("empty app accepted")
+	}
+}
+
+func TestMappingPlaceAndSwap(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	m := NewMapping(p)
+	if err := m.Place(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(0, 6); err == nil {
+		t.Error("double-place of core accepted")
+	}
+	if err := m.Place(1, 5); err == nil {
+		t.Error("double-occupancy accepted")
+	}
+	if err := m.Place(99, 0); err == nil {
+		t.Error("invalid core accepted")
+	}
+	if err := m.Place(1, 99); err == nil {
+		t.Error("invalid node accepted")
+	}
+	if err := m.Place(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	m.Swap(5, 6)
+	if m.CoreAt(5) != 1 || m.CoreAt(6) != 0 || m.NodeOf(0) != 6 || m.NodeOf(1) != 5 {
+		t.Fatal("swap of two cores broken")
+	}
+	m.Swap(6, 7) // core <-> hole
+	if m.CoreAt(6) != -1 || m.CoreAt(7) != 0 || m.NodeOf(0) != 7 {
+		t.Fatal("swap with hole broken")
+	}
+	if !m.Valid() {
+		t.Fatal("mapping invalid after swaps")
+	}
+}
+
+func TestInitializePlacesAllCores(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	m := p.Initialize()
+	if !m.Complete() || !m.Valid() {
+		t.Fatal("initialize produced incomplete/invalid mapping")
+	}
+	// The heaviest-communication core must sit on a max-degree node.
+	s := p.App.Undirected()
+	maxs, best := 0, -1.0
+	for v := 0; v < s.N(); v++ {
+		if c := s.VertexComm(v); c > best {
+			maxs, best = v, c
+		}
+	}
+	if p.Topo.Degree(m.NodeOf(maxs)) != 4 {
+		t.Fatalf("heaviest core on degree-%d node, want 4", p.Topo.Degree(m.NodeOf(maxs)))
+	}
+}
+
+func TestInitializeDeterministic(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	a := p.Initialize()
+	b := p.Initialize()
+	for v := 0; v < p.App.N(); v++ {
+		if a.NodeOf(v) != b.NodeOf(v) {
+			t.Fatalf("nondeterministic initialize at core %d", v)
+		}
+	}
+}
+
+func TestRouteSinglePathMinimalAndConsistent(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	m := p.Initialize()
+	r := p.RouteSinglePath(m)
+	if !r.Feasible {
+		t.Fatal("routing infeasible with unlimited bandwidth")
+	}
+	ds := p.App.Commodities()
+	sumLoads := 0.0
+	for _, l := range r.Loads {
+		sumLoads += l
+	}
+	eqCost := 0.0
+	for _, d := range ds {
+		path := r.Paths[d.K]
+		src, dst := m.NodeOf(d.Src), m.NodeOf(d.Dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("commodity %d path endpoints wrong", d.K)
+		}
+		if len(path)-1 != p.Topo.HopDist(src, dst) {
+			t.Fatalf("commodity %d path is not minimal: %d hops, want %d",
+				d.K, len(path)-1, p.Topo.HopDist(src, dst))
+		}
+		if p.Topo.PathLinks(path) == nil {
+			t.Fatalf("commodity %d path not link-connected: %v", d.K, path)
+		}
+		eqCost += d.Value * float64(len(path)-1)
+	}
+	// On minimum paths: sum of link loads == Eq.7 cost == reported cost.
+	if math.Abs(sumLoads-eqCost) > 1e-6 || math.Abs(r.Cost-eqCost) > 1e-6 {
+		t.Fatalf("cost mismatch: loads=%g eq7=%g reported=%g", sumLoads, eqCost, r.Cost)
+	}
+}
+
+func TestRouteSinglePathDetectsInfeasible(t *testing.T) {
+	p := vopdProblem(t, 100) // far below VOPD's 500 MB/s hottest edge
+	m := p.Initialize()
+	r := p.RouteSinglePath(m)
+	if r.Feasible {
+		t.Fatal("100 MB/s links cannot be feasible for VOPD")
+	}
+	if !math.IsInf(r.Cost, 1) {
+		t.Fatal("infeasible cost must be +Inf")
+	}
+}
+
+func TestRouteSinglePathBalancesLoad(t *testing.T) {
+	// Two heavy commodities between the same pair of non-adjacent nodes
+	// in opposite corners should take different paths when the first
+	// congests the shared links.
+	g := graph.NewCoreGraph("two")
+	g.Connect("a", "b", 100)
+	g.Connect("c", "d", 100)
+	topo, _ := topology.NewMesh(2, 2, 1e9)
+	p, err := NewProblem(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapping(p)
+	// a at (0,0), b at (1,1): quadrant is whole mesh; c,d on the other
+	// diagonal with the same quadrant.
+	for v, u := range map[int]int{0: 0, 1: 3, 2: 1, 3: 2} {
+		if err := m.Place(v, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := p.RouteSinglePath(m)
+	if !r.Feasible {
+		t.Fatal("unexpected infeasible")
+	}
+	if r.MaxLoad > 100+1e-9 {
+		t.Fatalf("congestion-aware routing should keep max load at 100, got %g", r.MaxLoad)
+	}
+}
+
+func TestMapSinglePathImprovesOnInitialize(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	init := p.Initialize()
+	res := p.MapSinglePath()
+	if !res.Mapping.Valid() || !res.Mapping.Complete() {
+		t.Fatal("NMAP mapping invalid")
+	}
+	if res.Mapping.CommCost() > init.CommCost()+1e-9 {
+		t.Fatalf("swap refinement worsened cost: %g -> %g", init.CommCost(), res.Mapping.CommCost())
+	}
+	if !res.Route.Feasible {
+		t.Fatal("NMAP route infeasible with unlimited bandwidth")
+	}
+	if res.Swaps == 0 {
+		t.Fatal("no swaps evaluated")
+	}
+}
+
+func TestMapSinglePathRelaxedShortcutMatchesFullEvaluation(t *testing.T) {
+	// With BW far above the max single-link load the shortcut (Eq. 7 only)
+	// and the full routed evaluation must agree on the final cost.
+	a := apps.PIP()
+	topoA, _ := topology.NewMesh(a.W, a.H, 1e9)
+	pA, _ := NewProblem(a.Graph, topoA)
+	resA := pA.MapSinglePath()
+
+	topoB, _ := topology.NewMesh(a.W, a.H, a.Graph.TotalWeight()-1)
+	pB, _ := NewProblem(a.Graph, topoB)
+	resB := pB.MapSinglePath()
+	if !resB.Route.Feasible {
+		t.Fatal("PIP should fit links just below total traffic")
+	}
+	if math.Abs(resA.Route.Cost-resB.Route.Cost) > 1e-9 {
+		t.Fatalf("shortcut cost %g != full evaluation cost %g", resA.Route.Cost, resB.Route.Cost)
+	}
+}
+
+func TestCommCostBijectionProperty(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	base := p.Initialize()
+	f := func(aRaw, bRaw uint8) bool {
+		m := base.Clone()
+		m.Swap(int(aRaw)%p.Topo.N(), int(bRaw)%p.Topo.N())
+		if !m.Valid() {
+			return false
+		}
+		// Cost must be positive and change only via hop distances.
+		c := m.CommCost()
+		return c > 0 && !math.IsInf(c, 0) && !math.IsNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteXY(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	m := p.Initialize()
+	r := p.RouteXY(m)
+	if !r.Feasible {
+		t.Fatal("XY routing infeasible with unlimited bandwidth")
+	}
+	// XY routes are minimal, so cost equals Eq. 7.
+	if math.Abs(r.Cost-m.CommCost()) > 1e-9 {
+		t.Fatalf("XY cost %g != Eq.7 cost %g", r.Cost, m.CommCost())
+	}
+	// XY is less load-balanced than congestion-aware routing or equal.
+	single := p.RouteSinglePath(m)
+	if single.MaxLoad > r.MaxLoad+1e-9 {
+		t.Fatalf("congestion-aware max load %g exceeds XY %g", single.MaxLoad, r.MaxLoad)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	p := vopdProblem(t, 1e9)
+	m := p.Initialize()
+	if s := m.String(); len(s) == 0 {
+		t.Fatal("empty mapping render")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mapping is the one-to-one mapping function map: V -> U of Eq. 1. It
+// stores both directions and supports the pairwise node swaps used by
+// NMAP's refinement loops (swapping two nodes may move a core onto an
+// empty node).
+type Mapping struct {
+	prob   *Problem
+	nodeOf []int // core -> mesh node
+	coreAt []int // mesh node -> core, or -1 when empty
+}
+
+// NewMapping returns an empty (all-unplaced) mapping for the problem.
+func NewMapping(p *Problem) *Mapping {
+	m := &Mapping{
+		prob:   p,
+		nodeOf: make([]int, p.App.N()),
+		coreAt: make([]int, p.Topo.N()),
+	}
+	for i := range m.nodeOf {
+		m.nodeOf[i] = -1
+	}
+	for i := range m.coreAt {
+		m.coreAt[i] = -1
+	}
+	return m
+}
+
+// Place assigns core v to mesh node u.
+func (m *Mapping) Place(v, u int) error {
+	if v < 0 || v >= len(m.nodeOf) {
+		return fmt.Errorf("core: invalid core %d", v)
+	}
+	if u < 0 || u >= len(m.coreAt) {
+		return fmt.Errorf("core: invalid node %d", u)
+	}
+	if m.nodeOf[v] != -1 {
+		return fmt.Errorf("core: core %d already placed", v)
+	}
+	if m.coreAt[u] != -1 {
+		return fmt.Errorf("core: node %d already occupied by core %d", u, m.coreAt[u])
+	}
+	m.nodeOf[v] = u
+	m.coreAt[u] = v
+	return nil
+}
+
+// NodeOf returns the mesh node of core v (-1 if unplaced).
+func (m *Mapping) NodeOf(v int) int { return m.nodeOf[v] }
+
+// CoreAt returns the core on mesh node u (-1 if empty).
+func (m *Mapping) CoreAt(u int) int { return m.coreAt[u] }
+
+// Complete reports whether every core has been placed.
+func (m *Mapping) Complete() bool {
+	for _, u := range m.nodeOf {
+		if u == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy sharing the problem.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{
+		prob:   m.prob,
+		nodeOf: append([]int(nil), m.nodeOf...),
+		coreAt: append([]int(nil), m.coreAt...),
+	}
+	return c
+}
+
+// Swap exchanges the contents of mesh nodes a and b (either may be empty).
+func (m *Mapping) Swap(a, b int) {
+	ca, cb := m.coreAt[a], m.coreAt[b]
+	m.coreAt[a], m.coreAt[b] = cb, ca
+	if ca != -1 {
+		m.nodeOf[ca] = b
+	}
+	if cb != -1 {
+		m.nodeOf[cb] = a
+	}
+}
+
+// Valid reports whether the mapping is a bijection onto a subset of nodes:
+// every core on exactly one node and both directions consistent.
+func (m *Mapping) Valid() bool {
+	seen := make(map[int]bool)
+	for v, u := range m.nodeOf {
+		if u == -1 {
+			continue
+		}
+		if u < 0 || u >= len(m.coreAt) || seen[u] || m.coreAt[u] != v {
+			return false
+		}
+		seen[u] = true
+	}
+	for u, v := range m.coreAt {
+		if v != -1 && m.nodeOf[v] != u {
+			return false
+		}
+	}
+	return true
+}
+
+// CommCost computes Eq. 7: sum over commodities of vl(d_k) times the
+// minimal hop distance between the mapped endpoints. It is independent of
+// the routing actually chosen (all NMAP routings use minimum paths).
+func (m *Mapping) CommCost() float64 {
+	cost := 0.0
+	for _, e := range m.prob.App.Edges() {
+		cost += e.Weight * float64(m.prob.Topo.HopDist(m.nodeOf[e.From], m.nodeOf[e.To]))
+	}
+	return cost
+}
+
+// String renders the mesh with core names, row by row.
+func (m *Mapping) String() string {
+	t := m.prob.Topo
+	var b strings.Builder
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			v := m.coreAt[t.Node(x, y)]
+			name := "."
+			if v >= 0 {
+				name = m.prob.App.Cores[v]
+			}
+			fmt.Fprintf(&b, "%-14s", name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/mcf"
+)
+
+// MinBandwidthSinglePath returns the minimum uniform link bandwidth able
+// to carry the mapping's traffic under NMAP's congestion-aware single
+// minimum-path routing: the maximum link load produced by the router.
+func (p *Problem) MinBandwidthSinglePath(m *Mapping) float64 {
+	return p.RouteSinglePath(m).MaxLoad
+}
+
+// MinBandwidthXY is the same metric under dimension-ordered routing
+// (the DPMAP/DGMAP rows of Figure 4).
+func (p *Problem) MinBandwidthXY(m *Mapping) float64 {
+	return p.RouteXY(m).MaxLoad
+}
+
+// MinBandwidthSplit computes the minimum uniform link bandwidth needed
+// when traffic may be split (the NMAPTM/NMAPTA rows of Figure 4) by
+// solving the min-congestion multi-commodity flow program.
+func (p *Problem) MinBandwidthSplit(m *Mapping, mode SplitMode) (float64, error) {
+	cs := p.Commodities(m)
+	r, err := mcf.SolveMinCongestion(p.Topo, cs, p.mcfOptions(mode, cs))
+	if err != nil {
+		return 0, err
+	}
+	return r.Objective, nil
+}
+
+// MinBandwidthPerFlowSplit reports the per-flow link bandwidth
+// requirement under ideal splitting: the largest min-congestion value of
+// any single commodity routed alone. This is the provisioning metric of
+// the paper's Table 3 ("split BW"): the DSP's 600 MB/s stream split over
+// three disjoint minimal-capacity paths needs 200 MB/s per link.
+func (p *Problem) MinBandwidthPerFlowSplit(m *Mapping, mode SplitMode) (float64, error) {
+	worst := 0.0
+	for _, c := range p.Commodities(m) {
+		single := []mcf.Commodity{{K: 0, Src: c.Src, Dst: c.Dst, Demand: c.Demand}}
+		opt := mcf.Options{Mode: mcf.Aggregate}
+		if mode == SplitMinPaths {
+			opt = mcf.Options{Restrict: func(int) []int {
+				return p.Topo.QuadrantLinks(c.Src, c.Dst)
+			}}
+		}
+		r, err := mcf.SolveMinCongestion(p.Topo, single, opt)
+		if err != nil {
+			return 0, err
+		}
+		if r.Objective > worst {
+			worst = r.Objective
+		}
+	}
+	return worst, nil
+}

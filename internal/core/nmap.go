@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math"
+)
+
+// Initialize implements the paper's initialize() routine: the core with
+// maximum communication demand is placed on a mesh node with the maximum
+// number of neighbors; then, repeatedly, the unmapped core communicating
+// most with the mapped set is placed on the free node minimizing the
+// partial communication cost. All ties break toward lower IDs so results
+// are deterministic.
+func (p *Problem) Initialize() *Mapping {
+	s := p.App.Undirected() // S(A,B) = makeundirected(G(V,E))
+	m := NewMapping(p)
+	t := p.Topo
+
+	maxs, best := 0, -1.0
+	for v := 0; v < s.N(); v++ {
+		if c := s.VertexComm(v); c > best {
+			maxs, best = v, c
+		}
+	}
+	maxt := t.MaxDegreeNode()
+	if err := m.Place(maxs, maxt); err != nil {
+		panic("core: initialize failed to seed mapping: " + err.Error())
+	}
+
+	for placed := 1; placed < p.App.N(); placed++ {
+		// nexts: unmapped core with max communication to mapped cores.
+		nexts, bestComm := -1, -1.0
+		for v := 0; v < s.N(); v++ {
+			if m.nodeOf[v] != -1 {
+				continue
+			}
+			comm := 0.0
+			for _, e := range s.Out(v) {
+				if m.nodeOf[e.To] != -1 {
+					comm += e.Weight
+				}
+			}
+			if comm > bestComm {
+				nexts, bestComm = v, comm
+			}
+		}
+		// nextt: free node minimizing sum(comm * hop distance) to the
+		// mapped neighbors of nexts. Cost ties prefer higher-degree nodes
+		// (more room for future neighbors), then lower IDs.
+		nextt, bestCost := -1, math.Inf(1)
+		for u := 0; u < t.N(); u++ {
+			if m.coreAt[u] != -1 {
+				continue
+			}
+			cost := 0.0
+			for _, e := range s.Out(nexts) {
+				if w := m.nodeOf[e.To]; w != -1 {
+					cost += e.Weight * float64(t.HopDist(u, w))
+				}
+			}
+			if cost < bestCost || (cost == bestCost && nextt >= 0 && t.Degree(u) > t.Degree(nextt)) {
+				nextt, bestCost = u, cost
+			}
+		}
+		if err := m.Place(nexts, nextt); err != nil {
+			panic("core: initialize failed to place core: " + err.Error())
+		}
+	}
+	return m
+}
+
+// SinglePathResult is the outcome of MapSinglePath.
+type SinglePathResult struct {
+	Mapping *Mapping
+	Route   *RouteResult
+	// Swaps is the number of pairwise swap evaluations performed.
+	Swaps int
+}
+
+// MapSinglePath implements mappingwithsinglepath(): initialization
+// followed by one full pass of pairwise swap refinement, re-running the
+// shortest-path routing for every candidate and committing the best
+// mapping after each outer-index sweep (faithful to the pseudocode).
+//
+// When every link's bandwidth is at least the application's total traffic,
+// any routing is feasible, so candidate evaluation uses Eq. 7 directly and
+// the (identical) routed result is computed once at the end. This exact
+// shortcut keeps large Table 2 runs fast without changing results.
+func (p *Problem) MapSinglePath() *SinglePathResult {
+	placed := p.Initialize()
+	relaxed := p.bandwidthUnconstrained()
+
+	evalCost := func(m *Mapping) float64 {
+		if relaxed {
+			return m.CommCost()
+		}
+		return p.RouteSinglePath(m).Cost
+	}
+
+	bestCost := evalCost(placed)
+	bestMapping := placed.Clone()
+	swaps := 0
+	n := p.Topo.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if placed.coreAt[i] == -1 && placed.coreAt[j] == -1 {
+				continue // swapping two holes changes nothing
+			}
+			tmp := placed.Clone()
+			tmp.Swap(i, j)
+			swaps++
+			if c := evalCost(tmp); c < bestCost {
+				bestCost = c
+				bestMapping = tmp
+			}
+		}
+		placed = bestMapping.Clone()
+	}
+	return &SinglePathResult{
+		Mapping: bestMapping,
+		Route:   p.RouteSinglePath(bestMapping),
+		Swaps:   swaps,
+	}
+}
+
+// bandwidthUnconstrained reports whether every link can carry the entire
+// application traffic, making any minimum-path routing trivially feasible.
+func (p *Problem) bandwidthUnconstrained() bool {
+	total := p.App.TotalWeight()
+	for _, l := range p.Topo.Links() {
+		if l.BW < total {
+			return false
+		}
+	}
+	return true
+}
+
+// GreedyMapping exposes the initialization phase on its own: it is both
+// NMAP's phase one and (paired with plain routing) the greedy GMAP
+// baseline's placement order.
+func (p *Problem) GreedyMapping() *Mapping { return p.Initialize() }

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// randomProblem builds a problem from a seeded random application on its
+// fitted mesh with unconstrained links.
+func randomProblem(t *testing.T, cores int, seed int64) *Problem {
+	t.Helper()
+	cg, err := graph.RandomCoreGraph(graph.DefaultRandomConfig(cores, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := topology.FitMesh(cores)
+	topo, err := topology.NewMesh(w, h, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(cg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestNMAPValidOnRandomApps checks the full pipeline on random inputs:
+// the mapping is a complete bijection, the swap pass never worsens the
+// greedy cost, and the routed link loads sum to the Eq. 7 cost.
+func TestNMAPValidOnRandomApps(t *testing.T) {
+	f := func(seedRaw int64, sizeRaw uint8) bool {
+		cores := 6 + int(sizeRaw%18)
+		p := randomProblem(t, cores, seedRaw)
+		init := p.Initialize()
+		if !init.Complete() || !init.Valid() {
+			return false
+		}
+		res := p.MapSinglePath()
+		if !res.Mapping.Complete() || !res.Mapping.Valid() {
+			return false
+		}
+		if res.Mapping.CommCost() > init.CommCost()+1e-9 {
+			return false
+		}
+		sum := 0.0
+		for _, l := range res.Route.Loads {
+			sum += l
+		}
+		return math.Abs(sum-res.Route.Cost) < 1e-6*math.Max(1, res.Route.Cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeuristicRoutingNearOptimalOnRandomApps samples the paper's 10%
+// claim over random applications (with a small optimality-search budget;
+// instances where the budget expires are skipped rather than failed).
+func TestHeuristicRoutingNearOptimalOnRandomApps(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 8; seed++ {
+		p := randomProblem(t, 10, seed)
+		m := p.MapSinglePath().Mapping
+		gap, exact := p.HeuristicRoutingGap(m, 500000)
+		if !exact {
+			continue
+		}
+		checked++
+		if gap > 1.25 {
+			t.Errorf("seed %d: routing gap %.3f (paper reports ~1.10 on its benchmarks)", seed, gap)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no instance solved exactly within budget")
+	}
+}
+
+// TestSplitNeverNeedsMoreBandwidthOnRandomApps: for any mapping, the
+// min-congestion split bandwidth is at most the single-path bandwidth,
+// and the min-path-restricted value sits between them.
+func TestSplitNeverNeedsMoreBandwidthOnRandomApps(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		p := randomProblem(t, 8, seed)
+		m := p.MapSinglePath().Mapping
+		single := p.MinBandwidthSinglePath(m)
+		tm, err := p.MinBandwidthSplit(m, SplitMinPaths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, err := p.MinBandwidthSplit(m, SplitAllPaths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tm > single+1e-6 || ta > tm+1e-6 {
+			t.Errorf("seed %d: ordering violated: single=%g tm=%g ta=%g", seed, single, tm, ta)
+		}
+	}
+}
+
+// TestTorusProblemEndToEnd exercises the full pipeline on a torus (the
+// paper's "mesh/torus" scope).
+func TestTorusProblemEndToEnd(t *testing.T) {
+	cg, err := graph.RandomCoreGraph(graph.DefaultRandomConfig(12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.NewTorus(4, 3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(cg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.MapSinglePath()
+	if !res.Route.Feasible || !res.Mapping.Complete() {
+		t.Fatal("torus mapping failed")
+	}
+	// Wraparound shortens distances: the same app on a 4x3 mesh cannot
+	// beat the torus cost.
+	meshTopo, _ := topology.NewMesh(4, 3, 1e9)
+	pm, _ := NewProblem(cg, meshTopo)
+	if res.Mapping.CommCost() > pm.MapSinglePath().Mapping.CommCost()+1e-9 {
+		t.Fatal("torus cost worse than mesh cost")
+	}
+	ta, err := p.MinBandwidthSplit(res.Mapping, SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta <= 0 || ta > res.Route.MaxLoad+1e-6 {
+		t.Fatalf("torus split bandwidth %g out of range (single %g)", ta, res.Route.MaxLoad)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// RouteResult is the outcome of the shortestpath() routine: a single
+// minimum path per commodity chosen congestion-aware, the resulting link
+// loads, and the Eq. 7 communication cost (infinite when the bandwidth
+// constraints of Inequality 3 are violated).
+type RouteResult struct {
+	Feasible bool
+	Cost     float64   // Eq. 7 comm cost; +Inf when infeasible
+	Loads    []float64 // per-link total bandwidth
+	Paths    [][]int   // per commodity: node sequence source..dest
+	MaxLoad  float64   // maximum link load (the minimum uniform BW needed)
+}
+
+// RouteSinglePath implements the paper's shortestpath() routine on a fixed
+// mapping. Traffic between cores mapped to adjacent nodes is pre-routed on
+// the direct link (seeding the link weights); remaining commodities are
+// routed in decreasing bandwidth order by Dijkstra over the commodity's
+// quadrant graph with edge cost equal to the current link load, restricted
+// to links that move toward the destination (so every route is a minimum
+// path and ties favor the least congested one). Link weights are increased
+// after each commodity.
+func (p *Problem) RouteSinglePath(m *Mapping) *RouteResult {
+	t := p.Topo
+	nl := t.NumLinks()
+	loads := make([]float64, nl)
+	ds := p.App.Commodities()
+	paths := make([][]int, len(ds))
+
+	// Pre-route adjacent pairs ("initialize edge weights of Placed with
+	// total comm BW for adj nodes").
+	var rest []graph.Commodity
+	for _, d := range ds {
+		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]
+		if id := t.LinkID(src, dst); id >= 0 {
+			loads[id] += d.Value
+			paths[d.K] = []int{src, dst}
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	// Route remaining commodities in decreasing bandwidth order.
+	for _, d := range graph.SortedByValue(rest) {
+		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]
+		in := t.Quadrant(src, dst)
+		w := func(e graph.Edge) float64 {
+			id := t.LinkID(e.From, e.To)
+			// Only forward links inside the quadrant keep the route on a
+			// minimum path.
+			if t.HopDist(e.To, dst) >= t.HopDist(e.From, dst) {
+				return math.Inf(1)
+			}
+			return loads[id]
+		}
+		path, _, ok := graph.Dijkstra(t.Graph(), src, dst, in, w)
+		if !ok {
+			// Cannot happen on a connected quadrant; guard anyway.
+			path = t.XYRoute(src, dst)
+		}
+		for _, id := range t.PathLinks(path) {
+			loads[id] += d.Value
+		}
+		paths[d.K] = path
+	}
+
+	res := &RouteResult{Loads: loads, Paths: paths, Feasible: true}
+	for _, l := range t.Links() {
+		if loads[l.ID] > res.MaxLoad {
+			res.MaxLoad = loads[l.ID]
+		}
+		if loads[l.ID] > l.BW+1e-9 {
+			res.Feasible = false
+		}
+	}
+	if res.Feasible {
+		res.Cost = m.CommCost()
+	} else {
+		res.Cost = math.Inf(1)
+	}
+	return res
+}
+
+// RouteXY routes every commodity with dimension-ordered routing and
+// returns the result (used for the DPMAP/DGMAP bandwidth comparison of
+// Figure 4). XY routes are minimal, so the cost equals Eq. 7 when feasible.
+func (p *Problem) RouteXY(m *Mapping) *RouteResult {
+	t := p.Topo
+	loads := make([]float64, t.NumLinks())
+	ds := p.App.Commodities()
+	paths := make([][]int, len(ds))
+	for _, d := range ds {
+		path := t.XYRoute(m.nodeOf[d.Src], m.nodeOf[d.Dst])
+		for _, id := range t.PathLinks(path) {
+			loads[id] += d.Value
+		}
+		paths[d.K] = path
+	}
+	res := &RouteResult{Loads: loads, Paths: paths, Feasible: true}
+	for _, l := range t.Links() {
+		if loads[l.ID] > res.MaxLoad {
+			res.MaxLoad = loads[l.ID]
+		}
+		if loads[l.ID] > l.BW+1e-9 {
+			res.Feasible = false
+		}
+	}
+	if res.Feasible {
+		res.Cost = m.CommCost()
+	} else {
+		res.Cost = math.Inf(1)
+	}
+	return res
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mcf"
+)
+
+// SplitMode selects how traffic may be split across paths.
+type SplitMode int
+
+const (
+	// SplitAllPaths lets every commodity use every link (NMAPTA).
+	SplitAllPaths SplitMode = iota
+	// SplitMinPaths restricts each commodity to the forward links of its
+	// source/destination quadrant (Eq. 10), so all used paths are minimum
+	// paths and packets see equal hop delay (NMAPTM).
+	SplitMinPaths
+)
+
+// String names the splitting regime.
+func (s SplitMode) String() string {
+	switch s {
+	case SplitAllPaths:
+		return "all-paths"
+	case SplitMinPaths:
+		return "min-paths"
+	default:
+		return fmt.Sprintf("SplitMode(%d)", int(s))
+	}
+}
+
+// mcfOptions builds the solver options for the given mode and mapping.
+func (p *Problem) mcfOptions(mode SplitMode, cs []mcf.Commodity) mcf.Options {
+	if mode == SplitMinPaths {
+		return mcf.Options{Restrict: func(k int) []int {
+			return p.Topo.QuadrantLinks(cs[k].Src, cs[k].Dst)
+		}}
+	}
+	return mcf.Options{Mode: mcf.Aggregate}
+}
+
+// SplitRouteResult is the outcome of routing a fixed mapping with traffic
+// splitting.
+type SplitRouteResult struct {
+	Feasible bool
+	// Cost is the MCF2 objective: total flow over all links, the paper's
+	// split-routing communication cost. +Inf when infeasible.
+	Cost float64
+	// Slack is the MCF1 objective: total bandwidth violation; 0 when the
+	// constraints can be satisfied by splitting.
+	Slack float64
+	// Flows[k][l] is commodity k's bandwidth on link l (from MCF2 when
+	// feasible, otherwise from MCF1).
+	Flows [][]float64
+	// Loads is the per-link total bandwidth.
+	Loads []float64
+}
+
+// RouteSplit evaluates a fixed mapping under split-traffic routing: MCF1
+// first to measure constraint violation, then MCF2 for the routed cost
+// when feasible.
+func (p *Problem) RouteSplit(m *Mapping, mode SplitMode) (*SplitRouteResult, error) {
+	cs := p.Commodities(m)
+	opt := p.mcfOptions(mode, cs)
+	r1, err := mcf.SolveMCF1(p.Topo, cs, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &SplitRouteResult{Slack: r1.Objective}
+	if r1.Objective > slackTol {
+		res.Feasible = false
+		res.Cost = math.Inf(1)
+		res.Flows = r1.Flows
+		res.Loads = mcf.LinkLoads(p.Topo.NumLinks(), r1.Flows)
+		return res, nil
+	}
+	r2, err := mcf.SolveMCF2(p.Topo, cs, opt)
+	if err != nil {
+		return nil, err
+	}
+	if !r2.Feasible {
+		// MCF1 said feasible within tolerance but MCF2's hard constraints
+		// disagree; treat as infeasible and surface the MCF1 flows.
+		res.Feasible = false
+		res.Cost = math.Inf(1)
+		res.Flows = r1.Flows
+		res.Loads = mcf.LinkLoads(p.Topo.NumLinks(), r1.Flows)
+		return res, nil
+	}
+	res.Feasible = true
+	res.Cost = r2.Objective
+	res.Flows = r2.Flows
+	res.Loads = mcf.LinkLoads(p.Topo.NumLinks(), r2.Flows)
+	return res, nil
+}
+
+const slackTol = 1e-6
+
+// SplitResult is the outcome of MapWithSplitting.
+type SplitResult struct {
+	Mapping *Mapping
+	Route   *SplitRouteResult
+	// Swaps counts pairwise swap evaluations (MCF solves) performed.
+	Swaps int
+}
+
+// MapWithSplitting implements mappingwithsplitting(): starting from the
+// greedy initial mapping, pairwise swaps first minimize the MCF1 slack
+// until a bandwidth-feasible mapping appears, then minimize the MCF2 cost.
+// The best mapping is committed after each outer-index sweep, mirroring
+// the single-path refinement structure.
+func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
+	placed := p.Initialize()
+
+	slackOf := func(m *Mapping) (float64, error) {
+		cs := p.Commodities(m)
+		r, err := mcf.SolveMCF1(p.Topo, cs, p.mcfOptions(mode, cs))
+		if err != nil {
+			return 0, err
+		}
+		return r.Objective, nil
+	}
+	costOf := func(m *Mapping) (float64, error) {
+		cs := p.Commodities(m)
+		r, err := mcf.SolveMCF2(p.Topo, cs, p.mcfOptions(mode, cs))
+		if err != nil {
+			return 0, err
+		}
+		if !r.Feasible {
+			return math.Inf(1), nil
+		}
+		return r.Objective, nil
+	}
+
+	bestSlack, err := slackOf(placed)
+	if err != nil {
+		return nil, err
+	}
+	bestCost := math.Inf(1)
+	satisfied := false
+	bestMapping := placed.Clone()
+	if bestSlack <= slackTol {
+		satisfied = true
+		if bestCost, err = costOf(placed); err != nil {
+			return nil, err
+		}
+	}
+
+	swaps := 0
+	n := p.Topo.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if placed.coreAt[i] == -1 && placed.coreAt[j] == -1 {
+				continue
+			}
+			tmp := placed.Clone()
+			tmp.Swap(i, j)
+			swaps++
+			if !satisfied {
+				slack, err := slackOf(tmp)
+				if err != nil {
+					return nil, err
+				}
+				if slack <= slackTol {
+					satisfied = true
+					placed = tmp.Clone()
+					bestMapping = tmp
+					if bestCost, err = costOf(tmp); err != nil {
+						return nil, err
+					}
+				} else if slack < bestSlack {
+					bestSlack = slack
+					bestMapping = tmp
+				}
+			} else {
+				cost, err := costOf(tmp)
+				if err != nil {
+					return nil, err
+				}
+				if cost < bestCost {
+					bestCost = cost
+					bestMapping = tmp
+				}
+			}
+		}
+		placed = bestMapping.Clone()
+	}
+	route, err := p.RouteSplit(bestMapping, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &SplitResult{Mapping: bestMapping, Route: route, Swaps: swaps}, nil
+}

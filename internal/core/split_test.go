@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+func dspProblem(t *testing.T, bw float64) *Problem {
+	t.Helper()
+	a := apps.DSP()
+	topo, err := topology.NewMesh(a.W, a.H, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRouteSplitFeasibleMatchesEq7WhenUncongested(t *testing.T) {
+	p := dspProblem(t, 1e9)
+	m := p.Initialize()
+	for _, mode := range []SplitMode{SplitAllPaths, SplitMinPaths} {
+		r, err := p.RouteSplit(m, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Feasible || r.Slack > 1e-6 {
+			t.Fatalf("mode %v: infeasible with unlimited bandwidth", mode)
+		}
+		// With no congestion the optimal split cost equals the min-path
+		// cost (all flow on shortest paths).
+		if math.Abs(r.Cost-m.CommCost()) > 1e-3 {
+			t.Fatalf("mode %v: split cost %g != Eq.7 %g", mode, r.Cost, m.CommCost())
+		}
+	}
+}
+
+func TestRouteSplitInfeasibleReportsSlack(t *testing.T) {
+	p := dspProblem(t, 50) // hopeless: DSP needs 200 per link even split
+	m := p.Initialize()
+	r, err := p.RouteSplit(m, SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible {
+		t.Fatal("50 MB/s links cannot carry the DSP app")
+	}
+	if r.Slack <= 0 {
+		t.Fatalf("slack = %g, want > 0", r.Slack)
+	}
+	if !math.IsInf(r.Cost, 1) {
+		t.Fatal("infeasible cost must be +Inf")
+	}
+}
+
+func TestSplitModesOrdering(t *testing.T) {
+	// All-path splitting can never need more bandwidth than min-path
+	// splitting, which can never need more than single-path routing.
+	p := dspProblem(t, 1e9)
+	res := p.MapSinglePath()
+	m := res.Mapping
+
+	single := res.Route.MaxLoad
+	tm, err := p.MinBandwidthSplit(m, SplitMinPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := p.MinBandwidthSplit(m, SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm > single+1e-6 {
+		t.Fatalf("min-path split BW %g exceeds single path %g", tm, single)
+	}
+	if ta > tm+1e-6 {
+		t.Fatalf("all-path split BW %g exceeds min-path split %g", ta, tm)
+	}
+	if ta <= 0 || tm <= 0 {
+		t.Fatal("split bandwidths must be positive")
+	}
+}
+
+func TestDSPBandwidthMatchesPaperTable3(t *testing.T) {
+	// Table 3: single minimum-path needs 600 MB/s; splitting brings the
+	// per-flow link requirement down to 200 MB/s (600 over three disjoint
+	// paths between the mesh's two degree-3 nodes).
+	p := dspProblem(t, 1e9)
+	res := p.MapSinglePath()
+	if got := res.Route.MaxLoad; math.Abs(got-600) > 1e-6 {
+		t.Fatalf("single-path min BW = %g, want 600", got)
+	}
+	perFlow, err := p.MinBandwidthPerFlowSplit(res.Mapping, SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perFlow-200) > 1e-4 {
+		t.Fatalf("per-flow split BW = %g, want 200", perFlow)
+	}
+}
+
+func TestMapWithSplittingFindsFeasibleMapping(t *testing.T) {
+	// Link bandwidth 400 < hottest DSP edge (600): single-path routing of
+	// the 600 MB/s edges is impossible on any single link, but splitting
+	// fits. MapWithSplitting must return a feasible mapping.
+	p := dspProblem(t, 400)
+	res, err := p.MapWithSplitting(SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Route.Feasible {
+		t.Fatalf("expected feasible split mapping, slack=%g", res.Route.Slack)
+	}
+	if !res.Mapping.Valid() || !res.Mapping.Complete() {
+		t.Fatal("invalid mapping")
+	}
+	loads := res.Route.Loads
+	for l, ld := range loads {
+		if ld > 400+1e-4 {
+			t.Fatalf("link %d overloaded: %g", l, ld)
+		}
+	}
+	if res.Swaps == 0 {
+		t.Fatal("no swap evaluations recorded")
+	}
+}
+
+func TestMapWithSplittingMinPathsKeepsMinimalHops(t *testing.T) {
+	// Min-path splitting is more constrained than all-path splitting:
+	// brute force over all 720 DSP mappings shows the quadrant-restricted
+	// program needs 500 MB/s links (vs 400 for all-path splitting).
+	p := dspProblem(t, 500)
+	res, err := p.MapWithSplitting(SplitMinPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Route.Feasible {
+		t.Fatalf("expected feasible, slack=%g", res.Route.Slack)
+	}
+	cs := p.Commodities(res.Mapping)
+	for ki, c := range cs {
+		for l, f := range res.Route.Flows[ki] {
+			if f <= 1e-6 {
+				continue
+			}
+			lk := p.Topo.Link(l)
+			if p.Topo.HopDist(lk.To, c.Dst) >= p.Topo.HopDist(lk.From, c.Dst) {
+				t.Fatalf("commodity %d uses non-minimal link %d->%d", ki, lk.From, lk.To)
+			}
+		}
+	}
+}
+
+func TestSplitFlowsConserve(t *testing.T) {
+	p := dspProblem(t, 400)
+	res, err := p.MapWithSplitting(SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := p.Commodities(res.Mapping)
+	if v := mcf.CheckConservation(p.Topo, cs, res.Route.Flows); v > 1e-4 {
+		t.Fatalf("conservation violated by %g", v)
+	}
+}
+
+func TestSplitModeString(t *testing.T) {
+	if SplitAllPaths.String() != "all-paths" || SplitMinPaths.String() != "min-paths" {
+		t.Fatal("SplitMode strings wrong")
+	}
+}

@@ -1,0 +1,93 @@
+// Package energy implements the bit-energy model of Hu–Marculescu [8],
+// the objective the PBB baseline originally optimized and the basis for
+// the paper's argument that "by allocating higher bandwidth across the
+// links of the NoC, more energy is dissipated". Sending one bit across
+// one hop costs the switch energy at both ends plus the link energy:
+//
+//	E_bit(hops) = (hops + 1) * E_Sbit + hops * E_Lbit
+//
+// so a mapping's communication energy is the bandwidth-weighted sum over
+// commodities. Because the hop-dependent part is proportional to the
+// paper's Eq. 7 cost, minimizing communication cost minimizes energy —
+// the reason Figure 3's cost ranking carries over to energy.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcf"
+)
+
+// Model holds per-bit energy parameters. Values are in picojoules per
+// bit; the defaults follow the 0.18um-class figures used in [8]-era
+// studies.
+type Model struct {
+	ESbit float64 // energy per bit through one switch, pJ
+	ELbit float64 // energy per bit across one link, pJ
+}
+
+// DefaultModel returns the reference parameters.
+func DefaultModel() Model {
+	return Model{ESbit: 0.43, ELbit: 0.17}
+}
+
+// BitEnergy returns the energy (pJ) to move one bit across hops links.
+func (md Model) BitEnergy(hops int) float64 {
+	if hops < 0 {
+		return 0
+	}
+	return float64(hops+1)*md.ESbit + float64(hops)*md.ELbit
+}
+
+// MappingPower computes the communication power of a mapping in mW,
+// assuming every commodity travels its minimal-hop route: bandwidths are
+// MB/s, so power = sum(bw * 8e6 bits/s * E_bit) * 1e-12 J/pJ * 1e3 mW/W.
+func MappingPower(p *core.Problem, m *core.Mapping, md Model) float64 {
+	pJPerSec := 0.0
+	for _, e := range p.App.Edges() {
+		hops := p.Topo.HopDist(m.NodeOf(e.From), m.NodeOf(e.To))
+		pJPerSec += e.Weight * 8e6 * md.BitEnergy(hops)
+	}
+	return pJPerSec * 1e-12 * 1e3
+}
+
+// FlowPower computes the communication power (mW) of a split-traffic
+// routing from its per-commodity link flows: each unit of flow crossing
+// a link pays one link plus one downstream switch traversal, and each
+// commodity pays one extra switch (injection).
+func FlowPower(p *core.Problem, cs []mcf.Commodity, flows [][]float64, md Model) (float64, error) {
+	if len(cs) != len(flows) {
+		return 0, fmt.Errorf("energy: %d commodities but %d flow rows", len(cs), len(flows))
+	}
+	pJPerSec := 0.0
+	for k, c := range cs {
+		onLinks := 0.0
+		for _, f := range flows[k] {
+			onLinks += f
+		}
+		pJPerSec += onLinks*8e6*(md.ESbit+md.ELbit) + c.Demand*8e6*md.ESbit
+	}
+	return pJPerSec * 1e-12 * 1e3, nil
+}
+
+// Report compares the power of a set of named mappings under the model;
+// used by the energy ablation bench.
+type Report struct {
+	Name    string
+	PowerMW float64
+}
+
+// Compare evaluates each mapping's power and returns reports in input
+// order.
+func Compare(p *core.Problem, md Model, named map[string]*core.Mapping, order []string) []Report {
+	out := make([]Report, 0, len(order))
+	for _, name := range order {
+		m, ok := named[name]
+		if !ok {
+			continue
+		}
+		out = append(out, Report{Name: name, PowerMW: MappingPower(p, m, md)})
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+func TestBitEnergy(t *testing.T) {
+	md := Model{ESbit: 0.4, ELbit: 0.1}
+	if got := md.BitEnergy(0); got != 0.4 {
+		t.Fatalf("0 hops = %g, want 0.4 (one switch)", got)
+	}
+	if got := md.BitEnergy(2); math.Abs(got-(3*0.4+2*0.1)) > 1e-12 {
+		t.Fatalf("2 hops = %g", got)
+	}
+	if md.BitEnergy(-1) != 0 {
+		t.Fatal("negative hops should cost nothing")
+	}
+}
+
+func TestMappingPowerTracksCommCost(t *testing.T) {
+	// With ELbit+ESbit as the per-hop increment, power is an affine
+	// function of Eq. 7 cost: the cost ranking of Figure 3 must carry
+	// over to the energy ranking.
+	a := apps.VOPD()
+	topo, _ := topology.NewMesh(a.W, a.H, 1e9)
+	p, _ := core.NewProblem(a.Graph, topo)
+	md := DefaultModel()
+
+	nmap := p.MapSinglePath().Mapping
+	gmap := baseline.GMAP(p)
+	pmap := baseline.PMAP(p)
+
+	type pair struct {
+		cost, power float64
+	}
+	var ps []pair
+	for _, m := range []*core.Mapping{nmap, gmap, pmap} {
+		ps = append(ps, pair{m.CommCost(), MappingPower(p, m, md)})
+	}
+	for i := 0; i < len(ps); i++ {
+		for j := i + 1; j < len(ps); j++ {
+			if (ps[i].cost < ps[j].cost) != (ps[i].power < ps[j].power) &&
+				ps[i].cost != ps[j].cost {
+				t.Fatalf("energy ranking diverges from cost ranking: %+v vs %+v", ps[i], ps[j])
+			}
+		}
+	}
+	// Affine relation exactly: power = (total*ESbit + cost*(ESbit+ELbit)) * 8e6 * 1e-9.
+	total := a.Graph.TotalWeight()
+	for _, q := range ps {
+		want := (total*md.ESbit + q.cost*(md.ESbit+md.ELbit)) * 8e6 * 1e-9
+		if math.Abs(q.power-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("power = %g, want %g", q.power, want)
+		}
+	}
+}
+
+func TestFlowPowerMatchesMappingPowerOnMinPaths(t *testing.T) {
+	// When the MCF routes everything on minimal paths (no congestion),
+	// flow power equals the closed-form mapping power.
+	a := apps.DSP()
+	topo, _ := topology.NewMesh(a.W, a.H, 1e9)
+	p, _ := core.NewProblem(a.Graph, topo)
+	m := p.MapSinglePath().Mapping
+	cs := p.Commodities(m)
+	r, err := mcf.SolveMCF2(topo, cs, mcf.Options{Mode: mcf.Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := DefaultModel()
+	fp, err := FlowPower(p, cs, r.Flows, md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := MappingPower(p, m, md)
+	if math.Abs(fp-mp) > 1e-6*mp {
+		t.Fatalf("flow power %g != mapping power %g", fp, mp)
+	}
+}
+
+func TestFlowPowerValidation(t *testing.T) {
+	a := apps.DSP()
+	topo, _ := topology.NewMesh(a.W, a.H, 1e9)
+	p, _ := core.NewProblem(a.Graph, topo)
+	if _, err := FlowPower(p, make([]mcf.Commodity, 2), nil, DefaultModel()); err == nil {
+		t.Fatal("mismatched rows accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := apps.PIP()
+	topo, _ := topology.NewMesh(a.W, a.H, 1e9)
+	p, _ := core.NewProblem(a.Graph, topo)
+	named := map[string]*core.Mapping{
+		"nmap": p.MapSinglePath().Mapping,
+		"gmap": baseline.GMAP(p),
+	}
+	rep := Compare(p, DefaultModel(), named, []string{"nmap", "gmap", "missing"})
+	if len(rep) != 2 {
+		t.Fatalf("reports = %d, want 2", len(rep))
+	}
+	if rep[0].Name != "nmap" || rep[0].PowerMW <= 0 {
+		t.Fatalf("bad report %+v", rep[0])
+	}
+	if rep[0].PowerMW > rep[1].PowerMW+1e-12 {
+		t.Fatalf("NMAP power %g exceeds GMAP %g", rep[0].PowerMW, rep[1].PowerMW)
+	}
+}

@@ -1,0 +1,176 @@
+// Package explore implements the paper's concluding extension: "the
+// approach can be extended to map cores onto various NoC topologies for
+// fast and efficient design space exploration for NoC topology
+// selection". It sweeps a set of candidate topologies, maps the
+// application with NMAP on each, and scores the resulting designs by
+// communication cost, required bandwidth, silicon area and communication
+// power, so a designer can pick the cheapest topology that meets a
+// bandwidth budget.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/topology"
+	"repro/internal/xpipes"
+)
+
+// Candidate names one topology to evaluate.
+type Candidate struct {
+	Kind topology.Kind
+	W, H int
+}
+
+// String renders the candidate as "WxH kind".
+func (c Candidate) String() string {
+	return fmt.Sprintf("%dx%d %s", c.W, c.H, c.Kind)
+}
+
+// DefaultCandidates returns the meshes and tori able to hold n cores,
+// from the tightest fit up to one row/column of slack in each dimension.
+func DefaultCandidates(n int) []Candidate {
+	w, h := topology.FitMesh(n)
+	var cs []Candidate
+	seen := map[Candidate]bool{}
+	add := func(c Candidate) {
+		if c.W*c.H >= n && c.W >= c.H && !seen[c] && c.W*c.H >= 2 {
+			seen[c] = true
+			cs = append(cs, c)
+		}
+	}
+	for _, dims := range [][2]int{{w, h}, {w + 1, h}, {w, h + 1}, {w + 1, h + 1}, {n, 1}} {
+		a, b := dims[0], dims[1]
+		if a < b {
+			a, b = b, a
+		}
+		add(Candidate{Kind: topology.MeshKind, W: a, H: b})
+		add(Candidate{Kind: topology.TorusKind, W: a, H: b})
+	}
+	return cs
+}
+
+// Design is one evaluated point of the design space.
+type Design struct {
+	Candidate Candidate
+	// CommCost is the Eq. 7 cost of the NMAP mapping.
+	CommCost float64
+	// MinBW is the uniform link bandwidth required under single
+	// minimum-path routing; MinBWSplit under all-path splitting.
+	MinBW      float64
+	MinBWSplit float64
+	// AreaMM2 is the silicon area from the component library.
+	AreaMM2 float64
+	// PowerMW is the communication power under the bit-energy model.
+	PowerMW float64
+	// Feasible reports whether MinBW fits the bandwidth budget (when one
+	// was set in Options).
+	Feasible bool
+}
+
+// Options configures the sweep.
+type Options struct {
+	Candidates []Candidate // nil = DefaultCandidates
+	// BandwidthBudget, when positive, marks designs needing more
+	// single-path link bandwidth than this (MB/s) infeasible.
+	BandwidthBudget float64
+	// SplitRouting evaluates feasibility against the split-traffic
+	// bandwidth requirement instead of the single-path one.
+	SplitRouting bool
+	Library      xpipes.Library
+	Energy       energy.Model
+}
+
+// Sweep evaluates every candidate topology for the application and
+// returns the designs sorted by communication cost (feasible first).
+func Sweep(app *graph.CoreGraph, opt Options) ([]Design, error) {
+	if app == nil || app.N() == 0 {
+		return nil, fmt.Errorf("explore: empty application")
+	}
+	cands := opt.Candidates
+	if cands == nil {
+		cands = DefaultCandidates(app.N())
+	}
+	if opt.Library == (xpipes.Library{}) {
+		opt.Library = xpipes.DefaultLibrary()
+	}
+	if opt.Energy == (energy.Model{}) {
+		opt.Energy = energy.DefaultModel()
+	}
+	var out []Design
+	for _, c := range cands {
+		var topo *topology.Topology
+		var err error
+		if c.Kind == topology.TorusKind {
+			topo, err = topology.NewTorus(c.W, c.H, app.TotalWeight()*10)
+		} else {
+			topo, err = topology.NewMesh(c.W, c.H, app.TotalWeight()*10)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("explore: %s: %w", c, err)
+		}
+		p, err := core.NewProblem(app, topo)
+		if err != nil {
+			return nil, fmt.Errorf("explore: %s: %w", c, err)
+		}
+		res := p.MapSinglePath()
+		d := Design{
+			Candidate: c,
+			CommCost:  res.Mapping.CommCost(),
+			MinBW:     res.Route.MaxLoad,
+			PowerMW:   energy.MappingPower(p, res.Mapping, opt.Energy),
+		}
+		if d.MinBWSplit, err = p.MinBandwidthSplit(res.Mapping, core.SplitAllPaths); err != nil {
+			return nil, fmt.Errorf("explore: %s: %w", c, err)
+		}
+		d.AreaMM2 = float64(topo.N())*opt.Library.Router.AreaMM2 +
+			float64(app.N())*opt.Library.NI.AreaMM2
+		need := d.MinBW
+		if opt.SplitRouting {
+			need = d.MinBWSplit
+		}
+		d.Feasible = opt.BandwidthBudget <= 0 || need <= opt.BandwidthBudget+1e-9
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		if out[i].CommCost != out[j].CommCost {
+			return out[i].CommCost < out[j].CommCost
+		}
+		return out[i].AreaMM2 < out[j].AreaMM2
+	})
+	return out, nil
+}
+
+// Best returns the top feasible design, or an error when the budget rules
+// out every candidate.
+func Best(designs []Design) (Design, error) {
+	for _, d := range designs {
+		if d.Feasible {
+			return d, nil
+		}
+	}
+	return Design{}, fmt.Errorf("explore: no candidate meets the bandwidth budget")
+}
+
+// Format renders the design table.
+func Format(designs []Design) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %10s %12s %9s %9s %5s\n",
+		"topology", "cost", "minBW", "minBW(split)", "area", "power", "ok")
+	for _, d := range designs {
+		ok := "yes"
+		if !d.Feasible {
+			ok = "no"
+		}
+		fmt.Fprintf(&b, "%-14s %10.0f %10.0f %12.0f %8.2f %8.1f %5s\n",
+			d.Candidate, d.CommCost, d.MinBW, d.MinBWSplit, d.AreaMM2, d.PowerMW, ok)
+	}
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/topology"
+)
+
+func TestDefaultCandidates(t *testing.T) {
+	cs := DefaultCandidates(16)
+	if len(cs) == 0 {
+		t.Fatal("no candidates")
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if c.W*c.H < 16 {
+			t.Errorf("candidate %s too small", c)
+		}
+		if c.W < c.H {
+			t.Errorf("candidate %s not normalized", c)
+		}
+		if seen[c.String()] {
+			t.Errorf("duplicate candidate %s", c)
+		}
+		seen[c.String()] = true
+	}
+	// Both kinds must appear.
+	var mesh, torus bool
+	for _, c := range cs {
+		switch c.Kind {
+		case topology.MeshKind:
+			mesh = true
+		case topology.TorusKind:
+			torus = true
+		}
+	}
+	if !mesh || !torus {
+		t.Fatalf("missing kinds: mesh=%v torus=%v", mesh, torus)
+	}
+}
+
+func TestSweepPIP(t *testing.T) {
+	a := apps.PIP()
+	designs, err := Sweep(a.Graph, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) < 4 {
+		t.Fatalf("only %d designs", len(designs))
+	}
+	for _, d := range designs {
+		if d.CommCost <= 0 || d.MinBW <= 0 || d.AreaMM2 <= 0 || d.PowerMW <= 0 {
+			t.Errorf("%s: non-positive metrics %+v", d.Candidate, d)
+		}
+		if d.MinBWSplit > d.MinBW+1e-6 {
+			t.Errorf("%s: split BW %g above single-path %g", d.Candidate, d.MinBWSplit, d.MinBW)
+		}
+		if !d.Feasible {
+			t.Errorf("%s: infeasible without a budget", d.Candidate)
+		}
+	}
+	// Sorted by cost.
+	for i := 1; i < len(designs); i++ {
+		if designs[i-1].CommCost > designs[i].CommCost+1e-9 {
+			t.Fatal("designs not sorted by cost")
+		}
+	}
+}
+
+func TestTorusNeverWorseThanMeshOnCost(t *testing.T) {
+	// A torus has strictly more links than the same-size mesh, so the
+	// NMAP cost on the torus cannot exceed the mesh cost by more than
+	// noise (hop distances only shrink). Compare like-for-like sizes.
+	a := apps.VOPD()
+	designs, err := Sweep(a.Graph, Options{Candidates: []Candidate{
+		{Kind: topology.MeshKind, W: 4, H: 4},
+		{Kind: topology.TorusKind, W: 4, H: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mesh, torus Design
+	for _, d := range designs {
+		if d.Candidate.Kind == topology.MeshKind {
+			mesh = d
+		} else {
+			torus = d
+		}
+	}
+	if torus.CommCost > mesh.CommCost+1e-9 {
+		t.Fatalf("torus cost %g worse than mesh %g", torus.CommCost, mesh.CommCost)
+	}
+}
+
+func TestBandwidthBudgetFiltersAndBestPicks(t *testing.T) {
+	a := apps.DSP()
+	designs, err := Sweep(a.Graph, Options{BandwidthBudget: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Best(designs); err == nil {
+		t.Fatal("100 MB/s budget cannot fit a 600 MB/s stream single-path")
+	}
+	designs, err = Sweep(a.Graph, Options{BandwidthBudget: 650})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.MinBW > 650 {
+		t.Fatalf("best design needs %g MB/s over budget", best.MinBW)
+	}
+	// With split routing allowed, a 250 MB/s budget becomes feasible for
+	// some topology (the 600 stream splits three ways on a 3x2 mesh).
+	designs, err = Sweep(a.Graph, Options{BandwidthBudget: 250, SplitRouting: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Best(designs); err != nil {
+		t.Fatalf("split routing should fit 250 MB/s: %v", err)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := Sweep(nil, Options{}); err == nil {
+		t.Fatal("nil app accepted")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	a := apps.PIP()
+	designs, err := Sweep(a.Graph, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(designs)
+	if !strings.Contains(out, "topology") || !strings.Contains(out, "mesh") {
+		t.Fatalf("unexpected format:\n%s", out)
+	}
+}

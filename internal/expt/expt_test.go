@@ -1,0 +1,193 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+)
+
+func TestFig3ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Headline claim: NMAP and PBB perform well on every app compared
+		// to PMAP and GMAP.
+		if r.NMAP > r.GMAP+1e-9 {
+			t.Errorf("%s: NMAP %g > GMAP %g", r.App, r.NMAP, r.GMAP)
+		}
+		if r.NMAP > r.PMAP+1e-9 {
+			t.Errorf("%s: NMAP %g > PMAP %g", r.App, r.NMAP, r.PMAP)
+		}
+		if r.PBB > r.GMAP+1e-9 {
+			t.Errorf("%s: PBB %g > GMAP %g (PBB starts from greedy)", r.App, r.PBB, r.GMAP)
+		}
+		for _, v := range []float64{r.PMAP, r.GMAP, r.PBB, r.NMAP} {
+			if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Errorf("%s: non-finite cost %g", r.App, v)
+			}
+		}
+	}
+	out := FormatFig3(rows)
+	if !strings.Contains(out, "VOPD") {
+		t.Error("format missing app names")
+	}
+}
+
+func TestFig4ShapeMatchesPaper(t *testing.T) {
+	rows, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Dimension-ordered routing needs at least as much bandwidth as
+		// congestion-aware minimum-path routing on the same mapping.
+		if r.PMAP > r.DPMAP+1e-6 {
+			t.Errorf("%s: min-path PMAP %g > dimension-ordered %g", r.App, r.PMAP, r.DPMAP)
+		}
+		if r.GMAP > r.DGMAP+1e-6 {
+			t.Errorf("%s: min-path GMAP %g > dimension-ordered %g", r.App, r.GMAP, r.DGMAP)
+		}
+		// Splitting can only reduce the bandwidth requirement.
+		if r.NMAPTM > r.NMAP+1e-6 {
+			t.Errorf("%s: NMAPTM %g > NMAP %g", r.App, r.NMAPTM, r.NMAP)
+		}
+		if r.NMAPTA > r.NMAPTM+1e-6 {
+			t.Errorf("%s: NMAPTA %g > NMAPTM %g", r.App, r.NMAPTA, r.NMAPTM)
+		}
+	}
+	out := FormatFig4(rows)
+	if !strings.Contains(out, "NMAPTA") {
+		t.Error("format missing column names")
+	}
+}
+
+func TestTable1RatiosExceedOne(t *testing.T) {
+	fig3, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table1(fig3, fig4)
+	var avgC, avgB float64
+	for _, r := range rows {
+		if r.Cstr < 1-1e-9 {
+			t.Errorf("%s: cost ratio %g < 1 (baselines beat NMAP?)", r.App, r.Cstr)
+		}
+		if r.Bwr < 1-1e-9 {
+			t.Errorf("%s: BW ratio %g < 1", r.App, r.Bwr)
+		}
+		avgC += r.Cstr
+		avgB += r.Bwr
+	}
+	avgC /= float64(len(rows))
+	avgB /= float64(len(rows))
+	// Paper averages: 1.47 cost, 2.13 BW. Require the qualitative claim:
+	// clear savings from NMAP + splitting.
+	if avgC < 1.05 {
+		t.Errorf("average cost ratio %.2f shows no savings", avgC)
+	}
+	if avgB < 1.3 {
+		t.Errorf("average BW ratio %.2f shows no splitting savings", avgB)
+	}
+	if out := FormatTable1(rows); !strings.Contains(out, "Avg") {
+		t.Error("format missing average row")
+	}
+}
+
+func TestTable2RatioGrowsWithSize(t *testing.T) {
+	cfg := Table2Config{
+		Sizes: []int{25, 45, 65},
+		Seed:  2004,
+		PBB:   baseline.PBBConfig{MaxQueue: 500, MaxExpand: 5000},
+	}
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: PBB is comparable to NMAP for small core counts
+	// and NMAP's advantage becomes significant as the number of cores
+	// scales up.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Ratio < 0.8 {
+		t.Errorf("at %d cores ratio %.2f: PBB should be comparable, not dominant", first.Cores, first.Ratio)
+	}
+	if last.Ratio < 1.1 {
+		t.Errorf("at %d cores ratio %.2f, want noticeable NMAP advantage", last.Cores, last.Ratio)
+	}
+	if last.Ratio <= first.Ratio {
+		t.Errorf("ratio did not grow with size: %.2f (%d cores) -> %.2f (%d cores)",
+			first.Ratio, first.Cores, last.Ratio, last.Cores)
+	}
+	if out := FormatTable2(rows); !strings.Contains(out, "cores") {
+		t.Error("format missing header")
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	d, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NIAreaMM2 != 0.6 || d.SwitchAreaMM2 != 1.08 || d.SwitchDelayCy != 7 || d.PacketBytes != 64 {
+		t.Errorf("library constants drifted: %+v", d)
+	}
+	if math.Abs(d.MinPathBW-600) > 1e-6 {
+		t.Errorf("minp BW = %g, want 600", d.MinPathBW)
+	}
+	if math.Abs(d.SplitBW-200) > 1e-4 {
+		t.Errorf("split BW = %g, want 200", d.SplitBW)
+	}
+	if d.TableOverhead >= 0.10 {
+		t.Errorf("table overhead %.1f%%, want < 10%%", d.TableOverhead*100)
+	}
+	if out := FormatTable3(d); !strings.Contains(out, "minp BW") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestFig5cShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := Fig5cConfig{
+		BandwidthsGBs: []float64{1.1, 1.4, 1.8},
+		Seed:          7,
+		MeasureCycles: 20000,
+	}
+	points, err := Fig5c(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		if !pt.MinPathOK || !pt.SplitOK {
+			t.Errorf("BW %.1f: simulation incomplete (minp=%v split=%v)",
+				pt.LinkBWGBs, pt.MinPathOK, pt.SplitOK)
+		}
+		if pt.MinPathLat <= 0 || pt.SplitLat <= 0 {
+			t.Errorf("BW %.1f: zero latency", pt.LinkBWGBs)
+		}
+	}
+	// Single-path latency must rise more sharply as bandwidth shrinks:
+	// the latency penalty of min-path routing at 1.1 GB/s must exceed its
+	// penalty at 1.8 GB/s by more than the split curve's change.
+	first, last := points[0], points[len(points)-1]
+	minpRise := first.MinPathLat - last.MinPathLat
+	splitRise := first.SplitLat - last.SplitLat
+	if minpRise <= splitRise {
+		t.Errorf("minp rise %.1f cycles vs split rise %.1f: single path should degrade faster",
+			minpRise, splitRise)
+	}
+	if out := FormatFig5c(points); !strings.Contains(out, "BW(GB/s)") {
+		t.Error("format missing header")
+	}
+}

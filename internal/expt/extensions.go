@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/noc"
+	"repro/internal/route"
+	"repro/internal/xpipes"
+)
+
+// ExtensionRow is one bandwidth point of the extended DSP study: latency
+// and jitter for single-path vs split routing, including the
+// below-requirement region where wormhole blocking blows up (the paper
+// stops at 1.1 GB/s; the non-linear regime it describes lives below).
+type ExtensionRow struct {
+	LinkBWGBs  float64
+	MinPathLat float64
+	SplitLat   float64
+	MinPathJit float64 // packet-count-weighted mean per-commodity jitter
+	SplitJit   float64
+	MinPathOK  bool
+	SplitOK    bool
+}
+
+// ExtensionConfig parameterizes the extended sweep.
+type ExtensionConfig struct {
+	BandwidthsGBs []float64
+	Seed          int64
+	MeasureCycles uint64
+}
+
+// DefaultExtensionConfig extends Fig. 5(c) down into the congestion knee.
+func DefaultExtensionConfig() ExtensionConfig {
+	return ExtensionConfig{
+		BandwidthsGBs: []float64{0.7, 0.8, 0.9, 1.0, 1.2, 1.5, 1.8},
+		Seed:          7,
+		MeasureCycles: 30000,
+	}
+}
+
+// Extension runs the extended DSP sweep with jitter measurement.
+func Extension(cfg ExtensionConfig) ([]ExtensionRow, error) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		return nil, err
+	}
+	res := p.MapSinglePath()
+	cs := p.Commodities(res.Mapping)
+	singleTab := route.FromSinglePaths(res.Route.Paths)
+	sol, err := mcf.SolveMinCongestion(topo, cs, mcf.Options{Mode: mcf.Aggregate})
+	if err != nil {
+		return nil, err
+	}
+	splitTab, err := route.FromFlows(topo, cs, sol.Flows)
+	if err != nil {
+		return nil, err
+	}
+	lib := xpipes.DefaultLibrary()
+	singleDesign, err := xpipes.Compile(p, res.Mapping, singleTab, lib)
+	if err != nil {
+		return nil, err
+	}
+	splitDesign, err := xpipes.Compile(p, res.Mapping, splitTab, lib)
+	if err != nil {
+		return nil, err
+	}
+	run := func(d *xpipes.Design, bw float64) (lat, jit float64, ok bool, err error) {
+		simCfg := d.SimConfig(bw, cfg.Seed)
+		simCfg.MeasureCycles = cfg.MeasureCycles
+		// Two-packet buffers keep the multipath wormhole network out of
+		// its deadlock-prone regime (DESIGN.md).
+		simCfg.BufferDepth = 2 * simCfg.PacketFlits()
+		st, err := noc.Run(simCfg)
+		if err != nil {
+			return 0, 0, false, err
+		}
+		total := 0
+		for _, pc := range st.PerCommodity {
+			jit += pc.Jitter * float64(pc.Delivered)
+			total += pc.Delivered
+		}
+		if total > 0 {
+			jit /= float64(total)
+		}
+		return st.AvgTotalLatency, jit, st.DrainedClean && !st.Stalled, nil
+	}
+	var rows []ExtensionRow
+	for _, gbs := range cfg.BandwidthsGBs {
+		bw := gbs * 1000
+		row := ExtensionRow{LinkBWGBs: gbs}
+		if row.MinPathLat, row.MinPathJit, row.MinPathOK, err = run(singleDesign, bw); err != nil {
+			return nil, err
+		}
+		if row.SplitLat, row.SplitJit, row.SplitOK, err = run(splitDesign, bw); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatExtension renders the extended sweep.
+func FormatExtension(rows []ExtensionRow) string {
+	var b strings.Builder
+	b.WriteString("Extension: DSP latency and jitter across the congestion knee\n")
+	fmt.Fprintf(&b, "%8s %11s %11s %11s %11s\n",
+		"BW(GB/s)", "minp lat", "split lat", "minp jit", "split jit")
+	for _, r := range rows {
+		flag := ""
+		if !r.MinPathOK || !r.SplitOK {
+			flag = "  (!)"
+		}
+		fmt.Fprintf(&b, "%8.1f %11.1f %11.1f %11.1f %11.1f%s\n",
+			r.LinkBWGBs, r.MinPathLat, r.SplitLat, r.MinPathJit, r.SplitJit, flag)
+	}
+	return b.String()
+}

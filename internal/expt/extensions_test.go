@@ -1,0 +1,50 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtensionSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := ExtensionConfig{
+		BandwidthsGBs: []float64{0.8, 1.8},
+		Seed:          7,
+		MeasureCycles: 15000,
+	}
+	rows, err := Extension(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	low, high := rows[0], rows[1]
+	for _, r := range rows {
+		if !r.MinPathOK || !r.SplitOK {
+			t.Fatalf("BW %.1f: incomplete simulation", r.LinkBWGBs)
+		}
+	}
+	// Deep in the congestion knee the split advantage must be large and
+	// the single-path curve must rise much faster.
+	if low.SplitLat >= low.MinPathLat {
+		t.Errorf("at %.1f GB/s split %.1f should beat minp %.1f",
+			low.LinkBWGBs, low.SplitLat, low.MinPathLat)
+	}
+	minpRise := low.MinPathLat - high.MinPathLat
+	splitRise := low.SplitLat - high.SplitLat
+	if minpRise <= splitRise {
+		t.Errorf("minp rise %.1f vs split rise %.1f", minpRise, splitRise)
+	}
+	// Splitting over unequal-length paths costs jitter — the paper's
+	// motivation for NMAPTM.
+	if high.SplitJit <= high.MinPathJit {
+		t.Errorf("split jitter %.1f should exceed single-path jitter %.1f",
+			high.SplitJit, high.MinPathJit)
+	}
+	if out := FormatExtension(rows); !strings.Contains(out, "jit") {
+		t.Error("format missing jitter columns")
+	}
+}

@@ -1,0 +1,118 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/noc"
+	"repro/internal/route"
+	"repro/internal/xpipes"
+)
+
+// Fig5cPoint is one x-position of Figure 5(c): the average packet latency
+// of single minimum-path vs split-traffic routing at one link bandwidth.
+type Fig5cPoint struct {
+	LinkBWGBs  float64 // x axis (GB/s)
+	MinPathLat float64 // cycles
+	SplitLat   float64 // cycles
+	MinPathOK  bool    // simulation delivered everything without stalling
+	SplitOK    bool
+}
+
+// Fig5cConfig parameterizes the DSP latency sweep.
+type Fig5cConfig struct {
+	BandwidthsGBs []float64 // paper sweeps 1.1 .. 1.8 GB/s
+	Seed          int64
+	MeasureCycles uint64
+}
+
+// DefaultFig5cConfig mirrors the paper's sweep.
+func DefaultFig5cConfig() Fig5cConfig {
+	return Fig5cConfig{
+		BandwidthsGBs: []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8},
+		Seed:          7,
+		MeasureCycles: 40000,
+	}
+}
+
+// Fig5c reproduces Figure 5(c): the DSP filter design is mapped with
+// NMAP, the network is instantiated from the ×pipes component library,
+// and the wormhole simulator measures average packet latency under
+// bursty traffic for single-path and split-traffic routing across the
+// link bandwidth sweep.
+func Fig5c(cfg Fig5cConfig) ([]Fig5cPoint, error) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		return nil, err
+	}
+	res := p.MapSinglePath()
+	cs := p.Commodities(res.Mapping)
+
+	singleTab := route.FromSinglePaths(res.Route.Paths)
+
+	// Split routing: minimize congestion so the heavy stream spreads over
+	// its three disjoint paths; the table fixes the split ratios for the
+	// whole sweep (the network is provisioned once).
+	minCong, err := mcf.SolveMinCongestion(topo, cs, mcf.Options{Mode: mcf.Aggregate})
+	if err != nil {
+		return nil, err
+	}
+	splitTab, err := route.FromFlows(topo, cs, minCong.Flows)
+	if err != nil {
+		return nil, err
+	}
+
+	lib := xpipes.DefaultLibrary()
+	singleDesign, err := xpipes.Compile(p, res.Mapping, singleTab, lib)
+	if err != nil {
+		return nil, err
+	}
+	splitDesign, err := xpipes.Compile(p, res.Mapping, splitTab, lib)
+	if err != nil {
+		return nil, err
+	}
+
+	var points []Fig5cPoint
+	for _, gbs := range cfg.BandwidthsGBs {
+		bw := gbs * 1000 // MB/s
+		pt := Fig5cPoint{LinkBWGBs: gbs}
+
+		run := func(d *xpipes.Design) (float64, bool, error) {
+			simCfg := d.SimConfig(bw, cfg.Seed)
+			simCfg.MeasureCycles = cfg.MeasureCycles
+			st, err := noc.Run(simCfg)
+			if err != nil {
+				return 0, false, err
+			}
+			return st.AvgTotalLatency, st.DrainedClean && !st.Stalled, nil
+		}
+		if pt.MinPathLat, pt.MinPathOK, err = run(singleDesign); err != nil {
+			return nil, err
+		}
+		if pt.SplitLat, pt.SplitOK, err = run(splitDesign); err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// FormatFig5c renders the latency sweep.
+func FormatFig5c(points []Fig5cPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5(c): DSP avg packet latency vs link BW\n")
+	fmt.Fprintf(&b, "%8s %12s %12s\n", "BW(GB/s)", "minp(cy)", "split(cy)")
+	for _, p := range points {
+		flag := ""
+		if !p.MinPathOK || !p.SplitOK {
+			flag = "  (!)"
+		}
+		fmt.Fprintf(&b, "%8.1f %12.1f %12.1f%s\n", p.LinkBWGBs, p.MinPathLat, p.SplitLat, flag)
+	}
+	return b.String()
+}

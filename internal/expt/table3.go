@@ -1,0 +1,76 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/route"
+	"repro/internal/xpipes"
+)
+
+// Table3Data reproduces the DSP NoC design summary of Table 3.
+type Table3Data struct {
+	NIAreaMM2     float64 // per network interface
+	SwitchAreaMM2 float64 // per switch
+	SwitchDelayCy int
+	PacketBytes   int
+	MinPathBW     float64 // minimum link BW under single min-path routing
+	SplitBW       float64 // per-flow link BW requirement under splitting
+	TableOverhead float64 // routing table bits / buffer bits (split design)
+}
+
+// Table3 maps the DSP filter with NMAP and reports the design figures:
+// the area/delay rows come from the ×pipes component library; the
+// bandwidth rows are recomputed by the mapping and flow algorithms
+// (single-path max link load, and the per-flow requirement when the
+// 600 MB/s stream is split across its three disjoint minimal-capacity
+// paths).
+func Table3() (*Table3Data, error) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		return nil, err
+	}
+	res := p.MapSinglePath()
+	lib := xpipes.DefaultLibrary()
+
+	d := &Table3Data{
+		NIAreaMM2:     lib.NI.AreaMM2,
+		SwitchAreaMM2: lib.Router.AreaMM2,
+		SwitchDelayCy: lib.Router.DelayCycles,
+		PacketBytes:   lib.PacketBytes,
+		MinPathBW:     res.Route.MaxLoad,
+	}
+	if d.SplitBW, err = p.MinBandwidthPerFlowSplit(res.Mapping, core.SplitAllPaths); err != nil {
+		return nil, err
+	}
+	// Routing-table overhead of the split design.
+	split, err := p.RouteSplit(res.Mapping, core.SplitAllPaths)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := route.FromFlows(topo, p.Commodities(res.Mapping), split.Flows)
+	if err != nil {
+		return nil, err
+	}
+	design, err := xpipes.Compile(p, res.Mapping, tab, lib)
+	if err != nil {
+		return nil, err
+	}
+	d.TableOverhead = design.Report().TableOverhead
+	return d, nil
+}
+
+// FormatTable3 renders the design summary.
+func FormatTable3(d *Table3Data) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: DSP NoC design results\n")
+	fmt.Fprintf(&b, "NI area      %6.2f mm2   Pack. size %4dB\n", d.NIAreaMM2, d.PacketBytes)
+	fmt.Fprintf(&b, "SW area      %6.2f mm2   minp BW  %6.0f MB/s\n", d.SwitchAreaMM2, d.MinPathBW)
+	fmt.Fprintf(&b, "SW del       %4d cy      split BW %6.0f MB/s\n", d.SwitchDelayCy, d.SplitBW)
+	fmt.Fprintf(&b, "route-table overhead %.1f%% of buffer bits\n", d.TableOverhead*100)
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CoreGraph is the paper's Definition 1: a directed graph whose vertices
+// are IP cores and whose edge weights are the communication bandwidth (in
+// MB/s) between cores. It wraps Digraph with core names.
+type CoreGraph struct {
+	*Digraph
+	Name  string   // application name, e.g. "VOPD"
+	Cores []string // Cores[i] is the name of core i
+}
+
+// NewCoreGraph returns an empty named core graph.
+func NewCoreGraph(name string) *CoreGraph {
+	return &CoreGraph{Digraph: NewDigraph(0), Name: name}
+}
+
+// AddCore appends a core with the given name and returns its vertex ID.
+func (cg *CoreGraph) AddCore(name string) int {
+	id := cg.AddVertex()
+	cg.Cores = append(cg.Cores, name)
+	return id
+}
+
+// CoreID returns the vertex ID of the named core, or -1 if absent.
+func (cg *CoreGraph) CoreID(name string) int {
+	for i, c := range cg.Cores {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Connect adds a directed communication edge between named cores, creating
+// the cores if necessary.
+func (cg *CoreGraph) Connect(from, to string, bw float64) {
+	f := cg.CoreID(from)
+	if f < 0 {
+		f = cg.AddCore(from)
+	}
+	t := cg.CoreID(to)
+	if t < 0 {
+		t = cg.AddCore(to)
+	}
+	cg.MustAddEdge(f, t, bw)
+}
+
+// Commodity is one directed communication flow d_k of the paper: an edge of
+// the core graph with its bandwidth value vl(d_k).
+type Commodity struct {
+	K     int     // commodity index (0-based)
+	Src   int     // source core vertex
+	Dst   int     // destination core vertex
+	Value float64 // vl(d_k), MB/s
+}
+
+// Commodities returns the commodity set D: one commodity per core-graph
+// edge, in deterministic (From,To) order.
+func (cg *CoreGraph) Commodities() []Commodity {
+	es := cg.Edges()
+	ds := make([]Commodity, len(es))
+	for k, e := range es {
+		ds[k] = Commodity{K: k, Src: e.From, Dst: e.To, Value: e.Weight}
+	}
+	return ds
+}
+
+// SortedByValue returns a copy of commodities sorted by decreasing value,
+// breaking ties by commodity index (the sort used by shortestpath()).
+func SortedByValue(ds []Commodity) []Commodity {
+	out := append([]Commodity(nil), ds...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].K < out[j].K
+	})
+	return out
+}
+
+// String renders a human-readable summary of the core graph.
+func (cg *CoreGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d cores, %d edges, %.0f MB/s total\n",
+		cg.Name, cg.N(), cg.NumEdges(), cg.TotalWeight())
+	for _, e := range cg.Edges() {
+		fmt.Fprintf(&b, "  %s -> %s : %.1f\n", cg.Cores[e.From], cg.Cores[e.To], e.Weight)
+	}
+	return b.String()
+}
+
+// DOT renders the core graph in Graphviz DOT format for visual inspection.
+func (cg *CoreGraph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", cg.Name)
+	for i, c := range cg.Cores {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, c)
+	}
+	for _, e := range cg.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.0f\"];\n", e.From, e.To, e.Weight)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

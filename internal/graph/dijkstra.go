@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc maps a directed edge to a nonnegative traversal cost.
+// Returning math.Inf(1) excludes the edge.
+type WeightFunc func(e Edge) float64
+
+// item is a priority-queue entry for Dijkstra.
+type item struct {
+	v    int
+	dist float64
+}
+
+type pq []item
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes a least-cost path from src to dst in g under the given
+// edge weight function, restricted to vertices allowed[v]==true (a nil
+// allowed permits every vertex). It returns the vertex sequence including
+// both endpoints and the path cost. ok is false when dst is unreachable.
+//
+// Ties between equal-cost paths are broken deterministically by preferring
+// lower vertex IDs, so results are reproducible across runs.
+func Dijkstra(g *Digraph, src, dst int, allowed []bool, w WeightFunc) (path []int, cost float64, ok bool) {
+	if allowed != nil && (!allowed[src] || !allowed[dst]) {
+		return nil, 0, false
+	}
+	dist := make([]float64, g.N())
+	prev := make([]int, g.N())
+	done := make([]bool, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(item)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == dst {
+			break
+		}
+		for _, e := range g.Out(it.v) {
+			if allowed != nil && !allowed[e.To] {
+				continue
+			}
+			c := w(e)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			nd := dist[it.v] + c
+			if nd < dist[e.To] || (nd == dist[e.To] && prev[e.To] >= 0 && it.v < prev[e.To]) {
+				if nd < dist[e.To] {
+					heap.Push(q, item{v: e.To, dist: nd})
+				}
+				dist[e.To] = nd
+				prev[e.To] = it.v
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, 0, false
+	}
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst], true
+}
+
+// HopDistances computes BFS hop counts from src to every vertex
+// (math.MaxInt for unreachable vertices).
+func HopDistances(g *Digraph, src int) []int {
+	const unreached = math.MaxInt
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out(v) {
+			if dist[e.To] == unreached {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeAndWeights(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 20)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Fatalf("edge presence wrong: has(0,1)=%v has(1,0)=%v", g.HasEdge(0, 1), g.HasEdge(1, 0))
+	}
+	if w := g.Weight(0, 1); w != 10 {
+		t.Fatalf("Weight(0,1) = %g, want 10", w)
+	}
+	if w := g.Weight(2, 0); w != 0 {
+		t.Fatalf("Weight(2,0) = %g, want 0", w)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if got := g.TotalWeight(); got != 30 {
+		t.Fatalf("TotalWeight = %g, want 30", got)
+	}
+}
+
+func TestAddEdgeMergesParallel(t *testing.T) {
+	g := NewDigraph(2)
+	g.MustAddEdge(0, 1, 5)
+	g.MustAddEdge(0, 1, 7)
+	if g.NumEdges() != 1 {
+		t.Fatalf("parallel edges not merged: %d edges", g.NumEdges())
+	}
+	if w := g.Weight(0, 1); w != 12 {
+		t.Fatalf("merged weight = %g, want 12", w)
+	}
+	if len(g.In(1)) != 1 || g.In(1)[0].Weight != 12 {
+		t.Fatalf("in-edge not updated: %+v", g.In(1))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := NewDigraph(2)
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative source accepted")
+	}
+}
+
+func TestVertexCommAndDegree(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 2, 20)
+	g.MustAddEdge(2, 1, 5)
+	if got := g.VertexComm(1); got != 35 {
+		t.Fatalf("VertexComm(1) = %g, want 35", got)
+	}
+	if got := g.Degree(1); got != 3 {
+		t.Fatalf("Degree(1) = %d, want 3", got)
+	}
+}
+
+func TestUndirected(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(1, 0, 4)
+	g.MustAddEdge(1, 2, 7)
+	u := g.Undirected()
+	if w := u.Weight(0, 1); w != 14 {
+		t.Fatalf("undirected weight(0,1) = %g, want 14", w)
+	}
+	if w := u.Weight(1, 0); w != 14 {
+		t.Fatalf("undirected weight(1,0) = %g, want 14", w)
+	}
+	if w := u.Weight(2, 1); w != 7 {
+		t.Fatalf("undirected weight(2,1) = %g, want 7", w)
+	}
+	if u.NumEdges() != 4 {
+		t.Fatalf("undirected edge count = %d, want 4", u.NumEdges())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewDigraph(2)
+	g.MustAddEdge(0, 1, 3)
+	c := g.Clone()
+	c.MustAddEdge(1, 0, 9)
+	if g.HasEdge(1, 0) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := NewDigraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	g.MustAddEdge(1, 2, 1)
+	if !g.Connected() {
+		t.Fatal("connected graph reported disconnected")
+	}
+}
+
+func TestCoreGraphConnect(t *testing.T) {
+	cg := NewCoreGraph("app")
+	cg.Connect("a", "b", 100)
+	cg.Connect("b", "c", 50)
+	cg.Connect("a", "b", 20) // merged
+	if cg.N() != 3 {
+		t.Fatalf("core count = %d, want 3", cg.N())
+	}
+	if id := cg.CoreID("b"); id != 1 {
+		t.Fatalf("CoreID(b) = %d, want 1", id)
+	}
+	if id := cg.CoreID("zzz"); id != -1 {
+		t.Fatalf("CoreID(zzz) = %d, want -1", id)
+	}
+	if w := cg.Weight(0, 1); w != 120 {
+		t.Fatalf("merged bandwidth = %g, want 120", w)
+	}
+}
+
+func TestCommoditiesDeterministicOrder(t *testing.T) {
+	cg := NewCoreGraph("app")
+	cg.Connect("a", "b", 10)
+	cg.Connect("c", "a", 99)
+	cg.Connect("b", "c", 50)
+	ds := cg.Commodities()
+	if len(ds) != 3 {
+		t.Fatalf("commodity count = %d, want 3", len(ds))
+	}
+	for k, d := range ds {
+		if d.K != k {
+			t.Fatalf("commodity %d has K=%d", k, d.K)
+		}
+	}
+	// (From,To) sorted: (0,1), (1,2), (2,0)
+	if ds[0].Src != 0 || ds[0].Dst != 1 || ds[2].Src != 2 || ds[2].Dst != 0 {
+		t.Fatalf("unexpected order: %+v", ds)
+	}
+}
+
+func TestSortedByValue(t *testing.T) {
+	ds := []Commodity{{K: 0, Value: 5}, {K: 1, Value: 50}, {K: 2, Value: 50}, {K: 3, Value: 7}}
+	s := SortedByValue(ds)
+	want := []int{1, 2, 3, 0}
+	for i, k := range want {
+		if s[i].K != k {
+			t.Fatalf("sorted order at %d = K%d, want K%d", i, s[i].K, k)
+		}
+	}
+	if ds[0].K != 0 {
+		t.Fatal("SortedByValue mutated input")
+	}
+}
+
+func TestDijkstraSimple(t *testing.T) {
+	// 0 -> 1 -> 2 direct cost 2; 0 -> 2 direct cost 5.
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	path, cost, ok := Dijkstra(g, 0, 2, nil, func(e Edge) float64 { return e.Weight })
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if cost != 2 {
+		t.Fatalf("cost = %g, want 2", cost)
+	}
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Fatalf("path = %v, want [0 1 2]", path)
+	}
+}
+
+func TestDijkstraRespectsAllowed(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(0, 2, 5)
+	allowed := []bool{true, false, true}
+	path, cost, ok := Dijkstra(g, 0, 2, allowed, func(e Edge) float64 { return e.Weight })
+	if !ok || cost != 5 || len(path) != 2 {
+		t.Fatalf("restricted path = %v cost %g ok %v, want direct 0->2", path, cost, ok)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := NewDigraph(3)
+	g.MustAddEdge(0, 1, 1)
+	if _, _, ok := Dijkstra(g, 0, 2, nil, func(e Edge) float64 { return e.Weight }); ok {
+		t.Fatal("found path to unreachable vertex")
+	}
+}
+
+func TestDijkstraInfiniteWeightExcludesEdge(t *testing.T) {
+	g := NewDigraph(2)
+	g.MustAddEdge(0, 1, 1)
+	w := func(e Edge) float64 { return math.Inf(1) }
+	if _, _, ok := Dijkstra(g, 0, 1, nil, w); ok {
+		t.Fatal("edge with infinite weight was traversed")
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	g := NewDigraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	d := HopDistances(g, 0)
+	if d[0] != 0 || d[1] != 1 || d[2] != 2 {
+		t.Fatalf("distances = %v", d)
+	}
+	if d[3] != math.MaxInt {
+		t.Fatalf("unreachable vertex distance = %d", d[3])
+	}
+}
+
+func TestRandomCoreGraphProperties(t *testing.T) {
+	f := func(seedRaw int64, sizeRaw uint8) bool {
+		cores := 5 + int(sizeRaw%60)
+		cfg := DefaultRandomConfig(cores, seedRaw)
+		cg, err := RandomCoreGraph(cfg)
+		if err != nil {
+			return false
+		}
+		if cg.N() != cores || !cg.Connected() {
+			return false
+		}
+		for _, e := range cg.Edges() {
+			if e.Weight < cfg.MinBW || e.Weight > cfg.MaxBW {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomCoreGraphDeterminism(t *testing.T) {
+	a, err := RandomCoreGraph(DefaultRandomConfig(25, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCoreGraph(DefaultRandomConfig(25, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestRandomCoreGraphErrors(t *testing.T) {
+	if _, err := RandomCoreGraph(RandomConfig{Cores: 1, MinBW: 1, MaxBW: 2}); err == nil {
+		t.Error("1-core graph accepted")
+	}
+	if _, err := RandomCoreGraph(RandomConfig{Cores: 5, MinBW: 10, MaxBW: 5}); err == nil {
+		t.Error("inverted bandwidth range accepted")
+	}
+}
+
+func TestDOTAndString(t *testing.T) {
+	cg := NewCoreGraph("tiny")
+	cg.Connect("a", "b", 1)
+	if s := cg.String(); len(s) == 0 {
+		t.Error("empty String()")
+	}
+	dot := cg.DOT()
+	if len(dot) == 0 || dot[0] != 'd' {
+		t.Errorf("unexpected DOT output: %q", dot)
+	}
+}

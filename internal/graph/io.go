@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonCoreGraph is the on-disk JSON representation of a core graph.
+type jsonCoreGraph struct {
+	Name  string     `json:"name"`
+	Cores []string   `json:"cores"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From string  `json:"from"`
+	To   string  `json:"to"`
+	BW   float64 `json:"bw"`
+}
+
+// WriteJSON serializes the core graph as JSON.
+func (cg *CoreGraph) WriteJSON(w io.Writer) error {
+	out := jsonCoreGraph{Name: cg.Name, Cores: cg.Cores}
+	for _, e := range cg.Edges() {
+		out.Edges = append(out.Edges, jsonEdge{
+			From: cg.Cores[e.From],
+			To:   cg.Cores[e.To],
+			BW:   e.Weight,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a core graph from JSON produced by WriteJSON (or written
+// by hand: cores listed explicitly, or implied by edge endpoints).
+func ReadJSON(r io.Reader) (*CoreGraph, error) {
+	var in jsonCoreGraph
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("graph: parsing core graph: %w", err)
+	}
+	if in.Name == "" {
+		in.Name = "unnamed"
+	}
+	cg := NewCoreGraph(in.Name)
+	for _, c := range in.Cores {
+		if cg.CoreID(c) >= 0 {
+			return nil, fmt.Errorf("graph: duplicate core %q", c)
+		}
+		cg.AddCore(c)
+	}
+	for _, e := range in.Edges {
+		if e.BW <= 0 {
+			return nil, fmt.Errorf("graph: edge %s->%s has non-positive bandwidth %g", e.From, e.To, e.BW)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("graph: self-loop on %q", e.From)
+		}
+		cg.Connect(e.From, e.To, e.BW)
+	}
+	return cg, nil
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	cg := NewCoreGraph("demo")
+	cg.Connect("a", "b", 70)
+	cg.Connect("b", "c", 362)
+	cg.Connect("c", "a", 16)
+	var buf bytes.Buffer
+	if err := cg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "demo" || back.N() != 3 || back.NumEdges() != 3 {
+		t.Fatalf("round trip lost data: %s", back)
+	}
+	if w := back.Weight(back.CoreID("b"), back.CoreID("c")); w != 362 {
+		t.Fatalf("weight b->c = %g, want 362", w)
+	}
+}
+
+func TestReadJSONImplicitCores(t *testing.T) {
+	in := `{"name":"x","edges":[{"from":"p","to":"q","bw":5}]}`
+	cg, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.N() != 2 {
+		t.Fatalf("cores = %d, want 2", cg.N())
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"edges":[{"from":"a","to":"a","bw":5}]}`,  // self loop
+		`{"edges":[{"from":"a","to":"b","bw":0}]}`,  // zero bw
+		`{"edges":[{"from":"a","to":"b","bw":-2}]}`, // negative bw
+		`{"cores":["a","a"],"edges":[]}`,            // duplicate core
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted invalid input %q", c)
+		}
+	}
+}
+
+func TestReadJSONDefaultName(t *testing.T) {
+	cg, err := ReadJSON(strings.NewReader(`{"edges":[{"from":"a","to":"b","bw":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Name != "unnamed" {
+		t.Fatalf("name = %q", cg.Name)
+	}
+}

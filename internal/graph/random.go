@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig parameterizes the random core-graph generator that stands in
+// for the LEDA-generated graphs of the paper's Table 2 experiment.
+type RandomConfig struct {
+	Cores     int     // number of cores (paper: 25..65)
+	AvgDegree float64 // average out-degree per core (edges ~= Cores*AvgDegree)
+	MinBW     float64 // minimum edge bandwidth, MB/s
+	MaxBW     float64 // maximum edge bandwidth, MB/s
+	Seed      int64   // RNG seed for reproducibility
+}
+
+// DefaultRandomConfig mirrors the scale of the paper's random graphs:
+// multimedia-like bandwidths in the tens-to-hundreds of MB/s and sparse
+// connectivity (cores talk to a few peers each).
+func DefaultRandomConfig(cores int, seed int64) RandomConfig {
+	return RandomConfig{
+		Cores:     cores,
+		AvgDegree: 2.0,
+		MinBW:     10,
+		MaxBW:     500,
+		Seed:      seed,
+	}
+}
+
+// RandomCoreGraph generates a weakly connected random core graph. A random
+// spanning tree guarantees connectivity; extra edges are added uniformly at
+// random until the target edge count is reached. Bandwidths are uniform in
+// [MinBW, MaxBW]. The generator is fully deterministic given cfg.Seed.
+func RandomCoreGraph(cfg RandomConfig) (*CoreGraph, error) {
+	if cfg.Cores < 2 {
+		return nil, fmt.Errorf("graph: random graph needs >=2 cores, got %d", cfg.Cores)
+	}
+	if cfg.MinBW <= 0 || cfg.MaxBW < cfg.MinBW {
+		return nil, fmt.Errorf("graph: invalid bandwidth range [%g,%g]", cfg.MinBW, cfg.MaxBW)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cg := NewCoreGraph(fmt.Sprintf("rand-%d-%d", cfg.Cores, cfg.Seed))
+	for i := 0; i < cfg.Cores; i++ {
+		cg.AddCore(fmt.Sprintf("c%d", i))
+	}
+	bw := func() float64 { return cfg.MinBW + rng.Float64()*(cfg.MaxBW-cfg.MinBW) }
+
+	// Random spanning tree: attach each vertex to a random earlier vertex,
+	// with random edge direction.
+	perm := rng.Perm(cfg.Cores)
+	for i := 1; i < cfg.Cores; i++ {
+		a := perm[i]
+		b := perm[rng.Intn(i)]
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		cg.MustAddEdge(a, b, bw())
+	}
+	target := int(float64(cfg.Cores) * cfg.AvgDegree)
+	if target < cfg.Cores-1 {
+		target = cfg.Cores - 1
+	}
+	for cg.NumEdges() < target {
+		a := rng.Intn(cfg.Cores)
+		b := rng.Intn(cfg.Cores)
+		if a == b || cg.HasEdge(a, b) {
+			continue
+		}
+		cg.MustAddEdge(a, b, bw())
+	}
+	return cg, nil
+}

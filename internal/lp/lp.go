@@ -1,0 +1,453 @@
+// Package lp implements a self-contained two-phase primal simplex solver
+// for linear programs in the form
+//
+//	minimize    c . x
+//	subject to  A x (<= | >= | =) b,   x >= 0
+//
+// It replaces the lp_solve library the paper uses to solve the
+// multi-commodity flow programs MCF1 and MCF2. The solver uses a dense
+// tableau, Dantzig pricing with an automatic switch to Bland's rule when
+// degeneracy stalls progress (guaranteeing termination), and drives
+// artificial variables out of the basis between phases.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	// LE is "<=".
+	LE Op = iota
+	// GE is ">=".
+	GE
+	// EQ is "=".
+	EQ
+)
+
+// String renders the relation symbol.
+func (op Op) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Term is one coefficient of a constraint row: Coef * x[Var].
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a single linear constraint.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Problem is a linear program under construction. The zero value is an
+// empty problem; add variables before referencing them in constraints.
+type Problem struct {
+	obj  []float64
+	cons []Constraint
+}
+
+// NewProblem returns an empty minimization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// AddVariable appends a variable with the given objective cost and returns
+// its index. All variables are implicitly nonnegative.
+func (p *Problem) AddVariable(cost float64) int {
+	p.obj = append(p.obj, cost)
+	return len(p.obj) - 1
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return len(p.obj) }
+
+// SetCost overwrites the objective coefficient of variable v.
+func (p *Problem) SetCost(v int, cost float64) error {
+	if v < 0 || v >= len(p.obj) {
+		return fmt.Errorf("lp: variable %d out of range", v)
+	}
+	p.obj[v] = cost
+	return nil
+}
+
+// AddConstraint appends the constraint sum(terms) op rhs. Terms referring
+// to the same variable are accumulated.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) error {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			return fmt.Errorf("lp: constraint references unknown variable %d", t.Var)
+		}
+	}
+	own := append([]Term(nil), terms...)
+	p.cons = append(p.cons, Constraint{Terms: own, Op: op, RHS: rhs})
+	return nil
+}
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// Status describes the outcome of Solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraint set has no solution.
+	Infeasible
+	// Unbounded means the objective can decrease without bound.
+	Unbounded
+)
+
+// String names the solve outcome.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64 // primal values, len == NumVariables()
+	Iters     int       // simplex pivots performed across both phases
+}
+
+// ErrIterationLimit is returned when the pivot budget is exhausted.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+const (
+	eps     = 1e-9
+	feasTol = 1e-6
+)
+
+// tableau is the dense simplex working state.
+type tableau struct {
+	m, n   int // rows, structural+slack+artificial columns (rhs kept separately)
+	a      [][]float64
+	rhs    []float64
+	basis  []int
+	nStruc int // structural variable count (problem variables)
+	artAt  int // first artificial column index; columns >= artAt are artificial
+	z      []float64
+	zRHS   float64
+	// pivot budget and state flags
+	maxIters  int
+	iters     int
+	bland     bool
+	stall     int
+	unbounded bool
+	phase2    bool
+}
+
+// Solve runs two-phase simplex and returns the solution. A nil error with
+// Status Infeasible/Unbounded is a definitive answer; errors indicate the
+// solver gave up (iteration limit).
+func (p *Problem) Solve() (*Solution, error) {
+	t := newTableau(p)
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]float64, t.n)
+	for j := t.artAt; j < t.n; j++ {
+		phase1[j] = 1
+	}
+	t.setObjective(phase1)
+	if err := t.iterate(); err != nil {
+		return nil, err
+	}
+	if t.zRHS < -feasTol {
+		// Objective row tracks -(current objective value).
+		return &Solution{Status: Infeasible, Iters: t.iters}, nil
+	}
+	t.driveOutArtificials()
+	// Phase 2: original objective over structural columns.
+	phase2 := make([]float64, t.n)
+	copy(phase2, p.obj)
+	t.setObjective(phase2)
+	if err := t.iterate(); err != nil {
+		return nil, err
+	}
+	if t.unbounded {
+		return &Solution{Status: Unbounded, Iters: t.iters}, nil
+	}
+	x := make([]float64, t.nStruc)
+	for i, b := range t.basis {
+		if b < t.nStruc {
+			x[b] = t.rhs[i]
+		}
+	}
+	obj := 0.0
+	for j, c := range p.obj {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iters: t.iters}, nil
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.cons)
+	nStruc := len(p.obj)
+	// Count extra columns.
+	slacks := 0
+	arts := 0
+	for _, c := range p.cons {
+		op, rhs := c.Op, c.RHS
+		if rhs < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			slacks++
+		case GE:
+			slacks++
+			arts++
+		case EQ:
+			arts++
+		}
+	}
+	n := nStruc + slacks + arts
+	t := &tableau{
+		m: m, n: n,
+		nStruc:   nStruc,
+		artAt:    nStruc + slacks,
+		basis:    make([]int, m),
+		rhs:      make([]float64, m),
+		maxIters: 2000 + 200*(m+n),
+	}
+	t.a = make([][]float64, m)
+	for i := range t.a {
+		t.a[i] = make([]float64, n)
+	}
+	slackCol := nStruc
+	artCol := t.artAt
+	for i, c := range p.cons {
+		sign := 1.0
+		op := c.Op
+		if c.RHS < 0 {
+			sign = -1
+			op = flip(op)
+		}
+		for _, term := range c.Terms {
+			t.a[i][term.Var] += sign * term.Coef
+		}
+		t.rhs[i] = sign * c.RHS
+		switch op {
+		case LE:
+			t.a[i][slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i][slackCol] = -1
+			slackCol++
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i][artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// setObjective installs cost vector c and computes the reduced-cost row
+// z_j = c_j - c_B^T tab_j for the current basis.
+func (t *tableau) setObjective(c []float64) {
+	t.z = make([]float64, t.n)
+	copy(t.z, c)
+	t.zRHS = 0
+	for i, b := range t.basis {
+		cb := c[b]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := 0; j < t.n; j++ {
+			t.z[j] -= cb * row[j]
+		}
+		t.zRHS -= cb * t.rhs[i]
+	}
+	t.unbounded = false
+	t.bland = false
+	t.stall = 0
+}
+
+// iterate runs simplex pivots until optimality, unboundedness or the
+// iteration budget is hit.
+func (t *tableau) iterate() error {
+	for {
+		j := t.chooseEntering()
+		if j < 0 {
+			return nil // optimal for current objective
+		}
+		r := t.chooseLeaving(j)
+		if r < 0 {
+			t.unbounded = true
+			return nil
+		}
+		t.pivot(r, j)
+		t.iters++
+		if t.iters > t.maxIters {
+			return fmt.Errorf("%w (m=%d n=%d iters=%d)", ErrIterationLimit, t.m, t.n, t.iters)
+		}
+	}
+}
+
+func (t *tableau) chooseEntering() int {
+	if t.bland {
+		for j := 0; j < t.n; j++ {
+			if t.z[j] < -eps && !t.banned(j) {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -eps
+	for j := 0; j < t.n; j++ {
+		if t.banned(j) {
+			continue
+		}
+		if t.z[j] < bestVal {
+			best, bestVal = j, t.z[j]
+		}
+	}
+	return best
+}
+
+// banned reports whether column j may not enter the basis. Artificial
+// columns are banned once phase 2 starts (they carry zero cost then, and
+// letting them re-enter could leave feasibility).
+func (t *tableau) banned(j int) bool {
+	return j >= t.artAt && t.phase2
+}
+
+func (t *tableau) chooseLeaving(j int) int {
+	r := -1
+	var best float64
+	for i := 0; i < t.m; i++ {
+		aij := t.a[i][j]
+		if aij <= eps {
+			continue
+		}
+		ratio := t.rhs[i] / aij
+		if r < 0 || ratio < best-eps || (ratio < best+eps && t.basis[i] < t.basis[r]) {
+			r, best = i, ratio
+		}
+	}
+	return r
+}
+
+func (t *tableau) pivot(r, j int) {
+	prevZ := t.zRHS
+	piv := t.a[r][j]
+	row := t.a[r]
+	inv := 1 / piv
+	for k := 0; k < t.n; k++ {
+		row[k] *= inv
+	}
+	t.rhs[r] *= inv
+	row[j] = 1
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][j]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for k := 0; k < t.n; k++ {
+			ri[k] -= f * row[k]
+		}
+		ri[j] = 0
+		t.rhs[i] -= f * t.rhs[r]
+		if t.rhs[i] < 0 && t.rhs[i] > -eps {
+			t.rhs[i] = 0
+		}
+	}
+	f := t.z[j]
+	if f != 0 {
+		for k := 0; k < t.n; k++ {
+			t.z[k] -= f * row[k]
+		}
+		t.z[j] = 0
+		t.zRHS -= f * t.rhs[r]
+	}
+	t.basis[r] = j
+	// Degeneracy watchdog: if the objective has not improved for a long
+	// stretch, switch to Bland's rule, which cannot cycle.
+	if math.Abs(t.zRHS-prevZ) <= eps {
+		t.stall++
+		if t.stall > 2*(t.m+t.n) {
+			t.bland = true
+		}
+	} else {
+		t.stall = 0
+		t.bland = false
+	}
+}
+
+// driveOutArtificials pivots basic artificial variables out of the basis
+// after phase 1 and marks phase 2 so artificial columns can never re-enter.
+func (t *tableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artAt {
+			continue
+		}
+		// The artificial is basic at value ~0. Pivot in any non-artificial
+		// column with a nonzero coefficient in this row.
+		pivoted := false
+		for j := 0; j < t.artAt; j++ {
+			if math.Abs(t.a[i][j]) > 1e-7 {
+				t.pivot(i, j)
+				t.iters++
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: every structural coefficient is ~0. Zero it so
+			// it can never constrain anything; the artificial stays basic
+			// at value 0 and phase 2 bans it from changing.
+			for j := 0; j < t.n; j++ {
+				if j != t.basis[i] {
+					t.a[i][j] = 0
+				}
+			}
+			t.rhs[i] = 0
+		}
+	}
+	t.phase2 = true
+}

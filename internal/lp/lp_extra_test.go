@@ -1,0 +1,135 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 4 stated twice plus its double: the artificial-variable
+	// cleanup must cope with redundant rows.
+	p := NewProblem()
+	x := p.AddVariable(1)
+	y := p.AddVariable(2)
+	for i := 0; i < 2; i++ {
+		if err := p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AddConstraint([]Term{{x, 2}, {y, 2}}, EQ, 8); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Objective-4) > 1e-6 { // x=4, y=0
+		t.Fatalf("objective %g, want 4", s.Objective)
+	}
+}
+
+func TestAllZeroObjective(t *testing.T) {
+	// Pure feasibility problem.
+	p := NewProblem()
+	x := p.AddVariable(0)
+	if err := p.AddConstraint([]Term{{x, 1}}, GE, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x, 1}}, LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if s.X[x] < 3-1e-9 || s.X[x] > 5+1e-9 {
+		t.Fatalf("x = %g outside [3,5]", s.X[x])
+	}
+}
+
+func TestAccumulatedDuplicateTerms(t *testing.T) {
+	// The same variable appearing twice in one constraint must accumulate.
+	p := NewProblem()
+	x := p.AddVariable(-1)
+	if err := p.AddConstraint([]Term{{x, 1}, {x, 1}}, LE, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if math.Abs(s.X[x]-5) > 1e-9 {
+		t.Fatalf("x = %g, want 5 (2x <= 10)", s.X[x])
+	}
+}
+
+func TestRandomFeasibleEqualitySystems(t *testing.T) {
+	// Build systems with a known feasible point and verify the solver
+	// always returns a feasible optimal solution with objective at most
+	// the known point's value.
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		mrows := 2 + rng.Intn(3)
+		known := make([]float64, n)
+		for j := range known {
+			known[j] = rng.Float64() * 5
+		}
+		p := NewProblem()
+		cost := make([]float64, n)
+		for j := 0; j < n; j++ {
+			cost[j] = rng.Float64()*4 - 1
+			p.AddVariable(cost[j])
+		}
+		type rowT struct {
+			terms []Term
+			rhs   float64
+		}
+		var rows []rowT
+		for i := 0; i < mrows; i++ {
+			var terms []Term
+			rhs := 0.0
+			for j := 0; j < n; j++ {
+				c := rng.Float64()*3 - 1
+				terms = append(terms, Term{j, c})
+				rhs += c * known[j]
+			}
+			rows = append(rows, rowT{terms, rhs})
+			if err := p.AddConstraint(terms, EQ, rhs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Bound the feasible region so the LP cannot be unbounded.
+		for j := 0; j < n; j++ {
+			if err := p.AddConstraint([]Term{{j, 1}}, LE, 50); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("seed %d: status %v (known feasible point exists)", seed, s.Status)
+		}
+		knownObj := 0.0
+		for j := range known {
+			knownObj += cost[j] * known[j]
+		}
+		if s.Objective > knownObj+1e-5 {
+			t.Fatalf("seed %d: objective %g worse than known feasible %g", seed, s.Objective, knownObj)
+		}
+		for _, r := range rows {
+			lhs := 0.0
+			for _, term := range r.terms {
+				lhs += term.Coef * s.X[term.Var]
+			}
+			if math.Abs(lhs-r.rhs) > 1e-5 {
+				t.Fatalf("seed %d: equality violated by %g", seed, math.Abs(lhs-r.rhs))
+			}
+		}
+		for j, v := range s.X {
+			if v < -1e-9 {
+				t.Fatalf("seed %d: x[%d] = %g negative", seed, j, v)
+			}
+		}
+	}
+}

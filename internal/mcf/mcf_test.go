@@ -1,0 +1,272 @@
+package mcf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topology"
+)
+
+func mesh(t *testing.T, w, h int, bw float64) *topology.Topology {
+	t.Helper()
+	m, err := topology.NewMesh(w, h, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMCF2SingleCommodityTakesShortestPath(t *testing.T) {
+	m := mesh(t, 3, 3, 1000)
+	cs := []Commodity{{K: 0, Src: 0, Dst: 8, Demand: 100}}
+	res, err := SolveMCF2(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible")
+	}
+	// Shortest path is 4 hops -> total flow 400.
+	if math.Abs(res.Objective-400) > 1e-4 {
+		t.Fatalf("objective = %g, want 400", res.Objective)
+	}
+	if v := CheckConservation(m, cs, res.Flows); v > 1e-6 {
+		t.Fatalf("conservation violated by %g", v)
+	}
+}
+
+func TestMCF2SplitsWhenCapacityForces(t *testing.T) {
+	// Demand 300 between adjacent degree-3 nodes with link BW 100: the
+	// flow must fan out over 3 paths (direct + two 3-hop detours).
+	m := mesh(t, 3, 3, 100)
+	cs := []Commodity{{K: 0, Src: 3, Dst: 4, Demand: 300}}
+	res, err := SolveMCF2(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible with splitting")
+	}
+	loads := LinkLoads(m.NumLinks(), res.Flows)
+	for l, ld := range loads {
+		if ld > 100+1e-6 {
+			t.Fatalf("link %d overloaded: %g", l, ld)
+		}
+	}
+	if v := CheckConservation(m, cs, res.Flows); v > 1e-6 {
+		t.Fatalf("conservation violated by %g", v)
+	}
+	// 100 direct (1 hop) + 200 via detours (3 hops each) = 100 + 600 = 700.
+	if math.Abs(res.Objective-700) > 1e-3 {
+		t.Fatalf("objective = %g, want 700", res.Objective)
+	}
+}
+
+func TestMCF2InfeasibleWhenDemandExceedsCut(t *testing.T) {
+	// 2x2 mesh: node 0 has out-capacity 2*BW; demand above that cannot
+	// leave the source.
+	m := mesh(t, 2, 2, 100)
+	cs := []Commodity{{K: 0, Src: 0, Dst: 3, Demand: 250}}
+	res, err := SolveMCF2(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestMCF1MeasuresViolation(t *testing.T) {
+	m := mesh(t, 2, 2, 100)
+	cs := []Commodity{{K: 0, Src: 0, Dst: 3, Demand: 250}}
+	res, err := SolveMCF1(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("MCF1 must always be feasible")
+	}
+	// 250 leaves node 0 over two links of BW 100 -> total over-capacity at
+	// least 50, and the same 50 arrives over node 3's two links.
+	if res.Objective < 100-1e-4 {
+		t.Fatalf("slack = %g, want >= 100", res.Objective)
+	}
+}
+
+func TestMCF1ZeroSlackWhenFits(t *testing.T) {
+	m := mesh(t, 2, 2, 100)
+	cs := []Commodity{{K: 0, Src: 0, Dst: 3, Demand: 150}}
+	res, err := SolveMCF1(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective > 1e-6 {
+		t.Fatalf("slack = %g, want 0", res.Objective)
+	}
+}
+
+func TestMinCongestion(t *testing.T) {
+	// Adjacent degree-3 nodes, demand 600: on a 3x2 mesh the traffic
+	// spreads over 3 edge-disjoint paths -> lambda = 200.
+	m := mesh(t, 3, 2, 1e9)
+	cs := []Commodity{{K: 0, Src: 1, Dst: 4, Demand: 600}}
+	res, err := SolveMinCongestion(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Objective-200) > 1e-3 {
+		t.Fatalf("lambda = %g, want 200", res.Objective)
+	}
+}
+
+func TestQuadrantRestrictionKeepsMinimalPaths(t *testing.T) {
+	m := mesh(t, 3, 3, 1000)
+	cs := []Commodity{
+		{K: 0, Src: 0, Dst: 4, Demand: 100},
+		{K: 1, Src: 2, Dst: 6, Demand: 50},
+	}
+	restrict := func(k int) []int {
+		c := cs[k]
+		return m.QuadrantLinks(c.Src, c.Dst)
+	}
+	res, err := SolveMCF2(m, cs, Options{Restrict: restrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("expected feasible")
+	}
+	if v := CheckConservation(m, cs, res.Flows); v > 1e-6 {
+		t.Fatalf("conservation violated by %g", v)
+	}
+	// Every used link must move its commodity closer to the destination.
+	for ki, c := range cs {
+		for l, f := range res.Flows[ki] {
+			if f <= flowEps {
+				continue
+			}
+			lk := m.Link(l)
+			if m.HopDist(lk.To, c.Dst) >= m.HopDist(lk.From, c.Dst) {
+				t.Fatalf("commodity %d uses non-forward link %d->%d", ki, lk.From, lk.To)
+			}
+		}
+	}
+	// Total flow must equal sum(demand * hopdist) since all paths minimal.
+	want := 100.0*2 + 50.0*4
+	if math.Abs(res.Objective-want) > 1e-4 {
+		t.Fatalf("objective = %g, want %g", res.Objective, want)
+	}
+}
+
+func TestAggregateMatchesPerCommodity(t *testing.T) {
+	// The optimal objective must be identical in both formulations when
+	// no restriction is applied.
+	m := mesh(t, 3, 3, 150)
+	cs := []Commodity{
+		{K: 0, Src: 0, Dst: 8, Demand: 100},
+		{K: 1, Src: 0, Dst: 2, Demand: 120},
+		{K: 2, Src: 6, Dst: 2, Demand: 80},
+	}
+	agg, err := SolveMCF2(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := SolveMCF2(m, cs, Options{Mode: PerCommodity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Feasible != per.Feasible {
+		t.Fatalf("feasibility mismatch: agg=%v per=%v", agg.Feasible, per.Feasible)
+	}
+	if math.Abs(agg.Objective-per.Objective) > 1e-3 {
+		t.Fatalf("objective mismatch: agg=%g per=%g", agg.Objective, per.Objective)
+	}
+}
+
+func TestDisaggregatedFlowsConserveAndMeetDemands(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := topology.NewMesh(3, 3, 500)
+		if err != nil {
+			return false
+		}
+		n := 2 + rng.Intn(4)
+		var cs []Commodity
+		for k := 0; k < n; k++ {
+			s := rng.Intn(9)
+			d := rng.Intn(9)
+			if s == d {
+				continue
+			}
+			cs = append(cs, Commodity{K: len(cs), Src: s, Dst: d, Demand: 20 + rng.Float64()*150})
+		}
+		if len(cs) == 0 {
+			return true
+		}
+		res, err := SolveMCF1(m, cs, Options{Mode: Aggregate})
+		if err != nil || !res.Feasible {
+			return false
+		}
+		// MCF1 flows might contain slack-tolerated overload but must still
+		// conserve each commodity exactly.
+		return CheckConservation(m, cs, res.Flows) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposePaths(t *testing.T) {
+	m := mesh(t, 3, 3, 100)
+	cs := []Commodity{{K: 0, Src: 3, Dst: 4, Demand: 300}}
+	res, err := SolveMCF2(m, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := DecomposePaths(m, cs[0], res.Flows[0])
+	if len(paths) < 3 {
+		t.Fatalf("expected >= 3 paths, got %d", len(paths))
+	}
+	total := 0.0
+	for _, pf := range paths {
+		total += pf.Flow
+		if pf.Nodes[0] != 3 || pf.Nodes[len(pf.Nodes)-1] != 4 {
+			t.Fatalf("path endpoints wrong: %v", pf.Nodes)
+		}
+		if len(pf.Links) != len(pf.Nodes)-1 {
+			t.Fatalf("links/nodes mismatch: %v vs %v", pf.Links, pf.Nodes)
+		}
+	}
+	if math.Abs(total-300) > 1e-3 {
+		t.Fatalf("decomposed flow = %g, want 300", total)
+	}
+}
+
+func TestCommodityValidation(t *testing.T) {
+	m := mesh(t, 2, 2, 100)
+	if _, err := SolveMCF2(m, []Commodity{{K: 0, Src: 1, Dst: 1, Demand: 5}}, Options{}); err == nil {
+		t.Error("self commodity accepted")
+	}
+	if _, err := SolveMCF2(m, []Commodity{{K: 0, Src: 0, Dst: 1, Demand: -5}}, Options{}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	flows := [][]float64{{1, 2, 0}, {0, 3, 4}}
+	if got := TotalFlow(flows); got != 10 {
+		t.Fatalf("TotalFlow = %g, want 10", got)
+	}
+	loads := LinkLoads(3, flows)
+	if loads[1] != 5 || loads[2] != 4 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if MaxLoad(loads) != 5 {
+		t.Fatalf("MaxLoad = %g", MaxLoad(loads))
+	}
+	if MaxLoad(nil) != 0 {
+		t.Fatal("MaxLoad(nil) != 0")
+	}
+}

@@ -1,0 +1,63 @@
+package mcf
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestTorusLowersCongestion: the wraparound links of a torus provide
+// extra disjoint paths, so the min-congestion value cannot exceed the
+// mesh value for the same commodities.
+func TestTorusLowersCongestion(t *testing.T) {
+	meshTopo, err := topology.NewMesh(4, 4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torusTopo, err := topology.NewTorus(4, 4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []Commodity{
+		{K: 0, Src: 0, Dst: 15, Demand: 400},
+		{K: 1, Src: 3, Dst: 12, Demand: 400},
+	}
+	meshRes, err := SolveMinCongestion(meshTopo, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torusRes, err := SolveMinCongestion(torusTopo, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torusRes.Objective > meshRes.Objective+1e-6 {
+		t.Fatalf("torus congestion %g exceeds mesh %g", torusRes.Objective, meshRes.Objective)
+	}
+	if torusRes.Objective <= 0 {
+		t.Fatal("non-positive congestion")
+	}
+	if v := CheckConservation(torusTopo, cs, torusRes.Flows); v > 1e-4 {
+		t.Fatalf("torus conservation violated by %g", v)
+	}
+}
+
+// TestMCF2OnTorusUsesWraparound: a corner-to-corner commodity on a torus
+// must use wrap links (cost = 2 hops, not 6).
+func TestMCF2OnTorusUsesWraparound(t *testing.T) {
+	torusTopo, err := topology.NewTorus(4, 4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []Commodity{{K: 0, Src: 0, Dst: 15, Demand: 100}}
+	res, err := SolveMCF2(torusTopo, cs, Options{Mode: Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("infeasible")
+	}
+	// Minimal hop distance on the torus is 2 -> total flow 200.
+	if res.Objective > 200+1e-4 {
+		t.Fatalf("torus MCF2 objective %g, want 200", res.Objective)
+	}
+}

@@ -1,0 +1,68 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/mcf"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// TestEqualHopSplittingHasLowerJitter verifies the paper's motivation for
+// NMAPTM: "the trafﬁc between the cores can be split across multiple
+// minimum paths ... so that the packets traveling in the different paths
+// have the same hop delay". A flow split over two equal-length (2-hop)
+// paths must show lower latency jitter than the same flow split over a
+// 1-hop plus a 3-hop path.
+func TestEqualHopSplittingHasLowerJitter(t *testing.T) {
+	m, err := topology.NewMesh(3, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(paths []route.WeightedPath, src, dst int) CommodityStats {
+		cs := []mcf.Commodity{{K: 0, Src: src, Dst: dst, Demand: 400}}
+		tab := &route.Table{Commodities: []route.CommodityRoutes{{K: 0, Paths: paths}}}
+		st, err := Run(Config{
+			Topo:          m,
+			Table:         tab,
+			Commodities:   cs,
+			LinkBW:        1000,
+			RouterDelay:   7,
+			Seed:          9,
+			WarmupCycles:  1000,
+			MeasureCycles: 20000,
+			DrainCycles:   30000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.DrainedClean {
+			t.Fatal("packets lost")
+		}
+		return st.PerCommodity[0]
+	}
+
+	// Diagonal commodity 0 -> 4: two equal 2-hop minimum paths (NMAPTM).
+	equal := run([]route.WeightedPath{
+		{Nodes: []int{0, 1, 4}, Weight: 0.5},
+		{Nodes: []int{0, 3, 4}, Weight: 0.5},
+	}, 0, 4)
+
+	// Adjacent commodity 1 -> 4: direct 1-hop plus a 3-hop detour (the
+	// all-path split shape).
+	mixed := run([]route.WeightedPath{
+		{Nodes: []int{1, 4}, Weight: 0.5},
+		{Nodes: []int{1, 0, 3, 4}, Weight: 0.5},
+	}, 1, 4)
+
+	if equal.Jitter >= mixed.Jitter {
+		t.Fatalf("equal-hop jitter %.2f should be below mixed-hop jitter %.2f",
+			equal.Jitter, mixed.Jitter)
+	}
+	// Mixed-length paths differ by 2 hops * 7 cycles: the spread must
+	// reflect at least part of that 14-cycle gap.
+	if mixed.MaxLatency-mixed.MinLatency < 10 {
+		t.Fatalf("mixed-path latency spread only %d cycles",
+			mixed.MaxLatency-mixed.MinLatency)
+	}
+}

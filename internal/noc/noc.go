@@ -1,0 +1,136 @@
+// Package noc is a flit-level wormhole NoC simulator: the substitute for
+// the paper's cycle-accurate SystemC simulation of ×pipes macros. It
+// models input-buffered routers with round-robin switch allocation,
+// wormhole flow control (an output port stays locked to a packet until
+// its tail flit passes), per-hop pipeline delay, source routing with
+// weighted multi-path selection, and bursty on/off traffic generators.
+// Link bandwidth is normalized to one flit per cycle, so a commodity of
+// d MB/s on links of B MB/s injects d/B flits per cycle.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/mcf"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Topo        *topology.Topology
+	Table       *route.Table    // routing table (single or multi path)
+	Commodities []mcf.Commodity // traffic demands in MB/s
+	LinkBW      float64         // link bandwidth in MB/s (1 flit/cycle)
+	PacketBytes int             // packet size (paper: 64 B)
+	FlitBytes   int             // flit width (×pipes flit: 4 B)
+	BufferDepth int             // input FIFO depth in flits
+	RouterDelay int             // per-hop pipeline delay in cycles
+	// BurstPackets is the mean burst length in packets of the on/off
+	// traffic processes ("the traffic is bursty in nature").
+	BurstPackets float64
+	// BurstFlitsPerCycle is the speed at which a core emits a burst into
+	// its network interface (flits per cycle). Cores are faster than
+	// single network links, so bursts pile up at the NI: under
+	// single-path routing they serialize on one link, while split
+	// routing drains them over several paths in parallel (the paper's
+	// congestion-easing effect).
+	BurstFlitsPerCycle float64
+	Seed               int64
+	// WarmupCycles are simulated before measurement; packets created
+	// during the next MeasureCycles are measured; the simulation then
+	// drains until they are delivered (bounded by DrainCycles).
+	WarmupCycles  uint64
+	MeasureCycles uint64
+	DrainCycles   uint64
+}
+
+// Validate fills defaults and rejects inconsistent configurations.
+func (c *Config) Validate() error {
+	if c.Topo == nil || c.Table == nil {
+		return fmt.Errorf("noc: topology and routing table are required")
+	}
+	if len(c.Table.Commodities) != len(c.Commodities) {
+		return fmt.Errorf("noc: table covers %d commodities, traffic has %d",
+			len(c.Table.Commodities), len(c.Commodities))
+	}
+	if c.LinkBW <= 0 {
+		return fmt.Errorf("noc: link bandwidth must be positive")
+	}
+	if c.PacketBytes == 0 {
+		c.PacketBytes = 64
+	}
+	if c.FlitBytes == 0 {
+		c.FlitBytes = 4
+	}
+	if c.PacketBytes < c.FlitBytes {
+		return fmt.Errorf("noc: packet (%dB) smaller than flit (%dB)", c.PacketBytes, c.FlitBytes)
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 8
+	}
+	if c.RouterDelay == 0 {
+		c.RouterDelay = 1
+	}
+	if c.BurstPackets == 0 {
+		c.BurstPackets = 4
+	}
+	if c.BurstFlitsPerCycle == 0 {
+		c.BurstFlitsPerCycle = 4
+	}
+	if c.WarmupCycles == 0 {
+		c.WarmupCycles = 2000
+	}
+	if c.MeasureCycles == 0 {
+		c.MeasureCycles = 20000
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 50000
+	}
+	rate := 0.0
+	for _, cm := range c.Commodities {
+		if cm.Demand < 0 {
+			return fmt.Errorf("noc: negative demand on commodity %d", cm.K)
+		}
+		rate += cm.Demand
+	}
+	if rate == 0 {
+		return fmt.Errorf("noc: no traffic to simulate")
+	}
+	return nil
+}
+
+// PacketFlits returns the number of flits per packet, applying the 64 B
+// packet / 4 B flit defaults when unset.
+func (c *Config) PacketFlits() int {
+	pb, fb := c.PacketBytes, c.FlitBytes
+	if pb == 0 {
+		pb = 64
+	}
+	if fb == 0 {
+		fb = 4
+	}
+	return (pb + fb - 1) / fb
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	id        int
+	commodity int
+	nodes     []int  // source route
+	size      int    // flits
+	created   uint64 // cycle the traffic process emitted it
+	entered   uint64 // cycle the head flit entered the network
+	measured  bool
+}
+
+// flit is one flow-control unit. hop is the index of the router currently
+// holding the flit within the packet's route.
+type flit struct {
+	pkt   *packet
+	index int // 0 = head, size-1 = tail
+	hop   int
+}
+
+func (f flit) head() bool { return f.index == 0 }
+func (f flit) tail() bool { return f.index == f.pkt.size-1 }

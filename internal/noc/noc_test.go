@@ -1,0 +1,261 @@
+package noc
+
+import (
+	"testing"
+
+	"repro/internal/mcf"
+	"repro/internal/route"
+	"repro/internal/topology"
+)
+
+// singleFlowConfig builds a minimal one-commodity simulation.
+func singleFlowConfig(t *testing.T, demand, linkBW float64) Config {
+	t.Helper()
+	m, err := topology.NewMesh(3, 2, linkBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []mcf.Commodity{{K: 0, Src: 0, Dst: 5, Demand: demand}}
+	tab := route.FromSinglePaths([][]int{m.XYRoute(0, 5)})
+	return Config{
+		Topo:          m,
+		Table:         tab,
+		Commodities:   cs,
+		LinkBW:        linkBW,
+		Seed:          1,
+		WarmupCycles:  1000,
+		MeasureCycles: 10000,
+		DrainCycles:   20000,
+	}
+}
+
+func TestAllPacketsDelivered(t *testing.T) {
+	st, err := Run(singleFlowConfig(t, 200, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stalled {
+		t.Fatal("simulation stalled")
+	}
+	if !st.DrainedClean {
+		t.Fatalf("lost packets: injected %d delivered %d", st.Injected, st.Delivered)
+	}
+	if st.Injected == 0 {
+		t.Fatal("no packets injected")
+	}
+}
+
+func TestLatencyLowerBound(t *testing.T) {
+	cfg := singleFlowConfig(t, 100, 1000)
+	cfg.RouterDelay = 3
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 hops * 3 cycles + serialization of 16 flits = at least 25 cycles.
+	P := cfg.PacketFlits()
+	minLat := float64(3*cfg.RouterDelay + P - 1)
+	if st.AvgLatency < minLat {
+		t.Fatalf("avg latency %.1f below physical minimum %.1f", st.AvgLatency, minLat)
+	}
+}
+
+// contentionConfig routes two flows over the shared link 1->2.
+func contentionConfig(t *testing.T, demand, linkBW float64) Config {
+	t.Helper()
+	m, err := topology.NewMesh(3, 2, linkBW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []mcf.Commodity{
+		{K: 0, Src: 0, Dst: 2, Demand: demand},
+		{K: 1, Src: 3, Dst: 2, Demand: demand},
+	}
+	tab := route.FromSinglePaths([][]int{{0, 1, 2}, {3, 4, 1, 2}})
+	return Config{
+		Topo:          m,
+		Table:         tab,
+		Commodities:   cs,
+		LinkBW:        linkBW,
+		Seed:          11,
+		WarmupCycles:  1000,
+		MeasureCycles: 20000,
+		DrainCycles:   50000,
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	// A single flow at <= 1 flit/cycle never queues behind itself; the
+	// latency-vs-load effect comes from flows contending for a shared
+	// link, here at 20% vs 90% combined utilization of link 1->2.
+	low, err := Run(contentionConfig(t, 100, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(contentionConfig(t, 450, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !high.DrainedClean || !low.DrainedClean {
+		t.Fatalf("lost packets: low=%v high=%v", low.DrainedClean, high.DrainedClean)
+	}
+	if high.AvgLatency <= low.AvgLatency {
+		t.Fatalf("latency did not grow with load: %.1f (20%%) vs %.1f (90%%)",
+			low.AvgLatency, high.AvgLatency)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(singleFlowConfig(t, 300, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(singleFlowConfig(t, 300, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgLatency != b.AvgLatency || a.Delivered != b.Delivered || a.Cycles != b.Cycles {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMultiPathSplitRatios(t *testing.T) {
+	// A 600 MB/s flow on 1000 MB/s links split 50/25/25 over three paths:
+	// the link flit counters must reflect the split.
+	m, err := topology.NewMesh(3, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []mcf.Commodity{{K: 0, Src: 1, Dst: 4, Demand: 600}}
+	tab := &route.Table{Commodities: []route.CommodityRoutes{{
+		K: 0,
+		Paths: []route.WeightedPath{
+			{Nodes: []int{1, 4}, Weight: 0.5},
+			{Nodes: []int{1, 0, 3, 4}, Weight: 0.25},
+			{Nodes: []int{1, 2, 5, 4}, Weight: 0.25},
+		},
+	}}}
+	st, err := Run(Config{
+		Topo:          m,
+		Table:         tab,
+		Commodities:   cs,
+		LinkBW:        1000,
+		Seed:          3,
+		WarmupCycles:  1000,
+		MeasureCycles: 20000,
+		DrainCycles:   20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stalled || !st.DrainedClean {
+		t.Fatalf("stalled=%v drained=%v", st.Stalled, st.DrainedClean)
+	}
+	direct := st.LinkFlits[m.LinkID(1, 4)]
+	left := st.LinkFlits[m.LinkID(1, 0)]
+	right := st.LinkFlits[m.LinkID(1, 2)]
+	if direct == 0 || left == 0 || right == 0 {
+		t.Fatalf("some paths unused: direct=%d left=%d right=%d", direct, left, right)
+	}
+	ratio := float64(direct) / float64(left+right)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("split ratio %.2f, want ~1.0 (50%% direct vs 25%%+25%%)", ratio)
+	}
+}
+
+func TestWormholeBlockingRaisesLatencyWithSmallBuffers(t *testing.T) {
+	// Same traffic, tiny vs large buffers: wormhole blocking with small
+	// buffers must not lower latency.
+	cfg := singleFlowConfig(t, 700, 1000)
+	cfg.BufferDepth = 2
+	small, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := singleFlowConfig(t, 700, 1000)
+	cfg2.BufferDepth = 64
+	large, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.AvgLatency+1e-9 < large.AvgLatency {
+		t.Fatalf("small buffers gave lower latency: %.1f vs %.1f",
+			small.AvgLatency, large.AvgLatency)
+	}
+}
+
+func TestContentionBetweenFlows(t *testing.T) {
+	// Two flows forced through the same link: each must still deliver,
+	// and the shared link must carry both.
+	m, err := topology.NewMesh(3, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []mcf.Commodity{
+		{K: 0, Src: 0, Dst: 2, Demand: 300},
+		{K: 1, Src: 3, Dst: 2, Demand: 300},
+	}
+	tab := route.FromSinglePaths([][]int{
+		{0, 1, 2},
+		{3, 4, 1, 2}, // joins at node 1, shares link 1->2
+	})
+	st, err := Run(Config{
+		Topo:          m,
+		Table:         tab,
+		Commodities:   cs,
+		LinkBW:        1000,
+		Seed:          5,
+		WarmupCycles:  1000,
+		MeasureCycles: 10000,
+		DrainCycles:   30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.DrainedClean {
+		t.Fatalf("contention lost packets: %d/%d", st.Delivered, st.Injected)
+	}
+	shared := st.LinkFlits[m.LinkID(1, 2)]
+	if shared <= st.LinkFlits[m.LinkID(0, 1)] {
+		t.Fatalf("shared link (%d flits) should carry more than either input", shared)
+	}
+	for _, pc := range st.PerCommodity {
+		if pc.Delivered == 0 {
+			t.Fatalf("commodity %d starved", pc.K)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m, _ := topology.NewMesh(2, 2, 100)
+	tab := route.FromSinglePaths([][]int{{0, 1}})
+	cs := []mcf.Commodity{{K: 0, Src: 0, Dst: 1, Demand: 50}}
+	if _, err := Run(Config{Table: tab, Commodities: cs, LinkBW: 100}); err == nil {
+		t.Error("missing topology accepted")
+	}
+	if _, err := Run(Config{Topo: m, Table: tab, Commodities: cs, LinkBW: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := Run(Config{Topo: m, Table: tab, Commodities: nil, LinkBW: 100}); err == nil {
+		t.Error("commodity/table mismatch accepted")
+	}
+	over := []mcf.Commodity{{K: 0, Src: 0, Dst: 1, Demand: 500}}
+	if _, err := Run(Config{Topo: m, Table: tab, Commodities: over, LinkBW: 100}); err == nil {
+		t.Error("oversubscription accepted")
+	}
+	zero := []mcf.Commodity{{K: 0, Src: 0, Dst: 1, Demand: 0}}
+	if _, err := Run(Config{Topo: m, Table: tab, Commodities: zero, LinkBW: 100}); err == nil {
+		t.Error("zero traffic accepted")
+	}
+}
+
+func TestPacketFlits(t *testing.T) {
+	c := Config{PacketBytes: 64, FlitBytes: 4}
+	if c.PacketFlits() != 16 {
+		t.Fatalf("PacketFlits = %d, want 16", c.PacketFlits())
+	}
+	c = Config{PacketBytes: 65, FlitBytes: 4}
+	if c.PacketFlits() != 17 {
+		t.Fatalf("PacketFlits = %d, want 17", c.PacketFlits())
+	}
+}

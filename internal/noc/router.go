@@ -1,0 +1,165 @@
+package noc
+
+import (
+	"sort"
+)
+
+// localPort is the output key used for ejection to the network interface.
+// Input-side NI lanes use keys localPort, localPort-1, ... (one lane per
+// routed path sourced at the node), modeling a network interface whose
+// core-side bandwidth exceeds a single network link.
+const localPort = -1
+
+// laneKey returns the input key of NI lane n (0-based).
+func laneKey(n int) int { return localPort - n }
+
+// fifo is a bounded flit queue.
+type fifo struct {
+	items []flit
+	cap   int
+}
+
+func (f *fifo) full() bool     { return len(f.items) >= f.cap }
+func (f *fifo) empty() bool    { return len(f.items) == 0 }
+func (f *fifo) headFlit() flit { return f.items[0] }
+func (f *fifo) push(fl flit)   { f.items = append(f.items, fl) }
+func (f *fifo) pop() flit {
+	fl := f.items[0]
+	f.items = f.items[1:]
+	return fl
+}
+
+// link is a fixed-delay flit pipeline between an output port and the
+// downstream input FIFO. Slot i arrives after i+1 cycles.
+type link struct {
+	delay     int
+	inTransit []transitFlit
+}
+
+type transitFlit struct {
+	fl      flit
+	arrives uint64
+}
+
+func (l *link) occupancy() int { return len(l.inTransit) }
+
+// router is one mesh node's switch with per-input FIFOs, wormhole state
+// and round-robin output arbitration.
+type router struct {
+	node      int
+	inputKeys []int         // upstream node IDs plus localPort, sorted
+	inputs    map[int]*fifo // by input key
+	outKeys   []int         // downstream node IDs plus localPort, sorted
+	// wormhole locks: output key -> input key currently bound (or absent).
+	outLock map[int]int
+	// round-robin pointer per output key into inputKeys.
+	rrNext map[int]int
+}
+
+func newRouter(node int, neighbors []int, bufDepth, localLanes int) *router {
+	if localLanes < 1 {
+		localLanes = 1
+	}
+	r := &router{
+		node:    node,
+		inputs:  make(map[int]*fifo),
+		outLock: make(map[int]int),
+		rrNext:  make(map[int]int),
+	}
+	keys := append([]int(nil), neighbors...)
+	sort.Ints(keys)
+	for lane := 0; lane < localLanes; lane++ {
+		r.inputKeys = append(r.inputKeys, laneKey(lane))
+	}
+	r.inputKeys = append(r.inputKeys, keys...)
+	r.outKeys = append([]int{localPort}, keys...)
+	for _, k := range r.inputKeys {
+		r.inputs[k] = &fifo{cap: bufDepth}
+	}
+	return r
+}
+
+// nextHopOf returns the output key a flit wants at this router: the next
+// node of its source route, or localPort at the destination.
+func (r *router) nextHopOf(fl flit) int {
+	if fl.hop == len(fl.pkt.nodes)-1 {
+		return localPort
+	}
+	return fl.pkt.nodes[fl.hop+1]
+}
+
+// move is one granted input->output transfer, committed in phase 2.
+type move struct {
+	router *router
+	in     int
+	out    int
+}
+
+// arbitrate (phase 1) selects at most one input per output port using the
+// current wormhole locks and round-robin priority. spaceOK reports whether
+// the downstream of (router, outKey) can accept one flit this cycle.
+func (r *router) arbitrate(spaceOK func(r *router, out int) bool) []move {
+	var moves []move
+	for _, out := range r.outKeys {
+		if out == localPort {
+			// Ejection never head-of-line blocks: the NI has per-connection
+			// receive buffers and a core-side interface faster than a single
+			// link, so every input holding a flit for this node drains.
+			for _, in := range r.inputKeys {
+				q := r.inputs[in]
+				if !q.empty() && r.nextHopOf(q.headFlit()) == localPort {
+					moves = append(moves, move{router: r, in: in, out: localPort})
+				}
+			}
+			continue
+		}
+		if in, locked := r.outLock[out]; locked {
+			q := r.inputs[in]
+			if q.empty() {
+				continue
+			}
+			fl := q.headFlit()
+			// The locked packet's flits are contiguous in the FIFO, so
+			// the head flit always belongs to the locked packet.
+			if r.nextHopOf(fl) != out {
+				// Defensive: should not happen with contiguous packets.
+				continue
+			}
+			if spaceOK(r, out) {
+				moves = append(moves, move{router: r, in: in, out: out})
+			}
+			continue
+		}
+		// Free output: round-robin over inputs whose head is a head flit
+		// requesting this output.
+		n := len(r.inputKeys)
+		start := r.rrNext[out]
+		for i := 0; i < n; i++ {
+			in := r.inputKeys[(start+i)%n]
+			q := r.inputs[in]
+			if q.empty() {
+				continue
+			}
+			fl := q.headFlit()
+			if !fl.head() || r.nextHopOf(fl) != out {
+				continue
+			}
+			if !spaceOK(r, out) {
+				break // output blocked downstream; nobody wins it
+			}
+			moves = append(moves, move{router: r, in: in, out: out})
+			r.rrNext[out] = (indexOf(r.inputKeys, in) + 1) % n
+			break
+		}
+	}
+	return moves
+}
+
+func indexOf(keys []int, k int) int {
+	for i, v := range keys {
+		if v == k {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,383 @@
+package noc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// Stats summarizes one simulation run.
+type Stats struct {
+	Cycles    uint64
+	Injected  int // measured packets created
+	Delivered int // measured packets delivered
+	// AvgLatency is the network latency in cycles: head flit entering
+	// the network to tail flit ejected (the metric of the paper's
+	// Fig. 5c). AvgTotalLatency additionally includes source queueing.
+	AvgLatency      float64
+	AvgTotalLatency float64
+	MaxLatency      uint64
+	P95Latency      uint64
+	LinkFlits       []int64 // flits crossed per link ID
+	Stalled         bool    // deadlock/stall watchdog fired
+	DrainedClean    bool    // all measured packets delivered before horizon
+	OfferedLoad     float64 // sum of demands / link bandwidth (flits/cycle)
+	PerCommodity    []CommodityStats
+}
+
+// CommodityStats is the per-commodity latency breakdown. Jitter is the
+// standard deviation of the network latency: the paper motivates
+// minimum-path splitting (NMAPTM) with low jitter, because packets on
+// equal-hop paths see the same base delay.
+type CommodityStats struct {
+	K          int
+	Delivered  int
+	AvgLatency float64
+	Jitter     float64
+	MinLatency uint64
+	MaxLatency uint64
+
+	sumSq float64
+}
+
+// source is a per-commodity bursty on/off packet process.
+type source struct {
+	k         int // commodity index
+	node      int
+	rate      float64 // flits per cycle
+	burstLeft int
+	burstSize int
+	nextEmit  uint64
+	rng       *rand.Rand
+}
+
+// engine is the full simulation state.
+type engine struct {
+	cfg     Config
+	kern    sim.Kernel
+	routers []*router
+	links   []*link // indexed by topology link ID
+	chooser *route.Chooser
+	sources []*source
+	// laneOf[commodity][pathIdx] is the NI input-lane key at the source
+	// router; niQueue[node][laneIdx] holds flits waiting for that lane.
+	laneOf   [][]int
+	niQueue  [][][]flit
+	nextID   int
+	inFlight int
+	lastMove uint64
+
+	latencies []uint64
+	totalLat  []uint64
+	perComm   []CommodityStats
+	linkFlits []int64
+	delivered int
+	injected  int
+	stalled   bool
+}
+
+// Run simulates the configuration and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{cfg: cfg, chooser: route.NewChooser(cfg.Table)}
+	t := cfg.Topo
+	// Assign one NI input lane per (commodity, path) at each source node.
+	lanesAt := make([]int, t.N())
+	e.laneOf = make([][]int, len(cfg.Commodities))
+	for i, c := range cfg.Commodities {
+		paths := cfg.Table.Commodities[i].Paths
+		e.laneOf[i] = make([]int, len(paths))
+		for j := range paths {
+			e.laneOf[i][j] = lanesAt[c.Src]
+			lanesAt[c.Src]++
+		}
+	}
+	e.routers = make([]*router, t.N())
+	e.niQueue = make([][][]flit, t.N())
+	for u := 0; u < t.N(); u++ {
+		e.routers[u] = newRouter(u, t.Neighbors(u), cfg.BufferDepth, lanesAt[u])
+		lanes := lanesAt[u]
+		if lanes < 1 {
+			lanes = 1
+		}
+		e.niQueue[u] = make([][]flit, lanes)
+	}
+	e.links = make([]*link, t.NumLinks())
+	for _, l := range t.Links() {
+		e.links[l.ID] = &link{delay: cfg.RouterDelay}
+	}
+	e.linkFlits = make([]int64, t.NumLinks())
+	e.perComm = make([]CommodityStats, len(cfg.Commodities))
+	P := cfg.PacketFlits()
+	for i, c := range cfg.Commodities {
+		e.perComm[i].K = c.K
+		if c.Demand <= 0 {
+			continue
+		}
+		s := &source{
+			k:    i,
+			node: c.Src,
+			rate: c.Demand / cfg.LinkBW,
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		}
+		if s.rate > 1 {
+			return nil, fmt.Errorf("noc: commodity %d oversubscribes the injection link (%.2f flits/cycle)", c.K, s.rate)
+		}
+		s.nextEmit = uint64(s.rng.Intn(P * 4))
+		e.sources = append(e.sources, s)
+	}
+
+	horizon := cfg.WarmupCycles + cfg.MeasureCycles + cfg.DrainCycles
+	stallLimit := uint64(10000)
+	done := false
+	var tick func()
+	tick = func() {
+		now := e.kern.Now()
+		e.cycle(now)
+		measuredDone := now > cfg.WarmupCycles+cfg.MeasureCycles &&
+			e.delivered == e.injected && e.inFlight == 0
+		if e.inFlight > 0 && now-e.lastMove > stallLimit {
+			e.stalled = true
+			done = true
+			return
+		}
+		if now >= horizon || measuredDone {
+			done = true
+			return
+		}
+		e.kern.Schedule(1, tick)
+	}
+	e.kern.Schedule(0, tick)
+	for !done && e.kern.Step() {
+	}
+
+	st := &Stats{
+		Cycles:       e.kern.Now(),
+		Injected:     e.injected,
+		Delivered:    e.delivered,
+		LinkFlits:    e.linkFlits,
+		Stalled:      e.stalled,
+		DrainedClean: !e.stalled && e.delivered == e.injected,
+		PerCommodity: e.perComm,
+	}
+	for _, c := range cfg.Commodities {
+		st.OfferedLoad += c.Demand / cfg.LinkBW
+	}
+	if len(e.latencies) > 0 {
+		sum, sumTotal := 0.0, 0.0
+		for i, l := range e.latencies {
+			sum += float64(l)
+			sumTotal += float64(e.totalLat[i])
+			if l > st.MaxLatency {
+				st.MaxLatency = l
+			}
+		}
+		st.AvgLatency = sum / float64(len(e.latencies))
+		st.AvgTotalLatency = sumTotal / float64(len(e.latencies))
+		st.P95Latency = percentile(e.latencies, 0.95)
+	}
+	for i := range st.PerCommodity {
+		pc := &st.PerCommodity[i]
+		if pc.Delivered > 0 {
+			n := float64(pc.Delivered)
+			pc.AvgLatency /= n
+			variance := pc.sumSq/n - pc.AvgLatency*pc.AvgLatency
+			if variance > 0 {
+				pc.Jitter = math.Sqrt(variance)
+			}
+		}
+	}
+	return st, nil
+}
+
+// cycle advances the network by one cycle.
+func (e *engine) cycle(now uint64) {
+	// 1. Link arrivals become visible in downstream FIFOs (link-ID order
+	// keeps the simulation bit-for-bit deterministic).
+	for _, tl := range e.cfg.Topo.Links() {
+		l := e.links[tl.ID]
+		kept := l.inTransit[:0]
+		for _, tf := range l.inTransit {
+			if tf.arrives <= now {
+				e.routers[tl.To].inputs[tl.From].push(tf.fl)
+				e.lastMove = now
+			} else {
+				kept = append(kept, tf)
+			}
+		}
+		l.inTransit = kept
+	}
+	// 2. Traffic emission and NI injection (one flit per lane per cycle).
+	e.emit(now)
+	for node, lanes := range e.niQueue {
+		for lane, q := range lanes {
+			if len(q) == 0 {
+				continue
+			}
+			in := e.routers[node].inputs[laneKey(lane)]
+			if in.full() {
+				continue
+			}
+			fl := q[0]
+			if fl.head() {
+				fl.pkt.entered = now
+			}
+			in.push(fl)
+			e.niQueue[node][lane] = q[1:]
+			e.lastMove = now
+		}
+	}
+	// 3. Switch allocation (phase 1) across all routers.
+	var moves []move
+	for _, r := range e.routers {
+		moves = append(moves, r.arbitrate(e.spaceOK)...)
+	}
+	// 4. Commit transfers (phase 2).
+	for _, mv := range moves {
+		r := mv.router
+		fl := r.inputs[mv.in].pop()
+		e.lastMove = now
+		if mv.out == localPort {
+			// Ejection holds no wormhole lock (see router.arbitrate).
+			if fl.tail() {
+				e.deliver(fl.pkt, now)
+			}
+			continue
+		}
+		if fl.head() && !fl.tail() {
+			r.outLock[mv.out] = mv.in
+		}
+		if fl.tail() {
+			delete(r.outLock, mv.out)
+		}
+		fl.hop++
+		id := e.cfg.Topo.LinkID(r.node, mv.out)
+		l := e.links[id]
+		l.inTransit = append(l.inTransit, transitFlit{fl: fl, arrives: now + uint64(l.delay)})
+		e.linkFlits[id]++
+	}
+}
+
+// spaceOK reports whether output port out of router r can accept a flit:
+// ejection always can; a link can when the downstream FIFO plus flits in
+// transit leave room.
+func (e *engine) spaceOK(r *router, out int) bool {
+	if out == localPort {
+		return true
+	}
+	l := e.links[e.cfg.Topo.LinkID(r.node, out)]
+	down := e.routers[out].inputs[r.node]
+	return len(down.items)+l.occupancy() < down.cap
+}
+
+// emit advances every traffic source and enqueues fresh packets.
+func (e *engine) emit(now uint64) {
+	if now >= e.cfg.WarmupCycles+e.cfg.MeasureCycles {
+		return // sources stop at the end of the measurement window
+	}
+	P := e.cfg.PacketFlits()
+	// During a burst the core emits at its interface speed; between
+	// bursts the source idles long enough to keep the long-run rate.
+	burstGap := uint64(math.Ceil(float64(P) / e.cfg.BurstFlitsPerCycle))
+	if burstGap < 1 {
+		burstGap = 1
+	}
+	for _, s := range e.sources {
+		for s.nextEmit <= now {
+			if s.burstLeft <= 0 {
+				// Start a new burst: geometric length with the
+				// configured mean.
+				s.burstSize = 1 + geometric(s.rng, e.cfg.BurstPackets)
+				s.burstLeft = s.burstSize
+			}
+			e.createPacket(s, now)
+			s.burstLeft--
+			gap := burstGap
+			if s.burstLeft == 0 {
+				// The off gap restores the mean rate: a burst of n
+				// packets used n*burstGap cycles but must occupy
+				// n*P/rate cycles on average.
+				offMean := float64(s.burstSize) * (float64(P)/s.rate - float64(burstGap))
+				if offMean > 0 {
+					gap += uint64(s.rng.ExpFloat64() * offMean)
+				}
+			}
+			s.nextEmit += gap
+		}
+	}
+}
+
+// geometric samples a geometric-distributed burst extension count with
+// the given mean (>= 1 packet bursts).
+func geometric(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 0
+	}
+	p := 1 / mean
+	n := 0
+	for rng.Float64() > p && n < 64 {
+		n++
+	}
+	return n
+}
+
+// createPacket allocates a packet on its chosen path and queues its flits
+// at the source NI lane of that path.
+func (e *engine) createPacket(s *source, now uint64) {
+	pathIdx, path := e.chooser.NextIndex(s.k)
+	pkt := &packet{
+		id:        e.nextID,
+		commodity: s.k,
+		nodes:     path,
+		size:      e.cfg.PacketFlits(),
+		created:   now,
+	}
+	e.nextID++
+	if now >= e.cfg.WarmupCycles && now < e.cfg.WarmupCycles+e.cfg.MeasureCycles {
+		pkt.measured = true
+		e.injected++
+	}
+	lane := e.laneOf[s.k][pathIdx]
+	for i := 0; i < pkt.size; i++ {
+		e.niQueue[s.node][lane] = append(e.niQueue[s.node][lane], flit{pkt: pkt, index: i, hop: 0})
+	}
+	e.inFlight++
+}
+
+// deliver retires a packet at its destination.
+func (e *engine) deliver(pkt *packet, now uint64) {
+	e.inFlight--
+	if !pkt.measured {
+		return
+	}
+	lat := now - pkt.entered
+	e.latencies = append(e.latencies, lat)
+	e.totalLat = append(e.totalLat, now-pkt.created)
+	e.delivered++
+	pc := &e.perComm[pkt.commodity]
+	pc.Delivered++
+	pc.AvgLatency += float64(lat)
+	pc.sumSq += float64(lat) * float64(lat)
+	if pc.Delivered == 1 || lat < pc.MinLatency {
+		pc.MinLatency = lat
+	}
+	if lat > pc.MaxLatency {
+		pc.MaxLatency = lat
+	}
+}
+
+func percentile(xs []uint64, q float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

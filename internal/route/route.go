@@ -1,0 +1,157 @@
+// Package route turns the outputs of the mapping algorithms into the
+// routing tables consumed by the NoC simulator: a set of source-routed
+// paths per commodity with split weights. Single-path and dimension-
+// ordered routings have one path of weight 1; split-traffic routings are
+// path decompositions of the multi-commodity flow solutions, and the
+// weighted round-robin Chooser reproduces the split ratios packet by
+// packet (the paper notes the routing tables cost under 10% of the
+// network buffer bits).
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+// WeightedPath is one source route carrying a fraction of a commodity.
+type WeightedPath struct {
+	Nodes  []int   // node sequence including both endpoints
+	Weight float64 // fraction of the commodity's traffic, (0,1]
+}
+
+// CommodityRoutes lists the paths of one commodity.
+type CommodityRoutes struct {
+	K     int
+	Paths []WeightedPath
+}
+
+// Table is a full routing table: one entry per commodity.
+type Table struct {
+	Commodities []CommodityRoutes
+}
+
+// FromSinglePaths builds a table in which commodity k follows paths[k]
+// (the output of core.Problem.RouteSinglePath or RouteXY) exclusively.
+func FromSinglePaths(paths [][]int) *Table {
+	t := &Table{Commodities: make([]CommodityRoutes, len(paths))}
+	for k, p := range paths {
+		t.Commodities[k] = CommodityRoutes{
+			K:     k,
+			Paths: []WeightedPath{{Nodes: p, Weight: 1}},
+		}
+	}
+	return t
+}
+
+// FromFlows decomposes per-commodity link flows (an MCF solution) into
+// weighted paths. Commodities with zero demand get a single direct path
+// so the table stays total.
+func FromFlows(topo *topology.Topology, cs []mcf.Commodity, flows [][]float64) (*Table, error) {
+	if len(cs) != len(flows) {
+		return nil, fmt.Errorf("route: %d commodities but %d flow rows", len(cs), len(flows))
+	}
+	t := &Table{Commodities: make([]CommodityRoutes, len(cs))}
+	for i, c := range cs {
+		cr := CommodityRoutes{K: c.K}
+		if c.Demand <= 0 {
+			cr.Paths = []WeightedPath{{Nodes: topo.XYRoute(c.Src, c.Dst), Weight: 1}}
+		} else {
+			for _, pf := range mcf.DecomposePaths(topo, c, flows[i]) {
+				cr.Paths = append(cr.Paths, WeightedPath{
+					Nodes:  pf.Nodes,
+					Weight: pf.Flow / c.Demand,
+				})
+			}
+			if len(cr.Paths) == 0 {
+				return nil, fmt.Errorf("route: commodity %d decomposed to no paths", c.K)
+			}
+		}
+		t.Commodities[i] = cr
+	}
+	return t, nil
+}
+
+// Validate checks that every path is link-connected on the topology, that
+// endpoints match the commodities and that weights sum to ~1.
+func (t *Table) Validate(topo *topology.Topology, cs []mcf.Commodity) error {
+	if len(t.Commodities) != len(cs) {
+		return fmt.Errorf("route: table covers %d commodities, want %d", len(t.Commodities), len(cs))
+	}
+	for i, cr := range t.Commodities {
+		c := cs[i]
+		sum := 0.0
+		for _, wp := range cr.Paths {
+			if len(wp.Nodes) < 2 {
+				return fmt.Errorf("route: commodity %d has a degenerate path", c.K)
+			}
+			if wp.Nodes[0] != c.Src || wp.Nodes[len(wp.Nodes)-1] != c.Dst {
+				return fmt.Errorf("route: commodity %d path endpoints %d..%d, want %d..%d",
+					c.K, wp.Nodes[0], wp.Nodes[len(wp.Nodes)-1], c.Src, c.Dst)
+			}
+			if topo.PathLinks(wp.Nodes) == nil {
+				return fmt.Errorf("route: commodity %d path not link-connected: %v", c.K, wp.Nodes)
+			}
+			sum += wp.Weight
+		}
+		if sum < 0.999 || sum > 1.001 {
+			return fmt.Errorf("route: commodity %d weights sum to %g", c.K, sum)
+		}
+	}
+	return nil
+}
+
+// TableBits estimates the routing-table storage per node in bits: each
+// path entry stores its hop directions (2 bits per hop) plus a weight
+// (8 bits). Used for the paper's <10% overhead claim.
+func (t *Table) TableBits() int {
+	bits := 0
+	for _, cr := range t.Commodities {
+		for _, wp := range cr.Paths {
+			bits += 2*(len(wp.Nodes)-1) + 8
+		}
+	}
+	return bits
+}
+
+// Chooser deterministically cycles a commodity's paths in proportion to
+// their weights (smooth weighted round-robin), so simulated split ratios
+// converge to the LP's ratios without randomness.
+type Chooser struct {
+	table   *Table
+	credits [][]float64
+}
+
+// NewChooser returns a Chooser over the table.
+func NewChooser(t *Table) *Chooser {
+	c := &Chooser{table: t, credits: make([][]float64, len(t.Commodities))}
+	for i, cr := range t.Commodities {
+		c.credits[i] = make([]float64, len(cr.Paths))
+	}
+	return c
+}
+
+// Next returns the path for commodity index i's next packet.
+func (c *Chooser) Next(i int) []int {
+	_, nodes := c.NextIndex(i)
+	return nodes
+}
+
+// NextIndex returns the chosen path's index within the commodity's path
+// list along with its node sequence.
+func (c *Chooser) NextIndex(i int) (int, []int) {
+	cr := c.table.Commodities[i]
+	if len(cr.Paths) == 1 {
+		return 0, cr.Paths[0].Nodes
+	}
+	best, bestCredit := 0, -1.0
+	for j, wp := range cr.Paths {
+		c.credits[i][j] += wp.Weight
+		if c.credits[i][j] > bestCredit {
+			best, bestCredit = j, c.credits[i][j]
+		}
+	}
+	c.credits[i][best] -= 1
+	return best, cr.Paths[best].Nodes
+}

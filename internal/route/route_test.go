@@ -1,0 +1,125 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+func TestFromSinglePaths(t *testing.T) {
+	paths := [][]int{{0, 1, 2}, {3, 0}}
+	tab := FromSinglePaths(paths)
+	if len(tab.Commodities) != 2 {
+		t.Fatalf("commodity count = %d", len(tab.Commodities))
+	}
+	if w := tab.Commodities[0].Paths[0].Weight; w != 1 {
+		t.Fatalf("weight = %g, want 1", w)
+	}
+}
+
+func TestFromFlowsSplitsWithCorrectWeights(t *testing.T) {
+	m, _ := topology.NewMesh(3, 3, 100)
+	cs := []mcf.Commodity{{K: 0, Src: 3, Dst: 4, Demand: 300}}
+	res, err := mcf.SolveMCF2(m, cs, mcf.Options{Mode: mcf.Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := FromFlows(m, cs, res.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(m, cs); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Commodities[0].Paths) < 3 {
+		t.Fatalf("expected >= 3 split paths, got %d", len(tab.Commodities[0].Paths))
+	}
+	sum := 0.0
+	for _, wp := range tab.Commodities[0].Paths {
+		sum += wp.Weight
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+}
+
+func TestFromFlowsLengthMismatch(t *testing.T) {
+	m, _ := topology.NewMesh(2, 2, 100)
+	cs := []mcf.Commodity{{K: 0, Src: 0, Dst: 1, Demand: 10}}
+	if _, err := FromFlows(m, cs, nil); err == nil {
+		t.Fatal("mismatched flows accepted")
+	}
+}
+
+func TestValidateCatchesBadTables(t *testing.T) {
+	m, _ := topology.NewMesh(2, 2, 100)
+	cs := []mcf.Commodity{{K: 0, Src: 0, Dst: 3, Demand: 10}}
+	bad := &Table{Commodities: []CommodityRoutes{
+		{K: 0, Paths: []WeightedPath{{Nodes: []int{0, 3}, Weight: 1}}}, // diagonal hop
+	}}
+	if err := bad.Validate(m, cs); err == nil {
+		t.Fatal("non-link-connected path accepted")
+	}
+	wrongEnd := &Table{Commodities: []CommodityRoutes{
+		{K: 0, Paths: []WeightedPath{{Nodes: []int{0, 1}, Weight: 1}}},
+	}}
+	if err := wrongEnd.Validate(m, cs); err == nil {
+		t.Fatal("wrong endpoint accepted")
+	}
+	badWeight := &Table{Commodities: []CommodityRoutes{
+		{K: 0, Paths: []WeightedPath{{Nodes: []int{0, 1, 3}, Weight: 0.5}}},
+	}}
+	if err := badWeight.Validate(m, cs); err == nil {
+		t.Fatal("weights not summing to 1 accepted")
+	}
+	good := &Table{Commodities: []CommodityRoutes{
+		{K: 0, Paths: []WeightedPath{{Nodes: []int{0, 1, 3}, Weight: 1}}},
+	}}
+	if err := good.Validate(m, cs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChooserMatchesWeights(t *testing.T) {
+	tab := &Table{Commodities: []CommodityRoutes{{
+		K: 0,
+		Paths: []WeightedPath{
+			{Nodes: []int{0, 1}, Weight: 0.5},
+			{Nodes: []int{0, 2, 1}, Weight: 0.25},
+			{Nodes: []int{0, 3, 1}, Weight: 0.25},
+		},
+	}}}
+	c := NewChooser(tab)
+	counts := map[int]int{}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		p := c.Next(0)
+		counts[len(p)*100+p[1]]++
+	}
+	if got := counts[100*2+1]; got != n/2 {
+		t.Fatalf("direct path chosen %d times, want %d", got, n/2)
+	}
+	if got := counts[100*3+2]; got != n/4 {
+		t.Fatalf("path via 2 chosen %d times, want %d", got, n/4)
+	}
+}
+
+func TestChooserSinglePathFastPath(t *testing.T) {
+	tab := FromSinglePaths([][]int{{4, 5, 6}})
+	c := NewChooser(tab)
+	for i := 0; i < 10; i++ {
+		p := c.Next(0)
+		if len(p) != 3 || p[0] != 4 {
+			t.Fatalf("unexpected path %v", p)
+		}
+	}
+}
+
+func TestTableBits(t *testing.T) {
+	tab := FromSinglePaths([][]int{{0, 1, 2}}) // 2 hops -> 4 bits + 8 weight
+	if got := tab.TableBits(); got != 12 {
+		t.Fatalf("TableBits = %d, want 12", got)
+	}
+}

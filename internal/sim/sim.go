@@ -1,0 +1,89 @@
+// Package sim is a small discrete-event simulation kernel: the stand-in
+// for the SystemC kernel under the paper's cycle-accurate NoC simulation.
+// Time advances in integer cycles; events scheduled for the same cycle
+// fire in FIFO order, making simulations fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	time uint64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Kernel is the event queue and simulated clock. The zero value is ready
+// to use at cycle 0.
+type Kernel struct {
+	now    uint64
+	seq    uint64
+	events eventHeap
+}
+
+// Now returns the current simulation cycle.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Schedule enqueues fn to run after delay cycles (0 = later this cycle).
+func (k *Kernel) Schedule(delay uint64, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.seq++
+	heap.Push(&k.events, event{time: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Step runs all events of the next pending cycle and advances the clock
+// to it. It reports false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	t := k.events[0].time
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event in the past (%d < %d)", t, k.now))
+	}
+	k.now = t
+	for len(k.events) > 0 && k.events[0].time == t {
+		e := heap.Pop(&k.events).(event)
+		e.fn()
+	}
+	return true
+}
+
+// Run executes events until the queue empties or the clock passes limit,
+// and returns the cycle at which it stopped.
+func (k *Kernel) Run(limit uint64) uint64 {
+	for len(k.events) > 0 && k.events[0].time <= limit {
+		k.Step()
+	}
+	if k.now < limit && len(k.events) == 0 {
+		k.now = limit
+	}
+	return k.now
+}

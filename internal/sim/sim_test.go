@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleAndOrder(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.Schedule(5, func() { got = append(got, 5) })
+	k.Schedule(1, func() { got = append(got, 1) })
+	k.Schedule(3, func() { got = append(got, 3) })
+	for k.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("order = %v, want [1 3 5]", got)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock = %d, want 5", k.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(7, func() { got = append(got, i) })
+	}
+	k.Step()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var k Kernel
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			k.Schedule(1, tick)
+		}
+	}
+	k.Schedule(0, tick)
+	for k.Step() {
+	}
+	if count != 100 {
+		t.Fatalf("ticked %d times, want 100", count)
+	}
+	if k.Now() != 99 {
+		t.Fatalf("clock = %d, want 99", k.Now())
+	}
+}
+
+func TestZeroDelayRunsThisCycle(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.Schedule(2, func() {
+		k.Schedule(0, func() { fired = true })
+	})
+	k.Step()
+	if !fired {
+		t.Fatal("zero-delay event did not run within the same cycle")
+	}
+}
+
+func TestRunStopsAtLimit(t *testing.T) {
+	var k Kernel
+	ran := 0
+	var tick func()
+	tick = func() {
+		ran++
+		k.Schedule(10, tick)
+	}
+	k.Schedule(0, tick)
+	k.Run(35)
+	if ran != 4 { // cycles 0, 10, 20, 30
+		t.Fatalf("ran %d events, want 4", ran)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestRunAdvancesIdleClock(t *testing.T) {
+	var k Kernel
+	k.Run(100)
+	if k.Now() != 100 {
+		t.Fatalf("idle clock = %d, want 100", k.Now())
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil event accepted")
+		}
+	}()
+	var k Kernel
+	k.Schedule(1, nil)
+}

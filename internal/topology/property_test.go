@@ -1,0 +1,121 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuadrantContainsEveryMinimalPath samples random staircase walks
+// between random node pairs and checks each visited node lies inside the
+// quadrant — the property the shortestpath() routine relies on.
+func TestQuadrantContainsEveryMinimalPath(t *testing.T) {
+	m, _ := NewMesh(6, 5, 1)
+	f := func(aRaw, bRaw uint8, seed int64) bool {
+		src := int(aRaw) % m.N()
+		dst := int(bRaw) % m.N()
+		in := m.Quadrant(src, dst)
+		rng := rand.New(rand.NewSource(seed))
+		// Random minimal walk: repeatedly step toward dst in a random
+		// useful dimension.
+		at := src
+		for at != dst {
+			if !in[at] {
+				return false
+			}
+			var opts []int
+			for _, n := range m.Neighbors(at) {
+				if m.HopDist(n, dst) < m.HopDist(at, dst) {
+					opts = append(opts, n)
+				}
+			}
+			if len(opts) == 0 {
+				return false
+			}
+			at = opts[rng.Intn(len(opts))]
+		}
+		return in[dst]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTorusQuadrantFollowsWrapDirection: on a torus the quadrant follows
+// the minimal wrap direction, so its size equals (|dx|+1)*(|dy|+1) with
+// wrapped deltas.
+func TestTorusQuadrantFollowsWrapDirection(t *testing.T) {
+	tor, err := NewTorus(5, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := tor.Node(0, 0), tor.Node(4, 4)
+	// Wrapped deltas are (-1,-1): a 2x2 quadrant.
+	in := tor.Quadrant(src, dst)
+	count := 0
+	for _, b := range in {
+		if b {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Fatalf("torus quadrant size %d, want 4", count)
+	}
+	if !in[src] || !in[dst] {
+		t.Fatal("endpoints missing")
+	}
+	if in[tor.Node(2, 2)] {
+		t.Fatal("quadrant leaked into the non-wrap region")
+	}
+}
+
+// TestQuadrantLinksCountFormula: for a dx x dy rectangle, forward links
+// number dx*(dy+1) + dy*(dx+1).
+func TestQuadrantLinksCountFormula(t *testing.T) {
+	m, _ := NewMesh(6, 6, 1)
+	f := func(aRaw, bRaw uint8) bool {
+		src := int(aRaw) % m.N()
+		dst := int(bRaw) % m.N()
+		if src == dst {
+			return true
+		}
+		sx, sy := m.XY(src)
+		dx0, dy0 := m.XY(dst)
+		dx := abs(dx0 - sx)
+		dy := abs(dy0 - sy)
+		want := dx*(dy+1) + dy*(dx+1)
+		return len(m.QuadrantLinks(src, dst)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHopDistSymmetricAndTriangle checks metric properties of HopDist on
+// mesh and torus.
+func TestHopDistSymmetricAndTriangle(t *testing.T) {
+	for _, build := range []func() (*Topology, error){
+		func() (*Topology, error) { return NewMesh(5, 4, 1) },
+		func() (*Topology, error) { return NewTorus(5, 4, 1) },
+	} {
+		topo, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(aRaw, bRaw, cRaw uint8) bool {
+			a := int(aRaw) % topo.N()
+			b := int(bRaw) % topo.N()
+			c := int(cRaw) % topo.N()
+			if topo.HopDist(a, b) != topo.HopDist(b, a) {
+				return false
+			}
+			if topo.HopDist(a, a) != 0 {
+				return false
+			}
+			return topo.HopDist(a, c) <= topo.HopDist(a, b)+topo.HopDist(b, c)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package topology
+
+// Quadrant computes the quadrant graph Q(d_k) between nodes src and dst:
+// the set of nodes lying inside the minimal bounding rectangle spanned by
+// the two endpoints. Every minimal-hop path between src and dst stays
+// inside this rectangle (on a torus the rectangle follows the minimal
+// wrap direction in each dimension), so restricting search to it preserves
+// shortest paths while shrinking the search space.
+//
+// The result is a boolean membership mask over all nodes, suitable for the
+// `allowed` argument of graph.Dijkstra.
+func (t *Topology) Quadrant(src, dst int) []bool {
+	sx, sy := t.XY(src)
+	dx := t.wrapDelta(sx, mustX(t, dst), t.W)
+	dy := t.wrapDelta(sy, mustY(t, dst), t.H)
+	in := make([]bool, t.N())
+	stepX := sign(dx)
+	stepY := sign(dy)
+	// Walk the rectangle [0..|dx|] x [0..|dy|] from the source, wrapping
+	// coordinates on a torus.
+	for ix := 0; ix <= abs(dx); ix++ {
+		for iy := 0; iy <= abs(dy); iy++ {
+			x := wrap(sx+stepX*ix, t.W)
+			y := wrap(sy+stepY*iy, t.H)
+			in[t.Node(x, y)] = true
+		}
+	}
+	return in
+}
+
+// QuadrantLinks returns the IDs of all directed links whose endpoints both
+// lie inside the quadrant of (src,dst) and which point "forward": each
+// link moves from a node to a node that is not farther from dst. On a
+// mesh this yields exactly the links usable by minimal paths, implementing
+// the Eq. 10 restriction for minimum-path traffic splitting.
+func (t *Topology) QuadrantLinks(src, dst int) []int {
+	in := t.Quadrant(src, dst)
+	var ids []int
+	for _, l := range t.links {
+		if !in[l.From] || !in[l.To] {
+			continue
+		}
+		if t.HopDist(l.To, dst) < t.HopDist(l.From, dst) {
+			ids = append(ids, l.ID)
+		}
+	}
+	return ids
+}
+
+func mustX(t *Topology, u int) int { x, _ := t.XY(u); return x }
+func mustY(t *Topology, u int) int { _, y := t.XY(u); return y }
+
+func sign(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func wrap(v, n int) int {
+	v %= n
+	if v < 0 {
+		v += n
+	}
+	return v
+}

@@ -1,0 +1,41 @@
+package topology
+
+// XYRoute returns the dimension-ordered (XY) route from src to dst as a
+// node sequence including both endpoints: the packet first travels along
+// the X dimension, then along Y. On a torus the minimal wrap direction is
+// used in each dimension. XY routing is deterministic and deadlock-free on
+// meshes.
+func (t *Topology) XYRoute(src, dst int) []int {
+	sx, sy := t.XY(src)
+	dx, dy := t.XY(dst)
+	stepX := sign(t.wrapDelta(sx, dx, t.W))
+	stepY := sign(t.wrapDelta(sy, dy, t.H))
+	path := []int{src}
+	x, y := sx, sy
+	for x != dx {
+		x = wrap(x+stepX, t.W)
+		path = append(path, t.Node(x, y))
+	}
+	for y != dy {
+		y = wrap(y+stepY, t.H)
+		path = append(path, t.Node(x, y))
+	}
+	return path
+}
+
+// PathLinks converts a node sequence into the corresponding link-ID
+// sequence. It returns nil if any consecutive pair is not adjacent.
+func (t *Topology) PathLinks(path []int) []int {
+	if len(path) < 2 {
+		return []int{}
+	}
+	ids := make([]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		id := t.LinkID(path[i], path[i+1])
+		if id < 0 {
+			return nil
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}

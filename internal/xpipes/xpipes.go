@@ -1,0 +1,127 @@
+// Package xpipes stands in for the ×pipes SystemC macro library [9] and
+// the ×pipesCompiler [13]: a library of parameterizable network components
+// (switches, network interfaces, links) with the area and delay figures of
+// the paper's Table 3, and a "compiler" that instantiates a simulatable
+// NoC design from a mapped application and its routing table.
+package xpipes
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/noc"
+	"repro/internal/route"
+)
+
+// RouterSpec parameterizes one ×pipes switch.
+type RouterSpec struct {
+	AreaMM2     float64 // silicon area per switch
+	DelayCycles int     // switch traversal delay ("SW del 7 cy")
+	BufferDepth int     // input buffer depth in flits
+}
+
+// NISpec parameterizes one network interface.
+type NISpec struct {
+	AreaMM2 float64
+}
+
+// Library is a consistent set of component parameters.
+type Library struct {
+	Router      RouterSpec
+	NI          NISpec
+	PacketBytes int // fixed packet size ("Pack. size 64B")
+	FlitBytes   int // ×pipes flit width
+}
+
+// DefaultLibrary returns the parameters reported in Table 3 of the paper
+// (0.1 um technology): 0.6 mm^2 network interfaces, 1.08 mm^2 switches
+// with a 7-cycle traversal delay, 64-byte packets on 4-byte flits.
+func DefaultLibrary() Library {
+	return Library{
+		Router:      RouterSpec{AreaMM2: 1.08, DelayCycles: 7, BufferDepth: 8},
+		NI:          NISpec{AreaMM2: 0.6},
+		PacketBytes: 64,
+		FlitBytes:   4,
+	}
+}
+
+// Design is an instantiated NoC: the mapped application plus the chosen
+// routing, ready to simulate or report on.
+type Design struct {
+	Problem     *core.Problem
+	Mapping     *core.Mapping
+	Table       *route.Table
+	Commodities []mcf.Commodity
+	Lib         Library
+}
+
+// Compile instantiates the network components around the mapped cores,
+// validating the routing table against the topology (the ×pipesCompiler
+// step: "the appropriate switches, links and network interfaces are
+// chosen and added to the cores").
+func Compile(p *core.Problem, m *core.Mapping, table *route.Table, lib Library) (*Design, error) {
+	if p == nil || m == nil || table == nil {
+		return nil, fmt.Errorf("xpipes: problem, mapping and table are required")
+	}
+	if !m.Complete() || !m.Valid() {
+		return nil, fmt.Errorf("xpipes: mapping is not a complete bijection")
+	}
+	cs := p.Commodities(m)
+	if err := table.Validate(p.Topo, cs); err != nil {
+		return nil, fmt.Errorf("xpipes: %w", err)
+	}
+	return &Design{Problem: p, Mapping: m, Table: table, Commodities: cs, Lib: lib}, nil
+}
+
+// Report summarizes the silicon cost of the design.
+type Report struct {
+	Switches         int
+	NIs              int
+	SwitchAreaMM2    float64
+	NIAreaMM2        float64
+	TotalAreaMM2     float64
+	BufferBits       int     // total input-buffer storage
+	RoutingTableBits int     // storage for the (possibly split) routes
+	TableOverhead    float64 // RoutingTableBits / BufferBits
+}
+
+// Report computes the component inventory. One switch per mesh node, one
+// NI per core. Buffer bits count every input FIFO (neighbors + local).
+// The paper observes the routing tables cost less than 10% of the buffer
+// bits even with split routing.
+func (d *Design) Report() Report {
+	t := d.Problem.Topo
+	r := Report{
+		Switches: t.N(),
+		NIs:      d.Problem.App.N(),
+	}
+	r.SwitchAreaMM2 = float64(r.Switches) * d.Lib.Router.AreaMM2
+	r.NIAreaMM2 = float64(r.NIs) * d.Lib.NI.AreaMM2
+	r.TotalAreaMM2 = r.SwitchAreaMM2 + r.NIAreaMM2
+	for u := 0; u < t.N(); u++ {
+		ports := t.Degree(u) + 1 // neighbors + local
+		r.BufferBits += ports * d.Lib.Router.BufferDepth * d.Lib.FlitBytes * 8
+	}
+	r.RoutingTableBits = d.Table.TableBits()
+	if r.BufferBits > 0 {
+		r.TableOverhead = float64(r.RoutingTableBits) / float64(r.BufferBits)
+	}
+	return r
+}
+
+// SimConfig produces the cycle-accurate simulation configuration for the
+// design at the given link bandwidth (MB/s).
+func (d *Design) SimConfig(linkBW float64, seed int64) noc.Config {
+	return noc.Config{
+		Topo:        d.Problem.Topo,
+		Table:       d.Table,
+		Commodities: d.Commodities,
+		LinkBW:      linkBW,
+		PacketBytes: d.Lib.PacketBytes,
+		FlitBytes:   d.Lib.FlitBytes,
+		BufferDepth: d.Lib.Router.BufferDepth,
+		RouterDelay: d.Lib.Router.DelayCycles,
+		Seed:        seed,
+	}
+}

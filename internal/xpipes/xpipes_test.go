@@ -1,0 +1,136 @@
+package xpipes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/route"
+)
+
+func dspDesign(t *testing.T) *Design {
+	t.Helper()
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.MapSinglePath()
+	tab := route.FromSinglePaths(res.Route.Paths)
+	d, err := Compile(p, res.Mapping, tab, DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDefaultLibraryMatchesTable3(t *testing.T) {
+	lib := DefaultLibrary()
+	if lib.NI.AreaMM2 != 0.6 {
+		t.Errorf("NI area = %g, want 0.6", lib.NI.AreaMM2)
+	}
+	if lib.Router.AreaMM2 != 1.08 {
+		t.Errorf("switch area = %g, want 1.08", lib.Router.AreaMM2)
+	}
+	if lib.Router.DelayCycles != 7 {
+		t.Errorf("switch delay = %d, want 7", lib.Router.DelayCycles)
+	}
+	if lib.PacketBytes != 64 {
+		t.Errorf("packet = %dB, want 64", lib.PacketBytes)
+	}
+}
+
+func TestCompileValidates(t *testing.T) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, _ := core.NewProblem(a.Graph, topo)
+	res := p.MapSinglePath()
+	if _, err := Compile(nil, res.Mapping, nil, DefaultLibrary()); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	incomplete := core.NewMapping(p)
+	tab := route.FromSinglePaths(res.Route.Paths)
+	if _, err := Compile(p, incomplete, tab, DefaultLibrary()); err == nil {
+		t.Error("incomplete mapping accepted")
+	}
+	// Table from a different mapping will have wrong endpoints.
+	other := res.Mapping.Clone()
+	other.Swap(0, 5)
+	if other.CoreAt(0) == res.Mapping.CoreAt(0) {
+		t.Skip("swap did not change mapping")
+	}
+	if _, err := Compile(p, other, tab, DefaultLibrary()); err == nil {
+		t.Error("mismatched table accepted")
+	}
+}
+
+func TestReportInventory(t *testing.T) {
+	d := dspDesign(t)
+	r := d.Report()
+	if r.Switches != 6 || r.NIs != 6 {
+		t.Fatalf("inventory %d switches / %d NIs, want 6/6", r.Switches, r.NIs)
+	}
+	wantSwitch := 6 * 1.08
+	if math.Abs(r.SwitchAreaMM2-wantSwitch) > 1e-9 {
+		t.Fatalf("switch area %g, want %g", r.SwitchAreaMM2, wantSwitch)
+	}
+	wantNI := 6 * 0.6
+	if math.Abs(r.NIAreaMM2-wantNI) > 1e-9 {
+		t.Fatalf("NI area %g, want %g", r.NIAreaMM2, wantNI)
+	}
+	if math.Abs(r.TotalAreaMM2-(wantSwitch+wantNI)) > 1e-9 {
+		t.Fatalf("total area %g", r.TotalAreaMM2)
+	}
+	if r.BufferBits == 0 {
+		t.Fatal("no buffer bits")
+	}
+}
+
+func TestRoutingTableOverheadUnder10Percent(t *testing.T) {
+	// The paper: "the number of bits occupied by the routing tables is
+	// less than 10% of the total number of bits for the network buffers".
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, _ := core.NewProblem(a.Graph, topo)
+	res := p.MapSinglePath()
+	split, err := p.RouteSplit(res.Mapping, core.SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := route.FromFlows(topo, p.Commodities(res.Mapping), split.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Compile(p, res.Mapping, tab, DefaultLibrary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := d.Report()
+	if r.TableOverhead >= 0.10 {
+		t.Fatalf("split routing table overhead %.1f%%, want < 10%%", r.TableOverhead*100)
+	}
+}
+
+func TestSimConfigRuns(t *testing.T) {
+	d := dspDesign(t)
+	cfg := d.SimConfig(1500, 42)
+	cfg.WarmupCycles = 500
+	cfg.MeasureCycles = 5000
+	cfg.DrainCycles = 20000
+	st, err := noc.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stalled {
+		t.Fatal("DSP single-path simulation stalled")
+	}
+	if !st.DrainedClean {
+		t.Fatalf("lost packets: %d/%d", st.Delivered, st.Injected)
+	}
+	if st.AvgLatency <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
