@@ -128,9 +128,10 @@ func vopdProblem(b *testing.B) *core.Problem {
 	return p
 }
 
-// BenchmarkNMAPSinglePathVOPD measures the full NMAP run (initialization
-// plus the pairwise swap pass) on the 16-core VOPD.
-func BenchmarkNMAPSinglePathVOPD(b *testing.B) {
+// BenchmarkMapSinglePathVOPD measures the full NMAP run (initialization
+// plus the pairwise swap pass) on the 16-core VOPD. (Formerly
+// BenchmarkNMAPSinglePathVOPD; same kernel.)
+func BenchmarkMapSinglePathVOPD(b *testing.B) {
 	p := vopdProblem(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -140,8 +141,8 @@ func BenchmarkNMAPSinglePathVOPD(b *testing.B) {
 	}
 }
 
-// BenchmarkNMAPSinglePath65 measures NMAP at Table 2's largest size.
-func BenchmarkNMAPSinglePath65(b *testing.B) {
+func table2Problem(b *testing.B, workers int) *core.Problem {
+	b.Helper()
 	a, err := apps.Random(65, 1)
 	if err != nil {
 		b.Fatal(err)
@@ -154,10 +155,45 @@ func BenchmarkNMAPSinglePath65(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	p.Workers = workers
+	return p
+}
+
+// BenchmarkMapSinglePath65 measures NMAP at Table 2's largest size with
+// the sequential sweep. (Formerly BenchmarkNMAPSinglePath65.)
+func BenchmarkMapSinglePath65(b *testing.B) {
+	p := table2Problem(b, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.MapSinglePath()
 	}
+}
+
+// BenchmarkMapSinglePath65Parallel is the same run with one sweep worker
+// per CPU; the resulting mapping is bit-identical to the sequential one.
+func BenchmarkMapSinglePath65Parallel(b *testing.B) {
+	p := table2Problem(b, -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MapSinglePath()
+	}
+}
+
+// BenchmarkMapSinglePathSwapDelta measures the raw incremental
+// evaluation kernel: one O(degree) delta per candidate swap, zero
+// allocations.
+func BenchmarkMapSinglePathSwapDelta(b *testing.B) {
+	p := table2Problem(b, 1)
+	m := p.Initialize()
+	m.CommCost() // warm the edge cache
+	n := p.Topo.N()
+	b.ResetTimer()
+	b.ReportAllocs()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += m.SwapDelta(i%n, (i*7+3)%n)
+	}
+	_ = sink
 }
 
 // BenchmarkShortestPathRouting measures one congestion-aware routing pass

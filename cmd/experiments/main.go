@@ -20,7 +20,10 @@ func main() {
 	fig5c := flag.Bool("fig5c", false, "DSP latency vs link bandwidth (Figure 5c)")
 	table3 := flag.Bool("table3", false, "DSP NoC design results (Table 3)")
 	ext := flag.Bool("ext", false, "extension: DSP latency/jitter across the congestion knee")
+	workers := flag.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU); results are identical across settings")
 	flag.Parse()
+
+	expt.Workers = *workers
 
 	all := !*fig3 && !*fig4 && !*table1 && !*table2 && !*fig5c && !*table3 && !*ext
 

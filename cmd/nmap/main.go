@@ -30,6 +30,7 @@ func main() {
 	split := flag.String("split", "none", "traffic splitting for NMAP: none, minpaths, allpaths")
 	torus := flag.Bool("torus", false, "use a torus instead of a mesh")
 	dot := flag.Bool("dot", false, "also print the core graph in DOT format")
+	workers := flag.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU); results are identical across settings")
 	flag.Parse()
 
 	a, err := cli.LoadApp(*appSpec)
@@ -61,6 +62,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	p.Workers = *workers
 
 	fmt.Printf("%s on %s, link BW %.0f MB/s\n\n", a.Graph.Name, topo, bw)
 	if *dot {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,8 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU)")
+	flag.Parse()
 	fmt.Printf("%5s %6s %12s %10s %12s %10s %7s\n",
 		"cores", "mesh", "PBB cost", "PBB time", "NMAP cost", "NMAP time", "ratio")
 	for i, n := range []int{25, 35, 45, 55, 65} {
@@ -31,6 +34,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		p.Workers = *workers
 
 		t0 := time.Now()
 		pbb := baseline.PBB(p, baseline.PBBConfig{MaxQueue: 400, MaxExpand: 8000}).CommCost()

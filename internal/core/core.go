@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
@@ -18,6 +19,36 @@ import (
 type Problem struct {
 	App  *graph.CoreGraph
 	Topo *topology.Topology
+
+	// Workers sets the refinement sweep parallelism: 0 or 1 run the
+	// sweeps sequentially, n > 1 uses a bounded pool of n workers, and
+	// any negative value uses one worker per available CPU. Parallel
+	// sweeps select winners deterministically by (cost, index), so every
+	// setting produces bit-identical mappings.
+	Workers int
+
+	// edges caches App.Edges() (sorted, and therefore with a fixed
+	// summation order) so hot loops do not re-sort per evaluation. The
+	// core graph must not be mutated once mapping begins.
+	edgesOnce sync.Once
+	edges     []graph.Edge
+	// undir caches App.Undirected() for the same reason: Initialize runs
+	// once per refinement call and rebuilding S(A,B) dominated it.
+	undirOnce sync.Once
+	undir     *graph.Digraph
+}
+
+// appEdges returns the cached sorted edge list of the application graph.
+func (p *Problem) appEdges() []graph.Edge {
+	p.edgesOnce.Do(func() { p.edges = p.App.Edges() })
+	return p.edges
+}
+
+// appUndirected returns the cached undirected view S(A,B) of the
+// application graph (the makeundirected() step of the pseudocode).
+func (p *Problem) appUndirected() *graph.Digraph {
+	p.undirOnce.Do(func() { p.undir = p.App.Undirected() })
+	return p.undir
 }
 
 // NewProblem validates |V| <= |U| and returns the mapping problem.

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// randomProblem builds a random application on the given topology with a
+// deterministic RNG stream.
+func randomDeltaProblem(t *testing.T, rng *rand.Rand, cores int, topo *topology.Topology) *Problem {
+	t.Helper()
+	cg, err := graph.RandomCoreGraph(graph.RandomConfig{
+		Cores:     cores,
+		AvgDegree: 2.5,
+		MinBW:     1,
+		MaxBW:     700,
+		Seed:      rng.Int63(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(cg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// randomMapping places all cores on distinct random nodes (leaving the
+// remaining nodes empty).
+func randomMapping(t *testing.T, rng *rand.Rand, p *Problem) *Mapping {
+	t.Helper()
+	m := NewMapping(p)
+	perm := rng.Perm(p.Topo.N())
+	for v := 0; v < p.App.N(); v++ {
+		if err := m.Place(v, perm[v]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestSwapDeltaMatchesScratchRecompute is the property test for the
+// incremental evaluation kernel: for random mappings and random swaps on
+// meshes and tori — including swaps that involve empty nodes and
+// degenerate a==b swaps — SwapDelta must equal the difference of CommCost
+// computed from scratch.
+func TestSwapDeltaMatchesScratchRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	build := []struct {
+		name string
+		mk   func(w, h int) (*topology.Topology, error)
+	}{
+		{"mesh", func(w, h int) (*topology.Topology, error) { return topology.NewMesh(w, h, 1e9) }},
+		{"torus", func(w, h int) (*topology.Topology, error) { return topology.NewTorus(w, h, 1e9) }},
+	}
+	for _, bld := range build {
+		t.Run(bld.name, func(t *testing.T) {
+			for trial := 0; trial < 30; trial++ {
+				w := 3 + rng.Intn(4) // 3..6
+				h := 3 + rng.Intn(4)
+				// At least 4 cores so the random generator can reach its
+				// target edge count; at least two empty nodes so hole
+				// swaps occur.
+				cores := 4 + rng.Intn(w*h-5)
+				topo, err := bld.mk(w, h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := randomDeltaProblem(t, rng, cores, topo)
+				m := randomMapping(t, rng, p)
+				base := m.CommCost()
+				for s := 0; s < 50; s++ {
+					a := rng.Intn(topo.N())
+					b := rng.Intn(topo.N())
+					delta := m.SwapDelta(a, b)
+					m.Swap(a, b)
+					scratch := m.CommCost()
+					m.Swap(a, b)
+					if math.Abs((base+delta)-scratch) > 1e-6 {
+						t.Fatalf("%s %dx%d trial %d: swap(%d,%d) delta %g but scratch recompute %g (base %g)",
+							bld.name, w, h, trial, a, b, delta, scratch-base, base)
+					}
+					if c := m.CommCost(); c != base {
+						t.Fatalf("swap/unswap did not restore mapping: %g != %g", c, base)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSwapDeltaAllocationFree asserts the refinement kernel's inner
+// evaluation does not allocate per candidate.
+func TestSwapDeltaAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	topo, err := topology.NewMesh(6, 6, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomDeltaProblem(t, rng, 30, topo)
+	m := randomMapping(t, rng, p)
+	m.CommCost() // warm the problem's edge cache
+	sink := 0.0
+	allocs := testing.AllocsPerRun(200, func() {
+		for a := 0; a < 6; a++ {
+			for b := 6; b < 12; b++ {
+				sink += m.SwapDelta(a, b)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SwapDelta allocated %.1f times per run, want 0 (sink %g)", allocs, sink)
+	}
+}
+
+// TestCopyFromMatchesClone checks the allocation-free scratch re-sync.
+func TestCopyFromMatchesClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	topo, err := topology.NewMesh(4, 4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randomDeltaProblem(t, rng, 10, topo)
+	src := randomMapping(t, rng, p)
+	dst := NewMapping(p)
+	dst.CopyFrom(src)
+	for v := 0; v < p.App.N(); v++ {
+		if dst.NodeOf(v) != src.NodeOf(v) {
+			t.Fatalf("CopyFrom mismatch at core %d", v)
+		}
+	}
+	if !dst.Valid() {
+		t.Fatal("copied mapping invalid")
+	}
+	// Mutating the copy must not touch the source.
+	c0, c1 := src.CoreAt(0), src.CoreAt(1)
+	dst.Swap(0, 1)
+	if src.CoreAt(0) != c0 || src.CoreAt(1) != c1 {
+		t.Fatal("CopyFrom aliased the source storage")
+	}
+}
+
+// TestInitializeTieBreakOrdering pins the explicit (cost asc, degree
+// desc, node ID asc) ordering of Initialize's nextt selection.
+func TestInitializeTieBreakOrdering(t *testing.T) {
+	// 3x2 mesh: node 1 (1,0) and node 4 (1,1) have degree 3, the corners
+	// degree 2. The heaviest core seeds at node 1 (lowest max-degree ID).
+	// The second core ties on cost at hop distance 1 from node 1 — free
+	// nodes 0, 2 (degree 2) and 4 (degree 3) — and must prefer the
+	// higher-degree node 4.
+	g := graph.NewCoreGraph("tie")
+	g.Connect("a", "b", 100)
+	topo, err := topology.NewMesh(3, 2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(g, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Initialize()
+	if got := m.NodeOf(g.CoreID("a")); got != 1 {
+		t.Fatalf("heaviest core on node %d, want max-degree node 1", got)
+	}
+	if got := m.NodeOf(g.CoreID("b")); got != 4 {
+		t.Fatalf("cost-tied second core on node %d, want higher-degree node 4", got)
+	}
+
+	// 2x2 mesh: all nodes degree 2, so the equal-cost, equal-degree tie
+	// must fall to the lowest node ID. Core a seeds node 0; b ties at
+	// distance 1 between nodes 1 and 2 and must take node 1.
+	g2 := graph.NewCoreGraph("tie2")
+	g2.Connect("a", "b", 100)
+	topo2, err := topology.NewMesh(2, 2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewProblem(g2, topo2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := p2.Initialize()
+	if got := m2.NodeOf(g2.CoreID("b")); got != 1 {
+		t.Fatalf("equal-cost equal-degree tie on node %d, want lowest ID 1", got)
+	}
+
+	// Cost dominates degree. On a 3x3 mesh: a (heaviest) seeds the
+	// degree-4 center node 4; b ties at the hop-1 nodes {1,3,5,7} (all
+	// degree 3) and takes node 1; x likewise takes node 3. c talks only
+	// to b (node 1): corner node 0 costs 10 (degree 2) while the free
+	// degree-3 nodes 5 and 7 cost 20 — lower cost must win, and the
+	// remaining (cost, degree) tie with node 2 falls to the lower ID 0.
+	g3 := graph.NewCoreGraph("tie3")
+	g3.Connect("a", "b", 100)
+	g3.Connect("a", "x", 50)
+	g3.Connect("b", "c", 10)
+	topo3, err := topology.NewMesh(3, 3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := NewProblem(g3, topo3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := p3.Initialize()
+	want := map[string]int{"a": 4, "b": 1, "x": 3, "c": 0}
+	for name, node := range want {
+		if got := m3.NodeOf(g3.CoreID(name)); got != node {
+			t.Fatalf("core %s on node %d, want %d (cost/degree/ID ordering)", name, got, node)
+		}
+	}
+}

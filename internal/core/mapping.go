@@ -114,10 +114,70 @@ func (m *Mapping) Valid() bool {
 // the routing actually chosen (all NMAP routings use minimum paths).
 func (m *Mapping) CommCost() float64 {
 	cost := 0.0
-	for _, e := range m.prob.App.Edges() {
-		cost += e.Weight * float64(m.prob.Topo.HopDist(m.nodeOf[e.From], m.nodeOf[e.To]))
+	t := m.prob.Topo
+	for _, e := range m.prob.appEdges() {
+		cost += e.Weight * float64(t.HopDist(m.nodeOf[e.From], m.nodeOf[e.To]))
 	}
 	return cost
+}
+
+// SwapDelta returns the change in CommCost that swapping the contents of
+// mesh nodes a and b would cause, without mutating the mapping. Only the
+// application edges incident to the (at most two) affected cores change
+// their hop distance, so the evaluation is O(degree) instead of O(|E|)
+// and allocation-free — the kernel of the refinement sweeps. Either node
+// may be empty; edges between the two swapped cores keep their distance
+// (dist(a,b) is symmetric) and contribute nothing.
+func (m *Mapping) SwapDelta(a, b int) float64 {
+	t := m.prob.Topo
+	app := m.prob.App
+	ca, cb := m.coreAt[a], m.coreAt[b]
+	delta := 0.0
+	if ca != -1 {
+		for _, e := range app.Out(ca) {
+			if e.To == cb {
+				continue
+			}
+			if u := m.nodeOf[e.To]; u != -1 {
+				delta += e.Weight * float64(t.HopDist(b, u)-t.HopDist(a, u))
+			}
+		}
+		for _, e := range app.In(ca) {
+			if e.From == cb {
+				continue
+			}
+			if u := m.nodeOf[e.From]; u != -1 {
+				delta += e.Weight * float64(t.HopDist(u, b)-t.HopDist(u, a))
+			}
+		}
+	}
+	if cb != -1 {
+		for _, e := range app.Out(cb) {
+			if e.To == ca {
+				continue
+			}
+			if u := m.nodeOf[e.To]; u != -1 {
+				delta += e.Weight * float64(t.HopDist(a, u)-t.HopDist(b, u))
+			}
+		}
+		for _, e := range app.In(cb) {
+			if e.From == ca {
+				continue
+			}
+			if u := m.nodeOf[e.From]; u != -1 {
+				delta += e.Weight * float64(t.HopDist(u, a)-t.HopDist(u, b))
+			}
+		}
+	}
+	return delta
+}
+
+// CopyFrom overwrites this mapping with the contents of src (same
+// problem), reusing storage so refinement workers can re-sync their
+// scratch mappings without allocating.
+func (m *Mapping) CopyFrom(src *Mapping) {
+	copy(m.nodeOf, src.nodeOf)
+	copy(m.coreAt, src.coreAt)
 }
 
 // String renders the mesh with core names, row by row.

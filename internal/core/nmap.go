@@ -11,7 +11,7 @@ import (
 // partial communication cost. All ties break toward lower IDs so results
 // are deterministic.
 func (p *Problem) Initialize() *Mapping {
-	s := p.App.Undirected() // S(A,B) = makeundirected(G(V,E))
+	s := p.appUndirected() // S(A,B) = makeundirected(G(V,E))
 	m := NewMapping(p)
 	t := p.Topo
 
@@ -44,8 +44,10 @@ func (p *Problem) Initialize() *Mapping {
 			}
 		}
 		// nextt: free node minimizing sum(comm * hop distance) to the
-		// mapped neighbors of nexts. Cost ties prefer higher-degree nodes
-		// (more room for future neighbors), then lower IDs.
+		// mapped neighbors of nexts. The ordering is explicit: lower cost
+		// first, then higher node degree (more room for future neighbors),
+		// then lower node ID. Scanning u in ascending order makes the
+		// final tie-break automatic.
 		nextt, bestCost := -1, math.Inf(1)
 		for u := 0; u < t.N(); u++ {
 			if m.coreAt[u] != -1 {
@@ -57,8 +59,13 @@ func (p *Problem) Initialize() *Mapping {
 					cost += e.Weight * float64(t.HopDist(u, w))
 				}
 			}
-			if cost < bestCost || (cost == bestCost && nextt >= 0 && t.Degree(u) > t.Degree(nextt)) {
+			switch {
+			case nextt == -1:
 				nextt, bestCost = u, cost
+			case cost < bestCost:
+				nextt, bestCost = u, cost
+			case cost == bestCost && t.Degree(u) > t.Degree(nextt):
+				nextt = u
 			}
 		}
 		if err := m.Place(nexts, nextt); err != nil {
@@ -72,14 +79,28 @@ func (p *Problem) Initialize() *Mapping {
 type SinglePathResult struct {
 	Mapping *Mapping
 	Route   *RouteResult
-	// Swaps is the number of pairwise swap evaluations performed.
+	// Swaps is the number of pairwise swap candidates considered. Most
+	// are settled by the O(degree) incremental bound; only candidates
+	// that could beat the incumbent get an exact evaluation.
 	Swaps int
 }
 
 // MapSinglePath implements mappingwithsinglepath(): initialization
-// followed by one full pass of pairwise swap refinement, re-running the
-// shortest-path routing for every candidate and committing the best
-// mapping after each outer-index sweep (faithful to the pseudocode).
+// followed by one full pass of pairwise swap refinement, committing the
+// best mapping after each outer-index sweep (faithful to the pseudocode).
+//
+// Candidates are evaluated incrementally: SwapDelta gives each swap's
+// Eq. 7 cost change in O(degree) without cloning the mapping, and only
+// candidates whose bound lands within a scale-aware margin of the
+// incumbent (see pruneMargin) are re-verified exactly (by a from-scratch
+// CommCost in the relaxed case, or
+// a full shortest-path re-route when bandwidth actually constrains the
+// routing — the delta is a lower bound on the routed cost, so everything
+// above the incumbent is safely pruned). Results are identical to the
+// original clone-per-candidate evaluation; with Problem.Workers > 1 the
+// sweeps additionally fan out over a worker pool whose deterministic
+// (cost, j) winner selection keeps them bit-identical to the sequential
+// scan.
 //
 // When every link's bandwidth is at least the application's total traffic,
 // any routing is feasible, so candidate evaluation uses Eq. 7 directly and
@@ -88,36 +109,56 @@ type SinglePathResult struct {
 func (p *Problem) MapSinglePath() *SinglePathResult {
 	placed := p.Initialize()
 	relaxed := p.bandwidthUnconstrained()
-
-	evalCost := func(m *Mapping) float64 {
-		if relaxed {
-			return m.CommCost()
-		}
-		return p.RouteSinglePath(m).Cost
-	}
-
-	bestCost := evalCost(placed)
-	bestMapping := placed.Clone()
-	swaps := 0
+	workers := p.workerCount()
 	n := p.Topo.N()
+
+	curComm := placed.CommCost()
+	bestCost := curComm
+	if !relaxed {
+		bestCost = p.RouteSinglePath(placed).Cost
+	}
+	sp := newScratchPool(placed, workers)
+	swaps := 0
 	for i := 0; i < n; i++ {
+		iEmpty := placed.coreAt[i] == -1
 		for j := i + 1; j < n; j++ {
-			if placed.coreAt[i] == -1 && placed.coreAt[j] == -1 {
-				continue // swapping two holes changes nothing
-			}
-			tmp := placed.Clone()
-			tmp.Swap(i, j)
-			swaps++
-			if c := evalCost(tmp); c < bestCost {
-				bestCost = c
-				bestMapping = tmp
+			if !(iEmpty && placed.coreAt[j] == -1) {
+				swaps++
 			}
 		}
-		placed = bestMapping.Clone()
+		// Candidate cost: +Inf for prunable/no-op swaps, the exact cost
+		// (Eq. 7, or the routed cost when constrained) otherwise.
+		incumbent := bestCost
+		margin := pruneMargin(curComm)
+		eval := func(m *Mapping, j int) float64 {
+			if iEmpty && m.coreAt[j] == -1 {
+				return math.Inf(1) // swapping two holes changes nothing
+			}
+			bound := curComm + m.SwapDelta(i, j)
+			if bound >= incumbent+margin {
+				return math.Inf(1)
+			}
+			if relaxed {
+				m.Swap(i, j)
+				c := m.CommCost()
+				m.Swap(i, j)
+				return c
+			}
+			m.Swap(i, j)
+			c := p.RouteSinglePath(m).Cost
+			m.Swap(i, j)
+			return c
+		}
+		if best := p.sweepBest(sp, i+1, n, workers, eval); best.cost < bestCost {
+			placed.Swap(i, best.j)
+			bestCost = best.cost
+			curComm = placed.CommCost()
+			sp.sync(placed)
+		}
 	}
 	return &SinglePathResult{
-		Mapping: bestMapping,
-		Route:   p.RouteSinglePath(bestMapping),
+		Mapping: placed,
+		Route:   p.RouteSinglePath(placed),
 		Swaps:   swaps,
 	}
 }

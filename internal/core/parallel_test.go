@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/topology"
+)
+
+func sameMapping(t *testing.T, label string, a, b *Mapping) {
+	t.Helper()
+	for v := 0; v < len(a.nodeOf); v++ {
+		if a.nodeOf[v] != b.nodeOf[v] {
+			t.Fatalf("%s: core %d on node %d sequentially but %d in parallel",
+				label, v, a.nodeOf[v], b.nodeOf[v])
+		}
+	}
+}
+
+// newProblem builds a Problem on a fresh mesh for the given app and
+// bandwidth with the requested worker count.
+func workerProblem(t *testing.T, a apps.App, bw float64, workers int) *Problem {
+	t.Helper()
+	topo, err := topology.NewMesh(a.W, a.H, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = workers
+	return p
+}
+
+// TestMapSinglePathParallelIdentical asserts the parallel sweep mode is
+// bit-identical to the sequential one: same mapping, same cost, same
+// candidate count — on both the relaxed (Eq. 7 only) and the
+// bandwidth-constrained (full re-route) evaluation paths, and at Table 2
+// scale where float weights make tie-handling delicate.
+func TestMapSinglePathParallelIdentical(t *testing.T) {
+	rand65, err := apps.Random(65, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		app  apps.App
+		bw   float64
+	}{
+		{"vopd-relaxed", apps.VOPD(), 1e9},
+		{"vopd-constrained", apps.VOPD(), apps.VOPD().Graph.TotalWeight() - 1},
+		{"random65-relaxed", rand65, 1e9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := workerProblem(t, tc.app, tc.bw, 1).MapSinglePath()
+			par := workerProblem(t, tc.app, tc.bw, 8).MapSinglePath()
+			sameMapping(t, tc.name, seq.Mapping, par.Mapping)
+			if seq.Route.Cost != par.Route.Cost {
+				t.Fatalf("cost diverged: %v sequential, %v parallel", seq.Route.Cost, par.Route.Cost)
+			}
+			if seq.Swaps != par.Swaps {
+				t.Fatalf("candidate count diverged: %d sequential, %d parallel", seq.Swaps, par.Swaps)
+			}
+		})
+	}
+}
+
+// TestMapWithSplittingParallelIdentical does the same for the MCF-driven
+// split-traffic refinement, covering the infeasible-to-feasible
+// transition (the slack phase switching to cost minimization mid-sweep)
+// and a hopelessly constrained network that never leaves the slack phase.
+func TestMapWithSplittingParallelIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		bw   float64
+		mode SplitMode
+	}{
+		{"dsp-400-allpaths", 400, SplitAllPaths},
+		{"dsp-400-minpaths", 400, SplitMinPaths},
+		{"dsp-150-infeasible", 150, SplitAllPaths},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := workerProblem(t, apps.DSP(), tc.bw, 1).MapWithSplitting(tc.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := workerProblem(t, apps.DSP(), tc.bw, 8).MapWithSplitting(tc.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMapping(t, tc.name, seq.Mapping, par.Mapping)
+			if seq.Route.Feasible != par.Route.Feasible {
+				t.Fatalf("feasibility diverged: %v sequential, %v parallel",
+					seq.Route.Feasible, par.Route.Feasible)
+			}
+			if seq.Route.Cost != par.Route.Cost && !(math.IsInf(seq.Route.Cost, 1) && math.IsInf(par.Route.Cost, 1)) {
+				t.Fatalf("cost diverged: %v sequential, %v parallel", seq.Route.Cost, par.Route.Cost)
+			}
+			if seq.Route.Slack != par.Route.Slack {
+				t.Fatalf("slack diverged: %v sequential, %v parallel", seq.Route.Slack, par.Route.Slack)
+			}
+			if seq.Swaps != par.Swaps {
+				t.Fatalf("candidate count diverged: %d sequential, %d parallel", seq.Swaps, par.Swaps)
+			}
+		})
+	}
+}
+
+// TestMapSinglePathMatchesExhaustiveReference cross-checks the pruned
+// incremental refinement against a direct reimplementation of the
+// original clone-per-candidate loop on several apps, so the optimization
+// is anchored to the paper's pseudocode, not to itself.
+func TestMapSinglePathMatchesExhaustiveReference(t *testing.T) {
+	reference := func(p *Problem) (*Mapping, float64) {
+		placed := p.Initialize()
+		eval := func(m *Mapping) float64 {
+			if p.bandwidthUnconstrained() {
+				return m.CommCost()
+			}
+			return p.RouteSinglePath(m).Cost
+		}
+		bestCost := eval(placed)
+		bestMapping := placed.Clone()
+		n := p.Topo.N()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if placed.coreAt[i] == -1 && placed.coreAt[j] == -1 {
+					continue
+				}
+				tmp := placed.Clone()
+				tmp.Swap(i, j)
+				if c := eval(tmp); c < bestCost {
+					bestCost = c
+					bestMapping = tmp
+				}
+			}
+			placed = bestMapping.Clone()
+		}
+		return bestMapping, bestCost
+	}
+
+	rand35, err := apps.Random(35, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		app  apps.App
+		bw   float64
+	}{
+		{"vopd", apps.VOPD(), 1e9},
+		{"dsp-constrained", apps.DSP(), 650},
+		{"random35", rand35, 1e9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			refMap, refCost := reference(workerProblem(t, tc.app, tc.bw, 1))
+			got := workerProblem(t, tc.app, tc.bw, 1).MapSinglePath()
+			sameMapping(t, tc.name, refMap, got.Mapping)
+			if got.Route.Cost != refCost && !(math.IsInf(refCost, 1) && math.IsInf(got.Route.Cost, 1)) {
+				t.Fatalf("cost %v, reference %v", got.Route.Cost, refCost)
+			}
+		})
+	}
+}

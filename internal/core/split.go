@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mcf"
 )
@@ -102,7 +103,9 @@ const slackTol = 1e-6
 type SplitResult struct {
 	Mapping *Mapping
 	Route   *SplitRouteResult
-	// Swaps counts pairwise swap evaluations (MCF solves) performed.
+	// Swaps counts pairwise swap candidates considered. Most trigger an
+	// MCF solve; in the cost phase, candidates whose Eq. 7 lower bound
+	// already exceeds the incumbent are discarded without one.
 	Swaps int
 }
 
@@ -110,86 +113,162 @@ type SplitResult struct {
 // greedy initial mapping, pairwise swaps first minimize the MCF1 slack
 // until a bandwidth-feasible mapping appears, then minimize the MCF2 cost.
 // The best mapping is committed after each outer-index sweep, mirroring
-// the single-path refinement structure.
+// the single-path refinement structure. Candidates are evaluated in place
+// on per-worker scratch mappings (no clone per candidate); the cost phase
+// skips MCF2 solves for candidates whose incremental Eq. 7 bound cannot
+// beat the incumbent, and Problem.Workers > 1 spreads the remaining
+// solves across a worker pool with deterministic (value, index) winner
+// selection, keeping results identical to the sequential loop.
 func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 	placed := p.Initialize()
+	workers := p.workerCount()
+	n := p.Topo.N()
 
-	slackOf := func(m *Mapping) (float64, error) {
+	// The MCF solvers cannot fail on these well-formed programs except
+	// for internal limits. Sweep workers record the lowest-index error
+	// and the affected candidates evaluate as +Inf; an error is only
+	// propagated when the sequential scan would have evaluated that
+	// candidate too (a parallel slack sweep may probe indices past the
+	// first feasible one that sequential mode never reaches — failures
+	// there must not make the parallel run fail where the sequential one
+	// succeeds).
+	var errMu sync.Mutex
+	var sweepErr error
+	sweepErrJ := 0
+	fail := func(err error, j int) float64 {
+		errMu.Lock()
+		if sweepErr == nil || j < sweepErrJ {
+			sweepErr, sweepErrJ = err, j
+		}
+		errMu.Unlock()
+		return math.Inf(1)
+	}
+	// takeErr returns the recorded error if it happened at an index the
+	// sequential scan evaluates (< limit), and clears it otherwise.
+	takeErr := func(limit int) error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		err := sweepErr
+		if err != nil && sweepErrJ >= limit {
+			err = nil
+		}
+		sweepErr = nil
+		return err
+	}
+	slackOf := func(m *Mapping, j int) float64 {
 		cs := p.Commodities(m)
 		r, err := mcf.SolveMCF1(p.Topo, cs, p.mcfOptions(mode, cs))
 		if err != nil {
-			return 0, err
+			return fail(err, j)
 		}
-		return r.Objective, nil
+		return r.Objective
 	}
-	costOf := func(m *Mapping) (float64, error) {
+	costOf := func(m *Mapping, j int) float64 {
 		cs := p.Commodities(m)
 		r, err := mcf.SolveMCF2(p.Topo, cs, p.mcfOptions(mode, cs))
 		if err != nil {
-			return 0, err
+			return fail(err, j)
 		}
 		if !r.Feasible {
-			return math.Inf(1), nil
+			return math.Inf(1)
 		}
-		return r.Objective, nil
+		return r.Objective
 	}
 
-	bestSlack, err := slackOf(placed)
-	if err != nil {
+	bestSlack := slackOf(placed, -1)
+	bestCost := math.Inf(1)
+	satisfied := bestSlack <= slackTol
+	if satisfied {
+		bestCost = costOf(placed, -1)
+	}
+	if err := takeErr(n); err != nil {
 		return nil, err
 	}
-	bestCost := math.Inf(1)
-	satisfied := false
-	bestMapping := placed.Clone()
-	if bestSlack <= slackTol {
-		satisfied = true
-		if bestCost, err = costOf(placed); err != nil {
+
+	curComm := placed.CommCost()
+	sp := newScratchPool(placed, workers)
+	swaps := 0
+	for i := 0; i < n; i++ {
+		iEmpty := placed.coreAt[i] == -1
+		for j := i + 1; j < n; j++ {
+			if !(iEmpty && placed.coreAt[j] == -1) {
+				swaps++
+			}
+		}
+		j := i + 1
+		if !satisfied {
+			// Slack phase: scan ascending for the first swap that turns
+			// the mapping bandwidth-feasible, tracking the best slack
+			// reduction before it.
+			slackEval := func(m *Mapping, jj int) float64 {
+				if iEmpty && m.coreAt[jj] == -1 {
+					return math.Inf(1)
+				}
+				m.Swap(i, jj)
+				s := slackOf(m, jj)
+				m.Swap(i, jj)
+				return s
+			}
+			jf, best := p.sweepFirstFeasible(sp, j, n, workers, slackTol, slackEval)
+			// Errors past the first feasible index come from candidates
+			// the sequential scan never evaluates; drop those.
+			if err := takeErr(jf + 1); err != nil {
+				return nil, err
+			}
+			if jf == n {
+				// Still infeasible: commit this sweep's best slack
+				// reduction, if any, and move to the next outer index.
+				if best.cost < bestSlack {
+					bestSlack = best.cost
+					placed.Swap(i, best.j)
+					sp.sync(placed)
+				}
+				continue
+			}
+			// Transition mid-sweep: the first feasible swap (applied to
+			// the mapping the whole sweep evaluated against) becomes the
+			// new incumbent; provisional slack improvements from earlier
+			// candidates of this sweep are superseded, exactly as in the
+			// sequential loop.
+			placed.Swap(i, jf)
+			satisfied = true
+			bestCost = costOf(placed, -1)
+			if err := takeErr(n); err != nil {
+				return nil, err
+			}
+			curComm = placed.CommCost()
+			sp.sync(placed)
+			j = jf + 1
+		}
+		// Cost phase (placed is feasible): minimize the MCF2 objective,
+		// pruning candidates whose Eq. 7 lower bound cannot win.
+		incumbent := bestCost
+		margin := splitPruneMargin(incumbent)
+		costEval := func(m *Mapping, jj int) float64 {
+			if iEmpty && m.coreAt[jj] == -1 {
+				return math.Inf(1)
+			}
+			if curComm+m.SwapDelta(i, jj) >= incumbent+margin {
+				return math.Inf(1)
+			}
+			m.Swap(i, jj)
+			c := costOf(m, jj)
+			m.Swap(i, jj)
+			return c
+		}
+		if best := p.sweepBest(sp, j, n, workers, costEval); best.cost < bestCost {
+			placed.Swap(i, best.j)
+			bestCost = best.cost
+			curComm = placed.CommCost()
+			sp.sync(placed)
+		}
+		if err := takeErr(n); err != nil {
 			return nil, err
 		}
 	}
-
-	swaps := 0
-	n := p.Topo.N()
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if placed.coreAt[i] == -1 && placed.coreAt[j] == -1 {
-				continue
-			}
-			tmp := placed.Clone()
-			tmp.Swap(i, j)
-			swaps++
-			if !satisfied {
-				slack, err := slackOf(tmp)
-				if err != nil {
-					return nil, err
-				}
-				if slack <= slackTol {
-					satisfied = true
-					placed = tmp.Clone()
-					bestMapping = tmp
-					if bestCost, err = costOf(tmp); err != nil {
-						return nil, err
-					}
-				} else if slack < bestSlack {
-					bestSlack = slack
-					bestMapping = tmp
-				}
-			} else {
-				cost, err := costOf(tmp)
-				if err != nil {
-					return nil, err
-				}
-				if cost < bestCost {
-					bestCost = cost
-					bestMapping = tmp
-				}
-			}
-		}
-		placed = bestMapping.Clone()
-	}
-	route, err := p.RouteSplit(bestMapping, mode)
+	route, err := p.RouteSplit(placed, mode)
 	if err != nil {
 		return nil, err
 	}
-	return &SplitResult{Mapping: bestMapping, Route: route, Swaps: swaps}, nil
+	return &SplitResult{Mapping: placed, Route: route, Swaps: swaps}, nil
 }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pruneMargin returns the slack added to an incremental Eq. 7 lower
+// bound before a candidate is discarded without exact evaluation. The
+// incremental delta and a from-scratch recompute disagree by at most a
+// few hundred float operations of rounding, which is proportional to the
+// cost magnitude — so the margin scales with it (relative 1e-9, orders
+// of magnitude above the true error and orders below the smallest
+// meaningful cost difference). Candidates inside the margin are
+// re-verified exactly, keeping results bit-identical to the original
+// clone-and-recompute evaluation at any unit scale; a larger margin only
+// costs extra exact evaluations, never correctness.
+func pruneMargin(scale float64) float64 {
+	return 1e-9 * (1 + math.Abs(scale))
+}
+
+// splitPruneMargin is pruneMargin for the MCF2 cost phase, where the
+// solved objective may additionally undershoot the exact Eq. 7 lower
+// bound by LP round-off; the relative slack is correspondingly larger.
+func splitPruneMargin(scale float64) float64 {
+	return 1e-6 * (1 + math.Abs(scale))
+}
+
+// sweepChunk is the number of candidate indices a parallel worker claims
+// at a time. Small enough to balance uneven evaluation cost (pruned vs
+// fully routed candidates), large enough to keep the atomic counter cold.
+const sweepChunk = 8
+
+// workerCount resolves the Problem's Workers setting: <=1 means
+// sequential, negative means one worker per available CPU.
+func (p *Problem) workerCount() int {
+	w := p.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// candidate is one evaluated swap: its cost and second index. The winner
+// of a sweep is the lexicographic minimum of (cost, j), which matches the
+// sequential ascending scan with strict-improvement updates.
+type candidate struct {
+	cost float64
+	j    int
+}
+
+func (c candidate) better(o candidate) bool {
+	if c.cost != o.cost {
+		return c.cost < o.cost
+	}
+	return c.j < o.j
+}
+
+func worstCandidate() candidate { return candidate{cost: math.Inf(1), j: -1} }
+
+// scratchPool hands each sweep worker a private Mapping it may mutate
+// (swap/evaluate/unswap) without cloning per candidate.
+type scratchPool struct {
+	maps []*Mapping
+}
+
+func newScratchPool(src *Mapping, workers int) *scratchPool {
+	sp := &scratchPool{maps: make([]*Mapping, workers)}
+	for i := range sp.maps {
+		sp.maps[i] = src.Clone()
+	}
+	return sp
+}
+
+// sync re-copies src into every scratch mapping (allocation-free).
+func (sp *scratchPool) sync(src *Mapping) {
+	for _, m := range sp.maps {
+		m.CopyFrom(src)
+	}
+}
+
+// forEachChunk claims [lo, hi) in sweepChunk-sized blocks across workers
+// and calls visit(worker, j) for ascending j within each block. visit
+// returns false to abandon the remainder of its block. When skip is
+// non-nil, blocks that start past skip's current value are not claimed
+// (an optimization hint only — visited indices are never filtered by
+// it). Worker count is capped at the number of blocks.
+func forEachChunk(lo, hi, workers int, skip *atomic.Int64, visit func(w, j int) bool) {
+	if blocks := (hi - lo + sweepChunk - 1) / sweepChunk; workers > blocks {
+		workers = blocks
+	}
+	var next atomic.Int64
+	next.Store(int64(lo))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(sweepChunk)) - sweepChunk
+				if start >= hi || (skip != nil && int64(start) > skip.Load()) {
+					break
+				}
+				end := start + sweepChunk
+				if end > hi {
+					end = hi
+				}
+				for j := start; j < end; j++ {
+					if !visit(w, j) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// sweepBest evaluates eval(scratch, j) for every j in [lo, hi) and
+// returns the lexicographically minimal (cost, j). eval receives a
+// worker-private scratch mapping synced to the sweep's base mapping and
+// must leave it unchanged (swap, evaluate, unswap). With one worker the
+// scan runs inline in ascending j order; with more, workers claim chunks
+// of the index range and the deterministic (cost, j) reduction makes the
+// result independent of scheduling.
+func (p *Problem) sweepBest(sp *scratchPool, lo, hi, workers int, eval func(m *Mapping, j int) float64) candidate {
+	best := worstCandidate()
+	if hi-lo <= 0 {
+		return best
+	}
+	if workers <= 1 || hi-lo < 2*sweepChunk {
+		m := sp.maps[0]
+		for j := lo; j < hi; j++ {
+			if c := (candidate{eval(m, j), j}); c.better(best) {
+				best = c
+			}
+		}
+		return best
+	}
+	results := make([]candidate, workers)
+	for i := range results {
+		results[i] = worstCandidate()
+	}
+	forEachChunk(lo, hi, workers, nil, func(w, j int) bool {
+		if c := (candidate{eval(sp.maps[w], j), j}); c.better(results[w]) {
+			results[w] = c
+		}
+		return true
+	})
+	for _, c := range results {
+		if c.better(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// sweepFirstFeasible scans j in [lo, hi) for the smallest j whose
+// evaluated value is <= tol (the MCF1 slack turning feasible), while also
+// reducing the lexicographic minimum (value, j) over the candidates
+// strictly before that point — exactly what the sequential
+// mappingwithsplitting() slack phase observes before it switches to cost
+// minimization mid-sweep. It returns the first feasible index (hi if
+// none) and the best infeasible candidate seen before it. Workers skip
+// chunks that start past the earliest feasible index found so far;
+// candidates a parallel schedule evaluates beyond the first feasible
+// index are discarded by the reduction, so both modes return identical
+// results (callers must likewise ignore side effects, e.g. evaluation
+// errors, from indices past the returned first feasible one).
+func (p *Problem) sweepFirstFeasible(sp *scratchPool, lo, hi, workers int, tol float64, eval func(m *Mapping, j int) float64) (firstFeasible int, bestInfeasible candidate) {
+	bestInfeasible = worstCandidate()
+	if hi-lo <= 0 {
+		return hi, bestInfeasible
+	}
+	if workers <= 1 || hi-lo < 2*sweepChunk {
+		m := sp.maps[0]
+		for j := lo; j < hi; j++ {
+			v := eval(m, j)
+			if v <= tol {
+				return j, bestInfeasible
+			}
+			if c := (candidate{v, j}); c.better(bestInfeasible) {
+				bestInfeasible = c
+			}
+		}
+		return hi, bestInfeasible
+	}
+	var feasible atomic.Int64
+	feasible.Store(int64(hi))
+	type slackResult struct {
+		feasible int
+		best     candidate
+	}
+	results := make([]slackResult, workers)
+	for i := range results {
+		results[i] = slackResult{feasible: hi, best: worstCandidate()}
+	}
+	forEachChunk(lo, hi, workers, &feasible, func(w, j int) bool {
+		v := eval(sp.maps[w], j)
+		if v <= tol {
+			if j < results[w].feasible {
+				results[w].feasible = j
+			}
+			// Publish so blocks past j are not claimed; over-evaluation
+			// before the publish lands is harmless (see doc comment).
+			for {
+				cur := feasible.Load()
+				if int64(j) >= cur || feasible.CompareAndSwap(cur, int64(j)) {
+					break
+				}
+			}
+			return false
+		}
+		if c := (candidate{v, j}); c.better(results[w].best) {
+			results[w].best = c
+		}
+		return true
+	})
+	firstFeasible = hi
+	for _, r := range results {
+		if r.feasible < firstFeasible {
+			firstFeasible = r.feasible
+		}
+	}
+	for _, r := range results {
+		if r.best.j >= 0 && r.best.j < firstFeasible && r.best.better(bestInfeasible) {
+			bestInfeasible = r.best
+		}
+	}
+	return firstFeasible, bestInfeasible
+}

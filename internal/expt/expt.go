@@ -15,6 +15,13 @@ import (
 	"repro/internal/topology"
 )
 
+// Workers sets the refinement sweep parallelism of every experiment's
+// NMAP runs (see core.Problem.Workers): 0 or 1 sequential, n > 1 a
+// bounded pool of n workers, negative one worker per CPU. Parallel sweeps
+// pick winners deterministically, so every reproduced table and figure is
+// byte-identical across settings — the CLIs expose it as -workers.
+var Workers int
+
 // problemFor builds the mapping problem for an app on its recommended
 // mesh with effectively unconstrained links (the paper's Figure 3 uses
 // "the same bandwidth constraints for all algorithms"; generous links let
@@ -24,7 +31,12 @@ func problemFor(a apps.App) (*core.Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewProblem(a.Graph, topo)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		return nil, err
+	}
+	p.Workers = Workers
+	return p, nil
 }
 
 // Fig3Row is the communication cost of every algorithm on one app.

@@ -50,6 +50,7 @@ func Extension(cfg ExtensionConfig) ([]ExtensionRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Workers = Workers
 	res := p.MapSinglePath()
 	cs := p.Commodities(res.Mapping)
 	singleTab := route.FromSinglePaths(res.Route.Paths)

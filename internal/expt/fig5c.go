@@ -50,6 +50,7 @@ func Fig5c(cfg Fig5cConfig) ([]Fig5cPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Workers = Workers
 	res := p.MapSinglePath()
 	cs := p.Commodities(res.Mapping)
 

@@ -1,0 +1,43 @@
+package expt
+
+import (
+	"testing"
+)
+
+// TestReproductionsByteIdenticalAcrossSweepModes runs the mapping-driven
+// reproductions with sequential and parallel refinement sweeps and
+// requires byte-identical renderings: the parallel worker pool must not
+// change a single reproduced value.
+func TestReproductionsByteIdenticalAcrossSweepModes(t *testing.T) {
+	old := Workers
+	defer func() { Workers = old }()
+
+	// The PBB baseline ignores Workers and dominates the default budget,
+	// so Table 2 runs with a light PBB while keeping the paper's graph
+	// sizes — the NMAP column is the one the sweep mode could change.
+	cfg := DefaultTable2Config()
+	cfg.PBB.MaxQueue = 50
+	cfg.PBB.MaxExpand = 500
+
+	render := func(workers int) (string, string) {
+		Workers = workers
+		fig3, err := Fig3()
+		if err != nil {
+			t.Fatal(err)
+		}
+		table2, err := Table2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatFig3(fig3), FormatTable2(table2)
+	}
+
+	seqFig3, seqTable2 := render(1)
+	parFig3, parTable2 := render(-1)
+	if seqFig3 != parFig3 {
+		t.Errorf("Figure 3 diverged between sweep modes:\nsequential:\n%s\nparallel:\n%s", seqFig3, parFig3)
+	}
+	if seqTable2 != parTable2 {
+		t.Errorf("Table 2 diverged between sweep modes:\nsequential:\n%s\nparallel:\n%s", seqTable2, parTable2)
+	}
+}

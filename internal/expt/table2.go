@@ -57,6 +57,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.Workers = Workers
 		pbb := baseline.PBB(p, cfg.PBB).CommCost()
 		nmap := p.MapSinglePath().Mapping.CommCost()
 		rows = append(rows, Table2Row{Cores: n, PBB: pbb, NMAP: nmap, Ratio: pbb / nmap})

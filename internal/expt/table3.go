@@ -34,6 +34,7 @@ func Table3() (*Table3Data, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Workers = Workers
 	res := p.MapSinglePath()
 	lib := xpipes.DefaultLibrary()
 

@@ -13,22 +13,44 @@ type CoreGraph struct {
 	*Digraph
 	Name  string   // application name, e.g. "VOPD"
 	Cores []string // Cores[i] is the name of core i
+	// byName indexes Cores so CoreID (and thus Connect) is O(1). When
+	// cores share a name, the lowest ID wins, matching the linear scan
+	// this index replaced.
+	byName map[string]int
 }
 
 // NewCoreGraph returns an empty named core graph.
 func NewCoreGraph(name string) *CoreGraph {
-	return &CoreGraph{Digraph: NewDigraph(0), Name: name}
+	return &CoreGraph{Digraph: NewDigraph(0), Name: name, byName: map[string]int{}}
 }
 
 // AddCore appends a core with the given name and returns its vertex ID.
 func (cg *CoreGraph) AddCore(name string) int {
 	id := cg.AddVertex()
 	cg.Cores = append(cg.Cores, name)
+	if cg.byName == nil {
+		cg.byName = make(map[string]int, len(cg.Cores))
+		for i, c := range cg.Cores[:len(cg.Cores)-1] {
+			if _, ok := cg.byName[c]; !ok {
+				cg.byName[c] = i
+			}
+		}
+	}
+	if _, ok := cg.byName[name]; !ok {
+		cg.byName[name] = id
+	}
 	return id
 }
 
 // CoreID returns the vertex ID of the named core, or -1 if absent.
 func (cg *CoreGraph) CoreID(name string) int {
+	if cg.byName != nil {
+		if id, ok := cg.byName[name]; ok {
+			return id
+		}
+		return -1
+	}
+	// Graphs assembled without NewCoreGraph keep the original scan.
 	for i, c := range cg.Cores {
 		if c == name {
 			return i

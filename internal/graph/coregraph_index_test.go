@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCoreIDIndex checks the O(1) name index against every construction
+// path: AddCore, Connect-created cores, absent names, and graphs built
+// without NewCoreGraph (which keep the linear scan).
+func TestCoreIDIndex(t *testing.T) {
+	cg := NewCoreGraph("idx")
+	ids := make(map[string]int)
+	for i := 0; i < 50; i++ {
+		name := fmt.Sprintf("core-%d", i)
+		ids[name] = cg.AddCore(name)
+	}
+	cg.Connect("core-3", "via-connect", 10) // creates via-connect
+	ids["via-connect"] = cg.CoreID("via-connect")
+	for name, want := range ids {
+		if got := cg.CoreID(name); got != want {
+			t.Fatalf("CoreID(%q) = %d, want %d", name, got, want)
+		}
+	}
+	if got := cg.CoreID("absent"); got != -1 {
+		t.Fatalf("CoreID(absent) = %d, want -1", got)
+	}
+
+	// Duplicate names resolve to the lowest ID, like the scan they
+	// replaced.
+	dup := NewCoreGraph("dup")
+	first := dup.AddCore("same")
+	dup.AddCore("same")
+	if got := dup.CoreID("same"); got != first {
+		t.Fatalf("duplicate name resolved to %d, want first ID %d", got, first)
+	}
+
+	// A zero-value CoreGraph (no NewCoreGraph) still answers via the
+	// fallback scan, and AddCore builds the index on first use.
+	raw := &CoreGraph{Digraph: NewDigraph(0), Cores: nil}
+	if got := raw.CoreID("x"); got != -1 {
+		t.Fatalf("zero-value CoreID = %d, want -1", got)
+	}
+	rawID := raw.AddCore("x")
+	if got := raw.CoreID("x"); got != rawID {
+		t.Fatalf("post-AddCore CoreID = %d, want %d", got, rawID)
+	}
+}

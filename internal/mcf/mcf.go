@@ -22,6 +22,7 @@ package mcf
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/lp"
 	"repro/internal/topology"
@@ -201,7 +202,16 @@ func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, 
 		for node := range supply {
 			touched[node] = true
 		}
+		// Emit conservation rows in ascending node order: simplex
+		// pivoting is sensitive to row order, and map iteration would
+		// make the solved flows (and everything downstream, e.g. the
+		// simulated split-routing latencies) vary run to run.
+		nodes := make([]int, 0, len(touched))
 		for node := range touched {
+			nodes = append(nodes, node)
+		}
+		sort.Ints(nodes)
+		for _, node := range nodes {
 			var terms []lp.Term
 			for _, l := range links {
 				lk := t.Link(l)

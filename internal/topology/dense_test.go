@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHopDistTableMatchesClosedForm validates the dense hop table against
+// the closed-form fallback on meshes and tori.
+func TestHopDistTableMatchesClosedForm(t *testing.T) {
+	builds := []struct {
+		name string
+		topo func() (*Topology, error)
+	}{
+		{"mesh-5x4", func() (*Topology, error) { return NewMesh(5, 4, 100) }},
+		{"torus-5x4", func() (*Topology, error) { return NewTorus(5, 4, 100) }},
+		{"torus-3x3", func() (*Topology, error) { return NewTorus(3, 3, 100) }},
+		{"mesh-1x2", func() (*Topology, error) { return NewMesh(1, 2, 100) }},
+	}
+	for _, b := range builds {
+		topo, err := b.topo()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < topo.N(); a++ {
+			for c := 0; c < topo.N(); c++ {
+				if got, want := topo.HopDist(a, c), topo.hopDistSlow(a, c); got != want {
+					t.Fatalf("%s: HopDist(%d,%d) = %d, closed form %d", b.name, a, c, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLinkIDDenseIndex validates the flat link index: every link found at
+// its endpoints, -1 everywhere else, consistent with Neighbors.
+func TestLinkIDDenseIndex(t *testing.T) {
+	topo, err := NewTorus(4, 3, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := make(map[[2]int]int)
+	for _, l := range topo.Links() {
+		adj[[2]int{l.From, l.To}] = l.ID
+	}
+	for a := 0; a < topo.N(); a++ {
+		for b := 0; b < topo.N(); b++ {
+			want, ok := adj[[2]int{a, b}]
+			if !ok {
+				want = -1
+			}
+			if got := topo.LinkID(a, b); got != want {
+				t.Fatalf("LinkID(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	for a := 0; a < topo.N(); a++ {
+		for _, n := range topo.Neighbors(a) {
+			if topo.LinkID(a, n) < 0 {
+				t.Fatalf("neighbor link %d->%d missing from index", a, n)
+			}
+		}
+	}
+}
+
+// TestQuadrantCacheStableAndConcurrent checks that the lazily cached
+// quadrant data is identical on repeated and concurrent queries.
+func TestQuadrantCacheStableAndConcurrent(t *testing.T) {
+	topo, err := NewMesh(6, 6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := topo.Node(0, 0), topo.Node(4, 5)
+	first := append([]int(nil), topo.QuadrantLinks(src, dst)...)
+	mask := append([]bool(nil), topo.Quadrant(src, dst)...)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < 50; it++ {
+				links := topo.QuadrantLinks(src, dst)
+				if len(links) != len(first) {
+					errs <- "link list length changed"
+					return
+				}
+				for i := range links {
+					if links[i] != first[i] {
+						errs <- "link list content changed"
+						return
+					}
+				}
+				in := topo.Quadrant(src, dst)
+				for i := range in {
+					if in[i] != mask[i] {
+						errs <- "mask content changed"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// Forward links must each step strictly toward the destination and
+	// stay inside the quadrant (the Eq. 10 property the cache preserves).
+	for _, id := range first {
+		l := topo.Link(id)
+		if !mask[l.From] || !mask[l.To] {
+			t.Fatalf("cached link %d leaves the quadrant", id)
+		}
+		if topo.HopDist(l.To, dst) >= topo.HopDist(l.From, dst) {
+			t.Fatalf("cached link %d does not move toward dst", id)
+		}
+	}
+}

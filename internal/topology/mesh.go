@@ -6,6 +6,7 @@ package topology
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -41,15 +42,38 @@ type Link struct {
 	BW   float64
 }
 
+// denseLimit caps the N*N table sizes precomputed per topology. Meshes
+// up to 2048 nodes get O(1) dense lookups; anything larger falls back to
+// the closed-form/map implementations so memory stays bounded.
+const denseLimit = 2048
+
+// quadCache holds the lazily computed quadrant data for one (src,dst)
+// pair: the membership mask and the forward (toward-destination) links.
+type quadCache struct {
+	mask    []bool
+	forward []int
+}
+
 // Topology is the NoC topology graph P(U,F). Nodes are numbered
 // row-major: node = y*W + x.
+//
+// All read methods are safe for concurrent use: the dense tables are
+// built at construction time and the per-pair quadrant caches are filled
+// through atomic pointers (idempotent, so racing fills agree).
 type Topology struct {
 	Kind  Kind
 	W, H  int
 	links []Link
-	// linkAt[from][to] is the link index, or -1.
-	linkAt map[[2]int]int
-	g      *graph.Digraph
+	// linkAt[from*N+to] is the link index, or -1; nil for huge networks
+	// (beyond denseLimit), in which case linkMap is used instead.
+	linkAt  []int32
+	linkMap map[[2]int]int
+	// hop[a*N+b] is the minimal hop count; nil for huge networks.
+	hop []int32
+	// quad[src*N+dst] caches quadrant masks and forward link lists; nil
+	// for huge networks.
+	quad []atomic.Pointer[quadCache]
+	g    *graph.Digraph
 }
 
 // NewMesh returns a W x H mesh in which every directed link has bandwidth
@@ -72,8 +96,17 @@ func build(kind Kind, w, h int, linkBW float64) (*Topology, error) {
 	if linkBW <= 0 {
 		return nil, fmt.Errorf("topology: link bandwidth must be positive, got %g", linkBW)
 	}
-	t := &Topology{Kind: kind, W: w, H: h, linkAt: make(map[[2]int]int)}
-	t.g = graph.NewDigraph(w * h)
+	t := &Topology{Kind: kind, W: w, H: h}
+	n := w * h
+	if n <= denseLimit {
+		t.linkAt = make([]int32, n*n)
+		for i := range t.linkAt {
+			t.linkAt[i] = -1
+		}
+	} else {
+		t.linkMap = make(map[[2]int]int)
+	}
+	t.g = graph.NewDigraph(n)
 	addPair := func(a, b int) {
 		t.addLink(a, b, linkBW)
 		t.addLink(b, a, linkBW)
@@ -100,13 +133,29 @@ func build(kind Kind, w, h int, linkBW float64) (*Topology, error) {
 			}
 		}
 	}
+	if n <= denseLimit {
+		t.hop = make([]int32, n*n)
+		for a := 0; a < n; a++ {
+			ax, ay := t.XY(a)
+			for b := 0; b < n; b++ {
+				bx, by := t.XY(b)
+				d := abs(t.wrapDelta(ax, bx, w)) + abs(t.wrapDelta(ay, by, h))
+				t.hop[a*n+b] = int32(d)
+			}
+		}
+		t.quad = make([]atomic.Pointer[quadCache], n*n)
+	}
 	return t, nil
 }
 
 func (t *Topology) addLink(from, to int, bw float64) {
 	id := len(t.links)
 	t.links = append(t.links, Link{ID: id, From: from, To: to, BW: bw})
-	t.linkAt[[2]int{from, to}] = id
+	if t.linkAt != nil {
+		t.linkAt[from*t.N()+to] = int32(id)
+	} else {
+		t.linkMap[[2]int{from, to}] = id
+	}
 	t.g.MustAddEdge(from, to, bw)
 }
 
@@ -128,7 +177,10 @@ func (t *Topology) NumLinks() int { return len(t.links) }
 // LinkID returns the index of the directed link from -> to, or -1 if the
 // nodes are not adjacent.
 func (t *Topology) LinkID(from, to int) int {
-	if id, ok := t.linkAt[[2]int{from, to}]; ok {
+	if t.linkAt != nil {
+		return int(t.linkAt[from*t.N()+to])
+	}
+	if id, ok := t.linkMap[[2]int{from, to}]; ok {
 		return id
 	}
 	return -1
@@ -179,6 +231,16 @@ func (t *Topology) wrapDelta(a, b, n int) int {
 
 // HopDist returns the minimal hop count dist(a,b) between nodes a and b.
 func (t *Topology) HopDist(a, b int) int {
+	if t.hop != nil {
+		return int(t.hop[a*t.N()+b])
+	}
+	return t.hopDistSlow(a, b)
+}
+
+// hopDistSlow computes the hop distance from the closed form; it is the
+// fallback for networks too large for the dense table and the reference
+// the table is validated against in tests.
+func (t *Topology) hopDistSlow(a, b int) int {
 	ax, ay := t.XY(a)
 	bx, by := t.XY(b)
 	dx := t.wrapDelta(ax, bx, t.W)

@@ -1,15 +1,24 @@
 package topology
 
-// Quadrant computes the quadrant graph Q(d_k) between nodes src and dst:
-// the set of nodes lying inside the minimal bounding rectangle spanned by
-// the two endpoints. Every minimal-hop path between src and dst stays
-// inside this rectangle (on a torus the rectangle follows the minimal
-// wrap direction in each dimension), so restricting search to it preserves
-// shortest paths while shrinking the search space.
-//
-// The result is a boolean membership mask over all nodes, suitable for the
-// `allowed` argument of graph.Dijkstra.
-func (t *Topology) Quadrant(src, dst int) []bool {
+// quadrantOf returns the cached quadrant data for (src,dst), computing
+// and publishing it on first use. Concurrent fills are idempotent: both
+// goroutines compute identical values, so whichever Store wins is fine.
+func (t *Topology) quadrantOf(src, dst int) *quadCache {
+	if t.quad == nil {
+		return t.computeQuadrant(src, dst)
+	}
+	idx := src*t.N() + dst
+	if qc := t.quad[idx].Load(); qc != nil {
+		return qc
+	}
+	qc := t.computeQuadrant(src, dst)
+	t.quad[idx].Store(qc)
+	return qc
+}
+
+// computeQuadrant builds the membership mask and forward link list for
+// the (src,dst) quadrant from scratch.
+func (t *Topology) computeQuadrant(src, dst int) *quadCache {
 	sx, sy := t.XY(src)
 	dx := t.wrapDelta(sx, mustX(t, dst), t.W)
 	dy := t.wrapDelta(sy, mustY(t, dst), t.H)
@@ -25,16 +34,6 @@ func (t *Topology) Quadrant(src, dst int) []bool {
 			in[t.Node(x, y)] = true
 		}
 	}
-	return in
-}
-
-// QuadrantLinks returns the IDs of all directed links whose endpoints both
-// lie inside the quadrant of (src,dst) and which point "forward": each
-// link moves from a node to a node that is not farther from dst. On a
-// mesh this yields exactly the links usable by minimal paths, implementing
-// the Eq. 10 restriction for minimum-path traffic splitting.
-func (t *Topology) QuadrantLinks(src, dst int) []int {
-	in := t.Quadrant(src, dst)
 	var ids []int
 	for _, l := range t.links {
 		if !in[l.From] || !in[l.To] {
@@ -44,7 +43,31 @@ func (t *Topology) QuadrantLinks(src, dst int) []int {
 			ids = append(ids, l.ID)
 		}
 	}
-	return ids
+	return &quadCache{mask: in, forward: ids}
+}
+
+// Quadrant computes the quadrant graph Q(d_k) between nodes src and dst:
+// the set of nodes lying inside the minimal bounding rectangle spanned by
+// the two endpoints. Every minimal-hop path between src and dst stays
+// inside this rectangle (on a torus the rectangle follows the minimal
+// wrap direction in each dimension), so restricting search to it preserves
+// shortest paths while shrinking the search space.
+//
+// The result is a boolean membership mask over all nodes, suitable for the
+// `allowed` argument of graph.Dijkstra. The mask is cached and shared
+// between callers: it must not be modified.
+func (t *Topology) Quadrant(src, dst int) []bool {
+	return t.quadrantOf(src, dst).mask
+}
+
+// QuadrantLinks returns the IDs of all directed links whose endpoints both
+// lie inside the quadrant of (src,dst) and which point "forward": each
+// link moves from a node to a node that is not farther from dst. On a
+// mesh this yields exactly the links usable by minimal paths, implementing
+// the Eq. 10 restriction for minimum-path traffic splitting. The slice is
+// cached and shared between callers: it must not be modified.
+func (t *Topology) QuadrantLinks(src, dst int) []int {
+	return t.quadrantOf(src, dst).forward
 }
 
 func mustX(t *Topology, u int) int { x, _ := t.XY(u); return x }
