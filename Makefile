@@ -1,0 +1,31 @@
+GO ?= go
+
+# Allocation ceilings the kernel benches must hold (see cmd/benchjson);
+# CI fails the build when any regresses.
+BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
+
+.PHONY: build test race bench bench-json bench-gate experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/baseline/ -run 'Race|Parallel|Workers'
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem .
+
+# Write the machine-readable kernel bench summary (ns/op, allocs/op) so
+# the perf trajectory is tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+
+# Bench smoke with allocs/op regression gates on the hot kernels.
+bench-gate:
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -gate '$(BENCH_GATES)'
+
+experiments:
+	$(GO) run ./cmd/experiments

@@ -197,13 +197,31 @@ func BenchmarkMapSinglePathSwapDelta(b *testing.B) {
 }
 
 // BenchmarkShortestPathRouting measures one congestion-aware routing pass
-// over all VOPD commodities (the inner loop of the swap refinement).
+// over all VOPD commodities with a freshly allocated result per call.
 func BenchmarkShortestPathRouting(b *testing.B) {
 	p := vopdProblem(b)
 	m := p.Initialize()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if r := p.RouteSinglePath(m); !r.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+// BenchmarkRouteSinglePath measures the steady-state routing kernel the
+// refinement sweeps actually run: RouteSinglePathInto reusing one result
+// (loads, paths and arena) across calls — zero allocations per op, gated
+// by CI.
+func BenchmarkRouteSinglePath(b *testing.B) {
+	p := vopdProblem(b)
+	m := p.Initialize()
+	res := p.RouteSinglePath(m) // warm the result storage and scratch pool
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if p.RouteSinglePathInto(m, res); !res.Feasible {
 			b.Fatal("infeasible")
 		}
 	}
@@ -272,15 +290,53 @@ func BenchmarkLPSimplex(b *testing.B) {
 	}
 }
 
-// BenchmarkPBBVOPD measures the branch-and-bound baseline at Figure 3's
-// budget on VOPD.
+// BenchmarkPBBVOPD measures the branch-and-bound baseline at a bounded
+// budget on VOPD — the rebuilt search engine with pooled nodes and the
+// bit-exact legacy queue.
 func BenchmarkPBBVOPD(b *testing.B) {
 	p := vopdProblem(b)
 	cfg := baseline.PBBConfig{MaxQueue: 500, MaxExpand: 5000}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if m := baseline.PBB(p, cfg); !m.Complete() {
 			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkPBBVOPDFastQueue is the same search with the opt-in indexed
+// bounded queue (no truncation re-sorts).
+func BenchmarkPBBVOPDFastQueue(b *testing.B) {
+	p := vopdProblem(b)
+	cfg := baseline.PBBConfig{MaxQueue: 500, MaxExpand: 5000, FastQueue: true}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m := baseline.PBB(p, cfg); !m.Complete() {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkMCF2VOPDSolverReuse measures the persistent-solver MCF2 path
+// the split-mapping candidate loop runs (structure rebuilt into retained
+// buffers, cold pivots, no flow extraction).
+func BenchmarkMCF2VOPDSolverReuse(b *testing.B) {
+	p := vopdProblem(b)
+	m := p.Initialize()
+	cs := p.Commodities(m)
+	s := mcf.NewSolver(p.Topo, mcf.Options{Mode: mcf.Aggregate})
+	s.SkipFlows = true
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := s.SolveMCF2(cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Feasible {
+			b.Fatal("infeasible")
 		}
 	}
 }

@@ -1,8 +1,8 @@
 package baseline
 
 import (
-	"container/heap"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/core"
@@ -17,6 +17,23 @@ type PBBConfig struct {
 	MaxQueue int
 	// MaxExpand caps the number of tree nodes expanded.
 	MaxExpand int
+	// Workers spreads each expansion's child-bound evaluations over a
+	// bounded worker pool: 0 or 1 evaluate sequentially, n > 1 uses n
+	// workers, negative uses one per available CPU. Children are merged
+	// back in deterministic index order and the incumbent is only read
+	// between expansions, so every setting explores the identical tree
+	// and returns the identical mapping.
+	Workers int
+	// FastQueue switches the bounded priority queue from the historical
+	// binary heap (whose equal-bound pop order and overflow truncation
+	// replicate the original container/heap + sort implementation
+	// bit-for-bit) to an indexed double-ended heap with a total
+	// (bound, insertion) order: eviction drops the single worst entry in
+	// O(log n) instead of re-sorting the queue. Both queues are fully
+	// deterministic and follow the same search policy; they may retain
+	// different equal-bound nodes under truncation, so reproduction runs
+	// keep the legacy queue while large sweeps can opt in for speed.
+	FastQueue bool
 }
 
 // DefaultPBBConfig mirrors the paper's "ran for a few minutes" setting at
@@ -25,25 +42,409 @@ func DefaultPBBConfig() PBBConfig {
 	return PBBConfig{MaxQueue: 2000, MaxExpand: 200000}
 }
 
-// pbbNode is one partial mapping in the search tree.
-type pbbNode struct {
-	assign []int   // order index -> mesh node (len == depth)
-	cost   float64 // exact cost of mapped-mapped edges
-	bound  float64 // cost + admissible lower bound of the rest
+// pbbEngine is the rebuilt PBB search state. Search-tree nodes live in
+// pooled flat storage: slot s keeps its scalar fields in nodes[s] and its
+// partial assignment in the fixed-stride arena assign[s*nV:]. Slots freed
+// by expansion, pruning or queue truncation are recycled, so the steady
+// state allocates nothing. The bounded priority queue is an indexed
+// double-ended heap over the node pool ordered by the total key
+// (bound, insertion sequence): best-first extraction pops the minimum,
+// and overflow evicts the maximum in O(log n) — no re-sorting. The total
+// key makes extraction and eviction independent of heap layout, so the
+// search is exactly reproducible across runs and worker counts.
+type pbbEngine struct {
+	p      *core.Problem
+	nV, nU int
+	order  []int // rank -> core, decreasing communication demand
+
+	nodes   []pbbNode
+	assign  []int32 // fixed-stride nV arena, slot s at [s*nV : s*nV+depth]
+	zeroRow []int32 // nV zeros, the arena growth template
+	free    []int32
+
+	// legacy queue (default): flat binary heap of (bound, slot) pairs
+	// ordered by bound only, bit-exact replica of the historical
+	// container/heap + sort.Slice truncation
+	fast  bool
+	lheap []pbbRef
+
+	// fast queue (opt-in): indexed double-ended heap by (bound, seq)
+	minH []int32 // slot refs, min-heap by (bound, seq)
+	maxH []int32 // slot refs, max-heap by (bound, seq)
+	seq  int64   // monotone insertion counter
+
+	// lower-bound scratch
+	occupied []bool
+	ms       *mfScratch   // sequential nearest-free-distance cache
+	nz       [][]nzCol    // per rank: nonzero weight columns, ascending
+	byDist   [][]distNode // per mesh node: all nodes by (hop distance, id)
+
+	// parallel expansion scratch (Workers > 1): a persistent pool —
+	// goroutines live for the whole search and receive one job per
+	// expansion, instead of being respawned per expansion.
+	workers   int
+	childCost []float64
+	childLB   []float64
+	workerMS  []*mfScratch
+	parJobs   []chan parJob
+	parDone   chan struct{}
 }
 
-type pbbQueue []*pbbNode
+// parJob is one expansion's child-evaluation broadcast: the popped
+// node's assignment prefix (read-only), depth and exact cost.
+type parJob struct {
+	pa    []int32
+	depth int
+	cost  float64
+}
 
-func (q pbbQueue) Len() int            { return len(q) }
-func (q pbbQueue) Less(i, j int) bool  { return q[i].bound < q[j].bound }
-func (q pbbQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pbbQueue) Push(x interface{}) { *q = append(*q, x.(*pbbNode)) }
-func (q *pbbQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// nzCol is one nonzero entry of a weight-matrix row.
+type nzCol struct {
+	j int32
+	w float64
+}
+
+// distNode is one entry of a node's distance-sorted neighbor list.
+type distNode struct {
+	node int32
+	dist int32
+}
+
+// pbbNode is one partial mapping in the search tree (scalar part; the
+// assignment prefix lives in the engine's arena). posMin/posMax are the
+// slot's locations inside the two queue heaps.
+type pbbNode struct {
+	cost   float64 // exact cost of mapped-mapped edges
+	bound  float64 // cost + admissible lower bound of the rest
+	seq    int64   // insertion order, the deterministic tie-break
+	depth  int32
+	posMin int32
+	posMax int32
+}
+
+func (e *pbbEngine) slotAssign(s int32) []int32 {
+	return e.assign[int(s)*e.nV : int(s)*e.nV+int(e.nodes[s].depth)]
+}
+
+// alloc returns a fresh or recycled node slot.
+func (e *pbbEngine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		s := e.free[n-1]
+		e.free = e.free[:n-1]
+		return s
+	}
+	e.nodes = append(e.nodes, pbbNode{})
+	e.assign = append(e.assign, e.zeroRow...)
+	return int32(len(e.nodes) - 1)
+}
+
+func (e *pbbEngine) release(s int32) { e.free = append(e.free, s) }
+
+// --- legacy bounded queue ----------------------------------------------
+//
+// A flat binary min-heap by bound only, with push/pop/init replicating
+// container/heap's algorithm step for step and overflow truncation
+// replicating the historical sort.Slice + reheapify (the pdqsort port in
+// pbbsort.go). Equal-bound nodes therefore pop in exactly the order the
+// original engine produced, which keeps every reproduced PBB number
+// bit-identical. The queue is stored as (bound, slot) pairs so every
+// comparison along the sift and sort paths is a single float load.
+
+func (e *pbbEngine) lUp(j int) {
+	h := e.lheap
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].key < h[i].key) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (e *pbbEngine) lDown(i0, n int) {
+	h := e.lheap
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].key < h[j1].key {
+			j = j2
+		}
+		if !(h[j].key < h[i].key) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (e *pbbEngine) lPush(s int32) {
+	e.lheap = append(e.lheap, pbbRef{key: e.nodes[s].bound, slot: s})
+	e.lUp(len(e.lheap) - 1)
+}
+
+func (e *pbbEngine) lPop() int32 {
+	h := e.lheap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	e.lDown(0, n)
+	s := h[n].slot
+	e.lheap = h[:n]
+	return s
+}
+
+// lTruncate drops the worst queue entries when the bounded queue
+// overflows, recycling their slots. The typed pdqsort port runs the same
+// comparisons and swaps over the same entry permutation as the historical
+// sort.Slice on []*pbbNode, so the retained equal-bound set matches
+// exactly. The historical code reheapified after truncating, but a
+// non-decreasing array already satisfies the min-heap property
+// (h[i] <= h[2i+1], h[2i+2]) and sift-down only moves on a strict
+// comparison, so heap.Init over the sorted remainder was a no-op — the
+// truncated array is the reheapified layout, bit for bit.
+func (e *pbbEngine) lTruncate(maxQueue int) {
+	refSort(e.lheap)
+	for _, r := range e.lheap[maxQueue:] {
+		e.release(r.slot)
+	}
+	e.lheap = e.lheap[:maxQueue]
+}
+
+// --- fast bounded queue: indexed double-ended heap ---------------------
+//
+// Both heaps hold every queued slot; each slot tracks its position in
+// each heap, so removing an arbitrary element (the counterpart of a pop
+// on the other end) is O(log n). The key (bound, seq) is total: no two
+// queued nodes compare equal, which pins the extraction and eviction
+// order regardless of heap layout.
+
+// qLess is the best-first order: smaller bound wins, earlier insertion
+// breaks ties.
+func (e *pbbEngine) qLess(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.bound != nb.bound {
+		return na.bound < nb.bound
+	}
+	return na.seq < nb.seq
+}
+
+// qWorse is the eviction order: larger bound is worse, later insertion
+// breaks ties (so on equal bounds the queue keeps its older entries).
+func (e *pbbEngine) qWorse(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.bound != nb.bound {
+		return na.bound > nb.bound
+	}
+	return na.seq > nb.seq
+}
+
+func (e *pbbEngine) minUp(j int) {
+	h := e.minH
+	for j > 0 {
+		i := (j - 1) / 2
+		if !e.qLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		e.nodes[h[i]].posMin = int32(i)
+		e.nodes[h[j]].posMin = int32(j)
+		j = i
+	}
+}
+
+func (e *pbbEngine) minDown(i int) {
+	h := e.minH
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && e.qLess(h[j2], h[j]) {
+			j = j2
+		}
+		if !e.qLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		e.nodes[h[i]].posMin = int32(i)
+		e.nodes[h[j]].posMin = int32(j)
+		i = j
+	}
+}
+
+func (e *pbbEngine) maxUp(j int) {
+	h := e.maxH
+	for j > 0 {
+		i := (j - 1) / 2
+		if !e.qWorse(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		e.nodes[h[i]].posMax = int32(i)
+		e.nodes[h[j]].posMax = int32(j)
+		j = i
+	}
+}
+
+func (e *pbbEngine) maxDown(i int) {
+	h := e.maxH
+	n := len(h)
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && e.qWorse(h[j2], h[j]) {
+			j = j2
+		}
+		if !e.qWorse(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		e.nodes[h[i]].posMax = int32(i)
+		e.nodes[h[j]].posMax = int32(j)
+		i = j
+	}
+}
+
+// qPush inserts slot s into both heaps and stamps its sequence number.
+func (e *pbbEngine) qPush(s int32) {
+	e.nodes[s].seq = e.seq
+	e.seq++
+	e.nodes[s].posMin = int32(len(e.minH))
+	e.minH = append(e.minH, s)
+	e.minUp(len(e.minH) - 1)
+	e.nodes[s].posMax = int32(len(e.maxH))
+	e.maxH = append(e.maxH, s)
+	e.maxUp(len(e.maxH) - 1)
+}
+
+// minRemoveAt deletes the element at min-heap index i.
+func (e *pbbEngine) minRemoveAt(i int) {
+	h := e.minH
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		e.nodes[h[i]].posMin = int32(i)
+	}
+	e.minH = h[:n]
+	if i < n {
+		e.minDown(i)
+		e.minUp(i)
+	}
+}
+
+// maxRemoveAt deletes the element at max-heap index i.
+func (e *pbbEngine) maxRemoveAt(i int) {
+	h := e.maxH
+	n := len(h) - 1
+	if i != n {
+		h[i] = h[n]
+		e.nodes[h[i]].posMax = int32(i)
+	}
+	e.maxH = h[:n]
+	if i < n {
+		e.maxDown(i)
+		e.maxUp(i)
+	}
+}
+
+// qPopMin removes and returns the best (bound, seq) slot.
+func (e *pbbEngine) qPopMin() int32 {
+	s := e.minH[0]
+	e.minRemoveAt(0)
+	e.maxRemoveAt(int(e.nodes[s].posMax))
+	return s
+}
+
+// qDropWorst evicts the worst (bound, seq) slot and recycles it.
+func (e *pbbEngine) qDropWorst() {
+	s := e.maxH[0]
+	e.maxRemoveAt(0)
+	e.minRemoveAt(int(e.nodes[s].posMin))
+	e.release(s)
+}
+
+// minFree returns the hop distance from mesh node u0 to the nearest node
+// not marked occupied, excluding extra (pass -1 for none). The value
+// equals the historical linear scan's minimum; the per-node sorted
+// distance lists just find it in near-constant time.
+func (e *pbbEngine) minFree(u0 int32, extra int32) int {
+	for _, dn := range e.byDist[u0] {
+		if dn.node == extra || e.occupied[dn.node] {
+			continue
+		}
+		return int(dn.dist)
+	}
+	return math.MaxInt
+}
+
+// mfScratch caches the nearest-free-node distances of one child
+// evaluation: mf[j] is valid when stamp[j] == cur. Each sequential or
+// parallel evaluator owns one, so cached distances never leak between
+// children (the free-node set differs per child).
+type mfScratch struct {
+	mf    []int
+	stamp []int64
+	cur   int64
+}
+
+func newMFScratch(nV int) *mfScratch {
+	return &mfScratch{mf: make([]int, nV), stamp: make([]int64, nV)}
+}
+
+// evalChild computes the exact mapped-edge cost and the admissible bound
+// of the child extending the popped node (assignment pa, depth d, exact
+// cost c) with node u.
+//
+// The bound is the historical admissible one — edges from unmapped cores
+// to mapped cores cost at least weight * distance(mapped node, nearest
+// free node); edges between two unmapped cores cost at least weight — and
+// is accumulated in the historical term order over the per-row nonzero
+// column lists. Skipping zero-weight terms is exact (adding +0.0 to a
+// nonnegative IEEE sum is the identity), and each mapped column's
+// nearest-free distance is computed at most once per child and only when
+// an unmapped row actually references it, instead of the historical
+// full free-node scan per (row, column) pair.
+func (e *pbbEngine) evalChild(ms *mfScratch, pa []int32, d int, c float64, u int32) (cost, bound float64) {
+	t := e.p.Topo
+	cost = c
+	for _, col := range e.nz[d] {
+		j := int(col.j)
+		if j >= d {
+			break
+		}
+		cost += col.w * float64(t.HopDist(int(u), int(pa[j])))
+	}
+	// The child occupies u in addition to the parent's nodes: nearest-free
+	// queries exclude it; its own column index is d at child depth d+1.
+	ms.cur++
+	depth := d + 1
+	lb := 0.0
+	for i := depth; i < e.nV; i++ {
+		for _, col := range e.nz[i] {
+			j := int(col.j)
+			if j < depth {
+				if ms.stamp[j] != ms.cur {
+					ms.stamp[j] = ms.cur
+					from := u
+					if j < d {
+						from = pa[j]
+					}
+					ms.mf[j] = e.minFree(from, u)
+				}
+				lb += col.w * float64(ms.mf[j])
+			} else if j > i {
+				lb += col.w
+			}
+		}
+	}
+	return cost, cost + lb
 }
 
 // PBB is the partial branch-and-bound mapping of Hu–Marculescu [8]:
@@ -56,6 +457,13 @@ func (q *pbbQueue) Pop() interface{} {
 // truncated queue forces it onto mediocre leaves and NMAP pulls ahead,
 // reproducing the paper's scaling behaviour. If the budget expires before
 // any leaf is reached, the best partial mapping is completed greedily.
+//
+// The search engine pools its tree nodes in flat storage, maintains the
+// admissible bound incrementally from cached nearest-free-node distances
+// instead of recomputing it by linear scans per child, and can fan each
+// expansion's child evaluations out over cfg.Workers — all without
+// changing a single explored node relative to the original
+// implementation.
 func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = DefaultPBBConfig().MaxQueue
@@ -67,136 +475,142 @@ func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 	t := p.Topo
 	nV, nU := s.N(), t.N()
 
+	e := &pbbEngine{p: p, nV: nV, nU: nU, zeroRow: make([]int32, nV)}
+
 	// Core examination order: decreasing communication demand.
-	order := make([]int, nV)
-	for i := range order {
-		order[i] = i
+	e.order = make([]int, nV)
+	for i := range e.order {
+		e.order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return s.VertexComm(order[a]) > s.VertexComm(order[b])
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return s.VertexComm(e.order[a]) > s.VertexComm(e.order[b])
 	})
 	rank := make([]int, nV) // core -> position in order
-	for i, v := range order {
+	for i, v := range e.order {
 		rank[v] = i
+	}
+
+	// weight[i][j]: communication between order[i] and order[j] — only
+	// needed to derive the nonzero-column lists below, so it stays local.
+	weight := make([][]float64, nV)
+	for i := range weight {
+		weight[i] = make([]float64, nV)
+		for _, edge := range s.Out(e.order[i]) {
+			weight[i][rank[edge.To]] = edge.Weight
+		}
+	}
+
+	// nz[i]: the nonzero columns of weight row i in ascending column
+	// order — the bound accumulates over exactly these terms.
+	e.nz = make([][]nzCol, nV)
+	for i := range weight {
+		for j, w := range weight[i] {
+			if w != 0 {
+				e.nz[i] = append(e.nz[i], nzCol{j: int32(j), w: w})
+			}
+		}
+	}
+
+	// byDist[u]: mesh nodes sorted by (hop distance from u, id) — the
+	// nearest-free-node queries of the lower bound scan these lists.
+	e.byDist = make([][]distNode, nU)
+	for u := 0; u < nU; u++ {
+		row := make([]distNode, nU)
+		for v := range row {
+			row[v] = distNode{node: int32(v), dist: int32(t.HopDist(u, v))}
+		}
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].dist != row[b].dist {
+				return row[a].dist < row[b].dist
+			}
+			return row[a].node < row[b].node
+		})
+		e.byDist[u] = row
+	}
+
+	e.occupied = make([]bool, nU)
+	e.ms = newMFScratch(nV)
+	e.workers = cfg.Workers
+	if e.workers < 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.workers > nU {
+		e.workers = nU
+	}
+	if e.workers > 1 {
+		e.childCost = make([]float64, nU)
+		e.childLB = make([]float64, nU)
+		e.workerMS = make([]*mfScratch, e.workers)
+		for w := range e.workerMS {
+			e.workerMS[w] = newMFScratch(nV)
+		}
 	}
 
 	// The incumbent cost starts unbounded; only leaves reached by the
 	// search update it ([8] reports the best solution found, which under
 	// queue truncation can be worse than plain greedy).
 	ubCost := math.Inf(1)
+	var bestAssign, deepestAssign []int32
+	haveBest, haveDeepest := false, false
 
-	// weightTo[i][j]: communication between order[i] and order[j].
-	weight := make([][]float64, nV)
-	for i := range weight {
-		weight[i] = make([]float64, nV)
-		for _, e := range s.Out(order[i]) {
-			weight[i][rank[e.To]] = e.Weight
-		}
-	}
-
-	lower := func(n *pbbNode) float64 {
-		// Edges from unmapped cores to mapped cores cost at least
-		// weight * distance(mapped node, nearest free node); edges
-		// between two unmapped cores cost at least weight * 1 hop.
-		depth := len(n.assign)
-		occupied := make([]bool, nU)
-		for _, u := range n.assign {
-			occupied[u] = true
-		}
-		lb := 0.0
-		for i := depth; i < nV; i++ {
-			for j := 0; j < depth; j++ {
-				w := weight[i][j]
-				if w == 0 {
-					continue
-				}
-				min := math.MaxInt
-				for u := 0; u < nU; u++ {
-					if occupied[u] {
-						continue
-					}
-					if d := t.HopDist(n.assign[j], u); d < min {
-						min = d
-					}
-				}
-				lb += w * float64(min)
-			}
-			for j := i + 1; j < nV; j++ {
-				lb += weight[i][j]
-			}
-		}
-		return lb
-	}
-
-	var best, deepest *pbbNode
-	q := &pbbQueue{{assign: nil, cost: 0, bound: 0}}
+	e.fast = cfg.FastQueue
+	root := e.alloc()
+	e.nodes[root] = pbbNode{}
+	e.push(root)
+	// pa snapshots the popped node's assignment; child slots allocated
+	// during expansion must not alias it, so it is copied out.
+	pa := make([]int32, nV)
 	expanded := 0
-	for q.Len() > 0 && expanded < cfg.MaxExpand {
-		n := heap.Pop(q).(*pbbNode)
+	defer e.stopWorkers()
+	for e.queueLen() > 0 && expanded < cfg.MaxExpand {
+		sn := e.pop()
+		n := e.nodes[sn]
 		if n.bound >= ubCost {
-			continue // pruned: cannot beat the incumbent
+			e.release(sn) // pruned: cannot beat the incumbent
+			continue
 		}
-		depth := len(n.assign)
-		if deepest == nil || depth > len(deepest.assign) {
-			deepest = n
+		depth := int(n.depth)
+		if !haveDeepest || depth > len(deepestAssign) {
+			deepestAssign = append(deepestAssign[:0], e.slotAssign(sn)...)
+			haveDeepest = true
 		}
 		if depth == nV {
 			if n.cost < ubCost {
 				ubCost = n.cost
-				best = n
+				bestAssign = append(bestAssign[:0], e.slotAssign(sn)...)
+				haveBest = true
 			}
+			e.release(sn)
 			continue
 		}
 		expanded++
-		occupied := make([]bool, nU)
-		for _, u := range n.assign {
-			occupied[u] = true
-		}
+		copy(pa[:depth], e.slotAssign(sn))
+		e.release(sn)
 		for u := 0; u < nU; u++ {
-			if occupied[u] {
-				continue
-			}
-			// Symmetry breaking: the first core only explores one
-			// quadrant of the array (mesh symmetries map the rest).
-			if depth == 0 {
-				x, y := t.XY(u)
-				if x > (t.W-1)/2 || y > (t.H-1)/2 {
-					continue
-				}
-			}
-			child := &pbbNode{assign: append(append([]int(nil), n.assign...), u)}
-			child.cost = n.cost
-			for j := 0; j < depth; j++ {
-				if w := weight[depth][j]; w != 0 {
-					child.cost += w * float64(t.HopDist(u, n.assign[j]))
-				}
-			}
-			child.bound = child.cost + lower(child)
-			if child.bound >= ubCost {
-				continue
-			}
-			heap.Push(q, child)
+			e.occupied[u] = false
 		}
-		// Partial search: drop the worst entries when the queue overflows.
-		if q.Len() > cfg.MaxQueue {
-			sort.Slice(*q, func(i, j int) bool { return (*q)[i].bound < (*q)[j].bound })
-			*q = (*q)[:cfg.MaxQueue]
-			heap.Init(q)
+		for _, u := range pa[:depth] {
+			e.occupied[u] = true
+		}
+		if e.workers > 1 {
+			e.expandParallel(pa[:depth], n.cost, depth, ubCost, cfg.MaxQueue)
+		} else {
+			e.expandSequential(pa[:depth], n.cost, depth, ubCost, cfg.MaxQueue)
 		}
 	}
 
-	if best == nil {
+	if !haveBest {
 		// Budget expired before any complete leaf: finish the deepest
 		// partial mapping greedily (cheapest free node per core, in
 		// examination order).
 		m := core.NewMapping(p)
-		if deepest != nil {
-			for i, u := range deepest.assign {
-				mustPlace(m, order[i], u)
+		if haveDeepest {
+			for i, u := range deepestAssign {
+				mustPlace(m, e.order[i], int(u))
 			}
 		}
 		for i := 0; i < nV; i++ {
-			v := order[i]
+			v := e.order[i]
 			if m.NodeOf(v) != -1 {
 				continue
 			}
@@ -206,9 +620,9 @@ func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 					continue
 				}
 				cost := 0.0
-				for _, e := range s.Out(v) {
-					if w := m.NodeOf(e.To); w != -1 {
-						cost += e.Weight * float64(t.HopDist(u, w))
+				for _, edge := range s.Out(v) {
+					if w := m.NodeOf(edge.To); w != -1 {
+						cost += edge.Weight * float64(t.HopDist(u, w))
 					}
 				}
 				if cost < bestCost {
@@ -220,8 +634,149 @@ func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 		return m
 	}
 	m := core.NewMapping(p)
-	for i, u := range best.assign {
-		mustPlace(m, order[i], u)
+	for i, u := range bestAssign {
+		mustPlace(m, e.order[i], int(u))
 	}
 	return m
+}
+
+// admitChild reports whether node u may host the next core: it must be
+// free, and the first core only explores one quadrant of the array (mesh
+// symmetries map the rest).
+func (e *pbbEngine) admitChild(u, depth int) bool {
+	if e.occupied[u] {
+		return false
+	}
+	if depth == 0 {
+		t := e.p.Topo
+		x, y := t.XY(u)
+		if x > (t.W-1)/2 || y > (t.H-1)/2 {
+			return false
+		}
+	}
+	return true
+}
+
+// queueLen, push and pop dispatch to the configured queue.
+func (e *pbbEngine) queueLen() int {
+	if e.fast {
+		return len(e.minH)
+	}
+	return len(e.lheap)
+}
+
+func (e *pbbEngine) push(s int32) {
+	if e.fast {
+		e.qPush(s)
+	} else {
+		e.lPush(s)
+	}
+}
+
+func (e *pbbEngine) pop() int32 {
+	if e.fast {
+		return e.qPopMin()
+	}
+	return e.lPop()
+}
+
+// pushChild queues the evaluated child unless its bound prunes it. Queue
+// overflow is handled per queue flavour: the fast queue evicts its worst
+// entry immediately (its total order makes that equivalent to batch
+// truncation), while the legacy queue lets the expansion overshoot and
+// truncates once afterwards, exactly like the original engine.
+func (e *pbbEngine) pushChild(pa []int32, depth int, u int32, cost, bound, ubCost float64, maxQueue int) {
+	if bound >= ubCost {
+		return
+	}
+	if e.fast && len(e.minH) >= maxQueue {
+		// A full queue admits the child only by evicting the current
+		// worst; a child at least as bad (the freshest seq loses bound
+		// ties) would be the eviction itself, so skip the round-trip.
+		if bound >= e.nodes[e.maxH[0]].bound {
+			return
+		}
+		e.qDropWorst()
+	}
+	sc := e.alloc()
+	n := &e.nodes[sc]
+	n.cost, n.bound, n.depth = cost, bound, int32(depth+1)
+	dst := e.assign[int(sc)*e.nV:]
+	copy(dst[:depth], pa)
+	dst[depth] = u
+	e.push(sc)
+}
+
+func (e *pbbEngine) expandSequential(pa []int32, cost float64, depth int, ubCost float64, maxQueue int) {
+	for u := 0; u < e.nU; u++ {
+		if !e.admitChild(u, depth) {
+			continue
+		}
+		c, b := e.evalChild(e.ms, pa, depth, cost, int32(u))
+		e.pushChild(pa, depth, int32(u), c, b, ubCost, maxQueue)
+	}
+	// Partial search: drop the worst entries when the queue overflows.
+	if !e.fast && len(e.lheap) > maxQueue {
+		e.lTruncate(maxQueue)
+	}
+}
+
+// startWorkers launches the persistent expansion pool: worker w strides
+// the node range u = w, w+workers, ... and writes each admitted child's
+// (cost, bound) into its private slot of childCost/childLB. Workers read
+// only immutable search state (weights, distance lists, occupied — all
+// fixed during one expansion) plus their own scratches, so the pool is
+// race-free and the results are independent of scheduling.
+func (e *pbbEngine) startWorkers() {
+	e.parJobs = make([]chan parJob, e.workers)
+	e.parDone = make(chan struct{}, e.workers)
+	for w := range e.parJobs {
+		ch := make(chan parJob, 1)
+		e.parJobs[w] = ch
+		go func(w int, ch chan parJob) {
+			for job := range ch {
+				for u := w; u < e.nU; u += e.workers {
+					if !e.admitChild(u, job.depth) {
+						continue
+					}
+					e.childCost[u], e.childLB[u] = e.evalChild(e.workerMS[w], job.pa, job.depth, job.cost, int32(u))
+				}
+				e.parDone <- struct{}{}
+			}
+		}(w, ch)
+	}
+}
+
+// stopWorkers shuts the pool down (no-op when it never started).
+func (e *pbbEngine) stopWorkers() {
+	for _, ch := range e.parJobs {
+		close(ch)
+	}
+	e.parJobs = nil
+}
+
+// expandParallel evaluates the children's costs and bounds on the
+// persistent worker pool, then merges them in ascending node order so
+// the queue receives exactly the sequence the sequential expansion would
+// produce.
+func (e *pbbEngine) expandParallel(pa []int32, cost float64, depth int, ubCost float64, maxQueue int) {
+	if e.parJobs == nil {
+		e.startWorkers()
+	}
+	job := parJob{pa: pa, depth: depth, cost: cost}
+	for _, ch := range e.parJobs {
+		ch <- job
+	}
+	for range e.parJobs {
+		<-e.parDone
+	}
+	for u := 0; u < e.nU; u++ {
+		if !e.admitChild(u, depth) {
+			continue
+		}
+		e.pushChild(pa, depth, int32(u), e.childCost[u], e.childLB[u], ubCost, maxQueue)
+	}
+	if !e.fast && len(e.lheap) > maxQueue {
+		e.lTruncate(maxQueue)
+	}
 }

@@ -1,0 +1,108 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func pbbProblem(t *testing.T, cores int, seed int64) *core.Problem {
+	t.Helper()
+	a, err := apps.Random(cores, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := topology.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func sameMapping(t *testing.T, ctx string, a, b *core.Mapping, n int) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		if a.NodeOf(v) != b.NodeOf(v) {
+			t.Fatalf("%s: mappings differ at core %d: %d vs %d", ctx, v, a.NodeOf(v), b.NodeOf(v))
+		}
+	}
+}
+
+// TestPBBWorkersBitIdentical asserts the parallel child-evaluation pool
+// explores the identical tree: any worker count returns the exact same
+// mapping as the sequential engine, on both truncating and exhaustive
+// runs. Also exercised under -race in CI.
+func TestPBBWorkersBitIdentical(t *testing.T) {
+	for _, cores := range []int{14, 25} {
+		p := pbbProblem(t, cores, 77)
+		cfg := PBBConfig{MaxQueue: 300, MaxExpand: 3000}
+		seq := PBB(p, cfg)
+		for _, w := range []int{2, 4, -1} {
+			cfgW := cfg
+			cfgW.Workers = w
+			par := PBB(p, cfgW)
+			sameMapping(t, "workers", seq, par, cores)
+		}
+	}
+}
+
+// TestPBBFastQueueDeterministic asserts the opt-in indexed bounded queue
+// is reproducible run to run and across worker counts, and produces a
+// complete valid mapping of sane cost. (It legitimately may retain
+// different equal-bound nodes than the legacy queue, so it is not
+// compared against it.)
+func TestPBBFastQueueDeterministic(t *testing.T) {
+	p := pbbProblem(t, 25, 12)
+	cfg := PBBConfig{MaxQueue: 300, MaxExpand: 3000, FastQueue: true}
+	first := PBB(p, cfg)
+	if !first.Complete() || !first.Valid() {
+		t.Fatal("fast-queue PBB produced an invalid mapping")
+	}
+	again := PBB(p, cfg)
+	sameMapping(t, "rerun", first, again, 25)
+	cfgW := cfg
+	cfgW.Workers = 3
+	par := PBB(p, cfgW)
+	sameMapping(t, "fast+workers", first, par, 25)
+
+	// The fast queue follows the same search policy, so its result should
+	// be in the same cost ballpark as the legacy queue's (sanity bound:
+	// no worse than 1.5x).
+	legacy := PBB(p, PBBConfig{MaxQueue: 300, MaxExpand: 3000})
+	if first.CommCost() > 1.5*legacy.CommCost() {
+		t.Fatalf("fast-queue cost %.0f way above legacy %.0f", first.CommCost(), legacy.CommCost())
+	}
+}
+
+// TestPBBVideoAppsMatchLegacyValues pins the Figure 3 PBB costs the
+// rebuilt engine must keep reproducing bit-for-bit.
+func TestPBBVideoAppsMatchLegacyValues(t *testing.T) {
+	want := map[string]float64{
+		"MPEG4": 5300,
+		"VOPD":  3763,
+		"PIP":   640,
+		"MWA":   1536,
+		"MWAG":  2176,
+		"DSD":   1920,
+	}
+	for _, a := range apps.VideoApps() {
+		topo, err := topology.NewMesh(a.W, a.H, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := core.NewProblem(a.Graph, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := PBB(p, DefaultPBBConfig()).CommCost()
+		if got != want[a.Graph.Name] {
+			t.Errorf("%s: PBB cost %.0f, want %.0f", a.Graph.Name, got, want[a.Graph.Name])
+		}
+	}
+}

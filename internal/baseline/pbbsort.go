@@ -1,0 +1,395 @@
+package baseline
+
+import "math/bits"
+
+// This file is a typed port of the Go standard library's pdqsort
+// (sort.Slice, go1.24 zsortfunc.go) specialized to the PBB queue: it
+// sorts (bound, slot) pairs by bound, so the comparator is one indexed
+// float load and the swap one element exchange — no reflection Swapper,
+// no comparator closure.
+//
+// The port is deliberately operation-for-operation faithful: given the
+// same input permutation and key sequence it performs the identical
+// comparisons and swaps as sort.Slice, and therefore produces the
+// identical output permutation — including the placement of equal keys,
+// which the bounded PBB queue's truncation semantics depend on. Do not
+// "improve" the algorithm here; bit-compatibility with the historical
+// sort is the whole point.
+
+// pbbRef is one sortable queue entry: the node's bound and its slot,
+// packed together so a comparison is one load and a swap one 16-byte
+// element exchange.
+type pbbRef struct {
+	key  float64
+	slot int32
+}
+
+// refSort orders refs exactly like
+// sort.Slice(refs, func(i, j int) bool { return refs[i].key < refs[j].key }).
+// The sort routines are top-level functions over the slice (not methods
+// over an indirection) so the hot comparison compiles to a direct
+// indexed load.
+func refSort(refs []pbbRef) {
+	length := len(refs)
+	limit := bits.Len(uint(length))
+	pdqsortRefs(refs, 0, length, limit)
+}
+
+type sortedHint int
+
+const (
+	unknownHint sortedHint = iota
+	increasingHint
+	decreasingHint
+)
+
+// xorshift paper: https://www.jstatsoft.org/article/view/v008i14/xorshift.pdf
+type xorshift uint64
+
+func (r *xorshift) next() uint64 {
+	*r ^= *r << 13
+	*r ^= *r >> 7
+	*r ^= *r << 17
+	return uint64(*r)
+}
+
+func nextPowerOfTwo(length int) uint {
+	return 1 << uint(bits.Len(uint(length)))
+}
+
+// insertionSort sorts data[a:b] using insertion sort. Bubbling an
+// element left by adjacent swaps equals removing it and reinserting at
+// its stop position, so the shift is done with one copy (memmove)
+// instead of per-step element swaps — the final permutation is
+// identical.
+func insertionSortRefs(d []pbbRef, a, b int) {
+	for i := a + 1; i < b; i++ {
+		x := d[i]
+		j := i
+		for j > a && x.key < d[j-1].key {
+			j--
+		}
+		if j != i {
+			copy(d[j+1:i+1], d[j:i])
+			d[j] = x
+		}
+	}
+}
+
+// siftDown implements the heap property on data[lo:hi].
+// first is an offset into the array where the root of the heap lies.
+func siftDownRefs(d []pbbRef, lo, hi, first int) {
+	root := lo
+	for {
+		child := 2*root + 1
+		if child >= hi {
+			break
+		}
+		if child+1 < hi && d[first+child].key < d[first+child+1].key {
+			child++
+		}
+		if !(d[first+root].key < d[first+child].key) {
+			return
+		}
+		d[first+root], d[first+child] = d[first+child], d[first+root]
+		root = child
+	}
+}
+
+func heapSortRefs(d []pbbRef, a, b int) {
+	first := a
+	lo := 0
+	hi := b - a
+
+	// Build heap with greatest element at top.
+	for i := (hi - 1) / 2; i >= 0; i-- {
+		siftDownRefs(d, i, hi, first)
+	}
+
+	// Pop elements, largest first, into end of data.
+	for i := hi - 1; i >= 0; i-- {
+		d[first], d[first+i] = d[first+i], d[first]
+		siftDownRefs(d, lo, i, first)
+	}
+}
+
+// pdqsort sorts data[a:b].
+// The algorithm is pattern-defeating quicksort, identical to the
+// standard library's; limit is the number of allowed bad (very
+// unbalanced) pivots before falling back to heapsort.
+func pdqsortRefs(d []pbbRef, a, b, limit int) {
+	const maxInsertion = 12
+
+	var (
+		wasBalanced    = true // whether the last partitioning was reasonably balanced
+		wasPartitioned = true // whether the slice was already partitioned
+	)
+
+	for {
+		length := b - a
+
+		if length <= maxInsertion {
+			insertionSortRefs(d, a, b)
+			return
+		}
+
+		// Fall back to heapsort if too many bad choices were made.
+		if limit == 0 {
+			heapSortRefs(d, a, b)
+			return
+		}
+
+		// If the last partitioning was imbalanced, we need to breaking patterns.
+		if !wasBalanced {
+			breakPatternsRefs(d, a, b)
+			limit--
+		}
+
+		pivot, hint := choosePivotRefs(d, a, b)
+		if hint == decreasingHint {
+			reverseRangeRefs(d, a, b)
+			// The chosen pivot was pivot-a elements after the start of the array.
+			// After reversing it is pivot-a elements before the end of the array.
+			pivot = (b - 1) - (pivot - a)
+			hint = increasingHint
+		}
+
+		// The slice is likely already sorted.
+		if wasBalanced && wasPartitioned && hint == increasingHint {
+			if partialInsertionSortRefs(d, a, b) {
+				return
+			}
+		}
+
+		// Probably the slice contains many duplicate elements, partition the slice into
+		// elements equal to and elements greater than the pivot.
+		if a > 0 && !(d[a-1].key < d[pivot].key) {
+			mid := partitionEqualRefs(d, a, b, pivot)
+			a = mid
+			continue
+		}
+
+		mid, alreadyPartitioned := partitionRefs(d, a, b, pivot)
+		wasPartitioned = alreadyPartitioned
+
+		leftLen, rightLen := mid-a, b-mid
+		balanceThreshold := length / 8
+		if leftLen < rightLen {
+			wasBalanced = leftLen >= balanceThreshold
+			pdqsortRefs(d, a, mid, limit)
+			a = mid + 1
+		} else {
+			wasBalanced = rightLen >= balanceThreshold
+			pdqsortRefs(d, mid+1, b, limit)
+			b = mid
+		}
+	}
+}
+
+// partition does one quicksort partition.
+// Let p = data[pivot]
+// Moves elements in data[a:b] around, so that data[i]<p and data[j]>=p for i<newpivot and j>newpivot.
+// On return, data[newpivot] = p
+func partitionRefs(d []pbbRef, a, b, pivot int) (newpivot int, alreadyPartitioned bool) {
+	d[a], d[pivot] = d[pivot], d[a]
+	i, j := a+1, b-1 // i and j are inclusive of the elements remaining to be partitioned
+
+	for i <= j && d[i].key < d[a].key {
+		i++
+	}
+	for i <= j && !(d[j].key < d[a].key) {
+		j--
+	}
+	if i > j {
+		d[j], d[a] = d[a], d[j]
+		return j, true
+	}
+	d[i], d[j] = d[j], d[i]
+	i++
+	j--
+
+	for {
+		for i <= j && d[i].key < d[a].key {
+			i++
+		}
+		for i <= j && !(d[j].key < d[a].key) {
+			j--
+		}
+		if i > j {
+			break
+		}
+		d[i], d[j] = d[j], d[i]
+		i++
+		j--
+	}
+	d[j], d[a] = d[a], d[j]
+	return j, false
+}
+
+// partitionEqual partitions data[a:b] into elements equal to data[pivot]
+// followed by elements greater than data[pivot]. It assumes that data[a:b]
+// does not contain elements smaller than the data[pivot].
+func partitionEqualRefs(d []pbbRef, a, b, pivot int) (newpivot int) {
+	d[a], d[pivot] = d[pivot], d[a]
+	i, j := a+1, b-1 // i and j are inclusive of the elements remaining to be partitioned
+
+	for {
+		for i <= j && !(d[a].key < d[i].key) {
+			i++
+		}
+		for i <= j && d[a].key < d[j].key {
+			j--
+		}
+		if i > j {
+			break
+		}
+		d[i], d[j] = d[j], d[i]
+		i++
+		j--
+	}
+	return i
+}
+
+// partialInsertionSort partially sorts a slice, returns true if the slice is sorted at the end.
+func partialInsertionSortRefs(d []pbbRef, a, b int) bool {
+	const (
+		maxSteps         = 5  // maximum number of adjacent out-of-order pairs that will get shifted
+		shortestShifting = 50 // don't shift any elements on short arrays
+	)
+	i := a + 1
+	for j := 0; j < maxSteps; j++ {
+		for i < b && !(d[i].key < d[i-1].key) {
+			i++
+		}
+
+		if i == b {
+			return true
+		}
+
+		if b-a < shortestShifting {
+			return false
+		}
+
+		d[i], d[i-1] = d[i-1], d[i]
+
+		// Shift the smaller one to the left. (Equivalent to the
+		// historical adjacent-swap bubbling, done as scan + one memmove;
+		// note the scan floor is the absolute index 1, as in the
+		// standard library.)
+		if i-a >= 2 {
+			x := d[i-1]
+			j := i - 1
+			for j >= 1 && x.key < d[j-1].key {
+				j--
+			}
+			if j != i-1 {
+				copy(d[j+1:i], d[j:i-1])
+				d[j] = x
+			}
+		}
+		// Shift the greater one to the right.
+		if b-i >= 2 {
+			y := d[i]
+			j := i + 1
+			for j < b && d[j].key < y.key {
+				j++
+			}
+			if j != i+1 {
+				copy(d[i:j-1], d[i+1:j])
+				d[j-1] = y
+			}
+		}
+	}
+	return false
+}
+
+// breakPatterns scatters some elements around in an attempt to break some
+// patterns that might cause imbalanced partitions in quicksort.
+func breakPatternsRefs(d []pbbRef, a, b int) {
+	length := b - a
+	if length >= 8 {
+		random := xorshift(length)
+		modulus := nextPowerOfTwo(length)
+
+		for idx := a + (length/4)*2 - 1; idx <= a+(length/4)*2+1; idx++ {
+			other := int(uint(random.next()) & (modulus - 1))
+			if other >= length {
+				other -= length
+			}
+			d[idx], d[a+other] = d[a+other], d[idx]
+		}
+	}
+}
+
+// choosePivot chooses a pivot in data[a:b].
+//
+// [0,8): chooses a static pivot.
+// [8,shortestNinther): uses the simple median-of-three method.
+// [shortestNinther,∞): uses the Tukey ninther method.
+func choosePivotRefs(d []pbbRef, a, b int) (pivot int, hint sortedHint) {
+	const (
+		shortestNinther = 50
+		maxSwaps        = 4 * 3
+	)
+
+	l := b - a
+
+	var (
+		swaps int
+		i     = a + l/4*1
+		j     = a + l/4*2
+		k     = a + l/4*3
+	)
+
+	if l >= 8 {
+		if l >= shortestNinther {
+			// Tukey ninther method, the idea came from Rust's implementation.
+			i = medianAdjacentRefs(d, i, &swaps)
+			j = medianAdjacentRefs(d, j, &swaps)
+			k = medianAdjacentRefs(d, k, &swaps)
+		}
+		// Find the median among i, j, k and stores it into j.
+		j = medianRefs(d, i, j, k, &swaps)
+	}
+
+	switch swaps {
+	case 0:
+		return j, increasingHint
+	case maxSwaps:
+		return j, decreasingHint
+	default:
+		return j, unknownHint
+	}
+}
+
+// order2 returns x,y where data[x] <= data[y], where x,y=a,b or x,y=b,a.
+func order2Refs(d []pbbRef, a, b int, swaps *int) (int, int) {
+	if d[b].key < d[a].key {
+		*swaps++
+		return b, a
+	}
+	return a, b
+}
+
+// median returns x where data[x] is the median of data[a],data[b],data[c], where x is a, b, or c.
+func medianRefs(d []pbbRef, a, b, c int, swaps *int) int {
+	a, b = order2Refs(d, a, b, swaps)
+	b, c = order2Refs(d, b, c, swaps)
+	a, b = order2Refs(d, a, b, swaps)
+	return b
+}
+
+// medianAdjacent finds the median of data[a - 1], data[a], data[a + 1] and stores the index into a.
+func medianAdjacentRefs(d []pbbRef, a int, swaps *int) int {
+	return medianRefs(d, a-1, a, a+1, swaps)
+}
+
+func reverseRangeRefs(d []pbbRef, a, b int) {
+	i := a
+	j := b - 1
+	for i < j {
+		d[i], d[j] = d[j], d[i]
+		i++
+		j--
+	}
+}

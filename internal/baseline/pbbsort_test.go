@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestRefSortMatchesSortSlice asserts the typed pdqsort port produces
+// the exact permutation sort.Slice produces — including the placement of
+// equal keys, which the bounded PBB queue's truncation semantics depend
+// on. Inputs mimic the queue's shape: heavily duplicated keys and
+// nearly-sorted perturbations.
+func TestRefSortMatchesSortSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		if trial%5 == 0 {
+			n = 1500 + rng.Intn(600) // truncation-sized arrays
+		}
+		a := make([]pbbRef, n)
+		for i := range a {
+			var key float64
+			switch trial % 3 {
+			case 0: // few distinct values: tie-heavy
+				key = float64(rng.Intn(8))
+			case 1: // continuous
+				key = rng.Float64()
+			default: // nearly sorted with duplicates
+				key = float64(i/4) + float64(rng.Intn(3))
+			}
+			a[i] = pbbRef{key: key, slot: int32(i)}
+		}
+		if trial%4 == 3 {
+			sort.Slice(a, func(i, j int) bool { return a[i].key < a[j].key })
+			for k := 0; k < 5; k++ { // perturb like pop+push does
+				i, j := rng.Intn(n), rng.Intn(n)
+				a[i], a[j] = a[j], a[i]
+			}
+		}
+		want := append([]pbbRef(nil), a...)
+		sort.Slice(want, func(i, j int) bool { return want[i].key < want[j].key })
+		refSort(a)
+		for i := range a {
+			if a[i] != want[i] {
+				t.Fatalf("trial %d (n=%d): permutation diverges from sort.Slice at %d: %+v vs %+v",
+					trial, n, i, a[i], want[i])
+			}
+		}
+	}
+}

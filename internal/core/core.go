@@ -36,6 +36,16 @@ type Problem struct {
 	// once per refinement call and rebuilding S(A,B) dominated it.
 	undirOnce sync.Once
 	undir     *graph.Digraph
+	// comms caches App.Commodities() for the routing hot paths;
+	// sortedComms caches its (Value desc, K asc) ordering.
+	commsOnce       sync.Once
+	comms           []graph.Commodity
+	sortedCommsOnce sync.Once
+	sortedComms     []graph.Commodity
+	// routePool recycles routing scratch state (Dijkstra labels, load and
+	// path buffers) across standalone RouteSinglePath calls; the sweep
+	// workers hold theirs directly.
+	routePool sync.Pool
 }
 
 // appEdges returns the cached sorted edge list of the application graph.
@@ -68,15 +78,24 @@ func NewProblem(app *graph.CoreGraph, topo *topology.Topology) (*Problem, error)
 // Commodities returns the commodity set D of the current problem with
 // endpoints translated to mesh nodes under mapping m.
 func (p *Problem) Commodities(m *Mapping) []mcf.Commodity {
-	ds := p.App.Commodities()
-	out := make([]mcf.Commodity, len(ds))
+	return p.CommoditiesInto(m, nil)
+}
+
+// CommoditiesInto is Commodities writing into buf (grown as needed), so
+// hot loops can translate endpoints without allocating.
+func (p *Problem) CommoditiesInto(m *Mapping, buf []mcf.Commodity) []mcf.Commodity {
+	ds := p.appCommodities()
+	if cap(buf) < len(ds) {
+		buf = make([]mcf.Commodity, len(ds))
+	}
+	buf = buf[:len(ds)]
 	for i, d := range ds {
-		out[i] = mcf.Commodity{
+		buf[i] = mcf.Commodity{
 			K:      d.K,
 			Src:    m.NodeOf(d.Src),
 			Dst:    m.NodeOf(d.Dst),
 			Demand: d.Value,
 		}
 	}
-	return out
+	return buf
 }

@@ -34,17 +34,29 @@ func (p *Problem) MinBandwidthSplit(m *Mapping, mode SplitMode) (float64, error)
 // any single commodity routed alone. This is the provisioning metric of
 // the paper's Table 3 ("split BW"): the DSP's 600 MB/s stream split over
 // three disjoint minimal-capacity paths needs 200 MB/s per link.
+//
+// Every solve in the all-paths loop shares one LP structure (a single
+// unrestricted commodity; only the supply right-hand sides move between
+// commodities), so a persistent warm-started solver resumes each solve
+// from the previous optimal basis. The min-path variant changes the link
+// restriction per commodity and therefore always solves cold. Warm and
+// cold agree on the objective — the only value this metric reads — which
+// internal/core/warmstart_test.go and the mcf property tests assert.
 func (p *Problem) MinBandwidthPerFlowSplit(m *Mapping, mode SplitMode) (float64, error) {
+	single := make([]mcf.Commodity, 1)
+	opt := mcf.Options{Mode: mcf.Aggregate}
+	if mode == SplitMinPaths {
+		opt = mcf.Options{Restrict: func(int) []int {
+			return p.Topo.QuadrantLinks(single[0].Src, single[0].Dst)
+		}}
+	}
+	solver := mcf.NewSolver(p.Topo, opt)
+	solver.WarmStart = mode != SplitMinPaths
+	solver.SkipFlows = true
 	worst := 0.0
 	for _, c := range p.Commodities(m) {
-		single := []mcf.Commodity{{K: 0, Src: c.Src, Dst: c.Dst, Demand: c.Demand}}
-		opt := mcf.Options{Mode: mcf.Aggregate}
-		if mode == SplitMinPaths {
-			opt = mcf.Options{Restrict: func(int) []int {
-				return p.Topo.QuadrantLinks(c.Src, c.Dst)
-			}}
-		}
-		r, err := mcf.SolveMinCongestion(p.Topo, single, opt)
+		single[0] = mcf.Commodity{K: 0, Src: c.Src, Dst: c.Dst, Demand: c.Demand}
+		r, err := solver.SolveMinCongestion(single)
 		if err != nil {
 			return 0, err
 		}

@@ -117,7 +117,7 @@ func (p *Problem) MapSinglePath() *SinglePathResult {
 	if !relaxed {
 		bestCost = p.RouteSinglePath(placed).Cost
 	}
-	sp := newScratchPool(placed, workers)
+	sp := newScratchPool(p, placed, workers)
 	swaps := 0
 	for i := 0; i < n; i++ {
 		iEmpty := placed.coreAt[i] == -1
@@ -130,7 +130,8 @@ func (p *Problem) MapSinglePath() *SinglePathResult {
 		// (Eq. 7, or the routed cost when constrained) otherwise.
 		incumbent := bestCost
 		margin := pruneMargin(curComm)
-		eval := func(m *Mapping, j int) float64 {
+		eval := func(ws *sweepWorker, j int) float64 {
+			m := ws.m
 			if iEmpty && m.coreAt[j] == -1 {
 				return math.Inf(1) // swapping two holes changes nothing
 			}
@@ -145,7 +146,7 @@ func (p *Problem) MapSinglePath() *SinglePathResult {
 				return c
 			}
 			m.Swap(i, j)
-			c := p.RouteSinglePath(m).Cost
+			c := p.routeCost(m, ws.rs)
 			m.Swap(i, j)
 			return c
 		}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/mcf"
+	"repro/internal/topology"
+)
+
+// constrainedProblem builds a routing-constrained random problem big
+// enough that the Workers sweep actually fans out (the parallel path
+// needs at least two chunks of candidates).
+func constrainedProblem(t *testing.T, workers int) *Problem {
+	t.Helper()
+	a, err := apps.Random(34, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight-ish links: below total traffic so the relaxed Eq. 7 shortcut
+	// is off and every exact candidate evaluation routes through the
+	// per-worker Dijkstra scratches.
+	topo, err := topology.NewMesh(a.W, a.H, a.Graph.TotalWeight()/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = workers
+	return p
+}
+
+// TestParallelSweepScratchRace exercises the Workers sweep path — the
+// per-worker mappings, routing scratches and the shared topology caches
+// — under the race detector, and checks the parallel result still equals
+// the sequential one. Run with -race (CI does).
+func TestParallelSweepScratchRace(t *testing.T) {
+	seq := constrainedProblem(t, 1).MapSinglePath()
+	for _, workers := range []int{4, -1} {
+		par := constrainedProblem(t, workers).MapSinglePath()
+		if seq.Route.Cost != par.Route.Cost {
+			t.Fatalf("workers=%d: cost %v != sequential %v", workers, par.Route.Cost, seq.Route.Cost)
+		}
+		for u := 0; u < 34; u++ {
+			if seq.Mapping.NodeOf(u) != par.Mapping.NodeOf(u) {
+				t.Fatalf("workers=%d: mapping differs at core %d", workers, u)
+			}
+		}
+	}
+}
+
+// TestParallelSplitSweepRace drives MapWithSplitting's worker pool — per
+// worker persistent MCF solvers over the shared topology quadrant caches
+// — under the race detector on a small constrained instance.
+func TestParallelSplitSweepRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("split sweep under race is slow")
+	}
+	build := func(workers int) *Problem {
+		a, err := apps.Random(12, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo, err := topology.NewMesh(a.W, a.H, a.Graph.TotalWeight()/3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewProblem(a.Graph, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Workers = workers
+		return p
+	}
+	seq, err := build(1).MapWithSplitting(SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build(4).MapWithSplitting(SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Route.Feasible != par.Route.Feasible || seq.Route.Cost != par.Route.Cost {
+		t.Fatalf("parallel split result differs: seq (%v, %v) par (%v, %v)",
+			seq.Route.Feasible, seq.Route.Cost, par.Route.Feasible, par.Route.Cost)
+	}
+}
+
+// TestConcurrentWarmSolversRace hammers independent warm-started MCF
+// solvers from many goroutines against one shared topology: the solvers
+// are private, but the topology's lazily cached quadrant masks and link
+// index are shared and must stay race-free.
+func TestConcurrentWarmSolversRace(t *testing.T) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Initialize()
+	cs := p.Commodities(m)
+	want, err := p.MinBandwidthPerFlowSplit(m, SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			solver := mcf.NewSolver(topo, mcf.Options{Mode: mcf.Aggregate})
+			solver.WarmStart = true
+			solver.SkipFlows = true
+			worst := 0.0
+			single := make([]mcf.Commodity, 1)
+			for _, c := range cs {
+				single[0] = mcf.Commodity{K: 0, Src: c.Src, Dst: c.Dst, Demand: c.Demand}
+				r, err := solver.SolveMinCongestion(single)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Objective > worst {
+					worst = r.Objective
+				}
+			}
+			if worst != want {
+				t.Errorf("concurrent warm per-flow BW %v, want %v", worst, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentRouteSinglePathRace shares one Problem (and its routing
+// scratch pool) across goroutines routing different scratch mappings.
+func TestConcurrentRouteSinglePathRace(t *testing.T) {
+	p := constrainedProblem(t, 1)
+	base := p.Initialize()
+	want := p.RouteSinglePath(base)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := base.Clone()
+			res := new(RouteResult)
+			for i := 0; i < 20; i++ {
+				a, b := (g+i)%p.Topo.N(), (g*7+i*3+1)%p.Topo.N()
+				m.Swap(a, b)
+				p.RouteSinglePathInto(m, res)
+				m.Swap(a, b)
+			}
+			p.RouteSinglePathInto(m, res)
+			if res.Cost != want.Cost {
+				t.Errorf("goroutine %d: cost %v want %v", g, res.Cost, want.Cost)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// linkWeight is the congestion-aware edge cost of shortestpath(): the
+// current load of the link, restricted to links that move toward the
+// destination so every route stays a minimum path. It is a struct (not a
+// closure) so a single method value can be built once per scratch and
+// reused for every commodity without allocating.
+type linkWeight struct {
+	t     *topology.Topology
+	loads []float64
+	dst   int
+}
+
+func (l *linkWeight) weight(e graph.Edge) float64 {
+	if l.t.HopDist(e.To, l.dst) >= l.t.HopDist(e.From, l.dst) {
+		return math.Inf(1)
+	}
+	return l.loads[l.t.LinkID(e.From, e.To)]
+}
+
+// pathSpan locates one commodity's route inside a RouteResult's arena.
+type pathSpan struct{ off, n int }
+
+// routeScratch is the reusable working state of one single-path routing
+// pass: the Dijkstra scratch, the adjacency mask, a path buffer and the
+// weight function. Each sweep worker owns one; standalone calls
+// borrow one from the Problem's pool. res is a private RouteResult for
+// cost-only evaluations in the refinement hot loop.
+type routeScratch struct {
+	dij      graph.DijkstraScratch
+	adjacent []bool // per commodity: pre-routed on a direct link
+	spans    []pathSpan
+	pathBuf  []int
+	lw       linkWeight
+	wfn      graph.WeightFunc
+	res      RouteResult
+}
+
+func newRouteScratch(p *Problem) *routeScratch {
+	rs := &routeScratch{}
+	rs.lw.t = p.Topo
+	rs.wfn = rs.lw.weight
+	return rs
+}
+
+// getRouteScratch borrows a scratch from the Problem's pool.
+func (p *Problem) getRouteScratch() *routeScratch {
+	if v := p.routePool.Get(); v != nil {
+		return v.(*routeScratch)
+	}
+	return newRouteScratch(p)
+}
+
+func (p *Problem) putRouteScratch(rs *routeScratch) { p.routePool.Put(rs) }
+
+// appCommodities returns the cached commodity set D of the application
+// graph (the App must not be mutated once mapping begins).
+func (p *Problem) appCommodities() []graph.Commodity {
+	p.commsOnce.Do(func() { p.comms = p.App.Commodities() })
+	return p.comms
+}
+
+// appCommoditiesByValue returns the cached (Value desc, K asc) ordering
+// of the commodity set. The order is commodity-intrinsic — independent
+// of any mapping — so the routing hot path iterates it instead of
+// re-sorting per pass.
+func (p *Problem) appCommoditiesByValue() []graph.Commodity {
+	p.sortedCommsOnce.Do(func() {
+		p.sortedComms = graph.SortedByValue(p.appCommodities())
+	})
+	return p.sortedComms
+}
+
+// growFloats returns buf resized to n, reusing capacity.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// routeSinglePathInto is the allocation-free core of RouteSinglePath: it
+// routes every commodity of mapping m and fills res in place, reusing
+// res's loads/paths/arena storage. Routing follows the historical
+// policy (pre-route adjacent pairs, then decreasing-bandwidth Dijkstra
+// over quadrant graphs on current loads); equal-cost tie-breaks are now
+// explicitly deterministic — lowest vertex id settles first — instead
+// of depending on the old heap's internal layout, so among exactly
+// equal-cost route choices the selected path can differ from the seed's
+// (every reproduced figure and table was verified unchanged; see
+// graph.DijkstraScratch).
+func (p *Problem) routeSinglePathInto(m *Mapping, rs *routeScratch, res *RouteResult) {
+	t := p.Topo
+	nl := t.NumLinks()
+	loads := growFloats(res.Loads, nl)
+	for i := range loads {
+		loads[i] = 0
+	}
+	ds := p.appCommodities()
+	if cap(res.Paths) < len(ds) {
+		res.Paths = make([][]int, len(ds))
+	}
+	res.Paths = res.Paths[:len(ds)]
+	if cap(rs.spans) < len(ds) {
+		rs.spans = make([]pathSpan, len(ds))
+	}
+	rs.spans = rs.spans[:len(ds)]
+	arena := res.arena[:0]
+
+	// Pre-route adjacent pairs ("initialize edge weights of Placed with
+	// total comm BW for adj nodes").
+	if cap(rs.adjacent) < len(ds) {
+		rs.adjacent = make([]bool, len(ds))
+	}
+	rs.adjacent = rs.adjacent[:len(ds)]
+	for _, d := range ds {
+		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]
+		if id := t.LinkID(src, dst); id >= 0 {
+			rs.adjacent[d.K] = true
+			loads[id] += d.Value
+			rs.spans[d.K] = pathSpan{off: len(arena), n: 2}
+			arena = append(arena, src, dst)
+		} else {
+			rs.adjacent[d.K] = false
+		}
+	}
+	// Route remaining commodities in decreasing bandwidth order — the
+	// cached problem-wide ordering filtered by the adjacency mask, which
+	// visits exactly the sequence the historical per-pass sort produced.
+	rs.lw.loads = loads
+	for _, d := range p.appCommoditiesByValue() {
+		if rs.adjacent[d.K] {
+			continue
+		}
+		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]
+		in := t.Quadrant(src, dst)
+		rs.lw.dst = dst
+		path, _, ok := rs.dij.ShortestPath(t.Graph(), src, dst, in, rs.wfn, rs.pathBuf)
+		rs.pathBuf = path[:0]
+		if !ok {
+			// Cannot happen on a connected quadrant; guard anyway.
+			path = t.XYRoute(src, dst)
+		}
+		addPathLoads(t, path, d.Value, loads)
+		rs.spans[d.K] = pathSpan{off: len(arena), n: len(path)}
+		arena = append(arena, path...)
+	}
+
+	// Materialize the per-commodity path slices only once the arena has
+	// stopped growing (append may have moved it).
+	for k, s := range rs.spans {
+		res.Paths[k] = arena[s.off : s.off+s.n]
+	}
+	res.arena = arena
+	res.Loads = loads
+	res.Feasible = true
+	res.MaxLoad = 0
+	for _, l := range t.Links() {
+		if loads[l.ID] > res.MaxLoad {
+			res.MaxLoad = loads[l.ID]
+		}
+		if loads[l.ID] > l.BW+1e-9 {
+			res.Feasible = false
+		}
+	}
+	if res.Feasible {
+		res.Cost = m.CommCost()
+	} else {
+		res.Cost = math.Inf(1)
+	}
+}
+
+// addPathLoads adds value to every link along the node path, in place.
+// Like Topology.PathLinks it is all-or-nothing: a pair without a direct
+// link (impossible for router-produced paths; guarded anyway) adds no
+// load at all.
+func addPathLoads(t *topology.Topology, path []int, value float64, loads []float64) {
+	for i := 0; i+1 < len(path); i++ {
+		if t.LinkID(path[i], path[i+1]) < 0 {
+			return
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		loads[t.LinkID(path[i], path[i+1])] += value
+	}
+}
+
+// routeCost evaluates the routed Eq. 7 cost of m (infinite when
+// infeasible) using the worker's private scratch — the allocation-free
+// kernel of the constrained refinement sweeps.
+func (p *Problem) routeCost(m *Mapping, rs *routeScratch) float64 {
+	p.routeSinglePathInto(m, rs, &rs.res)
+	return rs.res.Cost
+}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"math"
-
-	"repro/internal/graph"
 )
 
 // RouteResult is the outcome of the shortestpath() routine: a single
@@ -16,6 +14,10 @@ type RouteResult struct {
 	Loads    []float64 // per-link total bandwidth
 	Paths    [][]int   // per commodity: node sequence source..dest
 	MaxLoad  float64   // maximum link load (the minimum uniform BW needed)
+
+	// arena is the flat backing store of Paths; RouteSinglePathInto reuses
+	// it so steady-state routing performs no allocations.
+	arena []int
 }
 
 // RouteSinglePath implements the paper's shortestpath() routine on a fixed
@@ -26,63 +28,22 @@ type RouteResult struct {
 // to links that move toward the destination (so every route is a minimum
 // path and ties favor the least congested one). Link weights are increased
 // after each commodity.
+//
+// The returned result is freshly allocated; hot loops should reuse one via
+// RouteSinglePathInto instead.
 func (p *Problem) RouteSinglePath(m *Mapping) *RouteResult {
-	t := p.Topo
-	nl := t.NumLinks()
-	loads := make([]float64, nl)
-	ds := p.App.Commodities()
-	paths := make([][]int, len(ds))
+	return p.RouteSinglePathInto(m, new(RouteResult))
+}
 
-	// Pre-route adjacent pairs ("initialize edge weights of Placed with
-	// total comm BW for adj nodes").
-	var rest []graph.Commodity
-	for _, d := range ds {
-		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]
-		if id := t.LinkID(src, dst); id >= 0 {
-			loads[id] += d.Value
-			paths[d.K] = []int{src, dst}
-		} else {
-			rest = append(rest, d)
-		}
-	}
-	// Route remaining commodities in decreasing bandwidth order.
-	for _, d := range graph.SortedByValue(rest) {
-		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]
-		in := t.Quadrant(src, dst)
-		w := func(e graph.Edge) float64 {
-			id := t.LinkID(e.From, e.To)
-			// Only forward links inside the quadrant keep the route on a
-			// minimum path.
-			if t.HopDist(e.To, dst) >= t.HopDist(e.From, dst) {
-				return math.Inf(1)
-			}
-			return loads[id]
-		}
-		path, _, ok := graph.Dijkstra(t.Graph(), src, dst, in, w)
-		if !ok {
-			// Cannot happen on a connected quadrant; guard anyway.
-			path = t.XYRoute(src, dst)
-		}
-		for _, id := range t.PathLinks(path) {
-			loads[id] += d.Value
-		}
-		paths[d.K] = path
-	}
-
-	res := &RouteResult{Loads: loads, Paths: paths, Feasible: true}
-	for _, l := range t.Links() {
-		if loads[l.ID] > res.MaxLoad {
-			res.MaxLoad = loads[l.ID]
-		}
-		if loads[l.ID] > l.BW+1e-9 {
-			res.Feasible = false
-		}
-	}
-	if res.Feasible {
-		res.Cost = m.CommCost()
-	} else {
-		res.Cost = math.Inf(1)
-	}
+// RouteSinglePathInto is RouteSinglePath writing into res (which must not
+// be nil): loads, paths and the backing path arena are reused, so calling
+// it repeatedly with the same result performs zero steady-state
+// allocations. res.Paths alias res's arena and are valid until the next
+// call with the same res.
+func (p *Problem) RouteSinglePathInto(m *Mapping, res *RouteResult) *RouteResult {
+	rs := p.getRouteScratch()
+	p.routeSinglePathInto(m, rs, res)
+	p.putRouteScratch(rs)
 	return res
 }
 
@@ -92,7 +53,7 @@ func (p *Problem) RouteSinglePath(m *Mapping) *RouteResult {
 func (p *Problem) RouteXY(m *Mapping) *RouteResult {
 	t := p.Topo
 	loads := make([]float64, t.NumLinks())
-	ds := p.App.Commodities()
+	ds := p.appCommodities()
 	paths := make([][]int, len(ds))
 	for _, d := range ds {
 		path := t.XYRoute(m.nodeOf[d.Src], m.nodeOf[d.Dst])

@@ -42,6 +42,44 @@ func (p *Problem) mcfOptions(mode SplitMode, cs []mcf.Commodity) mcf.Options {
 	return mcf.Options{Mode: mcf.Aggregate}
 }
 
+// splitScratch is a sweep worker's private split-routing state: the
+// translated-commodity buffer and persistent MCF solvers whose LP
+// problem, tableau arena and group buffers survive across candidate
+// evaluations, so each MCF1/MCF2 candidate solve is allocation-light.
+// The solvers solve cold (no basis reuse) and skip flow extraction: a
+// candidate's value must be a pure function of the mapping so parallel
+// and sequential sweeps stay bit-identical, and the refinement loop only
+// compares objectives.
+type splitScratch struct {
+	cs   []mcf.Commodity
+	mcf1 *mcf.Solver
+	mcf2 *mcf.Solver
+}
+
+// splitScratch returns the worker's split-routing scratch, creating it on
+// first use. The solvers' quadrant restriction reads the scratch's
+// current commodity buffer, so callers must store the translated
+// commodities in ss.cs before solving.
+func (ws *sweepWorker) splitScratch(p *Problem, mode SplitMode) *splitScratch {
+	if ws.mcf == nil {
+		ss := &splitScratch{}
+		opt := func() mcf.Options {
+			if mode == SplitMinPaths {
+				return mcf.Options{Restrict: func(k int) []int {
+					return p.Topo.QuadrantLinks(ss.cs[k].Src, ss.cs[k].Dst)
+				}}
+			}
+			return mcf.Options{Mode: mcf.Aggregate}
+		}
+		ss.mcf1 = mcf.NewSolver(p.Topo, opt())
+		ss.mcf2 = mcf.NewSolver(p.Topo, opt())
+		ss.mcf1.SkipFlows = true
+		ss.mcf2.SkipFlows = true
+		ws.mcf = ss
+	}
+	return ws.mcf
+}
+
 // SplitRouteResult is the outcome of routing a fixed mapping with traffic
 // splitting.
 type SplitRouteResult struct {
@@ -155,17 +193,21 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 		sweepErr = nil
 		return err
 	}
-	slackOf := func(m *Mapping, j int) float64 {
-		cs := p.Commodities(m)
-		r, err := mcf.SolveMCF1(p.Topo, cs, p.mcfOptions(mode, cs))
+	slackOf := func(ws *sweepWorker, m *Mapping, j int) float64 {
+		ss := ws.splitScratch(p, mode)
+		cs := p.CommoditiesInto(m, ss.cs)
+		ss.cs = cs
+		r, err := ss.mcf1.SolveMCF1(cs)
 		if err != nil {
 			return fail(err, j)
 		}
 		return r.Objective
 	}
-	costOf := func(m *Mapping, j int) float64 {
-		cs := p.Commodities(m)
-		r, err := mcf.SolveMCF2(p.Topo, cs, p.mcfOptions(mode, cs))
+	costOf := func(ws *sweepWorker, m *Mapping, j int) float64 {
+		ss := ws.splitScratch(p, mode)
+		cs := p.CommoditiesInto(m, ss.cs)
+		ss.cs = cs
+		r, err := ss.mcf2.SolveMCF2(cs)
 		if err != nil {
 			return fail(err, j)
 		}
@@ -175,18 +217,18 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 		return r.Objective
 	}
 
-	bestSlack := slackOf(placed, -1)
+	curComm := placed.CommCost()
+	sp := newScratchPool(p, placed, workers)
+
+	bestSlack := slackOf(sp.workers[0], placed, -1)
 	bestCost := math.Inf(1)
 	satisfied := bestSlack <= slackTol
 	if satisfied {
-		bestCost = costOf(placed, -1)
+		bestCost = costOf(sp.workers[0], placed, -1)
 	}
 	if err := takeErr(n); err != nil {
 		return nil, err
 	}
-
-	curComm := placed.CommCost()
-	sp := newScratchPool(placed, workers)
 	swaps := 0
 	for i := 0; i < n; i++ {
 		iEmpty := placed.coreAt[i] == -1
@@ -200,12 +242,13 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 			// Slack phase: scan ascending for the first swap that turns
 			// the mapping bandwidth-feasible, tracking the best slack
 			// reduction before it.
-			slackEval := func(m *Mapping, jj int) float64 {
+			slackEval := func(ws *sweepWorker, jj int) float64 {
+				m := ws.m
 				if iEmpty && m.coreAt[jj] == -1 {
 					return math.Inf(1)
 				}
 				m.Swap(i, jj)
-				s := slackOf(m, jj)
+				s := slackOf(ws, m, jj)
 				m.Swap(i, jj)
 				return s
 			}
@@ -232,7 +275,7 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 			// sequential loop.
 			placed.Swap(i, jf)
 			satisfied = true
-			bestCost = costOf(placed, -1)
+			bestCost = costOf(sp.workers[0], placed, -1)
 			if err := takeErr(n); err != nil {
 				return nil, err
 			}
@@ -244,7 +287,8 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 		// pruning candidates whose Eq. 7 lower bound cannot win.
 		incumbent := bestCost
 		margin := splitPruneMargin(incumbent)
-		costEval := func(m *Mapping, jj int) float64 {
+		costEval := func(ws *sweepWorker, jj int) float64 {
+			m := ws.m
 			if iEmpty && m.coreAt[jj] == -1 {
 				return math.Inf(1)
 			}
@@ -252,7 +296,7 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 				return math.Inf(1)
 			}
 			m.Swap(i, jj)
-			c := costOf(m, jj)
+			c := costOf(ws, m, jj)
 			m.Swap(i, jj)
 			return c
 		}

@@ -63,24 +63,34 @@ func (c candidate) better(o candidate) bool {
 
 func worstCandidate() candidate { return candidate{cost: math.Inf(1), j: -1} }
 
-// scratchPool hands each sweep worker a private Mapping it may mutate
-// (swap/evaluate/unswap) without cloning per candidate.
-type scratchPool struct {
-	maps []*Mapping
+// sweepWorker is the private state of one refinement sweep worker: a
+// scratch Mapping it may mutate (swap/evaluate/unswap) without cloning
+// per candidate, a routing scratch for exact single-path evaluations and
+// a lazily created MCF scratch for split-traffic evaluations. Nothing in
+// it is shared, so workers never contend.
+type sweepWorker struct {
+	m   *Mapping
+	rs  *routeScratch
+	mcf *splitScratch
 }
 
-func newScratchPool(src *Mapping, workers int) *scratchPool {
-	sp := &scratchPool{maps: make([]*Mapping, workers)}
-	for i := range sp.maps {
-		sp.maps[i] = src.Clone()
+// scratchPool hands each sweep worker its private state.
+type scratchPool struct {
+	workers []*sweepWorker
+}
+
+func newScratchPool(p *Problem, src *Mapping, workers int) *scratchPool {
+	sp := &scratchPool{workers: make([]*sweepWorker, workers)}
+	for i := range sp.workers {
+		sp.workers[i] = &sweepWorker{m: src.Clone(), rs: newRouteScratch(p)}
 	}
 	return sp
 }
 
 // sync re-copies src into every scratch mapping (allocation-free).
 func (sp *scratchPool) sync(src *Mapping) {
-	for _, m := range sp.maps {
-		m.CopyFrom(src)
+	for _, w := range sp.workers {
+		w.m.CopyFrom(src)
 	}
 }
 
@@ -128,15 +138,15 @@ func forEachChunk(lo, hi, workers int, skip *atomic.Int64, visit func(w, j int) 
 // scan runs inline in ascending j order; with more, workers claim chunks
 // of the index range and the deterministic (cost, j) reduction makes the
 // result independent of scheduling.
-func (p *Problem) sweepBest(sp *scratchPool, lo, hi, workers int, eval func(m *Mapping, j int) float64) candidate {
+func (p *Problem) sweepBest(sp *scratchPool, lo, hi, workers int, eval func(ws *sweepWorker, j int) float64) candidate {
 	best := worstCandidate()
 	if hi-lo <= 0 {
 		return best
 	}
 	if workers <= 1 || hi-lo < 2*sweepChunk {
-		m := sp.maps[0]
+		ws := sp.workers[0]
 		for j := lo; j < hi; j++ {
-			if c := (candidate{eval(m, j), j}); c.better(best) {
+			if c := (candidate{eval(ws, j), j}); c.better(best) {
 				best = c
 			}
 		}
@@ -147,7 +157,7 @@ func (p *Problem) sweepBest(sp *scratchPool, lo, hi, workers int, eval func(m *M
 		results[i] = worstCandidate()
 	}
 	forEachChunk(lo, hi, workers, nil, func(w, j int) bool {
-		if c := (candidate{eval(sp.maps[w], j), j}); c.better(results[w]) {
+		if c := (candidate{eval(sp.workers[w], j), j}); c.better(results[w]) {
 			results[w] = c
 		}
 		return true
@@ -172,15 +182,15 @@ func (p *Problem) sweepBest(sp *scratchPool, lo, hi, workers int, eval func(m *M
 // index are discarded by the reduction, so both modes return identical
 // results (callers must likewise ignore side effects, e.g. evaluation
 // errors, from indices past the returned first feasible one).
-func (p *Problem) sweepFirstFeasible(sp *scratchPool, lo, hi, workers int, tol float64, eval func(m *Mapping, j int) float64) (firstFeasible int, bestInfeasible candidate) {
+func (p *Problem) sweepFirstFeasible(sp *scratchPool, lo, hi, workers int, tol float64, eval func(ws *sweepWorker, j int) float64) (firstFeasible int, bestInfeasible candidate) {
 	bestInfeasible = worstCandidate()
 	if hi-lo <= 0 {
 		return hi, bestInfeasible
 	}
 	if workers <= 1 || hi-lo < 2*sweepChunk {
-		m := sp.maps[0]
+		ws := sp.workers[0]
 		for j := lo; j < hi; j++ {
-			v := eval(m, j)
+			v := eval(ws, j)
 			if v <= tol {
 				return j, bestInfeasible
 			}
@@ -201,7 +211,7 @@ func (p *Problem) sweepFirstFeasible(sp *scratchPool, lo, hi, workers int, tol f
 		results[i] = slackResult{feasible: hi, best: worstCandidate()}
 	}
 	forEachChunk(lo, hi, workers, &feasible, func(w, j int) bool {
-		v := eval(sp.maps[w], j)
+		v := eval(sp.workers[w], j)
 		if v <= tol {
 			if j < results[w].feasible {
 				results[w].feasible = j

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/mcf"
+)
+
+// coldPerFlowSplit replicates MinBandwidthPerFlowSplit with one-shot cold
+// solves — the pre-warm-start behaviour — for comparison.
+func coldPerFlowSplit(t *testing.T, p *Problem, m *Mapping, mode SplitMode) float64 {
+	t.Helper()
+	worst := 0.0
+	for _, c := range p.Commodities(m) {
+		single := []mcf.Commodity{{K: 0, Src: c.Src, Dst: c.Dst, Demand: c.Demand}}
+		opt := mcf.Options{Mode: mcf.Aggregate}
+		if mode == SplitMinPaths {
+			opt = mcf.Options{Restrict: func(int) []int {
+				return p.Topo.QuadrantLinks(c.Src, c.Dst)
+			}}
+		}
+		r, err := mcf.SolveMinCongestion(p.Topo, single, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Objective > worst {
+			worst = r.Objective
+		}
+	}
+	return worst
+}
+
+// TestPerFlowSplitWarmMatchesCold asserts the Table 3 "split BW" path —
+// the production user of MCF warm starts — agrees with the historical
+// cold-solve loop on the DSP design and every video app, for both
+// splitting modes. A warm-started solve reaches the same optimum along
+// a different pivot path, so raw objectives may differ by LP round-off
+// (observed: one ulp on MPEG4); the reported figure — the value as
+// rendered by Table 3's %6.0f — must be identical, and the DSP instance
+// that actually feeds Table 3 is asserted exactly equal in
+// internal/expt/warmcold_test.go.
+func TestPerFlowSplitWarmMatchesCold(t *testing.T) {
+	cases := append(apps.VideoApps(), apps.DSP())
+	for _, a := range cases {
+		topo := a.Mesh(1e9)
+		p, err := NewProblem(a.Graph, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Initialize()
+		for _, mode := range []SplitMode{SplitAllPaths, SplitMinPaths} {
+			warm, err := p.MinBandwidthPerFlowSplit(m, mode)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", a.Graph.Name, mode, err)
+			}
+			cold := coldPerFlowSplit(t, p, m, mode)
+			if d := math.Abs(warm - cold); d > 1e-9*(1+math.Abs(cold)) {
+				t.Fatalf("%s/%v: warm per-flow BW %v vs cold %v (beyond LP round-off)",
+					a.Graph.Name, mode, warm, cold)
+			}
+			if wf, cf := fmt.Sprintf("%6.0f", warm), fmt.Sprintf("%6.0f", cold); wf != cf {
+				t.Fatalf("%s/%v: rendered BW differs: %q vs %q", a.Graph.Name, mode, wf, cf)
+			}
+		}
+	}
+}
+
+// TestRouteSinglePathIntoMatchesFresh asserts the reusable-result routing
+// path returns exactly what a fresh computation returns, across repeated
+// reuse of one result and scratch.
+func TestRouteSinglePathIntoMatchesFresh(t *testing.T) {
+	for _, a := range apps.VideoApps() {
+		topo := a.Mesh(1e9)
+		p, err := NewProblem(a.Graph, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := p.Initialize()
+		reused := new(RouteResult)
+		for trial := 0; trial < 3; trial++ {
+			p.RouteSinglePathInto(m, reused)
+			fresh := p.RouteSinglePath(m)
+			if reused.Cost != fresh.Cost || reused.MaxLoad != fresh.MaxLoad || reused.Feasible != fresh.Feasible {
+				t.Fatalf("%s trial %d: reused %+v fresh %+v", a.Graph.Name, trial, reused, fresh)
+			}
+			if len(reused.Paths) != len(fresh.Paths) {
+				t.Fatalf("%s: path count mismatch", a.Graph.Name)
+			}
+			for k := range fresh.Paths {
+				if len(reused.Paths[k]) != len(fresh.Paths[k]) {
+					t.Fatalf("%s: commodity %d path length mismatch", a.Graph.Name, k)
+				}
+				for i := range fresh.Paths[k] {
+					if reused.Paths[k][i] != fresh.Paths[k][i] {
+						t.Fatalf("%s: commodity %d differs at hop %d", a.Graph.Name, k, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRouteSinglePathIntoAllocationFree is the PR's headline allocation
+// contract: steady-state RouteSinglePathInto performs zero allocations.
+func TestRouteSinglePathIntoAllocationFree(t *testing.T) {
+	a := apps.VOPD()
+	topo := a.Mesh(1e9)
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Initialize()
+	res := new(RouteResult)
+	p.RouteSinglePathInto(m, res) // warm result storage and scratch pool
+	avg := testing.AllocsPerRun(200, func() {
+		p.RouteSinglePathInto(m, res)
+	})
+	if avg != 0 {
+		t.Fatalf("RouteSinglePathInto allocates %.2f/op in steady state, want 0", avg)
+	}
+}

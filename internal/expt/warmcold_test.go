@@ -1,0 +1,98 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mcf"
+	"repro/internal/route"
+)
+
+// TestTable3WarmStartByteIdentical asserts the acceptance contract of
+// the MCF warm-start rework: Table 3 — whose "split BW" row is the one
+// reproduced figure computed through warm-started solves — renders byte-
+// identically to a cold recomputation of that row. (Fig. 5c and the
+// extension sweep build their split tables from single cold
+// SolveMinCongestion calls, covered by TestFig5cSplitTableColdVsSolver.)
+func TestTable3WarmStartByteIdentical(t *testing.T) {
+	d, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold recomputation of the per-flow split bandwidth.
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.MapSinglePath()
+	cold := 0.0
+	for _, c := range p.Commodities(res.Mapping) {
+		single := []mcf.Commodity{{K: 0, Src: c.Src, Dst: c.Dst, Demand: c.Demand}}
+		r, err := mcf.SolveMinCongestion(topo, single, mcf.Options{Mode: mcf.Aggregate})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Objective > cold {
+			cold = r.Objective
+		}
+	}
+	if d.SplitBW != cold {
+		t.Fatalf("warm split BW %v != cold %v", d.SplitBW, cold)
+	}
+	dCold := *d
+	dCold.SplitBW = cold
+	if FormatTable3(d) != FormatTable3(&dCold) {
+		t.Fatalf("Table 3 renders differently warm vs cold:\n%s\nvs\n%s", FormatTable3(d), FormatTable3(&dCold))
+	}
+}
+
+// TestFig5cSplitTableColdVsSolver asserts the Fig. 5c / extension split
+// routing table is unchanged when its min-congestion program is solved
+// through a persistent (warm-start-capable) solver instead of the
+// one-shot cold helper: identical flows, hence identical tables, hence
+// identical simulated latencies.
+func TestFig5cSplitTableColdVsSolver(t *testing.T) {
+	a := apps.DSP()
+	topo := a.Mesh(1e9)
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := p.MapSinglePath()
+	cs := p.Commodities(res.Mapping)
+
+	coldSol, err := mcf.SolveMinCongestion(topo, cs, mcf.Options{Mode: mcf.Aggregate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := mcf.NewSolver(topo, mcf.Options{Mode: mcf.Aggregate})
+	solver.WarmStart = true
+	warmSol, err := solver.SolveMinCongestion(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coldSol.Flows) != len(warmSol.Flows) {
+		t.Fatal("flow shapes differ")
+	}
+	for k := range coldSol.Flows {
+		for l := range coldSol.Flows[k] {
+			if coldSol.Flows[k][l] != warmSol.Flows[k][l] {
+				t.Fatalf("flow[%d][%d]: cold %v solver %v", k, l, coldSol.Flows[k][l], warmSol.Flows[k][l])
+			}
+		}
+	}
+	coldTab, err := route.FromFlows(topo, cs, coldSol.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTab, err := route.FromFlows(topo, cs, warmSol.Flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldTab.TableBits() != warmTab.TableBits() {
+		t.Fatal("routing tables differ")
+	}
+}

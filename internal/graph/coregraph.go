@@ -2,7 +2,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -93,16 +92,28 @@ func (cg *CoreGraph) Commodities() []Commodity {
 	return ds
 }
 
-// SortedByValue returns a copy of commodities sorted by decreasing value,
-// breaking ties by commodity index (the sort used by shortestpath()).
+// SortByValue sorts commodities in place by decreasing value, breaking
+// ties by commodity index (the sort used by shortestpath()). The
+// ordering is total (indices are distinct), so any correct sort yields
+// the same permutation; insertion sort keeps the routing hot path free
+// of the reflection allocations a sort.Slice call would add, and the
+// lists are short enough that O(n^2) never bites.
+func SortByValue(ds []Commodity) {
+	for i := 1; i < len(ds); i++ {
+		d := ds[i]
+		j := i - 1
+		for j >= 0 && (ds[j].Value < d.Value || (ds[j].Value == d.Value && ds[j].K > d.K)) {
+			ds[j+1] = ds[j]
+			j--
+		}
+		ds[j+1] = d
+	}
+}
+
+// SortedByValue returns a copy of commodities sorted by SortByValue.
 func SortedByValue(ds []Commodity) []Commodity {
 	out := append([]Commodity(nil), ds...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Value != out[j].Value {
-			return out[i].Value > out[j].Value
-		}
-		return out[i].K < out[j].K
-	})
+	SortByValue(out)
 	return out
 }
 

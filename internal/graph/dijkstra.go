@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -9,56 +8,159 @@ import (
 // Returning math.Inf(1) excludes the edge.
 type WeightFunc func(e Edge) float64
 
-// item is a priority-queue entry for Dijkstra.
-type item struct {
-	v    int
-	dist float64
+// DijkstraScratch is the reusable working state of a shortest-path query:
+// distance/predecessor labels, the visited marks and a flat indexed 4-ary
+// heap. A zero scratch is ready to use; ShortestPath grows the slices to
+// the graph size on first use and every later query on a graph of the
+// same (or smaller) order runs without allocating. A scratch must not be
+// shared between concurrent queries — hand each worker its own (see
+// core's per-worker pools).
+type DijkstraScratch struct {
+	dist []float64
+	prev []int32
+	pos  []int32 // vertex -> heap slot, posAbsent when not queued, posDone when settled
+	heap []int32 // vertex ids ordered as a 4-ary min-heap by (dist, id)
 }
 
-type pq []item
+const (
+	posAbsent int32 = -1
+	posDone   int32 = -2
+)
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(item)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// reset grows the scratch to n vertices and clears the labels. O(n), no
+// allocations once the slices have reached capacity.
+func (s *DijkstraScratch) reset(n int) {
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]int32, n)
+		s.pos = make([]int32, n)
+		s.heap = make([]int32, 0, n)
+	}
+	s.dist = s.dist[:n]
+	s.prev = s.prev[:n]
+	s.pos = s.pos[:n]
+	s.heap = s.heap[:0]
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		s.dist[i] = inf
+		s.prev[i] = -1
+		s.pos[i] = posAbsent
+	}
 }
 
-// Dijkstra computes a least-cost path from src to dst in g under the given
-// edge weight function, restricted to vertices allowed[v]==true (a nil
-// allowed permits every vertex). It returns the vertex sequence including
-// both endpoints and the path cost. ok is false when dst is unreachable.
+// less orders heap entries by (dist, vertex id): the id tie-break makes
+// the pop order — and with it every equal-cost routing decision — a total
+// order independent of the heap's internal layout.
+func (s *DijkstraScratch) less(a, b int32) bool {
+	da, db := s.dist[a], s.dist[b]
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// up restores the heap property from slot i toward the root.
+func (s *DijkstraScratch) up(i int) {
+	h := s.heap
+	v := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(v, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		s.pos[h[i]] = int32(i)
+		i = parent
+	}
+	h[i] = v
+	s.pos[v] = int32(i)
+}
+
+// down restores the heap property from slot i toward the leaves.
+func (s *DijkstraScratch) down(i int) {
+	h := s.heap
+	n := len(h)
+	v := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !s.less(h[best], v) {
+			break
+		}
+		h[i] = h[best]
+		s.pos[h[i]] = int32(i)
+		i = best
+	}
+	h[i] = v
+	s.pos[v] = int32(i)
+}
+
+// push inserts vertex v (not currently queued) into the heap.
+func (s *DijkstraScratch) push(v int32) {
+	s.heap = append(s.heap, v)
+	s.up(len(s.heap) - 1)
+}
+
+// popMin removes and returns the least (dist, id) vertex.
+func (s *DijkstraScratch) popMin() int32 {
+	h := s.heap
+	v := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	s.pos[h[0]] = 0
+	s.heap = h[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	s.pos[v] = posDone
+	return v
+}
+
+// ShortestPath computes a least-cost path from src to dst in g under the
+// given edge weight function, restricted to vertices allowed[v]==true (a
+// nil allowed permits every vertex). The vertex sequence including both
+// endpoints is appended to buf (which may be nil) and returned along with
+// the path cost; ok is false when dst is unreachable.
 //
-// Ties between equal-cost paths are broken deterministically by preferring
-// lower vertex IDs, so results are reproducible across runs.
-func Dijkstra(g *Digraph, src, dst int, allowed []bool, w WeightFunc) (path []int, cost float64, ok bool) {
+// Ties are broken deterministically: among equal-distance frontier
+// vertices the lowest id settles first, and among equal-cost
+// predecessors of an unsettled vertex the lowest id wins, so results are
+// reproducible across runs and independent of scratch reuse. This is a
+// total order, unlike the historical container/heap implementation whose
+// equal-cost choices depended on heap layout (and which could retarget
+// the predecessor of an already-settled vertex): among exactly
+// equal-cost paths the two may select different ones. Path costs are
+// unaffected, and every reproduced experiment was verified byte-
+// identical across the switch.
+func (s *DijkstraScratch) ShortestPath(g *Digraph, src, dst int, allowed []bool, w WeightFunc, buf []int) (path []int, cost float64, ok bool) {
 	if allowed != nil && (!allowed[src] || !allowed[dst]) {
 		return nil, 0, false
 	}
-	dist := make([]float64, g.N())
-	prev := make([]int, g.N())
-	done := make([]bool, g.N())
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
-	dist[src] = 0
-	q := &pq{{v: src, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(item)
-		if done[it.v] {
-			continue
-		}
-		done[it.v] = true
-		if it.v == dst {
+	s.reset(g.N())
+	s.dist[src] = 0
+	s.push(int32(src))
+	for len(s.heap) > 0 {
+		v := int(s.popMin())
+		if v == dst {
 			break
 		}
-		for _, e := range g.Out(it.v) {
+		dv := s.dist[v]
+		for _, e := range g.Out(v) {
+			if s.pos[e.To] == posDone {
+				continue
+			}
 			if allowed != nil && !allowed[e.To] {
 				continue
 			}
@@ -66,26 +168,39 @@ func Dijkstra(g *Digraph, src, dst int, allowed []bool, w WeightFunc) (path []in
 			if math.IsInf(c, 1) {
 				continue
 			}
-			nd := dist[it.v] + c
-			if nd < dist[e.To] || (nd == dist[e.To] && prev[e.To] >= 0 && it.v < prev[e.To]) {
-				if nd < dist[e.To] {
-					heap.Push(q, item{v: e.To, dist: nd})
+			nd := dv + c
+			if nd < s.dist[e.To] {
+				s.dist[e.To] = nd
+				s.prev[e.To] = int32(v)
+				if s.pos[e.To] == posAbsent {
+					s.push(int32(e.To))
+				} else {
+					s.up(int(s.pos[e.To]))
 				}
-				dist[e.To] = nd
-				prev[e.To] = it.v
+			} else if nd == s.dist[e.To] && s.prev[e.To] >= 0 && int32(v) < s.prev[e.To] {
+				s.prev[e.To] = int32(v)
 			}
 		}
 	}
-	if math.IsInf(dist[dst], 1) {
+	if math.IsInf(s.dist[dst], 1) {
 		return nil, 0, false
 	}
-	for v := dst; v != -1; v = prev[v] {
-		path = append(path, v)
+	path = buf[:0]
+	for v := int32(dst); v != -1; v = s.prev[v] {
+		path = append(path, int(v))
 	}
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
 	}
-	return path, dist[dst], true
+	return path, s.dist[dst], true
+}
+
+// Dijkstra computes a least-cost path from src to dst with a throwaway
+// scratch. It is a convenience wrapper over DijkstraScratch.ShortestPath;
+// hot paths should hold a scratch and call ShortestPath directly.
+func Dijkstra(g *Digraph, src, dst int, allowed []bool, w WeightFunc) (path []int, cost float64, ok bool) {
+	var s DijkstraScratch
+	return s.ShortestPath(g, src, dst, allowed, w, nil)
 }
 
 // HopDistances computes BFS hop counts from src to every vertex

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomWeightedGraph(rng *rand.Rand, n, edges int) *Digraph {
+	g := NewDigraph(n)
+	for g.NumEdges() < edges {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || g.HasEdge(a, b) {
+			continue
+		}
+		g.MustAddEdge(a, b, float64(rng.Intn(5))) // zero weights included: tie-heavy
+	}
+	return g
+}
+
+// TestDijkstraScratchReuseMatchesFresh asserts a reused scratch returns
+// exactly what a fresh one returns, across many random graphs and
+// queries — including zero-weight edges, where deterministic tie-breaks
+// are what keeps routing reproducible.
+func TestDijkstraScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s DijkstraScratch
+	var buf []int
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(40)
+		g := randomWeightedGraph(rng, n, 3*n)
+		w := func(e Edge) float64 { return e.Weight }
+		for q := 0; q < 10; q++ {
+			src, dst := rng.Intn(n), rng.Intn(n)
+			reusedPath, reusedCost, reusedOK := s.ShortestPath(g, src, dst, nil, w, buf)
+			buf = reusedPath[:0]
+			freshPath, freshCost, freshOK := Dijkstra(g, src, dst, nil, w)
+			if reusedOK != freshOK || reusedCost != freshCost {
+				t.Fatalf("trial %d: reused (%v,%v) fresh (%v,%v)", trial, reusedCost, reusedOK, freshCost, freshOK)
+			}
+			if !freshOK {
+				continue
+			}
+			if len(reusedPath) != len(freshPath) {
+				t.Fatalf("trial %d: path lengths %d vs %d", trial, len(reusedPath), len(freshPath))
+			}
+			for i := range freshPath {
+				if reusedPath[i] != freshPath[i] {
+					t.Fatalf("trial %d: paths diverge at %d: %v vs %v", trial, i, reusedPath, freshPath)
+				}
+			}
+		}
+	}
+}
+
+// TestDijkstraScratchAllocationFree asserts the steady-state query path
+// allocates nothing once the scratch and path buffer have warmed up.
+func TestDijkstraScratchAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomWeightedGraph(rng, 64, 256)
+	w := func(e Edge) float64 { return e.Weight }
+	var s DijkstraScratch
+	var buf []int
+	path, _, _ := s.ShortestPath(g, 0, 63, nil, w, buf)
+	buf = path[:0]
+	avg := testing.AllocsPerRun(100, func() {
+		p, _, _ := s.ShortestPath(g, 0, 63, nil, w, buf)
+		buf = p[:0]
+	})
+	if avg != 0 {
+		t.Fatalf("ShortestPath allocates %.2f/op in steady state, want 0", avg)
+	}
+}

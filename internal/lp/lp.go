@@ -6,9 +6,17 @@
 //
 // It replaces the lp_solve library the paper uses to solve the
 // multi-commodity flow programs MCF1 and MCF2. The solver uses a dense
-// tableau, Dantzig pricing with an automatic switch to Bland's rule when
-// degeneracy stalls progress (guaranteeing termination), and drives
-// artificial variables out of the basis between phases.
+// row-major tableau held in a single preallocated arena, Dantzig pricing
+// with an automatic switch to Bland's rule when degeneracy stalls
+// progress (guaranteeing termination), and drives artificial variables
+// out of the basis between phases.
+//
+// A Problem is reusable: Reset clears it for rebuilding while keeping all
+// backing storage, SetRHS rewrites a constraint's right-hand side in
+// place, and the tableau arena persists across Solve calls, so repeated
+// solves of same-shaped programs perform no steady-state allocations.
+// SolveFrom additionally warm-starts from a previous solve's Basis via
+// dual simplex when only right-hand sides changed.
 package lp
 
 import (
@@ -49,22 +57,36 @@ type Term struct {
 	Coef float64
 }
 
-// Constraint is a single linear constraint.
-type Constraint struct {
-	Terms []Term
-	Op    Op
-	RHS   float64
+// conSpan is a constraint stored as a span into the Problem's term arena.
+type conSpan struct {
+	off, n int
+	op     Op
+	rhs    float64
 }
 
 // Problem is a linear program under construction. The zero value is an
 // empty problem; add variables before referencing them in constraints.
+// All constraint terms live in one arena so rebuilding a problem of the
+// same shape after Reset allocates nothing.
 type Problem struct {
-	obj  []float64
-	cons []Constraint
+	obj   []float64
+	cons  []conSpan
+	terms []Term // arena backing every constraint's terms
+
+	tab tableau // reusable solver state
 }
 
 // NewProblem returns an empty minimization problem.
 func NewProblem() *Problem { return &Problem{} }
+
+// Reset clears the problem to empty while keeping all backing storage
+// (objective, constraint arena and the solver tableau), so the next build
+// of a same-shaped program performs no allocations.
+func (p *Problem) Reset() {
+	p.obj = p.obj[:0]
+	p.cons = p.cons[:0]
+	p.terms = p.terms[:0]
+}
 
 // AddVariable appends a variable with the given objective cost and returns
 // its index. All variables are implicitly nonnegative.
@@ -93,8 +115,20 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) error {
 			return fmt.Errorf("lp: constraint references unknown variable %d", t.Var)
 		}
 	}
-	own := append([]Term(nil), terms...)
-	p.cons = append(p.cons, Constraint{Terms: own, Op: op, RHS: rhs})
+	off := len(p.terms)
+	p.terms = append(p.terms, terms...)
+	p.cons = append(p.cons, conSpan{off: off, n: len(terms), op: op, rhs: rhs})
+	return nil
+}
+
+// SetRHS overwrites the right-hand side of constraint i, leaving its
+// terms and relation untouched — the mutation warm-started resolves rely
+// on.
+func (p *Problem) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.cons) {
+		return fmt.Errorf("lp: constraint %d out of range", i)
+	}
+	p.cons[i].rhs = rhs
 	return nil
 }
 
@@ -133,6 +167,10 @@ type Solution struct {
 	Objective float64
 	X         []float64 // primal values, len == NumVariables()
 	Iters     int       // simplex pivots performed across both phases
+	// WarmStarted reports that SolveFrom actually resumed from the
+	// supplied basis; false on cold solves and on warm paths that
+	// declined and fell back.
+	WarmStarted bool
 }
 
 // ErrIterationLimit is returned when the pivot budget is exhausted.
@@ -143,10 +181,12 @@ const (
 	feasTol = 1e-6
 )
 
-// tableau is the dense simplex working state.
+// tableau is the dense simplex working state: a row-major m x n matrix in
+// one flat arena (rhs kept separately) plus the objective row. All slices
+// are reused across solves.
 type tableau struct {
-	m, n   int // rows, structural+slack+artificial columns (rhs kept separately)
-	a      [][]float64
+	m, n   int       // rows, structural+slack+artificial columns
+	a      []float64 // flat arena, row i at a[i*n : (i+1)*n]
 	rhs    []float64
 	basis  []int
 	nStruc int // structural variable count (problem variables)
@@ -160,19 +200,88 @@ type tableau struct {
 	stall     int
 	unbounded bool
 	phase2    bool
+	crashed   []bool // crashTo scratch: rows claimed by a basis column
 }
 
-// Solve runs two-phase simplex and returns the solution. A nil error with
-// Status Infeasible/Unbounded is a definitive answer; errors indicate the
-// solver gave up (iteration limit).
-func (p *Problem) Solve() (*Solution, error) {
-	t := newTableau(p)
-	// Phase 1: minimize the sum of artificial variables.
-	phase1 := make([]float64, t.n)
-	for j := t.artAt; j < t.n; j++ {
-		phase1[j] = 1
+func (t *tableau) row(i int) []float64 { return t.a[i*t.n : (i+1)*t.n] }
+
+// Basis records the optimal basis of a solved program so a later solve of
+// the same-structured program can resume from it. The zero value is an
+// empty (unusable) basis; Solve and SolveFrom fill it on optimality.
+type Basis struct {
+	cols []int // basic column per row, len == m when valid
+	ok   bool
+}
+
+// Valid reports whether the basis holds a usable snapshot.
+func (b *Basis) Valid() bool { return b != nil && b.ok && len(b.cols) > 0 }
+
+// Invalidate empties the basis (used when the program structure changed).
+func (b *Basis) Invalidate() { b.ok = false; b.cols = b.cols[:0] }
+
+func (b *Basis) capture(t *tableau) {
+	if cap(b.cols) < t.m {
+		b.cols = make([]int, t.m)
 	}
-	t.setObjective(phase1)
+	b.cols = b.cols[:t.m]
+	copy(b.cols, t.basis)
+	b.ok = true
+}
+
+// Solve runs two-phase simplex from the canonical slack/artificial basis
+// and returns the solution. A nil error with Status Infeasible/Unbounded
+// is a definitive answer; errors indicate the solver gave up (iteration
+// limit). The tableau arena is reused across calls; results are identical
+// to a freshly allocated solve.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.solve()
+}
+
+// SolveFrom is Solve with a warm start: when b holds the optimal basis of
+// a previous solve of an identically-structured program (same variables,
+// constraint terms and relations — only right-hand sides and costs may
+// have changed), the solver restores that basis and repairs primal
+// feasibility with dual simplex instead of re-running phase 1. When the
+// warm path is not applicable (invalid basis, dual infeasible start,
+// numerically degenerate crash) it falls back to the exact cold solve, so
+// SolveFrom never fails where Solve would succeed. On success b is
+// updated with the new optimal basis.
+//
+// A warm-started solve reaches an optimal vertex of the same program, so
+// its objective equals the cold solve's (up to pivot-order round-off);
+// with degenerate optima the primal point may differ. Callers that need
+// byte-identical solutions must use Solve.
+func (p *Problem) SolveFrom(b *Basis) (*Solution, error) {
+	if b == nil {
+		return p.solve() // plain cold solve, nothing to capture into
+	}
+	if !b.Valid() || len(b.cols) != len(p.cons) {
+		sol, err := p.solve()
+		if err == nil && sol.Status == Optimal {
+			b.capture(&p.tab)
+		}
+		return sol, err
+	}
+	sol, err := p.solveWarm(b)
+	if err == nil && sol != nil {
+		if sol.Status == Optimal {
+			b.capture(&p.tab)
+		}
+		return sol, err
+	}
+	// Warm path declined or failed: exact cold fallback.
+	sol, err = p.solve()
+	if err == nil && sol.Status == Optimal {
+		b.capture(&p.tab)
+	}
+	return sol, err
+}
+
+func (p *Problem) solve() (*Solution, error) {
+	t := &p.tab
+	t.build(p)
+	// Phase 1: minimize the sum of artificial variables.
+	t.setPhase1Objective()
 	if err := t.iterate(); err != nil {
 		return nil, err
 	}
@@ -182,15 +291,70 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	t.driveOutArtificials()
 	// Phase 2: original objective over structural columns.
-	phase2 := make([]float64, t.n)
-	copy(phase2, p.obj)
-	t.setObjective(phase2)
+	t.setObjective(p.obj)
 	if err := t.iterate(); err != nil {
 		return nil, err
 	}
 	if t.unbounded {
 		return &Solution{Status: Unbounded, Iters: t.iters}, nil
 	}
+	return t.extract(p), nil
+}
+
+// solveWarm builds the tableau, crashes to the given basis and repairs
+// feasibility with dual simplex. A nil solution with nil error means the
+// warm path declined (caller falls back to cold).
+func (p *Problem) solveWarm(b *Basis) (*Solution, error) {
+	t := &p.tab
+	t.build(p)
+	if !t.crashTo(b.cols) {
+		return nil, nil
+	}
+	t.phase2 = true // artificial columns may never (re-)enter
+	t.setObjective(p.obj)
+	// The previous basis was optimal for the same costs, so reduced costs
+	// are nonnegative (dual feasible) up to round-off; if costs changed
+	// enough to break that, decline the warm path.
+	for j := 0; j < t.n; j++ {
+		if !t.banned(j) && t.z[j] < -feasTol {
+			return nil, nil
+		}
+	}
+	st, err := t.dualIterate()
+	if err != nil {
+		return nil, err
+	}
+	if st == Infeasible {
+		// Dual simplex found no admissible pivot for a negative row. On a
+		// genuinely infeasible program the cold solve will agree; on a
+		// numerically marginal restart it must not be trusted — decline
+		// so SolveFrom re-solves exactly from the canonical basis.
+		return nil, nil
+	}
+	// Polish with primal pivots (normally zero iterations).
+	if err := t.iterate(); err != nil {
+		return nil, err
+	}
+	if t.unbounded {
+		return &Solution{Status: Unbounded, Iters: t.iters, WarmStarted: true}, nil
+	}
+	// An artificial column inherited from the warm basis (a redundant row
+	// in the previous program) must still sit at level ~0; a nonzero
+	// level means the RHS change turned the redundancy into a real — and
+	// possibly violated — constraint that phase 2 cannot repair
+	// (artificials are banned from pivoting). Decline and let the exact
+	// two-phase solve decide feasibility.
+	for i, b := range t.basis {
+		if b >= t.artAt && math.Abs(t.rhs[i]) > feasTol {
+			return nil, nil
+		}
+	}
+	sol := t.extract(p)
+	sol.WarmStarted = true
+	return sol, nil
+}
+
+func (t *tableau) extract(p *Problem) *Solution {
 	x := make([]float64, t.nStruc)
 	for i, b := range t.basis {
 		if b < t.nStruc {
@@ -201,17 +365,34 @@ func (p *Problem) Solve() (*Solution, error) {
 	for j, c := range p.obj {
 		obj += c * x[j]
 	}
-	return &Solution{Status: Optimal, Objective: obj, X: x, Iters: t.iters}, nil
+	return &Solution{Status: Optimal, Objective: obj, X: x, Iters: t.iters}
 }
 
-func newTableau(p *Problem) *tableau {
+// growFloats / growInts resize reusable slices without reallocating once
+// capacity has been reached.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// build fills the tableau from the problem, reusing the arena.
+func (t *tableau) build(p *Problem) {
 	m := len(p.cons)
 	nStruc := len(p.obj)
 	// Count extra columns.
 	slacks := 0
 	arts := 0
 	for _, c := range p.cons {
-		op, rhs := c.Op, c.RHS
+		op, rhs := c.op, c.rhs
 		if rhs < 0 {
 			op = flip(op)
 		}
@@ -226,49 +407,57 @@ func newTableau(p *Problem) *tableau {
 		}
 	}
 	n := nStruc + slacks + arts
-	t := &tableau{
-		m: m, n: n,
-		nStruc:   nStruc,
-		artAt:    nStruc + slacks,
-		basis:    make([]int, m),
-		rhs:      make([]float64, m),
-		maxIters: 2000 + 200*(m+n),
-	}
-	t.a = make([][]float64, m)
+	t.m, t.n = m, n
+	t.nStruc = nStruc
+	t.artAt = nStruc + slacks
+	t.basis = growInts(t.basis, m)
+	t.rhs = growFloats(t.rhs, m)
+	t.a = growFloats(t.a, m*n)
 	for i := range t.a {
-		t.a[i] = make([]float64, n)
+		t.a[i] = 0
 	}
+	t.maxIters = 2000 + 200*(m+n)
+	t.iters = 0
+	t.phase2 = false
+	// Size and clear the objective row now: crashTo pivots before any
+	// objective is installed, and pivot() maintains z as it goes.
+	t.z = growFloats(t.z, n)
+	for i := range t.z {
+		t.z[i] = 0
+	}
+	t.zRHS = 0
+
 	slackCol := nStruc
 	artCol := t.artAt
 	for i, c := range p.cons {
 		sign := 1.0
-		op := c.Op
-		if c.RHS < 0 {
+		op := c.op
+		if c.rhs < 0 {
 			sign = -1
 			op = flip(op)
 		}
-		for _, term := range c.Terms {
-			t.a[i][term.Var] += sign * term.Coef
+		row := t.row(i)
+		for _, term := range p.terms[c.off : c.off+c.n] {
+			row[term.Var] += sign * term.Coef
 		}
-		t.rhs[i] = sign * c.RHS
+		t.rhs[i] = sign * c.rhs
 		switch op {
 		case LE:
-			t.a[i][slackCol] = 1
+			row[slackCol] = 1
 			t.basis[i] = slackCol
 			slackCol++
 		case GE:
-			t.a[i][slackCol] = -1
+			row[slackCol] = -1
 			slackCol++
-			t.a[i][artCol] = 1
+			row[artCol] = 1
 			t.basis[i] = artCol
 			artCol++
 		case EQ:
-			t.a[i][artCol] = 1
+			row[artCol] = 1
 			t.basis[i] = artCol
 			artCol++
 		}
 	}
-	return t
 }
 
 func flip(op Op) Op {
@@ -282,18 +471,118 @@ func flip(op Op) Op {
 	}
 }
 
-// setObjective installs cost vector c and computes the reduced-cost row
-// z_j = c_j - c_B^T tab_j for the current basis.
-func (t *tableau) setObjective(c []float64) {
-	t.z = make([]float64, t.n)
-	copy(t.z, c)
+// crashTo pivots the freshly built tableau onto the given basis (a set
+// of columns, one per row; which row each column lands in is free). For
+// every target column it picks the largest-magnitude pivot among the
+// rows not yet claimed by an earlier target — a nonsingular basis always
+// exposes one, so a decline (false) means the basis is singular or
+// numerically unsafe, and the caller falls back to the exact cold solve.
+// Row choice is deterministic (max |coeff|, lowest row index on ties).
+func (t *tableau) crashTo(cols []int) bool {
+	if len(cols) != t.m {
+		return false
+	}
+	for _, c := range cols {
+		if c < 0 || c >= t.n {
+			return false
+		}
+	}
+	if cap(t.crashed) < t.m {
+		t.crashed = make([]bool, t.m)
+	}
+	t.crashed = t.crashed[:t.m]
+	for i := range t.crashed {
+		t.crashed[i] = false
+	}
+	// Rows already holding their target column (typical for slack columns
+	// that stayed basic) are claimed without a pivot.
+	for i := 0; i < t.m; i++ {
+		for _, c := range cols {
+			if t.basis[i] == c {
+				t.crashed[i] = true
+				break
+			}
+		}
+	}
+	for _, want := range cols {
+		already := false
+		for i := 0; i < t.m; i++ {
+			if t.crashed[i] && t.basis[i] == want {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		best, bestAbs := -1, 1e-7
+		for i := 0; i < t.m; i++ {
+			if t.crashed[i] {
+				continue
+			}
+			if a := math.Abs(t.row(i)[want]); a > bestAbs {
+				best, bestAbs = i, a
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		t.pivot(best, want)
+		t.crashed[best] = true
+		t.iters++
+		if t.iters > t.maxIters {
+			return false
+		}
+	}
+	return true
+}
+
+// setPhase1Objective installs the phase-1 cost vector (sum of artificial
+// variables) without materializing it.
+func (t *tableau) setPhase1Objective() {
+	t.z = growFloats(t.z, t.n)
+	for j := 0; j < t.n; j++ {
+		if j >= t.artAt {
+			t.z[j] = 1
+		} else {
+			t.z[j] = 0
+		}
+	}
 	t.zRHS = 0
 	for i, b := range t.basis {
+		if b < t.artAt {
+			continue // cb == 0
+		}
+		row := t.row(i)
+		for j := 0; j < t.n; j++ {
+			t.z[j] -= row[j]
+		}
+		t.zRHS -= t.rhs[i]
+	}
+	t.unbounded = false
+	t.bland = false
+	t.stall = 0
+}
+
+// setObjective installs cost vector c (padded with zeros to the tableau
+// width) and computes the reduced-cost row z_j = c_j - c_B^T tab_j for
+// the current basis.
+func (t *tableau) setObjective(c []float64) {
+	t.z = growFloats(t.z, t.n)
+	copy(t.z, c)
+	for j := len(c); j < t.n; j++ {
+		t.z[j] = 0
+	}
+	t.zRHS = 0
+	for i, b := range t.basis {
+		if b >= len(c) {
+			continue
+		}
 		cb := c[b]
 		if cb == 0 {
 			continue
 		}
-		row := t.a[i]
+		row := t.row(i)
 		for j := 0; j < t.n; j++ {
 			t.z[j] -= cb * row[j]
 		}
@@ -321,6 +610,47 @@ func (t *tableau) iterate() error {
 		t.iters++
 		if t.iters > t.maxIters {
 			return fmt.Errorf("%w (m=%d n=%d iters=%d)", ErrIterationLimit, t.m, t.n, t.iters)
+		}
+	}
+}
+
+// dualIterate restores primal feasibility (rhs >= 0) with dual simplex
+// pivots, assuming the current basis is dual feasible (z >= 0). Row and
+// column choices are deterministic: the most negative rhs (lowest row
+// index on ties) leaves, and the dual ratio test picks the lowest column
+// index on ties. Returns Infeasible when a negative row has no admissible
+// pivot (the primal program is empty).
+func (t *tableau) dualIterate() (Status, error) {
+	for {
+		r := -1
+		worst := -eps
+		for i := 0; i < t.m; i++ {
+			if t.rhs[i] < worst {
+				r, worst = i, t.rhs[i]
+			}
+		}
+		if r < 0 {
+			return Optimal, nil
+		}
+		row := t.row(r)
+		j := -1
+		var best float64
+		for k := 0; k < t.n; k++ {
+			if t.banned(k) || row[k] >= -eps {
+				continue
+			}
+			ratio := t.z[k] / -row[k]
+			if j < 0 || ratio < best-eps {
+				j, best = k, ratio
+			}
+		}
+		if j < 0 {
+			return Infeasible, nil
+		}
+		t.pivot(r, j)
+		t.iters++
+		if t.iters > t.maxIters {
+			return Optimal, fmt.Errorf("%w (dual, m=%d n=%d iters=%d)", ErrIterationLimit, t.m, t.n, t.iters)
 		}
 	}
 }
@@ -357,7 +687,7 @@ func (t *tableau) chooseLeaving(j int) int {
 	r := -1
 	var best float64
 	for i := 0; i < t.m; i++ {
-		aij := t.a[i][j]
+		aij := t.a[i*t.n+j]
 		if aij <= eps {
 			continue
 		}
@@ -371,8 +701,8 @@ func (t *tableau) chooseLeaving(j int) int {
 
 func (t *tableau) pivot(r, j int) {
 	prevZ := t.zRHS
-	piv := t.a[r][j]
-	row := t.a[r]
+	row := t.row(r)
+	piv := row[j]
 	inv := 1 / piv
 	for k := 0; k < t.n; k++ {
 		row[k] *= inv
@@ -383,11 +713,11 @@ func (t *tableau) pivot(r, j int) {
 		if i == r {
 			continue
 		}
-		f := t.a[i][j]
+		ri := t.row(i)
+		f := ri[j]
 		if f == 0 {
 			continue
 		}
-		ri := t.a[i]
 		for k := 0; k < t.n; k++ {
 			ri[k] -= f * row[k]
 		}
@@ -429,8 +759,9 @@ func (t *tableau) driveOutArtificials() {
 		// The artificial is basic at value ~0. Pivot in any non-artificial
 		// column with a nonzero coefficient in this row.
 		pivoted := false
+		row := t.row(i)
 		for j := 0; j < t.artAt; j++ {
-			if math.Abs(t.a[i][j]) > 1e-7 {
+			if math.Abs(row[j]) > 1e-7 {
 				t.pivot(i, j)
 				t.iters++
 				pivoted = true
@@ -443,7 +774,7 @@ func (t *tableau) driveOutArtificials() {
 			// at value 0 and phase 2 bans it from changing.
 			for j := 0; j < t.n; j++ {
 				if j != t.basis[i] {
-					t.a[i][j] = 0
+					row[j] = 0
 				}
 			}
 			t.rhs[i] = 0

@@ -1,0 +1,32 @@
+package lp
+
+import "testing"
+
+// Reviewer's repro: redundant EQ rows leave an artificial basic in the
+// captured basis; an RHS change that breaks the redundancy must not
+// produce a bogus warm Optimal.
+func TestWarmStartRedundantRowRHSChange(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1)
+	if err := p.AddConstraint([]Term{{x, 1}}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x, 1}}, EQ, 1); err != nil {
+		t.Fatal(err)
+	}
+	var b Basis
+	s, err := p.SolveFrom(&b)
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("initial: %+v %v", s, err)
+	}
+	if err := p.SetRHS(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	s, err = p.SolveFrom(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("want Infeasible after redundancy break, got %v x=%v", s.Status, s.X)
+	}
+}

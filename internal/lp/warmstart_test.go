@@ -1,0 +1,180 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildTransport returns a small transportation LP with a degenerate
+// optimum (several supplies bind simultaneously).
+func buildTransport() *Problem {
+	p := NewProblem()
+	const n = 4
+	vars := make([][]int, n)
+	for i := range vars {
+		vars[i] = make([]int, n)
+		for j := range vars[i] {
+			vars[i][j] = p.AddVariable(float64((i*3+j*5)%7 + 1))
+		}
+	}
+	for i := 0; i < n; i++ {
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = Term{Var: vars[i][j], Coef: 1}
+		}
+		if err := p.AddConstraint(terms, LE, 10); err != nil {
+			panic(err)
+		}
+	}
+	for j := 0; j < n; j++ {
+		terms := make([]Term, n)
+		for i := 0; i < n; i++ {
+			terms[i] = Term{Var: vars[i][j], Coef: 1}
+		}
+		if err := p.AddConstraint(terms, EQ, 10); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+// TestWarmStartDegeneratePivots re-solves a degenerate program from its
+// own optimal basis: the crash lands on a degenerate vertex and the
+// solver must still terminate at the same objective.
+func TestWarmStartDegeneratePivots(t *testing.T) {
+	p := buildTransport()
+	var b Basis
+	cold, err := p.SolveFrom(&b)
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold solve: %v %v", cold, err)
+	}
+	if !b.Valid() {
+		t.Fatal("basis not captured")
+	}
+	warm, err := p.SolveFrom(&b)
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm solve: %v %v", warm, err)
+	}
+	if math.Abs(warm.Objective-cold.Objective) > 1e-9*(1+math.Abs(cold.Objective)) {
+		t.Fatalf("warm objective %g != cold %g", warm.Objective, cold.Objective)
+	}
+}
+
+// TestWarmStartInfeasibleRestart drives a solved program infeasible by an
+// RHS change, warm-restarts into the infeasibility, then restores the RHS
+// and warm-restarts back to the original optimum.
+func TestWarmStartInfeasibleRestart(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVariable(1)
+	y := p.AddVariable(2)
+	if err := p.AddConstraint([]Term{{x, 1}, {y, 1}}, GE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{x, 1}}, LE, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Term{{y, 1}}, LE, 10); err != nil {
+		t.Fatal(err)
+	}
+	var b Basis
+	s, err := p.SolveFrom(&b)
+	if err != nil || s.Status != Optimal || math.Abs(s.Objective-4) > 1e-9 {
+		t.Fatalf("initial solve: %+v %v", s, err)
+	}
+	// x + y >= 22 cannot hold under x,y <= 10.
+	if err := p.SetRHS(0, 22); err != nil {
+		t.Fatal(err)
+	}
+	s, err = p.SolveFrom(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("want infeasible after RHS change, got %v obj=%g", s.Status, s.Objective)
+	}
+	// Restore and warm-restart back (the failed solve invalidated nothing
+	// structurally; SolveFrom must recover regardless of basis state).
+	if err := p.SetRHS(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	s, err = p.SolveFrom(&b)
+	if err != nil || s.Status != Optimal || math.Abs(s.Objective-4) > 1e-9 {
+		t.Fatalf("restored solve: %+v %v", s, err)
+	}
+}
+
+// TestResetReusesStorage rebuilds a same-shaped program after Reset and
+// checks the solutions agree with fresh problems across random RHS.
+func TestResetReusesStorage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reused := NewProblem()
+	for trial := 0; trial < 25; trial++ {
+		reused.Reset()
+		fresh := NewProblem()
+		rhs := make([]float64, 3)
+		for i := range rhs {
+			rhs[i] = 1 + 9*rng.Float64()
+		}
+		build := func(p *Problem) *Solution {
+			x := p.AddVariable(1)
+			y := p.AddVariable(1)
+			z := p.AddVariable(3)
+			if err := p.AddConstraint([]Term{{x, 1}, {y, 2}}, GE, rhs[0]); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.AddConstraint([]Term{{y, 1}, {z, 1}}, GE, rhs[1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.AddConstraint([]Term{{x, 1}, {z, 2}}, LE, rhs[2]+20); err != nil {
+				t.Fatal(err)
+			}
+			s, err := p.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+		a, b := build(reused), build(fresh)
+		if a.Status != b.Status {
+			t.Fatalf("trial %d: status %v != %v", trial, a.Status, b.Status)
+		}
+		if a.Status == Optimal && a.Objective != b.Objective {
+			t.Fatalf("trial %d: reused objective %g != fresh %g", trial, a.Objective, b.Objective)
+		}
+	}
+}
+
+// TestWarmStartRandomRHSSequence sweeps random RHS values over one
+// retained problem, comparing warm restarts against cold solves of
+// identical fresh programs.
+func TestWarmStartRandomRHSSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := buildTransport()
+	var b Basis
+	for trial := 0; trial < 40; trial++ {
+		// Perturb the four supply rows (LE) within feasibility and one
+		// demand row; the structure never changes.
+		for i := 0; i < 4; i++ {
+			if err := p.SetRHS(i, 10+rng.Float64()*5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		warm, err := p.SolveFrom(&b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cold, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		if warm.Status != cold.Status {
+			t.Fatalf("trial %d: warm %v cold %v", trial, warm.Status, cold.Status)
+		}
+		if warm.Status == Optimal {
+			if d := math.Abs(warm.Objective - cold.Objective); d > 1e-7*(1+math.Abs(cold.Objective)) {
+				t.Fatalf("trial %d: warm obj %g cold %g", trial, warm.Objective, cold.Objective)
+			}
+		}
+	}
+}

@@ -12,7 +12,8 @@ const flowEps = 1e-6
 // In PerCommodity mode this is a direct copy. In Aggregate mode the
 // per-source flow is decomposed into source->destination path flows
 // (flow decomposition theorem) and charged to the matching commodity.
-func extractFlows(t *topology.Topology, cs []Commodity, groups []group, varOf [][]int, x []float64, mode Mode) [][]float64 {
+// varOf is the Solver's flat (group, link) variable index.
+func extractFlows(t *topology.Topology, cs []Commodity, groups []group, varOf []int, x []float64, mode Mode) [][]float64 {
 	nl := t.NumLinks()
 	flows := make([][]float64, len(cs))
 	for k := range flows {
@@ -22,18 +23,19 @@ func extractFlows(t *topology.Topology, cs []Commodity, groups []group, varOf []
 		for gi, g := range groups {
 			c := g.members[0]
 			for l := 0; l < nl; l++ {
-				if v := varOf[gi][l]; v >= 0 && x[v] > flowEps {
+				if v := varOf[gi*nl+l]; v >= 0 && x[v] > flowEps {
 					flows[c.K][l] = x[v]
 				}
 			}
 		}
 		return flows
 	}
-	for gi, g := range groups {
+	for gi := range groups {
+		g := &groups[gi]
 		// Residual aggregated flow on each link.
 		resid := make([]float64, nl)
 		for l := 0; l < nl; l++ {
-			if v := varOf[gi][l]; v >= 0 && x[v] > flowEps {
+			if v := varOf[gi*nl+l]; v >= 0 && x[v] > flowEps {
 				resid[l] = x[v]
 			}
 		}

@@ -17,12 +17,21 @@
 // valid whenever all commodities may use all links because capacities bind
 // on total flow and both objectives are sums of flow. Aggregation shrinks
 // the LP dramatically for the all-path splitting mode (NMAPTA).
+//
+// The Solver type is the persistent entry point: it keeps the (topology,
+// commodity-group) structure, the LP problem and the simplex tableau
+// alive between solves, rewriting only right-hand sides when consecutive
+// candidate programs share a structure, so the candidate loops of
+// mappingwithsplitting() run allocation-light. With WarmStart enabled it
+// additionally resumes from the previous optimal basis when only RHS
+// changed (falling back to an exact cold solve on any structure change).
+// The package-level SolveMCF1/SolveMCF2/SolveMinCongestion helpers build
+// a throwaway Solver per call and always solve cold.
 package mcf
 
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/lp"
 	"repro/internal/topology"
@@ -65,7 +74,8 @@ type Result struct {
 	// Feasible is false when MCF2 cannot route the demands within the
 	// link bandwidths (MCF1 and MinCongestion are always feasible).
 	Feasible bool
-	// Flows[k][l] is the bandwidth of commodity k crossing link l.
+	// Flows[k][l] is the bandwidth of commodity k crossing link l. Nil
+	// when the Solver was configured with SkipFlows.
 	Flows [][]float64
 	// Iters is the number of simplex pivots used.
 	Iters int
@@ -79,16 +89,16 @@ const (
 	minCongestion
 )
 
-// SolveMCF1 solves the slack-minimization program. Objective 0 means the
-// bandwidth constraints can be met by splitting traffic.
+// SolveMCF1 solves the slack-minimization program cold. Objective 0 means
+// the bandwidth constraints can be met by splitting traffic.
 func SolveMCF1(t *topology.Topology, cs []Commodity, opt Options) (*Result, error) {
-	return solve(t, cs, opt, mcf1)
+	return NewSolver(t, opt).SolveMCF1(cs)
 }
 
 // SolveMCF2 solves the cost-minimization program under hard bandwidth
-// constraints. Result.Feasible is false when no routing fits.
+// constraints cold. Result.Feasible is false when no routing fits.
 func SolveMCF2(t *topology.Topology, cs []Commodity, opt Options) (*Result, error) {
-	return solve(t, cs, opt, mcf2)
+	return NewSolver(t, opt).SolveMCF2(cs)
 }
 
 // SolveMinCongestion computes the minimum uniform link bandwidth lambda
@@ -96,7 +106,7 @@ func SolveMCF2(t *topology.Topology, cs []Commodity, opt Options) (*Result, erro
 // lambda. Among all routings achieving that bandwidth it prefers minimal
 // total flow (a small secondary objective term keeps paths short).
 func SolveMinCongestion(t *topology.Topology, cs []Commodity, opt Options) (*Result, error) {
-	return solve(t, cs, opt, minCongestion)
+	return NewSolver(t, opt).SolveMinCongestion(cs)
 }
 
 // group is one flow-variable block: either a single commodity or all
@@ -107,7 +117,85 @@ type group struct {
 	allowed []int       // link IDs usable by the group (nil = all)
 }
 
-func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, error) {
+// Solver is a persistent builder and solver for the flow programs of one
+// (topology, options) pair. It is not safe for concurrent use: sweeps
+// hand each worker its own Solver.
+type Solver struct {
+	t   *topology.Topology
+	opt Options
+
+	// WarmStart enables resuming from the previous solve's optimal basis
+	// when consecutive programs share their structure (same kind, groups
+	// and link sets — only right-hand sides changed). Warm-started solves
+	// reach the same optimal objective but, on degenerate programs, may
+	// return a different optimal vertex than a cold solve; leave it off
+	// where bit-identical flows across call orders are required.
+	WarmStart bool
+	// SkipFlows suppresses flow extraction; Result.Flows stays nil. The
+	// candidate loops that only compare objectives use this.
+	SkipFlows bool
+	// WarmHits counts solves that resumed from a previous basis instead
+	// of rebuilding — an observability hook for tests and tuning.
+	WarmHits int
+
+	lp    *lp.Problem
+	basis lp.Basis
+
+	// reusable build buffers
+	groups     []group
+	memberBuf  []Commodity
+	varOf      []int // flat gi*nl+l -> LP variable, -1 when absent
+	terms      []lp.Term
+	supply     []float64
+	touched    []bool
+	srcGroup   []int // node -> aggregate group index, -1
+	groupCount []int
+
+	// structure fingerprint of the last built program (for warm reuse)
+	haveStruct   bool
+	prevKind     kind
+	prevMode     Mode
+	prevNGroups  int
+	prevKs       []int // flattened member K sequence, group-major
+	prevCounts   []int // member count per group
+	unrestricted bool  // every group allowed nil at last build
+	consStart    int   // first conservation row index
+	lambdaVar    int
+	allTouched   bool // every topology node is incident to a link
+}
+
+// NewSolver returns a persistent solver for the given topology and
+// options.
+func NewSolver(t *topology.Topology, opt Options) *Solver {
+	s := &Solver{t: t, opt: opt, lp: lp.NewProblem(), lambdaVar: -1}
+	n := t.N()
+	incident := make([]bool, n)
+	for _, l := range t.Links() {
+		incident[l.From] = true
+		incident[l.To] = true
+	}
+	s.allTouched = true
+	for _, in := range incident {
+		if !in {
+			s.allTouched = false
+			break
+		}
+	}
+	return s
+}
+
+// SolveMCF1 solves the slack-minimization program.
+func (s *Solver) SolveMCF1(cs []Commodity) (*Result, error) { return s.solve(cs, mcf1) }
+
+// SolveMCF2 solves the cost-minimization program.
+func (s *Solver) SolveMCF2(cs []Commodity) (*Result, error) { return s.solve(cs, mcf2) }
+
+// SolveMinCongestion solves the congestion-minimization program.
+func (s *Solver) SolveMinCongestion(cs []Commodity) (*Result, error) {
+	return s.solve(cs, minCongestion)
+}
+
+func (s *Solver) solve(cs []Commodity, k kind) (*Result, error) {
 	for _, c := range cs {
 		if c.Src == c.Dst {
 			return nil, fmt.Errorf("mcf: commodity %d has identical endpoints %d", c.K, c.Src)
@@ -116,16 +204,97 @@ func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, 
 			return nil, fmt.Errorf("mcf: commodity %d has negative demand %g", c.K, c.Demand)
 		}
 	}
-	mode := opt.Mode
-	if opt.Restrict != nil {
+	mode := s.opt.Mode
+	if s.opt.Restrict != nil {
 		mode = PerCommodity
 	}
-	groups := makeGroups(cs, opt, mode)
+	s.makeGroups(cs, mode)
 
-	p := lp.NewProblem()
+	if s.WarmStart && s.structureMatches(k, mode) {
+		if res, err, done := s.resolveWarm(cs, k, mode); done {
+			return res, err
+		}
+		// Warm path declined mid-way; fall through to a full rebuild.
+	}
+	return s.solveCold(cs, k, mode)
+}
+
+// structureMatches reports whether the freshly built groups describe the
+// same program structure as the last built LP: identical kind, mode,
+// group layout and (absence of) link restrictions. When it holds, the
+// two programs differ only in conservation right-hand sides.
+func (s *Solver) structureMatches(k kind, mode Mode) bool {
+	if !s.haveStruct || !s.basis.Valid() || !s.allTouched {
+		return false
+	}
+	if s.prevKind != k || s.prevMode != mode || s.prevNGroups != len(s.groups) {
+		return false
+	}
+	if !s.unrestricted {
+		return false
+	}
+	ki := 0
+	for gi, g := range s.groups {
+		if g.allowed != nil {
+			return false
+		}
+		if s.prevCounts[gi] != len(g.members) {
+			return false
+		}
+		for _, c := range g.members {
+			if s.prevKs[ki] != c.K {
+				return false
+			}
+			ki++
+		}
+	}
+	return true
+}
+
+// resolveWarm rewrites the conservation right-hand sides of the retained
+// LP and re-solves from the previous basis. done is false when the warm
+// path declined before mutating anything irrecoverably (the caller then
+// rebuilds cold; the LP is rebuilt from scratch there, so partial RHS
+// rewrites are harmless).
+func (s *Solver) resolveWarm(cs []Commodity, k kind, mode Mode) (*Result, error, bool) {
+	n := s.t.N()
+	for gi, g := range s.groups {
+		for i := range s.supply {
+			s.supply[i] = 0
+		}
+		for _, c := range g.members {
+			s.supply[c.Src] += c.Demand
+			s.supply[c.Dst] -= c.Demand
+		}
+		base := s.consStart + gi*n
+		for node := 0; node < n; node++ {
+			if err := s.lp.SetRHS(base+node, s.supply[node]); err != nil {
+				return nil, nil, false
+			}
+		}
+	}
+	sol, err := s.lp.SolveFrom(&s.basis)
+	if err != nil {
+		return nil, fmt.Errorf("mcf: %w", err), true
+	}
+	if sol.WarmStarted {
+		s.WarmHits++
+	}
+	res, err := s.finish(cs, k, mode, sol)
+	return res, err, true
+}
+
+// solveCold rebuilds the LP from the current groups and solves from the
+// canonical basis — the exact, bit-reproducible path.
+func (s *Solver) solveCold(cs []Commodity, k kind, mode Mode) (*Result, error) {
+	t := s.t
+	s.haveStruct = false
+	s.basis.Invalidate()
+	p := s.lp
+	p.Reset()
 	nl := t.NumLinks()
-	// varOf[g][l] is the LP variable of group g on link l, or -1.
-	varOf := make([][]int, len(groups))
+	n := t.N()
+
 	flowCost := 0.0
 	if k == mcf2 {
 		flowCost = 1
@@ -134,95 +303,123 @@ func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, 
 	if k == minCongestion {
 		flowCost = congestionTieBreak
 	}
-	for gi, g := range groups {
-		varOf[gi] = make([]int, nl)
-		for l := range varOf[gi] {
-			varOf[gi][l] = -1
+	// varOf[gi*nl+l] is the LP variable of group gi on link l, or -1.
+	if cap(s.varOf) < len(s.groups)*nl {
+		s.varOf = make([]int, len(s.groups)*nl)
+	}
+	s.varOf = s.varOf[:len(s.groups)*nl]
+	s.unrestricted = true
+	for gi, g := range s.groups {
+		row := s.varOf[gi*nl : (gi+1)*nl]
+		if g.allowed == nil {
+			for l := 0; l < nl; l++ {
+				row[l] = p.AddVariable(flowCost)
+			}
+			continue
 		}
-		links := g.allowed
-		if links == nil {
-			links = allLinkIDs(nl)
+		s.unrestricted = false
+		for l := range row {
+			row[l] = -1
 		}
-		for _, l := range links {
-			varOf[gi][l] = p.AddVariable(flowCost)
+		for _, l := range g.allowed {
+			row[l] = p.AddVariable(flowCost)
 		}
 	}
 	// Capacity rows: sum_g x_{g,l} (- slack/lambda) <= bw_l.
-	var slackVars []int
-	lambdaVar := -1
+	s.lambdaVar = -1
 	if k == minCongestion {
-		lambdaVar = p.AddVariable(1)
+		s.lambdaVar = p.AddVariable(1)
 	}
 	for _, link := range t.Links() {
-		var terms []lp.Term
-		for gi := range groups {
-			if v := varOf[gi][link.ID]; v >= 0 {
+		terms := s.terms[:0]
+		for gi := range s.groups {
+			if v := s.varOf[gi*nl+link.ID]; v >= 0 {
 				terms = append(terms, lp.Term{Var: v, Coef: 1})
 			}
 		}
 		if len(terms) == 0 {
+			s.terms = terms
 			continue
 		}
+		var err error
 		switch k {
 		case mcf1:
-			s := p.AddVariable(1)
-			slackVars = append(slackVars, s)
-			terms = append(terms, lp.Term{Var: s, Coef: -1})
-			if err := p.AddConstraint(terms, lp.LE, link.BW); err != nil {
-				return nil, err
-			}
+			slack := p.AddVariable(1)
+			terms = append(terms, lp.Term{Var: slack, Coef: -1})
+			err = p.AddConstraint(terms, lp.LE, link.BW)
 		case mcf2:
-			if err := p.AddConstraint(terms, lp.LE, link.BW); err != nil {
-				return nil, err
-			}
+			err = p.AddConstraint(terms, lp.LE, link.BW)
 		case minCongestion:
-			terms = append(terms, lp.Term{Var: lambdaVar, Coef: -1})
-			if err := p.AddConstraint(terms, lp.LE, 0); err != nil {
-				return nil, err
-			}
+			terms = append(terms, lp.Term{Var: s.lambdaVar, Coef: -1})
+			err = p.AddConstraint(terms, lp.LE, 0)
+		}
+		s.terms = terms
+		if err != nil {
+			return nil, err
 		}
 	}
+	s.consStart = p.NumConstraints()
 	// Conservation rows per group per node: outflow - inflow = supply.
-	for gi, g := range groups {
-		supply := make(map[int]float64)
-		for _, c := range g.members {
-			supply[c.Src] += c.Demand
-			supply[c.Dst] -= c.Demand
+	// Rows are emitted in ascending node order: simplex pivoting is
+	// sensitive to row order, and an unordered iteration would make the
+	// solved flows (and everything downstream, e.g. the simulated
+	// split-routing latencies) vary run to run.
+	if cap(s.supply) < n {
+		s.supply = make([]float64, n)
+		s.touched = make([]bool, n)
+	}
+	s.supply = s.supply[:n]
+	s.touched = s.touched[:n]
+	for gi, g := range s.groups {
+		for i := 0; i < n; i++ {
+			s.supply[i] = 0
+			s.touched[i] = false
 		}
-		touched := make(map[int]bool)
+		for _, c := range g.members {
+			s.supply[c.Src] += c.Demand
+			s.supply[c.Dst] -= c.Demand
+			s.touched[c.Src] = true
+			s.touched[c.Dst] = true
+		}
 		links := g.allowed
 		if links == nil {
-			links = allLinkIDs(nl)
-		}
-		for _, l := range links {
-			lk := t.Link(l)
-			touched[lk.From] = true
-			touched[lk.To] = true
-		}
-		for node := range supply {
-			touched[node] = true
-		}
-		// Emit conservation rows in ascending node order: simplex
-		// pivoting is sensitive to row order, and map iteration would
-		// make the solved flows (and everything downstream, e.g. the
-		// simulated split-routing latencies) vary run to run.
-		nodes := make([]int, 0, len(touched))
-		for node := range touched {
-			nodes = append(nodes, node)
-		}
-		sort.Ints(nodes)
-		for _, node := range nodes {
-			var terms []lp.Term
+			for _, lk := range t.Links() {
+				s.touched[lk.From] = true
+				s.touched[lk.To] = true
+			}
+		} else {
 			for _, l := range links {
 				lk := t.Link(l)
+				s.touched[lk.From] = true
+				s.touched[lk.To] = true
+			}
+		}
+		row := s.varOf[gi*nl : (gi+1)*nl]
+		for node := 0; node < n; node++ {
+			if !s.touched[node] {
+				continue
+			}
+			terms := s.terms[:0]
+			appendLinkTerms := func(l int) {
+				lk := t.Link(l)
 				if lk.From == node {
-					terms = append(terms, lp.Term{Var: varOf[gi][l], Coef: 1})
+					terms = append(terms, lp.Term{Var: row[l], Coef: 1})
 				} else if lk.To == node {
-					terms = append(terms, lp.Term{Var: varOf[gi][l], Coef: -1})
+					terms = append(terms, lp.Term{Var: row[l], Coef: -1})
 				}
 			}
-			rhs := supply[node]
+			if links == nil {
+				for l := 0; l < nl; l++ {
+					appendLinkTerms(l)
+				}
+			} else {
+				for _, l := range links {
+					appendLinkTerms(l)
+				}
+			}
+			rhs := s.supply[node]
 			if len(terms) == 0 {
+				s.terms = terms
 				if rhs != 0 {
 					// A node must source/sink flow but no link can carry
 					// it: structurally infeasible (cannot happen on a
@@ -231,16 +428,46 @@ func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, 
 				}
 				continue
 			}
-			if err := p.AddConstraint(terms, lp.EQ, rhs); err != nil {
+			err := p.AddConstraint(terms, lp.EQ, rhs)
+			s.terms = terms
+			if err != nil {
 				return nil, err
 			}
 		}
 	}
 
-	sol, err := p.Solve()
+	var sol *lp.Solution
+	var err error
+	if s.WarmStart {
+		// Basis was invalidated above, so this is a cold solve that also
+		// captures the optimal basis for the next same-structure call.
+		sol, err = s.lp.SolveFrom(&s.basis)
+	} else {
+		sol, err = s.lp.Solve()
+	}
 	if err != nil {
 		return nil, fmt.Errorf("mcf: %w", err)
 	}
+	// Record the structure fingerprint for warm reuse.
+	if s.WarmStart && s.unrestricted && s.allTouched {
+		s.prevKind = k
+		s.prevMode = mode
+		s.prevNGroups = len(s.groups)
+		s.prevKs = s.prevKs[:0]
+		s.prevCounts = s.prevCounts[:0]
+		for _, g := range s.groups {
+			s.prevCounts = append(s.prevCounts, len(g.members))
+			for _, c := range g.members {
+				s.prevKs = append(s.prevKs, c.K)
+			}
+		}
+		s.haveStruct = true
+	}
+	return s.finish(cs, k, mode, sol)
+}
+
+// finish converts an LP solution into a Result.
+func (s *Solver) finish(cs []Commodity, k kind, mode Mode, sol *lp.Solution) (*Result, error) {
 	res := &Result{Iters: sol.Iters}
 	switch sol.Status {
 	case lp.Infeasible:
@@ -257,43 +484,64 @@ func solve(t *topology.Topology, cs []Commodity, opt Options, k kind) (*Result, 
 		// Report the pure slack total (exclude nothing: slack vars carry
 		// cost 1 and flows cost 0, so Objective already equals the slack).
 	case minCongestion:
-		res.Objective = sol.X[lambdaVar]
+		res.Objective = sol.X[s.lambdaVar]
 	}
-	res.Flows = extractFlows(t, cs, groups, varOf, sol.X, mode)
+	if !s.SkipFlows {
+		res.Flows = extractFlows(s.t, cs, s.groups, s.varOf, sol.X, mode)
+	}
 	return res, nil
 }
 
-func allLinkIDs(n int) []int {
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
+// makeGroups rebuilds the group layout into the solver's reusable
+// buffers: one group per commodity (PerCommodity), or one per distinct
+// source in first-appearance order with members in input order
+// (Aggregate) — exactly the historical grouping.
+func (s *Solver) makeGroups(cs []Commodity, mode Mode) {
+	s.groups = s.groups[:0]
+	if cap(s.memberBuf) < len(cs) {
+		s.memberBuf = make([]Commodity, len(cs))
 	}
-	return ids
-}
-
-func makeGroups(cs []Commodity, opt Options, mode Mode) []group {
+	s.memberBuf = s.memberBuf[:len(cs)]
 	if mode == PerCommodity {
-		gs := make([]group, len(cs))
 		for i, c := range cs {
+			s.memberBuf[i] = c
 			var allowed []int
-			if opt.Restrict != nil {
-				allowed = opt.Restrict(c.K)
+			if s.opt.Restrict != nil {
+				allowed = s.opt.Restrict(c.K)
 			}
-			gs[i] = group{src: c.Src, members: []Commodity{c}, allowed: allowed}
+			s.groups = append(s.groups, group{src: c.Src, members: s.memberBuf[i : i+1], allowed: allowed})
 		}
-		return gs
+		return
 	}
-	bySrc := make(map[int][]Commodity)
-	var order []int
+	n := s.t.N()
+	if cap(s.srcGroup) < n {
+		s.srcGroup = make([]int, n)
+	}
+	s.srcGroup = s.srcGroup[:n]
+	for i := range s.srcGroup {
+		s.srcGroup[i] = -1
+	}
+	// First pass: group index per source in first-appearance order and
+	// member counts.
+	s.groupCount = s.groupCount[:0]
 	for _, c := range cs {
-		if _, ok := bySrc[c.Src]; !ok {
-			order = append(order, c.Src)
+		if s.srcGroup[c.Src] == -1 {
+			s.srcGroup[c.Src] = len(s.groupCount)
+			s.groupCount = append(s.groupCount, 0)
 		}
-		bySrc[c.Src] = append(bySrc[c.Src], c)
+		s.groupCount[s.srcGroup[c.Src]]++
 	}
-	gs := make([]group, 0, len(order))
-	for _, s := range order {
-		gs = append(gs, group{src: s, members: bySrc[s]})
+	// Second pass: slice the member arena per group and fill in input
+	// order.
+	off := 0
+	for _, cnt := range s.groupCount {
+		s.groups = append(s.groups, group{members: s.memberBuf[off : off : off+cnt]})
+		off += cnt
 	}
-	return gs
+	for _, c := range cs {
+		gi := s.srcGroup[c.Src]
+		g := &s.groups[gi]
+		g.members = append(g.members, c)
+		g.src = c.Src
+	}
 }

@@ -1,0 +1,139 @@
+package mcf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// randomCommodities draws k distinct-endpoint commodities on an n-node
+// topology.
+func randomCommodities(rng *rand.Rand, n, k int) []Commodity {
+	cs := make([]Commodity, k)
+	for i := range cs {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		for dst == src {
+			dst = rng.Intn(n)
+		}
+		cs[i] = Commodity{K: i, Src: src, Dst: dst, Demand: 10 + 90*rng.Float64()}
+	}
+	return cs
+}
+
+// TestWarmStartedMCF2ObjectiveMatchesCold is the warm-start property
+// test: across random mesh and torus instances, a persistent warm-started
+// solver must report the same MCF2 objective (and feasibility) as a cold
+// solve of the identical program. PerCommodity mode keeps one flow block
+// per commodity, so every instance shares the LP structure and the warm
+// path actually engages from the second solve on.
+func TestWarmStartedMCF2ObjectiveMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	topos := []*topology.Topology{}
+	if m, err := topology.NewMesh(4, 4, 700); err == nil {
+		topos = append(topos, m)
+	} else {
+		t.Fatal(err)
+	}
+	if tor, err := topology.NewTorus(4, 3, 700); err == nil {
+		topos = append(topos, tor)
+	} else {
+		t.Fatal(err)
+	}
+	for ti, topo := range topos {
+		warm := NewSolver(topo, Options{Mode: PerCommodity})
+		warm.WarmStart = true
+		warm.SkipFlows = true
+		for trial := 0; trial < 12; trial++ {
+			cs := randomCommodities(rng, topo.N(), 6)
+			w, err := warm.SolveMCF2(cs)
+			if err != nil {
+				t.Fatalf("topo %d trial %d warm: %v", ti, trial, err)
+			}
+			c, err := SolveMCF2(topo, cs, Options{Mode: PerCommodity})
+			if err != nil {
+				t.Fatalf("topo %d trial %d cold: %v", ti, trial, err)
+			}
+			if w.Feasible != c.Feasible {
+				t.Fatalf("topo %d trial %d: warm feasible=%v cold=%v", ti, trial, w.Feasible, c.Feasible)
+			}
+			if !c.Feasible {
+				continue
+			}
+			if d := math.Abs(w.Objective - c.Objective); d > 1e-7*(1+math.Abs(c.Objective)) {
+				t.Fatalf("topo %d trial %d: warm objective %.12g != cold %.12g",
+					ti, trial, w.Objective, c.Objective)
+			}
+		}
+		if warm.WarmHits == 0 {
+			t.Fatalf("topo %d: warm path never engaged", ti)
+		}
+	}
+}
+
+// TestWarmStartedAggregateMinCongestion mirrors the Table 3 per-flow
+// loop: single-commodity aggregate min-congestion solves whose structure
+// never changes, so every solve after the first resumes from the
+// previous basis. Objectives must match cold solves exactly enough to
+// leave every reported figure unchanged.
+func TestWarmStartedAggregateMinCongestion(t *testing.T) {
+	topo, err := topology.NewMesh(5, 4, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	warm := NewSolver(topo, Options{Mode: Aggregate})
+	warm.WarmStart = true
+	warm.SkipFlows = true
+	single := make([]Commodity, 1)
+	for trial := 0; trial < 30; trial++ {
+		cs := randomCommodities(rng, topo.N(), 1)
+		single[0] = Commodity{K: 0, Src: cs[0].Src, Dst: cs[0].Dst, Demand: cs[0].Demand}
+		w, err := warm.SolveMinCongestion(single)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		c, err := SolveMinCongestion(topo, single, Options{Mode: Aggregate})
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		if d := math.Abs(w.Objective - c.Objective); d > 1e-7*(1+math.Abs(c.Objective)) {
+			t.Fatalf("trial %d: warm %.12g cold %.12g", trial, w.Objective, c.Objective)
+		}
+	}
+	if warm.WarmHits == 0 {
+		t.Fatal("warm path never engaged across the RHS-only sequence")
+	}
+}
+
+// TestSolverStructureChangeFallsBackCold changes the commodity count
+// between solves: the structure signature must miss and the solver must
+// return the exact cold result (flows included).
+func TestSolverStructureChangeFallsBackCold(t *testing.T) {
+	topo, err := topology.NewMesh(4, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	warm := NewSolver(topo, Options{Mode: PerCommodity})
+	warm.WarmStart = true
+	for trial := 0; trial < 8; trial++ {
+		cs := randomCommodities(rng, topo.N(), 2+trial%3)
+		w, err := warm.SolveMCF1(cs)
+		if err != nil {
+			t.Fatalf("trial %d warm: %v", trial, err)
+		}
+		c, err := SolveMCF1(topo, cs, Options{Mode: PerCommodity})
+		if err != nil {
+			t.Fatalf("trial %d cold: %v", trial, err)
+		}
+		if w.Feasible != c.Feasible || math.Abs(w.Objective-c.Objective) > 1e-7*(1+math.Abs(c.Objective)) {
+			t.Fatalf("trial %d: warm %+v cold %+v", trial, w.Objective, c.Objective)
+		}
+		if len(w.Flows) != len(c.Flows) {
+			t.Fatalf("trial %d: flow shapes differ", trial)
+		}
+	}
+}
