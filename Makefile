@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate experiments
+.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,29 @@ bench-gate:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Public packages whose go doc surface is pinned by api/nocmap.golden.txt.
+API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore
+
+# Diff the public API (go doc -all) against the committed golden dump, so
+# accidental surface changes fail CI; regenerate intentionally with
+# `make api-update`.
+apicheck:
+	@for p in $(API_PKGS); do $(GO) doc -all $$p; done > .api.out
+	@diff -u api/nocmap.golden.txt .api.out \
+		|| (echo "FAIL: public API drifted from api/nocmap.golden.txt (run 'make api-update' if intentional)"; rm -f .api.out; exit 1)
+	@rm -f .api.out
+	@echo "api surface OK"
+
+api-update:
+	@mkdir -p api
+	@for p in $(API_PKGS); do $(GO) doc -all $$p; done > api/nocmap.golden.txt
+	@echo "wrote api/nocmap.golden.txt"
+
+# Fail when a binary or example bypasses the public API: everything under
+# cmd/ and examples/ must import repro/nocmap..., never repro/internal/...
+importgate:
+	@if grep -rn '"repro/internal/' cmd examples; then \
+		echo "FAIL: cmd/ and examples/ must use the public nocmap API, not repro/internal"; exit 1; \
+	fi
+	@echo "import gate OK"

@@ -186,7 +186,7 @@ func BenchmarkMapSinglePathSwapDelta(b *testing.B) {
 	p := table2Problem(b, 1)
 	m := p.Initialize()
 	m.CommCost() // warm the edge cache
-	n := p.Topo.N()
+	n := p.Topo().N()
 	b.ResetTimer()
 	b.ReportAllocs()
 	sink := 0.0
@@ -235,7 +235,7 @@ func BenchmarkMCF2VOPD(b *testing.B) {
 	cs := p.Commodities(m)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := mcf.SolveMCF2(p.Topo, cs, mcf.Options{Mode: mcf.Aggregate})
+		r, err := mcf.SolveMCF2(p.Topo(), cs, mcf.Options{Mode: mcf.Aggregate})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -326,7 +326,7 @@ func BenchmarkMCF2VOPDSolverReuse(b *testing.B) {
 	p := vopdProblem(b)
 	m := p.Initialize()
 	cs := p.Commodities(m)
-	s := mcf.NewSolver(p.Topo, mcf.Options{Mode: mcf.Aggregate})
+	s := mcf.NewSolver(p.Topo(), mcf.Options{Mode: mcf.Aggregate})
 	s.SkipFlows = true
 	b.ResetTimer()
 	b.ReportAllocs()

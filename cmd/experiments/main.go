@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/expt"
+	"repro/nocmap/experiments"
 )
 
 func main() {
@@ -23,60 +23,60 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU); results are identical across settings")
 	flag.Parse()
 
-	expt.Workers = *workers
+	experiments.SetWorkers(*workers)
 
 	all := !*fig3 && !*fig4 && !*table1 && !*table2 && !*fig5c && !*table3 && !*ext
 
-	var fig3Rows []expt.Fig3Row
-	var fig4Rows []expt.Fig4Row
+	var fig3Rows []experiments.Fig3Row
+	var fig4Rows []experiments.Fig4Row
 	var err error
 
 	if all || *fig3 || *table1 {
-		if fig3Rows, err = expt.Fig3(); err != nil {
+		if fig3Rows, err = experiments.Fig3(); err != nil {
 			fatal(err)
 		}
 		if all || *fig3 {
-			fmt.Println(expt.FormatFig3(fig3Rows))
+			fmt.Println(experiments.FormatFig3(fig3Rows))
 		}
 	}
 	if all || *fig4 || *table1 {
-		if fig4Rows, err = expt.Fig4(); err != nil {
+		if fig4Rows, err = experiments.Fig4(); err != nil {
 			fatal(err)
 		}
 		if all || *fig4 {
-			fmt.Println(expt.FormatFig4(fig4Rows))
+			fmt.Println(experiments.FormatFig4(fig4Rows))
 		}
 	}
 	if all || *table1 {
-		fmt.Println(expt.FormatTable1(expt.Table1(fig3Rows, fig4Rows)))
+		fmt.Println(experiments.FormatTable1(experiments.Table1(fig3Rows, fig4Rows)))
 	}
 	if all || *table2 {
-		rows, err := expt.Table2(expt.DefaultTable2Config())
+		rows, err := experiments.Table2(experiments.DefaultTable2Config())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(expt.FormatTable2(rows))
+		fmt.Println(experiments.FormatTable2(rows))
 	}
 	if all || *fig5c {
-		points, err := expt.Fig5c(expt.DefaultFig5cConfig())
+		points, err := experiments.Fig5c(experiments.DefaultFig5cConfig())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(expt.FormatFig5c(points))
+		fmt.Println(experiments.FormatFig5c(points))
 	}
 	if all || *table3 {
-		d, err := expt.Table3()
+		d, err := experiments.Table3()
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(expt.FormatTable3(d))
+		fmt.Println(experiments.FormatTable3(d))
 	}
 	if all || *ext {
-		rows, err := expt.Extension(expt.DefaultExtensionConfig())
+		rows, err := experiments.Extension(experiments.DefaultExtensionConfig())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(expt.FormatExtension(rows))
+		fmt.Println(experiments.FormatExtension(rows))
 	}
 }
 

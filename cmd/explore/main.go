@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/cli"
-	"repro/internal/explore"
+	"repro/nocmap"
+	"repro/nocmap/explore"
 )
 
 func main() {
@@ -25,7 +25,7 @@ func main() {
 	split := flag.Bool("split", false, "judge feasibility with split-traffic routing")
 	flag.Parse()
 
-	a, err := cli.LoadApp(*appSpec)
+	a, err := nocmap.LoadApp(*appSpec)
 	if err != nil {
 		fatal(err)
 	}

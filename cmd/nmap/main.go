@@ -12,34 +12,60 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 
-	"repro/internal/baseline"
-	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/topology"
+	"repro/nocmap"
 )
 
-func main() {
-	appSpec := flag.String("app", "vopd", "application: benchmark name, random:N[:seed], or .json file")
-	meshSpec := flag.String("mesh", "", "mesh dimensions WxH (default: fit the application)")
-	linkBW := flag.Float64("bw", 0, "link bandwidth in MB/s (default: unconstrained)")
-	algo := flag.String("algo", "nmap", "mapping algorithm: nmap, gmap, pmap, pbb")
-	split := flag.String("split", "none", "traffic splitting for NMAP: none, minpaths, allpaths")
-	torus := flag.Bool("torus", false, "use a torus instead of a mesh")
-	dot := flag.Bool("dot", false, "also print the core graph in DOT format")
-	workers := flag.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU); results are identical across settings")
-	flag.Parse()
+// errParse marks flag-parse failures the flag package already reported
+// to stderr, so main must not print them a second time.
+var errParse = errors.New("flag parse error")
 
-	a, err := cli.LoadApp(*appSpec)
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		switch {
+		case errors.Is(err, flag.ErrHelp):
+			return // -h/-help: usage already printed, exit 0
+		case errors.Is(err, errParse):
+			os.Exit(2) // flag package already printed error + usage
+		}
+		fmt.Fprintln(os.Stderr, "nmap:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses the flags and executes one mapping; it is main minus the
+// process plumbing, so the CLI behavior is pinned by golden tests.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nmap", flag.ContinueOnError)
+	appSpec := fs.String("app", "vopd", "application: benchmark name, random:N[:seed], or .json file")
+	meshSpec := fs.String("mesh", "", "mesh dimensions WxH (default: fit the application)")
+	linkBW := fs.Float64("bw", 0, "link bandwidth in MB/s (default: unconstrained)")
+	algo := fs.String("algo", "nmap", "mapping algorithm: nmap, gmap, pmap, pbb")
+	split := fs.String("split", "none", "traffic splitting for NMAP: none, minpaths, allpaths")
+	torus := fs.Bool("torus", false, "use a torus instead of a mesh")
+	dot := fs.Bool("dot", false, "also print the core graph in DOT format")
+	workers := fs.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU); results are identical across settings")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errParse, err)
+	}
+
+	a, err := nocmap.LoadApp(*appSpec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	w, h := a.W, a.H
-	if pw, ph, ok, err := cli.ParseMesh(*meshSpec); err != nil {
-		fatal(err)
+	if pw, ph, ok, err := nocmap.ParseMesh(*meshSpec); err != nil {
+		return err
 	} else if ok {
 		w, h = pw, ph
 	}
@@ -49,85 +75,88 @@ func main() {
 		// an unconstrained network.
 		bw = a.Graph.TotalWeight() * 10
 	}
-	var topo *topology.Topology
+	var topo *nocmap.Topology
 	if *torus {
-		topo, err = topology.NewTorus(w, h, bw)
+		topo, err = nocmap.NewTorus(w, h, bw)
 	} else {
-		topo, err = topology.NewMesh(w, h, bw)
+		topo, err = nocmap.NewMesh(w, h, bw)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	p, err := core.NewProblem(a.Graph, topo)
+	p, err := nocmap.NewProblem(a.Graph, topo)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	p.Workers = *workers
 
-	fmt.Printf("%s on %s, link BW %.0f MB/s\n\n", a.Graph.Name, topo, bw)
+	fmt.Fprintf(out, "%s on %s, link BW %.0f MB/s\n\n", a.Graph.Name, topo, bw)
 	if *dot {
-		fmt.Println(a.Graph.DOT())
+		fmt.Fprintln(out, a.Graph.DOT())
 	}
 
-	var m *core.Mapping
+	opts := []nocmap.Option{nocmap.WithWorkers(*workers)}
 	switch *algo {
-	case "gmap":
-		m = baseline.GMAP(p)
-	case "pmap":
-		m = baseline.PMAP(p)
-	case "pbb":
-		m = baseline.PBB(p, baseline.DefaultPBBConfig())
+	case "gmap", "pmap", "pbb":
+		if *split != "none" {
+			return fmt.Errorf("-split applies to -algo nmap only")
+		}
+		opts = append(opts, nocmap.WithAlgorithm(*algo))
 	case "nmap":
 		switch *split {
 		case "none":
-			res := p.MapSinglePath()
-			m = res.Mapping
-			report(p, m)
-			if !res.Route.Feasible {
-				fmt.Println("WARNING: bandwidth constraints violated under single-path routing")
-			}
-			return
+			opts = append(opts, nocmap.WithAlgorithm("nmap-single"))
 		case "minpaths", "allpaths":
-			mode := core.SplitAllPaths
+			policy := nocmap.SplitAllPaths
 			if *split == "minpaths" {
-				mode = core.SplitMinPaths
+				policy = nocmap.SplitMinPaths
 			}
-			res, err := p.MapWithSplitting(mode)
-			if err != nil {
-				fatal(err)
-			}
-			m = res.Mapping
-			report(p, m)
-			fmt.Printf("split routing cost (total flow): %.0f, slack: %.0f\n",
-				res.Route.Cost, res.Route.Slack)
-			if !res.Route.Feasible {
-				fmt.Println("WARNING: bandwidth constraints not satisfiable even with splitting")
-			}
-			return
+			opts = append(opts, nocmap.WithAlgorithm("nmap-split"), nocmap.WithSplitPolicy(policy))
 		default:
-			fatal(fmt.Errorf("unknown -split %q", *split))
+			return fmt.Errorf("unknown -split %q", *split)
 		}
 	default:
-		fatal(fmt.Errorf("unknown -algo %q", *algo))
+		return fmt.Errorf("unknown -algo %q", *algo)
 	}
-	report(p, m)
+
+	res, err := nocmap.Solve(context.Background(), p, opts...)
+	if err != nil {
+		return err
+	}
+	report(out, p, res)
+	switch res.Routing.Mode {
+	case nocmap.ModeSplitAllPaths, nocmap.ModeSplitMinPaths:
+		cost := res.Cost.Flow
+		if !res.Feasible {
+			cost = math.Inf(1)
+		}
+		fmt.Fprintf(out, "split routing cost (total flow): %.0f, slack: %.0f\n",
+			cost, res.Cost.Slack)
+		if !res.Feasible {
+			fmt.Fprintln(out, "WARNING: bandwidth constraints not satisfiable even with splitting")
+		}
+	default:
+		if *algo == "nmap" && !res.Feasible {
+			fmt.Fprintln(out, "WARNING: bandwidth constraints violated under single-path routing")
+		}
+	}
+	return nil
 }
 
 // report prints the mapping grid and its quality metrics.
-func report(p *core.Problem, m *core.Mapping) {
-	fmt.Println(m)
-	fmt.Printf("communication cost (Eq.7): %.0f hops*MB/s\n", m.CommCost())
-	fmt.Printf("min BW, dimension-ordered: %.0f MB/s\n", p.MinBandwidthXY(m))
-	fmt.Printf("min BW, single min-path:   %.0f MB/s\n", p.MinBandwidthSinglePath(m))
-	if tm, err := p.MinBandwidthSplit(m, core.SplitMinPaths); err == nil {
-		fmt.Printf("min BW, split min paths:   %.0f MB/s\n", tm)
+func report(out io.Writer, p *nocmap.Problem, res *nocmap.Result) {
+	m := res.Mapping()
+	fmt.Fprintln(out, m)
+	fmt.Fprintf(out, "communication cost (Eq.7): %.0f hops*MB/s\n", res.Cost.Comm)
+	if xy, err := p.MinBandwidth(m, nocmap.RouteXY); err == nil {
+		fmt.Fprintf(out, "min BW, dimension-ordered: %.0f MB/s\n", xy)
 	}
-	if ta, err := p.MinBandwidthSplit(m, core.SplitAllPaths); err == nil {
-		fmt.Printf("min BW, split all paths:   %.0f MB/s\n", ta)
+	if sp, err := p.MinBandwidth(m, nocmap.RouteSingleMinPath); err == nil {
+		fmt.Fprintf(out, "min BW, single min-path:   %.0f MB/s\n", sp)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nmap:", err)
-	os.Exit(1)
+	if tm, err := p.MinBandwidth(m, nocmap.RouteSplitMinPaths); err == nil {
+		fmt.Fprintf(out, "min BW, split min paths:   %.0f MB/s\n", tm)
+	}
+	if ta, err := p.MinBandwidth(m, nocmap.RouteSplitAllPaths); err == nil {
+		fmt.Fprintf(out, "min BW, split all paths:   %.0f MB/s\n", ta)
+	}
 }

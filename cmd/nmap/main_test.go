@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden CLI outputs")
+
+// TestGoldenOutputs pins the CLI behavior across the public-API
+// rewiring: one run per algorithm flag, byte-compared against
+// testdata/*.golden. Regenerate intentionally with
+//
+//	go test ./cmd/nmap -run Golden -update-golden
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"nmap-vopd", []string{"-app", "vopd"}},
+		{"gmap-vopd", []string{"-app", "vopd", "-algo", "gmap"}},
+		{"pmap-vopd", []string{"-app", "vopd", "-algo", "pmap"}},
+		{"pbb-vopd", []string{"-app", "vopd", "-algo", "pbb"}},
+		{"nmap-split-dsp", []string{"-app", "dsp", "-algo", "nmap", "-split", "allpaths"}},
+		{"nmap-minpaths-dsp", []string{"-app", "dsp", "-algo", "nmap", "-split", "minpaths"}},
+		{"nmap-workers-vopd", []string{"-app", "vopd", "-workers", "-1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					golden, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestWorkersGoldenMatchesSequential asserts the parallel flag never
+// changes CLI output: both runs must match the same golden file.
+func TestWorkersGoldenMatchesSequential(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-app", "vopd"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "vopd", "-workers", "-1"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("-workers -1 changed the CLI output")
+	}
+}
+
+// TestBadFlags pins the error paths.
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algo", "anneal"},
+		{"-split", "sometimes"},
+		{"-algo", "pbb", "-split", "allpaths"},
+		{"-app", "nosuchapp"},
+		{"-mesh", "4by4"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestInfeasibleWarning pins the single-path warning path without a
+// golden file (the exact mapping may evolve with the engine).
+func TestInfeasibleWarning(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "vopd", "-bw", "250"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "WARNING: bandwidth constraints violated") {
+		t.Fatal("expected the infeasibility warning at 250 MB/s")
+	}
+}

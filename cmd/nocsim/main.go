@@ -10,16 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/cli"
-	"repro/internal/core"
-	"repro/internal/mcf"
-	"repro/internal/noc"
-	"repro/internal/route"
-	"repro/internal/xpipes"
+	"repro/nocmap"
 )
 
 func main() {
@@ -31,43 +27,46 @@ func main() {
 	buf := flag.Int("buf", 0, "input buffer depth in flits (0 = library default; split routing without virtual channels wants >= 2 packets)")
 	flag.Parse()
 
-	a, err := cli.LoadApp(*appSpec)
+	a, err := nocmap.LoadApp(*appSpec)
 	if err != nil {
 		fatal(err)
 	}
-	topo := a.Mesh(1e9)
-	p, err := core.NewProblem(a.Graph, topo)
+	topo, err := nocmap.NewMesh(a.W, a.H, 1e9)
 	if err != nil {
 		fatal(err)
 	}
-	res := p.MapSinglePath()
-	cs := p.Commodities(res.Mapping)
+	p, err := nocmap.NewProblem(a.Graph, topo)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := nocmap.Solve(context.Background(), p)
+	if err != nil {
+		fatal(err)
+	}
 
-	var tab *route.Table
+	var tab *nocmap.RoutingTable
 	switch *routing {
 	case "minp":
-		tab = route.FromSinglePaths(res.Route.Paths)
-	case "xy":
-		tab = route.FromSinglePaths(p.RouteXY(res.Mapping).Paths)
-	case "split":
-		sol, err := mcf.SolveMinCongestion(topo, cs, mcf.Options{Mode: mcf.Aggregate})
-		if err != nil {
+		if tab, err = nocmap.SinglePathTable(res); err != nil {
 			fatal(err)
 		}
-		if tab, err = route.FromFlows(topo, cs, sol.Flows); err != nil {
+	case "xy":
+		tab = nocmap.XYTable(p, res.Mapping())
+	case "split":
+		if tab, err = nocmap.SplitTable(p, res.Mapping(), nocmap.SplitAllPaths); err != nil {
 			fatal(err)
 		}
 	default:
 		fatal(fmt.Errorf("unknown -routing %q", *routing))
 	}
 
-	design, err := xpipes.Compile(p, res.Mapping, tab, xpipes.DefaultLibrary())
+	design, err := nocmap.Compile(p, res.Mapping(), tab, nocmap.DefaultLibrary())
 	if err != nil {
 		fatal(err)
 	}
 	rep := design.Report()
 	fmt.Printf("%s mapped on %s (%s routing)\n", a.Graph.Name, topo, *routing)
-	fmt.Println(res.Mapping)
+	fmt.Println(res.Mapping())
 	fmt.Printf("design: %d switches (%.2f mm2), %d NIs (%.2f mm2), total %.2f mm2\n",
 		rep.Switches, rep.SwitchAreaMM2, rep.NIs, rep.NIAreaMM2, rep.TotalAreaMM2)
 	fmt.Printf("routing tables: %d bits (%.1f%% of buffer bits)\n\n",
@@ -82,7 +81,7 @@ func main() {
 		// virtual channels; two-packet buffers avoid the wedge.
 		cfg.BufferDepth = 2 * cfg.PacketFlits()
 	}
-	st, err := noc.Run(cfg)
+	st, err := nocmap.Simulate(cfg)
 	if err != nil {
 		fatal(err)
 	}

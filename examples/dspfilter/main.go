@@ -6,60 +6,63 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/mcf"
-	"repro/internal/noc"
-	"repro/internal/route"
-	"repro/internal/xpipes"
+	"repro/nocmap"
 )
 
 func main() {
-	app := apps.DSP()
-	mesh := app.Mesh(1e9)
-	problem, err := core.NewProblem(app.Graph, mesh)
+	app, err := nocmap.LoadApp("dsp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh, err := nocmap.NewMesh(app.W, app.H, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app.Graph, mesh)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Map with NMAP and read the Table 3 bandwidth numbers.
-	res := problem.MapSinglePath()
+	res, err := nocmap.Solve(context.Background(), problem)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("DSP mapping on a 3x2 mesh:")
-	fmt.Println(res.Mapping)
-	fmt.Printf("single min-path BW requirement: %.0f MB/s\n", res.Route.MaxLoad)
-	perFlow, err := problem.MinBandwidthPerFlowSplit(res.Mapping, core.SplitAllPaths)
+	fmt.Println(res)
+	fmt.Printf("single min-path BW requirement: %.0f MB/s\n", res.Cost.MaxLoad)
+	perFlow, err := problem.MinBandwidthPerFlow(res.Mapping(), nocmap.SplitAllPaths)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("per-flow BW with splitting:     %.0f MB/s\n\n", perFlow)
 
 	// Instantiate the network from the component library.
-	lib := xpipes.DefaultLibrary()
-	cs := problem.Commodities(res.Mapping)
-	single := route.FromSinglePaths(res.Route.Paths)
-	sol, err := mcf.SolveMinCongestion(mesh, cs, mcf.Options{Mode: mcf.Aggregate})
+	lib := nocmap.DefaultLibrary()
+	single, err := nocmap.SinglePathTable(res)
 	if err != nil {
 		log.Fatal(err)
 	}
-	split, err := route.FromFlows(mesh, cs, sol.Flows)
+	split, err := nocmap.SplitTable(problem, res.Mapping(), nocmap.SplitAllPaths)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	for _, c := range []struct {
 		name  string
-		table *route.Table
+		table *nocmap.RoutingTable
 	}{{"single min-path", single}, {"split-traffic", split}} {
-		design, err := xpipes.Compile(problem, res.Mapping, c.table, lib)
+		design, err := nocmap.Compile(problem, res.Mapping(), c.table, lib)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rep := design.Report()
 		cfg := design.SimConfig(1100, 7) // 1.1 GB/s links, Fig. 5(c) low end
-		st, err := noc.Run(cfg)
+		st, err := nocmap.Simulate(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,48 +1,54 @@
 // Quickstart: map the paper's Video Object Plane Decoder onto a 4x4 mesh
 // with NMAP and inspect the result. This is the smallest end-to-end use
-// of the library: build a core graph, build a topology, run the mapper,
-// read the cost and bandwidth numbers.
+// of the library: load a core graph, build a topology, solve, read the
+// cost and bandwidth numbers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/topology"
+	"repro/nocmap"
 )
 
 func main() {
 	// The VOPD benchmark ships with the library; building your own core
-	// graph is just graph.NewCoreGraph + Connect calls (or graph.ReadJSON).
-	app := apps.VOPD()
-	fmt.Println(app.Graph)
-
-	// A 4x4 mesh with 1 GB/s links comfortably fits VOPD's traffic.
-	mesh, err := topology.NewMesh(4, 4, 1000)
+	// graph is just nocmap.NewCoreGraph + Connect calls (or a JSON file
+	// via nocmap.LoadApp).
+	app, err := nocmap.LoadApp("vopd")
 	if err != nil {
 		log.Fatal(err)
 	}
-	problem, err := core.NewProblem(app.Graph, mesh)
+	fmt.Println(app.Graph)
+
+	// A 4x4 mesh with 1 GB/s links comfortably fits VOPD's traffic.
+	mesh, err := nocmap.NewMesh(4, 4, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app.Graph, mesh)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// NMAP: greedy initialization + pairwise swap refinement with
 	// congestion-aware single minimum-path routing.
-	res := problem.MapSinglePath()
+	res, err := nocmap.Solve(context.Background(), problem)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("NMAP mapping:")
-	fmt.Println(res.Mapping)
-	fmt.Printf("communication cost:   %.0f hops*MB/s\n", res.Mapping.CommCost())
-	fmt.Printf("feasible:             %v\n", res.Route.Feasible)
-	fmt.Printf("hottest link:         %.0f MB/s\n", res.Route.MaxLoad)
+	fmt.Println(res)
+	fmt.Printf("communication cost:   %.0f hops*MB/s\n", res.Cost.Comm)
+	fmt.Printf("feasible:             %v\n", res.Feasible)
+	fmt.Printf("hottest link:         %.0f MB/s\n", res.Cost.MaxLoad)
 
 	// Splitting traffic across all paths cuts the bandwidth requirement.
-	splitBW, err := problem.MinBandwidthSplit(res.Mapping, core.SplitAllPaths)
+	splitBW, err := problem.MinBandwidth(res.Mapping(), nocmap.RouteSplitAllPaths)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("hottest link (split): %.0f MB/s (%.0f%% saved)\n",
-		splitBW, 100*(1-splitBW/res.Route.MaxLoad))
+		splitBW, 100*(1-splitBW/res.Cost.MaxLoad))
 }

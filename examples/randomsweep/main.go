@@ -5,45 +5,53 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"time"
 
-	"repro/internal/apps"
-	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/topology"
+	"repro/nocmap"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU)")
 	flag.Parse()
+	ctx := context.Background()
 	fmt.Printf("%5s %6s %12s %10s %12s %10s %7s\n",
 		"cores", "mesh", "PBB cost", "PBB time", "NMAP cost", "NMAP time", "ratio")
 	for i, n := range []int{25, 35, 45, 55, 65} {
-		a, err := apps.Random(n, 2004+int64(i))
+		a, err := nocmap.RandomApp(n, 2004+int64(i))
 		if err != nil {
 			log.Fatal(err)
 		}
-		mesh, err := topology.NewMesh(a.W, a.H, 1e9)
+		mesh, err := nocmap.NewMesh(a.W, a.H, 1e9)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := core.NewProblem(a.Graph, mesh)
+		p, err := nocmap.NewProblem(a.Graph, mesh)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p.Workers = *workers
 
 		t0 := time.Now()
-		pbb := baseline.PBB(p, baseline.PBBConfig{MaxQueue: 400, MaxExpand: 8000}).CommCost()
+		pbbRes, err := nocmap.Solve(ctx, p,
+			nocmap.WithAlgorithm("pbb"),
+			nocmap.WithPBBBudget(400, 8000),
+			nocmap.WithWorkers(*workers))
+		if err != nil {
+			log.Fatal(err)
+		}
 		pbbTime := time.Since(t0)
 
 		t0 = time.Now()
-		nmap := p.MapSinglePath().Mapping.CommCost()
+		nmapRes, err := nocmap.Solve(ctx, p, nocmap.WithWorkers(*workers))
+		if err != nil {
+			log.Fatal(err)
+		}
 		nmapTime := time.Since(t0)
 
+		pbb, nmap := pbbRes.Cost.Comm, nmapRes.Cost.Comm
 		fmt.Printf("%5d %6s %12.0f %10s %12.0f %10s %7.2f\n",
 			n, fmt.Sprintf("%dx%d", a.W, a.H), pbb, round(pbbTime), nmap, round(nmapTime), pbb/nmap)
 	}

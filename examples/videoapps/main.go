@@ -8,25 +8,25 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/expt"
+	"repro/nocmap/experiments"
 )
 
 func main() {
-	fig3, err := expt.Fig3()
+	fig3, err := experiments.Fig3()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(expt.FormatFig3(fig3))
+	fmt.Print(experiments.FormatFig3(fig3))
 	fmt.Println()
 
-	fig4, err := expt.Fig4()
+	fig4, err := experiments.Fig4()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(expt.FormatFig4(fig4))
+	fmt.Print(experiments.FormatFig4(fig4))
 	fmt.Println()
 
-	fmt.Print(expt.FormatTable1(expt.Table1(fig3, fig4)))
+	fmt.Print(experiments.FormatTable1(experiments.Table1(fig3, fig4)))
 
 	// Highlight the headline claims.
 	var bwSaved, costSaved float64

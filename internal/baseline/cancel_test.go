@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func vopdPBBProblem(t *testing.T) *core.Problem {
+	t.Helper()
+	a := apps.VOPD()
+	topo, err := topology.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPBBCtxPreCancelled asserts a search under an already cancelled
+// context returns promptly with ctx.Err() and a valid, complete mapping
+// (the deepest partial assignment completed greedily).
+func TestPBBCtxPreCancelled(t *testing.T) {
+	p := vopdPBBProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	m, err := PBBCtx(ctx, p, DefaultPBBConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m == nil || !m.Complete() || !m.Valid() {
+		t.Fatal("cancelled PBB must still return a valid complete mapping")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled search took %v, want prompt return", d)
+	}
+}
+
+// TestPBBCtxUncancelledIdentical asserts a live context does not change
+// the explored tree: PBBCtx and PBB return the same mapping.
+func TestPBBCtxUncancelledIdentical(t *testing.T) {
+	p := vopdPBBProblem(t)
+	base := PBB(p, DefaultPBBConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m, err := PBBCtx(ctx, p, DefaultPBBConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < p.App().N(); v++ {
+		if m.NodeOf(v) != base.NodeOf(v) {
+			t.Fatalf("live context moved core %d: %d vs %d", v, m.NodeOf(v), base.NodeOf(v))
+		}
+	}
+}
+
+// TestPBBCtxCancelRaceWorkers cancels concurrently with a parallel-child
+// search; under -race this exercises cancellation against the persistent
+// worker pool. Run by `make race` (matches Race and Workers).
+func TestPBBCtxCancelRaceWorkers(t *testing.T) {
+	p := vopdPBBProblem(t)
+	cfg := DefaultPBBConfig()
+	cfg.Workers = -1
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Microsecond)
+		cancel()
+	}()
+	m, err := PBBCtx(ctx, p, cfg)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if !m.Complete() || !m.Valid() {
+		t.Fatal("mapping invalid after concurrent cancel")
+	}
+}

@@ -19,8 +19,8 @@ import (
 // initialization it breaks all ties toward the lowest IDs and performs no
 // swap refinement.
 func GMAP(p *core.Problem) *core.Mapping {
-	s := p.App.Undirected()
-	t := p.Topo
+	s := p.App().Undirected()
+	t := p.Topo()
 	m := core.NewMapping(p)
 
 	// Seed: heaviest-communication core at the first max-degree node.
@@ -32,7 +32,7 @@ func GMAP(p *core.Problem) *core.Mapping {
 	}
 	mustPlace(m, first, t.MaxDegreeNode())
 
-	for placed := 1; placed < p.App.N(); placed++ {
+	for placed := 1; placed < p.App().N(); placed++ {
 		next, bestComm := -1, -1.0
 		for v := 0; v < s.N(); v++ {
 			if m.NodeOf(v) != -1 {

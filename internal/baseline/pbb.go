@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -34,6 +35,12 @@ type PBBConfig struct {
 	// different equal-bound nodes under truncation, so reproduction runs
 	// keep the legacy queue while large sweeps can opt in for speed.
 	FastQueue bool
+	// OnExpand, when non-nil, is called after each node expansion with
+	// the number of expansions so far, the current queue length and the
+	// incumbent cost (+Inf until the search reaches a complete leaf). It
+	// runs on the search goroutine, so a cheap callback does not perturb
+	// the parallel child evaluation.
+	OnExpand func(expanded, queue int, incumbent float64)
 }
 
 // DefaultPBBConfig mirrors the paper's "ran for a few minutes" setting at
@@ -412,7 +419,7 @@ func newMFScratch(nV int) *mfScratch {
 // an unmapped row actually references it, instead of the historical
 // full free-node scan per (row, column) pair.
 func (e *pbbEngine) evalChild(ms *mfScratch, pa []int32, d int, c float64, u int32) (cost, bound float64) {
-	t := e.p.Topo
+	t := e.p.Topo()
 	cost = c
 	for _, col := range e.nz[d] {
 		j := int(col.j)
@@ -465,14 +472,26 @@ func (e *pbbEngine) evalChild(ms *mfScratch, pa []int32, d int, c float64, u int
 // changing a single explored node relative to the original
 // implementation.
 func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
+	m, _ := PBBCtx(context.Background(), p, cfg)
+	return m
+}
+
+// PBBCtx is PBB under a context: cancelling ctx stops the search between
+// node expansions and returns the best complete leaf found so far — or,
+// when none was reached yet, the deepest partial mapping completed
+// greedily — together with ctx.Err(). The returned mapping is always a
+// valid, complete placement, and an uncancelled run explores exactly the
+// tree PBB explores.
+func PBBCtx(ctx context.Context, p *core.Problem, cfg PBBConfig) (*core.Mapping, error) {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = DefaultPBBConfig().MaxQueue
 	}
 	if cfg.MaxExpand <= 0 {
 		cfg.MaxExpand = DefaultPBBConfig().MaxExpand
 	}
-	s := p.App.Undirected()
-	t := p.Topo
+	cancel := core.NewCanceller(ctx)
+	s := p.App().Undirected()
+	t := p.Topo()
 	nV, nU := s.N(), t.N()
 
 	e := &pbbEngine{p: p, nV: nV, nU: nU, zeroRow: make([]int32, nV)}
@@ -562,7 +581,7 @@ func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 	pa := make([]int32, nV)
 	expanded := 0
 	defer e.stopWorkers()
-	for e.queueLen() > 0 && expanded < cfg.MaxExpand {
+	for e.queueLen() > 0 && expanded < cfg.MaxExpand && !cancel.Cancelled() {
 		sn := e.pop()
 		n := e.nodes[sn]
 		if n.bound >= ubCost {
@@ -596,6 +615,9 @@ func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 			e.expandParallel(pa[:depth], n.cost, depth, ubCost, cfg.MaxQueue)
 		} else {
 			e.expandSequential(pa[:depth], n.cost, depth, ubCost, cfg.MaxQueue)
+		}
+		if cfg.OnExpand != nil {
+			cfg.OnExpand(expanded, e.queueLen(), ubCost)
 		}
 	}
 
@@ -631,13 +653,13 @@ func PBB(p *core.Problem, cfg PBBConfig) *core.Mapping {
 			}
 			mustPlace(m, v, node)
 		}
-		return m
+		return m, ctx.Err()
 	}
 	m := core.NewMapping(p)
 	for i, u := range bestAssign {
 		mustPlace(m, e.order[i], int(u))
 	}
-	return m
+	return m, ctx.Err()
 }
 
 // admitChild reports whether node u may host the next core: it must be
@@ -648,7 +670,7 @@ func (e *pbbEngine) admitChild(u, depth int) bool {
 		return false
 	}
 	if depth == 0 {
-		t := e.p.Topo
+		t := e.p.Topo()
 		x, y := t.XY(u)
 		if x > (t.W-1)/2 || y > (t.H-1)/2 {
 			return false

@@ -18,8 +18,8 @@ import (
 // initialization is that placement distance is measured only to the single
 // strongest neighbor, not communication-weighted over all placed cores.
 func PMAP(p *core.Problem) *core.Mapping {
-	s := p.App.Undirected()
-	t := p.Topo
+	s := p.App().Undirected()
+	t := p.Topo()
 	m := core.NewMapping(p)
 
 	order := make([]int, s.N())

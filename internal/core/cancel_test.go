@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/topology"
+)
+
+func cancelProblem(t *testing.T, workers int) *Problem {
+	t.Helper()
+	a := apps.VOPD()
+	topo, err := topology.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = workers
+	return p
+}
+
+// TestMapSinglePathCtxPreCancelled asserts a run under an already
+// cancelled context returns promptly with ctx.Err() and a valid,
+// complete best-so-far mapping (the greedy initial placement).
+func TestMapSinglePathCtxPreCancelled(t *testing.T) {
+	p := cancelProblem(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := p.MapSinglePathCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Mapping == nil || !res.Mapping.Complete() || !res.Mapping.Valid() {
+		t.Fatal("cancelled run must still return a valid complete mapping")
+	}
+	if res.Route == nil || len(res.Route.Paths) == 0 {
+		t.Fatal("cancelled single-path run must still route the partial mapping")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled run took %v, want prompt return", d)
+	}
+	// The partial result is exactly the initial greedy placement.
+	init := p.Initialize()
+	for v := 0; v < p.app.N(); v++ {
+		if res.Mapping.NodeOf(v) != init.NodeOf(v) {
+			t.Fatalf("pre-cancelled refinement moved core %d", v)
+		}
+	}
+}
+
+// TestMapWithSplittingCtxPreCancelled is the split-traffic variant: the
+// mapping comes back valid, Route is nil (documented) and the error is
+// the context's.
+func TestMapWithSplittingCtxPreCancelled(t *testing.T) {
+	p := cancelProblem(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.MapWithSplittingCtx(ctx, SplitAllPaths)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Mapping == nil || !res.Mapping.Complete() || !res.Mapping.Valid() {
+		t.Fatal("cancelled run must still return a valid complete mapping")
+	}
+	if res.Route != nil {
+		t.Fatal("cancelled split run must not spend MCF solves on routing")
+	}
+}
+
+// TestMapSinglePathCtxDeadline runs under an already-expired deadline
+// (deterministic: its Done channel is closed at construction) and checks
+// the error kind and that the partial result stays valid.
+func TestMapSinglePathCtxDeadline(t *testing.T) {
+	p := cancelProblem(t, 1)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	res, err := p.MapSinglePathCtx(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !res.Mapping.Complete() || !res.Mapping.Valid() {
+		t.Fatal("partial mapping invalid")
+	}
+}
+
+// TestMapSinglePathCtxUncancelledIdentical asserts threading a live
+// (but never cancelled) context changes nothing: the mapping, cost and
+// candidate count match the context-free API bit for bit.
+func TestMapSinglePathCtxUncancelledIdentical(t *testing.T) {
+	base := cancelProblem(t, 1).MapSinglePath()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := cancelProblem(t, 1).MapSinglePathCtx(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Route.Cost != base.Route.Cost || res.Swaps != base.Swaps {
+		t.Fatalf("live context changed the result: cost %v vs %v, swaps %d vs %d",
+			res.Route.Cost, base.Route.Cost, res.Swaps, base.Swaps)
+	}
+	for v := 0; v < len(base.Mapping.nodeOf); v++ {
+		if res.Mapping.NodeOf(v) != base.Mapping.NodeOf(v) {
+			t.Fatalf("live context moved core %d", v)
+		}
+	}
+}
+
+// TestMapSinglePathCtxCancelRace cancels concurrently with a parallel
+// refinement run; under -race this exercises the canceller's publication
+// across sweep workers. Run by `make race` (matches Race).
+func TestMapSinglePathCtxCancelRace(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		p := cancelProblem(t, -1)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(i) * 200 * time.Microsecond)
+			cancel()
+		}()
+		res, err := p.MapSinglePathCtx(ctx)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("unexpected error %v", err)
+		}
+		if !res.Mapping.Complete() || !res.Mapping.Valid() {
+			t.Fatal("partial mapping invalid after concurrent cancel")
+		}
+	}
+}
+
+// TestMapWithSplittingCtxCancelRace is the split-refinement variant of
+// the concurrent-cancellation race test. Run by `make race`.
+func TestMapWithSplittingCtxCancelRace(t *testing.T) {
+	p := cancelProblem(t, -1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	res, err := p.MapWithSplittingCtx(ctx, SplitAllPaths)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if !res.Mapping.Complete() || !res.Mapping.Valid() {
+		t.Fatal("partial mapping invalid after concurrent cancel")
+	}
+}

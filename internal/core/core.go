@@ -7,18 +7,40 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/topology"
 )
 
+// Construction errors of NewProblem. All are wrapped with context, so
+// callers match them with errors.Is.
+var (
+	// ErrNilInput is returned when the application or topology is nil.
+	ErrNilInput = errors.New("nil application or topology")
+	// ErrEmptyApp is returned for an application without cores.
+	ErrEmptyApp = errors.New("empty core graph")
+	// ErrTooManyCores is returned when |V| > |U|: the cores cannot all be
+	// placed on the topology.
+	ErrTooManyCores = errors.New("more cores than topology nodes")
+	// ErrDuplicateCore is returned when two cores share a name; named
+	// lookups (and serialized problems) would be ambiguous.
+	ErrDuplicateCore = errors.New("duplicate core name")
+	// ErrInfeasibleBandwidth is returned when some core's traffic exceeds
+	// what any topology node can carry, so no mapping — even with traffic
+	// splitting — can satisfy Inequality 3.
+	ErrInfeasibleBandwidth = errors.New("core traffic exceeds node bandwidth")
+)
+
 // Problem couples an application core graph with a NoC topology graph.
 type Problem struct {
-	App  *graph.CoreGraph
-	Topo *topology.Topology
+	app  *graph.CoreGraph
+	topo *topology.Topology
 
 	// Workers sets the refinement sweep parallelism: 0 or 1 run the
 	// sweeps sequentially, n > 1 uses a bounded pool of n workers, and
@@ -26,6 +48,12 @@ type Problem struct {
 	// sweeps select winners deterministically by (cost, index), so every
 	// setting produces bit-identical mappings.
 	Workers int
+
+	// OnSweep, when non-nil, is called from the refinement loops after
+	// the initial placement and after each committed outer sweep. It runs
+	// on the calling goroutine between sweeps (never concurrently), so a
+	// cheap callback does not perturb the parallel evaluation.
+	OnSweep func(SweepEvent)
 
 	// edges caches App.Edges() (sorted, and therefore with a fixed
 	// summation order) so hot loops do not re-sort per evaluation. The
@@ -48,31 +76,161 @@ type Problem struct {
 	routePool sync.Pool
 }
 
+// SweepEvent reports refinement progress: the phase ("initialize",
+// "sweep" for single-path refinement, "slack"/"cost" for the two
+// split-refinement phases), the completed outer sweep index, the total
+// sweep count and the best objective value so far (Eq. 7 cost, MCF1
+// slack or MCF2 flow cost depending on the phase; +Inf when no feasible
+// incumbent exists yet).
+type SweepEvent struct {
+	Phase  string
+	Sweep  int
+	Sweeps int
+	Best   float64
+}
+
+// emitSweep invokes the progress callback when one is installed.
+func (p *Problem) emitSweep(phase string, sweep, total int, best float64) {
+	if p.OnSweep != nil {
+		p.OnSweep(SweepEvent{Phase: phase, Sweep: sweep, Sweeps: total, Best: best})
+	}
+}
+
+// App returns the application core graph. It must not be mutated once
+// mapping begins.
+func (p *Problem) App() *graph.CoreGraph { return p.app }
+
+// Topo returns the NoC topology graph. It must not be mutated once
+// mapping begins.
+func (p *Problem) Topo() *topology.Topology { return p.topo }
+
 // appEdges returns the cached sorted edge list of the application graph.
 func (p *Problem) appEdges() []graph.Edge {
-	p.edgesOnce.Do(func() { p.edges = p.App.Edges() })
+	p.edgesOnce.Do(func() { p.edges = p.app.Edges() })
 	return p.edges
 }
 
 // appUndirected returns the cached undirected view S(A,B) of the
 // application graph (the makeundirected() step of the pseudocode).
 func (p *Problem) appUndirected() *graph.Digraph {
-	p.undirOnce.Do(func() { p.undir = p.App.Undirected() })
+	p.undirOnce.Do(func() { p.undir = p.app.Undirected() })
 	return p.undir
 }
 
-// NewProblem validates |V| <= |U| and returns the mapping problem.
+// NewProblem validates the mapping problem and returns it. The checks
+// cover everything that can never work regardless of algorithm: nil or
+// empty inputs (ErrNilInput, ErrEmptyApp), more cores than nodes
+// (ErrTooManyCores), ambiguous duplicate core names (ErrDuplicateCore)
+// and per-core traffic that exceeds the ingress or egress bandwidth of
+// every topology node, which not even all-path splitting can route
+// (ErrInfeasibleBandwidth).
 func NewProblem(app *graph.CoreGraph, topo *topology.Topology) (*Problem, error) {
 	if app == nil || topo == nil {
-		return nil, fmt.Errorf("core: nil application or topology")
-	}
-	if app.N() > topo.N() {
-		return nil, fmt.Errorf("core: %d cores do not fit on %d nodes", app.N(), topo.N())
+		return nil, fmt.Errorf("core: %w", ErrNilInput)
 	}
 	if app.N() == 0 {
-		return nil, fmt.Errorf("core: empty core graph")
+		return nil, fmt.Errorf("core: %w", ErrEmptyApp)
 	}
-	return &Problem{App: app, Topo: topo}, nil
+	if app.N() > topo.N() {
+		return nil, fmt.Errorf("core: %w: %d cores on %d nodes", ErrTooManyCores, app.N(), topo.N())
+	}
+	seen := make(map[string]int, len(app.Cores))
+	for i, name := range app.Cores {
+		if j, ok := seen[name]; ok {
+			return nil, fmt.Errorf("core: %w: %q is both core %d and core %d", ErrDuplicateCore, name, j, i)
+		}
+		seen[name] = i
+	}
+	if err := checkBandwidthFeasible(app, topo); err != nil {
+		return nil, err
+	}
+	return &Problem{app: app, topo: topo}, nil
+}
+
+// checkBandwidthFeasible verifies the necessary capacity condition: every
+// core's total egress (and ingress) traffic must fit within the summed
+// outgoing (incoming) link bandwidth of at least one topology node,
+// because flow conservation forces all of it through whatever node the
+// core lands on. A violation is infeasible for every mapping and every
+// routing, including all-path splitting.
+func checkBandwidthFeasible(app *graph.CoreGraph, topo *topology.Topology) error {
+	n := topo.N()
+	outCap := make([]float64, n)
+	inCap := make([]float64, n)
+	for _, l := range topo.Links() {
+		outCap[l.From] += l.BW
+		inCap[l.To] += l.BW
+	}
+	maxOut, maxIn := 0.0, 0.0
+	for u := 0; u < n; u++ {
+		if outCap[u] > maxOut {
+			maxOut = outCap[u]
+		}
+		if inCap[u] > maxIn {
+			maxIn = inCap[u]
+		}
+	}
+	const eps = 1e-9
+	for v := 0; v < app.N(); v++ {
+		egress, ingress := 0.0, 0.0
+		for _, e := range app.Out(v) {
+			egress += e.Weight
+		}
+		for _, e := range app.In(v) {
+			ingress += e.Weight
+		}
+		if egress > maxOut*(1+eps) {
+			return fmt.Errorf("core: %w: core %q sends %g MB/s but the best node can emit only %g",
+				ErrInfeasibleBandwidth, app.Cores[v], egress, maxOut)
+		}
+		if ingress > maxIn*(1+eps) {
+			return fmt.Errorf("core: %w: core %q receives %g MB/s but the best node can absorb only %g",
+				ErrInfeasibleBandwidth, app.Cores[v], ingress, maxIn)
+		}
+	}
+	return nil
+}
+
+// Canceller adapts a context to solver hot loops: Cancelled() is a
+// single predictable branch when the context can never be cancelled
+// (Done() == nil, e.g. context.Background()), and latches after the
+// first observed cancellation so workers stop re-polling the channel.
+// It is shared by the refinement sweeps and the baseline searches.
+type Canceller struct {
+	ctx  context.Context
+	done <-chan struct{}
+	hit  atomic.Bool
+}
+
+// NewCanceller wraps ctx for cheap polling from solver loops.
+func NewCanceller(ctx context.Context) *Canceller {
+	return &Canceller{ctx: ctx, done: ctx.Done()}
+}
+
+// Cancelled reports whether the context has been cancelled. Safe for
+// concurrent use by sweep workers.
+func (c *Canceller) Cancelled() bool {
+	if c.done == nil {
+		return false
+	}
+	if c.hit.Load() {
+		return true
+	}
+	select {
+	case <-c.done:
+		c.hit.Store(true)
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the context error once cancelled, nil otherwise.
+func (c *Canceller) Err() error {
+	if c.Cancelled() {
+		return c.ctx.Err()
+	}
+	return nil
 }
 
 // Commodities returns the commodity set D of the current problem with

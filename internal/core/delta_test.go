@@ -35,8 +35,8 @@ func randomDeltaProblem(t *testing.T, rng *rand.Rand, cores int, topo *topology.
 func randomMapping(t *testing.T, rng *rand.Rand, p *Problem) *Mapping {
 	t.Helper()
 	m := NewMapping(p)
-	perm := rng.Perm(p.Topo.N())
-	for v := 0; v < p.App.N(); v++ {
+	perm := rng.Perm(p.topo.N())
+	for v := 0; v < p.app.N(); v++ {
 		if err := m.Place(v, perm[v]); err != nil {
 			t.Fatal(err)
 		}
@@ -129,7 +129,7 @@ func TestCopyFromMatchesClone(t *testing.T) {
 	src := randomMapping(t, rng, p)
 	dst := NewMapping(p)
 	dst.CopyFrom(src)
-	for v := 0; v < p.App.N(); v++ {
+	for v := 0; v < p.app.N(); v++ {
 		if dst.NodeOf(v) != src.NodeOf(v) {
 			t.Fatalf("CopyFrom mismatch at core %d", v)
 		}

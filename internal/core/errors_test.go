@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func mesh44(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewMesh(4, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+// TestNewProblemErrors pins the typed, errors.Is-matchable validation
+// failures of NewProblem: nil/empty inputs, too many cores, duplicate
+// core names and per-core traffic no topology node can carry.
+func TestNewProblemErrors(t *testing.T) {
+	t.Run("nil-app", func(t *testing.T) {
+		_, err := NewProblem(nil, mesh44(t))
+		if !errors.Is(err, ErrNilInput) {
+			t.Fatalf("error %v is not ErrNilInput", err)
+		}
+	})
+	t.Run("nil-topology", func(t *testing.T) {
+		_, err := NewProblem(graph.NewCoreGraph("x"), nil)
+		if !errors.Is(err, ErrNilInput) {
+			t.Fatalf("error %v is not ErrNilInput", err)
+		}
+	})
+	t.Run("empty-app", func(t *testing.T) {
+		_, err := NewProblem(graph.NewCoreGraph("empty"), mesh44(t))
+		if !errors.Is(err, ErrEmptyApp) {
+			t.Fatalf("error %v is not ErrEmptyApp", err)
+		}
+	})
+	t.Run("too-many-cores", func(t *testing.T) {
+		g := graph.NewCoreGraph("big")
+		for i := 0; i < 17; i++ {
+			g.AddCore(string(rune('a' + i)))
+		}
+		_, err := NewProblem(g, mesh44(t))
+		if !errors.Is(err, ErrTooManyCores) {
+			t.Fatalf("error %v is not ErrTooManyCores", err)
+		}
+	})
+	t.Run("duplicate-core-name", func(t *testing.T) {
+		g := graph.NewCoreGraph("dup")
+		g.AddCore("cpu")
+		g.AddCore("mem")
+		g.AddCore("cpu")
+		_, err := NewProblem(g, mesh44(t))
+		if !errors.Is(err, ErrDuplicateCore) {
+			t.Fatalf("error %v is not ErrDuplicateCore", err)
+		}
+	})
+	t.Run("infeasible-egress", func(t *testing.T) {
+		// 5000 MB/s out of one core can never leave a node whose four
+		// links carry 1000 MB/s each.
+		g := graph.NewCoreGraph("hot")
+		g.Connect("src", "dst", 5000)
+		_, err := NewProblem(g, mesh44(t))
+		if !errors.Is(err, ErrInfeasibleBandwidth) {
+			t.Fatalf("error %v is not ErrInfeasibleBandwidth", err)
+		}
+	})
+	t.Run("infeasible-ingress", func(t *testing.T) {
+		// Each edge fits on a link, but the sink drinks 4500 MB/s and the
+		// best node absorbs only 4000.
+		g := graph.NewCoreGraph("sink")
+		for _, src := range []string{"a", "b", "c", "d", "e"} {
+			g.Connect(src, "sink", 900)
+		}
+		_, err := NewProblem(g, mesh44(t))
+		if !errors.Is(err, ErrInfeasibleBandwidth) {
+			t.Fatalf("error %v is not ErrInfeasibleBandwidth", err)
+		}
+	})
+	t.Run("tight-but-feasible", func(t *testing.T) {
+		// Exactly at node capacity: must construct (the check is a
+		// necessary condition only and must not over-trigger).
+		g := graph.NewCoreGraph("tight")
+		g.Connect("a", "b", 4000)
+		if _, err := NewProblem(g, mesh44(t)); err != nil {
+			t.Fatalf("tight problem rejected: %v", err)
+		}
+	})
+}

@@ -19,8 +19,8 @@ type Mapping struct {
 func NewMapping(p *Problem) *Mapping {
 	m := &Mapping{
 		prob:   p,
-		nodeOf: make([]int, p.App.N()),
-		coreAt: make([]int, p.Topo.N()),
+		nodeOf: make([]int, p.app.N()),
+		coreAt: make([]int, p.topo.N()),
 	}
 	for i := range m.nodeOf {
 		m.nodeOf[i] = -1
@@ -114,7 +114,7 @@ func (m *Mapping) Valid() bool {
 // the routing actually chosen (all NMAP routings use minimum paths).
 func (m *Mapping) CommCost() float64 {
 	cost := 0.0
-	t := m.prob.Topo
+	t := m.prob.topo
 	for _, e := range m.prob.appEdges() {
 		cost += e.Weight * float64(t.HopDist(m.nodeOf[e.From], m.nodeOf[e.To]))
 	}
@@ -129,8 +129,8 @@ func (m *Mapping) CommCost() float64 {
 // may be empty; edges between the two swapped cores keep their distance
 // (dist(a,b) is symmetric) and contribute nothing.
 func (m *Mapping) SwapDelta(a, b int) float64 {
-	t := m.prob.Topo
-	app := m.prob.App
+	t := m.prob.topo
+	app := m.prob.app
 	ca, cb := m.coreAt[a], m.coreAt[b]
 	delta := 0.0
 	if ca != -1 {
@@ -182,14 +182,14 @@ func (m *Mapping) CopyFrom(src *Mapping) {
 
 // String renders the mesh with core names, row by row.
 func (m *Mapping) String() string {
-	t := m.prob.Topo
+	t := m.prob.topo
 	var b strings.Builder
 	for y := 0; y < t.H; y++ {
 		for x := 0; x < t.W; x++ {
 			v := m.coreAt[t.Node(x, y)]
 			name := "."
 			if v >= 0 {
-				name = m.prob.App.Cores[v]
+				name = m.prob.app.Cores[v]
 			}
 			fmt.Fprintf(&b, "%-14s", name)
 		}

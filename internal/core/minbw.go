@@ -22,11 +22,26 @@ func (p *Problem) MinBandwidthXY(m *Mapping) float64 {
 // solving the min-congestion multi-commodity flow program.
 func (p *Problem) MinBandwidthSplit(m *Mapping, mode SplitMode) (float64, error) {
 	cs := p.Commodities(m)
-	r, err := mcf.SolveMinCongestion(p.Topo, cs, p.mcfOptions(mode, cs))
+	r, err := mcf.SolveMinCongestion(p.topo, cs, p.mcfOptions(mode, cs))
 	if err != nil {
 		return 0, err
 	}
 	return r.Objective, nil
+}
+
+// MinCongestionFlows solves the min-congestion program for mapping m
+// under the splitting mode and returns the translated commodities with
+// the optimal per-commodity link flows — the split-traffic router
+// configuration. It shares the mode-to-restriction translation with
+// RouteSplit and MinBandwidthSplit, so tables derived from it follow
+// exactly the regime those metrics score.
+func (p *Problem) MinCongestionFlows(m *Mapping, mode SplitMode) ([]mcf.Commodity, [][]float64, error) {
+	cs := p.Commodities(m)
+	r, err := mcf.SolveMinCongestion(p.topo, cs, p.mcfOptions(mode, cs))
+	if err != nil {
+		return nil, nil, err
+	}
+	return cs, r.Flows, nil
 }
 
 // MinBandwidthPerFlowSplit reports the per-flow link bandwidth
@@ -47,10 +62,10 @@ func (p *Problem) MinBandwidthPerFlowSplit(m *Mapping, mode SplitMode) (float64,
 	opt := mcf.Options{Mode: mcf.Aggregate}
 	if mode == SplitMinPaths {
 		opt = mcf.Options{Restrict: func(int) []int {
-			return p.Topo.QuadrantLinks(single[0].Src, single[0].Dst)
+			return p.topo.QuadrantLinks(single[0].Src, single[0].Dst)
 		}}
 	}
-	solver := mcf.NewSolver(p.Topo, opt)
+	solver := mcf.NewSolver(p.topo, opt)
 	solver.WarmStart = mode != SplitMinPaths
 	solver.SkipFlows = true
 	worst := 0.0

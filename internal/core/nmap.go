@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 )
 
@@ -10,10 +11,13 @@ import (
 // most with the mapped set is placed on the free node minimizing the
 // partial communication cost. All ties break toward lower IDs so results
 // are deterministic.
+//
+// Initialize is both NMAP's phase one and (paired with plain routing)
+// the greedy placement order of the GMAP-style baselines.
 func (p *Problem) Initialize() *Mapping {
 	s := p.appUndirected() // S(A,B) = makeundirected(G(V,E))
 	m := NewMapping(p)
-	t := p.Topo
+	t := p.topo
 
 	maxs, best := 0, -1.0
 	for v := 0; v < s.N(); v++ {
@@ -26,7 +30,7 @@ func (p *Problem) Initialize() *Mapping {
 		panic("core: initialize failed to seed mapping: " + err.Error())
 	}
 
-	for placed := 1; placed < p.App.N(); placed++ {
+	for placed := 1; placed < p.app.N(); placed++ {
 		// nexts: unmapped core with max communication to mapped cores.
 		nexts, bestComm := -1, -1.0
 		for v := 0; v < s.N(); v++ {
@@ -85,7 +89,13 @@ type SinglePathResult struct {
 	Swaps int
 }
 
-// MapSinglePath implements mappingwithsinglepath(): initialization
+// MapSinglePath is MapSinglePathCtx without cancellation.
+func (p *Problem) MapSinglePath() *SinglePathResult {
+	res, _ := p.MapSinglePathCtx(context.Background())
+	return res
+}
+
+// MapSinglePathCtx implements mappingwithsinglepath(): initialization
 // followed by one full pass of pairwise swap refinement, committing the
 // best mapping after each outer-index sweep (faithful to the pseudocode).
 //
@@ -106,20 +116,28 @@ type SinglePathResult struct {
 // any routing is feasible, so candidate evaluation uses Eq. 7 directly and
 // the (identical) routed result is computed once at the end. This exact
 // shortcut keeps large Table 2 runs fast without changing results.
-func (p *Problem) MapSinglePath() *SinglePathResult {
+//
+// Cancelling ctx stops the refinement between candidate evaluations: the
+// best mapping committed so far (a valid, complete placement — at worst
+// the initial greedy one) is routed and returned together with ctx.Err().
+// An uncancelled run returns a nil error and is bit-identical for every
+// context.
+func (p *Problem) MapSinglePathCtx(ctx context.Context) (*SinglePathResult, error) {
 	placed := p.Initialize()
 	relaxed := p.bandwidthUnconstrained()
 	workers := p.workerCount()
-	n := p.Topo.N()
+	n := p.topo.N()
+	cancel := NewCanceller(ctx)
 
 	curComm := placed.CommCost()
 	bestCost := curComm
 	if !relaxed {
 		bestCost = p.RouteSinglePath(placed).Cost
 	}
+	p.emitSweep("initialize", 0, n, bestCost)
 	sp := newScratchPool(p, placed, workers)
 	swaps := 0
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !cancel.Cancelled(); i++ {
 		iEmpty := placed.coreAt[i] == -1
 		for j := i + 1; j < n; j++ {
 			if !(iEmpty && placed.coreAt[j] == -1) {
@@ -131,6 +149,9 @@ func (p *Problem) MapSinglePath() *SinglePathResult {
 		incumbent := bestCost
 		margin := pruneMargin(curComm)
 		eval := func(ws *sweepWorker, j int) float64 {
+			if cancel.Cancelled() {
+				return math.Inf(1)
+			}
 			m := ws.m
 			if iEmpty && m.coreAt[j] == -1 {
 				return math.Inf(1) // swapping two holes changes nothing
@@ -156,27 +177,23 @@ func (p *Problem) MapSinglePath() *SinglePathResult {
 			curComm = placed.CommCost()
 			sp.sync(placed)
 		}
+		p.emitSweep("sweep", i, n, bestCost)
 	}
 	return &SinglePathResult{
 		Mapping: placed,
 		Route:   p.RouteSinglePath(placed),
 		Swaps:   swaps,
-	}
+	}, cancel.Err()
 }
 
 // bandwidthUnconstrained reports whether every link can carry the entire
 // application traffic, making any minimum-path routing trivially feasible.
 func (p *Problem) bandwidthUnconstrained() bool {
-	total := p.App.TotalWeight()
-	for _, l := range p.Topo.Links() {
+	total := p.app.TotalWeight()
+	for _, l := range p.topo.Links() {
 		if l.BW < total {
 			return false
 		}
 	}
 	return true
 }
-
-// GreedyMapping exposes the initialization phase on its own: it is both
-// NMAP's phase one and (paired with plain routing) the greedy GMAP
-// baseline's placement order.
-func (p *Problem) GreedyMapping() *Mapping { return p.Initialize() }

@@ -18,7 +18,7 @@ import (
 // stays tiny for the hop distances NMAP mappings produce; callers bound
 // it with maxPaths.
 func (p *Problem) enumerateMinPaths(src, dst, maxPaths int) [][]int {
-	t := p.Topo
+	t := p.topo
 	var out [][]int
 	var walk func(at int, links []int)
 	walk = func(at int, links []int) {
@@ -58,12 +58,12 @@ func (p *Problem) OptimalSinglePathRouting(m *Mapping, maxNodes int) *OptRouteRe
 	if maxNodes <= 0 {
 		maxNodes = 5_000_000
 	}
-	t := p.Topo
+	t := p.topo
 	type comm struct {
 		value float64
 		paths [][]int
 	}
-	ds := p.App.Commodities()
+	ds := p.app.Commodities()
 	comms := make([]comm, 0, len(ds))
 	for _, d := range ds {
 		src, dst := m.nodeOf[d.Src], m.nodeOf[d.Dst]

@@ -75,20 +75,21 @@ func TestMapSinglePathParallelIdentical(t *testing.T) {
 func TestMapWithSplittingParallelIdentical(t *testing.T) {
 	cases := []struct {
 		name string
+		app  func() apps.App
 		bw   float64
 		mode SplitMode
 	}{
-		{"dsp-400-allpaths", 400, SplitAllPaths},
-		{"dsp-400-minpaths", 400, SplitMinPaths},
-		{"dsp-150-infeasible", 150, SplitAllPaths},
+		{"dsp-400-allpaths", apps.DSP, 400, SplitAllPaths},
+		{"dsp-400-minpaths", apps.DSP, 400, SplitMinPaths},
+		{"k4-250-infeasible", k4App, 250, SplitAllPaths},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			seq, err := workerProblem(t, apps.DSP(), tc.bw, 1).MapWithSplitting(tc.mode)
+			seq, err := workerProblem(t, tc.app(), tc.bw, 1).MapWithSplitting(tc.mode)
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := workerProblem(t, apps.DSP(), tc.bw, 8).MapWithSplitting(tc.mode)
+			par, err := workerProblem(t, tc.app(), tc.bw, 8).MapWithSplitting(tc.mode)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -125,7 +126,7 @@ func TestMapSinglePathMatchesExhaustiveReference(t *testing.T) {
 		}
 		bestCost := eval(placed)
 		bestMapping := placed.Clone()
-		n := p.Topo.N()
+		n := p.topo.N()
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
 				if placed.coreAt[i] == -1 && placed.coreAt[j] == -1 {

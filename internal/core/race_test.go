@@ -154,7 +154,7 @@ func TestConcurrentRouteSinglePathRace(t *testing.T) {
 			m := base.Clone()
 			res := new(RouteResult)
 			for i := 0; i < 20; i++ {
-				a, b := (g+i)%p.Topo.N(), (g*7+i*3+1)%p.Topo.N()
+				a, b := (g+i)%p.topo.N(), (g*7+i*3+1)%p.topo.N()
 				m.Swap(a, b)
 				p.RouteSinglePathInto(m, res)
 				m.Swap(a, b)

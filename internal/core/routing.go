@@ -45,7 +45,7 @@ type routeScratch struct {
 
 func newRouteScratch(p *Problem) *routeScratch {
 	rs := &routeScratch{}
-	rs.lw.t = p.Topo
+	rs.lw.t = p.topo
 	rs.wfn = rs.lw.weight
 	return rs
 }
@@ -63,7 +63,7 @@ func (p *Problem) putRouteScratch(rs *routeScratch) { p.routePool.Put(rs) }
 // appCommodities returns the cached commodity set D of the application
 // graph (the App must not be mutated once mapping begins).
 func (p *Problem) appCommodities() []graph.Commodity {
-	p.commsOnce.Do(func() { p.comms = p.App.Commodities() })
+	p.commsOnce.Do(func() { p.comms = p.app.Commodities() })
 	return p.comms
 }
 
@@ -97,7 +97,7 @@ func growFloats(buf []float64, n int) []float64 {
 // (every reproduced figure and table was verified unchanged; see
 // graph.DijkstraScratch).
 func (p *Problem) routeSinglePathInto(m *Mapping, rs *routeScratch, res *RouteResult) {
-	t := p.Topo
+	t := p.topo
 	nl := t.NumLinks()
 	loads := growFloats(res.Loads, nl)
 	for i := range loads {

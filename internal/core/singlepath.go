@@ -51,7 +51,7 @@ func (p *Problem) RouteSinglePathInto(m *Mapping, res *RouteResult) *RouteResult
 // returns the result (used for the DPMAP/DGMAP bandwidth comparison of
 // Figure 4). XY routes are minimal, so the cost equals Eq. 7 when feasible.
 func (p *Problem) RouteXY(m *Mapping) *RouteResult {
-	t := p.Topo
+	t := p.topo
 	loads := make([]float64, t.NumLinks())
 	ds := p.appCommodities()
 	paths := make([][]int, len(ds))

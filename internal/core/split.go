@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -36,7 +37,7 @@ func (s SplitMode) String() string {
 func (p *Problem) mcfOptions(mode SplitMode, cs []mcf.Commodity) mcf.Options {
 	if mode == SplitMinPaths {
 		return mcf.Options{Restrict: func(k int) []int {
-			return p.Topo.QuadrantLinks(cs[k].Src, cs[k].Dst)
+			return p.topo.QuadrantLinks(cs[k].Src, cs[k].Dst)
 		}}
 	}
 	return mcf.Options{Mode: mcf.Aggregate}
@@ -66,13 +67,13 @@ func (ws *sweepWorker) splitScratch(p *Problem, mode SplitMode) *splitScratch {
 		opt := func() mcf.Options {
 			if mode == SplitMinPaths {
 				return mcf.Options{Restrict: func(k int) []int {
-					return p.Topo.QuadrantLinks(ss.cs[k].Src, ss.cs[k].Dst)
+					return p.topo.QuadrantLinks(ss.cs[k].Src, ss.cs[k].Dst)
 				}}
 			}
 			return mcf.Options{Mode: mcf.Aggregate}
 		}
-		ss.mcf1 = mcf.NewSolver(p.Topo, opt())
-		ss.mcf2 = mcf.NewSolver(p.Topo, opt())
+		ss.mcf1 = mcf.NewSolver(p.topo, opt())
+		ss.mcf2 = mcf.NewSolver(p.topo, opt())
 		ss.mcf1.SkipFlows = true
 		ss.mcf2.SkipFlows = true
 		ws.mcf = ss
@@ -103,7 +104,7 @@ type SplitRouteResult struct {
 func (p *Problem) RouteSplit(m *Mapping, mode SplitMode) (*SplitRouteResult, error) {
 	cs := p.Commodities(m)
 	opt := p.mcfOptions(mode, cs)
-	r1, err := mcf.SolveMCF1(p.Topo, cs, opt)
+	r1, err := mcf.SolveMCF1(p.topo, cs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -112,10 +113,10 @@ func (p *Problem) RouteSplit(m *Mapping, mode SplitMode) (*SplitRouteResult, err
 		res.Feasible = false
 		res.Cost = math.Inf(1)
 		res.Flows = r1.Flows
-		res.Loads = mcf.LinkLoads(p.Topo.NumLinks(), r1.Flows)
+		res.Loads = mcf.LinkLoads(p.topo.NumLinks(), r1.Flows)
 		return res, nil
 	}
-	r2, err := mcf.SolveMCF2(p.Topo, cs, opt)
+	r2, err := mcf.SolveMCF2(p.topo, cs, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -125,13 +126,13 @@ func (p *Problem) RouteSplit(m *Mapping, mode SplitMode) (*SplitRouteResult, err
 		res.Feasible = false
 		res.Cost = math.Inf(1)
 		res.Flows = r1.Flows
-		res.Loads = mcf.LinkLoads(p.Topo.NumLinks(), r1.Flows)
+		res.Loads = mcf.LinkLoads(p.topo.NumLinks(), r1.Flows)
 		return res, nil
 	}
 	res.Feasible = true
 	res.Cost = r2.Objective
 	res.Flows = r2.Flows
-	res.Loads = mcf.LinkLoads(p.Topo.NumLinks(), r2.Flows)
+	res.Loads = mcf.LinkLoads(p.topo.NumLinks(), r2.Flows)
 	return res, nil
 }
 
@@ -147,7 +148,12 @@ type SplitResult struct {
 	Swaps int
 }
 
-// MapWithSplitting implements mappingwithsplitting(): starting from the
+// MapWithSplitting is MapWithSplittingCtx without cancellation.
+func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
+	return p.MapWithSplittingCtx(context.Background(), mode)
+}
+
+// MapWithSplittingCtx implements mappingwithsplitting(): starting from the
 // greedy initial mapping, pairwise swaps first minimize the MCF1 slack
 // until a bandwidth-feasible mapping appears, then minimize the MCF2 cost.
 // The best mapping is committed after each outer-index sweep, mirroring
@@ -157,10 +163,17 @@ type SplitResult struct {
 // beat the incumbent, and Problem.Workers > 1 spreads the remaining
 // solves across a worker pool with deterministic (value, index) winner
 // selection, keeping results identical to the sequential loop.
-func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
+//
+// Cancelling ctx stops the refinement between MCF candidate solves and
+// returns the best mapping committed so far (a valid, complete placement)
+// together with ctx.Err(); the returned SplitResult carries a nil Route,
+// since evaluating it would cost two more MCF solves. An uncancelled run
+// returns identical results for every context.
+func (p *Problem) MapWithSplittingCtx(ctx context.Context, mode SplitMode) (*SplitResult, error) {
 	placed := p.Initialize()
 	workers := p.workerCount()
-	n := p.Topo.N()
+	n := p.topo.N()
+	cancel := NewCanceller(ctx)
 
 	// The MCF solvers cannot fail on these well-formed programs except
 	// for internal limits. Sweep workers record the lowest-index error
@@ -194,6 +207,9 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 		return err
 	}
 	slackOf := func(ws *sweepWorker, m *Mapping, j int) float64 {
+		if cancel.Cancelled() {
+			return math.Inf(1)
+		}
 		ss := ws.splitScratch(p, mode)
 		cs := p.CommoditiesInto(m, ss.cs)
 		ss.cs = cs
@@ -204,6 +220,9 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 		return r.Objective
 	}
 	costOf := func(ws *sweepWorker, m *Mapping, j int) float64 {
+		if cancel.Cancelled() {
+			return math.Inf(1)
+		}
 		ss := ws.splitScratch(p, mode)
 		cs := p.CommoditiesInto(m, ss.cs)
 		ss.cs = cs
@@ -229,8 +248,13 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 	if err := takeErr(n); err != nil {
 		return nil, err
 	}
+	if satisfied {
+		p.emitSweep("cost", 0, n, bestCost)
+	} else {
+		p.emitSweep("slack", 0, n, bestSlack)
+	}
 	swaps := 0
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !cancel.Cancelled(); i++ {
 		iEmpty := placed.coreAt[i] == -1
 		for j := i + 1; j < n; j++ {
 			if !(iEmpty && placed.coreAt[j] == -1) {
@@ -266,6 +290,7 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 					placed.Swap(i, best.j)
 					sp.sync(placed)
 				}
+				p.emitSweep("slack", i, n, bestSlack)
 				continue
 			}
 			// Transition mid-sweep: the first feasible swap (applied to
@@ -309,6 +334,12 @@ func (p *Problem) MapWithSplitting(mode SplitMode) (*SplitResult, error) {
 		if err := takeErr(n); err != nil {
 			return nil, err
 		}
+		p.emitSweep("cost", i, n, bestCost)
+	}
+	if err := cancel.Err(); err != nil {
+		// Cancelled: the committed mapping is valid but re-deriving its
+		// split routing would cost two more MCF solves, so Route stays nil.
+		return &SplitResult{Mapping: placed, Swaps: swaps}, err
 	}
 	route, err := p.RouteSplit(placed, mode)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/graph"
 	"repro/internal/mcf"
 	"repro/internal/topology"
 )
@@ -12,6 +13,41 @@ import (
 func dspProblem(t *testing.T, bw float64) *Problem {
 	t.Helper()
 	a := apps.DSP()
+	topo, err := topology.NewMesh(a.W, a.H, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(a.Graph, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// k4App is a complete 4-core graph (150 MB/s per directed pair) for a
+// 2x2 mesh. Under any bijective mapping, 8 ordered pairs sit at hop
+// distance 1 and 4 at distance 2, so total link flow is at least
+// 150*(8+8) = 2400 MB/s, while the 8 directed links offer only 8*bw:
+// every mapping is split-infeasible for bw < 300. At bw = 250 the
+// per-core construction check still passes (450 MB/s core egress fits a
+// 2-link node's 500 MB/s), so the infeasibility is only discoverable by
+// the flow programs — exactly what these tests exercise.
+func k4App() apps.App {
+	g := graph.NewCoreGraph("K4")
+	names := []string{"a", "b", "c", "d"}
+	for _, from := range names {
+		for _, to := range names {
+			if from != to {
+				g.Connect(from, to, 150)
+			}
+		}
+	}
+	return apps.App{Graph: g, W: 2, H: 2}
+}
+
+func k4Problem(t *testing.T, bw float64) *Problem {
+	t.Helper()
+	a := k4App()
 	topo, err := topology.NewMesh(a.W, a.H, bw)
 	if err != nil {
 		t.Fatal(err)
@@ -43,14 +79,14 @@ func TestRouteSplitFeasibleMatchesEq7WhenUncongested(t *testing.T) {
 }
 
 func TestRouteSplitInfeasibleReportsSlack(t *testing.T) {
-	p := dspProblem(t, 50) // hopeless: DSP needs 200 per link even split
+	p := k4Problem(t, 250) // hopeless: K4 needs 300 per link even split
 	m := p.Initialize()
 	r, err := p.RouteSplit(m, SplitAllPaths)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Feasible {
-		t.Fatal("50 MB/s links cannot carry the DSP app")
+		t.Fatal("250 MB/s links cannot carry the K4 app")
 	}
 	if r.Slack <= 0 {
 		t.Fatalf("slack = %g, want > 0", r.Slack)
@@ -149,8 +185,8 @@ func TestMapWithSplittingMinPathsKeepsMinimalHops(t *testing.T) {
 			if f <= 1e-6 {
 				continue
 			}
-			lk := p.Topo.Link(l)
-			if p.Topo.HopDist(lk.To, c.Dst) >= p.Topo.HopDist(lk.From, c.Dst) {
+			lk := p.topo.Link(l)
+			if p.topo.HopDist(lk.To, c.Dst) >= p.topo.HopDist(lk.From, c.Dst) {
 				t.Fatalf("commodity %d uses non-minimal link %d->%d", ki, lk.From, lk.To)
 			}
 		}
@@ -164,7 +200,7 @@ func TestSplitFlowsConserve(t *testing.T) {
 		t.Fatal(err)
 	}
 	cs := p.Commodities(res.Mapping)
-	if v := mcf.CheckConservation(p.Topo, cs, res.Route.Flows); v > 1e-4 {
+	if v := mcf.CheckConservation(p.topo, cs, res.Route.Flows); v > 1e-4 {
 		t.Fatalf("conservation violated by %g", v)
 	}
 }

@@ -19,10 +19,10 @@ func coldPerFlowSplit(t *testing.T, p *Problem, m *Mapping, mode SplitMode) floa
 		opt := mcf.Options{Mode: mcf.Aggregate}
 		if mode == SplitMinPaths {
 			opt = mcf.Options{Restrict: func(int) []int {
-				return p.Topo.QuadrantLinks(c.Src, c.Dst)
+				return p.topo.QuadrantLinks(c.Src, c.Dst)
 			}}
 		}
-		r, err := mcf.SolveMinCongestion(p.Topo, single, opt)
+		r, err := mcf.SolveMinCongestion(p.topo, single, opt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -45,8 +45,8 @@ func (md Model) BitEnergy(hops int) float64 {
 // MB/s, so power = sum(bw * 8e6 bits/s * E_bit) * 1e-12 J/pJ * 1e3 mW/W.
 func MappingPower(p *core.Problem, m *core.Mapping, md Model) float64 {
 	pJPerSec := 0.0
-	for _, e := range p.App.Edges() {
-		hops := p.Topo.HopDist(m.NodeOf(e.From), m.NodeOf(e.To))
+	for _, e := range p.App().Edges() {
+		hops := p.Topo().HopDist(m.NodeOf(e.From), m.NodeOf(e.To))
 		pJPerSec += e.Weight * 8e6 * md.BitEnergy(hops)
 	}
 	return pJPerSec * 1e-12 * 1e3

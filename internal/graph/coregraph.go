@@ -59,8 +59,19 @@ func (cg *CoreGraph) CoreID(name string) int {
 }
 
 // Connect adds a directed communication edge between named cores, creating
-// the cores if necessary.
+// the cores if necessary. It panics on an invalid edge (self-loop); use
+// AddFlow when assembling graphs from untrusted input.
 func (cg *CoreGraph) Connect(from, to string, bw float64) {
+	if err := cg.AddFlow(from, to, bw); err != nil {
+		panic(err)
+	}
+}
+
+// AddFlow is Connect returning an error instead of panicking, for
+// callers assembling core graphs from untrusted input: a self-loop
+// (from == to) is rejected, and connecting already-connected cores adds
+// the bandwidths.
+func (cg *CoreGraph) AddFlow(from, to string, bw float64) error {
 	f := cg.CoreID(from)
 	if f < 0 {
 		f = cg.AddCore(from)
@@ -69,7 +80,7 @@ func (cg *CoreGraph) Connect(from, to string, bw float64) {
 	if t < 0 {
 		t = cg.AddCore(to)
 	}
-	cg.MustAddEdge(f, t, bw)
+	return cg.AddEdge(f, t, bw)
 }
 
 // Commodity is one directed communication flow d_k of the paper: an edge of

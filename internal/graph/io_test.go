@@ -62,3 +62,21 @@ func TestReadJSONDefaultName(t *testing.T) {
 		t.Fatalf("name = %q", cg.Name)
 	}
 }
+
+// TestAddFlowErrors pins the error-returning Connect twin: self-loops
+// are rejected without panicking, duplicates accumulate.
+func TestAddFlowErrors(t *testing.T) {
+	g := NewCoreGraph("x")
+	if err := g.AddFlow("cpu", "cpu", 100); err == nil {
+		t.Fatal("self-loop must error")
+	}
+	if err := g.AddFlow("cpu", "mem", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddFlow("cpu", "mem", 50); err != nil {
+		t.Fatal(err)
+	}
+	if w := g.TotalWeight(); w != 150 {
+		t.Fatalf("duplicate flows must accumulate: total %g", w)
+	}
+}

@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestConstructionErrors pins the typed, errors.Is-matchable construction
+// failures of NewMesh/NewTorus.
+func TestConstructionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		w, h int
+		bw   float64
+		want error
+	}{
+		{"zero-width", 0, 4, 100, ErrInvalidDimensions},
+		{"zero-height", 4, 0, 100, ErrInvalidDimensions},
+		{"negative", -1, 4, 100, ErrInvalidDimensions},
+		{"single-node", 1, 1, 100, ErrInvalidDimensions},
+		{"zero-bandwidth", 4, 4, 0, ErrInvalidBandwidth},
+		{"negative-bandwidth", 4, 4, -5, ErrInvalidBandwidth},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, build := range []struct {
+				kind string
+				fn   func(w, h int, bw float64) (*Topology, error)
+			}{{"mesh", NewMesh}, {"torus", NewTorus}} {
+				topo, err := build.fn(tc.w, tc.h, tc.bw)
+				if topo != nil || err == nil {
+					t.Fatalf("%s: expected construction failure", build.kind)
+				}
+				if !errors.Is(err, tc.want) {
+					t.Fatalf("%s: error %v is not %v", build.kind, err, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestConstructionValid asserts the error cases do not over-trigger.
+func TestConstructionValid(t *testing.T) {
+	for _, dims := range [][2]int{{2, 1}, {1, 2}, {4, 4}, {8, 3}} {
+		if _, err := NewMesh(dims[0], dims[1], 100); err != nil {
+			t.Fatalf("mesh %v: %v", dims, err)
+		}
+		if _, err := NewTorus(dims[0], dims[1], 100); err != nil {
+			t.Fatalf("torus %v: %v", dims, err)
+		}
+	}
+}

@@ -5,10 +5,21 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"repro/internal/graph"
+)
+
+// Construction errors of NewMesh/NewTorus. Both are wrapped with the
+// offending values, so callers match them with errors.Is.
+var (
+	// ErrInvalidDimensions is returned for degenerate geometries: either
+	// dimension below 1, or a single-node network.
+	ErrInvalidDimensions = errors.New("invalid dimensions")
+	// ErrInvalidBandwidth is returned for a non-positive link bandwidth.
+	ErrInvalidBandwidth = errors.New("link bandwidth must be positive")
 )
 
 // Kind selects the network family.
@@ -91,10 +102,10 @@ func NewTorus(w, h int, linkBW float64) (*Topology, error) {
 
 func build(kind Kind, w, h int, linkBW float64) (*Topology, error) {
 	if w < 1 || h < 1 || w*h < 2 {
-		return nil, fmt.Errorf("topology: invalid %s dimensions %dx%d", kind, w, h)
+		return nil, fmt.Errorf("topology: %w: %dx%d %s", ErrInvalidDimensions, w, h, kind)
 	}
 	if linkBW <= 0 {
-		return nil, fmt.Errorf("topology: link bandwidth must be positive, got %g", linkBW)
+		return nil, fmt.Errorf("topology: %w, got %g", ErrInvalidBandwidth, linkBW)
 	}
 	t := &Topology{Kind: kind, W: w, H: h}
 	n := w * h

@@ -68,7 +68,7 @@ func Compile(p *core.Problem, m *core.Mapping, table *route.Table, lib Library) 
 		return nil, fmt.Errorf("xpipes: mapping is not a complete bijection")
 	}
 	cs := p.Commodities(m)
-	if err := table.Validate(p.Topo, cs); err != nil {
+	if err := table.Validate(p.Topo(), cs); err != nil {
 		return nil, fmt.Errorf("xpipes: %w", err)
 	}
 	return &Design{Problem: p, Mapping: m, Table: table, Commodities: cs, Lib: lib}, nil
@@ -91,10 +91,10 @@ type Report struct {
 // The paper observes the routing tables cost less than 10% of the buffer
 // bits even with split routing.
 func (d *Design) Report() Report {
-	t := d.Problem.Topo
+	t := d.Problem.Topo()
 	r := Report{
 		Switches: t.N(),
-		NIs:      d.Problem.App.N(),
+		NIs:      d.Problem.App().N(),
 	}
 	r.SwitchAreaMM2 = float64(r.Switches) * d.Lib.Router.AreaMM2
 	r.NIAreaMM2 = float64(r.NIs) * d.Lib.NI.AreaMM2
@@ -114,7 +114,7 @@ func (d *Design) Report() Report {
 // design at the given link bandwidth (MB/s).
 func (d *Design) SimConfig(linkBW float64, seed int64) noc.Config {
 	return noc.Config{
-		Topo:        d.Problem.Topo,
+		Topo:        d.Problem.Topo(),
 		Table:       d.Table,
 		Commodities: d.Commodities,
 		LinkBW:      linkBW,

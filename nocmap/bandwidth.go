@@ -1,0 +1,63 @@
+package nocmap
+
+import (
+	"fmt"
+)
+
+// RoutingMode selects a routing regime for bandwidth sizing.
+type RoutingMode int
+
+const (
+	// RouteXY is deterministic dimension-ordered routing.
+	RouteXY RoutingMode = iota
+	// RouteSingleMinPath is NMAP's congestion-aware single minimum-path
+	// routing.
+	RouteSingleMinPath
+	// RouteSplitMinPaths splits traffic across minimum paths (NMAPTM).
+	RouteSplitMinPaths
+	// RouteSplitAllPaths splits traffic across all paths (NMAPTA).
+	RouteSplitAllPaths
+)
+
+// String names the routing mode.
+func (r RoutingMode) String() string {
+	switch r {
+	case RouteXY:
+		return ModeXY
+	case RouteSingleMinPath:
+		return ModeSingleMinPath
+	case RouteSplitMinPaths:
+		return ModeSplitMinPaths
+	case RouteSplitAllPaths:
+		return ModeSplitAllPaths
+	default:
+		return fmt.Sprintf("RoutingMode(%d)", int(r))
+	}
+}
+
+// MinBandwidth returns the minimum uniform link bandwidth (MB/s) able to
+// carry mapping m's traffic under the given routing mode — the paper's
+// Figure 4 metric.
+func (p *Problem) MinBandwidth(m *Mapping, mode RoutingMode) (float64, error) {
+	eng := p.engine()
+	switch mode {
+	case RouteXY:
+		return eng.MinBandwidthXY(m), nil
+	case RouteSingleMinPath:
+		return eng.MinBandwidthSinglePath(m), nil
+	case RouteSplitMinPaths:
+		return eng.MinBandwidthSplit(m, SplitMinPaths.mode())
+	case RouteSplitAllPaths:
+		return eng.MinBandwidthSplit(m, SplitAllPaths.mode())
+	default:
+		return 0, fmt.Errorf("nocmap: unknown routing mode %d", int(mode))
+	}
+}
+
+// MinBandwidthPerFlow returns the per-flow link bandwidth requirement
+// under ideal splitting: the largest min-congestion value of any single
+// commodity routed alone — the paper's Table 3 "split BW" provisioning
+// metric.
+func (p *Problem) MinBandwidthPerFlow(m *Mapping, policy SplitPolicy) (float64, error) {
+	return p.engine().MinBandwidthPerFlowSplit(m, policy.mode())
+}

@@ -1,0 +1,59 @@
+package nocmap
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSolveCancelled asserts every built-in algorithm under an already
+// cancelled context returns promptly with ctx.Err() and a valid partial
+// result.
+func TestSolveCancelled(t *testing.T) {
+	p := vopdProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []string{"nmap-single", "nmap-split", "pbb"} {
+		t.Run(algo, func(t *testing.T) {
+			start := time.Now()
+			res, err := Solve(ctx, p, WithAlgorithm(algo))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if res == nil || !res.Partial {
+				t.Fatal("cancelled solve must return a partial result")
+			}
+			if m := res.Mapping(); m == nil || !m.Complete() || !m.Valid() {
+				t.Fatal("partial result must carry a valid complete mapping")
+			}
+			if d := time.Since(start); d > 5*time.Second {
+				t.Fatalf("cancelled solve took %v", d)
+			}
+		})
+	}
+	// The instantaneous baselines surface plain ctx.Err() with no result.
+	for _, algo := range []string{"pmap", "gmap"} {
+		if _, err := Solve(ctx, p, WithAlgorithm(algo)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", algo, err)
+		}
+	}
+}
+
+// TestSolveDeadline asserts deadline expiry degrades to a valid partial
+// result (an already-expired deadline keeps the test deterministic).
+func TestSolveDeadline(t *testing.T) {
+	p := vopdProblem(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := Solve(ctx, p, WithAlgorithm("nmap-split"), WithWorkers(-1))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("deadline must yield a partial result")
+	}
+	if m := res.Mapping(); m == nil || !m.Complete() || !m.Valid() {
+		t.Fatal("partial mapping invalid")
+	}
+}

@@ -1,0 +1,60 @@
+// Package nocmap is the public front door to the NoC mapping engine: the
+// NMAP bandwidth-constrained core-to-mesh mapping algorithms of Murali &
+// De Micheli (DATE 2004) together with the PMAP/GMAP/PBB baselines, the
+// multi-commodity-flow split-routing programs, the ×pipes component
+// library and the cycle-accurate wormhole simulator.
+//
+// # Solving a mapping problem
+//
+// Build a Problem from an application core graph and a topology, then
+// call Solve:
+//
+//	app := nocmap.NewCoreGraph("my-soc")
+//	app.Connect("cpu", "mem", 400) // MB/s
+//	app.Connect("mem", "dsp", 120)
+//	mesh, _ := nocmap.NewMesh(2, 2, 1000)
+//	problem, err := nocmap.NewProblem(app, mesh)
+//	if err != nil { ... }
+//	res, err := nocmap.Solve(ctx, problem,
+//		nocmap.WithAlgorithm("nmap-single"),
+//		nocmap.WithWorkers(-1))
+//
+// Solve is governed by functional options: WithAlgorithm selects a
+// registered mapper ("nmap-single" is the default), WithWorkers sets the
+// refinement parallelism (results are bit-identical across worker
+// counts), WithSplitPolicy chooses the traffic-splitting regime for
+// "nmap-split", WithBandwidthCap overrides every link's bandwidth,
+// WithFastQueue/WithPBBBudget tune the branch-and-bound baseline and
+// WithProgress streams Events while the solver runs.
+//
+// The context is honored everywhere the engine iterates: refinement
+// sweeps, the PBB search loop and the MCF candidate solves. Cancelling
+// it returns the best valid mapping committed so far together with
+// ctx.Err() — a partial result, never a panic.
+//
+// # Problems and results travel as JSON
+//
+// Problem and Result marshal to stable JSON: a Problem as its core graph
+// plus topology spec, a Result as the assignment, cost breakdown and
+// routing. Problem.MappingOf rebuilds a live Mapping from a deserialized
+// Result's assignment.
+//
+// # The algorithm registry
+//
+// The built-in mappers ("nmap-single", "nmap-split", "pmap", "gmap",
+// "pbb") are entries in a registry; Register adds new ones, and
+// Algorithms lists what is available. A registered AlgorithmFunc
+// receives a Request carrying the problem, the resolved options and
+// helpers (InitialMapping, NewMapping, Finish) so external algorithms
+// compose with the same scoring and result packaging the built-ins use.
+//
+// # Beyond mapping
+//
+// The rest of the paper's flow is exposed on the same types: bandwidth
+// sizing (Problem.MinBandwidth, Problem.MinBandwidthPerFlow), routing
+// tables (SinglePathTable, XYTable, SplitTable), NoC synthesis from the
+// ×pipes library (Compile, Design.Report) and flit-level simulation
+// (Simulate). The reproduction drivers for every figure and table of
+// the paper live in the nocmap/experiments subpackage, and the
+// topology design-space explorer in nocmap/explore.
+package nocmap

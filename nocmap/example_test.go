@@ -1,0 +1,140 @@
+package nocmap_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"repro/nocmap"
+)
+
+// ExampleSolve maps a small hand-built application onto a 2x2 mesh with
+// the default algorithm and reads the cost breakdown.
+func ExampleSolve() {
+	app := nocmap.NewCoreGraph("tiny-soc")
+	app.Connect("cpu", "mem", 400) // MB/s
+	app.Connect("mem", "dsp", 120)
+	app.Connect("dsp", "cpu", 80)
+
+	mesh, err := nocmap.NewMesh(2, 2, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nocmap.Solve(context.Background(), problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible: %v\n", res.Feasible)
+	fmt.Printf("comm cost: %.0f hops*MB/s\n", res.Cost.Comm)
+	fmt.Printf("hottest link: %.0f MB/s\n", res.Cost.MaxLoad)
+	// Output:
+	// feasible: true
+	// comm cost: 680 hops*MB/s
+	// hottest link: 400 MB/s
+}
+
+// ExampleSolve_options selects the split-traffic NMAP variant with
+// options and compares the bandwidth requirement against single-path
+// routing.
+func ExampleSolve_options() {
+	app, err := nocmap.LoadApp("dsp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh, err := nocmap.NewMesh(app.W, app.H, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app.Graph, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nocmap.Solve(context.Background(), problem,
+		nocmap.WithAlgorithm("nmap-split"),
+		nocmap.WithSplitPolicy(nocmap.SplitAllPaths),
+		nocmap.WithWorkers(-1)) // bit-identical to sequential
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := problem.MinBandwidth(res.Mapping(), nocmap.RouteSingleMinPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perFlow, err := problem.MinBandwidthPerFlow(res.Mapping(), nocmap.SplitAllPaths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-path needs %.0f MB/s links\n", single)
+	fmt.Printf("splitting needs %.0f MB/s per flow\n", perFlow)
+	// Output:
+	// single-path needs 600 MB/s links
+	// splitting needs 200 MB/s per flow
+}
+
+// ExampleRegister plugs a custom algorithm into the registry: phase-one
+// greedy placement only, packaged by the Request helpers so it scores
+// exactly like the built-ins.
+func ExampleRegister() {
+	nocmap.Register("greedy-only", func(ctx context.Context, req *nocmap.Request) (*nocmap.Result, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return req.Finish(req.InitialMapping())
+	})
+
+	app, err := nocmap.LoadApp("vopd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh, err := nocmap.NewMesh(app.W, app.H, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app.Graph, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nocmap.Solve(context.Background(), problem,
+		nocmap.WithAlgorithm("greedy-only"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s cost: %.0f\n", res.Algorithm, res.Cost.Comm)
+	// Output:
+	// greedy-only cost: 4011
+}
+
+// ExampleProblem_marshalJSON shows a problem traveling as JSON and
+// solving identically on the other side.
+func ExampleProblem_marshalJSON() {
+	app := nocmap.NewCoreGraph("pair")
+	app.Connect("a", "b", 100)
+	mesh, err := nocmap.NewMesh(2, 1, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := json.Marshal(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var back nocmap.Problem
+	if err := json.Unmarshal(wire, &back); err != nil {
+		log.Fatal(err)
+	}
+	res, err := nocmap.Solve(context.Background(), &back)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cores %v on nodes %v\n", res.Cores, res.Assignment)
+	// Output:
+	// cores [a b] on nodes [0 1]
+}

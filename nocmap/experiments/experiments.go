@@ -1,0 +1,104 @@
+// Package experiments drives the reproductions of every table and
+// figure in the source paper's evaluation (Section 7) through the public
+// nocmap surface. Each experiment returns structured rows plus a text
+// rendering; cmd/experiments and the repository benchmarks call these
+// same functions, so the published numbers are produced by exactly one
+// code path.
+package experiments
+
+import (
+	"repro/internal/expt"
+)
+
+// SetWorkers sets the refinement sweep parallelism of every
+// experiment's NMAP runs: 0 or 1 sequential, n > 1 a bounded pool of n
+// workers, negative one worker per CPU. Parallel sweeps pick winners
+// deterministically, so every reproduced table and figure is
+// byte-identical across settings.
+//
+// The setting is process-global (the reproduction drivers are
+// single-run tools, not a concurrent service API): call it once before
+// running experiments, not concurrently with them. Per-call parallelism
+// for library solves lives in nocmap.WithWorkers.
+func SetWorkers(n int) { expt.Workers = n }
+
+// Row and config types of the individual experiments, aliased from the
+// reproduction driver so both APIs interoperate.
+type (
+	// Fig3Row is the communication cost of every algorithm on one app.
+	Fig3Row = expt.Fig3Row
+	// Fig4Row is the minimum link bandwidth per routing scheme on one app.
+	Fig4Row = expt.Fig4Row
+	// Table1Row is the cost and bandwidth ratio over NMAP for one app.
+	Table1Row = expt.Table1Row
+	// Table2Row compares PBB and NMAP on one random graph size.
+	Table2Row = expt.Table2Row
+	// Table2Config parameterizes the random-graph comparison.
+	Table2Config = expt.Table2Config
+	// Table3Data holds the DSP filter design figures.
+	Table3Data = expt.Table3Data
+	// Fig5cPoint is one latency measurement of the DSP bandwidth sweep.
+	Fig5cPoint = expt.Fig5cPoint
+	// Fig5cConfig parameterizes the DSP latency sweep.
+	Fig5cConfig = expt.Fig5cConfig
+	// ExtensionRow is one row of the extended congestion-knee sweep.
+	ExtensionRow = expt.ExtensionRow
+	// ExtensionConfig parameterizes the extended sweep.
+	ExtensionConfig = expt.ExtensionConfig
+)
+
+// Fig3 reproduces Figure 3: minimum communication cost of the four
+// mapping algorithms on the six video applications.
+func Fig3() ([]Fig3Row, error) { return expt.Fig3() }
+
+// FormatFig3 renders Figure 3 as a table.
+func FormatFig3(rows []Fig3Row) string { return expt.FormatFig3(rows) }
+
+// Fig4 reproduces Figure 4: minimum bandwidth needed per
+// algorithm/routing combination.
+func Fig4() ([]Fig4Row, error) { return expt.Fig4() }
+
+// FormatFig4 renders Figure 4 as a table.
+func FormatFig4(rows []Fig4Row) string { return expt.FormatFig4(rows) }
+
+// Table1 derives Table 1 from the Figure 3 and Figure 4 data.
+func Table1(fig3 []Fig3Row, fig4 []Fig4Row) []Table1Row { return expt.Table1(fig3, fig4) }
+
+// FormatTable1 renders Table 1 with the average row.
+func FormatTable1(rows []Table1Row) string { return expt.FormatTable1(rows) }
+
+// DefaultTable2Config returns the paper's Table 2 scales and seeds.
+func DefaultTable2Config() Table2Config { return expt.DefaultTable2Config() }
+
+// Table2 reproduces Table 2: PBB vs NMAP on random graphs of growing
+// size.
+func Table2(cfg Table2Config) ([]Table2Row, error) { return expt.Table2(cfg) }
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string { return expt.FormatTable2(rows) }
+
+// Table3 reproduces Table 3: the DSP filter design figures.
+func Table3() (*Table3Data, error) { return expt.Table3() }
+
+// FormatTable3 renders Table 3.
+func FormatTable3(d *Table3Data) string { return expt.FormatTable3(d) }
+
+// DefaultFig5cConfig returns the paper's Figure 5(c) bandwidth sweep.
+func DefaultFig5cConfig() Fig5cConfig { return expt.DefaultFig5cConfig() }
+
+// Fig5c reproduces Figure 5(c): DSP packet latency vs link bandwidth
+// under single-path and split-traffic routing.
+func Fig5c(cfg Fig5cConfig) ([]Fig5cPoint, error) { return expt.Fig5c(cfg) }
+
+// FormatFig5c renders Figure 5(c).
+func FormatFig5c(points []Fig5cPoint) string { return expt.FormatFig5c(points) }
+
+// DefaultExtensionConfig extends Figure 5(c) down into the congestion
+// knee.
+func DefaultExtensionConfig() ExtensionConfig { return expt.DefaultExtensionConfig() }
+
+// Extension runs the extended DSP sweep with jitter measurement.
+func Extension(cfg ExtensionConfig) ([]ExtensionRow, error) { return expt.Extension(cfg) }
+
+// FormatExtension renders the extension rows.
+func FormatExtension(rows []ExtensionRow) string { return expt.FormatExtension(rows) }

@@ -1,0 +1,36 @@
+// Package explore is the public face of the paper's concluding
+// extension: design-space exploration for NoC topology selection. It
+// sweeps candidate meshes and tori for an application core graph, maps
+// each with NMAP and reports cost, bandwidth, area and power so the
+// cheapest feasible topology can be selected.
+package explore
+
+import (
+	"repro/internal/explore"
+	"repro/nocmap"
+)
+
+// Aliased sweep types; Design values interoperate with the internal
+// driver and carry their full field sets.
+type (
+	// Candidate names one topology to evaluate.
+	Candidate = explore.Candidate
+	// Design is one evaluated candidate: mapping cost, bandwidth
+	// requirements, area and power.
+	Design = explore.Design
+	// Options configures the sweep.
+	Options = explore.Options
+)
+
+// DefaultCandidates proposes meshes and tori able to hold n cores.
+func DefaultCandidates(n int) []Candidate { return explore.DefaultCandidates(n) }
+
+// Sweep evaluates every candidate topology for the application and
+// returns the designs sorted by communication cost (feasible first).
+func Sweep(app *nocmap.CoreGraph, opt Options) ([]Design, error) { return explore.Sweep(app, opt) }
+
+// Best returns the first feasible design of a sweep.
+func Best(designs []Design) (Design, error) { return explore.Best(designs) }
+
+// Format renders the designs as a table.
+func Format(designs []Design) string { return explore.Format(designs) }

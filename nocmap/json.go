@@ -1,0 +1,83 @@
+package nocmap
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// jsonProblem is the wire form of a Problem: the core graph in the
+// repository's JSON graph format plus a topology spec. Link bandwidth is
+// uniform in the wire form; per-link overrides applied after
+// construction do not round-trip.
+type jsonProblem struct {
+	App      json.RawMessage `json:"app"`
+	Topology jsonTopology    `json:"topology"`
+}
+
+type jsonTopology struct {
+	Kind string  `json:"kind"` // "mesh" or "torus"
+	W    int     `json:"w"`
+	H    int     `json:"h"`
+	BW   float64 `json:"link_bw"` // MB/s, uniform
+}
+
+// MarshalJSON serializes the problem as its application graph plus
+// topology spec.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	if p.app == nil || p.topo == nil {
+		return nil, fmt.Errorf("nocmap: marshaling uninitialized problem: %w", ErrNilInput)
+	}
+	var app bytes.Buffer
+	if err := p.app.WriteJSON(&app); err != nil {
+		return nil, fmt.Errorf("nocmap: serializing app: %w", err)
+	}
+	bw := 0.0
+	if links := p.topo.Links(); len(links) > 0 {
+		bw = links[0].BW
+	}
+	return json.Marshal(jsonProblem{
+		App: json.RawMessage(bytes.TrimSpace(app.Bytes())),
+		Topology: jsonTopology{
+			Kind: p.topo.Kind.String(),
+			W:    p.topo.W,
+			H:    p.topo.H,
+			BW:   bw,
+		},
+	})
+}
+
+// UnmarshalJSON rebuilds the problem, re-running the NewProblem
+// validation on the decoded pair.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var in jsonProblem
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("nocmap: parsing problem: %w", err)
+	}
+	app, err := graph.ReadJSON(bytes.NewReader(in.App))
+	if err != nil {
+		return err
+	}
+	var kind topology.Kind
+	switch in.Topology.Kind {
+	case topology.TorusKind.String():
+		kind = topology.TorusKind
+	case topology.MeshKind.String(), "":
+		kind = topology.MeshKind
+	default:
+		return fmt.Errorf("nocmap: unknown topology kind %q", in.Topology.Kind)
+	}
+	topo, err := buildTopology(kind, in.Topology.W, in.Topology.H, in.Topology.BW)
+	if err != nil {
+		return err
+	}
+	built, err := NewProblem(app, topo)
+	if err != nil {
+		return err
+	}
+	*p = *built
+	return nil
+}

@@ -1,0 +1,111 @@
+package nocmap
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestProblemJSONRoundTrip serializes a problem, rebuilds it and solves
+// both to the same result.
+func TestProblemJSONRoundTrip(t *testing.T) {
+	p := vopdProblem(t)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Problem
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.App().Name != "VOPD" || back.App().N() != p.App().N() {
+		t.Fatalf("app did not round-trip: %s/%d", back.App().Name, back.App().N())
+	}
+	if back.Topology().W != p.Topology().W || back.Topology().H != p.Topology().H ||
+		back.Topology().Kind != p.Topology().Kind {
+		t.Fatal("topology did not round-trip")
+	}
+	a, err := Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), &back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Assignment {
+		if a.Assignment[v] != b.Assignment[v] {
+			t.Fatalf("round-tripped problem solved differently at core %d", v)
+		}
+	}
+}
+
+// TestProblemJSONTorus covers the torus wire form.
+func TestProblemJSONTorus(t *testing.T) {
+	app, err := LoadApp("dsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := NewTorus(3, 3, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(app.Graph, torus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Problem
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Topology().Kind.String() != "torus" || back.Topology().Links()[0].BW != 500 {
+		t.Fatal("torus spec did not round-trip")
+	}
+}
+
+// TestProblemJSONRejectsInvalid asserts deserialization re-runs the
+// construction validation.
+func TestProblemJSONRejectsInvalid(t *testing.T) {
+	bad := `{"app":{"name":"x","edges":[{"from":"a","to":"b","bw":100}]},
+	         "topology":{"kind":"mesh","w":0,"h":4,"link_bw":100}}`
+	var p Problem
+	if err := json.Unmarshal([]byte(bad), &p); err == nil {
+		t.Fatal("invalid topology dims must be rejected")
+	}
+}
+
+// TestResultJSONRoundTrip serializes a result and revives the mapping
+// through Problem.MappingOf.
+func TestResultJSONRoundTrip(t *testing.T) {
+	p := vopdProblem(t)
+	res, err := Solve(context.Background(), p, WithAlgorithm("nmap-split"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Algorithm != res.Algorithm || back.Cost != res.Cost ||
+		back.Feasible != res.Feasible || back.Routing.Mode != res.Routing.Mode {
+		t.Fatalf("result did not round-trip: %+v vs %+v", back, res)
+	}
+	if back.Mapping() != nil {
+		t.Fatal("deserialized result must not carry a live mapping")
+	}
+	m, err := p.MappingOf(back.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CommCost() != res.Cost.Comm {
+		t.Fatalf("revived cost %g != %g", m.CommCost(), res.Cost.Comm)
+	}
+}

@@ -1,0 +1,290 @@
+package nocmap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+func vopdProblem(t *testing.T) *Problem {
+	t.Helper()
+	app, err := LoadApp("vopd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := NewMesh(app.W, app.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(app.Graph, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func engineFor(t *testing.T, p *Problem) *core.Problem {
+	t.Helper()
+	eng, err := core.NewProblem(p.App(), p.Topology())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestSolveMatchesEngine asserts every built-in algorithm produces,
+// through the public front door, exactly the mapping the engine's native
+// entry point produces.
+func TestSolveMatchesEngine(t *testing.T) {
+	ctx := context.Background()
+	p := vopdProblem(t)
+
+	want := map[string][]int{}
+	eng := engineFor(t, p)
+	want["nmap-single"] = assignmentOf(eng.MapSinglePath().Mapping, p.App().N())
+	want["pmap"] = assignmentOf(baseline.PMAP(eng), p.App().N())
+	want["gmap"] = assignmentOf(baseline.GMAP(eng), p.App().N())
+	want["pbb"] = assignmentOf(baseline.PBB(eng, baseline.DefaultPBBConfig()), p.App().N())
+	split, err := eng.MapWithSplitting(core.SplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want["nmap-split"] = assignmentOf(split.Mapping, p.App().N())
+
+	for algo, expect := range want {
+		res, err := Solve(ctx, p, WithAlgorithm(algo))
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Algorithm != algo {
+			t.Fatalf("%s: result stamped %q", algo, res.Algorithm)
+		}
+		if res.Partial {
+			t.Fatalf("%s: uncancelled solve marked partial", algo)
+		}
+		for v, u := range expect {
+			if res.Assignment[v] != u {
+				t.Fatalf("%s: core %d on node %d, engine put it on %d",
+					algo, v, res.Assignment[v], u)
+			}
+		}
+		if m := res.Mapping(); m == nil || !m.Complete() || !m.Valid() {
+			t.Fatalf("%s: result mapping invalid", algo)
+		}
+		if res.Cost.Comm <= 0 || math.IsInf(res.Cost.Comm, 0) {
+			t.Fatalf("%s: degenerate comm cost %g", algo, res.Cost.Comm)
+		}
+	}
+}
+
+// TestSolveWorkersBitIdentical asserts WithWorkers never changes the
+// result.
+func TestSolveWorkersBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	p := vopdProblem(t)
+	seq, err := Solve(ctx, p, WithAlgorithm("nmap-single"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Solve(ctx, p, WithAlgorithm("nmap-single"), WithWorkers(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range seq.Assignment {
+		if seq.Assignment[v] != par.Assignment[v] {
+			t.Fatalf("workers moved core %d", v)
+		}
+	}
+	if seq.Cost != par.Cost {
+		t.Fatalf("workers changed cost: %+v vs %+v", seq.Cost, par.Cost)
+	}
+}
+
+// TestSolveUnknownAlgorithm asserts the typed registry error and that it
+// names the known algorithms.
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	p := vopdProblem(t)
+	_, err := Solve(context.Background(), p, WithAlgorithm("simulated-annealing"))
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+	for _, name := range []string{"nmap-single", "nmap-split", "pmap", "gmap", "pbb"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list %s", err, name)
+		}
+	}
+}
+
+// TestAlgorithmsListsBuiltins asserts the registry reports the built-ins
+// sorted.
+func TestAlgorithmsListsBuiltins(t *testing.T) {
+	names := Algorithms()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range []string{"nmap-single", "nmap-split", "pmap", "gmap", "pbb"} {
+		if !have[n] {
+			t.Fatalf("built-in %s missing from %v", n, names)
+		}
+	}
+}
+
+// TestRegisterCustomAlgorithm exercises the extension surface: a custom
+// algorithm built from the Request helpers solves and packages like a
+// built-in.
+func TestRegisterCustomAlgorithm(t *testing.T) {
+	Register("test-greedy", func(ctx context.Context, req *Request) (*Result, error) {
+		return req.Finish(req.InitialMapping())
+	})
+	res, err := Solve(context.Background(), vopdProblem(t), WithAlgorithm("test-greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "test-greedy" || !res.Feasible {
+		t.Fatalf("custom algorithm result wrong: %+v", res)
+	}
+	if res.Routing == nil || res.Routing.Mode != ModeSingleMinPath {
+		t.Fatal("Finish must score under single min-path routing")
+	}
+}
+
+// TestSolveBandwidthCap asserts the cap reaches the solver (a capped
+// VOPD run under 250 MB/s links cannot be single-path feasible) and
+// leaves the problem's own topology untouched.
+func TestSolveBandwidthCap(t *testing.T) {
+	p := vopdProblem(t)
+	res, err := Solve(context.Background(), p,
+		WithAlgorithm("nmap-single"), WithBandwidthCap(250))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatal("250 MB/s links cannot carry VOPD's 500 MB/s edge on one path")
+	}
+	if got := p.Topology().Links()[0].BW; got != 1e9 {
+		t.Fatalf("cap mutated the problem's topology: %g", got)
+	}
+	if _, err := Solve(context.Background(), p, WithBandwidthCap(-1)); !errors.Is(err, ErrInvalidBandwidth) {
+		t.Fatalf("negative cap: err = %v, want ErrInvalidBandwidth", err)
+	}
+}
+
+// TestSolveSplitPolicies asserts both split regimes run and order as the
+// paper requires (all-path bandwidth <= min-path bandwidth).
+func TestSolveSplitPolicies(t *testing.T) {
+	app, err := LoadApp("dsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := NewMesh(app.W, app.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblem(app.Graph, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	all, err := Solve(ctx, p, WithAlgorithm("nmap-split"), WithSplitPolicy(SplitAllPaths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := Solve(ctx, p, WithAlgorithm("nmap-split"), WithSplitPolicy(SplitMinPaths))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Routing.Mode != ModeSplitAllPaths || min.Routing.Mode != ModeSplitMinPaths {
+		t.Fatalf("modes wrong: %s, %s", all.Routing.Mode, min.Routing.Mode)
+	}
+	if !all.Feasible || !min.Feasible {
+		t.Fatal("DSP with unlimited bandwidth must be split-feasible")
+	}
+	m := all.Mapping()
+	bwAll, err := p.MinBandwidth(m, RouteSplitAllPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwMin, err := p.MinBandwidth(m, RouteSplitMinPaths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bwAll > bwMin+1e-6 {
+		t.Fatalf("all-path split needs %g > min-path %g", bwAll, bwMin)
+	}
+}
+
+// TestSolveProgressEvents asserts WithProgress streams events for the
+// sweep algorithms and PBB.
+func TestSolveProgressEvents(t *testing.T) {
+	p := vopdProblem(t)
+	var events []Event
+	_, err := Solve(context.Background(), p, WithProgress(func(ev Event) {
+		events = append(events, ev)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("expected initialize + sweep events, got %d", len(events))
+	}
+	if events[0].Phase != "initialize" || events[0].Algorithm != "nmap-single" {
+		t.Fatalf("first event wrong: %+v", events[0])
+	}
+	sweeps := 0
+	for _, ev := range events[1:] {
+		if ev.Phase == "sweep" {
+			sweeps++
+		}
+	}
+	if sweeps != p.Topology().N() {
+		t.Fatalf("saw %d sweep events, want %d", sweeps, p.Topology().N())
+	}
+
+	events = nil
+	_, err = Solve(context.Background(), p, WithAlgorithm("pbb"),
+		WithPBBBudget(100, 500), WithProgress(func(ev Event) {
+			events = append(events, ev)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Phase != "expand" {
+		t.Fatalf("PBB progress missing: %d events", len(events))
+	}
+}
+
+// TestMappingOfRoundTrip asserts assignments revive into equivalent
+// mappings and invalid ones are rejected.
+func TestMappingOfRoundTrip(t *testing.T) {
+	p := vopdProblem(t)
+	res, err := Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := p.MappingOf(res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CommCost() != res.Cost.Comm {
+		t.Fatalf("revived mapping cost %g != %g", m.CommCost(), res.Cost.Comm)
+	}
+	if _, err := p.MappingOf([]int{1, 2, 3}); err == nil {
+		t.Fatal("short assignment must be rejected")
+	}
+	bad := append([]int(nil), res.Assignment...)
+	bad[0] = bad[1] // two cores on one node
+	if _, err := p.MappingOf(bad); err == nil {
+		t.Fatal("conflicting assignment must be rejected")
+	}
+}

@@ -1,0 +1,101 @@
+package nocmap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrUnknownAlgorithm is returned by Solve when WithAlgorithm names an
+// algorithm that is not registered; the wrapped error lists what is.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
+
+// Request is what a registered algorithm receives: the problem, the
+// solving topology (the problem's, or a bandwidth-capped copy), the
+// resolved options and helpers to produce well-formed results. The
+// engine behind it already carries the requested worker count and
+// forwards progress events.
+type Request struct {
+	Problem  *Problem
+	Topology *Topology
+	Options  Options
+
+	eng *core.Problem
+}
+
+// NewMapping returns an empty (all-unplaced) mapping to fill with
+// Mapping.Place.
+func (r *Request) NewMapping() *Mapping { return core.NewMapping(r.eng) }
+
+// InitialMapping runs the paper's greedy initialize() placement — the
+// common phase one of NMAP and the greedy baselines — and returns the
+// complete mapping it produces.
+func (r *Request) InitialMapping() *Mapping { return r.eng.Initialize() }
+
+// Emit forwards a progress event to the caller's WithProgress callback,
+// stamping the algorithm name.
+func (r *Request) Emit(ev Event) {
+	if r.Options.Progress != nil {
+		ev.Algorithm = r.Options.Algorithm
+		r.Options.Progress(ev)
+	}
+}
+
+// Finish packages a complete mapping into a Result: it routes the
+// mapping with congestion-aware single minimum-path routing, fills the
+// cost breakdown and stamps the algorithm name. Use it as the last step
+// of a custom algorithm so downstream consumers (JSON, Compile,
+// bandwidth sizing) see the same shape the built-ins produce.
+func (r *Request) Finish(m *Mapping) (*Result, error) {
+	if m == nil || !m.Complete() || !m.Valid() {
+		return nil, fmt.Errorf("nocmap: algorithm %q returned an incomplete or invalid mapping",
+			r.Options.Algorithm)
+	}
+	return r.singlePathResult(m, 0), nil
+}
+
+// AlgorithmFunc computes a mapping for a solve request. It must honor
+// ctx (return the best valid partial result with ctx.Err() when
+// cancelled) and must not retain the request past the call.
+type AlgorithmFunc func(ctx context.Context, req *Request) (*Result, error)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]AlgorithmFunc{}
+)
+
+// Register adds (or replaces) an algorithm under the given name, making
+// it available to Solve via WithAlgorithm. Register panics on an empty
+// name or nil function — registration is a package-init-time affair.
+func Register(name string, fn AlgorithmFunc) {
+	if name == "" || fn == nil {
+		panic("nocmap: Register needs a name and a function")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = fn
+}
+
+// Algorithms returns the sorted names of every registered algorithm.
+func Algorithms() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// lookup resolves a registry name.
+func lookup(name string) (AlgorithmFunc, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	fn, ok := registry[name]
+	return fn, ok
+}

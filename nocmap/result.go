@@ -1,0 +1,147 @@
+package nocmap
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Routing mode names used in Result.Routing.Mode.
+const (
+	ModeSingleMinPath = "single-minpath"
+	ModeSplitMinPaths = "split-minpaths"
+	ModeSplitAllPaths = "split-allpaths"
+	ModeXY            = "xy"
+)
+
+// Cost is the solved mapping's cost breakdown.
+type Cost struct {
+	// Comm is the Eq. 7 communication cost in hops * MB/s — the paper's
+	// primary objective.
+	Comm float64 `json:"comm"`
+	// MaxLoad is the hottest link's bandwidth in MB/s: the minimum
+	// uniform link bandwidth the routing needs.
+	MaxLoad float64 `json:"max_load"`
+	// Flow is the total link flow of the split routing (the MCF2
+	// objective); zero for single-path results.
+	Flow float64 `json:"flow,omitempty"`
+	// Slack is the total bandwidth violation of the split routing (the
+	// MCF1 objective); zero when the constraints hold.
+	Slack float64 `json:"slack,omitempty"`
+}
+
+// Routing is the routed traffic of a Result.
+type Routing struct {
+	// Mode names the routing regime: ModeSingleMinPath, ModeSplitMinPaths
+	// or ModeSplitAllPaths.
+	Mode string `json:"mode"`
+	// Loads is the total bandwidth per link, indexed by link ID.
+	Loads []float64 `json:"loads,omitempty"`
+	// Paths holds, per commodity, the node sequence source..destination
+	// (single-path modes only).
+	Paths [][]int `json:"paths,omitempty"`
+	// Flows holds, per commodity and link, the split bandwidth (split
+	// modes only).
+	Flows [][]float64 `json:"flows,omitempty"`
+}
+
+// Result is the outcome of a Solve call. It serializes to JSON; the
+// assignment (core index -> topology node) plus the originating Problem
+// suffice to rebuild a live Mapping via Problem.MappingOf.
+type Result struct {
+	// Algorithm is the registry name that produced the result.
+	Algorithm string `json:"algorithm"`
+	// Assignment maps core index -> topology node.
+	Assignment []int `json:"assignment"`
+	// Cores names the cores, index-aligned with Assignment, so a
+	// serialized result is interpretable on its own.
+	Cores []string `json:"cores,omitempty"`
+	// Feasible reports whether the routing satisfies every link's
+	// bandwidth (Inequality 3).
+	Feasible bool `json:"feasible"`
+	// Partial marks a result returned early by a cancelled context: the
+	// mapping is valid, but refinement did not run to completion.
+	Partial bool `json:"partial,omitempty"`
+	// Swaps counts the pairwise swap candidates the refinement
+	// considered (NMAP algorithms only).
+	Swaps int  `json:"swaps,omitempty"`
+	Cost  Cost `json:"cost"`
+	// Routing carries the routed traffic; nil when a split solve was
+	// cancelled before its final routing.
+	Routing *Routing `json:"routing,omitempty"`
+
+	mapping *Mapping
+}
+
+// Mapping returns the live mapping handle behind the result (nil on a
+// Result deserialized from JSON — use Problem.MappingOf to revive one).
+func (r *Result) Mapping() *Mapping { return r.mapping }
+
+// String renders the mapped grid with core names, row by row.
+func (r *Result) String() string {
+	if r.mapping == nil {
+		return "<unbound result: use Problem.MappingOf>"
+	}
+	return r.mapping.String()
+}
+
+// assignmentOf flattens a mapping to core index -> node.
+func assignmentOf(m *Mapping, n int) []int {
+	a := make([]int, n)
+	for v := range a {
+		a[v] = m.NodeOf(v)
+	}
+	return a
+}
+
+// newResult fills the algorithm-independent fields.
+func (r *Request) newResult(m *Mapping) *Result {
+	return &Result{
+		Algorithm:  r.Options.Algorithm,
+		Assignment: assignmentOf(m, r.Problem.app.N()),
+		Cores:      append([]string(nil), r.Problem.app.Cores...),
+		mapping:    m,
+	}
+}
+
+// singlePathResult scores a complete mapping under congestion-aware
+// single minimum-path routing.
+func (r *Request) singlePathResult(m *Mapping, swaps int) *Result {
+	route := r.eng.RouteSinglePath(m)
+	res := r.newResult(m)
+	res.Swaps = swaps
+	res.Feasible = route.Feasible
+	res.Cost = Cost{Comm: m.CommCost(), MaxLoad: route.MaxLoad}
+	res.Routing = &Routing{Mode: ModeSingleMinPath, Loads: route.Loads, Paths: route.Paths}
+	return res
+}
+
+// splitResult scores a complete mapping from a split-refinement outcome.
+func (r *Request) splitResult(sr *core.SplitResult, policy SplitPolicy) *Result {
+	res := r.newResult(sr.Mapping)
+	res.Swaps = sr.Swaps
+	res.Cost.Comm = sr.Mapping.CommCost()
+	mode := ModeSplitAllPaths
+	if policy == SplitMinPaths {
+		mode = ModeSplitMinPaths
+	}
+	if sr.Route == nil {
+		// Cancelled before the final routing: the mapping stands alone.
+		res.Partial = true
+		return res
+	}
+	res.Feasible = sr.Route.Feasible
+	res.Cost.Slack = sr.Route.Slack
+	maxLoad := 0.0
+	for _, l := range sr.Route.Loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	res.Cost.MaxLoad = maxLoad
+	if !math.IsInf(sr.Route.Cost, 1) {
+		res.Cost.Flow = sr.Route.Cost
+	}
+	res.Routing = &Routing{Mode: mode, Loads: sr.Route.Loads, Flows: sr.Route.Flows}
+	return res
+}

@@ -1,0 +1,75 @@
+package nocmap
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/route"
+	"repro/internal/xpipes"
+)
+
+// NoC synthesis and simulation types, aliased from the engine so public
+// values keep their full method sets (Design.Report, Design.SimConfig,
+// Table.TableBits, ...).
+type (
+	// RoutingTable fixes, per commodity, the paths (and split weights)
+	// its packets follow; the input to NoC synthesis and simulation.
+	RoutingTable = route.Table
+	// Library is a ×pipes-style NoC component library: router and
+	// network-interface area, delay and sizing parameters.
+	Library = xpipes.Library
+	// Design is a synthesized NoC: topology, mapping and routing bound
+	// to library components, reporting area and overhead figures and
+	// producing simulator configurations.
+	Design = xpipes.Design
+	// DesignReport summarizes a Design's area and table-overhead
+	// figures.
+	DesignReport = xpipes.Report
+	// SimConfig parameterizes one wormhole-simulator run.
+	SimConfig = noc.Config
+	// SimStats is the simulator's measurement output.
+	SimStats = noc.Stats
+)
+
+// DefaultLibrary returns the ×pipes component library with the paper's
+// Table 3 area/delay figures.
+func DefaultLibrary() Library { return xpipes.DefaultLibrary() }
+
+// SinglePathTable builds the routing table of a single-path result (one
+// fixed path per commodity, from Result.Routing.Paths).
+func SinglePathTable(r *Result) (*RoutingTable, error) {
+	if r == nil || r.Routing == nil || len(r.Routing.Paths) == 0 {
+		return nil, fmt.Errorf("nocmap: result carries no single-path routing")
+	}
+	return route.FromSinglePaths(r.Routing.Paths), nil
+}
+
+// XYTable routes mapping m with dimension-ordered routing and returns
+// the resulting table.
+func XYTable(p *Problem, m *Mapping) *RoutingTable {
+	return route.FromSinglePaths(p.engine().RouteXY(m).Paths)
+}
+
+// SplitTable solves the min-congestion multi-commodity flow program for
+// mapping m under the given policy and decomposes the optimal flows into
+// a weighted multi-path routing table — the paper's split-traffic
+// router configuration.
+func SplitTable(p *Problem, m *Mapping, policy SplitPolicy) (*RoutingTable, error) {
+	cs, flows, err := p.engine().MinCongestionFlows(m, policy.mode())
+	if err != nil {
+		return nil, err
+	}
+	return route.FromFlows(p.topo, cs, flows)
+}
+
+// Compile instantiates the NoC for mapping m and routing table tab from
+// the component library: switches and network interfaces are sized,
+// routing tables distributed, and the result reports area and overhead
+// and produces simulator configurations.
+func Compile(p *Problem, m *Mapping, tab *RoutingTable, lib Library) (*Design, error) {
+	return xpipes.Compile(p.engine(), m, tab, lib)
+}
+
+// Simulate runs the flit-level wormhole simulation and returns its
+// latency/throughput statistics.
+func Simulate(cfg SimConfig) (*SimStats, error) { return noc.Run(cfg) }
