@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate
+.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/baseline/ -run 'Race|Parallel|Workers'
+	$(GO) test -race ./nocmap/server/ ./nocmap/client/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem .
@@ -21,17 +22,17 @@ bench:
 # Write the machine-readable kernel bench summary (ns/op, allocs/op) so
 # the perf trajectory is tracked across PRs.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -out BENCH.json
 
 # Bench smoke with allocs/op regression gates on the hot kernels.
 bench-gate:
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json -gate '$(BENCH_GATES)'
+	$(GO) run ./cmd/benchjson -out BENCH.json -gate '$(BENCH_GATES)'
 
 experiments:
 	$(GO) run ./cmd/experiments
 
 # Public packages whose go doc surface is pinned by api/nocmap.golden.txt.
-API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore
+API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore ./nocmap/server ./nocmap/client
 
 # Diff the public API (go doc -all) against the committed golden dump, so
 # accidental surface changes fail CI; regenerate intentionally with
@@ -48,10 +49,22 @@ api-update:
 	@for p in $(API_PKGS); do $(GO) doc -all $$p; done > api/nocmap.golden.txt
 	@echo "wrote api/nocmap.golden.txt"
 
-# Fail when a binary or example bypasses the public API: everything under
-# cmd/ and examples/ must import repro/nocmap..., never repro/internal/...
+# Fail when a binary, example or the service layer bypasses the public
+# API: everything under cmd/ and examples/, plus the nocmapd server and
+# its client, must import repro/nocmap..., never repro/internal/...
 importgate:
-	@if grep -rn '"repro/internal/' cmd examples; then \
-		echo "FAIL: cmd/ and examples/ must use the public nocmap API, not repro/internal"; exit 1; \
+	@if grep -rn '"repro/internal/' cmd examples nocmap/server nocmap/client; then \
+		echo "FAIL: cmd/, examples/, nocmap/server and nocmap/client must use the public nocmap API, not repro/internal"; exit 1; \
 	fi
 	@echo "import gate OK"
+
+# Fail on dead relative links in README.md and docs/ (runs as part of
+# `go test .` too, as TestDocLinks).
+linkcheck:
+	$(GO) test -run TestDocLinks .
+
+# Boot a real nocmapd process and drive the HTTP API end to end with
+# curl: health, a synchronous solve, an async submit/poll round trip
+# and a recorded cache hit. CI runs this.
+server-smoke:
+	bash scripts/server_smoke.sh

@@ -1,11 +1,11 @@
 // Command benchjson runs the repository's kernel benchmarks, parses the
 // `go test -bench` output and writes a machine-readable JSON summary
-// (BENCH_PR2.json by default) so the performance trajectory is tracked
+// (BENCH.json by default) so the performance trajectory is tracked
 // across PRs. With -gate it additionally enforces allocs/op ceilings on
 // named benchmarks and exits nonzero on regression — CI runs it as the
 // bench smoke.
 //
-//	go run ./cmd/benchjson                         # write BENCH_PR2.json
+//	go run ./cmd/benchjson                         # write BENCH.json
 //	go run ./cmd/benchjson -gate 'RouteSinglePath<=0,MapSinglePathSwapDelta<=0,PBBVOPD<=2000'
 package main
 
@@ -50,7 +50,7 @@ const defaultPattern = "BenchmarkMapSinglePathSwapDelta$|BenchmarkRouteSinglePat
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // trimProcSuffix drops the "-N" GOMAXPROCS suffix go test appends to
-// benchmark names, so BENCH_PR2.json entries are comparable across
+// benchmark names, so BENCH.json entries are comparable across
 // machines with different core counts.
 func trimProcSuffix(name string) string {
 	i := strings.LastIndexByte(name, '-')
@@ -68,7 +68,7 @@ func trimProcSuffix(name string) string {
 func main() {
 	pattern := flag.String("bench", defaultPattern, "benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "50x", "go test -benchtime value")
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("out", "BENCH.json", "output JSON path")
 	gate := flag.String("gate", "", "comma-separated allocs/op ceilings, e.g. 'RouteSinglePath<=0,PBBVOPD<=2000'")
 	flag.Parse()
 

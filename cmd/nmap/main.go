@@ -9,6 +9,7 @@
 //	nmap -app dsp -algo nmap -split allpaths -bw 400
 //	nmap -app random:40:3 -algo pbb
 //	nmap -app mydesign.json -mesh 5x4 -dot
+//	nmap -app vopd -remote http://localhost:8537   # solve on a nocmapd server
 package main
 
 import (
@@ -21,6 +22,8 @@ import (
 	"os"
 
 	"repro/nocmap"
+	"repro/nocmap/client"
+	"repro/nocmap/server"
 )
 
 // errParse marks flag-parse failures the flag package already reported
@@ -52,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	torus := fs.Bool("torus", false, "use a torus instead of a mesh")
 	dot := fs.Bool("dot", false, "also print the core graph in DOT format")
 	workers := fs.Int("workers", 0, "parallel refinement sweep workers (0/1 sequential, -1 per CPU); results are identical across settings")
+	remote := fs.String("remote", "", "solve on a nocmapd server at this base URL instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -94,23 +98,23 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, a.Graph.DOT())
 	}
 
-	opts := []nocmap.Option{nocmap.WithWorkers(*workers)}
+	spec := server.SolveSpec{Workers: *workers}
 	switch *algo {
 	case "gmap", "pmap", "pbb":
 		if *split != "none" {
 			return fmt.Errorf("-split applies to -algo nmap only")
 		}
-		opts = append(opts, nocmap.WithAlgorithm(*algo))
+		spec.Algorithm = *algo
 	case "nmap":
 		switch *split {
 		case "none":
-			opts = append(opts, nocmap.WithAlgorithm("nmap-single"))
+			spec.Algorithm = "nmap-single"
 		case "minpaths", "allpaths":
-			policy := nocmap.SplitAllPaths
+			spec.Algorithm = "nmap-split"
+			spec.Split = server.SplitAllPaths
 			if *split == "minpaths" {
-				policy = nocmap.SplitMinPaths
+				spec.Split = server.SplitMinPaths
 			}
-			opts = append(opts, nocmap.WithAlgorithm("nmap-split"), nocmap.WithSplitPolicy(policy))
 		default:
 			return fmt.Errorf("unknown -split %q", *split)
 		}
@@ -118,11 +122,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -algo %q", *algo)
 	}
 
-	res, err := nocmap.Solve(context.Background(), p, opts...)
+	res, m, err := solve(p, spec, *remote)
 	if err != nil {
 		return err
 	}
-	report(out, p, res)
+	report(out, p, m, res)
 	switch res.Routing.Mode {
 	case nocmap.ModeSplitAllPaths, nocmap.ModeSplitMinPaths:
 		cost := res.Cost.Flow
@@ -142,9 +146,31 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// solve runs the mapping in-process, or — with a -remote URL — round
+// trips it through a nocmapd server and revives the mapping from the
+// returned assignment. Both paths yield identical results: the remote
+// solver is the same engine behind the same options.
+func solve(p *nocmap.Problem, spec server.SolveSpec, remote string) (*nocmap.Result, *nocmap.Mapping, error) {
+	if remote != "" {
+		res, err := client.New(remote).Solve(context.Background(), p, spec, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := p.MappingOf(res.Assignment)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, m, nil
+	}
+	res, err := nocmap.Solve(context.Background(), p, spec.Options()...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, res.Mapping(), nil
+}
+
 // report prints the mapping grid and its quality metrics.
-func report(out io.Writer, p *nocmap.Problem, res *nocmap.Result) {
-	m := res.Mapping()
+func report(out io.Writer, p *nocmap.Problem, m *nocmap.Mapping, res *nocmap.Result) {
 	fmt.Fprintln(out, m)
 	fmt.Fprintf(out, "communication cost (Eq.7): %.0f hops*MB/s\n", res.Cost.Comm)
 	if xy, err := p.MinBandwidth(m, nocmap.RouteXY); err == nil {

@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/nocmap/server"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden CLI outputs")
@@ -69,6 +72,44 @@ func TestWorkersGoldenMatchesSequential(t *testing.T) {
 	}
 	if seq.String() != par.String() {
 		t.Fatal("-workers -1 changed the CLI output")
+	}
+}
+
+// TestRemoteGoldenMatchesLocal proves the -remote round trip end to
+// end: solving through a nocmapd instance must print byte-identical
+// output to the in-process run — for the plain, split and baseline
+// algorithms alike (the goldens already pin the local output).
+func TestRemoteGoldenMatchesLocal(t *testing.T) {
+	svc := server.New(server.Config{Pool: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		svc.Close()
+	}()
+	for _, args := range [][]string{
+		{"-app", "vopd"},
+		{"-app", "vopd", "-algo", "pbb"},
+		{"-app", "dsp", "-algo", "nmap", "-split", "minpaths"},
+	} {
+		var local, remote bytes.Buffer
+		if err := run(args, &local); err != nil {
+			t.Fatalf("local run(%v): %v", args, err)
+		}
+		if err := run(append(args, "-remote", ts.URL), &remote); err != nil {
+			t.Fatalf("remote run(%v): %v", args, err)
+		}
+		if local.String() != remote.String() {
+			t.Fatalf("remote output drifted for %v:\n--- local ---\n%s--- remote ---\n%s",
+				args, local.String(), remote.String())
+		}
+	}
+}
+
+// TestRemoteBadURL pins the connection-failure path.
+func TestRemoteBadURL(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-app", "vopd", "-remote", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Fatal("unreachable -remote must error")
 	}
 }
 

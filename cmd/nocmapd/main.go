@@ -1,0 +1,73 @@
+// Command nocmapd serves NoC mapping solves over HTTP/JSON: POST a
+// serialized nocmap problem with solve options, poll or stream the
+// job's progress, fetch the result, cancel mid-solve. It is a thin
+// shell around repro/nocmap/server — a bounded solver pool with
+// same-topology batching, request coalescing and an LRU result cache —
+// which itself sits strictly on the public nocmap API.
+//
+//	nocmapd                          # listen on :8537
+//	nocmapd -addr 127.0.0.1:0        # ephemeral port, printed at startup
+//	nocmapd -pool 8 -cache 512       # 8 solver workers, 512 cached results
+//
+// See docs/SERVER.md for the full API reference with curl examples;
+// cmd/nmap's -remote flag and repro/nocmap/client drive it from Go.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/nocmap/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8537", "listen address (host:port; port 0 picks one)")
+	pool := flag.Int("pool", 0, "solver workers (0: one per CPU)")
+	queue := flag.Int("queue", 256, "max queued jobs before submissions are rejected")
+	cache := flag.Int("cache", 128, "LRU result-cache entries (negative disables)")
+	batch := flag.Int("batch", 8, "max same-topology jobs one worker drains per pass")
+	retention := flag.Int("retention", 1024, "finished jobs kept queryable before the oldest statuses are evicted")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("nocmapd: %v", err)
+	}
+	svc := server.New(server.Config{
+		Pool:      *pool,
+		QueueSize: *queue,
+		CacheSize: *cache,
+		BatchSize: *batch,
+		Retention: *retention,
+	})
+	hs := &http.Server{Handler: svc.Handler()}
+	log.Printf("nocmapd listening on http://%s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("nocmapd: %v", err)
+		}
+	case <-ctx.Done():
+	}
+	log.Printf("nocmapd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("nocmapd: shutdown: %v", err)
+	}
+	svc.Close()
+}

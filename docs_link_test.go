@@ -1,0 +1,56 @@
+package repro
+
+// TestDocLinks fails on dead relative links in the repository's
+// markdown documentation (README.md, ROADMAP.md, docs/), so the docs
+// cannot silently rot as files move. `make linkcheck` runs it alone;
+// `go test .` picks it up in CI.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); targets with spaces or nested parens
+// do not occur in this repository's docs.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinks(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matched, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, matched...)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found — is the test running at the repo root?")
+	}
+	checked := 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue // external links and in-page anchors are out of scope
+			}
+			target, _, _ = strings.Cut(target, "#") // drop fragments
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: dead relative link %q (resolved %s)", file, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked — the matcher may have broken")
+	}
+	t.Logf("checked %d relative links across %d files", checked, len(files))
+}

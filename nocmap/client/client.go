@@ -1,0 +1,326 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/nocmap"
+	"repro/nocmap/server"
+)
+
+// Client talks to a nocmapd instance. The zero value is not usable;
+// construct with New.
+type Client struct {
+	base  string
+	httpc *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying *http.Client (timeouts, proxies,
+// httptest transports). The default is http.DefaultClient.
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.httpc = h } }
+
+// New returns a client for the nocmapd instance at baseURL (e.g.
+// "http://localhost:8537").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), httpc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response: the HTTP status plus the server's
+// typed payload. Match on Payload.Code (the server.Code... constants).
+type APIError struct {
+	StatusCode int
+	Payload    server.ErrorPayload
+}
+
+// Error renders the payload.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("nocmapd: %s (HTTP %d): %s", e.Payload.Code, e.StatusCode, e.Payload.Message)
+}
+
+// do issues one JSON round trip; out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("nocmap/client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("nocmap/client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return fmt.Errorf("nocmap/client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("nocmap/client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeAPIError turns an error response into an *APIError.
+func decodeAPIError(resp *http.Response) error {
+	var envelope struct {
+		Error server.ErrorPayload `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+		envelope.Error = server.ErrorPayload{
+			Code:    server.CodeInternal,
+			Message: fmt.Sprintf("unexpected response status %s", resp.Status),
+		}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Payload: envelope.Error}
+}
+
+// submitBody builds the wire submission for a problem.
+func submitBody(p *nocmap.Problem, spec server.SolveSpec) (server.SubmitRequest, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return server.SubmitRequest{}, fmt.Errorf("nocmap/client: encoding problem: %w", err)
+	}
+	return server.SubmitRequest{Problem: raw, Options: spec}, nil
+}
+
+// Submit enqueues a solve and returns its initial status — state
+// "queued", or "done" immediately on a server-side cache hit.
+func (c *Client) Submit(ctx context.Context, p *nocmap.Problem, spec server.SolveSpec) (server.JobStatus, error) {
+	var st server.JobStatus
+	body, err := submitBody(p, spec)
+	if err != nil {
+		return st, err
+	}
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Cancel asks the server to cancel a job and returns the status after
+// the signal; a running solve may still be unwinding, so follow with
+// Wait (or Status) for the final state and the partial result.
+func (c *Client) Cancel(ctx context.Context, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Algorithms lists the server's registered algorithm names.
+func (c *Client) Algorithms(ctx context.Context) ([]string, error) {
+	var out struct {
+		Algorithms []string `json:"algorithms"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/algorithms", nil, &out)
+	return out.Algorithms, err
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats(ctx context.Context) (server.Stats, error) {
+	var st server.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Events consumes a job's server-sent-event stream, invoking fn (when
+// non-nil) for every progress event, and returns the final status
+// carried by the terminal "done" event.
+func (c *Client) Events(ctx context.Context, id string, fn func(server.JobEvent)) (server.JobStatus, error) {
+	var final server.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return final, fmt.Errorf("nocmap/client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return final, fmt.Errorf("nocmap/client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return final, decodeAPIError(resp)
+	}
+	var event string
+	var data []byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // results can be large
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "":
+			switch event {
+			case "progress":
+				if fn != nil {
+					var ev server.JobEvent
+					if json.Unmarshal(data, &ev) == nil {
+						fn(ev)
+					}
+				}
+			case "done":
+				if err := json.Unmarshal(data, &final); err != nil {
+					return final, fmt.Errorf("nocmap/client: decoding final status: %w", err)
+				}
+				return final, nil
+			}
+			event, data = "", nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, fmt.Errorf("nocmap/client: reading event stream: %w", err)
+	}
+	return final, fmt.Errorf("nocmap/client: event stream ended before the job finished")
+}
+
+// Wait blocks until the job finishes and returns its final status. It
+// rides the SSE stream when the transport supports it and degrades to
+// polling otherwise.
+func (c *Client) Wait(ctx context.Context, id string) (server.JobStatus, error) {
+	st, err := c.Events(ctx, id, nil)
+	if err == nil || ctx.Err() != nil {
+		return st, err
+	}
+	if _, isAPI := err.(*APIError); isAPI {
+		return st, err // the server answered; retrying won't change it
+	}
+	for { // streaming transport unavailable: poll
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// ResultOf decodes a finished status's result. It returns nil when the
+// status carries none (e.g. a job cancelled before it started).
+func ResultOf(st server.JobStatus) (*nocmap.Result, error) {
+	if len(st.Result) == 0 {
+		return nil, nil
+	}
+	var res nocmap.Result
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		return nil, fmt.Errorf("nocmap/client: decoding result: %w", err)
+	}
+	return &res, nil
+}
+
+// Solve submits the problem and blocks until the remote solve finishes,
+// mirroring nocmap.Solve's contract across the wire: onProgress (when
+// non-nil) receives streamed progress, cancelling ctx cancels the
+// remote job and returns the salvaged partial result (Result.Partial)
+// with ctx.Err(), a failed job returns its typed *APIError, and a clean
+// solve returns a Result identical byte for byte to a local
+// nocmap.Solve of the same problem and options.
+func (c *Client) Solve(ctx context.Context, p *nocmap.Problem, spec server.SolveSpec, onProgress func(server.JobEvent)) (*nocmap.Result, error) {
+	st, err := c.Submit(ctx, p, spec)
+	if err != nil {
+		return nil, err
+	}
+	if st.State != server.StateDone { // not a cache hit: wait it out
+		st, err = c.waitOrCancel(ctx, st.ID, onProgress)
+		if err != nil {
+			if ctx.Err() == nil {
+				return nil, err
+			}
+			// Caller cancelled. waitOrCancel fetched the final status
+			// when it could; surface whatever partial result it carries
+			// alongside ctx.Err() — never a fabricated server error.
+			res, derr := ResultOf(st)
+			if derr != nil {
+				return nil, err
+			}
+			return res, err
+		}
+	}
+	res, derr := ResultOf(st)
+	if derr != nil {
+		return nil, derr
+	}
+	switch st.State {
+	case server.StateDone:
+		return res, nil
+	case server.StateCancelled:
+		return res, &APIError{StatusCode: http.StatusConflict, Payload: payloadOf(st)}
+	default:
+		return res, &APIError{StatusCode: http.StatusUnprocessableEntity, Payload: payloadOf(st)}
+	}
+}
+
+// payloadOf extracts a finished status's error payload, synthesizing
+// one when the server omitted it.
+func payloadOf(st server.JobStatus) server.ErrorPayload {
+	if st.Error != nil {
+		return *st.Error
+	}
+	return server.ErrorPayload{Code: server.CodeInternal,
+		Message: fmt.Sprintf("job %s finished %s", st.ID, st.State)}
+}
+
+// waitOrCancel waits for the job; if ctx is cancelled first it cancels
+// the remote job and fetches the final (possibly partial) status with a
+// short grace context.
+func (c *Client) waitOrCancel(ctx context.Context, id string, onProgress func(server.JobEvent)) (server.JobStatus, error) {
+	st, err := c.Events(ctx, id, onProgress)
+	if err == nil {
+		return st, nil
+	}
+	if ctx.Err() == nil {
+		if _, isAPI := err.(*APIError); isAPI {
+			return st, err
+		}
+		return c.Wait(ctx, id) // stream broke: fall back to polling
+	}
+	// Caller cancelled: propagate to the server, then collect the final
+	// status (the partial result) on a grace context.
+	grace, done := context.WithTimeout(context.Background(), 10*time.Second)
+	defer done()
+	if _, cerr := c.Cancel(grace, id); cerr != nil {
+		return st, ctx.Err()
+	}
+	final, werr := c.Wait(grace, id)
+	if werr != nil {
+		return st, ctx.Err()
+	}
+	return final, ctx.Err()
+}

@@ -1,0 +1,222 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/nocmap"
+	"repro/nocmap/client"
+	"repro/nocmap/server"
+)
+
+// start boots a service behind httptest and returns a client on it.
+func start(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	svc := server.New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return svc, client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+}
+
+// vopdProblem builds the paper's VOPD application on its recommended
+// mesh, the way cmd/nmap does.
+func vopdProblem(t *testing.T) *nocmap.Problem {
+	t.Helper()
+	a, err := nocmap.LoadApp("vopd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := nocmap.NewMesh(a.W, a.H, a.Graph.TotalWeight()*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nocmap.NewProblem(a.Graph, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEndToEndVOPD is the acceptance path: a VOPD problem solved
+// through nocmapd via the client must be byte-identical (as JSON) to a
+// local nocmap.Solve of the same problem and options — and the
+// resubmission must be a recorded cache hit.
+func TestEndToEndVOPD(t *testing.T) {
+	svc, c := start(t, server.Config{Pool: 2, CacheSize: 8})
+	p := vopdProblem(t)
+
+	local, err := nocmap.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events int
+	remote, err := c.Solve(context.Background(), p, server.SolveSpec{},
+		func(server.JobEvent) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Fatalf("remote result differs from local solve:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+
+	// The remote assignment revives into a live mapping scoring the
+	// same Eq. 7 cost.
+	m, err := p.MappingOf(remote.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CommCost(); got != local.Cost.Comm {
+		t.Fatalf("revived mapping cost %v != %v", got, local.Cost.Comm)
+	}
+
+	// Resubmission: served from the cache, still byte-identical.
+	again, err := c.Solve(context.Background(), p, server.SolveSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	againJSON, _ := json.Marshal(again)
+	if !bytes.Equal(localJSON, againJSON) {
+		t.Fatal("cached result drifted")
+	}
+	if st := svc.Stats(); st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want the resubmission recorded as a cache hit", st)
+	}
+}
+
+// TestSolveSplitRemote round-trips the split-traffic algorithm, whose
+// Result carries flows instead of paths.
+func TestSolveSplitRemote(t *testing.T) {
+	_, c := start(t, server.Config{Pool: 1})
+	a, err := nocmap.LoadApp("dsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := nocmap.NewMesh(a.W, a.H, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nocmap.NewProblem(a.Graph, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := server.SolveSpec{Algorithm: "nmap-split", Split: server.SplitMinPaths, Workers: -1}
+	local, err := nocmap.Solve(context.Background(), p,
+		nocmap.WithAlgorithm("nmap-split"), nocmap.WithSplitPolicy(nocmap.SplitMinPaths),
+		nocmap.WithWorkers(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Solve(context.Background(), p, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, _ := json.Marshal(local)
+	remoteJSON, _ := json.Marshal(remote)
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Fatalf("split solve differs:\nlocal:  %s\nremote: %s", localJSON, remoteJSON)
+	}
+}
+
+// TestClientCancellation mirrors nocmap.Solve's contract over the wire:
+// cancelling the caller's context cancels the remote job and Solve
+// returns the salvaged partial result with ctx.Err().
+func TestClientCancellation(t *testing.T) {
+	_, c := start(t, server.Config{Pool: 1})
+	p := vopdProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		// Cancel once the first progress event proves the solve started.
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	res, err := c.Solve(ctx, p, server.SolveSpec{Algorithm: "client-test-hold"}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("res = %+v, want the salvaged partial result", res)
+	}
+}
+
+func init() {
+	// client-test-hold parks until cancelled, then surrenders its
+	// initial mapping as a partial result — a deterministic stand-in for
+	// a long solve.
+	nocmap.Register("client-test-hold", func(ctx context.Context, req *nocmap.Request) (*nocmap.Result, error) {
+		res, err := req.Finish(req.InitialMapping())
+		if err != nil {
+			return nil, err
+		}
+		<-ctx.Done()
+		res.Partial = true
+		return res, ctx.Err()
+	})
+}
+
+// TestTypedErrorsSurface pins the client-side error taxonomy.
+func TestTypedErrorsSurface(t *testing.T) {
+	_, c := start(t, server.Config{Pool: 1})
+	p := vopdProblem(t)
+	_, err := c.Solve(context.Background(), p, server.SolveSpec{Algorithm: "anneal"}, nil)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *client.APIError", err)
+	}
+	if apiErr.Payload.Code != server.CodeUnknownAlgorithm {
+		t.Fatalf("code = %q, want %q", apiErr.Payload.Code, server.CodeUnknownAlgorithm)
+	}
+
+	if _, err := c.Status(context.Background(), "job-00009999"); err == nil {
+		t.Fatal("missing job must error")
+	} else if !errors.As(err, &apiErr) || apiErr.Payload.Code != server.CodeNotFound {
+		t.Fatalf("err = %v, want not_found APIError", err)
+	}
+}
+
+// TestSubmitWaitEvents exercises the fine-grained verbs: submit, stream
+// events, read the final status.
+func TestSubmitWaitEvents(t *testing.T) {
+	_, c := start(t, server.Config{Pool: 1})
+	p := vopdProblem(t)
+	st, err := c.Submit(context.Background(), p, server.SolveSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" {
+		t.Fatal("submit returned no job ID")
+	}
+	final, err := c.Wait(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != server.StateDone {
+		t.Fatalf("final state = %q, want done (error %+v)", final.State, final.Error)
+	}
+	res, err := client.ResultOf(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !res.Feasible {
+		t.Fatalf("result = %+v, want a feasible VOPD mapping", res)
+	}
+	if algos, err := c.Algorithms(context.Background()); err != nil || len(algos) == 0 {
+		t.Fatalf("algorithms: %v, %v", algos, err)
+	}
+}

@@ -1,0 +1,19 @@
+// Package client is the Go client for nocmapd, the nocmap solve
+// service (repro/nocmap/server, command cmd/nocmapd).
+//
+// Client.Solve mirrors nocmap.Solve across the wire: it submits a
+// nocmap.Problem plus a server.SolveSpec, streams progress over
+// server-sent events, honors context cancellation by cancelling the
+// remote job (returning the salvaged Result.Partial with ctx.Err())
+// and, on success, returns a Result byte-identical to solving locally.
+// The finer-grained verbs — Submit, Status, Wait, Events, Cancel — are
+// exposed for callers managing jobs across round trips; non-2xx
+// responses surface as *APIError carrying the server's typed
+// ErrorPayload.
+//
+//	c := client.New("http://localhost:8537")
+//	res, err := c.Solve(ctx, problem,
+//		server.SolveSpec{Algorithm: "nmap-split", Workers: -1}, nil)
+//
+// Command nmap's -remote flag is built on this package.
+package client

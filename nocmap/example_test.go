@@ -3,6 +3,7 @@ package nocmap_test
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 
@@ -74,6 +75,73 @@ func ExampleSolve_options() {
 	// Output:
 	// single-path needs 600 MB/s links
 	// splitting needs 200 MB/s per flow
+}
+
+// ExampleWithProgress streams the solver's refinement progress while it
+// runs: the "initialize" event reports the greedy placement's Eq. 7
+// cost, then one "sweep" event follows each pairwise-swap refinement
+// sweep with the incumbent cost. The callback runs on the solver's
+// goroutine — keep it cheap.
+func ExampleWithProgress() {
+	app := nocmap.NewCoreGraph("tiny-soc")
+	app.Connect("cpu", "mem", 400) // MB/s
+	app.Connect("mem", "dsp", 120)
+	app.Connect("dsp", "cpu", 80)
+	mesh, err := nocmap.NewMesh(2, 2, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = nocmap.Solve(context.Background(), problem,
+		nocmap.WithProgress(func(ev nocmap.Event) {
+			fmt.Printf("%s %s %d/%d best=%.0f\n", ev.Algorithm, ev.Phase, ev.Step, ev.Total, ev.Best)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// nmap-single initialize 0/4 best=680
+	// nmap-single sweep 0/4 best=680
+	// nmap-single sweep 1/4 best=680
+	// nmap-single sweep 2/4 best=680
+	// nmap-single sweep 3/4 best=680
+}
+
+// ExampleSolve_cancellation shows the context contract: cancellation
+// stops the iterating algorithms between candidate evaluations and
+// returns the best valid mapping committed so far, marked Partial,
+// together with ctx.Err() — never a panic, never an invalid mapping.
+// (An already-cancelled context keeps the example deterministic: the
+// solver surrenders right after the greedy initialization.)
+func ExampleSolve_cancellation() {
+	app, err := nocmap.LoadApp("vopd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mesh, err := nocmap.NewMesh(app.W, app.H, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	problem, err := nocmap.NewProblem(app.Graph, mesh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // a deadline or a remote disconnect in real use
+	res, err := nocmap.Solve(ctx, problem)
+	fmt.Printf("cancelled: %v\n", errors.Is(err, context.Canceled))
+	fmt.Printf("partial: %v\n", res.Partial)
+	m := res.Mapping()
+	fmt.Printf("valid complete mapping: %v\n", m.Complete() && m.Valid())
+	fmt.Printf("comm cost so far: %.0f hops*MB/s\n", res.Cost.Comm)
+	// Output:
+	// cancelled: true
+	// partial: true
+	// valid complete mapping: true
+	// comm cost so far: 4011 hops*MB/s
 }
 
 // ExampleRegister plugs a custom algorithm into the registry: phase-one

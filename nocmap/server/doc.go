@@ -1,0 +1,30 @@
+// Package server is the nocmapd solve service: an HTTP/JSON front end
+// over the public nocmap API (and nothing below it — the import gate
+// enforces that) for batching mapping workloads.
+//
+// A Server owns a bounded pool of solver workers fed from a bounded
+// queue. Three layers keep repeated traffic cheap:
+//
+//   - An LRU result cache keyed by a canonical problem+options hash
+//     (worker counts excluded — they never change results): a repeated
+//     submission is answered from the cache without re-solving and
+//     marked CacheHit.
+//   - Request coalescing: a submission identical to a queued or running
+//     job attaches to it as a follower (marked Coalesced), sharing one
+//     computation and its outcome.
+//   - Same-topology batching plus per-worker problem reuse: a worker
+//     drains up to Config.BatchSize queued jobs on the same topology in
+//     one pass, and re-validated Problems are cached per worker so
+//     identical applications share the engine's prepared structures.
+//
+// Jobs move queued -> running -> done | failed | cancelled. DELETE
+// cancels through the solver's context.Context: a running job returns
+// the best mapping committed so far (Result.Partial) in its final
+// status. Progress streams as server-sent events; see Handler for the
+// route table and the SERVER.md reference in docs/ for the wire
+// schemas and curl examples.
+//
+// Construct with New, mount Handler on any mux or server, stop with
+// Close. Command nocmapd (cmd/nocmapd) is the standalone binary;
+// package repro/nocmap/client is the matching Go client.
+package server

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/nocmap"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             enqueue a solve; 202 + JobStatus (200 on a cache hit)
+//	GET    /v1/jobs/{id}        JobStatus, result included once finished
+//	GET    /v1/jobs/{id}/events SSE: "progress" JobEvents, then one "done" JobStatus
+//	DELETE /v1/jobs/{id}        cancel; running solves return their partial result
+//	POST   /v1/solve            enqueue and wait: 200 + final JobStatus
+//	GET    /v1/algorithms       registered algorithm names
+//	GET    /v1/stats            Stats counters
+//	GET    /healthz             liveness
+//
+// Every error response body is {"error": ErrorPayload}.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/solve", s.handleSolveSync)
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"algorithms": nocmap.Algorithms()})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the typed error envelope.
+func writeError(w http.ResponseWriter, status int, pay *ErrorPayload) {
+	writeJSON(w, status, map[string]*ErrorPayload{"error": pay})
+}
+
+// decodeSubmit parses and validates a submission body into a validated
+// problem, its canonical JSON and the normalized spec. A false final
+// return means the error response was already written.
+func (s *Server) decodeSubmit(w http.ResponseWriter, r *http.Request) (*nocmap.Problem, []byte, SolveSpec, bool) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			&ErrorPayload{Code: CodeBadRequest, Message: "parsing request body: " + err.Error()})
+		return nil, nil, SolveSpec{}, false
+	}
+	if len(req.Problem) == 0 {
+		writeError(w, http.StatusBadRequest,
+			&ErrorPayload{Code: CodeBadRequest, Message: `missing "problem"`})
+		return nil, nil, SolveSpec{}, false
+	}
+	var p nocmap.Problem
+	if err := json.Unmarshal(req.Problem, &p); err != nil {
+		// Problem construction failed: distinguish malformed JSON from a
+		// well-formed but invalid/infeasible problem via the typed
+		// sentinels (422 carries the classification).
+		pay := errorPayload(err)
+		status := http.StatusUnprocessableEntity
+		if pay.Code == CodeInternal {
+			pay.Code = CodeBadRequest
+			status = http.StatusBadRequest
+		}
+		pay.Message = "invalid problem: " + pay.Message
+		writeError(w, status, pay)
+		return nil, nil, SolveSpec{}, false
+	}
+	spec, err := req.Options.normalize()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, errorPayloadForSpec(err))
+		return nil, nil, SolveSpec{}, false
+	}
+	canon, err := json.Marshal(&p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError,
+			&ErrorPayload{Code: CodeInternal, Message: err.Error()})
+		return nil, nil, SolveSpec{}, false
+	}
+	return &p, canon, spec, true
+}
+
+// errorPayloadForSpec classifies option-normalization failures.
+func errorPayloadForSpec(err error) *ErrorPayload {
+	pay := errorPayload(err)
+	if pay.Code == CodeInternal {
+		pay.Code = CodeBadRequest
+	}
+	pay.Message = "invalid options: " + pay.Message
+	return pay
+}
+
+// handleSubmit is POST /v1/jobs: enqueue and return immediately.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	p, canon, spec, ok := s.decodeSubmit(w, r)
+	if !ok {
+		return
+	}
+	j, serr := s.submit(p, canon, spec)
+	if serr != nil {
+		writeError(w, serr.status, serr.payload)
+		return
+	}
+	status := http.StatusAccepted
+	st := s.statusOf(j)
+	if st.State == StateDone {
+		status = http.StatusOK // served from the result cache
+	}
+	writeJSON(w, status, st)
+}
+
+// handleSolveSync is POST /v1/solve: enqueue, wait for the outcome and
+// return the final status in one round trip. Closing the request
+// cancels the job (a coalesced follower detaches without disturbing the
+// shared computation).
+func (s *Server) handleSolveSync(w http.ResponseWriter, r *http.Request) {
+	p, canon, spec, ok := s.decodeSubmit(w, r)
+	if !ok {
+		return
+	}
+	j, serr := s.submit(p, canon, spec)
+	if serr != nil {
+		writeError(w, serr.status, serr.payload)
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The job may be solving for coalesced peers too; abandon only
+		// cancels when nobody else shares the computation.
+		s.abandon(j)
+		<-j.done
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(j))
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			&ErrorPayload{Code: CodeNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(j))
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: idempotent; the response is the
+// job's status after the cancellation signal (a running solve may still
+// be unwinding — poll or stream events for the final state).
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			&ErrorPayload{Code: CodeNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, s.statusOf(j))
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a server-sent-event stream
+// of "progress" events (JobEvent) while the job solves, terminated by
+// one "done" event carrying the final JobStatus. Subscribing to a
+// finished job yields the "done" event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			&ErrorPayload{Code: CodeNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError,
+			&ErrorPayload{Code: CodeInternal, Message: "response writer cannot stream"})
+		return
+	}
+	// Subscribe before the headers go out: once the client sees the
+	// response start, its progress events must already be captured.
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	writeSSE := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	for {
+		select {
+		case ev := <-ch:
+			writeSSE("progress", ev)
+		case <-j.done:
+			// Drain progress published before completion, then finish.
+			for {
+				select {
+				case ev := <-ch:
+					writeSSE("progress", ev)
+					continue
+				default:
+				}
+				break
+			}
+			writeSSE("done", s.statusOf(j))
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/nocmap"
+)
+
+// Config sizes the service. The zero value is usable: one worker per
+// CPU, a 256-deep queue, a 128-entry result cache and batches of up to
+// 8 same-topology jobs per worker pass.
+type Config struct {
+	// Pool is the number of concurrent solver workers (<= 0: one per
+	// CPU). Each worker owns reusable solver state: a bounded cache of
+	// validated Problems keyed by canonical problem JSON, so repeated
+	// submissions of the same application/topology skip re-validation
+	// and share the engine's cached commodity structures.
+	Pool int
+	// QueueSize bounds the number of jobs waiting for a worker;
+	// submissions beyond it are rejected with CodeQueueFull (<= 0: 256).
+	QueueSize int
+	// CacheSize is the LRU result-cache capacity in entries (0: 128;
+	// negative: caching disabled).
+	CacheSize int
+	// BatchSize is how many same-topology jobs one worker drains from
+	// the queue in a single pass, maximizing reuse of its per-topology
+	// solver state (<= 0: 8).
+	BatchSize int
+	// Retention bounds how many finished jobs keep their status
+	// queryable via GET /v1/jobs/{id} (<= 0: 1024). The oldest finished
+	// jobs are evicted first; the result cache is separate and
+	// unaffected.
+	Retention int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pool <= 0 {
+		c.Pool = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 256
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	} else if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.Retention <= 0 {
+		c.Retention = 1024
+	}
+	return c
+}
+
+// job is one submission moving through the queue.
+type job struct {
+	id   string
+	key  string // canonical problem+options hash (cache / coalescing)
+	pkey string // canonical problem-only hash (worker problem reuse)
+	tkey string // topology spec (batch affinity)
+
+	problem *nocmap.Problem
+	spec    SolveSpec
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// Guarded by Server.mu.
+	state     string
+	cacheHit  bool
+	coalesced bool
+	finished  bool
+	errPay    *ErrorPayload
+	result    json.RawMessage
+	leader    *job   // non-nil while this job rides a coalesced leader
+	followers []*job // identical jobs sharing this job's computation
+
+	done chan struct{} // closed when finished
+
+	// Progress subscribers, guarded by subMu (publish happens on the
+	// solver goroutine, subscribe/unsubscribe on handler goroutines).
+	subMu sync.Mutex
+	subs  map[chan JobEvent]struct{}
+}
+
+// Server owns the job queue, the bounded worker pool, the coalescing
+// index and the result cache. Create one with New, expose it with
+// Handler, stop it with Close.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []*job
+	jobs      map[string]*job
+	leaders   map[string]*job // key -> unfinished leader to coalesce onto
+	doneOrder []string        // finished job IDs, oldest first (retention)
+	cache     *resultCache
+	stats     Stats
+	running   int
+	closed    bool
+	nextID    uint64
+
+	wg sync.WaitGroup
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		jobs:    make(map[string]*job),
+		leaders: make(map[string]*job),
+	}
+	s.cache = newResultCache(s.cfg.CacheSize)
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < s.cfg.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, cancels everything queued or running and
+// waits for the workers to drain. Queued jobs finish cancelled without
+// a result; running jobs finish cancelled with their partial result.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for _, j := range s.queue {
+		s.finishLocked(j, StateCancelled, nil,
+			&ErrorPayload{Code: CodeShuttingDown, Message: "server shutting down"})
+	}
+	s.queue = nil
+	for _, j := range s.jobs {
+		if !j.finished {
+			j.cancel()
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.QueueLen = len(s.queue)
+	st.Running = s.running
+	st.CacheLen = s.cache.len()
+	return st
+}
+
+// submitError couples a typed payload with the HTTP status the handler
+// should answer with.
+type submitError struct {
+	status  int
+	payload *ErrorPayload
+}
+
+func (e *submitError) Error() string { return e.payload.Error() }
+
+// submit validates nothing (the handler already parsed and normalized);
+// it classifies the job — cache hit, coalesced follower or fresh leader
+// — and enqueues leaders.
+func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (*job, *submitError) {
+	key := jobKey(problemJSON, spec)
+	topo := p.Topology()
+	j := &job{
+		key:     key,
+		pkey:    problemKey(problemJSON),
+		tkey:    fmt.Sprintf("%s/%dx%d", topo.Kind, topo.W, topo.H),
+		problem: p,
+		spec:    spec,
+		done:    make(chan struct{}),
+		subs:    make(map[chan JobEvent]struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, &submitError{status: 503,
+			payload: &ErrorPayload{Code: CodeShuttingDown, Message: "server shutting down"}}
+	}
+	if cached, ok := s.cache.get(key); ok {
+		s.registerLocked(j)
+		j.state = StateDone
+		j.finished = true
+		j.cacheHit = true
+		j.result = cached
+		j.cancel() // nothing will run; release the context
+		close(j.done)
+		s.retainLocked(j)
+		s.stats.CacheHits++
+		return j, nil
+	}
+	if leader, ok := s.leaders[key]; ok {
+		s.registerLocked(j)
+		j.state = leader.state
+		j.coalesced = true
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+		s.stats.Coalesced++
+		return j, nil
+	}
+	if len(s.queue) >= s.cfg.QueueSize {
+		return nil, &submitError{status: 429,
+			payload: &ErrorPayload{Code: CodeQueueFull,
+				Message: fmt.Sprintf("queue full (%d jobs waiting)", len(s.queue))}}
+	}
+	s.registerLocked(j)
+	j.state = StateQueued
+	s.leaders[key] = j
+	s.queue = append(s.queue, j)
+	s.cond.Signal()
+	return j, nil
+}
+
+// registerLocked admits an accepted job: rejected submissions (queue
+// full, shutdown) get no ID and do not count as submitted.
+func (s *Server) registerLocked(j *job) {
+	s.nextID++
+	j.id = fmt.Sprintf("job-%08d", s.nextID)
+	s.jobs[j.id] = j
+	s.stats.Submitted++
+}
+
+// retainLocked enrolls a finished job in the bounded retention window,
+// evicting the oldest finished statuses beyond Config.Retention so a
+// long-running server's job index cannot grow without bound. (Live
+// handles — an SSE subscriber's *job — keep working after eviction;
+// only lookup by ID ends.)
+func (s *Server) retainLocked(j *job) {
+	s.doneOrder = append(s.doneOrder, j.id)
+	for len(s.doneOrder) > s.cfg.Retention {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// get looks a job up by ID.
+func (s *Server) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// cancelJob cancels one job. A queued leader (and its coalesced
+// followers — they share the computation) finishes immediately without
+// a result; a running leader has its context cancelled and finishes
+// with the partial result the solver salvages; a follower detaches and
+// finishes alone, leaving the leader running.
+func (s *Server) cancelJob(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cancelLocked(j)
+}
+
+// abandon is the synchronous handler's disconnect path: cancel the job
+// unless other submissions share its computation — a leader whose
+// followers are still interested keeps solving for them.
+func (s *Server) abandon(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.leader == nil && len(j.followers) > 0 {
+		return
+	}
+	s.cancelLocked(j)
+}
+
+func (s *Server) cancelLocked(j *job) {
+	if j.finished {
+		return
+	}
+	if j.leader != nil {
+		lead := j.leader
+		for i, f := range lead.followers {
+			if f == j {
+				lead.followers = append(lead.followers[:i], lead.followers[i+1:]...)
+				break
+			}
+		}
+		s.finishLocked(j, StateCancelled, nil,
+			&ErrorPayload{Code: CodeCancelled, Message: "job cancelled"})
+		return
+	}
+	if j.state == StateQueued {
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.finishLocked(j, StateCancelled, nil,
+			&ErrorPayload{Code: CodeCancelled, Message: "job cancelled"})
+		return
+	}
+	// Running: the solver unwinds, finish happens in solve().
+	j.cancel()
+}
+
+// finishLocked records a job's outcome, propagates it to coalesced
+// followers and wakes waiters. Callers hold s.mu.
+func (s *Server) finishLocked(j *job, state string, result json.RawMessage, errPay *ErrorPayload) {
+	if j.finished {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errPay = errPay
+	j.finished = true
+	j.cancel() // release the context's resources
+	if s.leaders[j.key] == j {
+		delete(s.leaders, j.key)
+	}
+	switch state {
+	case StateCancelled:
+		s.stats.Cancelled++
+	case StateFailed:
+		s.stats.Failed++
+	case StateDone:
+		s.stats.Solved++
+	}
+	s.retainLocked(j)
+	close(j.done)
+	for _, f := range j.followers {
+		f.leader = nil
+		s.finishLocked(f, state, result, errPay)
+	}
+	j.followers = nil
+}
+
+// worker is one pool goroutine: it drains batches of same-topology jobs
+// and solves them with reusable per-worker state.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	// problems caches validated Problems by canonical problem JSON so a
+	// repeated application/topology skips NewProblem and shares the
+	// engine's cached commodity structures across solves.
+	problems := make(map[string]*nocmap.Problem)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.takeBatchLocked()
+		s.mu.Unlock()
+		for _, j := range batch {
+			s.solve(j, problems)
+		}
+	}
+}
+
+// takeBatchLocked pops the head job plus up to BatchSize-1 more queued
+// jobs on the same topology, so one worker pass solves them back to
+// back against its warm per-topology state.
+func (s *Server) takeBatchLocked() []*job {
+	head := s.queue[0]
+	batch := []*job{head}
+	rest := s.queue[1:]
+	kept := rest[:0] // filter the remainder in place
+	for _, j := range rest {
+		if len(batch) < s.cfg.BatchSize && j.tkey == head.tkey {
+			batch = append(batch, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	s.queue = kept
+	return batch
+}
+
+// solve runs one job to completion on the calling worker goroutine.
+func (s *Server) solve(j *job, problems map[string]*nocmap.Problem) {
+	s.mu.Lock()
+	if j.finished {
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	for _, f := range j.followers {
+		f.state = StateRunning
+	}
+	s.running++
+	prob := j.problem
+	if cached, ok := problems[j.pkey]; ok {
+		prob = cached
+		s.stats.ProblemsReused++
+	} else {
+		if len(problems) >= 64 { // bound the per-worker cache
+			clear(problems)
+		}
+		problems[j.pkey] = j.problem
+	}
+	s.mu.Unlock()
+
+	opts := append(j.spec.Options(), nocmap.WithProgress(func(ev nocmap.Event) {
+		s.publish(j, ev)
+	}))
+	res, err := nocmap.Solve(j.ctx, prob, opts...)
+
+	var raw json.RawMessage
+	if res != nil {
+		if b, merr := json.Marshal(res); merr == nil {
+			raw = b
+		} else if err == nil {
+			err = fmt.Errorf("marshaling result: %w", merr)
+		}
+	}
+
+	s.mu.Lock()
+	s.running--
+	switch {
+	case err == nil:
+		s.cache.add(j.key, raw)
+		s.finishLocked(j, StateDone, raw, nil)
+	case j.ctx.Err() != nil:
+		// Cancelled mid-solve: the partial result (Result.Partial) rides
+		// along when the algorithm salvaged one.
+		s.finishLocked(j, StateCancelled, raw,
+			&ErrorPayload{Code: CodeCancelled, Message: err.Error()})
+	default:
+		s.finishLocked(j, StateFailed, raw, errorPayload(err))
+	}
+	s.mu.Unlock()
+}
+
+// publish fans a progress event out to the job's subscribers and those
+// of its coalesced followers. Slow subscribers drop events (progress is
+// advisory); the terminal status is delivered via the done channel.
+func (s *Server) publish(j *job, ev nocmap.Event) {
+	s.mu.Lock()
+	targets := append([]*job{j}, j.followers...)
+	s.mu.Unlock()
+	for _, t := range targets {
+		wire := JobEvent{
+			JobID:     t.id,
+			Algorithm: ev.Algorithm,
+			Phase:     ev.Phase,
+			Step:      ev.Step,
+			Total:     ev.Total,
+			Best:      ev.Best,
+		}
+		t.subMu.Lock()
+		for ch := range t.subs {
+			select {
+			case ch <- wire:
+			default:
+			}
+		}
+		t.subMu.Unlock()
+	}
+}
+
+// subscribe registers a progress channel for a job; the returned func
+// unregisters it.
+func (j *job) subscribe() (chan JobEvent, func()) {
+	ch := make(chan JobEvent, 64)
+	j.subMu.Lock()
+	j.subs[ch] = struct{}{}
+	j.subMu.Unlock()
+	return ch, func() {
+		j.subMu.Lock()
+		delete(j.subs, ch)
+		j.subMu.Unlock()
+	}
+}
+
+// statusOf snapshots a job's wire status.
+func (s *Server) statusOf(j *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return JobStatus{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+		Error:     j.errPay,
+		Result:    j.result,
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/nocmap"
+)
+
+// SolveSpec is the wire form of a solve's options: the subset of
+// nocmap's functional options that travels as JSON. The zero value asks
+// for the default algorithm ("nmap-single") with sequential refinement.
+type SolveSpec struct {
+	// Algorithm is the registry name to run ("" means "nmap-single").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Workers sets solver parallelism exactly like nocmap.WithWorkers.
+	// It does not participate in the result-cache key: every setting
+	// produces bit-identical results.
+	Workers int `json:"workers,omitempty"`
+	// Split selects the traffic-splitting regime for "nmap-split":
+	// "all-paths" (default) or "min-paths".
+	Split string `json:"split,omitempty"`
+	// BandwidthCap, when positive, overrides every link's bandwidth
+	// (MB/s) for this solve.
+	BandwidthCap float64 `json:"bandwidth_cap,omitempty"`
+	// FastQueue opts the "pbb" baseline into its faster bounded queue.
+	FastQueue bool `json:"fast_queue,omitempty"`
+	// MaxQueue/MaxExpand bound the "pbb" search; zero keeps defaults.
+	MaxQueue  int `json:"max_queue,omitempty"`
+	MaxExpand int `json:"max_expand,omitempty"`
+}
+
+// Split spec values.
+const (
+	SplitAllPaths = "all-paths"
+	SplitMinPaths = "min-paths"
+)
+
+// normalize fills defaults so equivalent specs hash identically.
+func (s SolveSpec) normalize() (SolveSpec, error) {
+	if s.Algorithm == "" {
+		s.Algorithm = "nmap-single"
+	}
+	switch s.Split {
+	case "", SplitAllPaths:
+		s.Split = SplitAllPaths
+	case SplitMinPaths:
+	default:
+		return s, fmt.Errorf("unknown split policy %q (want %q or %q)",
+			s.Split, SplitAllPaths, SplitMinPaths)
+	}
+	if s.BandwidthCap < 0 {
+		return s, fmt.Errorf("negative bandwidth cap %g", s.BandwidthCap)
+	}
+	known := false
+	for _, name := range nocmap.Algorithms() {
+		if name == s.Algorithm {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return s, fmt.Errorf("%w %q (have %s)", nocmap.ErrUnknownAlgorithm,
+			s.Algorithm, strings.Join(nocmap.Algorithms(), ", "))
+	}
+	return s, nil
+}
+
+// Options translates the spec to the equivalent nocmap functional
+// options — the one mapping between the wire form and the library,
+// shared by the server's workers and local callers (cmd/nmap uses it
+// so its -remote and in-process paths cannot drift).
+func (s SolveSpec) Options() []nocmap.Option {
+	opts := []nocmap.Option{
+		nocmap.WithAlgorithm(s.Algorithm),
+		nocmap.WithWorkers(s.Workers),
+	}
+	if s.Split == SplitMinPaths {
+		opts = append(opts, nocmap.WithSplitPolicy(nocmap.SplitMinPaths))
+	}
+	if s.BandwidthCap > 0 {
+		opts = append(opts, nocmap.WithBandwidthCap(s.BandwidthCap))
+	}
+	if s.FastQueue {
+		opts = append(opts, nocmap.WithFastQueue(true))
+	}
+	if s.MaxQueue > 0 || s.MaxExpand > 0 {
+		opts = append(opts, nocmap.WithPBBBudget(s.MaxQueue, s.MaxExpand))
+	}
+	return opts
+}
+
+// SubmitRequest is the body of POST /v1/jobs and POST /v1/solve: a
+// serialized nocmap.Problem plus solve options.
+type SubmitRequest struct {
+	Problem json.RawMessage `json:"problem"`
+	Options SolveSpec       `json:"options"`
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the wire form of a job: its identity, where it is in the
+// lifecycle and — once finished — the marshaled nocmap.Result or the
+// typed error. A cancelled job that was already solving carries the
+// partial result (Result.Partial set) the solver salvaged.
+type JobStatus struct {
+	ID string `json:"id"`
+	// Key is the canonical problem+options hash the result cache and
+	// request coalescing key on.
+	Key   string `json:"key"`
+	State string `json:"state"`
+	// CacheHit marks a submission served from the result cache without
+	// re-solving.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Coalesced marks a submission attached to an identical in-flight
+	// job; it shares that job's computation and outcome.
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Error     *ErrorPayload   `json:"error,omitempty"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// ErrorPayload is the typed error shape every non-2xx response (and
+// every failed job) carries: a stable machine-matchable code plus a
+// human-readable message.
+type ErrorPayload struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements error so payloads surface directly from the client.
+func (e *ErrorPayload) Error() string { return e.Code + ": " + e.Message }
+
+// Error codes.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeInvalidProblem   = "invalid_problem"
+	CodeInfeasible       = "infeasible_bandwidth"
+	CodeUnknownAlgorithm = "unknown_algorithm"
+	CodeNotFound         = "not_found"
+	CodeQueueFull        = "queue_full"
+	CodeCancelled        = "cancelled"
+	CodeShuttingDown     = "shutting_down"
+	CodeInternal         = "internal"
+)
+
+// errorPayload classifies an error into the wire taxonomy using the
+// typed sentinels the nocmap package exports.
+func errorPayload(err error) *ErrorPayload {
+	code := CodeInternal
+	switch {
+	case errors.Is(err, nocmap.ErrInfeasibleBandwidth):
+		code = CodeInfeasible
+	case errors.Is(err, nocmap.ErrUnknownAlgorithm):
+		code = CodeUnknownAlgorithm
+	case errors.Is(err, nocmap.ErrNilInput),
+		errors.Is(err, nocmap.ErrEmptyApp),
+		errors.Is(err, nocmap.ErrTooManyCores),
+		errors.Is(err, nocmap.ErrDuplicateCore),
+		errors.Is(err, nocmap.ErrInvalidDimensions),
+		errors.Is(err, nocmap.ErrInvalidBandwidth):
+		code = CodeInvalidProblem
+	}
+	return &ErrorPayload{Code: code, Message: err.Error()}
+}
+
+// JobEvent is one server-sent progress event: the solver's
+// nocmap.Event for the named job.
+type JobEvent struct {
+	JobID     string  `json:"job_id"`
+	Algorithm string  `json:"algorithm"`
+	Phase     string  `json:"phase"`
+	Step      int     `json:"step"`
+	Total     int     `json:"total"`
+	Best      float64 `json:"best"`
+}
+
+// Stats is the server's counter snapshot (GET /v1/stats).
+type Stats struct {
+	Submitted      uint64 `json:"submitted"`
+	Solved         uint64 `json:"solved"`
+	Failed         uint64 `json:"failed"`
+	Cancelled      uint64 `json:"cancelled"`
+	CacheHits      uint64 `json:"cache_hits"`
+	Coalesced      uint64 `json:"coalesced"`
+	ProblemsReused uint64 `json:"problems_reused"`
+	QueueLen       int    `json:"queue_len"`
+	Running        int    `json:"running"`
+	CacheLen       int    `json:"cache_len"`
+}
+
+// jobKey builds the canonical cache/coalescing key: a hash over the
+// canonical problem JSON (the re-marshaled parsed problem, so
+// formatting differences wash out) and the normalized options minus
+// Workers (worker counts never change results).
+func jobKey(problemJSON []byte, spec SolveSpec) string {
+	hashed := spec
+	hashed.Workers = 0
+	optJSON, _ := json.Marshal(hashed)
+	h := sha256.New()
+	h.Write(problemJSON)
+	h.Write([]byte{0})
+	h.Write(optJSON)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// problemKey hashes the canonical problem JSON alone — the per-worker
+// problem-reuse cache keys on it, options aside.
+func problemKey(problemJSON []byte) string {
+	h := sha256.Sum256(problemJSON)
+	return hex.EncodeToString(h[:16])
+}

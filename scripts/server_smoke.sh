@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Smoke test for nocmapd: boot the real binary on an ephemeral port and
+# drive the HTTP API with curl — health, a synchronous solve, an async
+# submit/status round trip, and a recorded cache hit. CI runs this via
+# `make server-smoke`; it needs only bash, curl and the Go toolchain.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+bin="$workdir/nocmapd"
+log="$workdir/nocmapd.log"
+cleanup() {
+    [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$bin" ./cmd/nocmapd
+
+echo "== start"
+"$bin" -addr 127.0.0.1:0 -pool 2 >"$log" 2>&1 &
+server_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$log" | head -1)
+    [[ -n "$base" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: nocmapd died:"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[[ -n "$base" ]] || { echo "FAIL: nocmapd never reported its address:"; cat "$log"; exit 1; }
+echo "   $base"
+
+fail() { echo "FAIL: $1"; echo "--- response: $2"; exit 1; }
+
+echo "== healthz"
+health=$(curl -fsS "$base/healthz")
+grep -q '"status":"ok"' <<<"$health" || fail "healthz" "$health"
+
+problem='{
+  "problem": {
+    "app": {"edges": [
+      {"from": "cpu", "to": "mem", "bw": 400},
+      {"from": "mem", "to": "dsp", "bw": 120},
+      {"from": "dsp", "to": "cpu", "bw": 80}]},
+    "topology": {"kind": "mesh", "w": 2, "h": 2, "link_bw": 1000}
+  },
+  "options": {"algorithm": "nmap-single"}
+}'
+
+echo "== synchronous solve"
+solved=$(curl -fsS "$base/v1/solve" -d "$problem")
+grep -q '"state":"done"' <<<"$solved" || fail "sync solve did not finish done" "$solved"
+grep -q '"feasible":true' <<<"$solved" || fail "sync solve not feasible" "$solved"
+
+echo "== repeated solve is a cache hit"
+again=$(curl -fsS "$base/v1/solve" -d "$problem")
+grep -q '"cache_hit":true' <<<"$again" || fail "resubmission was not a cache hit" "$again"
+stats=$(curl -fsS "$base/v1/stats")
+grep -q '"cache_hits":1' <<<"$stats" || fail "stats did not record the cache hit" "$stats"
+
+echo "== async submit / status / events"
+job=$(curl -fsS "$base/v1/jobs" -d "${problem/nmap-single/nmap-split}")
+id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$job")
+[[ -n "$id" ]] || fail "submit returned no job id" "$job"
+status=""
+for _ in $(seq 1 100); do
+    status=$(curl -fsS "$base/v1/jobs/$id")
+    grep -q '"state":"done"' <<<"$status" && break
+    grep -qE '"state":"(failed|cancelled)"' <<<"$status" && fail "async job ended badly" "$status"
+    sleep 0.1
+done
+grep -q '"state":"done"' <<<"$status" || fail "async job never finished" "$status"
+events=$(curl -fsS "$base/v1/jobs/$id/events")
+grep -q '^event: done' <<<"$events" || fail "event stream had no done event" "$events"
+
+echo "== typed error on an infeasible problem"
+bad=$(curl -sS "$base/v1/jobs" -d '{
+  "problem": {
+    "app": {"edges": [{"from": "a", "to": "b", "bw": 1000}]},
+    "topology": {"kind": "mesh", "w": 2, "h": 2, "link_bw": 100}}}')
+grep -q '"code":"infeasible_bandwidth"' <<<"$bad" || fail "infeasible problem not typed" "$bad"
+
+echo "== graceful shutdown"
+kill -TERM "$server_pid"
+wait "$server_pid" || true
+server_pid=""
+
+echo "server smoke OK"
