@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke
+.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke cover
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,22 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/baseline/ -run 'Race|Parallel|Workers'
-	$(GO) test -race ./nocmap/server/ ./nocmap/client/
+	$(GO) test -race ./nocmap/server/ ./nocmap/client/ ./nocmap/shard/ ./nocmap/store/
+
+# Short deterministic-budget fuzz pass over the wire formats and the
+# request decoder (seed corpora live in testdata/fuzz/). CI runs this;
+# drop the -fuzztime for a real fuzzing session.
+FUZZTIME = 10s
+fuzz-smoke:
+	$(GO) test ./nocmap -run '^$$' -fuzz FuzzProblemJSONRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./nocmap -run '^$$' -fuzz FuzzResultJSONRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./nocmap/server -run '^$$' -fuzz FuzzParseSubmit -fuzztime $(FUZZTIME)
+
+# Per-package coverage floors (scripts/cover_thresholds.txt). CI fails
+# when nocmap, nocmap/server, nocmap/store or nocmap/shard drop below
+# their recorded baselines.
+cover:
+	bash scripts/cover_gate.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 3x -benchmem .
@@ -32,7 +47,7 @@ experiments:
 	$(GO) run ./cmd/experiments
 
 # Public packages whose go doc surface is pinned by api/nocmap.golden.txt.
-API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore ./nocmap/server ./nocmap/client
+API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore ./nocmap/server ./nocmap/client ./nocmap/store ./nocmap/shard
 
 # Diff the public API (go doc -all) against the committed golden dump, so
 # accidental surface changes fail CI; regenerate intentionally with
@@ -53,8 +68,8 @@ api-update:
 # API: everything under cmd/ and examples/, plus the nocmapd server and
 # its client, must import repro/nocmap..., never repro/internal/...
 importgate:
-	@if grep -rn '"repro/internal/' cmd examples nocmap/server nocmap/client; then \
-		echo "FAIL: cmd/, examples/, nocmap/server and nocmap/client must use the public nocmap API, not repro/internal"; exit 1; \
+	@if grep -rn '"repro/internal/' cmd examples nocmap/server nocmap/client nocmap/store nocmap/shard; then \
+		echo "FAIL: cmd/, examples/ and the service packages (server, client, store, shard) must use the public nocmap API, not repro/internal"; exit 1; \
 	fi
 	@echo "import gate OK"
 
@@ -64,7 +79,8 @@ linkcheck:
 	$(GO) test -run TestDocLinks .
 
 # Boot a real nocmapd process and drive the HTTP API end to end with
-# curl: health, a synchronous solve, an async submit/poll round trip
-# and a recorded cache hit. CI runs this.
+# curl: health, a synchronous solve, an async submit/poll round trip, a
+# recorded cache hit, durable-store crash recovery, and a sharded
+# deployment (nocmapsh router + 2 backends). CI runs this.
 server-smoke:
 	bash scripts/server_smoke.sh

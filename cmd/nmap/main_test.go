@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"repro/nocmap/server"
+	"repro/nocmap/shard"
 )
 
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden CLI outputs")
@@ -80,7 +82,10 @@ func TestWorkersGoldenMatchesSequential(t *testing.T) {
 // output to the in-process run — for the plain, split and baseline
 // algorithms alike (the goldens already pin the local output).
 func TestRemoteGoldenMatchesLocal(t *testing.T) {
-	svc := server.New(server.Config{Pool: 2})
+	svc, err := server.New(server.Config{Pool: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	defer func() {
 		ts.Close()
@@ -100,6 +105,49 @@ func TestRemoteGoldenMatchesLocal(t *testing.T) {
 		}
 		if local.String() != remote.String() {
 			t.Fatalf("remote output drifted for %v:\n--- local ---\n%s--- remote ---\n%s",
+				args, local.String(), remote.String())
+		}
+	}
+}
+
+// TestRemoteThroughShardRouterMatchesLocal runs the same acceptance
+// through a two-backend shard fleet: -remote pointed at the nocmapsh
+// router (proxied submit, 307-redirected status/event streams) must
+// print byte-identical output to the in-process solve.
+func TestRemoteThroughShardRouterMatchesLocal(t *testing.T) {
+	var backends []string
+	for i := 0; i < 2; i++ {
+		svc, err := server.New(server.Config{Pool: 1, IDPrefix: fmt.Sprintf("s%d-", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer func() {
+			ts.Close()
+			svc.Close()
+		}()
+		backends = append(backends, ts.URL)
+	}
+	router, err := shard.New(shard.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(router.Handler())
+	defer rs.Close()
+
+	for _, args := range [][]string{
+		{"-app", "vopd"},
+		{"-app", "dsp", "-algo", "nmap", "-split", "minpaths"},
+	} {
+		var local, remote bytes.Buffer
+		if err := run(args, &local); err != nil {
+			t.Fatalf("local run(%v): %v", args, err)
+		}
+		if err := run(append(args, "-remote", rs.URL), &remote); err != nil {
+			t.Fatalf("routed run(%v): %v", args, err)
+		}
+		if local.String() != remote.String() {
+			t.Fatalf("shard-routed output drifted for %v:\n--- local ---\n%s--- routed ---\n%s",
 				args, local.String(), remote.String())
 		}
 	}

@@ -5,12 +5,17 @@
 // same-topology batching, request coalescing and an LRU result cache —
 // which itself sits strictly on the public nocmap API.
 //
-//	nocmapd                          # listen on :8537
+//	nocmapd                          # listen on :8537, in-memory only
 //	nocmapd -addr 127.0.0.1:0        # ephemeral port, printed at startup
 //	nocmapd -pool 8 -cache 512       # 8 solver workers, 512 cached results
+//	nocmapd -store /var/lib/nocmapd  # durable job store: jobs, results and
+//	                                 # cache survive restarts (even SIGKILL)
+//	nocmapd -profile fast            # FastQueue + full parallelism defaults
+//	nocmapd -id-prefix s0-           # shard-unique job IDs behind nocmapsh
 //
 // See docs/SERVER.md for the full API reference with curl examples;
-// cmd/nmap's -remote flag and repro/nocmap/client drive it from Go.
+// cmd/nmap's -remote flag and repro/nocmap/client drive it from Go, and
+// cmd/nocmapsh shards traffic across several instances.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"repro/nocmap/server"
+	"repro/nocmap/store"
 )
 
 func main() {
@@ -35,19 +41,41 @@ func main() {
 	cache := flag.Int("cache", 128, "LRU result-cache entries (negative disables)")
 	batch := flag.Int("batch", 8, "max same-topology jobs one worker drains per pass")
 	retention := flag.Int("retention", 1024, "finished jobs kept queryable before the oldest statuses are evicted")
+	storeDir := flag.String("store", "", "durable job-store directory (empty: in-memory only)")
+	profile := flag.String("profile", "repro", `service profile: "repro" (bit-exact solves) or "fast" (FastQueue + full parallelism defaults)`)
+	idPrefix := flag.String("id-prefix", "", `prefix for minted job IDs (e.g. "s0-"); make it unique per backend behind a shard router`)
 	flag.Parse()
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("nocmapd: %v", err)
-	}
-	svc := server.New(server.Config{
+	cfg := server.Config{
 		Pool:      *pool,
 		QueueSize: *queue,
 		CacheSize: *cache,
 		BatchSize: *batch,
 		Retention: *retention,
-	})
+		Profile:   server.Profile(*profile),
+		IDPrefix:  *idPrefix,
+	}
+	if *storeDir != "" {
+		js, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("nocmapd: %v", err)
+		}
+		defer js.Close()
+		cfg.Store = js
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("nocmapd: %v", err)
+	}
+	svc, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("nocmapd: %v", err)
+	}
+	if st := svc.Stats(); st.Restored > 0 || st.Recovered > 0 {
+		log.Printf("nocmapd: store replay restored %d finished jobs, recovered %d interrupted jobs",
+			st.Restored, st.Recovered)
+	}
 	hs := &http.Server{Handler: svc.Handler()}
 	log.Printf("nocmapd listening on http://%s", ln.Addr())
 

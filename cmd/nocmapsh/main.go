@@ -1,0 +1,79 @@
+// Command nocmapsh is the shard router for a fleet of nocmapd
+// backends: one endpoint that routes solve submissions by the canonical
+// problem+options hash (keeping each backend's result cache hot),
+// redirects job-ID requests to the owning backend, fails over on
+// backend loss and merges the fleet's stats.
+//
+//	nocmapsh -backends http://10.0.0.1:8537,http://10.0.0.2:8537
+//	nocmapsh -addr :9537 -backends ... -replicas 128
+//
+// Give every backend a distinct -id-prefix (s0-, s1-, ...) so the
+// router can place job IDs without probing. See docs/SERVER.md for the
+// sharded-deployment walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/nocmap/server"
+	"repro/nocmap/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":9537", "listen address (host:port; port 0 picks one)")
+	backends := flag.String("backends", "", "comma-separated nocmapd base URLs (required)")
+	replicas := flag.Int("replicas", 64, "virtual ring points per backend")
+	profile := flag.String("profile", "repro", `the backends' -profile setting ("repro" or "fast"); must match so routing hashes the same key the backends cache by`)
+	flag.Parse()
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	router, err := shard.New(shard.Config{
+		Backends: urls,
+		Replicas: *replicas,
+		Profile:  server.Profile(*profile),
+	})
+	if err != nil {
+		log.Fatalf("nocmapsh: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("nocmapsh: %v", err)
+	}
+	hs := &http.Server{Handler: router.Handler()}
+	log.Printf("nocmapsh listening on http://%s, fronting %d backends", ln.Addr(), len(urls))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("nocmapsh: %v", err)
+		}
+	case <-ctx.Done():
+	}
+	log.Printf("nocmapsh shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("nocmapsh: shutdown: %v", err)
+	}
+}

@@ -17,7 +17,10 @@ import (
 // start boots a service behind httptest and returns a client on it.
 func start(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
 	t.Helper()
-	svc := server.New(cfg)
+	svc, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()

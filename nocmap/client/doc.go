@@ -15,5 +15,13 @@
 //	res, err := c.Solve(ctx, problem,
 //		server.SolveSpec{Algorithm: "nmap-split", Workers: -1}, nil)
 //
+// The client works unchanged against a nocmapsh shard router
+// (repro/nocmap/shard): submissions are proxied by the router itself,
+// while job-ID requests (status, cancel, SSE event streams) come back
+// as 307 redirects to the owning backend, which the underlying net/http
+// client follows transparently. Custom HTTP clients passed via
+// WithHTTPClient should keep redirect following enabled when talking to
+// a router.
+//
 // Command nmap's -remote flag is built on this package.
 package client

@@ -1,0 +1,85 @@
+package nocmap_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/nocmap"
+)
+
+// FuzzProblemJSONRoundTrip throws arbitrary bytes at the Problem wire
+// format. Every input either fails to parse with an error (never a
+// panic, never an unbounded allocation — the MaxWireNodes cap) or
+// reaches a canonical form that is a marshaling fixed point:
+// parse -> marshal -> parse -> marshal must reproduce itself byte for
+// byte, because every derived hash (result cache, coalescing, shard
+// routing) keys on that canonical form.
+func FuzzProblemJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"app":{"name":"tiny","edges":[{"from":"a","to":"b","bw":100}]},` +
+		`"topology":{"kind":"mesh","w":2,"h":2,"link_bw":1000}}`))
+	f.Add([]byte(`{"app":{"cores":["a","b","c"],"edges":[{"from":"a","to":"b","bw":64},` +
+		`{"from":"b","to":"c","bw":32}]},"topology":{"kind":"torus","w":3,"h":3,"link_bw":500}}`))
+	f.Add([]byte(`{"app":{"edges":[{"from":"x","to":"y","bw":0.5}]},` +
+		`"topology":{"w":2,"h":1,"link_bw":10}}`))
+	f.Add([]byte(`{"topology":{"kind":"mesh","w":65536,"h":65536,"link_bw":1}}`))
+	f.Add([]byte(`{"app":17}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p nocmap.Problem
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // rejected with an error: fine
+		}
+		first, err := json.Marshal(&p)
+		if err != nil {
+			t.Fatalf("accepted problem failed to marshal: %v (input %q)", err, data)
+		}
+		var q nocmap.Problem
+		if err := json.Unmarshal(first, &q); err != nil {
+			t.Fatalf("canonical form does not re-parse: %v (canonical %s)", err, first)
+		}
+		second, err := json.Marshal(&q)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("marshal is not a fixed point:\nfirst:  %s\nsecond: %s", first, second)
+		}
+	})
+}
+
+// FuzzResultJSONRoundTrip does the same for the Result wire form: any
+// parseable bytes must reach a stable canonical form (results are
+// persisted by the job store and compared byte for byte across server
+// restarts).
+func FuzzResultJSONRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"algorithm":"nmap-single","assignment":[0,1,2],"cores":["a","b","c"],` +
+		`"feasible":true,"swaps":12,"cost":{"comm":340,"max_load":160},` +
+		`"routing":{"mode":"single-minpath","loads":[100,60],"paths":[[0,1],[1,3]]}}`))
+	f.Add([]byte(`{"algorithm":"nmap-split","assignment":[3,2,1,0],"feasible":false,"partial":true,` +
+		`"cost":{"comm":10,"max_load":5,"flow":2.5,"slack":0.25},` +
+		`"routing":{"mode":"split-allpaths","flows":[[0.5,1.5]]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r nocmap.Result
+		if err := json.Unmarshal(data, &r); err != nil {
+			return
+		}
+		first, err := json.Marshal(&r)
+		if err != nil {
+			t.Fatalf("accepted result failed to marshal: %v (input %q)", err, data)
+		}
+		var r2 nocmap.Result
+		if err := json.Unmarshal(first, &r2); err != nil {
+			t.Fatalf("canonical result does not re-parse: %v (canonical %s)", err, first)
+		}
+		second, err := json.Marshal(&r2)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("result marshal is not a fixed point:\nfirst:  %s\nsecond: %s", first, second)
+		}
+	})
+}

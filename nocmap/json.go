@@ -50,12 +50,26 @@ func (p *Problem) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// MaxWireNodes bounds the topology size accepted from the wire form
+// (64k nodes — three orders of magnitude beyond the paper's largest
+// mesh). Problems built programmatically via NewMesh/NewTorus are not
+// capped; the limit exists so a few bytes of hostile JSON cannot make
+// a deserializing service allocate an arbitrarily large topology.
+const MaxWireNodes = 1 << 16
+
 // UnmarshalJSON rebuilds the problem, re-running the NewProblem
 // validation on the decoded pair.
 func (p *Problem) UnmarshalJSON(data []byte) error {
 	var in jsonProblem
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("nocmap: parsing problem: %w", err)
+	}
+	// The product check is in division form: w*h can overflow int on
+	// 32-bit platforms, which would wave the hostile input through.
+	if w, h := in.Topology.W, in.Topology.H; w > MaxWireNodes || h > MaxWireNodes ||
+		(w > 0 && h > 0 && w > MaxWireNodes/h) {
+		return fmt.Errorf("nocmap: topology %dx%d exceeds the %d-node wire limit: %w",
+			w, h, MaxWireNodes, topology.ErrInvalidDimensions)
 	}
 	app, err := graph.ReadJSON(bytes.NewReader(in.App))
 	if err != nil {

@@ -13,6 +13,9 @@ type resultCache struct {
 	cap   int
 	order *list.List               // front = most recently used
 	items map[string]*list.Element // key -> element holding *cacheEntry
+	// onEvict, when set, observes every key the LRU drops — the server
+	// uses it to delete the matching persisted cache entry.
+	onEvict func(key string)
 }
 
 type cacheEntry struct {
@@ -49,7 +52,11 @@ func (c *resultCache) add(key string, result json.RawMessage) {
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*cacheEntry).key)
+		evicted := oldest.Value.(*cacheEntry).key
+		delete(c.items, evicted)
+		if c.onEvict != nil {
+			c.onEvict(evicted)
+		}
 	}
 }
 

@@ -1,0 +1,59 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/nocmap/server"
+)
+
+// FuzzParseSubmit hammers the request-decoding front door shared by the
+// server handlers and the shard router: POST /v1/jobs bodies of any
+// shape must come back as either a typed SubmitError or a fully
+// validated (problem, canonical JSON, spec) triple — never a panic.
+// Accepted submissions must hash deterministically: the canonical form
+// re-parses to the same JobKey, the invariant shard routing and the
+// result cache stand on.
+func FuzzParseSubmit(f *testing.F) {
+	f.Add([]byte(`{"problem":{"app":{"edges":[{"from":"a","to":"b","bw":100}]},` +
+		`"topology":{"kind":"mesh","w":2,"h":2,"link_bw":1000}},` +
+		`"options":{"algorithm":"nmap-single"}}`))
+	f.Add([]byte(`{"problem":{"app":{"edges":[{"from":"a","to":"b","bw":100}]},` +
+		`"topology":{"kind":"torus","w":2,"h":2,"link_bw":1000}},` +
+		`"options":{"algorithm":"nmap-split","split":"min-paths","workers":-1}}`))
+	f.Add([]byte(`{"problem":{"app":{"edges":[{"from":"a","to":"b","bw":1000}]},` +
+		`"topology":{"kind":"mesh","w":2,"h":2,"link_bw":100}}}`)) // infeasible
+	f.Add([]byte(`{"options":{"algorithm":"anneal"}}`))
+	f.Add([]byte(`{"problem": {`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"problem":{"topology":{"kind":"mesh","w":9999999,"h":9999999,"link_bw":1}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, canon, spec, serr := server.ParseSubmit(data)
+		if serr != nil {
+			if serr.Payload == nil || serr.Payload.Code == "" || serr.Status < 400 {
+				t.Fatalf("rejection without a typed payload: %+v (input %q)", serr, data)
+			}
+			return
+		}
+		if p == nil || len(canon) == 0 {
+			t.Fatalf("accepted submission without problem/canonical form (input %q)", data)
+		}
+		key := server.JobKey(canon, spec)
+		if key == "" {
+			t.Fatal("empty job key")
+		}
+		// The canonical problem form must be self-canonical: feeding it
+		// back through the parser reproduces itself (and therefore the
+		// same key for any fixed options), whatever formatting the
+		// original body had.
+		body := append([]byte(`{"problem":`), canon...)
+		body = append(body, '}')
+		p2, canon2, _, serr2 := server.ParseSubmit(body)
+		if serr2 != nil || p2 == nil {
+			t.Fatalf("canonical form rejected: %v (canonical %s)", serr2, canon)
+		}
+		if string(canon2) != string(canon) {
+			t.Fatalf("canonicalization is not a fixed point:\nfirst:  %s\nsecond: %s", canon, canon2)
+		}
+	})
+}

@@ -2,7 +2,9 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/nocmap"
@@ -17,6 +19,7 @@ import (
 //	POST   /v1/solve            enqueue and wait: 200 + final JobStatus
 //	GET    /v1/algorithms       registered algorithm names
 //	GET    /v1/stats            Stats counters
+//	GET    /v1/info             Info: job-ID prefix, profile, durability
 //	GET    /healthz             liveness
 //
 // Every error response body is {"error": ErrorPayload}.
@@ -32,6 +35,9 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Info())
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -53,48 +59,48 @@ func writeError(w http.ResponseWriter, status int, pay *ErrorPayload) {
 	writeJSON(w, status, map[string]*ErrorPayload{"error": pay})
 }
 
-// decodeSubmit parses and validates a submission body into a validated
-// problem, its canonical JSON and the normalized spec. A false final
-// return means the error response was already written.
-func (s *Server) decodeSubmit(w http.ResponseWriter, r *http.Request) (*nocmap.Problem, []byte, SolveSpec, bool) {
-	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest,
-			&ErrorPayload{Code: CodeBadRequest, Message: "parsing request body: " + err.Error()})
-		return nil, nil, SolveSpec{}, false
-	}
-	if len(req.Problem) == 0 {
-		writeError(w, http.StatusBadRequest,
-			&ErrorPayload{Code: CodeBadRequest, Message: `missing "problem"`})
-		return nil, nil, SolveSpec{}, false
-	}
-	var p nocmap.Problem
-	if err := json.Unmarshal(req.Problem, &p); err != nil {
-		// Problem construction failed: distinguish malformed JSON from a
-		// well-formed but invalid/infeasible problem via the typed
-		// sentinels (422 carries the classification).
-		pay := errorPayload(err)
-		status := http.StatusUnprocessableEntity
-		if pay.Code == CodeInternal {
-			pay.Code = CodeBadRequest
-			status = http.StatusBadRequest
+// MaxBodyBytes caps a submission body (64MB — orders of magnitude above
+// any real problem). The parse layer already bounds what decoded fields
+// may allocate (nocmap.MaxWireNodes); this bounds the buffered body
+// itself, so an arbitrarily large POST cannot exhaust memory before the
+// parser ever runs. The shard router applies the same cap at the edge.
+const MaxBodyBytes = 64 << 20
+
+// ReadSubmitBody drains a submission body under the MaxBodyBytes cap,
+// mapping an oversized body to a typed 413. The server's handlers and
+// the shard router share it so the edge and the backend can never
+// disagree on the cap or its error shape.
+func ReadSubmitBody(w http.ResponseWriter, r *http.Request) ([]byte, *SubmitError) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		serr := &SubmitError{Status: http.StatusBadRequest,
+			Payload: &ErrorPayload{Code: CodeBadRequest, Message: "reading request body: " + err.Error()}}
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			serr.Status = http.StatusRequestEntityTooLarge
+			serr.Payload.Message = fmt.Sprintf("request body exceeds %d bytes", int64(MaxBodyBytes))
 		}
-		pay.Message = "invalid problem: " + pay.Message
-		writeError(w, status, pay)
+		return nil, serr
+	}
+	return body, nil
+}
+
+// decodeSubmit parses and validates a submission body into a validated
+// problem, its canonical JSON and the normalized, profile-defaulted
+// spec. A false final return means the error response was already
+// written.
+func (s *Server) decodeSubmit(w http.ResponseWriter, r *http.Request) (*nocmap.Problem, []byte, SolveSpec, bool) {
+	body, serr := ReadSubmitBody(w, r)
+	if serr != nil {
+		writeError(w, serr.Status, serr.Payload)
 		return nil, nil, SolveSpec{}, false
 	}
-	spec, err := req.Options.normalize()
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, errorPayloadForSpec(err))
+	p, canon, spec, serr := ParseSubmit(body)
+	if serr != nil {
+		writeError(w, serr.Status, serr.Payload)
 		return nil, nil, SolveSpec{}, false
 	}
-	canon, err := json.Marshal(&p)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError,
-			&ErrorPayload{Code: CodeInternal, Message: err.Error()})
-		return nil, nil, SolveSpec{}, false
-	}
-	return &p, canon, spec, true
+	return p, canon, s.cfg.Profile.Apply(spec), true
 }
 
 // errorPayloadForSpec classifies option-normalization failures.

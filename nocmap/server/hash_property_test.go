@@ -1,0 +1,166 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/nocmap/server"
+)
+
+// parseKey runs a raw submission body through the shared front door and
+// returns its canonical job key.
+func parseKey(t *testing.T, body string) string {
+	t.Helper()
+	_, canon, spec, serr := server.ParseSubmit([]byte(body))
+	if serr != nil {
+		t.Fatalf("ParseSubmit(%s): %v", body, serr)
+	}
+	return server.JobKey(canon, spec)
+}
+
+// TestJobKeyInvariantUnderWorkers pins the cache-sharing contract:
+// worker counts never change results, so they must never change the
+// key.
+func TestJobKeyInvariantUnderWorkers(t *testing.T) {
+	const tmpl = `{"problem":{"app":{"edges":[{"from":"a","to":"b","bw":100}]},
+		"topology":{"kind":"mesh","w":2,"h":2,"link_bw":1000}},
+		"options":{"algorithm":"nmap-single","workers":%d}}`
+	base := parseKey(t, fmt.Sprintf(tmpl, 0))
+	for _, workers := range []int{-1, 1, 2, 8, 1024} {
+		if got := parseKey(t, fmt.Sprintf(tmpl, workers)); got != base {
+			t.Fatalf("workers=%d changed the key: %s vs %s", workers, got, base)
+		}
+	}
+}
+
+// TestJobKeyInvariantUnderJSONFieldOrder permutes the field order of
+// every object in the submission — problem, app, edges, topology,
+// options — and demands one key: the hash must see canonical content,
+// never the client's formatting.
+func TestJobKeyInvariantUnderJSONFieldOrder(t *testing.T) {
+	bodies := []string{
+		`{"problem":{"app":{"edges":[{"from":"a","to":"b","bw":100},{"from":"b","to":"c","bw":50}]},
+			"topology":{"kind":"torus","w":3,"h":2,"link_bw":1000}},
+			"options":{"algorithm":"nmap-split","split":"min-paths"}}`,
+		`{"options":{"split":"min-paths","algorithm":"nmap-split"},
+			"problem":{"topology":{"link_bw":1000,"h":2,"w":3,"kind":"torus"},
+			"app":{"edges":[{"bw":100,"to":"b","from":"a"},{"bw":50,"from":"b","to":"c"}]}}}`,
+		`{"problem":{"topology":{"kind":"torus","link_bw":1000,"w":3,"h":2},
+			"app":{"edges":[{"from":"a","bw":100,"to":"b"},{"to":"c","bw":50,"from":"b"}]}},
+			"options":{"algorithm":"nmap-split","split":"min-paths","workers":16}}`,
+	}
+	want := parseKey(t, bodies[0])
+	for i, body := range bodies[1:] {
+		if got := parseKey(t, body); got != want {
+			t.Fatalf("field permutation %d changed the key: %s vs %s", i+1, got, want)
+		}
+	}
+	// Whitespace and number spellings wash out too.
+	spaced := `{ "problem" : { "app" : { "edges" : [ { "from" : "a" , "to" : "b" , "bw" : 1e2 } ,
+		{ "from" : "b" , "to" : "c" , "bw" : 50.0 } ] } ,
+		"topology" : { "kind" : "torus" , "w" : 3 , "h" : 2 , "link_bw" : 1000 } } ,
+		"options" : { "algorithm" : "nmap-split" , "split" : "min-paths" } }`
+	if got := parseKey(t, spaced); got != want {
+		t.Fatalf("whitespace/number formatting changed the key: %s vs %s", got, want)
+	}
+}
+
+// TestJobKeySeparatesContent is the flip side: anything that can change
+// a result must change the key.
+func TestJobKeySeparatesContent(t *testing.T) {
+	const tmpl = `{"problem":{"app":{"edges":[{"from":"a","to":"b","bw":%g}]},
+		"topology":{"kind":"%s","w":2,"h":2,"link_bw":%g}},"options":%s}`
+	keys := map[string]string{}
+	for name, body := range map[string]string{
+		"base":       fmt.Sprintf(tmpl, 100.0, "mesh", 1000.0, `{}`),
+		"edge-bw":    fmt.Sprintf(tmpl, 120.0, "mesh", 1000.0, `{}`),
+		"topo-kind":  fmt.Sprintf(tmpl, 100.0, "torus", 1000.0, `{}`),
+		"link-bw":    fmt.Sprintf(tmpl, 100.0, "mesh", 900.0, `{}`),
+		"algorithm":  fmt.Sprintf(tmpl, 100.0, "mesh", 1000.0, `{"algorithm":"gmap"}`),
+		"split":      fmt.Sprintf(tmpl, 100.0, "mesh", 1000.0, `{"algorithm":"nmap-split","split":"min-paths"}`),
+		"bw-cap":     fmt.Sprintf(tmpl, 100.0, "mesh", 1000.0, `{"bandwidth_cap":800}`),
+		"fast-queue": fmt.Sprintf(tmpl, 100.0, "mesh", 1000.0, `{"algorithm":"pbb","fast_queue":true}`),
+		"pbb-budget": fmt.Sprintf(tmpl, 100.0, "mesh", 1000.0, `{"algorithm":"pbb","max_expand":500}`),
+	} {
+		key := parseKey(t, body)
+		for other, existing := range keys {
+			if existing == key {
+				t.Fatalf("%q and %q collide on %s", name, other, key)
+			}
+		}
+		keys[name] = key
+	}
+}
+
+// TestJobKeyCorpusNoCollisions sweeps a generated corpus of distinct
+// problems plus the checked-in fuzz seeds: no two distinct canonical
+// problems may share a key.
+func TestJobKeyCorpusNoCollisions(t *testing.T) {
+	byKey := map[string]string{} // key -> canonical problem JSON
+	check := func(label, body string) {
+		t.Helper()
+		_, canon, spec, serr := server.ParseSubmit([]byte(body))
+		if serr != nil {
+			return // invalid corpus entries don't hash at all
+		}
+		spec.Workers = 0 // normalize away the one field the key ignores
+		key := server.JobKey(canon, spec)
+		optJSON, _ := json.Marshal(spec)
+		identity := string(canon) + "|" + string(optJSON)
+		if prev, ok := byKey[key]; ok && prev != identity {
+			t.Fatalf("%s collides with a different submission on key %s:\n%s\n%s", label, key, prev, identity)
+		}
+		byKey[key] = identity
+	}
+
+	// Generated sweep: geometry x bandwidth x edge-set x options.
+	n := 0
+	for _, kind := range []string{"mesh", "torus"} {
+		for _, dims := range [][2]int{{2, 2}, {3, 2}, {3, 3}, {4, 4}} {
+			for _, bw := range []float64{400, 800} {
+				for _, algo := range []string{"nmap-single", "gmap"} {
+					body := fmt.Sprintf(`{"problem":{"app":{"edges":[
+						{"from":"a","to":"b","bw":%g},{"from":"b","to":"c","bw":%g}]},
+						"topology":{"kind":%q,"w":%d,"h":%d,"link_bw":2000}},
+						"options":{"algorithm":%q}}`,
+						bw, bw/2, kind, dims[0], dims[1], algo)
+					check(fmt.Sprintf("gen-%d", n), body)
+					n++
+				}
+			}
+		}
+	}
+
+	// The checked-in fuzz corpus rides along.
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseSubmit")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fuzz corpus missing: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Corpus format: "go test fuzz v1\n[]byte(...)\n".
+		for _, line := range strings.Split(string(data), "\n") {
+			if !strings.HasPrefix(line, "[]byte(") {
+				continue
+			}
+			lit := strings.TrimSuffix(strings.TrimPrefix(line, "[]byte("), ")")
+			body, err := strconv.Unquote(lit)
+			if err != nil {
+				t.Fatalf("corpus entry %s does not unquote: %v", e.Name(), err)
+			}
+			check("corpus/"+e.Name(), body)
+		}
+	}
+	if len(byKey) < 30 {
+		t.Fatalf("corpus too small to mean anything: %d distinct keys", len(byKey))
+	}
+}

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/nocmap"
+	"repro/nocmap/store"
+)
+
+// recordOf flattens a job into its persisted form. Terminal records
+// carry the outcome but drop the problem and spec — replay never
+// re-runs them, and the terminal PutJob overwrites the queued record,
+// so keeping them would only re-write the full canonical problem JSON
+// into the WAL a second time. Callers hold s.mu.
+func (s *Server) recordOf(j *job, seq uint64) store.JobRecord {
+	rec := store.JobRecord{
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Coalesced: j.coalesced,
+		Result:    j.result,
+		Seq:       seq,
+		Minted:    s.nextID, // ID-counter highwater; see store.JobRecord.Minted
+	}
+	if j.errPay != nil {
+		if raw, err := json.Marshal(j.errPay); err == nil {
+			rec.Error = raw
+		}
+	}
+	if !store.Terminal(j.state) {
+		rec.Problem = j.canon
+		if raw, err := json.Marshal(j.spec); err == nil {
+			rec.Spec = raw
+		}
+	}
+	return rec
+}
+
+// persistJob writes a job's current state to the store, if one is
+// configured. Failures are counted, not fatal: the server keeps
+// serving with best-effort durability. Callers hold s.mu.
+func (s *Server) persistJob(j *job, seq uint64) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.PutJob(s.recordOf(j, seq)); err != nil {
+		s.stats.StoreErrors++
+	}
+}
+
+// persistCachePut mirrors a result-cache insert into the store. With
+// caching disabled the in-memory LRU holds nothing and would never
+// evict, so persisting would grow the store's cache section without
+// bound — skip it entirely. Callers hold s.mu.
+func (s *Server) persistCachePut(key string, result json.RawMessage) {
+	if s.cfg.Store == nil || s.cache.cap <= 0 {
+		return
+	}
+	if err := s.cfg.Store.PutCache(key, result); err != nil {
+		s.stats.StoreErrors++
+	}
+}
+
+// dropPersistedJob forgets a retention-evicted job in the store, so a
+// replay cannot resurrect what the live server already let go.
+// Callers hold s.mu.
+func (s *Server) dropPersistedJob(id string) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if err := s.cfg.Store.DeleteJob(id); err != nil {
+		s.stats.StoreErrors++
+	}
+}
+
+// replay loads the configured store and rebuilds the pre-restart world:
+// terminal jobs become queryable history (byte-identical results, in
+// terminal-transition order so retention agrees with the live server's
+// eviction order), the result cache is re-warmed, and queued/running
+// jobs are re-enqueued — or answered straight from the restored cache.
+// It runs from New, before the workers start.
+func (s *Server) replay() error {
+	snap, err := s.cfg.Store.Load()
+	if err != nil {
+		return fmt.Errorf("server: loading job store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var terminal, live []store.JobRecord
+	for _, rec := range snap.Jobs {
+		if rec.ID == "" {
+			continue
+		}
+		s.bumpNextID(rec.ID)
+		if rec.Minted > s.nextID {
+			// The persisted highwater covers IDs whose own records
+			// retention already deleted.
+			s.nextID = rec.Minted
+		}
+		if store.Terminal(rec.State) {
+			terminal = append(terminal, rec)
+		} else {
+			live = append(live, rec)
+		}
+	}
+
+	// Terminal history replays in terminal-transition order — the order
+	// the live server evicted by — never submission/insertion order.
+	sort.SliceStable(terminal, func(i, k int) bool { return terminal[i].Seq < terminal[k].Seq })
+	for _, rec := range terminal {
+		j := &job{
+			id:        rec.ID,
+			key:       rec.Key,
+			state:     rec.State,
+			cacheHit:  rec.CacheHit,
+			coalesced: rec.Coalesced,
+			result:    rec.Result,
+			finished:  true,
+			done:      make(chan struct{}),
+			subs:      make(map[chan JobEvent]struct{}),
+		}
+		if len(rec.Error) > 0 {
+			var pay ErrorPayload
+			if json.Unmarshal(rec.Error, &pay) == nil {
+				j.errPay = &pay
+			}
+		}
+		close(j.done)
+		s.jobs[j.id] = j
+		s.doneOrder = append(s.doneOrder, j.id)
+		if rec.Seq > s.termSeq {
+			s.termSeq = rec.Seq
+		}
+		s.stats.Restored++
+	}
+	// Apply retention to the restored history exactly as the live
+	// server would have.
+	for len(s.doneOrder) > s.cfg.Retention {
+		evicted := s.doneOrder[0]
+		delete(s.jobs, evicted)
+		s.doneOrder = s.doneOrder[1:]
+		s.dropPersistedJob(evicted)
+	}
+
+	// The persisted cache re-warms the LRU before any live job looks at
+	// it, oldest entry first so recency is preserved.
+	for _, entry := range snap.Cache {
+		s.cache.add(entry.Key, entry.Result)
+	}
+
+	// Interrupted jobs: re-answer from the restored cache when possible,
+	// otherwise re-enqueue (coalescing duplicates back together).
+	for _, rec := range live {
+		s.stats.Recovered++
+		s.recoverLive(rec)
+	}
+	return nil
+}
+
+// recoverLive re-admits one interrupted job under its original ID.
+// Callers hold s.mu.
+func (s *Server) recoverLive(rec store.JobRecord) {
+	j := &job{
+		id:    rec.ID,
+		canon: rec.Problem,
+		done:  make(chan struct{}),
+		subs:  make(map[chan JobEvent]struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+	s.jobs[j.id] = j
+
+	fail := func(err error) {
+		j.cancel()
+		s.finishLocked(j, StateFailed, nil, errorPayload(err))
+	}
+	var p nocmap.Problem
+	if err := json.Unmarshal(rec.Problem, &p); err != nil {
+		fail(fmt.Errorf("replaying job %s: %w", rec.ID, err))
+		return
+	}
+	var spec SolveSpec
+	if len(rec.Spec) > 0 {
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			fail(fmt.Errorf("replaying job %s options: %w", rec.ID, err))
+			return
+		}
+	}
+	spec, err := spec.normalize() // the registry may have changed across the restart
+	if err != nil {
+		fail(err)
+		return
+	}
+	j.problem = &p
+	j.spec = spec
+	j.key = JobKey(rec.Problem, spec) // recompute: guards against hash drift
+	j.pkey = problemKey(rec.Problem)
+	topo := p.Topology()
+	j.tkey = fmt.Sprintf("%s/%dx%d", topo.Kind, topo.W, topo.H)
+
+	if cached, ok := s.cache.get(j.key); ok {
+		s.finishCachedLocked(j, cached)
+		return
+	}
+	if leader, ok := s.leaders[j.key]; ok {
+		j.state = leader.state
+		j.coalesced = true
+		j.leader = leader
+		leader.followers = append(leader.followers, j)
+		s.stats.Coalesced++
+		s.persistJob(j, 0)
+		return
+	}
+	j.state = StateQueued
+	s.leaders[j.key] = j
+	s.queue = append(s.queue, j)
+	s.persistJob(j, 0)
+}
+
+// bumpNextID keeps minted IDs ahead of every replayed one with our
+// prefix, so a restarted server never reissues an ID.
+func (s *Server) bumpNextID(id string) {
+	rest, ok := strings.CutPrefix(id, s.cfg.IDPrefix)
+	if !ok {
+		return
+	}
+	rest, ok = strings.CutPrefix(rest, "job-")
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return
+	}
+	if n > s.nextID {
+		s.nextID = n
+	}
+}

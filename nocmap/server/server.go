@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/nocmap"
+	"repro/nocmap/store"
 )
 
 // Config sizes the service. The zero value is usable: one worker per
@@ -31,15 +32,33 @@ type Config struct {
 	// solver state (<= 0: 8).
 	BatchSize int
 	// Retention bounds how many finished jobs keep their status
-	// queryable via GET /v1/jobs/{id} (<= 0: 1024). The oldest finished
-	// jobs are evicted first; the result cache is separate and
-	// unaffected.
+	// queryable via GET /v1/jobs/{id} (<= 0: 1024). Jobs are evicted in
+	// terminal-transition order — the job that finished longest ago goes
+	// first, regardless of when it was submitted; the result cache is
+	// separate and unaffected.
 	Retention int
+	// Store, when non-nil, persists jobs, terminal results and cache
+	// entries. New replays it: finished jobs answer byte-identical to
+	// before the restart, queued/running jobs are re-enqueued (counted
+	// in Stats.Recovered) and the result cache is re-warmed. nil keeps
+	// everything in process memory only.
+	Store store.JobStore
+	// Profile selects a service preset ("" or ProfileRepro: run solves
+	// exactly as requested; ProfileFast: default to full parallelism and
+	// the PBB FastQueue for non-reproduction traffic).
+	Profile Profile
+	// IDPrefix is prepended to every minted job ID (e.g. "s0-" yields
+	// "s0-job-00000001"). Give each backend behind a shard router a
+	// distinct prefix so the router can route an ID back to its owner.
+	IDPrefix string
 }
 
 func (c Config) withDefaults() Config {
 	if c.Pool <= 0 {
 		c.Pool = runtime.NumCPU()
+	}
+	if c.Profile == "" {
+		c.Profile = ProfileRepro
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 256
@@ -67,6 +86,7 @@ type job struct {
 
 	problem *nocmap.Problem
 	spec    SolveSpec
+	canon   []byte // canonical problem JSON (persisted for replay)
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -100,30 +120,58 @@ type Server struct {
 	queue     []*job
 	jobs      map[string]*job
 	leaders   map[string]*job // key -> unfinished leader to coalesce onto
-	doneOrder []string        // finished job IDs, oldest first (retention)
+	doneOrder []string        // finished job IDs, terminal-transition order
 	cache     *resultCache
 	stats     Stats
 	running   int
 	closed    bool
 	nextID    uint64
+	termSeq   uint64 // terminal-transition sequence (persisted per job)
 
 	wg sync.WaitGroup
 }
 
-// New builds the service and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds the service, replays Config.Store when one is set and
+// starts the worker pool. It fails only on an unknown profile or a
+// store that cannot be loaded.
+func New(cfg Config) (*Server, error) {
+	if !cfg.Profile.Valid() {
+		return nil, fmt.Errorf("server: unknown profile %q (want %q or %q)",
+			cfg.Profile, ProfileRepro, ProfileFast)
+	}
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		jobs:    make(map[string]*job),
 		leaders: make(map[string]*job),
 	}
 	s.cache = newResultCache(s.cfg.CacheSize)
+	if s.cfg.Store != nil {
+		s.cache.onEvict = func(key string) {
+			if err := s.cfg.Store.DeleteCache(key); err != nil {
+				s.stats.StoreErrors++
+			}
+		}
+	}
 	s.cond = sync.NewCond(&s.mu)
+	if s.cfg.Store != nil {
+		if err := s.replay(); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < s.cfg.Pool; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
+}
+
+// Info describes this instance to clients and shard routers.
+func (s *Server) Info() Info {
+	return Info{
+		IDPrefix: s.cfg.IDPrefix,
+		Profile:  s.cfg.Profile,
+		Durable:  s.cfg.Store != nil,
+	}
 }
 
 // Close stops accepting jobs, cancels everything queued or running and
@@ -176,7 +224,7 @@ func (e *submitError) Error() string { return e.payload.Error() }
 // it classifies the job — cache hit, coalesced follower or fresh leader
 // — and enqueues leaders.
 func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (*job, *submitError) {
-	key := jobKey(problemJSON, spec)
+	key := JobKey(problemJSON, spec)
 	topo := p.Topology()
 	j := &job{
 		key:     key,
@@ -184,6 +232,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 		tkey:    fmt.Sprintf("%s/%dx%d", topo.Kind, topo.W, topo.H),
 		problem: p,
 		spec:    spec,
+		canon:   problemJSON,
 		done:    make(chan struct{}),
 		subs:    make(map[chan JobEvent]struct{}),
 	}
@@ -197,14 +246,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 	}
 	if cached, ok := s.cache.get(key); ok {
 		s.registerLocked(j)
-		j.state = StateDone
-		j.finished = true
-		j.cacheHit = true
-		j.result = cached
-		j.cancel() // nothing will run; release the context
-		close(j.done)
-		s.retainLocked(j)
-		s.stats.CacheHits++
+		s.finishCachedLocked(j, cached)
 		return j, nil
 	}
 	if leader, ok := s.leaders[key]; ok {
@@ -214,6 +256,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		s.stats.Coalesced++
+		s.persistJob(j, 0)
 		return j, nil
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
@@ -225,6 +268,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 	j.state = StateQueued
 	s.leaders[key] = j
 	s.queue = append(s.queue, j)
+	s.persistJob(j, 0)
 	s.cond.Signal()
 	return j, nil
 }
@@ -233,21 +277,44 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 // full, shutdown) get no ID and do not count as submitted.
 func (s *Server) registerLocked(j *job) {
 	s.nextID++
-	j.id = fmt.Sprintf("job-%08d", s.nextID)
+	j.id = fmt.Sprintf("%sjob-%08d", s.cfg.IDPrefix, s.nextID)
 	s.jobs[j.id] = j
 	s.stats.Submitted++
 }
 
+// finishCachedLocked completes a job straight from the result cache:
+// terminal done, counted as a cache hit only (never a solve — nothing
+// ran). Shared by live submissions and restart recovery so the stats
+// cannot drift between the two paths. Callers hold s.mu.
+func (s *Server) finishCachedLocked(j *job, cached json.RawMessage) {
+	j.state = StateDone
+	j.finished = true
+	j.cacheHit = true
+	j.result = cached
+	j.cancel() // nothing will run; release the context
+	close(j.done)
+	s.termSeq++
+	s.persistJob(j, s.termSeq)
+	s.retainLocked(j)
+	s.stats.CacheHits++
+}
+
 // retainLocked enrolls a finished job in the bounded retention window,
 // evicting the oldest finished statuses beyond Config.Retention so a
-// long-running server's job index cannot grow without bound. (Live
-// handles — an SSE subscriber's *job — keep working after eviction;
-// only lookup by ID ends.)
+// long-running server's job index cannot grow without bound. doneOrder
+// is strictly terminal-transition order (jobs enroll the moment they
+// finish, wherever they sat in the submission order), and every
+// eviction is mirrored into the job store — the pair of invariants that
+// keeps a replayed store from resurrecting jobs retention already let
+// go. (Live handles — an SSE subscriber's *job — keep working after
+// eviction; only lookup by ID ends.)
 func (s *Server) retainLocked(j *job) {
 	s.doneOrder = append(s.doneOrder, j.id)
 	for len(s.doneOrder) > s.cfg.Retention {
-		delete(s.jobs, s.doneOrder[0])
+		evicted := s.doneOrder[0]
+		delete(s.jobs, evicted)
 		s.doneOrder = s.doneOrder[1:]
+		s.dropPersistedJob(evicted)
 	}
 }
 
@@ -335,6 +402,8 @@ func (s *Server) finishLocked(j *job, state string, result json.RawMessage, errP
 	case StateDone:
 		s.stats.Solved++
 	}
+	s.termSeq++
+	s.persistJob(j, s.termSeq)
 	s.retainLocked(j)
 	close(j.done)
 	for _, f := range j.followers {
@@ -395,6 +464,9 @@ func (s *Server) solve(j *job, problems map[string]*nocmap.Problem) {
 		s.mu.Unlock()
 		return
 	}
+	// The queued->running transition is deliberately NOT persisted:
+	// replay re-enqueues running and queued records identically, so the
+	// extra fsynced WAL append per job (under s.mu) would buy nothing.
 	j.state = StateRunning
 	for _, f := range j.followers {
 		f.state = StateRunning
@@ -431,6 +503,7 @@ func (s *Server) solve(j *job, problems map[string]*nocmap.Problem) {
 	switch {
 	case err == nil:
 		s.cache.add(j.key, raw)
+		s.persistCachePut(j.key, raw)
 		s.finishLocked(j, StateDone, raw, nil)
 	case j.ctx.Err() != nil:
 		// Cancelled mid-solve: the partial result (Result.Partial) rides

@@ -52,7 +52,16 @@ func init() {
 // deterministic) behind an httptest server.
 func newTestServer(t *testing.T) (*server.Server, *httptest.Server) {
 	t.Helper()
-	svc := server.New(server.Config{Pool: 1, QueueSize: 8, CacheSize: 8})
+	return newConfiguredServer(t, server.Config{Pool: 1, QueueSize: 8, CacheSize: 8})
+}
+
+// newConfiguredServer boots an arbitrary config behind httptest.
+func newConfiguredServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	svc, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -469,12 +478,7 @@ func TestEventsStream(t *testing.T) {
 
 // TestQueueFull pins the backpressure path.
 func TestQueueFull(t *testing.T) {
-	svc := server.New(server.Config{Pool: 1, QueueSize: 1, CacheSize: 0})
-	ts := httptest.NewServer(svc.Handler())
-	defer func() {
-		ts.Close()
-		svc.Close()
-	}()
+	svc, ts := newConfiguredServer(t, server.Config{Pool: 1, QueueSize: 1, CacheSize: 0})
 	// Occupy the worker, fill the queue slot, then overflow.
 	_, got := post(t, ts.URL+"/v1/jobs",
 		submitBody(t, tinyProblemJSON(t, "tiny-full-0"), server.SolveSpec{Algorithm: "test-block"}))
@@ -547,12 +551,7 @@ func TestSyncDisconnectSparesSharedComputation(t *testing.T) {
 // TestRetentionEvictsOldFinishedJobs pins the bounded job index: beyond
 // Config.Retention, the oldest finished statuses stop resolving.
 func TestRetentionEvictsOldFinishedJobs(t *testing.T) {
-	svc := server.New(server.Config{Pool: 1, QueueSize: 8, CacheSize: 0, Retention: 2})
-	ts := httptest.NewServer(svc.Handler())
-	defer func() {
-		ts.Close()
-		svc.Close()
-	}()
+	_, ts := newConfiguredServer(t, server.Config{Pool: 1, QueueSize: 8, CacheSize: 0, Retention: 2})
 	var ids []string
 	for i := 0; i < 3; i++ {
 		_, got := post(t, ts.URL+"/v1/solve",
@@ -606,12 +605,7 @@ func TestHealthAndAlgorithms(t *testing.T) {
 // TestBatchingReusesProblems pushes several identical-topology problems
 // through one worker and asserts the per-worker problem cache saw reuse.
 func TestBatchingReusesProblems(t *testing.T) {
-	svc := server.New(server.Config{Pool: 1, QueueSize: 16, CacheSize: 0, BatchSize: 4})
-	ts := httptest.NewServer(svc.Handler())
-	defer func() {
-		ts.Close()
-		svc.Close()
-	}()
+	svc, ts := newConfiguredServer(t, server.Config{Pool: 1, QueueSize: 16, CacheSize: 0, BatchSize: 4})
 	problem := tinyProblemJSON(t, "tiny-batch")
 	// Same problem, distinct cache keys (caching is off anyway) via
 	// different PBB budgets so nothing coalesces.

@@ -101,6 +101,111 @@ type SubmitRequest struct {
 	Options SolveSpec       `json:"options"`
 }
 
+// SubmitError is a rejected submission: the HTTP status to answer with
+// plus the typed payload. ParseSubmit returns it; the shard router
+// relays it verbatim so edge validation and backend validation agree.
+type SubmitError struct {
+	Status  int
+	Payload *ErrorPayload
+}
+
+// Error renders the payload.
+func (e *SubmitError) Error() string { return e.Payload.Error() }
+
+// ParseSubmit decodes and validates a submission body into the parsed
+// problem, its canonical JSON (the re-marshaled parse, so formatting
+// differences wash out of every derived hash) and the normalized solve
+// spec. It never panics on hostile input — every malformed body maps to
+// a typed SubmitError. Both the server's handlers and the shard router
+// route through it, which is what guarantees they hash identically.
+func ParseSubmit(body []byte) (*nocmap.Problem, []byte, SolveSpec, *SubmitError) {
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, SolveSpec{}, &SubmitError{Status: 400,
+			Payload: &ErrorPayload{Code: CodeBadRequest, Message: "parsing request body: " + err.Error()}}
+	}
+	if len(req.Problem) == 0 {
+		return nil, nil, SolveSpec{}, &SubmitError{Status: 400,
+			Payload: &ErrorPayload{Code: CodeBadRequest, Message: `missing "problem"`}}
+	}
+	var p nocmap.Problem
+	if err := json.Unmarshal(req.Problem, &p); err != nil {
+		// Problem construction failed: distinguish malformed JSON from a
+		// well-formed but invalid/infeasible problem via the typed
+		// sentinels (422 carries the classification).
+		pay := errorPayload(err)
+		status := 422
+		if pay.Code == CodeInternal {
+			pay.Code = CodeBadRequest
+			status = 400
+		}
+		pay.Message = "invalid problem: " + pay.Message
+		return nil, nil, SolveSpec{}, &SubmitError{Status: status, Payload: pay}
+	}
+	spec, err := req.Options.normalize()
+	if err != nil {
+		return nil, nil, SolveSpec{}, &SubmitError{Status: 422, Payload: errorPayloadForSpec(err)}
+	}
+	canon, err := json.Marshal(&p)
+	if err != nil {
+		return nil, nil, SolveSpec{}, &SubmitError{Status: 500,
+			Payload: &ErrorPayload{Code: CodeInternal, Message: err.Error()}}
+	}
+	return &p, canon, spec, nil
+}
+
+// Profile names a service tuning preset.
+type Profile string
+
+const (
+	// ProfileRepro (the default) runs every solve exactly as requested:
+	// results are bit-identical to the paper-reproduction defaults.
+	ProfileRepro Profile = "repro"
+	// ProfileFast is the service preset for non-reproduction traffic: a
+	// submission that does not pin Workers gets full parallelism
+	// (Workers=-1), and every PBB solve uses the FastQueue engine — ~4x
+	// faster, same optimum, but not bit-compatible with the historical
+	// queue's tie-breaking. FastQueue is forced, not defaulted: the wire
+	// form cannot distinguish an explicit "fast_queue": false from an
+	// unset one, so a fast instance never runs the legacy queue. Run a
+	// repro-profile instance when byte-identical reproduction output
+	// matters.
+	ProfileFast Profile = "fast"
+)
+
+// Valid reports whether the profile is a known preset ("" is repro).
+func (p Profile) Valid() bool {
+	return p == "" || p == ProfileRepro || p == ProfileFast
+}
+
+// Apply folds the profile's defaults into a normalized spec. The
+// profiled spec is what the server hashes, runs and persists, so one
+// server's cache and coalescing stay internally consistent — and what
+// a shard router fronting same-profile backends hashes for routing.
+func (p Profile) Apply(s SolveSpec) SolveSpec {
+	if p != ProfileFast {
+		return s
+	}
+	if s.Workers == 0 {
+		s.Workers = -1
+	}
+	s.FastQueue = true
+	return s
+}
+
+// Info is the GET /v1/info response: the identity facts a shard router
+// needs to route by (the job-ID prefix) plus the service preset.
+type Info struct {
+	// IDPrefix is prepended to every job ID this instance mints; a shard
+	// router maps an ID back to its backend by it.
+	IDPrefix string `json:"id_prefix"`
+	// Profile is the service preset ("repro" or "fast").
+	Profile Profile `json:"profile"`
+	// Durable reports whether a persistent job store backs this
+	// instance (jobs and results survive a restart).
+	Durable bool `json:"durable"`
+}
+
 // Job states, in lifecycle order.
 const (
 	StateQueued    = "queued"
@@ -194,16 +299,29 @@ type Stats struct {
 	CacheHits      uint64 `json:"cache_hits"`
 	Coalesced      uint64 `json:"coalesced"`
 	ProblemsReused uint64 `json:"problems_reused"`
-	QueueLen       int    `json:"queue_len"`
-	Running        int    `json:"running"`
-	CacheLen       int    `json:"cache_len"`
+	// Recovered counts jobs that a restart found queued or running in
+	// the job store and re-enqueued (or re-answered from the restored
+	// cache) instead of losing.
+	Recovered uint64 `json:"recovered"`
+	// Restored counts terminal job statuses replayed from the job store
+	// at boot: their results serve byte-identical to before the restart.
+	Restored uint64 `json:"restored"`
+	// StoreErrors counts job-store writes that failed; the server keeps
+	// serving (durability is then best-effort) but the counter makes the
+	// degradation observable.
+	StoreErrors uint64 `json:"store_errors"`
+	QueueLen    int    `json:"queue_len"`
+	Running     int    `json:"running"`
+	CacheLen    int    `json:"cache_len"`
 }
 
-// jobKey builds the canonical cache/coalescing key: a hash over the
-// canonical problem JSON (the re-marshaled parsed problem, so
-// formatting differences wash out) and the normalized options minus
-// Workers (worker counts never change results).
-func jobKey(problemJSON []byte, spec SolveSpec) string {
+// JobKey builds the canonical cache/coalescing/shard-routing key: a
+// hash over the canonical problem JSON (the re-marshaled parsed
+// problem, so formatting and field-order differences wash out) and the
+// normalized options minus Workers (worker counts never change
+// results). The shard router hashes the same key, which is what keeps
+// each backend's result cache hot for its slice of the keyspace.
+func JobKey(problemJSON []byte, spec SolveSpec) string {
 	hashed := spec
 	hashed.Workers = 0
 	optJSON, _ := json.Marshal(hashed)

@@ -1,0 +1,22 @@
+// Package shard fronts a fleet of nocmapd backends with one HTTP
+// endpoint.
+//
+// The Router places submissions on a consistent-hash ring keyed by the
+// same canonical problem+options hash the backends cache and coalesce
+// by (server.JobKey): identical work always lands on the same backend,
+// so the per-backend result caches stay hot and in-flight duplicates
+// keep coalescing, while distinct work spreads across the fleet. Ring
+// placement is a pure function of the backend URL set — stable across
+// router restarts, and moving only ~1/N of the keyspace when a backend
+// joins or leaves.
+//
+// Requests addressed to a specific job ID are answered with a 307
+// redirect to the owning backend (resolved by the backend's -id-prefix,
+// discovered over GET /v1/info); net/http clients — repro/nocmap/client
+// included — follow them transparently, for SSE event streams too.
+// Fleet-wide endpoints (/v1/stats, /v1/algorithms, /healthz) fan out to
+// every backend and merge the answers. An unreachable backend fails
+// over to the next on the ring.
+//
+// cmd/nocmapsh is the shipped binary.
+package shard

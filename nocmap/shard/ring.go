@@ -1,0 +1,82 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over backend indices: each backend
+// owns Replicas virtual points hashed from its URL, and a job key lands
+// on the first point clockwise of its own hash. The layout is a pure
+// function of the backend URL set, so assignments are stable across
+// router restarts — the property the per-backend result caches rely on
+// — and adding or removing one backend moves only ~1/N of the keyspace.
+type ring struct {
+	points []ringPoint
+	n      int // backend count
+}
+
+type ringPoint struct {
+	hash    uint64
+	backend int
+}
+
+// hash64 hashes an arbitrary string onto the ring's keyspace. sha256
+// (truncated) rather than a seeded fast hash: deterministic across
+// processes, architectures and Go releases.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// buildRing places replicas virtual points per backend.
+func buildRing(backends []string, replicas int) *ring {
+	r := &ring{n: len(backends)}
+	for i, url := range backends {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s#%d", url, v)),
+				backend: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].backend < r.points[b].backend // total order: ties cannot flap
+	})
+	return r
+}
+
+// owner returns the backend index a key routes to.
+func (r *ring) owner(key string) int {
+	return r.points[r.search(key)].backend
+}
+
+// search finds the first ring point clockwise of the key's hash.
+func (r *ring) search(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return i
+}
+
+// sequence returns every distinct backend in ring order starting at the
+// key's owner: the failover order when backends are unreachable.
+func (r *ring) sequence(key string) []int {
+	seq := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	for i, start := 0, r.search(key); i < len(r.points) && len(seq) < r.n; i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if !seen[b] {
+			seen[b] = true
+			seq = append(seq, b)
+		}
+	}
+	return seq
+}

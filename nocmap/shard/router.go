@@ -1,0 +1,539 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/nocmap/server"
+)
+
+// Config describes the shard fleet.
+type Config struct {
+	// Backends are the nocmapd base URLs (e.g. "http://10.0.0.1:8537").
+	// At least one is required. Each backend should be started with a
+	// distinct -id-prefix so the router can route job IDs back to their
+	// owner without probing.
+	Backends []string
+	// Replicas is the number of virtual ring points per backend
+	// (<= 0: 64). More points smooth the key distribution.
+	Replicas int
+	// Profile must match the backends' -profile setting ("" = repro).
+	// The backends fold profile defaults into a submission's options
+	// before hashing it; the router applies the same fold here so it
+	// routes by the exact key the backends cache by. Fleets behind one
+	// router should be profile-homogeneous.
+	Profile server.Profile
+	// HTTPClient overrides the client used to reach backends.
+	HTTPClient *http.Client
+}
+
+// CodeUnavailable is the typed error code when no backend could take a
+// request.
+const CodeUnavailable = "backend_unavailable"
+
+// Router fronts N nocmapd backends: submissions are routed by the same
+// canonical problem+options hash the backends cache by (so each
+// backend's result cache stays hot for its slice of the keyspace, and
+// identical submissions keep coalescing), job-ID endpoints redirect to
+// the owning backend, and the introspection endpoints fan out and
+// merge. Backend loss fails over to the next backend on the ring.
+type Router struct {
+	cfg   Config
+	ring  *ring
+	httpc *http.Client // submissions: may legitimately wait on a long sync solve
+	fanc  *http.Client // introspection/discovery/probes: bounded, so a wedged backend cannot hang /healthz
+
+	mu       sync.Mutex
+	prefixes []backendPrefix // discovered via GET /v1/info, lazily
+	stats    RouterStats
+}
+
+type backendPrefix struct {
+	prefix string
+	known  bool
+}
+
+// RouterStats counts the router's own work (GET /v1/stats, "router").
+type RouterStats struct {
+	// Routed counts submissions forwarded to a backend.
+	Routed uint64 `json:"routed"`
+	// Failovers counts submissions that skipped an unreachable backend.
+	Failovers uint64 `json:"failovers"`
+	// Redirects counts job-ID requests answered with a 307 to the
+	// owning backend.
+	Redirects uint64 `json:"redirects"`
+	// Probes counts job-ID lookups that had to ask every backend
+	// because no discovered ID prefix matched.
+	Probes uint64 `json:"probes"`
+}
+
+// New builds a router over the given backends.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends configured")
+	}
+	if !cfg.Profile.Valid() {
+		return nil, fmt.Errorf("shard: unknown profile %q (want %q or %q)",
+			cfg.Profile, server.ProfileRepro, server.ProfileFast)
+	}
+	backends := make([]string, len(cfg.Backends))
+	for i, b := range cfg.Backends {
+		b = strings.TrimRight(b, "/")
+		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
+			return nil, fmt.Errorf("shard: backend %q is not an http(s) URL", cfg.Backends[i])
+		}
+		backends[i] = b
+	}
+	cfg.Backends = backends
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 64
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	// Introspection requests answer immediately on a healthy backend, so
+	// they get a hard timeout: a backend that accepts connections but
+	// never responds (wedged process) must not be able to hang /healthz
+	// — the endpoint monitoring uses to detect exactly that.
+	fanc := &http.Client{Timeout: 10 * time.Second}
+	if cfg.HTTPClient != nil {
+		fanc = cfg.HTTPClient
+	}
+	return &Router{
+		cfg:      cfg,
+		ring:     buildRing(cfg.Backends, cfg.Replicas),
+		httpc:    httpc,
+		fanc:     fanc,
+		prefixes: make([]backendPrefix, len(cfg.Backends)),
+	}, nil
+}
+
+// Backends returns the normalized backend URLs in ring order 0..N-1.
+func (rt *Router) Backends() []string {
+	return append([]string(nil), rt.cfg.Backends...)
+}
+
+// Owner returns the backend URL a submission key routes to — exposed
+// for tests and capacity planning.
+func (rt *Router) Owner(key string) string {
+	return rt.cfg.Backends[rt.ring.owner(key)]
+}
+
+// Stats snapshots the router's own counters.
+func (rt *Router) Stats() RouterStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// Handler returns the router's HTTP API — the same surface as one
+// nocmapd (plus GET /v1/shards), so clients point at the router
+// unchanged:
+//
+//	POST   /v1/jobs, /v1/solve  routed by canonical key, failover on loss
+//	*      /v1/jobs/{id}...     307 redirect to the owning backend
+//	GET    /v1/algorithms       fan-out, merged union
+//	GET    /v1/stats            fan-out, per-shard + summed totals
+//	GET    /v1/shards           shard topology + router counters
+//	GET    /healthz             aggregate backend health
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", rt.handleSubmit)
+	mux.HandleFunc("POST /v1/solve", rt.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJobRedirect)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJobRedirect)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", rt.handleJobRedirect)
+	mux.HandleFunc("GET /v1/algorithms", rt.handleAlgorithms)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	mux.HandleFunc("GET /healthz", rt.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, pay *server.ErrorPayload) {
+	writeJSON(w, status, map[string]*server.ErrorPayload{"error": pay})
+}
+
+// handleSubmit validates at the edge (the same ParseSubmit the backends
+// run, so router and backend can never hash differently), computes the
+// canonical key, and proxies the submission to the key's owner — or, on
+// transport failure, to the next backends along the ring.
+func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, serr := server.ReadSubmitBody(w, r)
+	if serr != nil {
+		writeError(w, serr.Status, serr.Payload)
+		return
+	}
+	_, canon, spec, serr := server.ParseSubmit(body)
+	if serr != nil {
+		writeError(w, serr.Status, serr.Payload)
+		return
+	}
+	// Hash the profile-folded spec — the exact key a backend running the
+	// same profile caches and coalesces by.
+	key := server.JobKey(canon, rt.cfg.Profile.Apply(spec))
+	var lastErr error
+	for i, b := range rt.ring.sequence(key) {
+		resp, err := rt.forward(r.Context(), b, r.URL.Path, body)
+		if err != nil {
+			lastErr = err
+			rt.mu.Lock()
+			rt.stats.Failovers++
+			rt.mu.Unlock()
+			if r.Context().Err() != nil {
+				break // the caller is gone; stop retrying on their behalf
+			}
+			continue
+		}
+		rt.mu.Lock()
+		rt.stats.Routed++
+		rt.mu.Unlock()
+		if i > 0 {
+			// Reached a non-owner: note it in the response so operators
+			// can see degraded cache locality.
+			w.Header().Set("X-Nocmap-Failover", fmt.Sprint(i))
+		}
+		copyResponse(w, resp)
+		return
+	}
+	writeError(w, http.StatusBadGateway, &server.ErrorPayload{
+		Code:    CodeUnavailable,
+		Message: fmt.Sprintf("no backend reachable for key %s: %v", key, lastErr),
+	})
+}
+
+// forward proxies one submission to backend b.
+func (rt *Router) forward(ctx context.Context, b int, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.cfg.Backends[b]+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return rt.httpc.Do(req)
+}
+
+// copyResponse relays a backend response verbatim.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleJobRedirect answers every /v1/jobs/{id}... request with a 307
+// to the backend owning the ID, resolved by the backend's discovered
+// ID prefix (GET /v1/info) or, failing that, by probing. Clients —
+// net/http included — follow 307s transparently, re-sending the method;
+// SSE event streams ride the redirect the same way.
+func (rt *Router) handleJobRedirect(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b, ok, definitive := rt.backendForJob(r.Context(), id)
+	if !ok {
+		if !definitive {
+			// Some backend never answered: the job may well exist there,
+			// so "not found" would be a lie clients act on (abandoning
+			// live jobs). Answer retryably instead.
+			writeError(w, http.StatusBadGateway, &server.ErrorPayload{Code: CodeUnavailable,
+				Message: fmt.Sprintf("cannot place job %q: not every shard answered", id)})
+			return
+		}
+		writeError(w, http.StatusNotFound,
+			&server.ErrorPayload{Code: server.CodeNotFound, Message: fmt.Sprintf("no job %q on any shard", id)})
+		return
+	}
+	rt.mu.Lock()
+	rt.stats.Redirects++
+	rt.mu.Unlock()
+	target := rt.cfg.Backends[b] + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+}
+
+// backendForJob maps a job ID to its backend: longest unique discovered
+// prefix first, then a probe of every backend. The final return
+// reports whether a negative answer is definitive — true only when
+// every backend was actually asked and answered.
+func (rt *Router) backendForJob(ctx context.Context, id string) (int, bool, bool) {
+	if b, ok := rt.matchPrefix(id); ok {
+		return b, true, true
+	}
+	rt.discoverPrefixes(ctx)
+	if b, ok := rt.matchPrefix(id); ok {
+		return b, true, true
+	}
+	b, ok, definitive := rt.probeJob(ctx, id)
+	return b, ok, definitive
+}
+
+// matchPrefix resolves an ID against the discovered prefixes. Only a
+// unique longest non-empty match wins — duplicate prefixes fall back to
+// probing.
+func (rt *Router) matchPrefix(id string) (int, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	best, bestLen, dup := -1, 0, false
+	for i, p := range rt.prefixes {
+		if !p.known || p.prefix == "" || !strings.HasPrefix(id, p.prefix) {
+			continue
+		}
+		switch {
+		case len(p.prefix) > bestLen:
+			best, bestLen, dup = i, len(p.prefix), false
+		case len(p.prefix) == bestLen:
+			dup = true
+		}
+	}
+	if best < 0 || dup {
+		return 0, false
+	}
+	return best, true
+}
+
+// discoverPrefixes fetches /v1/info concurrently from backends whose
+// prefix is still unknown, so one wedged backend costs one timeout, not
+// one per backend. Unreachable backends stay unknown and are retried on
+// the next unresolved lookup.
+func (rt *Router) discoverPrefixes(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range rt.cfg.Backends {
+		rt.mu.Lock()
+		known := rt.prefixes[i].known
+		rt.mu.Unlock()
+		if known {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.cfg.Backends[i]+"/v1/info", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.fanc.Do(req)
+			if err != nil {
+				return
+			}
+			var info server.Info
+			decodeErr := json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decodeErr != nil {
+				return
+			}
+			rt.mu.Lock()
+			rt.prefixes[i] = backendPrefix{prefix: info.IDPrefix, known: true}
+			rt.mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+// probeJob asks every backend for the job concurrently — the fallback
+// when backends run without distinct ID prefixes. The final return
+// reports whether a miss is definitive: false when any backend failed
+// to answer, because the job could live there.
+func (rt *Router) probeJob(ctx context.Context, id string) (int, bool, bool) {
+	rt.mu.Lock()
+	rt.stats.Probes++
+	rt.mu.Unlock()
+	results := rt.fanOut(ctx, "/v1/jobs/"+id)
+	owner, found, definitive := 0, false, true
+	for i, res := range results {
+		switch {
+		case res.err != nil:
+			definitive = false
+		case res.status == http.StatusOK:
+			if !found {
+				owner, found = i, true
+			}
+		}
+	}
+	return owner, found, definitive
+}
+
+// fanOut issues one GET per backend concurrently and returns the
+// responses (nil body on transport failure, paired with the error).
+type fanResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+func (rt *Router) fanOut(ctx context.Context, path string) []fanResult {
+	results := make([]fanResult, len(rt.cfg.Backends))
+	var wg sync.WaitGroup
+	for i := range rt.cfg.Backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.cfg.Backends[i]+path, nil)
+			if err != nil {
+				results[i] = fanResult{err: err}
+				return
+			}
+			resp, err := rt.fanc.Do(req)
+			if err != nil {
+				results[i] = fanResult{err: err}
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = fanResult{status: resp.StatusCode, body: body, err: err}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// handleAlgorithms merges the backends' registries into one sorted
+// union.
+func (rt *Router) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanOut(r.Context(), "/v1/algorithms")
+	seen := map[string]bool{}
+	reachable := false
+	for _, res := range results {
+		if res.err != nil || res.status != http.StatusOK {
+			continue
+		}
+		var out struct {
+			Algorithms []string `json:"algorithms"`
+		}
+		if json.Unmarshal(res.body, &out) != nil {
+			continue
+		}
+		reachable = true
+		for _, a := range out.Algorithms {
+			seen[a] = true
+		}
+	}
+	if !reachable {
+		writeError(w, http.StatusBadGateway,
+			&server.ErrorPayload{Code: CodeUnavailable, Message: "no backend reachable"})
+		return
+	}
+	union := make([]string, 0, len(seen))
+	for a := range seen {
+		union = append(union, a)
+	}
+	sort.Strings(union)
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": union})
+}
+
+// ShardStats is one backend's slice of the merged GET /v1/stats view.
+type ShardStats struct {
+	URL   string        `json:"url"`
+	Error string        `json:"error,omitempty"`
+	Stats *server.Stats `json:"stats,omitempty"`
+}
+
+// MergedStats is the router's GET /v1/stats response: summed totals,
+// the per-shard breakdown and the router's own counters.
+type MergedStats struct {
+	Total  server.Stats `json:"total"`
+	Shards []ShardStats `json:"shards"`
+	Router RouterStats  `json:"router"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanOut(r.Context(), "/v1/stats")
+	merged := MergedStats{Router: rt.Stats()}
+	for i, res := range results {
+		entry := ShardStats{URL: rt.cfg.Backends[i]}
+		switch {
+		case res.err != nil:
+			entry.Error = res.err.Error()
+		case res.status != http.StatusOK:
+			entry.Error = fmt.Sprintf("HTTP %d", res.status)
+		default:
+			var st server.Stats
+			if err := json.Unmarshal(res.body, &st); err != nil {
+				entry.Error = err.Error()
+			} else {
+				entry.Stats = &st
+				merged.Total = addStats(merged.Total, st)
+			}
+		}
+		merged.Shards = append(merged.Shards, entry)
+	}
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func addStats(a, b server.Stats) server.Stats {
+	a.Submitted += b.Submitted
+	a.Solved += b.Solved
+	a.Failed += b.Failed
+	a.Cancelled += b.Cancelled
+	a.CacheHits += b.CacheHits
+	a.Coalesced += b.Coalesced
+	a.ProblemsReused += b.ProblemsReused
+	a.Recovered += b.Recovered
+	a.Restored += b.Restored
+	a.StoreErrors += b.StoreErrors
+	a.QueueLen += b.QueueLen
+	a.Running += b.Running
+	a.CacheLen += b.CacheLen
+	return a
+}
+
+// ShardInfo is the GET /v1/shards response.
+type ShardInfo struct {
+	Backends []string    `json:"backends"`
+	Replicas int         `json:"replicas"`
+	Router   RouterStats `json:"router"`
+}
+
+func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ShardInfo{
+		Backends: rt.Backends(),
+		Replicas: rt.cfg.Replicas,
+		Router:   rt.Stats(),
+	})
+}
+
+// handleHealth reports aggregate health: 200 while at least one backend
+// answers its /healthz, 503 when none do.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	results := rt.fanOut(r.Context(), "/healthz")
+	backends := make(map[string]string, len(results))
+	up := 0
+	for i, res := range results {
+		switch {
+		case res.err != nil:
+			backends[rt.cfg.Backends[i]] = res.err.Error()
+		case res.status != http.StatusOK:
+			backends[rt.cfg.Backends[i]] = fmt.Sprintf("HTTP %d", res.status)
+		default:
+			backends[rt.cfg.Backends[i]] = "ok"
+			up++
+		}
+	}
+	status := http.StatusOK
+	overall := "ok"
+	switch {
+	case up == 0:
+		status, overall = http.StatusServiceUnavailable, "down"
+	case up < len(results):
+		overall = "degraded"
+	}
+	writeJSON(w, status, map[string]any{"status": overall, "backends": backends})
+}

@@ -1,0 +1,395 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/nocmap"
+	"repro/nocmap/client"
+	"repro/nocmap/server"
+	"repro/nocmap/shard"
+)
+
+// fleet boots n real nocmapd services with distinct ID prefixes and a
+// router fronting them.
+func fleet(t *testing.T, n int) (*shard.Router, string, []*server.Server) {
+	t.Helper()
+	backends := make([]string, n)
+	services := make([]*server.Server, n)
+	for i := 0; i < n; i++ {
+		svc, err := server.New(server.Config{Pool: 1, QueueSize: 16, CacheSize: 16,
+			IDPrefix: fmt.Sprintf("s%d-", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		backends[i] = ts.URL
+		services[i] = svc
+	}
+	router, err := shard.New(shard.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(rs.Close)
+	return router, rs.URL, services
+}
+
+// problemJSON builds a distinct tiny problem per name.
+func problemJSON(t *testing.T, name string, cores int) []byte {
+	t.Helper()
+	app := nocmap.NewCoreGraph(name)
+	for i := 1; i < cores; i++ {
+		app.Connect(fmt.Sprintf("c%d", i-1), fmt.Sprintf("c%d", i), float64(50+10*i))
+	}
+	mesh, err := nocmap.NewMesh(2, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nocmap.NewProblem(app, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func submitBody(t *testing.T, problem []byte, spec server.SolveSpec) []byte {
+	t.Helper()
+	body, err := json.Marshal(server.SubmitRequest{Problem: problem, Options: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestShardAssignmentStableAcrossRestarts pins the routing property the
+// per-backend caches depend on: two routers built over the same backend
+// list (a "restart") agree on the owner of every key, keys spread over
+// all backends, and membership changes only move keys — they never
+// shuffle a key between two backends that both survive.
+func TestShardAssignmentStableAcrossRestarts(t *testing.T) {
+	backends := []string{"http://b0:8537", "http://b1:8537", "http://b2:8537"}
+	a, err := shard.New(shard.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := shard.New(shard.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		ownerA := a.Owner(key)
+		if ownerB := b.Owner(key); ownerA != ownerB {
+			t.Fatalf("restarted router moved key %s: %s vs %s", key, ownerA, ownerB)
+		}
+		hits[ownerA]++
+	}
+	for _, url := range backends {
+		if hits[url] == 0 {
+			t.Fatalf("backend %s owns no keys of 1000: %v", url, hits)
+		}
+	}
+
+	// Removing one backend must not move keys between the survivors.
+	shrunk, err := shard.New(shard.Config{Backends: backends[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		before := a.Owner(key)
+		after := shrunk.Owner(key)
+		if before != backends[2] && after != before {
+			t.Fatalf("key %s moved from surviving backend %s to %s when b2 left", key, before, after)
+		}
+	}
+}
+
+// TestRoutingKeepsCachesHot submits distinct problems through the
+// router twice: every resubmission must be a cache hit — proof that the
+// router lands identical work on the same backend both times.
+func TestRoutingKeepsCachesHot(t *testing.T) {
+	_, base, _ := fleet(t, 2)
+	const distinct = 6
+	for round := 0; round < 2; round++ {
+		for i := 0; i < distinct; i++ {
+			body := submitBody(t, problemJSON(t, fmt.Sprintf("hot-%d", i), 3), server.SolveSpec{})
+			resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st server.JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if st.State != server.StateDone {
+				t.Fatalf("round %d solve %d finished %q", round, i, st.State)
+			}
+			if round == 1 && !st.CacheHit {
+				t.Fatalf("resubmission %d missed its backend cache — routing not key-stable", i)
+			}
+		}
+	}
+	// The merged stats must account for every hit fleet-wide.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var merged shard.MergedStats
+	if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Total.CacheHits != distinct {
+		t.Fatalf("merged cache hits = %d, want %d", merged.Total.CacheHits, distinct)
+	}
+	if len(merged.Shards) != 2 {
+		t.Fatalf("merged stats list %d shards, want 2", len(merged.Shards))
+	}
+	if merged.Router.Routed == 0 {
+		t.Fatal("router counters missing from merged stats")
+	}
+}
+
+// TestJobRedirectsFollowedTransparently drives the full client through
+// the router: submission is proxied, every job-ID request (status,
+// events, cancel) is a 307 the net/http client follows without any
+// special handling — and the result is byte-identical to a local solve.
+func TestJobRedirectsFollowedTransparently(t *testing.T) {
+	_, base, _ := fleet(t, 2)
+	app := nocmap.NewCoreGraph("redirect-e2e")
+	app.Connect("a", "b", 100)
+	app.Connect("b", "c", 60)
+	app.Connect("c", "d", 30)
+	mesh, err := nocmap.NewMesh(2, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nocmap.NewProblem(app, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := nocmap.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := client.New(base)
+	remote, err := c.Solve(context.Background(), p, server.SolveSpec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(localJSON, remoteJSON) {
+		t.Fatalf("routed solve differs from local:\nlocal:  %s\nrouted: %s", localJSON, remoteJSON)
+	}
+
+	// Raw status fetch through the router: the 307 must resolve to the
+	// owning backend (the ID prefix names it).
+	st, err := c.Submit(context.Background(), p, server.SolveSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Status(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != st.ID {
+		t.Fatalf("status through router returned job %q, want %q", got.ID, st.ID)
+	}
+	if _, err := c.Cancel(context.Background(), st.ID); err != nil {
+		t.Fatalf("cancel through router: %v", err)
+	}
+}
+
+// TestFailoverOnBackendLoss points the router at one live backend and
+// one dead address: every submission must still succeed, with the
+// failovers counted.
+func TestFailoverOnBackendLoss(t *testing.T) {
+	svc, err := server.New(server.Config{Pool: 1, QueueSize: 16, CacheSize: 16, IDPrefix: "live-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	router, err := shard.New(shard.Config{Backends: []string{ts.URL, "http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(rs.Close)
+
+	for i := 0; i < 8; i++ {
+		body := submitBody(t, problemJSON(t, fmt.Sprintf("failover-%d", i), 3), server.SolveSpec{})
+		resp, err := http.Post(rs.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State != server.StateDone {
+			t.Fatalf("solve %d finished %q under failover", i, st.State)
+		}
+	}
+	if st := router.Stats(); st.Failovers == 0 {
+		t.Fatalf("router stats = %+v: half the keyspace is dead, failovers must be > 0", st)
+	}
+
+	// Health reflects the half-dead fleet.
+	resp, err := http.Get(rs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("health = %q, want degraded", health.Status)
+	}
+}
+
+// TestMergedAlgorithms pins the fan-out union.
+func TestMergedAlgorithms(t *testing.T) {
+	_, base, _ := fleet(t, 2)
+	resp, err := http.Get(base + "/v1/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Algorithms []string `json:"algorithms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"nmap-single", "nmap-split", "pmap", "gmap", "pbb"} {
+		found := false
+		for _, a := range out.Algorithms {
+			found = found || a == want
+		}
+		if !found {
+			t.Fatalf("merged algorithms %v missing %q", out.Algorithms, want)
+		}
+	}
+}
+
+// TestRouterProfileMatchesBackendKeys pins the profile alignment: when
+// router and backends share -profile fast, two submissions that the
+// backends fold to the same profiled options must land on the same
+// backend — the second is a fleet-wide cache hit even though its raw
+// options differ.
+func TestRouterProfileMatchesBackendKeys(t *testing.T) {
+	backends := make([]string, 2)
+	for i := range backends {
+		svc, err := server.New(server.Config{Pool: 1, CacheSize: 16,
+			Profile: server.ProfileFast, IDPrefix: fmt.Sprintf("f%d-", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		backends[i] = ts.URL
+	}
+	router, err := shard.New(shard.Config{Backends: backends, Profile: server.ProfileFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(rs.Close)
+
+	problem := problemJSON(t, "profile-align", 3)
+	// A omits fast_queue; B pins it. Under the fast profile both fold to
+	// the same backend key, so they must hash to the same shard.
+	solve := func(spec server.SolveSpec) server.JobStatus {
+		resp, err := http.Post(rs.URL+"/v1/solve", "application/json",
+			bytes.NewReader(submitBody(t, problem, spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st server.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a := solve(server.SolveSpec{Algorithm: "pbb"})
+	b := solve(server.SolveSpec{Algorithm: "pbb", FastQueue: true})
+	if a.State != server.StateDone || b.State != server.StateDone {
+		t.Fatalf("states = %q / %q", a.State, b.State)
+	}
+	if a.Key != b.Key {
+		t.Fatalf("profile folding diverged: keys %s vs %s", a.Key, b.Key)
+	}
+	if !b.CacheHit {
+		t.Fatal("profile-equivalent resubmission missed the backend cache — router hashed the unprofiled spec")
+	}
+
+	if _, err := shard.New(shard.Config{Backends: backends, Profile: "turbo"}); err == nil {
+		t.Fatal("unknown router profile must fail New")
+	}
+}
+
+// TestSubmitValidationAtTheEdge pins that a malformed submission is
+// rejected by the router itself with the backend's exact typed shape.
+func TestSubmitValidationAtTheEdge(t *testing.T) {
+	router, err := shard.New(shard.Config{Backends: []string{"http://127.0.0.1:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(rs.Close)
+	resp, err := http.Post(rs.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(`{"problem`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 from the router without touching a backend", resp.StatusCode)
+	}
+	var envelope struct {
+		Error server.ErrorPayload `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error.Code != server.CodeBadRequest {
+		t.Fatalf("code = %q, want %q", envelope.Error.Code, server.CodeBadRequest)
+	}
+}

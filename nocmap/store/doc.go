@@ -1,0 +1,15 @@
+// Package store persists nocmapd's job table and result cache across
+// restarts.
+//
+// A JobStore holds three kinds of state: job records (identity, state,
+// canonical problem + options for live jobs), terminal outcomes (the
+// marshaled result or typed error, byte-identical to what the server
+// answered before a restart), and result-cache entries. The
+// nocmap/server replays a store at boot — terminal jobs become
+// queryable history again, queued and running jobs are re-enqueued and
+// solved anew, and the cache is re-warmed.
+//
+// Two implementations ship: MemStore (in-memory, for tests and
+// process-lifetime replay) and FileStore (an fsynced append-only WAL
+// compacted into a snapshot, surviving SIGKILL at any instant).
+package store

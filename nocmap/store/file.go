@@ -1,0 +1,391 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileStore is the durable JobStore: an append-only JSON-lines log
+// (wal.jsonl) compacted into a snapshot (snapshot.json) once it grows
+// past a multiple of the live state. Every append is fsynced before the
+// call returns, so a SIGKILL at any instant loses at most the operation
+// in flight; a torn final line (the signature of a crash mid-append) is
+// detected and truncated away on the next Open.
+type FileStore struct {
+	dir string
+
+	mu      sync.Mutex
+	wal     *os.File
+	walOps  int   // appends since the last compaction
+	walSize int64 // end offset of the last fully appended line
+	closed  bool
+	state   memState
+	compact int // compaction threshold floor (tests lower it)
+}
+
+// memState is the store's authoritative in-memory image, mirrored by
+// snapshot+WAL on disk.
+type memState struct {
+	jobs       map[string]JobRecord
+	jobOrder   []string
+	cache      map[string]CacheEntry
+	cacheOrder []string
+}
+
+func newMemState() memState {
+	return memState{jobs: make(map[string]JobRecord), cache: make(map[string]CacheEntry)}
+}
+
+// walOp is one log line.
+type walOp struct {
+	Op     string          `json:"op"` // "job", "deljob", "cache", "delcache"
+	Job    *JobRecord      `json:"job,omitempty"`
+	ID     string          `json:"id,omitempty"`
+	Key    string          `json:"key,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.jsonl"
+
+	// defaultCompactFloor is the minimum number of WAL appends before a
+	// compaction is considered; beyond it, the WAL is folded into the
+	// snapshot whenever it holds more than 4x the live record count.
+	defaultCompactFloor = 1024
+)
+
+// Open opens (or creates) a file store rooted at dir. It reads the
+// snapshot, replays the WAL on top — dropping a torn trailing line left
+// by a crash mid-append — and leaves the WAL open for appending.
+func Open(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	fs := &FileStore{dir: dir, state: newMemState(), compact: defaultCompactFloor}
+	if err := fs.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := fs.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(fs.path(walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening wal: %w", err)
+	}
+	if info, err := wal.Stat(); err == nil {
+		fs.walSize = info.Size() // replayWAL left only whole lines behind
+	}
+	fs.wal = wal
+	return fs, nil
+}
+
+func (fs *FileStore) path(name string) string { return filepath.Join(fs.dir, name) }
+
+// loadSnapshot reads snapshot.json into the in-memory state, if present.
+func (fs *FileStore) loadSnapshot() error {
+	data, err := os.ReadFile(fs.path(snapshotFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("store: parsing snapshot: %w", err)
+	}
+	for _, rec := range snap.Jobs {
+		fs.state.putJob(rec)
+	}
+	for _, entry := range snap.Cache {
+		fs.state.putCache(entry.Key, entry.Result)
+	}
+	return nil
+}
+
+// replayWAL applies wal.jsonl on top of the snapshot. Only the final
+// line can be torn (every earlier line was fsynced whole before the
+// next append started), so an undecodable or unterminated trailing
+// line marks the crash point and is truncated away; an invalid line
+// followed by more data is real corruption and fails Open loudly
+// instead of silently discarding the records behind it.
+func (fs *FileStore) replayWAL() error {
+	f, err := os.Open(fs.path(walFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: opening wal: %w", err)
+	}
+	defer f.Close()
+
+	var good int64                      // offset of the last cleanly applied line's end
+	r := bufio.NewReaderSize(f, 64<<10) // no line-length cap: ReadBytes grows
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(bytes.TrimSpace(line)) > 0 {
+				break // unterminated tail: torn mid-append
+			}
+			good += int64(len(line))
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("store: reading wal: %w", err)
+		}
+		advance := int64(len(line))
+		if len(bytes.TrimSpace(line)) == 0 {
+			good += advance
+			continue
+		}
+		var op walOp
+		if uerr := json.Unmarshal(line, &op); uerr != nil {
+			if _, peekErr := r.Peek(1); peekErr == io.EOF {
+				break // torn final line
+			}
+			return fmt.Errorf("store: corrupt wal line at offset %d (not the torn tail): %w", good, uerr)
+		}
+		if aerr := fs.state.apply(op); aerr != nil {
+			if _, peekErr := r.Peek(1); peekErr == io.EOF {
+				break
+			}
+			return fmt.Errorf("store: invalid wal op at offset %d (not the torn tail): %w", good, aerr)
+		}
+		fs.walOps++
+		good += advance
+	}
+	if info, err := f.Stat(); err == nil && good < info.Size() {
+		// Crash mid-append: drop the torn tail so the next append starts
+		// on a clean line boundary.
+		if err := os.Truncate(fs.path(walFile), good); err != nil {
+			return fmt.Errorf("store: truncating torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// validate rejects malformed operations before they reach the WAL or
+// the state: an invalid op must never be fsynced to disk, where it
+// would poison every subsequent replay.
+func (op walOp) validate() error {
+	switch op.Op {
+	case "job":
+		if op.Job == nil || op.Job.ID == "" {
+			return fmt.Errorf("store: job op without record")
+		}
+	case "deljob", "delcache":
+	case "cache":
+		if op.Key == "" {
+			return fmt.Errorf("store: cache op without key")
+		}
+	default:
+		return fmt.Errorf("store: unknown wal op %q", op.Op)
+	}
+	return nil
+}
+
+// apply folds one WAL operation into the state.
+func (s *memState) apply(op walOp) error {
+	if err := op.validate(); err != nil {
+		return err
+	}
+	switch op.Op {
+	case "job":
+		s.putJob(*op.Job)
+	case "deljob":
+		s.delJob(op.ID)
+	case "cache":
+		s.putCache(op.Key, op.Result)
+	case "delcache":
+		s.delCache(op.Key)
+	}
+	return nil
+}
+
+func (s *memState) putJob(rec JobRecord) {
+	if _, ok := s.jobs[rec.ID]; !ok {
+		s.jobOrder = append(s.jobOrder, rec.ID)
+	}
+	s.jobs[rec.ID] = copyRecord(rec)
+}
+
+func (s *memState) delJob(id string) {
+	if _, ok := s.jobs[id]; !ok {
+		return
+	}
+	delete(s.jobs, id)
+	for i, have := range s.jobOrder {
+		if have == id {
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *memState) putCache(key string, result json.RawMessage) {
+	if _, ok := s.cache[key]; !ok {
+		s.cacheOrder = append(s.cacheOrder, key)
+	}
+	s.cache[key] = CacheEntry{Key: key, Result: rawCopy(result)}
+}
+
+func (s *memState) delCache(key string) {
+	if _, ok := s.cache[key]; !ok {
+		return
+	}
+	delete(s.cache, key)
+	for i, have := range s.cacheOrder {
+		if have == key {
+			s.cacheOrder = append(s.cacheOrder[:i], s.cacheOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// append writes one op to the WAL, fsyncs it and folds it into the
+// in-memory state, compacting when the log has outgrown the state.
+func (fs *FileStore) append(op walOp) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := op.validate(); err != nil {
+		return err // never fsync an op replay would choke on
+	}
+	line, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encoding wal op: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := fs.wal.Write(line); err != nil {
+		// A short write (ENOSPC, I/O error) may have left a line
+		// fragment; roll the file back to the last whole line so a later
+		// successful append cannot glue onto the fragment and turn a
+		// transient failure into permanent mid-log corruption.
+		fs.rollbackLocked()
+		return fmt.Errorf("store: appending wal: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil {
+		fs.rollbackLocked()
+		return fmt.Errorf("store: syncing wal: %w", err)
+	}
+	fs.walSize += int64(len(line))
+	if err := fs.state.apply(op); err != nil {
+		return err
+	}
+	fs.walOps++
+	live := len(fs.state.jobs) + len(fs.state.cache)
+	if fs.walOps >= fs.compact && fs.walOps > 4*live {
+		return fs.compactLocked()
+	}
+	return nil
+}
+
+// rollbackLocked restores the WAL to its last known line boundary after
+// a failed append. If even the truncate fails, the store refuses
+// further writes — better loudly read-only than silently corrupting.
+func (fs *FileStore) rollbackLocked() {
+	if err := fs.wal.Truncate(fs.walSize); err != nil {
+		fs.closed = true
+	}
+}
+
+// compactLocked folds the WAL into a fresh snapshot: write the full
+// state to a temp file, fsync, rename over snapshot.json, then truncate
+// the WAL. Crash-safe at every step — the rename is atomic and the WAL
+// still holds every op until after it lands.
+func (fs *FileStore) compactLocked() error {
+	snap := fs.state.snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	tmp := fs.path(snapshotFile + ".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, fs.path(snapshotFile)); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if dir, err := os.Open(fs.dir); err == nil {
+		_ = dir.Sync() // persist the rename itself
+		dir.Close()
+	}
+	if err := fs.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating wal: %w", err)
+	}
+	fs.walOps = 0
+	fs.walSize = 0
+	return nil
+}
+
+func (s *memState) snapshot() *Snapshot {
+	snap := &Snapshot{}
+	for _, id := range s.jobOrder {
+		snap.Jobs = append(snap.Jobs, copyRecord(s.jobs[id]))
+	}
+	for _, key := range s.cacheOrder {
+		entry := s.cache[key]
+		snap.Cache = append(snap.Cache, CacheEntry{Key: key, Result: rawCopy(entry.Result)})
+	}
+	return snap
+}
+
+// PutJob implements JobStore.
+func (fs *FileStore) PutJob(rec JobRecord) error {
+	r := copyRecord(rec)
+	return fs.append(walOp{Op: "job", Job: &r})
+}
+
+// DeleteJob implements JobStore.
+func (fs *FileStore) DeleteJob(id string) error {
+	return fs.append(walOp{Op: "deljob", ID: id})
+}
+
+// PutCache implements JobStore.
+func (fs *FileStore) PutCache(key string, result json.RawMessage) error {
+	return fs.append(walOp{Op: "cache", Key: key, Result: rawCopy(result)})
+}
+
+// DeleteCache implements JobStore.
+func (fs *FileStore) DeleteCache(key string) error {
+	return fs.append(walOp{Op: "delcache", Key: key})
+}
+
+// Load implements JobStore.
+func (fs *FileStore) Load() (*Snapshot, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.state.snapshot(), nil
+}
+
+// Close implements JobStore: further writes fail.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	return fs.wal.Close()
+}

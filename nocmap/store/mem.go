@@ -1,0 +1,58 @@
+package store
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// MemStore is the in-memory JobStore: the same semantics as the durable
+// store without any files — it wraps the exact state machine FileStore
+// replays its WAL into, behind a mutex. It backs tests and
+// single-process servers that want restart-over-the-same-process replay
+// (create one, hand it to a server, close the server, hand the same
+// store to its successor).
+type MemStore struct {
+	mu    sync.Mutex
+	state memState
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{state: newMemState()}
+}
+
+// PutJob implements JobStore.
+func (m *MemStore) PutJob(rec JobRecord) error {
+	return m.apply(walOp{Op: "job", Job: &rec})
+}
+
+// DeleteJob implements JobStore.
+func (m *MemStore) DeleteJob(id string) error {
+	return m.apply(walOp{Op: "deljob", ID: id})
+}
+
+// PutCache implements JobStore.
+func (m *MemStore) PutCache(key string, result json.RawMessage) error {
+	return m.apply(walOp{Op: "cache", Key: key, Result: result})
+}
+
+// DeleteCache implements JobStore.
+func (m *MemStore) DeleteCache(key string) error {
+	return m.apply(walOp{Op: "delcache", Key: key})
+}
+
+func (m *MemStore) apply(op walOp) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.apply(op)
+}
+
+// Load implements JobStore.
+func (m *MemStore) Load() (*Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state.snapshot(), nil
+}
+
+// Close implements JobStore; a MemStore has nothing to release.
+func (m *MemStore) Close() error { return nil }

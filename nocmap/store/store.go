@@ -1,0 +1,115 @@
+package store
+
+import "encoding/json"
+
+// Job states a record can carry. They mirror the nocmap/server job
+// lifecycle; the store itself only distinguishes terminal from live
+// (Terminal) when deciding what a reboot should re-enqueue.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Terminal reports whether a state is final: terminal records are
+// replayed as history, live ones are re-enqueued on boot.
+func Terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+// JobRecord is the persisted form of one job: enough to answer status
+// queries after a restart (terminal records) and to re-run work that a
+// crash interrupted (queued/running records, which keep the canonical
+// problem JSON and the normalized solve options).
+type JobRecord struct {
+	ID string `json:"id"`
+	// Key is the canonical problem+options hash the server routes,
+	// caches and coalesces by.
+	Key string `json:"key,omitempty"`
+	// Problem is the canonical problem JSON (the server's re-marshaled
+	// parse, so formatting differences are already washed out).
+	Problem json.RawMessage `json:"problem,omitempty"`
+	// Spec is the normalized solve options (server.SolveSpec) as JSON.
+	Spec  json.RawMessage `json:"spec,omitempty"`
+	State string `json:"state"`
+	// CacheHit and Coalesced mirror the job's wire-status flags so a
+	// restored status answers byte-identical to the pre-crash one, flags
+	// included.
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Result carries the marshaled nocmap.Result of a finished job,
+	// byte-identical to what the pre-restart server answered.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error carries the marshaled server.ErrorPayload of a failed or
+	// cancelled job.
+	Error json.RawMessage `json:"error,omitempty"`
+	// Seq is the terminal-transition sequence number: strictly
+	// increasing in the order jobs finished, zero while a job is live.
+	// Retention eviction and restart replay both order by it, so a
+	// replayed store can never resurrect a job that retention already
+	// evicted.
+	Seq uint64 `json:"seq,omitempty"`
+	// Minted is the writer's ID-counter highwater at the time the
+	// record was written. Every deletion of an old record is preceded by
+	// a newer record carrying a fresher highwater, so the maximum over
+	// surviving records always bounds every ID ever issued — a restarted
+	// server resumes past it and can never re-mint an ID, even after
+	// retention deleted the numerically-highest records.
+	Minted uint64 `json:"minted,omitempty"`
+}
+
+// CacheEntry is one persisted result-cache entry.
+type CacheEntry struct {
+	Key    string          `json:"key"`
+	Result json.RawMessage `json:"result"`
+}
+
+// Snapshot is everything a store holds, as loaded at boot: the latest
+// record per job (first-put order) and the latest cache entry per key
+// (oldest write first, so re-inserting in order approximates the
+// pre-restart LRU recency).
+type Snapshot struct {
+	Jobs  []JobRecord  `json:"jobs"`
+	Cache []CacheEntry `json:"cache"`
+}
+
+// JobStore persists jobs, terminal results and result-cache entries
+// across server restarts. Implementations must serialize concurrent
+// calls internally; the nocmap/server calls them under its own lock but
+// other writers make no such promise. All methods must be safe after
+// Close returns an error-free result only for Load.
+type JobStore interface {
+	// PutJob inserts or overwrites the record for rec.ID.
+	PutJob(rec JobRecord) error
+	// DeleteJob forgets a job (retention eviction). Deleting an unknown
+	// ID is a no-op.
+	DeleteJob(id string) error
+	// PutCache inserts or refreshes one result-cache entry.
+	PutCache(key string, result json.RawMessage) error
+	// DeleteCache forgets a cache entry (LRU eviction). Unknown keys are
+	// a no-op.
+	DeleteCache(key string) error
+	// Load returns the store's current contents. The server calls it
+	// once at boot, before accepting work.
+	Load() (*Snapshot, error)
+	// Close releases the store's resources. Further writes may fail.
+	Close() error
+}
+
+// rawCopy deep-copies a raw message so callers may reuse their buffers.
+func rawCopy(m json.RawMessage) json.RawMessage {
+	if m == nil {
+		return nil
+	}
+	return append(json.RawMessage(nil), m...)
+}
+
+func copyRecord(rec JobRecord) JobRecord {
+	rec.Problem = rawCopy(rec.Problem)
+	rec.Spec = rawCopy(rec.Spec)
+	rec.Result = rawCopy(rec.Result)
+	rec.Error = rawCopy(rec.Error)
+	return rec
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Coverage gate: run the public packages' tests with -cover and fail if
+# any package in scripts/cover_thresholds.txt reports statement coverage
+# below its recorded floor. CI runs this via `make cover`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+thresholds=scripts/cover_thresholds.txt
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+pkgs=$(awk '!/^#/ && NF >= 2 {print $1}' "$thresholds")
+[[ -n "$pkgs" ]] || { echo "FAIL: no packages listed in $thresholds"; exit 1; }
+
+echo "== go test -cover"
+# shellcheck disable=SC2086
+go test -count=1 -cover $pkgs | tee "$out"
+
+fail=0
+while read -r pkg floor; do
+    line=$(grep -E "^ok[[:space:]]+$pkg[[:space:]]" "$out" || true)
+    if [[ -z "$line" ]]; then
+        echo "FAIL: no coverage line for $pkg (tests failed or package missing)"
+        fail=1
+        continue
+    fi
+    got=$(sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' <<<"$line")
+    if [[ -z "$got" ]]; then
+        echo "FAIL: $pkg reported no coverage figure"
+        fail=1
+        continue
+    fi
+    if awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g < f) }'; then
+        echo "FAIL: $pkg coverage $got% is below the recorded floor $floor%"
+        fail=1
+    else
+        echo "ok: $pkg coverage $got% >= $floor%"
+    fi
+done < <(awk '!/^#/ && NF >= 2 {print $1, $2}' "$thresholds")
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "coverage gate FAILED (floors in $thresholds)"
+    exit 1
+fi
+echo "coverage gate OK"

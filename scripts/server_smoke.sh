@@ -1,34 +1,45 @@
 #!/usr/bin/env bash
 # Smoke test for nocmapd: boot the real binary on an ephemeral port and
 # drive the HTTP API with curl — health, a synchronous solve, an async
-# submit/status round trip, and a recorded cache hit. CI runs this via
-# `make server-smoke`; it needs only bash, curl and the Go toolchain.
+# submit/status round trip, a recorded cache hit, a durable-store
+# restart, and a sharded deployment (nocmapsh router fronting two
+# backends). CI runs this via `make server-smoke`; it needs only bash,
+# curl and the Go toolchain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir=$(mktemp -d)
 bin="$workdir/nocmapd"
+shbin="$workdir/nocmapsh"
 log="$workdir/nocmapd.log"
+pids=()
 cleanup() {
     [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
     rm -rf "$workdir"
 }
 trap cleanup EXIT
 
+# wait_addr LOGFILE PID -> echoes the base URL once the process logs it.
+wait_addr() {
+    local logfile=$1 pid=$2 base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$logfile" | head -1)
+        [[ -n "$base" ]] && { echo "$base"; return 0; }
+        kill -0 "$pid" 2>/dev/null || { echo "FAIL: process died:" >&2; cat "$logfile" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "FAIL: process never reported its address:" >&2; cat "$logfile" >&2; return 1
+}
+
 echo "== build"
 go build -o "$bin" ./cmd/nocmapd
+go build -o "$shbin" ./cmd/nocmapsh
 
 echo "== start"
 "$bin" -addr 127.0.0.1:0 -pool 2 >"$log" 2>&1 &
 server_pid=$!
-base=""
-for _ in $(seq 1 100); do
-    base=$(sed -n 's/.*listening on \(http:\/\/[0-9.:]*\).*/\1/p' "$log" | head -1)
-    [[ -n "$base" ]] && break
-    kill -0 "$server_pid" 2>/dev/null || { echo "FAIL: nocmapd died:"; cat "$log"; exit 1; }
-    sleep 0.1
-done
-[[ -n "$base" ]] || { echo "FAIL: nocmapd never reported its address:"; cat "$log"; exit 1; }
+base=$(wait_addr "$log" "$server_pid")
 echo "   $base"
 
 fail() { echo "FAIL: $1"; echo "--- response: $2"; exit 1; }
@@ -85,5 +96,72 @@ echo "== graceful shutdown"
 kill -TERM "$server_pid"
 wait "$server_pid" || true
 server_pid=""
+
+echo "== durable store: results survive a hard restart"
+storedir="$workdir/store"
+dlog="$workdir/durable.log"
+"$bin" -addr 127.0.0.1:0 -pool 1 -store "$storedir" >"$dlog" 2>&1 &
+dpid=$!; pids+=("$dpid")
+dbase=$(wait_addr "$dlog" "$dpid")
+first=$(curl -fsS "$dbase/v1/solve" -d "$problem")
+grep -q '"state":"done"' <<<"$first" || fail "durable solve" "$first"
+jobid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$first")
+kill -9 "$dpid"; wait "$dpid" 2>/dev/null || true
+dlog2="$workdir/durable2.log"
+"$bin" -addr 127.0.0.1:0 -pool 1 -store "$storedir" >"$dlog2" 2>&1 &
+dpid=$!; pids+=("$dpid")
+dbase=$(wait_addr "$dlog2" "$dpid")
+restored=$(curl -fsS "$dbase/v1/jobs/$jobid")
+grep -q '"state":"done"' <<<"$restored" || fail "restored job lost after SIGKILL+reboot" "$restored"
+dstats=$(curl -fsS "$dbase/v1/stats")
+grep -q '"restored":1' <<<"$dstats" || fail "restart did not report the restored job" "$dstats"
+kill -TERM "$dpid"; wait "$dpid" 2>/dev/null || true
+
+echo "== sharded deployment: nocmapsh router + 2 backends"
+b0log="$workdir/b0.log"; b1log="$workdir/b1.log"; rlog="$workdir/router.log"
+"$bin" -addr 127.0.0.1:0 -pool 1 -id-prefix s0- >"$b0log" 2>&1 &
+b0pid=$!; pids+=("$b0pid")
+"$bin" -addr 127.0.0.1:0 -pool 1 -id-prefix s1- >"$b1log" 2>&1 &
+b1pid=$!; pids+=("$b1pid")
+b0=$(wait_addr "$b0log" "$b0pid")
+b1=$(wait_addr "$b1log" "$b1pid")
+"$shbin" -addr 127.0.0.1:0 -backends "$b0,$b1" >"$rlog" 2>&1 &
+rpid=$!; pids+=("$rpid")
+router=$(wait_addr "$rlog" "$rpid")
+echo "   router $router -> $b0 + $b1"
+
+rhealth=$(curl -fsS "$router/healthz")
+grep -q '"status":"ok"' <<<"$rhealth" || fail "router health" "$rhealth"
+
+routed=$(curl -fsS "$router/v1/solve" -d "$problem")
+grep -q '"state":"done"' <<<"$routed" || fail "routed solve" "$routed"
+routed_again=$(curl -fsS "$router/v1/solve" -d "$problem")
+grep -q '"cache_hit":true' <<<"$routed_again" || fail "routed resubmission missed its backend cache (routing unstable?)" "$routed_again"
+
+# Job-ID requests come back as 307 redirects to the owning backend;
+# curl -L follows them just like the Go client does.
+rjob=$(curl -fsS "$router/v1/jobs" -d "${problem/nmap-single/gmap}")
+rid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$rjob")
+[[ "$rid" == s0-* || "$rid" == s1-* ]] || fail "routed job id carries no shard prefix" "$rjob"
+rstatus=""
+for _ in $(seq 1 100); do
+    rstatus=$(curl -fsSL "$router/v1/jobs/$rid")
+    grep -q '"state":"done"' <<<"$rstatus" && break
+    sleep 0.1
+done
+grep -q '"state":"done"' <<<"$rstatus" || fail "routed job never finished through the redirect" "$rstatus"
+
+mstats=$(curl -fsS "$router/v1/stats")
+grep -q '"shards":\[' <<<"$mstats" || fail "merged stats missing shard breakdown" "$mstats"
+grep -q '"cache_hits":1' <<<"$mstats" || fail "merged stats missing the fleet cache hit" "$mstats"
+malgos=$(curl -fsS "$router/v1/algorithms")
+grep -q 'nmap-split' <<<"$malgos" || fail "merged algorithms" "$malgos"
+
+# Failover: kill one backend; submissions must keep succeeding.
+kill -9 "$b1pid"; wait "$b1pid" 2>/dev/null || true
+survive=$(curl -fsS "$router/v1/solve" -d "${problem/nmap-single/pmap}")
+grep -q '"state":"done"' <<<"$survive" || fail "solve after backend loss" "$survive"
+rhealth=$(curl -fsS "$router/healthz")
+grep -q '"status":"degraded"' <<<"$rhealth" || fail "router health after backend loss" "$rhealth"
 
 echo "server smoke OK"
