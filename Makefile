@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke cover
+.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke cover
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/baseline/ -run 'Race|Parallel|Workers'
-	$(GO) test -race ./nocmap/server/ ./nocmap/client/ ./nocmap/shard/ ./nocmap/store/
+	$(GO) test -race ./nocmap/server/ ./nocmap/client/ ./nocmap/shard/ ./nocmap/store/ ./nocmap/httpfault/
 
 # Short deterministic-budget fuzz pass over the wire formats and the
 # request decoder (seed corpora live in testdata/fuzz/). CI runs this;
@@ -47,7 +47,7 @@ experiments:
 	$(GO) run ./cmd/experiments
 
 # Public packages whose go doc surface is pinned by api/nocmap.golden.txt.
-API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore ./nocmap/server ./nocmap/client ./nocmap/store ./nocmap/shard
+API_PKGS = ./nocmap ./nocmap/experiments ./nocmap/explore ./nocmap/server ./nocmap/client ./nocmap/store ./nocmap/shard ./nocmap/httpfault
 
 # Diff the public API (go doc -all) against the committed golden dump, so
 # accidental surface changes fail CI; regenerate intentionally with
@@ -68,8 +68,8 @@ api-update:
 # API: everything under cmd/ and examples/, plus the nocmapd server and
 # its client, must import repro/nocmap..., never repro/internal/...
 importgate:
-	@if grep -rn '"repro/internal/' cmd examples nocmap/server nocmap/client nocmap/store nocmap/shard; then \
-		echo "FAIL: cmd/, examples/ and the service packages (server, client, store, shard) must use the public nocmap API, not repro/internal"; exit 1; \
+	@if grep -rn '"repro/internal/' cmd examples nocmap/server nocmap/client nocmap/store nocmap/shard nocmap/httpfault; then \
+		echo "FAIL: cmd/, examples/ and the service packages (server, client, store, shard, httpfault) must use the public nocmap API, not repro/internal"; exit 1; \
 	fi
 	@echo "import gate OK"
 
@@ -77,6 +77,14 @@ importgate:
 # `go test .` too, as TestDocLinks).
 linkcheck:
 	$(GO) test -run TestDocLinks .
+
+# Replicated-fleet chaos test under the race detector: nocmapsh + 3
+# durable nocmapd processes, sustained load, SIGKILL a backend
+# mid-solve, assert zero lost results or queued jobs, byte-identical
+# replayed responses, and anti-entropy convergence after the reboot.
+# CI runs this.
+chaos-smoke:
+	$(GO) test -race -count=1 ./nocmap/shard/ -run TestChaosFleetE2E -timeout 420s -v
 
 # Boot a real nocmapd process and drive the HTTP API end to end with
 # curl: health, a synchronous solve, an async submit/poll round trip, a

@@ -12,6 +12,13 @@
 //	                                 # cache survive restarts (even SIGKILL)
 //	nocmapd -profile fast            # FastQueue + full parallelism defaults
 //	nocmapd -id-prefix s0-           # shard-unique job IDs behind nocmapsh
+//	nocmapd -replicate-to http://10.0.0.2:8537
+//	                                 # ring replication: push every job
+//	                                 # record to this follower (nocmapsh
+//	                                 # manages this automatically when
+//	                                 # probing is on)
+//	nocmapd -store-fault fail-every=100
+//	                                 # fault-injected store (tests/chaos)
 //
 // See docs/SERVER.md for the full API reference with curl examples;
 // cmd/nmap's -remote flag and repro/nocmap/client drive it from Go, and
@@ -44,6 +51,8 @@ func main() {
 	storeDir := flag.String("store", "", "durable job-store directory (empty: in-memory only)")
 	profile := flag.String("profile", "repro", `service profile: "repro" (bit-exact solves) or "fast" (FastQueue + full parallelism defaults)`)
 	idPrefix := flag.String("id-prefix", "", `prefix for minted job IDs (e.g. "s0-"); make it unique per backend behind a shard router`)
+	replicateTo := flag.String("replicate-to", "", "base URL of the ring successor to replicate job records to (empty: replication off until the router pushes a target)")
+	storeFault := flag.String("store-fault", "", `fault-inject the job store, e.g. "fail-every=100,latency=2ms,torn=1" (chaos testing; requires -store)`)
 	flag.Parse()
 
 	cfg := server.Config{
@@ -55,6 +64,7 @@ func main() {
 		Profile:   server.Profile(*profile),
 		IDPrefix:  *idPrefix,
 	}
+	cfg.ReplicaTarget = *replicateTo
 	if *storeDir != "" {
 		js, err := store.Open(*storeDir)
 		if err != nil {
@@ -62,6 +72,16 @@ func main() {
 		}
 		defer js.Close()
 		cfg.Store = js
+		if *storeFault != "" {
+			fs := store.NewFaultStore(js)
+			if err := store.ParseFaultSpec(fs, *storeFault); err != nil {
+				log.Fatalf("nocmapd: -store-fault: %v", err)
+			}
+			cfg.Store = fs
+			log.Printf("nocmapd: store faults armed: %s", *storeFault)
+		}
+	} else if *storeFault != "" {
+		log.Fatalf("nocmapd: -store-fault requires -store")
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,10 +6,16 @@
 //
 //	nocmapsh -backends http://10.0.0.1:8537,http://10.0.0.2:8537
 //	nocmapsh -addr :9537 -backends ... -replicas 128
+//	nocmapsh -backends ... -probe 1s  # health prober + replication control
+//	                                  # plane: push replication targets,
+//	                                  # promote a dead backend's replicas
+//	                                  # on its ring successor, reconcile
+//	                                  # on rejoin
 //
 // Give every backend a distinct -id-prefix (s0-, s1-, ...) so the
-// router can place job IDs without probing. See docs/SERVER.md for the
-// sharded-deployment walkthrough.
+// router can place job IDs without probing. Backends join and leave a
+// running fleet via POST /v1/shards/join and /v1/shards/leave. See
+// docs/SERVER.md for the sharded-deployment walkthrough.
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	backends := flag.String("backends", "", "comma-separated nocmapd base URLs (required)")
 	replicas := flag.Int("replicas", 64, "virtual ring points per backend")
 	profile := flag.String("profile", "repro", `the backends' -profile setting ("repro" or "fast"); must match so routing hashes the same key the backends cache by`)
+	probe := flag.Duration("probe", 0, "health-probe interval; >0 turns on the replication control plane (target pushing, failover promotion, rejoin reconcile)")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a backend is down and its replicas promote")
+	recoverThreshold := flag.Int("recover-threshold", 2, "consecutive probe successes before a down backend rejoins and reconciles")
 	flag.Parse()
 
 	var urls []string
@@ -43,13 +52,17 @@ func main() {
 		}
 	}
 	router, err := shard.New(shard.Config{
-		Backends: urls,
-		Replicas: *replicas,
-		Profile:  server.Profile(*profile),
+		Backends:         urls,
+		Replicas:         *replicas,
+		Profile:          server.Profile(*profile),
+		ProbeInterval:    *probe,
+		FailThreshold:    *failThreshold,
+		RecoverThreshold: *recoverThreshold,
 	})
 	if err != nil {
 		log.Fatalf("nocmapsh: %v", err)
 	}
+	defer router.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -252,8 +252,23 @@ func ResultOf(st server.JobStatus) (*nocmap.Result, error) {
 // with ctx.Err(), a failed job returns its typed *APIError, and a clean
 // solve returns a Result identical byte for byte to a local
 // nocmap.Solve of the same problem and options.
+//
+// A 502 "backend_unavailable" submission — the shard router saying no
+// backend could take the job just then — is retried once, after a short
+// pause. That answer means nothing was enqueued, so the retry cannot
+// duplicate work; it papers over exactly one transient fleet blip
+// (a backend restarting, a failover mid-promotion) and then gives up,
+// surfacing the error for the caller's own policy.
 func (c *Client) Solve(ctx context.Context, p *nocmap.Problem, spec server.SolveSpec, onProgress func(server.JobEvent)) (*nocmap.Result, error) {
 	st, err := c.Submit(ctx, p, spec)
+	if retryableSubmit(err) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(submitRetryPause):
+		}
+		st, err = c.Submit(ctx, p, spec)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +300,20 @@ func (c *Client) Solve(ctx context.Context, p *nocmap.Problem, spec server.Solve
 	default:
 		return res, &APIError{StatusCode: http.StatusUnprocessableEntity, Payload: payloadOf(st)}
 	}
+}
+
+// submitRetryPause is how long Solve waits before its one retry of an
+// "unavailable" submission — enough for a router failover to settle,
+// short enough to stay unnoticeable next to a solve.
+const submitRetryPause = 100 * time.Millisecond
+
+// retryableSubmit reports whether a submission error is the typed
+// "no backend could take this" answer that is safe to retry: the
+// request was never enqueued anywhere.
+func retryableSubmit(err error) bool {
+	apiErr, ok := err.(*APIError)
+	return ok && apiErr.StatusCode == http.StatusBadGateway &&
+		apiErr.Payload.Code == server.CodeBackendUnavailable
 }
 
 // payloadOf extracts a finished status's error payload, synthesizing

@@ -1,0 +1,106 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/nocmap"
+	"repro/nocmap/client"
+	"repro/nocmap/httpfault"
+	"repro/nocmap/server"
+	"repro/nocmap/shard"
+)
+
+// routedFixture stands up the smallest real fleet: one nocmapd behind
+// an httpfault proxy, fronted by a shard router. Dropping the proxy is
+// exactly the scenario Solve's single retry exists for — the router
+// answers 502 backend_unavailable, nothing was enqueued.
+func routedFixture(t *testing.T) (*httpfault.Proxy, *client.Client) {
+	t.Helper()
+	svc, err := server.New(server.Config{Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "rt-"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := httptest.NewServer(svc.Handler())
+	proxy, err := httpfault.New(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	router, err := shard.New(shard.Config{Backends: []string{front.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(func() {
+		rs.Close()
+		router.Close()
+		front.Close()
+		backend.Close()
+		svc.Close()
+	})
+	return proxy, client.New(rs.URL)
+}
+
+func retryProblem(t *testing.T) *nocmap.Problem {
+	t.Helper()
+	app := nocmap.NewCoreGraph("retry")
+	for i := 1; i < 3; i++ {
+		app.Connect(fmt.Sprintf("c%d", i-1), fmt.Sprintf("c%d", i), float64(40+10*i))
+	}
+	mesh, err := nocmap.NewMesh(2, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := nocmap.NewProblem(app, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestSolveRetriesOnceOnBackendUnavailable pins the transparent retry:
+// when the fleet blips for exactly one submission — the router answers
+// 502 backend_unavailable because its only backend dropped the request
+// — Solve retries once and succeeds, invisibly to the caller.
+func TestSolveRetriesOnceOnBackendUnavailable(t *testing.T) {
+	proxy, c := routedFixture(t)
+	// Drop exactly the first proxied request: the initial submission
+	// dies, the retry sails through. FailNext makes this deterministic —
+	// no mode flip racing the request.
+	proxy.FailNext(1)
+	res, err := c.Solve(context.Background(), retryProblem(t), server.SolveSpec{}, nil)
+	if err != nil {
+		t.Fatalf("Solve did not absorb a single fleet blip: %v", err)
+	}
+	if res == nil || len(res.Assignment) == 0 {
+		t.Fatal("retried solve returned no result")
+	}
+	if _, dropped := proxy.Counts(); dropped != 1 {
+		t.Fatalf("proxy dropped %d requests, want exactly the 1 injected", dropped)
+	}
+}
+
+// TestSolveGivesUpAfterOneRetry pins the other half of the contract:
+// one retry, not a retry loop. A fleet that stays down surfaces the
+// typed 502 after exactly two submission attempts, handing the policy
+// decision back to the caller.
+func TestSolveGivesUpAfterOneRetry(t *testing.T) {
+	proxy, c := routedFixture(t)
+	proxy.SetMode(httpfault.Drop)
+	_, err := c.Solve(context.Background(), retryProblem(t), server.SolveSpec{}, nil)
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("error = %v, want *client.APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusBadGateway || apiErr.Payload.Code != server.CodeBackendUnavailable {
+		t.Fatalf("error = HTTP %d code %q, want 502 %q",
+			apiErr.StatusCode, apiErr.Payload.Code, server.CodeBackendUnavailable)
+	}
+	if _, dropped := proxy.Counts(); dropped != 2 {
+		t.Fatalf("proxy saw %d submission attempts, want exactly 2 (one retry)", dropped)
+	}
+}

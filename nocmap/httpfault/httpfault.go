@@ -1,0 +1,129 @@
+// Package httpfault is a fault-injecting reverse proxy for exercising
+// fleet failure paths in tests: it fronts one backend and, on command,
+// drops connections, delays requests or blackholes them entirely. A
+// shard router pointed at the proxy instead of the backend sees exactly
+// what it would see from a crashed, slow or wedged process — without
+// the test having to actually crash one (and lose its listener port).
+//
+// The proxy is mode-switched at runtime, so one test can walk a backend
+// through healthy → dead → healthy and watch the router's failure
+// detector, promotion and anti-entropy respond.
+package httpfault
+
+import (
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Mode is the proxy's current behavior.
+type Mode int
+
+const (
+	// Pass forwards requests untouched.
+	Pass Mode = iota
+	// Drop aborts every connection without writing a response — what a
+	// crashed process's closed port looks like to a client mid-request.
+	Drop
+	// Blackhole holds every request open, never answering — a wedged
+	// process or a silently partitioned network. Clients only escape
+	// via their own timeouts or request-context cancellation.
+	Blackhole
+)
+
+// Proxy is the fault-injecting reverse proxy. Construct with New; it
+// implements http.Handler.
+type Proxy struct {
+	rp *httputil.ReverseProxy
+
+	mu       sync.Mutex
+	mode     Mode
+	delay    time.Duration
+	failNext int
+	dropped  uint64
+	passed   uint64
+}
+
+// New returns a proxy forwarding to the backend at target (a base URL
+// such as "http://127.0.0.1:8537").
+func New(target string) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, err
+	}
+	return &Proxy{rp: httputil.NewSingleHostReverseProxy(u)}, nil
+}
+
+// SetMode switches the proxy's behavior. Requests already in flight
+// under Blackhole stay held; new requests follow the new mode.
+func (p *Proxy) SetMode(m Mode) {
+	p.mu.Lock()
+	p.mode = m
+	p.mu.Unlock()
+}
+
+// FailNext makes the proxy drop exactly the next n requests and then
+// revert to the current mode — the deterministic way to test "one
+// transient failure" paths without racing a mode flip against the
+// request under test.
+func (p *Proxy) FailNext(n int) {
+	p.mu.Lock()
+	p.failNext = n
+	p.mu.Unlock()
+}
+
+// SetDelay adds a fixed latency before every forwarded request (Pass
+// mode only). Zero removes it.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// Counts reports how many requests were forwarded and how many were
+// dropped or blackholed.
+func (p *Proxy) Counts() (passed, dropped uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.passed, p.dropped
+}
+
+// ServeHTTP applies the current mode to one request.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	mode, delay := p.mode, p.delay
+	if p.failNext > 0 {
+		p.failNext--
+		mode = Drop
+	}
+	p.mu.Unlock()
+	switch mode {
+	case Drop:
+		p.mu.Lock()
+		p.dropped++
+		p.mu.Unlock()
+		// ErrAbortHandler makes net/http sever the connection with no
+		// response bytes: the client sees a transport error, just like a
+		// connection reset from a dying process.
+		panic(http.ErrAbortHandler)
+	case Blackhole:
+		p.mu.Lock()
+		p.dropped++
+		p.mu.Unlock()
+		<-r.Context().Done() // hold until the client gives up
+		panic(http.ErrAbortHandler)
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			panic(http.ErrAbortHandler)
+		}
+	}
+	p.mu.Lock()
+	p.passed++
+	p.mu.Unlock()
+	p.rp.ServeHTTP(w, r)
+}

@@ -1,0 +1,108 @@
+package httpfault_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/nocmap/httpfault"
+)
+
+func proxyFixture(t *testing.T) (*httpfault.Proxy, string) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	t.Cleanup(backend.Close)
+	p, err := httpfault.New(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front.URL
+}
+
+func get(t *testing.T, url string) (string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+func TestPassForwards(t *testing.T) {
+	p, url := proxyFixture(t)
+	body, err := get(t, url)
+	if err != nil || body != "pong" {
+		t.Fatalf("pass mode: body=%q err=%v", body, err)
+	}
+	if passed, dropped := p.Counts(); passed != 1 || dropped != 0 {
+		t.Fatalf("counts = (%d passed, %d dropped), want (1, 0)", passed, dropped)
+	}
+}
+
+func TestDropSeversConnections(t *testing.T) {
+	p, url := proxyFixture(t)
+	p.SetMode(httpfault.Drop)
+	if _, err := get(t, url); err == nil {
+		t.Fatal("drop mode answered instead of severing the connection")
+	}
+	p.SetMode(httpfault.Pass)
+	if body, err := get(t, url); err != nil || body != "pong" {
+		t.Fatalf("after recovery: body=%q err=%v", body, err)
+	}
+	if passed, dropped := p.Counts(); passed != 1 || dropped != 1 {
+		t.Fatalf("counts = (%d passed, %d dropped), want (1, 1)", passed, dropped)
+	}
+}
+
+func TestFailNextDropsExactlyN(t *testing.T) {
+	p, url := proxyFixture(t)
+	p.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := get(t, url); err == nil {
+			t.Fatalf("request %d should have been dropped", i)
+		}
+	}
+	// The budget is spent: no mode flip needed to recover.
+	if body, err := get(t, url); err != nil || body != "pong" {
+		t.Fatalf("after FailNext budget: body=%q err=%v", body, err)
+	}
+}
+
+func TestDelayHoldsRequests(t *testing.T) {
+	p, url := proxyFixture(t)
+	p.SetDelay(50 * time.Millisecond)
+	start := time.Now()
+	if body, err := get(t, url); err != nil || body != "pong" {
+		t.Fatalf("delayed request: body=%q err=%v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request answered in %v, before the injected %v latency", elapsed, 50*time.Millisecond)
+	}
+}
+
+func TestBlackholeHoldsUntilClientGivesUp(t *testing.T) {
+	p, url := proxyFixture(t)
+	p.SetMode(httpfault.Blackhole)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	start := time.Now()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("blackhole answered")
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("blackholed request failed after %v, before the client timeout", elapsed)
+	}
+}

@@ -3,6 +3,8 @@ package server
 import (
 	"container/list"
 	"encoding/json"
+
+	"repro/nocmap/store"
 )
 
 // resultCache is a plain LRU over canonical job keys: key -> the
@@ -61,3 +63,15 @@ func (c *resultCache) add(key string, result json.RawMessage) {
 }
 
 func (c *resultCache) len() int { return c.order.Len() }
+
+// entries snapshots the cache oldest-first — the order a receiver
+// should re-add them in so recency survives a transfer. It feeds the
+// GET /v1/records migration/anti-entropy payload.
+func (c *resultCache) entries() []store.CacheEntry {
+	out := make([]store.CacheEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, store.CacheEntry{Key: e.key, Result: e.result})
+	}
+	return out
+}

@@ -22,6 +22,16 @@ import (
 //	GET    /v1/info             Info: job-ID prefix, profile, durability
 //	GET    /healthz             liveness
 //
+// plus the internal fleet endpoints ring replication and the shard
+// router's control plane ride on:
+//
+//	POST   /v1/replicate          accept a primary's record batch (idempotent)
+//	POST   /v1/promote            adopt a failed origin's replicas
+//	POST   /v1/reconcile          adopt records (anti-entropy / migration)
+//	GET    /v1/records            own records + cache, the transfer format
+//	GET    /v1/replicas/{id}      a replicated job's status (pre-promotion)
+//	PUT    /v1/replication/target point replication at a ring successor
+//
 // Every error response body is {"error": ErrorPayload}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -30,6 +40,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/solve", s.handleSolveSync)
+	mux.HandleFunc("POST /v1/replicate", s.handleReplicate)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/reconcile", s.handleReconcile)
+	mux.HandleFunc("GET /v1/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/replicas/{id}", s.handleReplicaStatus)
+	mux.HandleFunc("PUT /v1/replication/target", s.handleReplicationTarget)
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"algorithms": nocmap.Algorithms()})
 	})

@@ -42,16 +42,20 @@ func (s *Server) recordOf(j *job, seq uint64) store.JobRecord {
 	return rec
 }
 
-// persistJob writes a job's current state to the store, if one is
-// configured. Failures are counted, not fatal: the server keeps
-// serving with best-effort durability. Callers hold s.mu.
-func (s *Server) persistJob(j *job, seq uint64) {
-	if s.cfg.Store == nil {
-		return
+// persistJob mirrors a job's current state everywhere it needs to
+// survive: the local store (if one is configured; failures are counted,
+// not fatal — the server keeps serving with best-effort durability) and
+// the ring successor's replica namespace (if a replication target is
+// set; the push is async, from memory, so store faults cannot poison
+// it). Callers hold s.mu.
+func (s *Server) persistJob(j *job) {
+	rec := s.recordOf(j, j.seq)
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.PutJob(rec); err != nil {
+			s.stats.StoreErrors++
+		}
 	}
-	if err := s.cfg.Store.PutJob(s.recordOf(j, seq)); err != nil {
-		s.stats.StoreErrors++
-	}
+	s.rep.enqueue(rec)
 }
 
 // persistCachePut mirrors a result-cache insert into the store. With
@@ -68,14 +72,29 @@ func (s *Server) persistCachePut(key string, result json.RawMessage) {
 }
 
 // dropPersistedJob forgets a retention-evicted job in the store, so a
-// replay cannot resurrect what the live server already let go.
-// Callers hold s.mu.
+// replay cannot resurrect what the live server already let go — and
+// pushes the same deletion to the follower, so a promotion cannot
+// either. Callers hold s.mu.
 func (s *Server) dropPersistedJob(id string) {
-	if s.cfg.Store == nil {
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.DeleteJob(id); err != nil {
+			s.stats.StoreErrors++
+		}
+	}
+	s.rep.enqueueDelete(id)
+}
+
+// dropReplicaLocked forgets one replica record (memory and store).
+// Callers hold s.mu.
+func (s *Server) dropReplicaLocked(id string) {
+	if _, ok := s.replicas[id]; !ok {
 		return
 	}
-	if err := s.cfg.Store.DeleteJob(id); err != nil {
-		s.stats.StoreErrors++
+	delete(s.replicas, id)
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.DeleteReplica(id); err != nil {
+			s.stats.StoreErrors++
+		}
 	}
 }
 
@@ -133,6 +152,7 @@ func (s *Server) replay() error {
 			}
 		}
 		close(j.done)
+		j.seq = rec.Seq
 		s.jobs[j.id] = j
 		s.doneOrder = append(s.doneOrder, j.id)
 		if rec.Seq > s.termSeq {
@@ -160,6 +180,16 @@ func (s *Server) replay() error {
 	for _, rec := range live {
 		s.stats.Recovered++
 		s.recoverLive(rec)
+	}
+
+	// The replica namespace — other backends' records replicated here —
+	// survives the restart untouched: a follower reboot must not lose
+	// what its primaries entrusted to it.
+	for _, rec := range snap.Replicas {
+		if rec.ID == "" {
+			continue
+		}
+		s.replicas[rec.ID] = rec
 	}
 	return nil
 }
@@ -214,13 +244,13 @@ func (s *Server) recoverLive(rec store.JobRecord) {
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		s.stats.Coalesced++
-		s.persistJob(j, 0)
+		s.persistJob(j)
 		return
 	}
 	j.state = StateQueued
 	s.leaders[j.key] = j
 	s.queue = append(s.queue, j)
-	s.persistJob(j, 0)
+	s.persistJob(j)
 }
 
 // bumpNextID keeps minted IDs ahead of every replayed one with our

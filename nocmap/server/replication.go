@@ -1,0 +1,598 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/nocmap/store"
+)
+
+// Ring replication: every job record (and every terminal result) is
+// asynchronously pushed from its owning backend to that backend's ring
+// successor — the follower — over POST /v1/replicate. The follower
+// keeps the records in its job store's replica namespace, apart from
+// its own jobs, so replication survives follower restarts too. When the
+// shard router declares the primary down it promotes the follower:
+// terminal replicas are installed as queryable local jobs (answering
+// byte-identical to the lost primary, flags included) and live replicas
+// re-run under their original IDs. When the primary rejoins, the router
+// runs an anti-entropy sweep — the follower's outcomes for the
+// primary's jobs are pushed back over POST /v1/reconcile, where
+// terminal-beats-live reconciliation adopts them.
+
+// ReplicateRequest is the body of POST /v1/replicate: a batch of job
+// records from one origin, plus IDs whose records the origin's
+// retention evicted (deletes must replicate too, or promotion could
+// resurrect a job the primary already let go). Application is
+// idempotent per record: a replica already terminal is only overwritten
+// by a record with a strictly higher terminal seq from the same origin.
+type ReplicateRequest struct {
+	// Origin is the sender's job-ID prefix; promotion selects replicas
+	// to adopt by it.
+	Origin  string            `json:"origin"`
+	Records []store.JobRecord `json:"records,omitempty"`
+	Deletes []string          `json:"deletes,omitempty"`
+}
+
+// ReplicateResponse reports how many batch entries were applied
+// (idempotent re-deliveries are skipped, not errors).
+type ReplicateResponse struct {
+	Applied int `json:"applied"`
+}
+
+// ReconcileRequest is the body of POST /v1/reconcile: job records (and
+// warm cache entries) this instance should adopt. Anti-entropy after a
+// failover and join/leave key-range migration both ride it. Adoption is
+// terminal-beats-live: a terminal incoming record overrides a local
+// queued/running job with the same ID (the local run is cancelled and
+// the replicated outcome installed byte-identical); a terminal local
+// job is never overwritten; a live incoming record for an unknown ID is
+// re-enqueued under its original ID.
+type ReconcileRequest struct {
+	Records []store.JobRecord  `json:"records,omitempty"`
+	Cache   []store.CacheEntry `json:"cache,omitempty"`
+}
+
+// ReconcileResponse reports how many records and cache entries were
+// adopted.
+type ReconcileResponse struct {
+	Applied int `json:"applied"`
+}
+
+// PromoteRequest is the body of POST /v1/promote: adopt every replica
+// held for the (presumed dead) origin. Idempotent — replicas whose IDs
+// already exist locally are skipped.
+type PromoteRequest struct {
+	Origin string `json:"origin"`
+}
+
+// PromoteResponse reports how many replicas were promoted.
+type PromoteResponse struct {
+	Promoted int `json:"promoted"`
+}
+
+// RecordsResponse is the GET /v1/records answer: this instance's own
+// job records (optionally filtered by ID prefix) plus its result-cache
+// entries — the transfer format for anti-entropy sweeps and key-range
+// migration.
+type RecordsResponse struct {
+	Records []store.JobRecord  `json:"records"`
+	Cache   []store.CacheEntry `json:"cache,omitempty"`
+}
+
+// ReplicationTarget is the body (and response) of
+// PUT /v1/replication/target: the base URL of this instance's ring
+// successor. The shard router pushes it on startup and on every ring
+// change; an empty URL turns replication off. Setting a new target
+// reseeds the full job state so the new follower converges.
+type ReplicationTarget struct {
+	URL string `json:"url"`
+}
+
+// replicator asynchronously pushes job records to the ring successor.
+// It holds at most one pending operation per job ID (the latest state
+// wins), so its queue is bounded by the server's own job population —
+// retention plus the queue — no matter how long the follower stays
+// unreachable. Failed batches are retried with capped exponential
+// backoff plus jitter.
+type replicator struct {
+	origin string
+	httpc  *http.Client
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	target  string
+	pending map[string]repOp
+	order   []string
+	closed  chan struct{}
+	acked   uint64 // records+deletes the follower acknowledged
+}
+
+type repOp struct {
+	rec store.JobRecord
+	del bool
+}
+
+const (
+	replicateBatch      = 64
+	replicateMinBackoff = 100 * time.Millisecond
+	replicateMaxBackoff = 5 * time.Second
+)
+
+func newReplicator(origin, target string) *replicator {
+	r := &replicator{
+		origin:  origin,
+		target:  strings.TrimRight(target, "/"),
+		httpc:   &http.Client{Timeout: 30 * time.Second},
+		pending: make(map[string]repOp),
+		closed:  make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.loop()
+	return r
+}
+
+// enqueue schedules one record push, superseding any pending op for the
+// same ID.
+func (r *replicator) enqueue(rec store.JobRecord) { r.add(rec.ID, repOp{rec: rec}) }
+
+// enqueueDelete schedules a deletion push.
+func (r *replicator) enqueueDelete(id string) { r.add(id, repOp{del: true}) }
+
+func (r *replicator) add(id string, op repOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.target == "" {
+		// No successor: drop rather than queue without bound. Setting a
+		// target later reseeds the full state, so nothing is lost.
+		return
+	}
+	if _, ok := r.pending[id]; !ok {
+		r.order = append(r.order, id)
+	}
+	r.pending[id] = op
+	r.cond.Signal()
+}
+
+// setTarget points the replicator at a new successor. It reports
+// whether the target changed; the server reseeds its full state then.
+func (r *replicator) setTarget(url string) bool {
+	url = strings.TrimRight(url, "/")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.target == url {
+		return false
+	}
+	r.target = url
+	r.cond.Signal()
+	return true
+}
+
+func (r *replicator) targetURL() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.target
+}
+
+// snapshotStats returns (acked, pending) for Stats.
+func (r *replicator) snapshotStats() (uint64, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked, len(r.order)
+}
+
+// close stops the loop; pending ops are dropped (replication is
+// best-effort async — boot reseeding converges the follower later).
+func (r *replicator) close() {
+	r.mu.Lock()
+	select {
+	case <-r.closed:
+	default:
+		close(r.closed)
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *replicator) isClosed() bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *replicator) loop() {
+	backoff := replicateMinBackoff
+	for {
+		r.mu.Lock()
+		for (len(r.order) == 0 || r.target == "") && !r.isClosed() {
+			r.cond.Wait()
+		}
+		if r.isClosed() {
+			r.mu.Unlock()
+			return
+		}
+		target := r.target
+		n := len(r.order)
+		if n > replicateBatch {
+			n = replicateBatch
+		}
+		ids := r.order[:n]
+		req := ReplicateRequest{Origin: r.origin}
+		batch := make(map[string]repOp, n)
+		for _, id := range ids {
+			op := r.pending[id]
+			batch[id] = op
+			delete(r.pending, id)
+			if op.del {
+				req.Deletes = append(req.Deletes, id)
+			} else {
+				req.Records = append(req.Records, op.rec)
+			}
+		}
+		r.order = append([]string(nil), r.order[n:]...)
+		r.mu.Unlock()
+
+		if err := r.send(target, req); err != nil {
+			// Put the batch back (unless a newer op superseded it while in
+			// flight) and back off before the next attempt.
+			r.mu.Lock()
+			for id, op := range batch {
+				if _, ok := r.pending[id]; !ok {
+					r.pending[id] = op
+					r.order = append(r.order, id)
+				}
+			}
+			r.mu.Unlock()
+			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1)) // jitter: [b/2, b)
+			backoff *= 2
+			if backoff > replicateMaxBackoff {
+				backoff = replicateMaxBackoff
+			}
+			select {
+			case <-r.closed:
+				return
+			case <-time.After(sleep):
+			}
+			continue
+		}
+		backoff = replicateMinBackoff
+		r.mu.Lock()
+		r.acked += uint64(len(batch))
+		r.mu.Unlock()
+	}
+}
+
+func (r *replicator) send(target string, req ReplicateRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, target+"/v1/replicate", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.httpc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replicate: follower answered HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// SetReplicaTarget points this instance's replication stream at the
+// given successor base URL (empty: off). On a change, the full job
+// state is reseeded so the new follower converges — the same sweep a
+// reboot performs, which is what makes replication self-healing
+// (anti-entropy) rather than purely incremental.
+func (s *Server) SetReplicaTarget(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.rep.setTarget(url) {
+		return
+	}
+	if strings.TrimRight(url, "/") == "" {
+		return
+	}
+	s.seedReplicationLocked()
+}
+
+// seedReplicationLocked enqueues every current job record, converging
+// the follower's replica namespace with our state. Callers hold s.mu.
+func (s *Server) seedReplicationLocked() {
+	for _, j := range s.jobs {
+		s.rep.enqueue(s.recordOf(j, j.seq))
+	}
+}
+
+// handleReplicate is POST /v1/replicate — the follower half of ring
+// replication. Idempotent by job ID + terminal seq: re-delivered
+// batches re-apply harmlessly, and a stale record can never roll a
+// replica's terminal state back.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	var req ReplicateRequest
+	if !decodeInternal(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	applied := 0
+	for _, rec := range req.Records {
+		if rec.ID == "" {
+			continue
+		}
+		if existing, ok := s.replicas[rec.ID]; ok &&
+			store.Terminal(existing.State) && rec.Seq <= existing.Seq {
+			continue // idempotent re-delivery or stale state
+		}
+		rec.Origin = req.Origin
+		s.replicas[rec.ID] = rec
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.PutReplica(rec); err != nil {
+				s.stats.StoreErrors++
+			}
+		}
+		applied++
+	}
+	for _, id := range req.Deletes {
+		if _, ok := s.replicas[id]; !ok {
+			continue
+		}
+		delete(s.replicas, id)
+		if s.cfg.Store != nil {
+			if err := s.cfg.Store.DeleteReplica(id); err != nil {
+				s.stats.StoreErrors++
+			}
+		}
+		applied++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ReplicateResponse{Applied: applied})
+}
+
+// handlePromote is POST /v1/promote: failover promotion of the replica
+// namespace. Terminal replicas become queryable local jobs answering
+// byte-identical to the lost primary; live replicas re-run under their
+// original IDs. Idempotent — IDs that already exist locally are
+// skipped, so the router may re-trigger promotion freely.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req PromoteRequest
+	if !decodeInternal(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	promoted := 0
+	for _, rec := range s.replicas {
+		if rec.Origin != req.Origin {
+			continue
+		}
+		if _, ok := s.jobs[rec.ID]; ok {
+			continue // already promoted (or adopted via reconcile)
+		}
+		if store.Terminal(rec.State) {
+			s.installTerminalLocked(rec)
+		} else {
+			s.recoverLive(rec)
+		}
+		s.stats.Promoted++
+		promoted++
+	}
+	s.cond.Broadcast() // promoted live jobs joined the queue
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: promoted})
+}
+
+// installTerminalLocked installs a foreign terminal record as a local
+// finished job: byte-identical status (state, flags, result, error)
+// under the original ID, enrolled in retention and persisted like any
+// local job. Clean results also warm the local result cache, so future
+// submissions of the same key served here hit immediately. Callers
+// hold s.mu.
+func (s *Server) installTerminalLocked(rec store.JobRecord) {
+	j := &job{
+		id:        rec.ID,
+		key:       rec.Key,
+		state:     rec.State,
+		cacheHit:  rec.CacheHit,
+		coalesced: rec.Coalesced,
+		result:    rec.Result,
+		finished:  true,
+		done:      make(chan struct{}),
+		subs:      make(map[chan JobEvent]struct{}),
+	}
+	if len(rec.Error) > 0 {
+		var pay ErrorPayload
+		if json.Unmarshal(rec.Error, &pay) == nil {
+			j.errPay = &pay
+		}
+	}
+	close(j.done)
+	s.jobs[j.id] = j
+	s.termSeq++
+	j.seq = s.termSeq
+	s.persistJob(j)
+	s.retainLocked(j)
+	if rec.State == StateDone && rec.Key != "" && len(rec.Result) > 0 {
+		s.cache.add(rec.Key, rec.Result)
+		s.persistCachePut(rec.Key, rec.Result)
+	}
+}
+
+// handleReconcile is POST /v1/reconcile: adopt records pushed by the
+// router — the anti-entropy sweep back onto a rejoined primary, or a
+// key-range migration during elastic join/leave.
+func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	if !decodeInternal(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	applied := 0
+	for _, rec := range req.Records {
+		if rec.ID == "" {
+			continue
+		}
+		if s.adoptRecordLocked(rec) {
+			s.stats.Reconciled++
+			applied++
+		}
+	}
+	for _, entry := range req.Cache {
+		if entry.Key == "" {
+			continue
+		}
+		if _, ok := s.cache.get(entry.Key); ok {
+			continue
+		}
+		s.cache.add(entry.Key, entry.Result)
+		s.persistCachePut(entry.Key, entry.Result)
+		applied++
+	}
+	s.cond.Broadcast() // adopted live jobs joined the queue
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ReconcileResponse{Applied: applied})
+}
+
+// adoptRecordLocked folds one reconciled record into local state using
+// terminal-beats-live. It reports whether anything changed. Callers
+// hold s.mu.
+func (s *Server) adoptRecordLocked(rec store.JobRecord) bool {
+	local, ok := s.jobs[rec.ID]
+	switch {
+	case ok && local.finished:
+		return false // a terminal local job is never overwritten
+	case ok && store.Terminal(rec.State):
+		// A live local job (queued or running) adopts the replicated
+		// outcome: the re-run is cancelled and the terminal state —
+		// byte-identical to what the follower answered — installed.
+		if local.state == StateQueued {
+			for i, q := range s.queue {
+				if q == local {
+					s.queue = append(s.queue[:i], s.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		var errPay *ErrorPayload
+		if len(rec.Error) > 0 {
+			var pay ErrorPayload
+			if json.Unmarshal(rec.Error, &pay) == nil {
+				errPay = &pay
+			}
+		}
+		s.finishWithLocked(local, rec.State, rec.Result, errPay, false)
+		if rec.State == StateDone && rec.Key != "" && len(rec.Result) > 0 {
+			s.cache.add(rec.Key, rec.Result)
+			s.persistCachePut(rec.Key, rec.Result)
+		}
+		return true
+	case ok:
+		return false // both live: our own run will finish it
+	case store.Terminal(rec.State):
+		s.installTerminalLocked(rec)
+		return true
+	default:
+		s.recoverLive(rec) // a migrated live job re-runs here
+		return true
+	}
+}
+
+// handleRecords is GET /v1/records[?prefix=s0-]: this instance's job
+// records plus its cache entries, the transfer format reconcile
+// consumes on the other end.
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	prefix := r.URL.Query().Get("prefix")
+	s.mu.Lock()
+	resp := RecordsResponse{Records: []store.JobRecord{}}
+	for _, j := range s.jobs {
+		if prefix != "" && !strings.HasPrefix(j.id, prefix) {
+			continue
+		}
+		resp.Records = append(resp.Records, s.recordOf(j, j.seq))
+	}
+	resp.Cache = s.cache.entries()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplicaStatus is GET /v1/replicas/{id}: the replica namespace
+// read path — a JobStatus built from the replicated record, available
+// even before promotion installs it as a local job.
+func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	rec, ok := s.replicas[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			&ErrorPayload{Code: CodeNotFound, Message: fmt.Sprintf("no replica %q", id)})
+		return
+	}
+	st := JobStatus{
+		ID:        rec.ID,
+		Key:       rec.Key,
+		State:     rec.State,
+		CacheHit:  rec.CacheHit,
+		Coalesced: rec.Coalesced,
+		Result:    rec.Result,
+	}
+	if len(rec.Error) > 0 {
+		var pay ErrorPayload
+		if json.Unmarshal(rec.Error, &pay) == nil {
+			st.Error = &pay
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReplicationTarget is PUT /v1/replication/target: the control
+// plane (the shard router, or an operator's curl) pointing this
+// instance at its ring successor.
+func (s *Server) handleReplicationTarget(w http.ResponseWriter, r *http.Request) {
+	var req ReplicationTarget
+	if !decodeInternal(w, r, &req) {
+		return
+	}
+	if req.URL != "" && !strings.HasPrefix(req.URL, "http://") && !strings.HasPrefix(req.URL, "https://") {
+		writeError(w, http.StatusBadRequest, &ErrorPayload{
+			Code: CodeBadRequest, Message: fmt.Sprintf("replica target %q is not an http(s) URL", req.URL)})
+		return
+	}
+	s.SetReplicaTarget(req.URL)
+	writeJSON(w, http.StatusOK, ReplicationTarget{URL: s.rep.targetURL()})
+}
+
+// maxInternalBodyBytes caps the internal fleet endpoints' bodies
+// (replicate/reconcile batches carry full results, so they get more
+// headroom than a single submission).
+const maxInternalBodyBytes = 256 << 20
+
+// decodeInternal parses an internal endpoint's JSON body; a false
+// return means the error response was already written.
+func decodeInternal(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxInternalBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest,
+			&ErrorPayload{Code: CodeBadRequest, Message: "reading request body: " + err.Error()})
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest,
+			&ErrorPayload{Code: CodeBadRequest, Message: "parsing request body: " + err.Error()})
+		return false
+	}
+	return true
+}

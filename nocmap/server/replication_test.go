@@ -1,0 +1,378 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/nocmap/server"
+	"repro/nocmap/store"
+)
+
+// replicationPair boots a primary replicating into a follower, both
+// in-process behind httptest.
+func replicationPair(t *testing.T) (primary, follower *httptest.Server) {
+	t.Helper()
+	// Two follower workers with batching off: a promoted blocking job
+	// must neither starve nor batch with the re-run of the promoted
+	// queued one (they share a topology).
+	_, follower = newConfiguredServer(t, server.Config{
+		Pool: 2, QueueSize: 8, CacheSize: 8, BatchSize: 1, IDPrefix: "p1-", Store: store.NewMemStore(),
+	})
+	_, primary = newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p0-", Store: store.NewMemStore(),
+		ReplicaTarget: follower.URL,
+	})
+	return primary, follower
+}
+
+// remoteStats polls GET /v1/stats.
+func remoteStats(t *testing.T, base string) server.Stats {
+	t.Helper()
+	_, body := get(t, base+"/v1/stats")
+	var st server.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("parsing stats %q: %v", body, err)
+	}
+	return st
+}
+
+// waitFor polls cond every 10ms for up to 10s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// waitReplicated waits until the primary has nothing pending and the
+// follower holds at least n replicas.
+func waitReplicated(t *testing.T, primary, follower string, n int) {
+	t.Helper()
+	waitFor(t, "replication to drain", func() bool {
+		p := remoteStats(t, primary)
+		f := remoteStats(t, follower)
+		return p.ReplicationPending == 0 && p.Replicated > 0 && f.Replicas >= n
+	})
+}
+
+func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return post(t, url, body)
+}
+
+// TestReplicationConverges pins the tentpole's data plane: a solved
+// job's terminal record lands in the follower's replica namespace and
+// reads back byte-identical through GET /v1/replicas/{id}.
+func TestReplicationConverges(t *testing.T) {
+	primary, follower := replicationPair(t)
+	body := submitBody(t, tinyProblemJSON(t, "replicate-one"), server.SolveSpec{})
+	resp, got := post(t, primary.URL+"/v1/solve", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d (body %s)", resp.StatusCode, got)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.ID, "p0-") {
+		t.Fatalf("job ID %q lacks the primary's prefix", st.ID)
+	}
+	waitReplicated(t, primary.URL, follower.URL, 1)
+
+	_, own := get(t, primary.URL+"/v1/jobs/"+st.ID)
+	rresp, replica := get(t, follower.URL+"/v1/replicas/"+st.ID)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("replica status = %d (body %s)", rresp.StatusCode, replica)
+	}
+	if !bytes.Equal(own, replica) {
+		t.Fatalf("replica status diverged:\nprimary:  %s\nfollower: %s", own, replica)
+	}
+	// The follower's own job namespace must not know the ID before a
+	// promotion.
+	if jresp, _ := get(t, follower.URL+"/v1/jobs/"+st.ID); jresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unpromoted replica leaked into /v1/jobs: status %d", jresp.StatusCode)
+	}
+}
+
+// TestPromoteTerminalByteIdentical pins failover for completed work:
+// after promotion the follower answers GET /v1/jobs/{id} with the
+// byte-identical body the primary served, and promotion is idempotent.
+func TestPromoteTerminalByteIdentical(t *testing.T) {
+	primary, follower := replicationPair(t)
+	body := submitBody(t, tinyProblemJSON(t, "promote-done"), server.SolveSpec{})
+	_, got := post(t, primary.URL+"/v1/solve", body)
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	_, own := get(t, primary.URL+"/v1/jobs/"+st.ID)
+	waitReplicated(t, primary.URL, follower.URL, 1)
+
+	presp, pbody := postJSON(t, follower.URL+"/v1/promote", server.PromoteRequest{Origin: "p0-"})
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("promote status = %d (body %s)", presp.StatusCode, pbody)
+	}
+	var pr server.PromoteResponse
+	if err := json.Unmarshal(pbody, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Promoted != 1 {
+		t.Fatalf("promoted = %d, want 1", pr.Promoted)
+	}
+	jresp, adopted := get(t, follower.URL+"/v1/jobs/"+st.ID)
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted job lookup = %d (body %s)", jresp.StatusCode, adopted)
+	}
+	if !bytes.Equal(own, adopted) {
+		t.Fatalf("promoted status diverged:\nprimary:  %s\nfollower: %s", own, adopted)
+	}
+	if fs := remoteStats(t, follower.URL); fs.Promoted != 1 {
+		t.Fatalf("follower Promoted = %d, want 1", fs.Promoted)
+	}
+	// Re-promotion must be a no-op: the ID already lives locally.
+	_, pbody = postJSON(t, follower.URL+"/v1/promote", server.PromoteRequest{Origin: "p0-"})
+	if err := json.Unmarshal(pbody, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Promoted != 0 {
+		t.Fatalf("second promote adopted %d jobs, want 0", pr.Promoted)
+	}
+}
+
+// TestPromoteLiveReruns pins failover for queued work: a job the
+// primary never got to run re-runs on the follower under its original
+// ID.
+func TestPromoteLiveReruns(t *testing.T) {
+	primary, follower := replicationPair(t)
+	// Park the primary's single worker on a blocking solve so the next
+	// submission replicates in its queued state.
+	blocker := submitBody(t, tinyProblemJSON(t, "promote-blocker"),
+		server.SolveSpec{Algorithm: "test-block"})
+	if resp, got := post(t, primary.URL+"/v1/jobs", blocker); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("blocker submit = %d (body %s)", resp.StatusCode, got)
+	}
+	<-blockUp
+	defer func() { blockDone <- struct{}{} }()
+
+	queued := submitBody(t, tinyProblemJSON(t, "promote-queued"), server.SolveSpec{})
+	resp, got := post(t, primary.URL+"/v1/jobs", queued)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queued submit = %d (body %s)", resp.StatusCode, got)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitReplicated(t, primary.URL, follower.URL, 2)
+
+	if _, pbody := postJSON(t, follower.URL+"/v1/promote", server.PromoteRequest{Origin: "p0-"}); true {
+		var pr server.PromoteResponse
+		if err := json.Unmarshal(pbody, &pr); err != nil {
+			t.Fatal(err)
+		}
+		if pr.Promoted != 2 {
+			t.Fatalf("promoted = %d, want 2 (blocker + queued)", pr.Promoted)
+		}
+	}
+	// The promoted blocker re-runs on the follower too: drain its start
+	// token and release it, or its leftovers would poison later tests
+	// sharing the block channels.
+	<-blockUp
+	defer func() { blockDone <- struct{}{} }()
+	waitFor(t, "the queued job to re-run on the follower", func() bool {
+		resp, body := get(t, follower.URL+"/v1/jobs/"+st.ID)
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		var now server.JobStatus
+		return json.Unmarshal(body, &now) == nil && now.State == server.StateDone
+	})
+}
+
+// TestReconcileTerminalBeatsLive pins anti-entropy adoption: a terminal
+// incoming record installs on an unknown ID, never overwrites a
+// terminal local job, and a live incoming record re-runs locally.
+func TestReconcileTerminalBeatsLive(t *testing.T) {
+	_, ts := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p0-", Store: store.NewMemStore(),
+	})
+	result := json.RawMessage(`{"feasible":true}`)
+	rec := store.JobRecord{
+		ID: "px-job-00000001", Key: "k1", State: server.StateDone, Result: result, Seq: 3,
+	}
+	// The cache entry uses a distinct key: installing the terminal record
+	// already warms k1, and an already-present entry must not re-count.
+	resp, body := postJSON(t, ts.URL+"/v1/reconcile", server.ReconcileRequest{
+		Records: []store.JobRecord{rec},
+		Cache:   []store.CacheEntry{{Key: "k1", Result: result}, {Key: "k2", Result: result}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reconcile status = %d (body %s)", resp.StatusCode, body)
+	}
+	var rr server.ReconcileResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Applied != 2 {
+		t.Fatalf("applied = %d, want 2 (record + cache entry)", rr.Applied)
+	}
+	jresp, jbody := get(t, ts.URL+"/v1/jobs/px-job-00000001")
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("adopted job lookup = %d (body %s)", jresp.StatusCode, jbody)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(jbody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != server.StateDone || !bytes.Equal(st.Result, result) {
+		t.Fatalf("adopted job = %+v, want done with the replicated result", st)
+	}
+
+	// Redelivery: the terminal local job must not re-adopt.
+	_, body = postJSON(t, ts.URL+"/v1/reconcile", server.ReconcileRequest{Records: []store.JobRecord{rec}})
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Applied != 0 {
+		t.Fatalf("redelivered reconcile applied %d, want 0", rr.Applied)
+	}
+
+	// A live record for an unknown ID re-runs here under its original ID.
+	liveCanon := tinyProblemJSON(t, "reconcile-live")
+	live := store.JobRecord{
+		ID: "px-job-00000002", State: server.StateQueued, Problem: liveCanon,
+	}
+	_, body = postJSON(t, ts.URL+"/v1/reconcile", server.ReconcileRequest{Records: []store.JobRecord{live}})
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Applied != 1 {
+		t.Fatalf("live reconcile applied %d, want 1", rr.Applied)
+	}
+	waitFor(t, "the migrated live job to solve", func() bool {
+		resp, body := get(t, ts.URL+"/v1/jobs/px-job-00000002")
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		var now server.JobStatus
+		return json.Unmarshal(body, &now) == nil && now.State == server.StateDone
+	})
+	if st := remoteStats(t, ts.URL); st.Reconciled != 2 {
+		t.Fatalf("Reconciled = %d, want 2", st.Reconciled)
+	}
+}
+
+// TestReplicationTargetEndpoint pins the control plane: a late-bound
+// target reseeds the full state, Info reflects it, and a non-URL is
+// rejected.
+func TestReplicationTargetEndpoint(t *testing.T) {
+	_, follower := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p1-", Store: store.NewMemStore(),
+	})
+	_, primary := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p0-", Store: store.NewMemStore(),
+	})
+	// Solve before any target exists: nothing replicates yet.
+	body := submitBody(t, tinyProblemJSON(t, "late-target"), server.SolveSpec{})
+	_, got := post(t, primary.URL+"/v1/solve", body)
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	if fs := remoteStats(t, follower.URL); fs.Replicas != 0 {
+		t.Fatalf("follower has %d replicas before a target was set", fs.Replicas)
+	}
+
+	if resp, _ := postPut(t, primary.URL+"/v1/replication/target",
+		server.ReplicationTarget{URL: "not-a-url"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad target accepted: status %d", resp.StatusCode)
+	}
+	resp, tbody := postPut(t, primary.URL+"/v1/replication/target",
+		server.ReplicationTarget{URL: follower.URL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set target status = %d (body %s)", resp.StatusCode, tbody)
+	}
+	// The reseed converges the follower to the pre-target history.
+	waitReplicated(t, primary.URL, follower.URL, 1)
+	if rresp, _ := get(t, follower.URL+"/v1/replicas/"+st.ID); rresp.StatusCode != http.StatusOK {
+		t.Fatalf("reseeded replica missing: status %d", rresp.StatusCode)
+	}
+	_, ibody := get(t, primary.URL+"/v1/info")
+	var info server.Info
+	if err := json.Unmarshal(ibody, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplicaTarget != follower.URL {
+		t.Fatalf("Info.ReplicaTarget = %q, want %q", info.ReplicaTarget, follower.URL)
+	}
+}
+
+// TestReplicationEvictionPropagates pins the resurrection guard: when
+// the primary's retention evicts a job, the follower's replica goes
+// too.
+func TestReplicationEvictionPropagates(t *testing.T) {
+	_, follower := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p1-", Store: store.NewMemStore(),
+	})
+	_, primary := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p0-", Store: store.NewMemStore(),
+		Retention: 1, ReplicaTarget: follower.URL,
+	})
+	first := submitBody(t, tinyProblemJSON(t, "evict-a"), server.SolveSpec{})
+	_, got := post(t, primary.URL+"/v1/solve", first)
+	var stA server.JobStatus
+	if err := json.Unmarshal(got, &stA); err != nil {
+		t.Fatal(err)
+	}
+	second := submitBody(t, tinyProblemJSON(t, "evict-b"), server.SolveSpec{})
+	_, got = post(t, primary.URL+"/v1/solve", second)
+	var stB server.JobStatus
+	if err := json.Unmarshal(got, &stB); err != nil {
+		t.Fatal(err)
+	}
+	// Retention 1 evicted job A the moment B finished; the delete rides
+	// the same replication stream.
+	waitFor(t, "the evicted replica to disappear", func() bool {
+		respA, _ := get(t, follower.URL+"/v1/replicas/"+stA.ID)
+		respB, _ := get(t, follower.URL+"/v1/replicas/"+stB.ID)
+		return respA.StatusCode == http.StatusNotFound && respB.StatusCode == http.StatusOK
+	})
+}
+
+// postPut sends a PUT with a JSON body.
+func postPut(t *testing.T, url string, v any) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}

@@ -51,6 +51,14 @@ type Config struct {
 	// "s0-job-00000001"). Give each backend behind a shard router a
 	// distinct prefix so the router can route an ID back to its owner.
 	IDPrefix string
+	// ReplicaTarget, when non-empty, is the base URL of this instance's
+	// ring successor: every job record and terminal result is
+	// asynchronously pushed there over POST /v1/replicate, so the
+	// successor can answer for this instance after a failure. A shard
+	// router normally manages the target at runtime via
+	// PUT /v1/replication/target; the config field seeds standalone
+	// pairs.
+	ReplicaTarget string
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +101,7 @@ type job struct {
 
 	// Guarded by Server.mu.
 	state     string
+	seq       uint64 // terminal-transition sequence; 0 while live
 	cacheHit  bool
 	coalesced bool
 	finished  bool
@@ -128,6 +137,15 @@ type Server struct {
 	nextID    uint64
 	termSeq   uint64 // terminal-transition sequence (persisted per job)
 
+	// replicas holds other backends' job records replicated here (the
+	// follower half of ring replication), keyed by job ID. Guarded by
+	// mu; the persisted mirror lives in the store's replica namespace.
+	replicas map[string]store.JobRecord
+	// rep pushes this instance's own records to its ring successor. Its
+	// internal lock nests under mu (mu -> rep.mu); the push loop itself
+	// never takes mu.
+	rep *replicator
+
 	wg sync.WaitGroup
 }
 
@@ -140,10 +158,14 @@ func New(cfg Config) (*Server, error) {
 			cfg.Profile, ProfileRepro, ProfileFast)
 	}
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		jobs:    make(map[string]*job),
-		leaders: make(map[string]*job),
+		cfg:      cfg.withDefaults(),
+		jobs:     make(map[string]*job),
+		leaders:  make(map[string]*job),
+		replicas: make(map[string]store.JobRecord),
 	}
+	// The replicator starts targetless so replay's writes are not pushed
+	// piecemeal; SetReplicaTarget below reseeds the full state once.
+	s.rep = newReplicator(s.cfg.IDPrefix, "")
 	s.cache = newResultCache(s.cfg.CacheSize)
 	if s.cfg.Store != nil {
 		s.cache.onEvict = func(key string) {
@@ -162,15 +184,19 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.cfg.ReplicaTarget != "" {
+		s.SetReplicaTarget(s.cfg.ReplicaTarget)
+	}
 	return s, nil
 }
 
 // Info describes this instance to clients and shard routers.
 func (s *Server) Info() Info {
 	return Info{
-		IDPrefix: s.cfg.IDPrefix,
-		Profile:  s.cfg.Profile,
-		Durable:  s.cfg.Store != nil,
+		IDPrefix:      s.cfg.IDPrefix,
+		Profile:       s.cfg.Profile,
+		Durable:       s.cfg.Store != nil,
+		ReplicaTarget: s.rep.targetURL(),
 	}
 }
 
@@ -198,6 +224,7 @@ func (s *Server) Close() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.rep.close()
 }
 
 // Stats returns a snapshot of the service counters.
@@ -208,6 +235,8 @@ func (s *Server) Stats() Stats {
 	st.QueueLen = len(s.queue)
 	st.Running = s.running
 	st.CacheLen = s.cache.len()
+	st.Replicated, st.ReplicationPending = s.rep.snapshotStats()
+	st.Replicas = len(s.replicas)
 	return st
 }
 
@@ -256,7 +285,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		s.stats.Coalesced++
-		s.persistJob(j, 0)
+		s.persistJob(j)
 		return j, nil
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
@@ -268,7 +297,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 	j.state = StateQueued
 	s.leaders[key] = j
 	s.queue = append(s.queue, j)
-	s.persistJob(j, 0)
+	s.persistJob(j)
 	s.cond.Signal()
 	return j, nil
 }
@@ -294,7 +323,8 @@ func (s *Server) finishCachedLocked(j *job, cached json.RawMessage) {
 	j.cancel() // nothing will run; release the context
 	close(j.done)
 	s.termSeq++
-	s.persistJob(j, s.termSeq)
+	j.seq = s.termSeq
+	s.persistJob(j)
 	s.retainLocked(j)
 	s.stats.CacheHits++
 }
@@ -315,6 +345,10 @@ func (s *Server) retainLocked(j *job) {
 		delete(s.jobs, evicted)
 		s.doneOrder = s.doneOrder[1:]
 		s.dropPersistedJob(evicted)
+		// A replica record for the evicted ID (a job this instance once
+		// promoted) must go too, or the next promotion would resurrect a
+		// job retention already let go.
+		s.dropReplicaLocked(evicted)
 	}
 }
 
@@ -383,6 +417,15 @@ func (s *Server) cancelLocked(j *job) {
 // finishLocked records a job's outcome, propagates it to coalesced
 // followers and wakes waiters. Callers hold s.mu.
 func (s *Server) finishLocked(j *job, state string, result json.RawMessage, errPay *ErrorPayload) {
+	s.finishWithLocked(j, state, result, errPay, true)
+}
+
+// finishWithLocked is finishLocked with the per-state counters
+// optional: reconcile adoption installs an outcome another backend
+// already counted as solved/failed/cancelled, so it counts Reconciled
+// instead (at the call site) and passes countStats=false. Callers hold
+// s.mu.
+func (s *Server) finishWithLocked(j *job, state string, result json.RawMessage, errPay *ErrorPayload, countStats bool) {
 	if j.finished {
 		return
 	}
@@ -394,21 +437,24 @@ func (s *Server) finishLocked(j *job, state string, result json.RawMessage, errP
 	if s.leaders[j.key] == j {
 		delete(s.leaders, j.key)
 	}
-	switch state {
-	case StateCancelled:
-		s.stats.Cancelled++
-	case StateFailed:
-		s.stats.Failed++
-	case StateDone:
-		s.stats.Solved++
+	if countStats {
+		switch state {
+		case StateCancelled:
+			s.stats.Cancelled++
+		case StateFailed:
+			s.stats.Failed++
+		case StateDone:
+			s.stats.Solved++
+		}
 	}
 	s.termSeq++
-	s.persistJob(j, s.termSeq)
+	j.seq = s.termSeq
+	s.persistJob(j)
 	s.retainLocked(j)
 	close(j.done)
 	for _, f := range j.followers {
 		f.leader = nil
-		s.finishLocked(f, state, result, errPay)
+		s.finishWithLocked(f, state, result, errPay, countStats)
 	}
 	j.followers = nil
 }

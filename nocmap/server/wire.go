@@ -204,6 +204,9 @@ type Info struct {
 	// Durable reports whether a persistent job store backs this
 	// instance (jobs and results survive a restart).
 	Durable bool `json:"durable"`
+	// ReplicaTarget is the ring successor this instance replicates its
+	// job records to ("" when replication is off).
+	ReplicaTarget string `json:"replica_target,omitempty"`
 }
 
 // Job states, in lifecycle order.
@@ -257,6 +260,10 @@ const (
 	CodeCancelled        = "cancelled"
 	CodeShuttingDown     = "shutting_down"
 	CodeInternal         = "internal"
+	// CodeBackendUnavailable is a shard router's answer when no backend
+	// could serve the request (all owners down, or a job ID no reachable
+	// backend recognizes). The client retries it once transparently.
+	CodeBackendUnavailable = "backend_unavailable"
 )
 
 // errorPayload classifies an error into the wire taxonomy using the
@@ -310,9 +317,24 @@ type Stats struct {
 	// serving (durability is then best-effort) but the counter makes the
 	// degradation observable.
 	StoreErrors uint64 `json:"store_errors"`
-	QueueLen    int    `json:"queue_len"`
-	Running     int    `json:"running"`
-	CacheLen    int    `json:"cache_len"`
+	// Replicated counts record pushes (and deletion pushes) the ring
+	// successor acknowledged; ReplicationPending is how many are queued
+	// or in flight. Pending draining to zero means the follower has
+	// everything this instance knows.
+	Replicated         uint64 `json:"replicated"`
+	ReplicationPending int    `json:"replication_pending"`
+	// Replicas is how many other backends' records this instance holds
+	// in its replica namespace (the follower half of ring replication).
+	Replicas int `json:"replicas"`
+	// Promoted counts replica records adopted as local jobs after a
+	// primary failure (POST /v1/promote).
+	Promoted uint64 `json:"promoted"`
+	// Reconciled counts records adopted through anti-entropy or
+	// key-range migration (POST /v1/reconcile).
+	Reconciled uint64 `json:"reconciled"`
+	QueueLen   int    `json:"queue_len"`
+	Running    int    `json:"running"`
+	CacheLen   int    `json:"cache_len"`
 }
 
 // JobKey builds the canonical cache/coalescing/shard-routing key: a

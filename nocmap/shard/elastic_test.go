@@ -1,0 +1,176 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/nocmap/server"
+	"repro/nocmap/shard"
+	"repro/nocmap/store"
+)
+
+// keyOf computes the canonical routing key of a submission the way the
+// router and backends do.
+func keyOf(t *testing.T, problem []byte) string {
+	t.Helper()
+	body := submitBody(t, problem, server.SolveSpec{})
+	_, canon, spec, serr := server.ParseSubmit(body)
+	if serr != nil {
+		t.Fatal(serr.Payload.Message)
+	}
+	return server.JobKey(canon, server.ProfileRepro.Apply(spec))
+}
+
+func postElastic(t *testing.T, routerURL, action, backend string) (int, shard.ElasticResponse, []byte) {
+	t.Helper()
+	payload, _ := json.Marshal(shard.ElasticRequest{URL: backend})
+	resp, err := http.Post(routerURL+"/v1/shards/"+action, "application/json",
+		strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 0)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	var out shard.ElasticResponse
+	_ = json.Unmarshal(body, &out)
+	return resp.StatusCode, out, body
+}
+
+// TestElasticJoinMigratesMovedRanges boots a 2-backend fleet, solves
+// work through it, then joins a third backend over the control API and
+// verifies (a) only the newcomer's key ranges migrated, (b) a
+// previously solved problem whose key now belongs to the newcomer is
+// answered from the newcomer's cache — proof the migrated records kept
+// the fleet's cache locality — and (c) leave streams a departing
+// backend's records out so its history keeps answering.
+func TestElasticJoinMigratesMovedRanges(t *testing.T) {
+	// Two backends in the fleet, a third booted but unjoined.
+	backends := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		svc, err := server.New(server.Config{Pool: 1, QueueSize: 16, CacheSize: 16,
+			IDPrefix: fmt.Sprintf("e%d-", i), Store: store.NewMemStore()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			svc.Close()
+		})
+		backends[i] = ts.URL
+	}
+	router, err := shard.New(shard.Config{Backends: backends[:2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(rs.Close)
+
+	// A throwaway router over all three backends predicts post-join
+	// ownership (the ring is a pure function of the membend list), so
+	// the test can pick problems that will and won't migrate.
+	grown, err := shard.New(shard.Config{Backends: backends})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var movingProblem, stayingProblem []byte
+	for i := 0; i < 400 && (movingProblem == nil || stayingProblem == nil); i++ {
+		problem := problemJSON(t, fmt.Sprintf("elastic-%d", i), 3)
+		if grown.Owner(keyOf(t, problem)) == backends[2] {
+			if movingProblem == nil {
+				movingProblem = problem
+			}
+		} else if stayingProblem == nil {
+			stayingProblem = problem
+		}
+	}
+	if movingProblem == nil || stayingProblem == nil {
+		t.Fatal("could not generate problems on both sides of the join boundary")
+	}
+
+	moving := solveVia(t, rs.URL, movingProblem)
+	staying := solveVia(t, rs.URL, stayingProblem)
+	if moving.State != server.StateDone || staying.State != server.StateDone {
+		t.Fatalf("seed solves finished %s / %s", moving.State, staying.State)
+	}
+
+	// Join the third backend.
+	code, out, body := postElastic(t, rs.URL, "join", backends[2])
+	if code != http.StatusOK {
+		t.Fatalf("join: HTTP %d: %s", code, body)
+	}
+	if len(out.Backends) != 3 {
+		t.Fatalf("join left %d backends, want 3", len(out.Backends))
+	}
+	if out.Migrated == 0 {
+		t.Fatal("join migrated nothing; the moving key's record and cache entry should have streamed")
+	}
+	if got := len(router.Backends()); got != 3 {
+		t.Fatalf("router sees %d backends after join, want 3", got)
+	}
+	// Joining the same backend twice is an error, not a double-migrate.
+	if code, _, _ := postElastic(t, rs.URL, "join", backends[2]); code != http.StatusBadRequest {
+		t.Fatalf("re-join: HTTP %d, want 400", code)
+	}
+
+	// The moved problem re-solves as a cache hit on the newcomer: its
+	// migrated cache entry answers, no recomputation.
+	re := solveVia(t, rs.URL, movingProblem)
+	if !re.CacheHit {
+		t.Fatalf("moved problem was recomputed after join (job %s)", re.ID)
+	}
+	if !strings.HasPrefix(re.ID, "e2-") {
+		t.Fatalf("moved problem answered by %s, want the newcomer (e2-)", re.ID)
+	}
+	// And the staying problem still hits where it always lived.
+	if re := solveVia(t, rs.URL, stayingProblem); !re.CacheHit {
+		t.Fatalf("unmoved problem lost its cache entry across join (job %s)", re.ID)
+	}
+
+	// Leave: backend 0 drains out. Its terminal history must keep
+	// answering through the router, now from whichever backend adopted
+	// each record.
+	victims := []server.JobStatus{}
+	for _, st := range []server.JobStatus{moving, staying} {
+		if strings.HasPrefix(st.ID, "e0-") {
+			victims = append(victims, st)
+		}
+	}
+	code, out, body = postElastic(t, rs.URL, "leave", backends[0])
+	if code != http.StatusOK {
+		t.Fatalf("leave: HTTP %d: %s", code, body)
+	}
+	if len(out.Backends) != 2 {
+		t.Fatalf("leave left %d backends, want 2", len(out.Backends))
+	}
+	for _, st := range victims {
+		codeGot, got := getBody(t, rs.URL+"/v1/jobs/"+st.ID)
+		if codeGot != http.StatusOK {
+			t.Fatalf("job %s lost after its backend left: HTTP %d: %s", st.ID, codeGot, got)
+		}
+	}
+	// Removing an unknown backend is a 404; draining the fleet to zero
+	// is refused.
+	if code, _, _ := postElastic(t, rs.URL, "leave", backends[0]); code != http.StatusNotFound {
+		t.Fatalf("double leave: HTTP %d, want 404", code)
+	}
+	if code, _, _ := postElastic(t, rs.URL, "leave", out.Backends[0]); code != http.StatusOK {
+		t.Fatalf("second leave: HTTP %d, want 200", code)
+	}
+	if code, _, _ := postElastic(t, rs.URL, "leave", out.Backends[1]); code != http.StatusBadRequest {
+		t.Fatalf("draining the last backend: HTTP %d, want 400", code)
+	}
+}

@@ -1,0 +1,245 @@
+package shard_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/nocmap/httpfault"
+	"repro/nocmap/server"
+	"repro/nocmap/shard"
+	"repro/nocmap/store"
+)
+
+// faultFleet boots n real nocmapd services, each behind an httpfault
+// proxy, with a probing router fronting the proxies. Killing a backend
+// is then just flipping its proxy to Drop — the router sees exactly
+// what a crashed process looks like, and flipping back to Pass is the
+// rejoin (the process state intact, as after a restart from its store).
+func faultFleet(t *testing.T, n int) (*shard.Router, string, []*httpfault.Proxy, []*server.Server) {
+	t.Helper()
+	backends := make([]string, n)
+	proxies := make([]*httpfault.Proxy, n)
+	services := make([]*server.Server, n)
+	for i := 0; i < n; i++ {
+		svc, err := server.New(server.Config{Pool: 1, QueueSize: 16, CacheSize: 16,
+			IDPrefix: fmt.Sprintf("f%d-", i), Store: store.NewMemStore()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		proxy, err := httpfault.New(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := httptest.NewServer(proxy)
+		t.Cleanup(func() {
+			ps.Close()
+			ts.Close()
+			svc.Close()
+		})
+		backends[i] = ps.URL
+		proxies[i] = proxy
+		services[i] = svc
+	}
+	router, err := shard.New(shard.Config{
+		Backends:         backends,
+		Profile:          server.ProfileRepro,
+		ProbeInterval:    25 * time.Millisecond,
+		FailThreshold:    2,
+		RecoverThreshold: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(router.Close)
+	rs := httptest.NewServer(router.Handler())
+	t.Cleanup(rs.Close)
+	return router, rs.URL, proxies, services
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// waitUntil polls cond for up to 15s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// shardsView fetches the router's GET /v1/shards fleet view.
+func shardsView(t *testing.T, routerURL string) shard.ShardInfo {
+	t.Helper()
+	_, body := getBody(t, routerURL+"/v1/shards")
+	var info shard.ShardInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func backendHealthIn(info shard.ShardInfo, url string) string {
+	for _, b := range info.Fleet {
+		if b.URL == url {
+			return b.Health
+		}
+	}
+	return "absent"
+}
+
+// solveVia submits a problem synchronously through the router and
+// returns the final JobStatus.
+func solveVia(t *testing.T, routerURL string, problem []byte) server.JobStatus {
+	t.Helper()
+	resp, err := http.Post(routerURL+"/v1/solve", "application/json",
+		strings.NewReader(string(submitBody(t, problem, server.SolveSpec{}))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFailoverServesReplicatedResultsByteIdentical walks the full
+// failure story: solve jobs across a probed fleet, let ring replication
+// converge, kill one backend, and verify the router (a) marks it down,
+// (b) promotes its replicas on the ring successor, and (c) keeps
+// answering the dead backend's job IDs byte-identical to the answers
+// the backend itself gave before it died. Then the backend comes back
+// and the router reconciles it and marks it up again.
+func TestFailoverServesReplicatedResultsByteIdentical(t *testing.T) {
+	router, routerURL, proxies, _ := faultFleet(t, 3)
+	backends := router.Backends()
+
+	// Solve a handful of distinct problems so every backend owns work.
+	answers := map[string][]byte{} // job ID -> the owner's exact answer
+	for i := 0; i < 6; i++ {
+		st := solveVia(t, routerURL, problemJSON(t, fmt.Sprintf("failover-%d", i), 3))
+		if st.State != server.StateDone {
+			t.Fatalf("job %s finished %s", st.ID, st.State)
+		}
+		code, body := getBody(t, routerURL+"/v1/jobs/"+st.ID)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s: HTTP %d", st.ID, code)
+		}
+		answers[st.ID] = body
+	}
+
+	// Replication has converged when every job has a replica somewhere
+	// and nothing is pending.
+	waitUntil(t, "replication to converge", func() bool {
+		_, body := getBody(t, routerURL+"/v1/stats")
+		var merged shard.MergedStats
+		if json.Unmarshal(body, &merged) != nil {
+			return false
+		}
+		return merged.Total.Replicas >= len(answers) && merged.Total.ReplicationPending == 0
+	})
+
+	// Kill backend 0 (every fX- job ID names its backend index).
+	proxies[0].SetMode(httpfault.Drop)
+	waitUntil(t, "the prober to mark the backend down and promote", func() bool {
+		info := shardsView(t, routerURL)
+		return backendHealthIn(info, backends[0]) == shard.HealthDown && info.Router.Promotions >= 1
+	})
+
+	// Every answer the dead backend ever gave must still be served —
+	// byte for byte — through the router, now from the successor.
+	for id, want := range answers {
+		code, got := getBody(t, routerURL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job %s after failover: HTTP %d: %s", id, code, got)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("job %s changed across failover:\n before: %s\n after:  %s", id, want, got)
+		}
+	}
+
+	// The fleet keeps accepting work while degraded.
+	st := solveVia(t, routerURL, problemJSON(t, "failover-during", 3))
+	if st.State != server.StateDone {
+		t.Fatalf("solve during outage finished %s", st.State)
+	}
+
+	// Rejoin: the prober sees it recover, reconciles it and marks it up.
+	proxies[0].SetMode(httpfault.Pass)
+	waitUntil(t, "the backend to rejoin and reconcile", func() bool {
+		info := shardsView(t, routerURL)
+		return backendHealthIn(info, backends[0]) == shard.HealthUp && info.Router.Reconciles >= 1
+	})
+	for id, want := range answers {
+		code, got := getBody(t, routerURL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("job %s after rejoin: HTTP %d", id, code)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("job %s changed across rejoin:\n before: %s\n after:  %s", id, want, got)
+		}
+	}
+}
+
+// TestSubmitOrderSkipsProbedDownBackends pins that a probed-down
+// backend costs submissions nothing: once the prober marks it down, a
+// submission owned by it goes straight to a live backend — the
+// Failovers counter (transport errors eaten mid-submit) stays flat.
+func TestSubmitOrderSkipsProbedDownBackends(t *testing.T) {
+	router, routerURL, proxies, _ := faultFleet(t, 3)
+	backends := router.Backends()
+	proxies[1].SetMode(httpfault.Drop)
+	waitUntil(t, "the prober to mark backend 1 down", func() bool {
+		return backendHealthIn(shardsView(t, routerURL), backends[1]) == shard.HealthDown
+	})
+	before := router.Stats().Failovers
+	// Find a problem owned by the dead backend and submit it.
+	for i := 0; i < 200; i++ {
+		problem := problemJSON(t, fmt.Sprintf("skip-down-%d", i), 3)
+		body := submitBody(t, problem, server.SolveSpec{})
+		_, canon, spec, serr := server.ParseSubmit(body)
+		if serr != nil {
+			t.Fatal(serr.Payload.Message)
+		}
+		if router.Owner(server.JobKey(canon, server.ProfileRepro.Apply(spec))) != backends[1] {
+			continue
+		}
+		st := solveVia(t, routerURL, problem)
+		if st.State != server.StateDone {
+			t.Fatalf("solve finished %s", st.State)
+		}
+		if got := router.Stats().Failovers; got != before {
+			t.Fatalf("submission burned %d transport failovers on a known-down backend", got-before)
+		}
+		return
+	}
+	t.Fatal("no generated problem hashed to backend 1")
+}

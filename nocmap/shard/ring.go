@@ -66,6 +66,40 @@ func (r *ring) search(key string) int {
 	return i
 }
 
+// replicationSuccessor returns the index of backend b's replication
+// target: its successor on a backend-level ring (one point per backend,
+// not the virtual-node ring — replica placement must depend only on the
+// membership set, never on the virtual-node count). -1 when there is no
+// distinct successor (single-backend fleet). By construction the
+// successor is never b itself, so a backend can never be told to
+// replicate onto itself.
+func replicationSuccessor(backends []string, b int) int {
+	n := len(backends)
+	if n < 2 || b < 0 || b >= n {
+		return -1
+	}
+	type point struct {
+		hash uint64
+		i    int
+	}
+	pts := make([]point, n)
+	for i, url := range backends {
+		pts[i] = point{hash: hash64(url), i: i}
+	}
+	sort.Slice(pts, func(a, c int) bool {
+		if pts[a].hash != pts[c].hash {
+			return pts[a].hash < pts[c].hash
+		}
+		return backends[pts[a].i] < backends[pts[c].i] // total order: ties cannot flap
+	})
+	for k, p := range pts {
+		if p.i == b {
+			return pts[(k+1)%n].i
+		}
+	}
+	return -1
+}
+
 // sequence returns every distinct backend in ring order starting at the
 // key's owner: the failover order when backends are unreachable.
 func (r *ring) sequence(key string) []int {

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func syntheticBackends(n int) []string {
+	backends := make([]string, n)
+	for i := range backends {
+		backends[i] = fmt.Sprintf("http://backend-%02d:8537", i)
+	}
+	return backends
+}
+
+// TestReplicationSuccessorPlacement pins the replica-placement
+// properties promotion depends on: every backend's successor is a
+// valid index, is never the backend itself (a primary must not be its
+// own replica), and the URL->URL successor mapping is a pure function
+// of the membership SET — independent of the order the backends were
+// listed in, so a router restart with a reordered -backends flag cannot
+// silently re-home every replica.
+func TestReplicationSuccessorPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 2; n <= 12; n++ {
+		backends := syntheticBackends(n)
+		succOf := map[string]string{}
+		for i := range backends {
+			s := replicationSuccessor(backends, i)
+			if s < 0 || s >= n {
+				t.Fatalf("n=%d: successor(%d) = %d out of range", n, i, s)
+			}
+			if s == i {
+				t.Fatalf("n=%d: backend %d is its own replica target", n, i)
+			}
+			succOf[backends[i]] = backends[s]
+		}
+		// Successors must form a single cycle covering every backend:
+		// each backend holds exactly one other's replicas, so no backend
+		// is double-burdened and none is left unreplicated.
+		holds := map[string]int{}
+		for _, s := range succOf {
+			holds[s]++
+		}
+		for _, b := range backends {
+			if holds[b] != 1 {
+				t.Fatalf("n=%d: backend %s holds replicas for %d primaries, want 1", n, b, holds[b])
+			}
+		}
+		// Order independence: shuffle the list, the mapping stays.
+		shuffled := append([]string(nil), backends...)
+		rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		for i, b := range shuffled {
+			s := replicationSuccessor(shuffled, i)
+			if shuffled[s] != succOf[b] {
+				t.Fatalf("n=%d: successor of %s changed with list order: %s vs %s",
+					n, b, shuffled[s], succOf[b])
+			}
+		}
+	}
+}
+
+// TestReplicationSuccessorDegenerateRings pins the two smallest fleets:
+// a single backend has no successor (replication is off, not
+// self-directed), and a two-backend fleet replicates symmetrically —
+// each is the other's follower.
+func TestReplicationSuccessorDegenerateRings(t *testing.T) {
+	if got := replicationSuccessor(syntheticBackends(1), 0); got != -1 {
+		t.Fatalf("single backend: successor = %d, want -1", got)
+	}
+	two := syntheticBackends(2)
+	if got := replicationSuccessor(two, 0); got != 1 {
+		t.Fatalf("two backends: successor(0) = %d, want 1", got)
+	}
+	if got := replicationSuccessor(two, 1); got != 0 {
+		t.Fatalf("two backends: successor(1) = %d, want 0", got)
+	}
+	if got := replicationSuccessor(two, 2); got != -1 {
+		t.Fatalf("out-of-range backend: successor = %d, want -1", got)
+	}
+}
+
+// TestJoinMovesOnlyNewcomerRanges is the join half of the rebalancing
+// contract (the leave half — survivors never exchange keys — is pinned
+// by TestShardAssignmentStableAcrossRestarts): when a backend joins,
+// every key that changes owner moves TO the newcomer. No key migrates
+// between two backends that were both already present, so elastic join
+// streams exactly the newcomer's ranges and nothing else.
+func TestJoinMovesOnlyNewcomerRanges(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		backends := syntheticBackends(n)
+		before := buildRing(backends, 64)
+		grown := append(append([]string(nil), backends...), "http://newcomer:8537")
+		after := buildRing(grown, 64)
+		moved := 0
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("key-%04d", i)
+			ob, nb := before.owner(key), after.owner(key)
+			if ob == nb {
+				continue
+			}
+			moved++
+			if nb != n { // the newcomer's index
+				t.Fatalf("n=%d: key %s moved %s -> %s, neither the newcomer",
+					n, key, backends[ob], grown[nb])
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: newcomer took no keys at all", n)
+		}
+		if frac := float64(moved) / 2000; frac > 2.5/float64(n+1) {
+			t.Fatalf("n=%d: newcomer took %.0f%% of the keyspace, want ~%.0f%%",
+				n, frac*100, 100.0/float64(n+1))
+		}
+	}
+}

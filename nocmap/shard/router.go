@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strings"
@@ -33,32 +34,63 @@ type Config struct {
 	Profile server.Profile
 	// HTTPClient overrides the client used to reach backends.
 	HTTPClient *http.Client
+	// ProbeInterval, when positive, turns the router into the fleet's
+	// replication control plane: a background prober health-checks every
+	// backend on this cadence, marks backends down after FailThreshold
+	// consecutive failures (promoting their replicas on the ring
+	// successor) and up again after RecoverThreshold consecutive
+	// successes (running the anti-entropy reconcile sweep back onto
+	// them), and the router pushes each backend's replication target.
+	// Zero leaves health tracking to per-request failover only.
+	ProbeInterval time.Duration
+	// FailThreshold is how many consecutive probe failures mark a
+	// backend down (<= 0: 3).
+	FailThreshold int
+	// RecoverThreshold is how many consecutive probe successes mark a
+	// down backend up again (<= 0: 2).
+	RecoverThreshold int
 }
 
 // CodeUnavailable is the typed error code when no backend could take a
-// request.
-const CodeUnavailable = "backend_unavailable"
+// request. It is the same code the client retries once on — see
+// server.CodeBackendUnavailable.
+const CodeUnavailable = server.CodeBackendUnavailable
 
-// Router fronts N nocmapd backends: submissions are routed by the same
-// canonical problem+options hash the backends cache by (so each
-// backend's result cache stays hot for its slice of the keyspace, and
-// identical submissions keep coalescing), job-ID endpoints redirect to
-// the owning backend, and the introspection endpoints fan out and
-// merge. Backend loss fails over to the next backend on the ring.
-type Router struct {
-	cfg   Config
-	ring  *ring
-	httpc *http.Client // submissions: may legitimately wait on a long sync solve
-	fanc  *http.Client // introspection/discovery/probes: bounded, so a wedged backend cannot hang /healthz
+// Health states a probed backend moves through.
+const (
+	HealthUp       = "up"
+	HealthDegraded = "degraded" // failing probes, not yet past the threshold
+	HealthDown     = "down"
+)
 
-	mu       sync.Mutex
-	prefixes []backendPrefix // discovered via GET /v1/info, lazily
-	stats    RouterStats
+// topology is the router's immutable view of the fleet: the backend
+// list and the ring built over it. Elastic join/leave swaps the whole
+// snapshot; in-flight requests keep using the one they started with.
+// prefixes and health are index-parallel to backends; their entries are
+// mutated under Router.mu but the slices themselves never change shape.
+type topology struct {
+	backends []string
+	ring     *ring
+	prefixes []backendPrefix
+	health   []*backendHealth
 }
 
 type backendPrefix struct {
 	prefix string
 	known  bool
+}
+
+// backendHealth is the probe state machine for one backend. All fields
+// are guarded by Router.mu.
+type backendHealth struct {
+	state string
+	fails int // consecutive probe failures
+	oks   int // consecutive probe successes
+	// downEpoch counts up->down transitions; promotedEpoch records the
+	// last epoch whose replica promotion succeeded, so each outage
+	// promotes exactly once (and failed promotions retry next tick).
+	downEpoch     uint64
+	promotedEpoch uint64
 }
 
 // RouterStats counts the router's own work (GET /v1/stats, "router").
@@ -73,6 +105,45 @@ type RouterStats struct {
 	// Probes counts job-ID lookups that had to ask every backend
 	// because no discovered ID prefix matched.
 	Probes uint64 `json:"probes"`
+	// Retries counts idempotent GETs re-sent after a transport failure.
+	Retries uint64 `json:"retries"`
+	// Promotions counts replica promotions triggered on a ring
+	// successor after a backend went down.
+	Promotions uint64 `json:"promotions"`
+	// Reconciles counts anti-entropy sweeps run onto a rejoined
+	// backend.
+	Reconciles uint64 `json:"reconciles"`
+	// Migrated counts records and cache entries moved by elastic
+	// join/leave.
+	Migrated uint64 `json:"migrated"`
+}
+
+// Router fronts N nocmapd backends: submissions are routed by the same
+// canonical problem+options hash the backends cache by (so each
+// backend's result cache stays hot for its slice of the keyspace, and
+// identical submissions keep coalescing), job-ID endpoints redirect to
+// the owning backend, and the introspection endpoints fan out and
+// merge. Backend loss fails over to the next backend on the ring; with
+// probing enabled (Config.ProbeInterval) the router also manages ring
+// replication — pushing each backend's replication target, promoting a
+// down backend's replicas on its successor and reconciling divergence
+// when it rejoins.
+type Router struct {
+	cfg   Config
+	httpc *http.Client // submissions: may legitimately wait on a long sync solve
+	fanc  *http.Client // introspection/discovery/probes: bounded, so a wedged backend cannot hang /healthz
+
+	mu    sync.Mutex
+	topo  *topology
+	stats RouterStats
+
+	// elasticMu serializes membership changes: two concurrent joins must
+	// not both migrate against the same old ring.
+	elasticMu sync.Mutex
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
 }
 
 // New builds a router over the given backends.
@@ -86,15 +157,21 @@ func New(cfg Config) (*Router, error) {
 	}
 	backends := make([]string, len(cfg.Backends))
 	for i, b := range cfg.Backends {
-		b = strings.TrimRight(b, "/")
-		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
-			return nil, fmt.Errorf("shard: backend %q is not an http(s) URL", cfg.Backends[i])
+		normalized, err := normalizeBackend(b)
+		if err != nil {
+			return nil, err
 		}
-		backends[i] = b
+		backends[i] = normalized
 	}
 	cfg.Backends = backends
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 64
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RecoverThreshold <= 0 {
+		cfg.RecoverThreshold = 2
 	}
 	httpc := cfg.HTTPClient
 	if httpc == nil {
@@ -108,24 +185,85 @@ func New(cfg Config) (*Router, error) {
 	if cfg.HTTPClient != nil {
 		fanc = cfg.HTTPClient
 	}
-	return &Router{
-		cfg:      cfg,
-		ring:     buildRing(cfg.Backends, cfg.Replicas),
-		httpc:    httpc,
-		fanc:     fanc,
-		prefixes: make([]backendPrefix, len(cfg.Backends)),
-	}, nil
+	rt := &Router{
+		cfg:    cfg,
+		httpc:  httpc,
+		fanc:   fanc,
+		topo:   newTopology(backends, cfg.Replicas),
+		closed: make(chan struct{}),
+	}
+	if cfg.ProbeInterval > 0 {
+		// The router is the replication control plane: point every
+		// backend at its ring successor now, then keep probing.
+		go rt.pushReplicationTargets(context.Background(), rt.snapshot())
+		rt.wg.Add(1)
+		go rt.probeLoop()
+	}
+	return rt, nil
+}
+
+func normalizeBackend(b string) (string, error) {
+	n := strings.TrimRight(strings.TrimSpace(b), "/")
+	if !strings.HasPrefix(n, "http://") && !strings.HasPrefix(n, "https://") {
+		return "", fmt.Errorf("shard: backend %q is not an http(s) URL", b)
+	}
+	return n, nil
+}
+
+func newTopology(backends []string, replicas int) *topology {
+	t := &topology{
+		backends: backends,
+		ring:     buildRing(backends, replicas),
+		prefixes: make([]backendPrefix, len(backends)),
+		health:   make([]*backendHealth, len(backends)),
+	}
+	for i := range t.health {
+		t.health[i] = &backendHealth{state: HealthUp}
+	}
+	return t
+}
+
+// snapshot returns the current topology; handlers grab it once and use
+// it throughout, so a concurrent join/leave cannot shift indices under
+// them.
+func (rt *Router) snapshot() *topology {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.topo
+}
+
+// Close stops the health prober. The router itself is stateless beyond
+// its counters and needs no further teardown.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.closed) })
+	rt.wg.Wait()
 }
 
 // Backends returns the normalized backend URLs in ring order 0..N-1.
 func (rt *Router) Backends() []string {
-	return append([]string(nil), rt.cfg.Backends...)
+	return append([]string(nil), rt.snapshot().backends...)
 }
 
 // Owner returns the backend URL a submission key routes to — exposed
 // for tests and capacity planning.
 func (rt *Router) Owner(key string) string {
-	return rt.cfg.Backends[rt.ring.owner(key)]
+	topo := rt.snapshot()
+	return topo.backends[topo.ring.owner(key)]
+}
+
+// Successor returns the backend URL that holds a backend's replicas —
+// its ring successor — or "" for a single-backend fleet.
+func (rt *Router) Successor(backend string) string {
+	topo := rt.snapshot()
+	for i, b := range topo.backends {
+		if b == backend {
+			if s := replicationSuccessor(topo.backends, i); s >= 0 {
+				return topo.backends[s]
+			}
+			return ""
+		}
+	}
+	return ""
 }
 
 // Stats snapshots the router's own counters.
@@ -135,15 +273,24 @@ func (rt *Router) Stats() RouterStats {
 	return rt.stats
 }
 
+func (rt *Router) count(f func(*RouterStats)) {
+	rt.mu.Lock()
+	f(&rt.stats)
+	rt.mu.Unlock()
+}
+
 // Handler returns the router's HTTP API — the same surface as one
-// nocmapd (plus GET /v1/shards), so clients point at the router
-// unchanged:
+// nocmapd (plus the shard control endpoints), so clients point at the
+// router unchanged:
 //
 //	POST   /v1/jobs, /v1/solve  routed by canonical key, failover on loss
-//	*      /v1/jobs/{id}...     307 redirect to the owning backend
+//	*      /v1/jobs/{id}...     307 redirect to the owning backend (or
+//	                            its successor while the owner is down)
 //	GET    /v1/algorithms       fan-out, merged union
 //	GET    /v1/stats            fan-out, per-shard + summed totals
-//	GET    /v1/shards           shard topology + router counters
+//	GET    /v1/shards           shard topology, health and router counters
+//	POST   /v1/shards/join      add a backend, migrate its key ranges in
+//	POST   /v1/shards/leave     remove a backend, migrate its records out
 //	GET    /healthz             aggregate backend health
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -155,6 +302,8 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/algorithms", rt.handleAlgorithms)
 	mux.HandleFunc("GET /v1/stats", rt.handleStats)
 	mux.HandleFunc("GET /v1/shards", rt.handleShards)
+	mux.HandleFunc("POST /v1/shards/join", rt.handleJoin)
+	mux.HandleFunc("POST /v1/shards/leave", rt.handleLeave)
 	mux.HandleFunc("GET /healthz", rt.handleHealth)
 	return mux
 }
@@ -174,7 +323,12 @@ func writeError(w http.ResponseWriter, status int, pay *server.ErrorPayload) {
 // handleSubmit validates at the edge (the same ParseSubmit the backends
 // run, so router and backend can never hash differently), computes the
 // canonical key, and proxies the submission to the key's owner — or, on
-// transport failure, to the next backends along the ring.
+// transport failure, to the next backends along the ring. Submissions
+// are deliberately never re-sent to the same backend: POST /v1/jobs is
+// not idempotent (a request that died after the backend accepted it
+// would enqueue the work twice), so the only safe moves are forward
+// along the ring — where coalescing on the canonical key absorbs the
+// duplicate — or surfacing the error to the caller.
 func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body, serr := server.ReadSubmitBody(w, r)
 	if serr != nil {
@@ -189,26 +343,23 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Hash the profile-folded spec — the exact key a backend running the
 	// same profile caches and coalesces by.
 	key := server.JobKey(canon, rt.cfg.Profile.Apply(spec))
+	topo := rt.snapshot()
 	var lastErr error
-	for i, b := range rt.ring.sequence(key) {
-		resp, err := rt.forward(r.Context(), b, r.URL.Path, body)
+	for _, hop := range rt.submitOrder(topo, key) {
+		resp, err := rt.forward(r.Context(), topo.backends[hop.backend], r.URL.Path, body)
 		if err != nil {
 			lastErr = err
-			rt.mu.Lock()
-			rt.stats.Failovers++
-			rt.mu.Unlock()
+			rt.count(func(s *RouterStats) { s.Failovers++ })
 			if r.Context().Err() != nil {
 				break // the caller is gone; stop retrying on their behalf
 			}
 			continue
 		}
-		rt.mu.Lock()
-		rt.stats.Routed++
-		rt.mu.Unlock()
-		if i > 0 {
+		rt.count(func(s *RouterStats) { s.Routed++ })
+		if hop.away > 0 {
 			// Reached a non-owner: note it in the response so operators
 			// can see degraded cache locality.
-			w.Header().Set("X-Nocmap-Failover", fmt.Sprint(i))
+			w.Header().Set("X-Nocmap-Failover", fmt.Sprint(hop.away))
 		}
 		copyResponse(w, resp)
 		return
@@ -219,9 +370,37 @@ func (rt *Router) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// forward proxies one submission to backend b.
-func (rt *Router) forward(ctx context.Context, b int, path string, body []byte) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rt.cfg.Backends[b]+path, bytes.NewReader(body))
+// submitHop is one step of a submission's failover order: the backend
+// index plus its distance from the key's true owner.
+type submitHop struct {
+	backend int
+	away    int
+}
+
+// submitOrder is the ring failover sequence with probed-down backends
+// moved to the back: a known-dead owner should not cost every
+// submission a connect timeout before the live successor gets it, but
+// when everything is down the router still tries everyone rather than
+// trusting the prober over the wire.
+func (rt *Router) submitOrder(topo *topology, key string) []submitHop {
+	seq := topo.ring.sequence(key)
+	hops := make([]submitHop, 0, len(seq))
+	var down []submitHop
+	rt.mu.Lock()
+	for i, b := range seq {
+		if topo.health[b].state == HealthDown {
+			down = append(down, submitHop{backend: b, away: i})
+			continue
+		}
+		hops = append(hops, submitHop{backend: b, away: i})
+	}
+	rt.mu.Unlock()
+	return append(hops, down...)
+}
+
+// forward proxies one submission to the backend at base.
+func (rt *Router) forward(ctx context.Context, base, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -243,10 +422,15 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 // to the backend owning the ID, resolved by the backend's discovered
 // ID prefix (GET /v1/info) or, failing that, by probing. Clients —
 // net/http included — follow 307s transparently, re-sending the method;
-// SSE event streams ride the redirect the same way.
+// SSE event streams ride the redirect the same way. While the owner is
+// probed down, the redirect goes to its ring successor instead — the
+// router first makes sure the successor has promoted the owner's
+// replicas, so completed jobs answer byte-identical and live ones
+// re-run there.
 func (rt *Router) handleJobRedirect(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	b, ok, definitive := rt.backendForJob(r.Context(), id)
+	topo := rt.snapshot()
+	b, ok, definitive := rt.backendForJob(r.Context(), topo, id)
 	if !ok {
 		if !definitive {
 			// Some backend never answered: the job may well exist there,
@@ -260,10 +444,11 @@ func (rt *Router) handleJobRedirect(w http.ResponseWriter, r *http.Request) {
 			&server.ErrorPayload{Code: server.CodeNotFound, Message: fmt.Sprintf("no job %q on any shard", id)})
 		return
 	}
-	rt.mu.Lock()
-	rt.stats.Redirects++
-	rt.mu.Unlock()
-	target := rt.cfg.Backends[b] + r.URL.Path
+	if promoted, ok := rt.failoverTarget(r.Context(), topo, b); ok {
+		b = promoted
+	}
+	rt.count(func(s *RouterStats) { s.Redirects++ })
+	target := topo.backends[b] + r.URL.Path
 	if r.URL.RawQuery != "" {
 		target += "?" + r.URL.RawQuery
 	}
@@ -274,26 +459,26 @@ func (rt *Router) handleJobRedirect(w http.ResponseWriter, r *http.Request) {
 // prefix first, then a probe of every backend. The final return
 // reports whether a negative answer is definitive — true only when
 // every backend was actually asked and answered.
-func (rt *Router) backendForJob(ctx context.Context, id string) (int, bool, bool) {
-	if b, ok := rt.matchPrefix(id); ok {
+func (rt *Router) backendForJob(ctx context.Context, topo *topology, id string) (int, bool, bool) {
+	if b, ok := rt.matchPrefix(topo, id); ok {
 		return b, true, true
 	}
-	rt.discoverPrefixes(ctx)
-	if b, ok := rt.matchPrefix(id); ok {
+	rt.discoverPrefixes(ctx, topo)
+	if b, ok := rt.matchPrefix(topo, id); ok {
 		return b, true, true
 	}
-	b, ok, definitive := rt.probeJob(ctx, id)
+	b, ok, definitive := rt.probeJob(ctx, topo, id)
 	return b, ok, definitive
 }
 
 // matchPrefix resolves an ID against the discovered prefixes. Only a
 // unique longest non-empty match wins — duplicate prefixes fall back to
 // probing.
-func (rt *Router) matchPrefix(id string) (int, bool) {
+func (rt *Router) matchPrefix(topo *topology, id string) (int, bool) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	best, bestLen, dup := -1, 0, false
-	for i, p := range rt.prefixes {
+	for i, p := range topo.prefixes {
 		if !p.known || p.prefix == "" || !strings.HasPrefix(id, p.prefix) {
 			continue
 		}
@@ -314,11 +499,11 @@ func (rt *Router) matchPrefix(id string) (int, bool) {
 // prefix is still unknown, so one wedged backend costs one timeout, not
 // one per backend. Unreachable backends stay unknown and are retried on
 // the next unresolved lookup.
-func (rt *Router) discoverPrefixes(ctx context.Context) {
+func (rt *Router) discoverPrefixes(ctx context.Context, topo *topology) {
 	var wg sync.WaitGroup
-	for i := range rt.cfg.Backends {
+	for i := range topo.backends {
 		rt.mu.Lock()
-		known := rt.prefixes[i].known
+		known := topo.prefixes[i].known
 		rt.mu.Unlock()
 		if known {
 			continue
@@ -326,37 +511,45 @@ func (rt *Router) discoverPrefixes(ctx context.Context) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.cfg.Backends[i]+"/v1/info", nil)
+			info, err := rt.fetchInfo(ctx, topo.backends[i])
 			if err != nil {
-				return
-			}
-			resp, err := rt.fanc.Do(req)
-			if err != nil {
-				return
-			}
-			var info server.Info
-			decodeErr := json.NewDecoder(resp.Body).Decode(&info)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK || decodeErr != nil {
 				return
 			}
 			rt.mu.Lock()
-			rt.prefixes[i] = backendPrefix{prefix: info.IDPrefix, known: true}
+			topo.prefixes[i] = backendPrefix{prefix: info.IDPrefix, known: true}
 			rt.mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
 }
 
+func (rt *Router) fetchInfo(ctx context.Context, base string) (*server.Info, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.fanc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: %s/v1/info answered HTTP %d", base, resp.StatusCode)
+	}
+	var info server.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
 // probeJob asks every backend for the job concurrently — the fallback
 // when backends run without distinct ID prefixes. The final return
 // reports whether a miss is definitive: false when any backend failed
 // to answer, because the job could live there.
-func (rt *Router) probeJob(ctx context.Context, id string) (int, bool, bool) {
-	rt.mu.Lock()
-	rt.stats.Probes++
-	rt.mu.Unlock()
-	results := rt.fanOut(ctx, "/v1/jobs/"+id)
+func (rt *Router) probeJob(ctx context.Context, topo *topology, id string) (int, bool, bool) {
+	rt.count(func(s *RouterStats) { s.Probes++ })
+	results := rt.fanOut(ctx, topo, "/v1/jobs/"+id, lookupAttempts)
 	owner, found, definitive := 0, false, true
 	for i, res := range results {
 		switch {
@@ -371,27 +564,68 @@ func (rt *Router) probeJob(ctx context.Context, id string) (int, bool, bool) {
 	return owner, found, definitive
 }
 
-// fanOut issues one GET per backend concurrently and returns the
-// responses (nil body on transport failure, paired with the error).
+// Idempotent-GET retry budget. Reads (stats, health, info, job
+// lookups, record transfers) are safe to re-send: a duplicate read
+// changes nothing, so a flaky connect or a briefly-restarting backend
+// should cost a retry, not an error. Submissions get no such budget —
+// see handleSubmit.
+const (
+	lookupAttempts  = 3
+	retryBaseDelay  = 50 * time.Millisecond
+	retryMaxDelay   = 500 * time.Millisecond
+	migrateAttempts = 3
+)
+
+// getRetry issues an idempotent GET with up to attempts tries, backing
+// off exponentially (capped, jittered) between failures.
+func (rt *Router) getRetry(ctx context.Context, url string, attempts int) (*http.Response, error) {
+	var lastErr error
+	delay := retryBaseDelay
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			rt.count(func(s *RouterStats) { s.Retries++ })
+			sleep := delay/2 + time.Duration(rand.Int63n(int64(delay)/2+1)) // jitter: [d/2, d)
+			delay *= 2
+			if delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(sleep):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := rt.fanc.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// fanOut issues one GET per backend concurrently (each with a retry
+// budget) and returns the responses (nil body on transport failure,
+// paired with the error).
 type fanResult struct {
 	status int
 	body   []byte
 	err    error
 }
 
-func (rt *Router) fanOut(ctx context.Context, path string) []fanResult {
-	results := make([]fanResult, len(rt.cfg.Backends))
+func (rt *Router) fanOut(ctx context.Context, topo *topology, path string, attempts int) []fanResult {
+	results := make([]fanResult, len(topo.backends))
 	var wg sync.WaitGroup
-	for i := range rt.cfg.Backends {
+	for i := range topo.backends {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, rt.cfg.Backends[i]+path, nil)
-			if err != nil {
-				results[i] = fanResult{err: err}
-				return
-			}
-			resp, err := rt.fanc.Do(req)
+			resp, err := rt.getRetry(ctx, topo.backends[i]+path, attempts)
 			if err != nil {
 				results[i] = fanResult{err: err}
 				return
@@ -408,7 +642,8 @@ func (rt *Router) fanOut(ctx context.Context, path string) []fanResult {
 // handleAlgorithms merges the backends' registries into one sorted
 // union.
 func (rt *Router) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	results := rt.fanOut(r.Context(), "/v1/algorithms")
+	topo := rt.snapshot()
+	results := rt.fanOut(r.Context(), topo, "/v1/algorithms", lookupAttempts)
 	seen := map[string]bool{}
 	reachable := false
 	for _, res := range results {
@@ -455,10 +690,11 @@ type MergedStats struct {
 }
 
 func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
-	results := rt.fanOut(r.Context(), "/v1/stats")
+	topo := rt.snapshot()
+	results := rt.fanOut(r.Context(), topo, "/v1/stats", lookupAttempts)
 	merged := MergedStats{Router: rt.Stats()}
 	for i, res := range results {
-		entry := ShardStats{URL: rt.cfg.Backends[i]}
+		entry := ShardStats{URL: topo.backends[i]}
 		switch {
 		case res.err != nil:
 			entry.Error = res.err.Error()
@@ -489,41 +725,75 @@ func addStats(a, b server.Stats) server.Stats {
 	a.Recovered += b.Recovered
 	a.Restored += b.Restored
 	a.StoreErrors += b.StoreErrors
+	a.Replicated += b.Replicated
+	a.ReplicationPending += b.ReplicationPending
+	a.Replicas += b.Replicas
+	a.Promoted += b.Promoted
+	a.Reconciled += b.Reconciled
 	a.QueueLen += b.QueueLen
 	a.Running += b.Running
 	a.CacheLen += b.CacheLen
 	return a
 }
 
+// ShardBackend is one backend's row in the GET /v1/shards fleet view.
+type ShardBackend struct {
+	URL string `json:"url"`
+	// Prefix is the backend's discovered job-ID prefix ("" while
+	// undiscovered).
+	Prefix string `json:"prefix,omitempty"`
+	// Health is the probed state: "up", "degraded" or "down". Without
+	// probing (Config.ProbeInterval zero) every backend reads "up".
+	Health string `json:"health"`
+	// Successor is the backend holding this one's replicas ("" for a
+	// single-backend fleet).
+	Successor string `json:"successor,omitempty"`
+}
+
 // ShardInfo is the GET /v1/shards response.
 type ShardInfo struct {
-	Backends []string    `json:"backends"`
-	Replicas int         `json:"replicas"`
-	Router   RouterStats `json:"router"`
+	Backends []string       `json:"backends"`
+	Replicas int            `json:"replicas"`
+	Fleet    []ShardBackend `json:"fleet"`
+	Router   RouterStats    `json:"router"`
 }
 
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, ShardInfo{
-		Backends: rt.Backends(),
+	topo := rt.snapshot()
+	info := ShardInfo{
+		Backends: append([]string(nil), topo.backends...),
 		Replicas: rt.cfg.Replicas,
-		Router:   rt.Stats(),
-	})
+	}
+	rt.mu.Lock()
+	info.Router = rt.stats
+	for i, b := range topo.backends {
+		row := ShardBackend{URL: b, Health: topo.health[i].state, Prefix: topo.prefixes[i].prefix}
+		if s := replicationSuccessor(topo.backends, i); s >= 0 {
+			row.Successor = topo.backends[s]
+		}
+		info.Fleet = append(info.Fleet, row)
+	}
+	rt.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleHealth reports aggregate health: 200 while at least one backend
-// answers its /healthz, 503 when none do.
+// answers its /healthz, 503 when none do. The check is live (one probe
+// per backend, no retries) — monitoring wants the truth now, not the
+// prober's smoothed view.
 func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
-	results := rt.fanOut(r.Context(), "/healthz")
+	topo := rt.snapshot()
+	results := rt.fanOut(r.Context(), topo, "/healthz", 1)
 	backends := make(map[string]string, len(results))
 	up := 0
 	for i, res := range results {
 		switch {
 		case res.err != nil:
-			backends[rt.cfg.Backends[i]] = res.err.Error()
+			backends[topo.backends[i]] = res.err.Error()
 		case res.status != http.StatusOK:
-			backends[rt.cfg.Backends[i]] = fmt.Sprintf("HTTP %d", res.status)
+			backends[topo.backends[i]] = fmt.Sprintf("HTTP %d", res.status)
 		default:
-			backends[rt.cfg.Backends[i]] = "ok"
+			backends[topo.backends[i]] = "ok"
 			up++
 		}
 	}

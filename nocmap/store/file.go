@@ -32,19 +32,25 @@ type FileStore struct {
 // memState is the store's authoritative in-memory image, mirrored by
 // snapshot+WAL on disk.
 type memState struct {
-	jobs       map[string]JobRecord
-	jobOrder   []string
-	cache      map[string]CacheEntry
-	cacheOrder []string
+	jobs         map[string]JobRecord
+	jobOrder     []string
+	cache        map[string]CacheEntry
+	cacheOrder   []string
+	replicas     map[string]JobRecord
+	replicaOrder []string
 }
 
 func newMemState() memState {
-	return memState{jobs: make(map[string]JobRecord), cache: make(map[string]CacheEntry)}
+	return memState{
+		jobs:     make(map[string]JobRecord),
+		cache:    make(map[string]CacheEntry),
+		replicas: make(map[string]JobRecord),
+	}
 }
 
 // walOp is one log line.
 type walOp struct {
-	Op     string          `json:"op"` // "job", "deljob", "cache", "delcache"
+	Op     string          `json:"op"` // "job", "deljob", "cache", "delcache", "replica", "delreplica"
 	Job    *JobRecord      `json:"job,omitempty"`
 	ID     string          `json:"id,omitempty"`
 	Key    string          `json:"key,omitempty"`
@@ -106,6 +112,9 @@ func (fs *FileStore) loadSnapshot() error {
 	}
 	for _, entry := range snap.Cache {
 		fs.state.putCache(entry.Key, entry.Result)
+	}
+	for _, rec := range snap.Replicas {
+		fs.state.putReplica(rec)
 	}
 	return nil
 }
@@ -176,11 +185,11 @@ func (fs *FileStore) replayWAL() error {
 // would poison every subsequent replay.
 func (op walOp) validate() error {
 	switch op.Op {
-	case "job":
+	case "job", "replica":
 		if op.Job == nil || op.Job.ID == "" {
-			return fmt.Errorf("store: job op without record")
+			return fmt.Errorf("store: %s op without record", op.Op)
 		}
-	case "deljob", "delcache":
+	case "deljob", "delcache", "delreplica":
 	case "cache":
 		if op.Key == "" {
 			return fmt.Errorf("store: cache op without key")
@@ -205,6 +214,10 @@ func (s *memState) apply(op walOp) error {
 		s.putCache(op.Key, op.Result)
 	case "delcache":
 		s.delCache(op.Key)
+	case "replica":
+		s.putReplica(*op.Job)
+	case "delreplica":
+		s.delReplica(op.ID)
 	}
 	return nil
 }
@@ -249,6 +262,26 @@ func (s *memState) delCache(key string) {
 	}
 }
 
+func (s *memState) putReplica(rec JobRecord) {
+	if _, ok := s.replicas[rec.ID]; !ok {
+		s.replicaOrder = append(s.replicaOrder, rec.ID)
+	}
+	s.replicas[rec.ID] = copyRecord(rec)
+}
+
+func (s *memState) delReplica(id string) {
+	if _, ok := s.replicas[id]; !ok {
+		return
+	}
+	delete(s.replicas, id)
+	for i, have := range s.replicaOrder {
+		if have == id {
+			s.replicaOrder = append(s.replicaOrder[:i], s.replicaOrder[i+1:]...)
+			break
+		}
+	}
+}
+
 // append writes one op to the WAL, fsyncs it and folds it into the
 // in-memory state, compacting when the log has outgrown the state.
 func (fs *FileStore) append(op walOp) error {
@@ -282,7 +315,7 @@ func (fs *FileStore) append(op walOp) error {
 		return err
 	}
 	fs.walOps++
-	live := len(fs.state.jobs) + len(fs.state.cache)
+	live := len(fs.state.jobs) + len(fs.state.cache) + len(fs.state.replicas)
 	if fs.walOps >= fs.compact && fs.walOps > 4*live {
 		return fs.compactLocked()
 	}
@@ -348,6 +381,9 @@ func (s *memState) snapshot() *Snapshot {
 		entry := s.cache[key]
 		snap.Cache = append(snap.Cache, CacheEntry{Key: key, Result: rawCopy(entry.Result)})
 	}
+	for _, id := range s.replicaOrder {
+		snap.Replicas = append(snap.Replicas, copyRecord(s.replicas[id]))
+	}
 	return snap
 }
 
@@ -370,6 +406,17 @@ func (fs *FileStore) PutCache(key string, result json.RawMessage) error {
 // DeleteCache implements JobStore.
 func (fs *FileStore) DeleteCache(key string) error {
 	return fs.append(walOp{Op: "delcache", Key: key})
+}
+
+// PutReplica implements JobStore.
+func (fs *FileStore) PutReplica(rec JobRecord) error {
+	r := copyRecord(rec)
+	return fs.append(walOp{Op: "replica", Job: &r})
+}
+
+// DeleteReplica implements JobStore.
+func (fs *FileStore) DeleteReplica(id string) error {
+	return fs.append(walOp{Op: "delreplica", ID: id})
 }
 
 // Load implements JobStore.

@@ -41,6 +41,16 @@ func (m *MemStore) DeleteCache(key string) error {
 	return m.apply(walOp{Op: "delcache", Key: key})
 }
 
+// PutReplica implements JobStore.
+func (m *MemStore) PutReplica(rec JobRecord) error {
+	return m.apply(walOp{Op: "replica", Job: &rec})
+}
+
+// DeleteReplica implements JobStore.
+func (m *MemStore) DeleteReplica(id string) error {
+	return m.apply(walOp{Op: "delreplica", ID: id})
+}
+
 func (m *MemStore) apply(op walOp) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -58,6 +58,11 @@ type JobRecord struct {
 	// server resumes past it and can never re-mint an ID, even after
 	// retention deleted the numerically-highest records.
 	Minted uint64 `json:"minted,omitempty"`
+	// Origin is the ID prefix of the backend that owns this record. It
+	// is set only on replica records (the replica namespace a follower
+	// holds for its ring predecessor), never on a server's own jobs —
+	// promotion selects the replicas to adopt by it.
+	Origin string `json:"origin,omitempty"`
 }
 
 // CacheEntry is one persisted result-cache entry.
@@ -67,12 +72,15 @@ type CacheEntry struct {
 }
 
 // Snapshot is everything a store holds, as loaded at boot: the latest
-// record per job (first-put order) and the latest cache entry per key
+// record per job (first-put order), the latest cache entry per key
 // (oldest write first, so re-inserting in order approximates the
-// pre-restart LRU recency).
+// pre-restart LRU recency), and the replica namespace — records this
+// instance holds on behalf of its ring predecessor, kept apart from its
+// own jobs so replication survives follower restarts too.
 type Snapshot struct {
-	Jobs  []JobRecord  `json:"jobs"`
-	Cache []CacheEntry `json:"cache"`
+	Jobs     []JobRecord  `json:"jobs"`
+	Cache    []CacheEntry `json:"cache"`
+	Replicas []JobRecord  `json:"replicas,omitempty"`
 }
 
 // JobStore persists jobs, terminal results and result-cache entries
@@ -91,6 +99,12 @@ type JobStore interface {
 	// DeleteCache forgets a cache entry (LRU eviction). Unknown keys are
 	// a no-op.
 	DeleteCache(key string) error
+	// PutReplica inserts or overwrites a record in the replica
+	// namespace — state replicated from this instance's ring
+	// predecessor, isolated from the instance's own jobs.
+	PutReplica(rec JobRecord) error
+	// DeleteReplica forgets a replica record. Unknown IDs are a no-op.
+	DeleteReplica(id string) error
 	// Load returns the store's current contents. The server calls it
 	// once at boot, before accepting work.
 	Load() (*Snapshot, error)

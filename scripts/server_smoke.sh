@@ -164,4 +164,73 @@ grep -q '"state":"done"' <<<"$survive" || fail "solve after backend loss" "$surv
 rhealth=$(curl -fsS "$router/healthz")
 grep -q '"status":"degraded"' <<<"$rhealth" || fail "router health after backend loss" "$rhealth"
 
+echo "== replicated fleet: kill one backend, its replicas keep answering"
+# Two durable backends behind a PROBING router: the router pushes each
+# backend's replication target (its ring successor), detects a dead
+# backend, promotes its replicas on the successor, and reconciles it
+# when it comes back. This is the walkthrough from docs/SERVER.md
+# "Replication & failover".
+r0log="$workdir/r0.log"; r1log="$workdir/r1.log"; rr_log="$workdir/rrouter.log"
+"$bin" -addr 127.0.0.1:0 -pool 1 -id-prefix r0- -store "$workdir/rstore0" >"$r0log" 2>&1 &
+r0pid=$!; pids+=("$r0pid")
+"$bin" -addr 127.0.0.1:0 -pool 1 -id-prefix r1- -store "$workdir/rstore1" >"$r1log" 2>&1 &
+r1pid=$!; pids+=("$r1pid")
+r0=$(wait_addr "$r0log" "$r0pid")
+r1=$(wait_addr "$r1log" "$r1pid")
+"$shbin" -addr 127.0.0.1:0 -backends "$r0,$r1" -probe 50ms -fail-threshold 2 -recover-threshold 2 >"$rr_log" 2>&1 &
+rrpid=$!; pids+=("$rrpid")
+rrouter=$(wait_addr "$rr_log" "$rrpid")
+echo "   probing router $rrouter -> $r0 + $r1"
+
+rsolved=$(curl -fsS "$rrouter/v1/solve" -d "$problem")
+grep -q '"state":"done"' <<<"$rsolved" || fail "replicated solve" "$rsolved"
+rrid=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<<"$rsolved")
+
+# Wait for ring replication to converge: a replica exists and nothing
+# is pending anywhere in the fleet.
+for _ in $(seq 1 100); do
+    rstats=$(curl -fsS "$rrouter/v1/stats" || true)
+    if grep -qE '"replicas":[1-9]' <<<"$rstats" && ! grep -qE '"replication_pending":[1-9]' <<<"$rstats"; then
+        break
+    fi
+    sleep 0.1
+done
+grep -qE '"replicas":[1-9]' <<<"$rstats" || fail "replication never converged" "$rstats"
+
+# The job's exact answer, then SIGKILL the backend that owns it.
+before=$(curl -fsSL "$rrouter/v1/jobs/$rrid")
+if [[ "$rrid" == r0-* ]]; then victim_pid=$r0pid; victim_url=$r0; victim_log_args=(-id-prefix r0- -store "$workdir/rstore0")
+else victim_pid=$r1pid; victim_url=$r1; victim_log_args=(-id-prefix r1- -store "$workdir/rstore1"); fi
+kill -9 "$victim_pid"; wait "$victim_pid" 2>/dev/null || true
+
+# The prober marks it down and promotes its replicas on the successor.
+for _ in $(seq 1 100); do
+    rshards=$(curl -fsS "$rrouter/v1/shards" || true)
+    grep -q '"health":"down"' <<<"$rshards" && grep -qE '"promotions":[1-9]' <<<"$rshards" && break
+    sleep 0.1
+done
+grep -qE '"promotions":[1-9]' <<<"$rshards" || fail "router never promoted the dead backend's replicas" "$rshards"
+
+# The dead backend's job still answers through the router — and with
+# exactly the bytes it answered with before the kill.
+after=$(curl -fsSL "$rrouter/v1/jobs/$rrid")
+[[ "$after" == "$before" ]] || fail "promoted replica answer drifted from the original" "$after"
+
+# Reboot the victim at the same address; the router reconciles it.
+victim_port=${victim_url##*:}
+vlog="$workdir/victim-reboot.log"
+"$bin" -addr "127.0.0.1:$victim_port" -pool 1 "${victim_log_args[@]}" >"$vlog" 2>&1 &
+vpid=$!; pids+=("$vpid")
+wait_addr "$vlog" "$vpid" >/dev/null
+for _ in $(seq 1 100); do
+    rshards=$(curl -fsS "$rrouter/v1/shards" || true)
+    if ! grep -q '"health":"down"' <<<"$rshards" && grep -qE '"reconciles":[1-9]' <<<"$rshards"; then
+        break
+    fi
+    sleep 0.1
+done
+grep -qE '"reconciles":[1-9]' <<<"$rshards" || fail "router never reconciled the rejoined backend" "$rshards"
+rejoined=$(curl -fsSL "$rrouter/v1/jobs/$rrid")
+[[ "$rejoined" == "$before" ]] || fail "answer drifted after the rejoin" "$rejoined"
+
 echo "server smoke OK"
