@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke cover
+.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke chaos-smoke-r2 cover
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,16 @@ linkcheck:
 # CI runs this.
 chaos-smoke:
 	$(GO) test -race -count=1 ./nocmap/shard/ -run TestChaosFleetE2E -timeout 420s -v
+
+# Quorum-durability chaos gate under the race detector: nocmapsh with
+# -replication-factor 2 + 4 durable nocmapd processes, sustained load
+# with durability=replicated baselines, then SIGKILL a backend AND its
+# first ring successor. Asserts every replicated-acked result survives
+# byte-identical on the second successor, queued jobs re-run, the fleet
+# serves through the double outage, and both reboots reconcile. CI runs
+# this next to chaos-smoke.
+chaos-smoke-r2:
+	$(GO) test -race -count=1 ./nocmap/shard/ -run TestChaosDoubleFailureE2E -timeout 480s -v
 
 # Boot a real nocmapd process and drive the HTTP API end to end with
 # curl: health, a synchronous solve, an async submit/poll round trip, a

@@ -12,10 +12,10 @@
 //	                                 # cache survive restarts (even SIGKILL)
 //	nocmapd -profile fast            # FastQueue + full parallelism defaults
 //	nocmapd -id-prefix s0-           # shard-unique job IDs behind nocmapsh
-//	nocmapd -replicate-to http://10.0.0.2:8537
+//	nocmapd -replicate-to http://10.0.0.2:8537,http://10.0.0.3:8537
 //	                                 # ring replication: push every job
-//	                                 # record to this follower (nocmapsh
-//	                                 # manages this automatically when
+//	                                 # record to these followers (nocmapsh
+//	                                 # manages the set automatically when
 //	                                 # probing is on)
 //	nocmapd -store-fault fail-every=100
 //	                                 # fault-injected store (tests/chaos)
@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,7 +52,8 @@ func main() {
 	storeDir := flag.String("store", "", "durable job-store directory (empty: in-memory only)")
 	profile := flag.String("profile", "repro", `service profile: "repro" (bit-exact solves) or "fast" (FastQueue + full parallelism defaults)`)
 	idPrefix := flag.String("id-prefix", "", `prefix for minted job IDs (e.g. "s0-"); make it unique per backend behind a shard router`)
-	replicateTo := flag.String("replicate-to", "", "base URL of the ring successor to replicate job records to (empty: replication off until the router pushes a target)")
+	replicateTo := flag.String("replicate-to", "", "comma-separated base URLs of the ring successors to replicate job records to (empty: replication off until the router pushes a target set)")
+	durableAckWait := flag.Duration("durable-ack-wait", 0, "how long a durability=replicated submission waits for a follower ack before degrading to async (0: 2s default)")
 	storeFault := flag.String("store-fault", "", `fault-inject the job store, e.g. "fail-every=100,latency=2ms,torn=1" (chaos testing; requires -store)`)
 	flag.Parse()
 
@@ -64,7 +66,12 @@ func main() {
 		Profile:   server.Profile(*profile),
 		IDPrefix:  *idPrefix,
 	}
-	cfg.ReplicaTarget = *replicateTo
+	for _, t := range strings.Split(*replicateTo, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			cfg.ReplicaTargets = append(cfg.ReplicaTargets, t)
+		}
+	}
+	cfg.DurableAckWait = *durableAckWait
 	if *storeDir != "" {
 		js, err := store.Open(*storeDir)
 		if err != nil {

@@ -43,6 +43,7 @@ func main() {
 	probe := flag.Duration("probe", 0, "health-probe interval; >0 turns on the replication control plane (target pushing, failover promotion, rejoin reconcile)")
 	failThreshold := flag.Int("fail-threshold", 3, "consecutive probe failures before a backend is down and its replicas promote")
 	recoverThreshold := flag.Int("recover-threshold", 2, "consecutive probe successes before a down backend rejoins and reconciles")
+	replicationFactor := flag.Int("replication-factor", 2, "distinct ring successors each backend replicates to (capped at fleet size - 1)")
 	flag.Parse()
 
 	var urls []string
@@ -52,12 +53,13 @@ func main() {
 		}
 	}
 	router, err := shard.New(shard.Config{
-		Backends:         urls,
-		Replicas:         *replicas,
-		Profile:          server.Profile(*profile),
-		ProbeInterval:    *probe,
-		FailThreshold:    *failThreshold,
-		RecoverThreshold: *recoverThreshold,
+		Backends:          urls,
+		Replicas:          *replicas,
+		Profile:           server.Profile(*profile),
+		ProbeInterval:     *probe,
+		FailThreshold:     *failThreshold,
+		RecoverThreshold:  *recoverThreshold,
+		ReplicationFactor: *replicationFactor,
 	})
 	if err != nil {
 		log.Fatalf("nocmapsh: %v", err)

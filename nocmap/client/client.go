@@ -109,6 +109,13 @@ func submitBody(p *nocmap.Problem, spec server.SolveSpec) (server.SubmitRequest,
 
 // Submit enqueues a solve and returns its initial status — state
 // "queued", or "done" immediately on a server-side cache hit.
+//
+// Setting spec.Durability to server.DurabilityReplicated holds the ack
+// until the job's record is replicated to a follower: the returned
+// status's Durability field reports "replicated" when it was, or
+// "async-degraded" when the server had no follower (or the bounded
+// wait timed out) and accepted the job with ordinary async durability
+// instead.
 func (c *Client) Submit(ctx context.Context, p *nocmap.Problem, spec server.SolveSpec) (server.JobStatus, error) {
 	var st server.JobStatus
 	body, err := submitBody(p, spec)

@@ -25,12 +25,13 @@ import (
 // plus the internal fleet endpoints ring replication and the shard
 // router's control plane ride on:
 //
-//	POST   /v1/replicate          accept a primary's record batch (idempotent)
-//	POST   /v1/promote            adopt a failed origin's replicas
-//	POST   /v1/reconcile          adopt records (anti-entropy / migration)
-//	GET    /v1/records            own records + cache, the transfer format
-//	GET    /v1/replicas/{id}      a replicated job's status (pre-promotion)
-//	PUT    /v1/replication/target point replication at a ring successor
+//	POST   /v1/replicate             accept a primary's record batch (idempotent)
+//	POST   /v1/promote               adopt a failed origin's replicas
+//	POST   /v1/reconcile             adopt records (anti-entropy / migration)
+//	GET    /v1/records               own records + cache, the transfer format
+//	GET    /v1/replicas/{id}         a replicated job's status (pre-promotion)
+//	GET    /v1/replication/watermark acked watermark held for one origin
+//	PUT    /v1/replication/target    point replication at the target set
 //
 // Every error response body is {"error": ErrorPayload}.
 func (s *Server) Handler() http.Handler {
@@ -45,6 +46,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/reconcile", s.handleReconcile)
 	mux.HandleFunc("GET /v1/records", s.handleRecords)
 	mux.HandleFunc("GET /v1/replicas/{id}", s.handleReplicaStatus)
+	mux.HandleFunc("GET /v1/replication/watermark", s.handleWatermark)
 	mux.HandleFunc("PUT /v1/replication/target", s.handleReplicationTarget)
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"algorithms": nocmap.Algorithms()})
@@ -55,10 +57,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Info())
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is GET /healthz. A stalled replication stream reports
+// status "degraded" with a replication_stalled detail — still HTTP 200:
+// the process is alive and serving (the fleet prober must not count a
+// stalled follower link as a death), but monitoring can see the
+// durability degradation instead of the stream retrying forever
+// silently.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.rep.anyStalled() {
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "degraded",
+			"detail": "replication_stalled",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // writeJSON writes a JSON body with the given status.
@@ -129,7 +146,10 @@ func errorPayloadForSpec(err error) *ErrorPayload {
 	return pay
 }
 
-// handleSubmit is POST /v1/jobs: enqueue and return immediately.
+// handleSubmit is POST /v1/jobs: enqueue and return immediately — or,
+// for durability=replicated, hold the ack until a follower
+// acknowledged the job's record (bounded; degrades to async with the
+// X-Nocmap-Durability header saying so).
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	p, canon, spec, ok := s.decodeSubmit(w, r)
 	if !ok {
@@ -140,9 +160,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, serr.status, serr.payload)
 		return
 	}
+	outcome := ""
+	if spec.Durability == DurabilityReplicated {
+		outcome = s.awaitDurable(j.id, false)
+		w.Header().Set("X-Nocmap-Durability", outcome)
+	}
 	status := http.StatusAccepted
-	st := s.statusOf(j)
-	if st.State == StateDone {
+	st := s.statusOf(j) // snapshot after the hold: the state may have advanced
+	st.Durability = outcome
+	if st.State == StateDone && st.CacheHit {
 		status = http.StatusOK // served from the result cache
 	}
 	writeJSON(w, status, st)
@@ -170,7 +196,14 @@ func (s *Server) handleSolveSync(w http.ResponseWriter, r *http.Request) {
 		s.abandon(j)
 		<-j.done
 	}
-	writeJSON(w, http.StatusOK, s.statusOf(j))
+	st := s.statusOf(j)
+	if spec.Durability == DurabilityReplicated {
+		// The sync ack vouches for the outcome, so it waits for the
+		// terminal record — not just the submit record — to be acked.
+		st.Durability = s.awaitDurable(j.id, true)
+		w.Header().Set("X-Nocmap-Durability", st.Durability)
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // handleStatus is GET /v1/jobs/{id}.

@@ -91,6 +91,7 @@ func (s *Server) dropReplicaLocked(id string) {
 		return
 	}
 	delete(s.replicas, id)
+	delete(s.replicaDirty, id)
 	if s.cfg.Store != nil {
 		if err := s.cfg.Store.DeleteReplica(id); err != nil {
 			s.stats.StoreErrors++
@@ -184,12 +185,18 @@ func (s *Server) replay() error {
 
 	// The replica namespace — other backends' records replicated here —
 	// survives the restart untouched: a follower reboot must not lose
-	// what its primaries entrusted to it.
+	// what its primaries entrusted to it. The acked watermark per origin
+	// is recomputed from what actually survived, so a restart that lost
+	// unflushed replicas reports the regression honestly and the
+	// primaries re-send from there.
 	for _, rec := range snap.Replicas {
 		if rec.ID == "" {
 			continue
 		}
 		s.replicas[rec.ID] = rec
+		if store.Terminal(rec.State) && rec.Seq > s.replicaHigh[rec.Origin] {
+			s.replicaHigh[rec.Origin] = rec.Seq
+		}
 	}
 	return nil
 }

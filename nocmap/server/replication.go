@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -15,17 +16,26 @@ import (
 )
 
 // Ring replication: every job record (and every terminal result) is
-// asynchronously pushed from its owning backend to that backend's ring
-// successor — the follower — over POST /v1/replicate. The follower
-// keeps the records in its job store's replica namespace, apart from
-// its own jobs, so replication survives follower restarts too. When the
-// shard router declares the primary down it promotes the follower:
-// terminal replicas are installed as queryable local jobs (answering
-// byte-identical to the lost primary, flags included) and live replicas
-// re-run under their original IDs. When the primary rejoins, the router
-// runs an anti-entropy sweep — the follower's outcomes for the
-// primary's jobs are pushed back over POST /v1/reconcile, where
-// terminal-beats-live reconciliation adopts them.
+// asynchronously pushed from its owning backend to its replication
+// target set — the backend's first R ring successors, the followers —
+// over POST /v1/replicate. Each follower keeps the records in its job
+// store's replica namespace, apart from its own jobs, so replication
+// survives follower restarts too. When the shard router declares the
+// primary down it promotes the surviving follower with the highest
+// applied terminal seq: terminal replicas are installed as queryable
+// local jobs (answering byte-identical to the lost primary, flags
+// included) and live replicas re-run under their original IDs. When the
+// primary rejoins, the router runs an anti-entropy sweep — every
+// holder's outcomes for the primary's jobs are pushed back over
+// POST /v1/reconcile, where terminal-beats-live reconciliation adopts
+// them.
+//
+// Each follower acknowledges batches with its applied high terminal seq
+// (the acked watermark); the primary tracks the watermark per target,
+// exposes the resulting replication lag (Stats.ReplicationLag), and —
+// when a follower's reported watermark regresses, the signature of a
+// follower restarted from a younger store — re-seeds every record above
+// it, so the stream self-heals without a target change.
 
 // ReplicateRequest is the body of POST /v1/replicate: a batch of job
 // records from one origin, plus IDs whose records the origin's
@@ -42,9 +52,16 @@ type ReplicateRequest struct {
 }
 
 // ReplicateResponse reports how many batch entries were applied
-// (idempotent re-deliveries are skipped, not errors).
+// (idempotent re-deliveries are skipped, not errors) and the follower's
+// acked watermark for the origin: the highest terminal seq it has both
+// applied and durably persisted. A store write failure holds the
+// watermark back — the follower never vouches for durability it does
+// not have — and a reported watermark below what the primary already
+// saw acked means the follower restarted from a younger store, which
+// makes the primary re-send everything above it.
 type ReplicateResponse struct {
-	Applied int `json:"applied"`
+	Applied int    `json:"applied"`
+	HighSeq uint64 `json:"high_seq"`
 }
 
 // ReconcileRequest is the body of POST /v1/reconcile: job records (and
@@ -87,32 +104,111 @@ type RecordsResponse struct {
 	Cache   []store.CacheEntry `json:"cache,omitempty"`
 }
 
-// ReplicationTarget is the body (and response) of
-// PUT /v1/replication/target: the base URL of this instance's ring
-// successor. The shard router pushes it on startup and on every ring
-// change; an empty URL turns replication off. Setting a new target
-// reseeds the full job state so the new follower converges.
-type ReplicationTarget struct {
-	URL string `json:"url"`
+// WatermarkResponse is the GET /v1/replication/watermark answer: this
+// instance's acked watermark for one origin — the highest terminal seq
+// it holds durably in its replica namespace — plus how many of that
+// origin's replicas it carries. The shard router compares watermarks
+// across a dead backend's followers to promote the most complete
+// holder.
+type WatermarkResponse struct {
+	Origin   string `json:"origin"`
+	HighSeq  uint64 `json:"high_seq"`
+	Replicas int    `json:"replicas"`
 }
 
-// replicator asynchronously pushes job records to the ring successor.
-// It holds at most one pending operation per job ID (the latest state
-// wins), so its queue is bounded by the server's own job population —
-// retention plus the queue — no matter how long the follower stays
-// unreachable. Failed batches are retried with capped exponential
-// backoff plus jitter.
+// ReplicationTarget is the body (and response) of
+// PUT /v1/replication/target: the base URLs of this instance's
+// replication target set — its first R ring successors. The shard
+// router pushes the set on startup and on every ring change; an empty
+// set turns replication off. Every target added by a push gets the full
+// job state reseeded so the new follower converges. URL is the
+// single-target form (kept for operators and R=1 fleets); URLs, when
+// non-empty, wins.
+type ReplicationTarget struct {
+	URL  string   `json:"url,omitempty"`
+	URLs []string `json:"urls,omitempty"`
+}
+
+// list flattens the two wire forms into one target list.
+func (t ReplicationTarget) list() []string {
+	if len(t.URLs) > 0 {
+		return t.URLs
+	}
+	if t.URL != "" {
+		return []string{t.URL}
+	}
+	return nil
+}
+
+// ReplicaTargetStats is one replication stream's slice of Stats: the
+// target URL, how many ops it acknowledged, its acked watermark, the
+// resulting lag against the primary's terminal seq, queue depth, and
+// the stall state (consecutive failed pushes past the threshold).
+type ReplicaTargetStats struct {
+	URL       string `json:"url"`
+	Acked     uint64 `json:"acked"`
+	Watermark uint64 `json:"watermark"`
+	Lag       uint64 `json:"lag"`
+	Pending   int    `json:"pending"`
+	Fails     int    `json:"fails,omitempty"`
+	Stalled   bool   `json:"stalled,omitempty"`
+}
+
+// repAck identifies one acknowledged push for the sync-ack durability
+// path: the job ID plus whether the acked record was terminal.
+type repAck struct {
+	id       string
+	terminal bool
+}
+
+// replicatorHooks are the server callbacks a stream fires from its push
+// goroutine (never while holding stream locks, so the server may take
+// its own mutex and re-enqueue freely).
+type replicatorHooks struct {
+	// onAck fires after a follower acknowledged a batch: the durability
+	// classes resolve held submission acks here.
+	onAck func(target string, acks []repAck)
+	// onRegress fires when a follower's reported watermark dropped below
+	// what it had acked before — a follower restart. The server re-seeds
+	// every record above fromSeq to that target.
+	onRegress func(target string, fromSeq uint64)
+}
+
+// replicator asynchronously pushes job records to the replication
+// target set, one independent stream per target. Each stream holds at
+// most one pending operation per job ID (the latest state wins), so its
+// queue is bounded by the server's own job population — retention plus
+// the queue — no matter how long the follower stays unreachable. Failed
+// batches are retried with capped exponential backoff plus jitter; a
+// stream past replicateStallAfter consecutive failures is stalled —
+// surfaced on /healthz and counted — until a push succeeds again.
 type replicator struct {
 	origin string
 	httpc  *http.Client
+	hooks  replicatorHooks
+
+	mu      sync.Mutex
+	streams map[string]*repStream
+	closed  bool
+}
+
+// repStream is one target's queue and push loop.
+type repStream struct {
+	r      *replicator
+	target string
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	target  string
 	pending map[string]repOp
 	order   []string
 	closed  chan struct{}
-	acked   uint64 // records+deletes the follower acknowledged
+
+	acked         uint64 // records+deletes this follower acknowledged
+	watermark     uint64 // follower-reported applied high terminal seq
+	haveWatermark bool
+	fails         int // consecutive failed pushes
+	stalled       bool
+	stalls        uint64 // stall episodes
 }
 
 type repOp struct {
@@ -124,205 +220,395 @@ const (
 	replicateBatch      = 64
 	replicateMinBackoff = 100 * time.Millisecond
 	replicateMaxBackoff = 5 * time.Second
+	// replicateStallAfter is how many consecutive failed pushes flip a
+	// stream to stalled: /healthz reports degraded with a
+	// replication_stalled detail and Stats.ReplicationStalls counts the
+	// episode, instead of the stream retrying forever silently.
+	replicateStallAfter = 5
 )
 
-func newReplicator(origin, target string) *replicator {
-	r := &replicator{
+func newReplicator(origin string, hooks replicatorHooks) *replicator {
+	return &replicator{
 		origin:  origin,
-		target:  strings.TrimRight(target, "/"),
 		httpc:   &http.Client{Timeout: 30 * time.Second},
+		hooks:   hooks,
+		streams: make(map[string]*repStream),
+	}
+}
+
+// setTargets points the replicator at a new target set, starting a
+// stream per added target and stopping removed ones (their pending ops
+// drop — the target is no longer a follower). It returns the added
+// targets; the server reseeds its full state to each.
+func (r *replicator) setTargets(urls []string) (added []string) {
+	want := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		u = strings.TrimRight(u, "/")
+		if u != "" {
+			want[u] = true
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	for target, st := range r.streams {
+		if !want[target] {
+			st.close()
+			delete(r.streams, target)
+		}
+	}
+	for target := range want {
+		if _, ok := r.streams[target]; ok {
+			continue
+		}
+		r.streams[target] = newRepStream(r, target)
+		added = append(added, target)
+	}
+	return added
+}
+
+// targets returns the current target URLs (unordered).
+func (r *replicator) targets() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.streams))
+	for t := range r.streams {
+		out = append(out, t)
+	}
+	return out
+}
+
+// hasTargets reports whether any replication stream exists — the
+// precondition for a replicated-durability ack ever resolving.
+func (r *replicator) hasTargets() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.streams) > 0
+}
+
+// enqueue schedules one record push to every target, superseding any
+// pending op for the same ID.
+func (r *replicator) enqueue(rec store.JobRecord) { r.fan(rec.ID, repOp{rec: rec}) }
+
+// enqueueDelete schedules a deletion push to every target.
+func (r *replicator) enqueueDelete(id string) { r.fan(id, repOp{del: true}) }
+
+func (r *replicator) fan(id string, op repOp) {
+	r.mu.Lock()
+	streams := make([]*repStream, 0, len(r.streams))
+	for _, st := range r.streams {
+		streams = append(streams, st)
+	}
+	r.mu.Unlock()
+	// No targets: drop rather than queue without bound. Adding a target
+	// later reseeds the full state, so nothing is lost.
+	for _, st := range streams {
+		st.add(id, op)
+	}
+}
+
+// enqueueTo schedules one record push to a single target — the re-seed
+// path after that follower's watermark regressed.
+func (r *replicator) enqueueTo(target string, rec store.JobRecord) {
+	r.mu.Lock()
+	st := r.streams[strings.TrimRight(target, "/")]
+	r.mu.Unlock()
+	if st != nil {
+		st.add(rec.ID, repOp{rec: rec})
+	}
+}
+
+// snapshotStats returns (acked, pending) summed over every stream.
+func (r *replicator) snapshotStats() (uint64, int) {
+	var acked uint64
+	pending := 0
+	for _, ts := range r.targetStats(0) {
+		acked += ts.Acked
+		pending += ts.Pending
+	}
+	return acked, pending
+}
+
+// targetStats snapshots every stream, computing each lag against the
+// primary's current terminal seq.
+func (r *replicator) targetStats(termSeq uint64) []ReplicaTargetStats {
+	r.mu.Lock()
+	streams := make([]*repStream, 0, len(r.streams))
+	for _, st := range r.streams {
+		streams = append(streams, st)
+	}
+	r.mu.Unlock()
+	out := make([]ReplicaTargetStats, 0, len(streams))
+	for _, st := range streams {
+		st.mu.Lock()
+		ts := ReplicaTargetStats{
+			URL:       st.target,
+			Acked:     st.acked,
+			Watermark: st.watermark,
+			Pending:   len(st.order),
+			Fails:     st.fails,
+			Stalled:   st.stalled,
+		}
+		st.mu.Unlock()
+		if termSeq > ts.Watermark {
+			ts.Lag = termSeq - ts.Watermark
+		}
+		out = append(out, ts)
+	}
+	return out
+}
+
+// stallCount sums stall episodes across streams (current and past).
+func (r *replicator) stallCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n uint64
+	for _, st := range r.streams {
+		st.mu.Lock()
+		n += st.stalls
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// anyStalled reports whether any stream is currently stalled.
+func (r *replicator) anyStalled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, st := range r.streams {
+		st.mu.Lock()
+		stalled := st.stalled
+		st.mu.Unlock()
+		if stalled {
+			return true
+		}
+	}
+	return false
+}
+
+// close stops every stream; pending ops are dropped (replication is
+// best-effort async — boot reseeding converges the followers later).
+func (r *replicator) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	for target, st := range r.streams {
+		st.close()
+		delete(r.streams, target)
+	}
+}
+
+func newRepStream(r *replicator, target string) *repStream {
+	st := &repStream{
+		r:       r,
+		target:  target,
 		pending: make(map[string]repOp),
 		closed:  make(chan struct{}),
 	}
-	r.cond = sync.NewCond(&r.mu)
-	go r.loop()
-	return r
+	st.cond = sync.NewCond(&st.mu)
+	go st.loop()
+	return st
 }
 
-// enqueue schedules one record push, superseding any pending op for the
-// same ID.
-func (r *replicator) enqueue(rec store.JobRecord) { r.add(rec.ID, repOp{rec: rec}) }
-
-// enqueueDelete schedules a deletion push.
-func (r *replicator) enqueueDelete(id string) { r.add(id, repOp{del: true}) }
-
-func (r *replicator) add(id string, op repOp) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.target == "" {
-		// No successor: drop rather than queue without bound. Setting a
-		// target later reseeds the full state, so nothing is lost.
+func (st *repStream) add(id string, op repOp) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.isClosed() {
 		return
 	}
-	if _, ok := r.pending[id]; !ok {
-		r.order = append(r.order, id)
+	if _, ok := st.pending[id]; !ok {
+		st.order = append(st.order, id)
 	}
-	r.pending[id] = op
-	r.cond.Signal()
+	st.pending[id] = op
+	st.cond.Signal()
 }
 
-// setTarget points the replicator at a new successor. It reports
-// whether the target changed; the server reseeds its full state then.
-func (r *replicator) setTarget(url string) bool {
-	url = strings.TrimRight(url, "/")
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.target == url {
-		return false
-	}
-	r.target = url
-	r.cond.Signal()
-	return true
-}
-
-func (r *replicator) targetURL() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.target
-}
-
-// snapshotStats returns (acked, pending) for Stats.
-func (r *replicator) snapshotStats() (uint64, int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.acked, len(r.order)
-}
-
-// close stops the loop; pending ops are dropped (replication is
-// best-effort async — boot reseeding converges the follower later).
-func (r *replicator) close() {
-	r.mu.Lock()
+func (st *repStream) close() {
+	st.mu.Lock()
 	select {
-	case <-r.closed:
+	case <-st.closed:
 	default:
-		close(r.closed)
+		close(st.closed)
 	}
-	r.cond.Broadcast()
-	r.mu.Unlock()
+	st.cond.Broadcast()
+	st.mu.Unlock()
 }
 
-func (r *replicator) isClosed() bool {
+func (st *repStream) isClosed() bool {
 	select {
-	case <-r.closed:
+	case <-st.closed:
 		return true
 	default:
 		return false
 	}
 }
 
-func (r *replicator) loop() {
+func (st *repStream) loop() {
 	backoff := replicateMinBackoff
 	for {
-		r.mu.Lock()
-		for (len(r.order) == 0 || r.target == "") && !r.isClosed() {
-			r.cond.Wait()
+		st.mu.Lock()
+		for len(st.order) == 0 && !st.isClosed() {
+			st.cond.Wait()
 		}
-		if r.isClosed() {
-			r.mu.Unlock()
+		if st.isClosed() {
+			st.mu.Unlock()
 			return
 		}
-		target := r.target
-		n := len(r.order)
+		n := len(st.order)
 		if n > replicateBatch {
 			n = replicateBatch
 		}
-		ids := r.order[:n]
-		req := ReplicateRequest{Origin: r.origin}
+		ids := st.order[:n]
+		req := ReplicateRequest{Origin: st.r.origin}
 		batch := make(map[string]repOp, n)
+		acks := make([]repAck, 0, n)
 		for _, id := range ids {
-			op := r.pending[id]
+			op := st.pending[id]
 			batch[id] = op
-			delete(r.pending, id)
+			delete(st.pending, id)
 			if op.del {
 				req.Deletes = append(req.Deletes, id)
+				acks = append(acks, repAck{id: id, terminal: true})
 			} else {
 				req.Records = append(req.Records, op.rec)
+				acks = append(acks, repAck{id: id, terminal: store.Terminal(op.rec.State)})
 			}
 		}
-		r.order = append([]string(nil), r.order[n:]...)
-		r.mu.Unlock()
+		st.order = append([]string(nil), st.order[n:]...)
+		st.mu.Unlock()
 
-		if err := r.send(target, req); err != nil {
+		resp, err := st.send(req)
+		if err != nil {
 			// Put the batch back (unless a newer op superseded it while in
-			// flight) and back off before the next attempt.
-			r.mu.Lock()
+			// flight), note the failure for stall detection, and back off
+			// before the next attempt.
+			st.mu.Lock()
 			for id, op := range batch {
-				if _, ok := r.pending[id]; !ok {
-					r.pending[id] = op
-					r.order = append(r.order, id)
+				if _, ok := st.pending[id]; !ok {
+					st.pending[id] = op
+					st.order = append(st.order, id)
 				}
 			}
-			r.mu.Unlock()
+			st.fails++
+			if st.fails == replicateStallAfter {
+				st.stalled = true
+				st.stalls++
+			}
+			st.mu.Unlock()
 			sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)/2+1)) // jitter: [b/2, b)
 			backoff *= 2
 			if backoff > replicateMaxBackoff {
 				backoff = replicateMaxBackoff
 			}
 			select {
-			case <-r.closed:
+			case <-st.closed:
 				return
 			case <-time.After(sleep):
 			}
 			continue
 		}
 		backoff = replicateMinBackoff
-		r.mu.Lock()
-		r.acked += uint64(len(batch))
-		r.mu.Unlock()
+		st.mu.Lock()
+		st.acked += uint64(len(batch))
+		st.fails = 0
+		st.stalled = false
+		regressed := st.haveWatermark && resp.HighSeq < st.watermark
+		fromSeq := resp.HighSeq
+		st.watermark = resp.HighSeq
+		st.haveWatermark = true
+		st.mu.Unlock()
+		if regressed && st.r.hooks.onRegress != nil {
+			st.r.hooks.onRegress(st.target, fromSeq)
+		}
+		if st.r.hooks.onAck != nil {
+			st.r.hooks.onAck(st.target, acks)
+		}
 	}
 }
 
-func (r *replicator) send(target string, req ReplicateRequest) error {
+func (st *repStream) send(req ReplicateRequest) (*ReplicateResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, target+"/v1/replicate", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, st.target+"/v1/replicate", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := r.httpc.Do(hreq)
+	resp, err := st.r.httpc.Do(hreq)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("replicate: follower answered HTTP %d", resp.StatusCode)
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("replicate: follower answered HTTP %d", resp.StatusCode)
 	}
-	return nil
+	var out ReplicateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
-// SetReplicaTarget points this instance's replication stream at the
-// given successor base URL (empty: off). On a change, the full job
-// state is reseeded so the new follower converges — the same sweep a
-// reboot performs, which is what makes replication self-healing
+// SetReplicaTargets points this instance's replication fan-out at the
+// given follower base URLs (empty: off). Every target added gets the
+// full job state reseeded so the new follower converges — the same
+// sweep a reboot performs, which is what makes replication self-healing
 // (anti-entropy) rather than purely incremental.
-func (s *Server) SetReplicaTarget(url string) {
+func (s *Server) SetReplicaTargets(urls []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.rep.setTarget(url) {
-		return
+	for _, target := range s.rep.setTargets(urls) {
+		s.seedReplicationToLocked(target)
 	}
-	if strings.TrimRight(url, "/") == "" {
-		return
-	}
-	s.seedReplicationLocked()
 }
 
-// seedReplicationLocked enqueues every current job record, converging
-// the follower's replica namespace with our state. Callers hold s.mu.
-func (s *Server) seedReplicationLocked() {
+// SetReplicaTarget is the single-follower form of SetReplicaTargets,
+// kept for R=1 fleets and standalone pairs.
+func (s *Server) SetReplicaTarget(url string) {
+	if url == "" {
+		s.SetReplicaTargets(nil)
+		return
+	}
+	s.SetReplicaTargets([]string{url})
+}
+
+// seedReplicationToLocked enqueues every current job record to one
+// target, converging that follower's replica namespace with our state.
+// Callers hold s.mu.
+func (s *Server) seedReplicationToLocked(target string) {
 	for _, j := range s.jobs {
-		s.rep.enqueue(s.recordOf(j, j.seq))
+		s.rep.enqueueTo(target, s.recordOf(j, j.seq))
+	}
+}
+
+// reseedAbove re-sends to one target every record a watermark
+// regression proved it lost: terminal records above fromSeq plus every
+// live job (live records carry seq 0, so a restarted follower always
+// needs them again). Runs from the stream's push goroutine via the
+// onRegress hook.
+func (s *Server) reseedAbove(target string, fromSeq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.seq > fromSeq || !j.finished {
+			s.rep.enqueueTo(target, s.recordOf(j, j.seq))
+		}
 	}
 }
 
 // handleReplicate is POST /v1/replicate — the follower half of ring
 // replication. Idempotent by job ID + terminal seq: re-delivered
 // batches re-apply harmlessly, and a stale record can never roll a
-// replica's terminal state back.
+// replica's terminal state back. The response carries the acked
+// watermark: the origin's highest terminal seq this follower holds
+// durably. A failed store write keeps the record serving from memory
+// but holds the whole request's watermark advance back — the follower
+// must never vouch for durability the disk refused.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	var req ReplicateRequest
 	if !decodeInternal(w, r, &req) {
@@ -330,20 +616,38 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	applied := 0
+	persistFailed := false
+	var maxSeq uint64
 	for _, rec := range req.Records {
 		if rec.ID == "" {
 			continue
 		}
 		if existing, ok := s.replicas[rec.ID]; ok &&
 			store.Terminal(existing.State) && rec.Seq <= existing.Seq {
-			continue // idempotent re-delivery or stale state
+			// Idempotent re-delivery or stale state. It still vouches for
+			// the seq — unless its original persist failed.
+			if !s.replicaDirty[rec.ID] && rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+			continue
 		}
 		rec.Origin = req.Origin
 		s.replicas[rec.ID] = rec
+		persisted := true
 		if s.cfg.Store != nil {
 			if err := s.cfg.Store.PutReplica(rec); err != nil {
 				s.stats.StoreErrors++
+				persistFailed = true
+				persisted = false
 			}
+		}
+		if persisted {
+			delete(s.replicaDirty, rec.ID)
+			if store.Terminal(rec.State) && rec.Seq > maxSeq {
+				maxSeq = rec.Seq
+			}
+		} else {
+			s.replicaDirty[rec.ID] = true
 		}
 		applied++
 	}
@@ -352,6 +656,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		delete(s.replicas, id)
+		delete(s.replicaDirty, id)
 		if s.cfg.Store != nil {
 			if err := s.cfg.Store.DeleteReplica(id); err != nil {
 				s.stats.StoreErrors++
@@ -359,8 +664,58 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 		applied++
 	}
+	// Dirty replicas — applied in memory but refused by the store on an
+	// earlier request — get their persist retried on every subsequent
+	// batch, so a transient store fault heals without waiting for a
+	// restart or a reconcile sweep.
+	for id := range s.replicaDirty {
+		rec, ok := s.replicas[id]
+		if !ok || rec.Origin != req.Origin || s.cfg.Store == nil {
+			continue
+		}
+		if err := s.cfg.Store.PutReplica(rec); err != nil {
+			s.stats.StoreErrors++
+			continue
+		}
+		delete(s.replicaDirty, id)
+		if store.Terminal(rec.State) && rec.Seq > maxSeq {
+			maxSeq = rec.Seq
+		}
+	}
+	// Conservative watermark: any persist failure in this batch — or any
+	// still-dirty replica from an earlier one — keeps the watermark
+	// where it was, so a lost earlier record can never hide behind a
+	// later one that made it to disk.
+	for id := range s.replicaDirty {
+		if rec, ok := s.replicas[id]; ok && rec.Origin == req.Origin {
+			persistFailed = true
+			break
+		}
+	}
+	if !persistFailed && maxSeq > s.replicaHigh[req.Origin] {
+		s.replicaHigh[req.Origin] = maxSeq
+	}
+	resp := ReplicateResponse{Applied: applied, HighSeq: s.replicaHigh[req.Origin]}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, ReplicateResponse{Applied: applied})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleWatermark is GET /v1/replication/watermark?origin=p0-: the
+// acked watermark this follower holds for one origin, plus its replica
+// count. The shard router promotes the holder with the highest
+// watermark (replica count breaks ties — live-only histories never
+// advance the watermark).
+func (s *Server) handleWatermark(w http.ResponseWriter, r *http.Request) {
+	origin := r.URL.Query().Get("origin")
+	s.mu.Lock()
+	resp := WatermarkResponse{Origin: origin, HighSeq: s.replicaHigh[origin]}
+	for _, rec := range s.replicas {
+		if rec.Origin == origin {
+			resp.Replicas++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handlePromote is POST /v1/promote: failover promotion of the replica
@@ -560,19 +915,27 @@ func (s *Server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
 
 // handleReplicationTarget is PUT /v1/replication/target: the control
 // plane (the shard router, or an operator's curl) pointing this
-// instance at its ring successor.
+// instance at its replication target set.
 func (s *Server) handleReplicationTarget(w http.ResponseWriter, r *http.Request) {
 	var req ReplicationTarget
 	if !decodeInternal(w, r, &req) {
 		return
 	}
-	if req.URL != "" && !strings.HasPrefix(req.URL, "http://") && !strings.HasPrefix(req.URL, "https://") {
-		writeError(w, http.StatusBadRequest, &ErrorPayload{
-			Code: CodeBadRequest, Message: fmt.Sprintf("replica target %q is not an http(s) URL", req.URL)})
-		return
+	targets := req.list()
+	for _, u := range targets {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			writeError(w, http.StatusBadRequest, &ErrorPayload{
+				Code: CodeBadRequest, Message: fmt.Sprintf("replica target %q is not an http(s) URL", u)})
+			return
+		}
 	}
-	s.SetReplicaTarget(req.URL)
-	writeJSON(w, http.StatusOK, ReplicationTarget{URL: s.rep.targetURL()})
+	s.SetReplicaTargets(targets)
+	resp := ReplicationTarget{URLs: s.rep.targets()}
+	sort.Strings(resp.URLs)
+	if len(resp.URLs) > 0 {
+		resp.URL = resp.URLs[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // maxInternalBodyBytes caps the internal fleet endpoints' bodies

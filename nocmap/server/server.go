@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"time"
 
 	"repro/nocmap"
 	"repro/nocmap/store"
@@ -57,8 +59,15 @@ type Config struct {
 	// successor can answer for this instance after a failure. A shard
 	// router normally manages the target at runtime via
 	// PUT /v1/replication/target; the config field seeds standalone
-	// pairs.
-	ReplicaTarget string
+	// pairs. ReplicaTargets is the replication-factor-R form; when both
+	// are set, ReplicaTarget joins the set.
+	ReplicaTarget  string
+	ReplicaTargets []string
+	// DurableAckWait bounds how long a durability=replicated submission
+	// ack is held waiting for a follower acknowledgment before it
+	// degrades to async (<= 0: 2s). Solve throughput is never blocked —
+	// only the submitting handler waits.
+	DurableAckWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +90,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retention <= 0 {
 		c.Retention = 1024
+	}
+	if c.DurableAckWait <= 0 {
+		c.DurableAckWait = 2 * time.Second
 	}
 	return c
 }
@@ -141,12 +153,35 @@ type Server struct {
 	// follower half of ring replication), keyed by job ID. Guarded by
 	// mu; the persisted mirror lives in the store's replica namespace.
 	replicas map[string]store.JobRecord
-	// rep pushes this instance's own records to its ring successor. Its
-	// internal lock nests under mu (mu -> rep.mu); the push loop itself
-	// never takes mu.
+	// replicaHigh is the acked watermark per origin: the highest
+	// terminal seq held both in memory and durably in the store. A
+	// replica whose store write failed is tracked in replicaDirty and
+	// never vouched for. Guarded by mu.
+	replicaHigh map[string]uint64
+	replicaDirty map[string]bool
+	// rep fans this instance's own records out to its replication
+	// target set. Its internal locks nest under mu (mu -> stream.mu);
+	// the push loops themselves never take mu — their hooks take mu or
+	// ackMu only from the loop goroutine with no stream lock held.
 	rep *replicator
 
+	// ackWaiters resolves durability=replicated held acks: one waiter
+	// per waiting submission, closed by the replicator's onAck hook.
+	// Guarded by ackMu (never nested inside stream locks; may nest
+	// under mu).
+	ackMu      sync.Mutex
+	ackWaiters map[string]*ackWaiter
+
 	wg sync.WaitGroup
+}
+
+// ackWaiter carries the two acknowledgment edges a durable submission
+// may wait on: the first acked record for the job (the submit ack) and
+// the first acked terminal record (the sync-solve ack).
+type ackWaiter struct {
+	first    chan struct{}
+	terminal chan struct{}
+	firstDone, termDone bool
 }
 
 // New builds the service, replays Config.Store when one is set and
@@ -158,14 +193,20 @@ func New(cfg Config) (*Server, error) {
 			cfg.Profile, ProfileRepro, ProfileFast)
 	}
 	s := &Server{
-		cfg:      cfg.withDefaults(),
-		jobs:     make(map[string]*job),
-		leaders:  make(map[string]*job),
-		replicas: make(map[string]store.JobRecord),
+		cfg:          cfg.withDefaults(),
+		jobs:         make(map[string]*job),
+		leaders:      make(map[string]*job),
+		replicas:     make(map[string]store.JobRecord),
+		replicaHigh:  make(map[string]uint64),
+		replicaDirty: make(map[string]bool),
+		ackWaiters:   make(map[string]*ackWaiter),
 	}
 	// The replicator starts targetless so replay's writes are not pushed
-	// piecemeal; SetReplicaTarget below reseeds the full state once.
-	s.rep = newReplicator(s.cfg.IDPrefix, "")
+	// piecemeal; SetReplicaTargets below reseeds the full state once.
+	s.rep = newReplicator(s.cfg.IDPrefix, replicatorHooks{
+		onAck:     s.replicationAcked,
+		onRegress: s.reseedAbove,
+	})
 	s.cache = newResultCache(s.cfg.CacheSize)
 	if s.cfg.Store != nil {
 		s.cache.onEvict = func(key string) {
@@ -184,20 +225,30 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	targets := append([]string(nil), s.cfg.ReplicaTargets...)
 	if s.cfg.ReplicaTarget != "" {
-		s.SetReplicaTarget(s.cfg.ReplicaTarget)
+		targets = append(targets, s.cfg.ReplicaTarget)
+	}
+	if len(targets) > 0 {
+		s.SetReplicaTargets(targets)
 	}
 	return s, nil
 }
 
 // Info describes this instance to clients and shard routers.
 func (s *Server) Info() Info {
-	return Info{
-		IDPrefix:      s.cfg.IDPrefix,
-		Profile:       s.cfg.Profile,
-		Durable:       s.cfg.Store != nil,
-		ReplicaTarget: s.rep.targetURL(),
+	targets := s.rep.targets()
+	sort.Strings(targets)
+	info := Info{
+		IDPrefix:       s.cfg.IDPrefix,
+		Profile:        s.cfg.Profile,
+		Durable:        s.cfg.Store != nil,
+		ReplicaTargets: targets,
 	}
+	if len(targets) > 0 {
+		info.ReplicaTarget = targets[0]
+	}
+	return info
 }
 
 // Close stops accepting jobs, cancels everything queued or running and
@@ -230,13 +281,28 @@ func (s *Server) Close() {
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := s.stats
 	st.QueueLen = len(s.queue)
 	st.Running = s.running
 	st.CacheLen = s.cache.len()
-	st.Replicated, st.ReplicationPending = s.rep.snapshotStats()
 	st.Replicas = len(s.replicas)
+	termSeq := s.termSeq
+	s.mu.Unlock()
+	// The replication breakdown comes from the streams' own locks,
+	// outside mu (mu nests above them, never below).
+	st.ReplicaTargets = s.rep.targetStats(termSeq)
+	sort.Slice(st.ReplicaTargets, func(i, k int) bool {
+		return st.ReplicaTargets[i].URL < st.ReplicaTargets[k].URL
+	})
+	for _, ts := range st.ReplicaTargets {
+		st.Replicated += ts.Acked
+		st.ReplicationPending += ts.Pending
+		st.ReplicationLag += ts.Lag
+		if ts.Stalled {
+			st.ReplicationStalled = true
+		}
+	}
+	st.ReplicationStalls = s.rep.stallCount()
 	return st
 }
 
@@ -303,12 +369,95 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 }
 
 // registerLocked admits an accepted job: rejected submissions (queue
-// full, shutdown) get no ID and do not count as submitted.
+// full, shutdown) get no ID and do not count as submitted. A
+// durability=replicated submission registers its ack waiter here —
+// before any record can be enqueued to the replicator — so the
+// follower acknowledgment can never race past it.
 func (s *Server) registerLocked(j *job) {
 	s.nextID++
 	j.id = fmt.Sprintf("%sjob-%08d", s.cfg.IDPrefix, s.nextID)
 	s.jobs[j.id] = j
 	s.stats.Submitted++
+	if j.spec.Durability == DurabilityReplicated {
+		s.ackMu.Lock()
+		s.ackWaiters[j.id] = &ackWaiter{
+			first:    make(chan struct{}),
+			terminal: make(chan struct{}),
+		}
+		s.ackMu.Unlock()
+	}
+}
+
+// replicationAcked is the replicator's onAck hook: a follower
+// acknowledged a batch, so any submission ack held on one of its
+// records resolves. Runs on a stream's push goroutine with no stream
+// lock held.
+func (s *Server) replicationAcked(target string, acks []repAck) {
+	s.ackMu.Lock()
+	for _, a := range acks {
+		w, ok := s.ackWaiters[a.id]
+		if !ok {
+			continue
+		}
+		if !w.firstDone {
+			w.firstDone = true
+			close(w.first)
+		}
+		if a.terminal && !w.termDone {
+			w.termDone = true
+			close(w.terminal)
+			delete(s.ackWaiters, a.id)
+		}
+	}
+	s.ackMu.Unlock()
+}
+
+// awaitDurable implements the replicated durability class: hold the
+// submission ack until a follower acknowledged the job's record
+// (terminal=false waits for any record — the async submit ack;
+// terminal=true waits for a terminal one — the sync solve ack). The
+// wait is bounded by Config.DurableAckWait; with no replication
+// targets it degrades immediately. Returns the outcome for the
+// X-Nocmap-Durability header.
+func (s *Server) awaitDurable(id string, terminal bool) string {
+	s.ackMu.Lock()
+	w, ok := s.ackWaiters[id]
+	s.ackMu.Unlock()
+	if !ok {
+		// The waiter already resolved terminally (and was removed) before
+		// the handler got here: fully acknowledged.
+		s.countDurable(true)
+		return DurabilityReplicated
+	}
+	ch := w.first
+	if terminal {
+		ch = w.terminal
+	}
+	outcome := DurabilityDegraded
+	if s.rep.hasTargets() {
+		select {
+		case <-ch:
+			outcome = DurabilityReplicated
+		case <-time.After(s.cfg.DurableAckWait):
+		}
+	}
+	// Drop the waiter: nobody else waits on this submission, and a
+	// degraded one would otherwise leak until terminal ack.
+	s.ackMu.Lock()
+	delete(s.ackWaiters, id)
+	s.ackMu.Unlock()
+	s.countDurable(outcome == DurabilityReplicated)
+	return outcome
+}
+
+func (s *Server) countDurable(acked bool) {
+	s.mu.Lock()
+	if acked {
+		s.stats.DurableAcks++
+	} else {
+		s.stats.DurableAcksDegraded++
+	}
+	s.mu.Unlock()
 }
 
 // finishCachedLocked completes a job straight from the result cache:

@@ -32,12 +32,33 @@ type SolveSpec struct {
 	// MaxQueue/MaxExpand bound the "pbb" search; zero keeps defaults.
 	MaxQueue  int `json:"max_queue,omitempty"`
 	MaxExpand int `json:"max_expand,omitempty"`
+	// Durability selects the submission's acknowledgment class: "" or
+	// DurabilityAsync (the default) acks as soon as the job is accepted;
+	// DurabilityReplicated holds the ack until the job's submit record
+	// is acknowledged by at least one replication follower (bounded
+	// wait — on timeout the ack degrades to async and says so in the
+	// X-Nocmap-Durability response header). Like Workers it never
+	// participates in the result-cache key: durability changes when the
+	// ack returns, never what the solve computes.
+	Durability string `json:"durability,omitempty"`
 }
 
 // Split spec values.
 const (
 	SplitAllPaths = "all-paths"
 	SplitMinPaths = "min-paths"
+)
+
+// Durability classes a submission may request, plus the degraded
+// outcome the X-Nocmap-Durability header (and the submit response's
+// JobStatus.Durability) reports when a replicated ack timed out.
+const (
+	DurabilityAsync      = "async"
+	DurabilityReplicated = "replicated"
+	// DurabilityDegraded is an outcome, not a request value: the
+	// submission asked for replicated durability but no follower acked
+	// within the bounded wait, so the ack fell back to async.
+	DurabilityDegraded = "async-degraded"
 )
 
 // normalize fills defaults so equivalent specs hash identically.
@@ -55,6 +76,12 @@ func (s SolveSpec) normalize() (SolveSpec, error) {
 	}
 	if s.BandwidthCap < 0 {
 		return s, fmt.Errorf("negative bandwidth cap %g", s.BandwidthCap)
+	}
+	switch s.Durability {
+	case "", DurabilityAsync, DurabilityReplicated:
+	default:
+		return s, fmt.Errorf("unknown durability class %q (want %q or %q)",
+			s.Durability, DurabilityAsync, DurabilityReplicated)
 	}
 	known := false
 	for _, name := range nocmap.Algorithms() {
@@ -204,9 +231,13 @@ type Info struct {
 	// Durable reports whether a persistent job store backs this
 	// instance (jobs and results survive a restart).
 	Durable bool `json:"durable"`
-	// ReplicaTarget is the ring successor this instance replicates its
-	// job records to ("" when replication is off).
+	// ReplicaTarget is the first replication target this instance pushes
+	// its job records to ("" when replication is off) — the single-target
+	// view kept for R=1 fleets; ReplicaTargets is the full set.
 	ReplicaTarget string `json:"replica_target,omitempty"`
+	// ReplicaTargets is the full replication target set (the instance's
+	// first R ring successors), sorted.
+	ReplicaTargets []string `json:"replica_targets,omitempty"`
 }
 
 // Job states, in lifecycle order.
@@ -236,6 +267,13 @@ type JobStatus struct {
 	Coalesced bool            `json:"coalesced,omitempty"`
 	Error     *ErrorPayload   `json:"error,omitempty"`
 	Result    json.RawMessage `json:"result,omitempty"`
+	// Durability is set only on the response to a submission that
+	// requested durability=replicated: DurabilityReplicated when a
+	// follower acknowledged the record before the ack returned,
+	// DurabilityDegraded when the bounded wait timed out (the
+	// X-Nocmap-Durability header carries the same value). Job status
+	// reads never include it, so replayed statuses stay byte-identical.
+	Durability string `json:"durability,omitempty"`
 }
 
 // ErrorPayload is the typed error shape every non-2xx response (and
@@ -317,12 +355,33 @@ type Stats struct {
 	// serving (durability is then best-effort) but the counter makes the
 	// degradation observable.
 	StoreErrors uint64 `json:"store_errors"`
-	// Replicated counts record pushes (and deletion pushes) the ring
-	// successor acknowledged; ReplicationPending is how many are queued
-	// or in flight. Pending draining to zero means the follower has
-	// everything this instance knows.
+	// Replicated counts record pushes (and deletion pushes) the
+	// replication followers acknowledged, summed over the target set;
+	// ReplicationPending is how many are queued or in flight. Pending
+	// draining to zero means every follower has everything this
+	// instance knows.
 	Replicated         uint64 `json:"replicated"`
 	ReplicationPending int    `json:"replication_pending"`
+	// ReplicationLag sums, over the replication target set, how far each
+	// follower's acked watermark trails this instance's terminal seq —
+	// the at-risk window of terminal outcomes not yet durable on that
+	// follower. Zero means every follower has acknowledged every
+	// terminal transition.
+	ReplicationLag uint64 `json:"replication_lag"`
+	// ReplicationStalls counts stall episodes: a replication stream past
+	// the consecutive-failure threshold (also flips /healthz to
+	// degraded with a replication_stalled detail while it lasts).
+	ReplicationStalls uint64 `json:"replication_stalls"`
+	// ReplicationStalled reports whether any stream is stalled right now.
+	ReplicationStalled bool `json:"replication_stalled,omitempty"`
+	// ReplicaTargets is the per-target replication breakdown: acked
+	// count, watermark, lag and stall state per follower.
+	ReplicaTargets []ReplicaTargetStats `json:"replica_targets,omitempty"`
+	// DurableAcks counts durability=replicated submissions whose ack
+	// was held and confirmed by a follower; DurableAcksDegraded counts
+	// those that timed out and degraded to an async ack.
+	DurableAcks         uint64 `json:"durable_acks"`
+	DurableAcksDegraded uint64 `json:"durable_acks_degraded"`
 	// Replicas is how many other backends' records this instance holds
 	// in its replica namespace (the follower half of ring replication).
 	Replicas int `json:"replicas"`
@@ -340,12 +399,14 @@ type Stats struct {
 // JobKey builds the canonical cache/coalescing/shard-routing key: a
 // hash over the canonical problem JSON (the re-marshaled parsed
 // problem, so formatting and field-order differences wash out) and the
-// normalized options minus Workers (worker counts never change
-// results). The shard router hashes the same key, which is what keeps
+// normalized options minus Workers and Durability (neither changes
+// results — one picks parallelism, the other picks when the ack
+// returns). The shard router hashes the same key, which is what keeps
 // each backend's result cache hot for its slice of the keyspace.
 func JobKey(problemJSON []byte, spec SolveSpec) string {
 	hashed := spec
 	hashed.Workers = 0
+	hashed.Durability = ""
 	optJSON, _ := json.Marshal(hashed)
 	h := sha256.New()
 	h.Write(problemJSON)

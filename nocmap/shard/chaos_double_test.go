@@ -1,0 +1,328 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/nocmap/client"
+	"repro/nocmap/server"
+	"repro/nocmap/shard"
+)
+
+// TestChaosDoubleFailureE2E is the quorum-durability acceptance gate
+// (`make chaos-smoke-r2` runs it under -race): a nocmapsh router with
+// replication factor 2 probing four durable nocmapd backends, sustained
+// client load, then SIGKILL a backend AND its first ring successor —
+// the double failure a single-successor design cannot survive. The
+// fleet must
+//
+//   - keep answering every durability=replicated acknowledged result
+//     through the router, byte-identical, served from the one surviving
+//     replica holder (the second ring successor),
+//   - re-run the dead owner's queued and running jobs to completion
+//     under their original IDs (zero lost jobs),
+//   - keep accepting and solving new work throughout the double outage,
+//   - and, when both casualties reboot, reconcile them until the fleet
+//     agrees again.
+func TestChaosDoubleFailureE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real nocmapd/nocmapsh processes")
+	}
+	workdir := t.TempDir()
+	nocmapd := buildBin(t, workdir, "nocmapd")
+	nocmapsh := buildBin(t, workdir, "nocmapsh")
+
+	// Four backends: two can die while two survive, and with R=2 the
+	// second ring successor still holds every replica. Fixed ports so a
+	// killed backend comes back at the identity the ring keys on.
+	const fleet = 4
+	ports := freePorts(t, fleet)
+	urls := make([]string, fleet)
+	for i := range ports {
+		urls[i] = fmt.Sprintf("http://127.0.0.1:%d", ports[i])
+	}
+	backendArgs := func(i int) []string {
+		return []string{
+			"-addr", fmt.Sprintf("127.0.0.1:%d", ports[i]),
+			"-store", filepath.Join(workdir, fmt.Sprintf("store%d", i)),
+			"-pool", "1", "-queue", "64", "-id-prefix", fmt.Sprintf("d%d-", i),
+			"-durable-ack-wait", "2s",
+		}
+	}
+	running := make([]*exec.Cmd, fleet)
+	for i := 0; i < fleet; i++ {
+		running[i] = startProc(t, nocmapd, backendArgs(i),
+			filepath.Join(workdir, fmt.Sprintf("backend%d.log", i)))
+	}
+	startProc(t, nocmapsh, []string{
+		"-addr", "127.0.0.1:0", "-backends", strings.Join(urls, ","),
+		"-probe", "40ms", "-fail-threshold", "2", "-recover-threshold", "2",
+		"-replication-factor", "2",
+	}, filepath.Join(workdir, "router.log"))
+	routerURL := addrFromLog(t, filepath.Join(workdir, "router.log"))
+	waitUntil(t, "the fleet to answer healthz", func() bool {
+		resp, err := http.Get(routerURL + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// The fleet view must advertise the factor and R=2 holder sets.
+	info := chaosShards(t, routerURL)
+	if info.ReplicationFactor != 2 {
+		t.Fatalf("ReplicationFactor = %d, want 2", info.ReplicationFactor)
+	}
+	for _, b := range info.Fleet {
+		if len(b.Successors) != 2 {
+			t.Fatalf("backend %s has %d successors, want 2: %v", b.URL, len(b.Successors), b.Successors)
+		}
+	}
+
+	// An in-test oracle over the same URLs predicts ownership and the
+	// holder sets (both pure functions of the membership list).
+	oracle, err := shard.New(shard.Config{Backends: urls, ReplicationFactor: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(oracle.Close)
+
+	// Phase 1: baseline durable load. Every submission demands the
+	// replicated durability class and must get it acknowledged; the
+	// router's answer for each is captured for the byte-identity gate.
+	durable := server.SolveSpec{Durability: server.DurabilityReplicated}
+	answers := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		p := chaosProblem(t, fmt.Sprintf("chaos2-base-%d", i))
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := chaosSubmitStatus(t, routerURL, submitBody(t, raw, durable))
+		if st.Durability != server.DurabilityReplicated {
+			t.Fatalf("baseline submission %d acked %q, want %q", i, st.Durability, server.DurabilityReplicated)
+		}
+		final := chaosWaitDone(t, routerURL, st.ID, 60*time.Second)
+		if len(final.Result) == 0 {
+			t.Fatalf("baseline job %s finished without a result", st.ID)
+		}
+		answers[st.ID] = chaosBody(t, routerURL+"/v1/jobs/"+st.ID)
+	}
+
+	// Sustained background load for the rest of the test; acknowledged
+	// IDs are asserted complete at the end.
+	c := client.New(routerURL)
+	var loadMu sync.Mutex
+	loadIDs := []string{}
+	loadDone := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-loadDone:
+				return
+			case <-time.After(60 * time.Millisecond):
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			st, err := c.Submit(ctx, chaosProblem(t, fmt.Sprintf("chaos2-load-%d", i)), server.SolveSpec{})
+			cancel()
+			if err != nil || st.ID == "" {
+				continue // never acknowledged: nothing to lose
+			}
+			loadMu.Lock()
+			loadIDs = append(loadIDs, st.ID)
+			loadMu.Unlock()
+		}
+	}()
+	defer loadWG.Wait()
+	defer close(loadDone)
+
+	// Phase 2: park a slow solve on some backend — the victim — and
+	// queue two quick jobs behind its single worker.
+	slowID := chaosSubmit(t, routerURL, slowChaosBody(t))
+	victim := -1
+	for i := range urls {
+		if strings.HasPrefix(slowID, fmt.Sprintf("d%d-", i)) {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("slow job ID %q carries no backend prefix", slowID)
+	}
+	holders := oracle.Successors(urls[victim])
+	if len(holders) != 2 {
+		t.Fatalf("oracle gives %d holders for the victim, want 2: %v", len(holders), holders)
+	}
+	// The second casualty: the victim's FIRST ring successor — the
+	// backend a single-successor design would have promoted.
+	casualty := -1
+	for i, u := range urls {
+		if u == holders[0] {
+			casualty = i
+		}
+	}
+	if casualty < 0 || casualty == victim {
+		t.Fatalf("cannot place first successor %s in the fleet", holders[0])
+	}
+	queuedIDs := []string{}
+	for i := 0; len(queuedIDs) < 2 && i < 400; i++ {
+		p := chaosProblem(t, fmt.Sprintf("chaos2-queued-%d", i))
+		raw, _ := json.Marshal(p)
+		if oracle.Owner(chaosKey(t, raw)) != urls[victim] {
+			continue
+		}
+		queuedIDs = append(queuedIDs, chaosSubmit(t, routerURL, submitBody(t, raw, server.SolveSpec{})))
+	}
+	if len(queuedIDs) < 2 {
+		t.Fatal("could not aim two queued jobs at the victim backend")
+	}
+
+	// Replication must have fully drained fleet-wide before the plug is
+	// pulled: with nothing pending, BOTH holders carry every record, so
+	// losing the victim and either holder still leaves a complete copy.
+	waitUntil(t, "replication to converge before the double kill", func() bool {
+		var merged shard.MergedStats
+		if json.Unmarshal(chaosBody(t, routerURL+"/v1/stats"), &merged) != nil {
+			return false
+		}
+		return merged.Total.ReplicationPending == 0 && merged.Total.Replicas > 0
+	})
+	waitUntil(t, "the slow solve to be running on the victim", func() bool {
+		var st server.JobStatus
+		if json.Unmarshal(chaosBody(t, urls[victim]+"/v1/jobs/"+slowID), &st) != nil {
+			return false
+		}
+		return st.State == server.StateRunning
+	})
+
+	// The double SIGKILL: the owner and its first ring successor, the
+	// exact pair whose loss defeats R=1.
+	for _, i := range []int{victim, casualty} {
+		if err := running[i].Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		_ = running[i].Wait()
+	}
+
+	waitUntil(t, "the router to mark both casualties down and promote", func() bool {
+		info := chaosShards(t, routerURL)
+		return backendHealthIn(info, urls[victim]) == shard.HealthDown &&
+			backendHealthIn(info, urls[casualty]) == shard.HealthDown &&
+			info.Router.Promotions >= 1
+	})
+
+	// The quorum-durability gate: every durability=replicated
+	// acknowledged result still serves through the router, byte for
+	// byte, despite both its owner and one of its holders being dead.
+	for id, want := range answers {
+		got := chaosBody(t, routerURL+"/v1/jobs/"+id)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("durable job %s changed across the double kill:\n before: %s\n after:  %s", id, want, got)
+		}
+	}
+	// Zero lost jobs: the victim's running and queued work re-runs to
+	// completion on the surviving holder under the original IDs.
+	survivorResults := map[string][]byte{}
+	for _, id := range append([]string{slowID}, queuedIDs...) {
+		st := chaosWaitDone(t, routerURL, id, 120*time.Second)
+		if len(st.Result) == 0 {
+			t.Fatalf("re-run job %s finished without a result", id)
+		}
+		survivorResults[id] = st.Result
+	}
+	// The halved fleet keeps accepting and solving new work.
+	chaosSolve(t, c, routerURL, "chaos2-during-outage")
+
+	// Phase 3: both casualties reboot over their surviving stores; the
+	// router reconciles them back in.
+	for _, i := range []int{victim, casualty} {
+		running[i] = startProc(t, nocmapd, backendArgs(i),
+			filepath.Join(workdir, fmt.Sprintf("backend%d.reboot.log", i)))
+	}
+	waitUntil(t, "both casualties to rejoin and reconcile", func() bool {
+		info := chaosShards(t, routerURL)
+		return backendHealthIn(info, urls[victim]) == shard.HealthUp &&
+			backendHealthIn(info, urls[casualty]) == shard.HealthUp &&
+			info.Router.Reconciles >= 1
+	})
+	// Anti-entropy convergence: the rebooted victim agrees with the
+	// fleet about its interrupted jobs' outcomes, byte for byte.
+	for id, want := range survivorResults {
+		waitUntil(t, fmt.Sprintf("the victim to converge on job %s", id), func() bool {
+			var st server.JobStatus
+			if json.Unmarshal(chaosBody(t, urls[victim]+"/v1/jobs/"+id), &st) != nil {
+				return false
+			}
+			return st.State == server.StateDone && bytes.Equal(st.Result, want)
+		})
+	}
+
+	// Nothing the fleet ever acknowledged has been lost.
+	loadMu.Lock()
+	acked := append([]string(nil), loadIDs...)
+	loadMu.Unlock()
+	if len(acked) == 0 {
+		t.Fatal("the load loop never got a job acknowledged")
+	}
+	for _, id := range acked {
+		st := chaosWaitDone(t, routerURL, id, 120*time.Second)
+		if st.State != server.StateDone {
+			t.Fatalf("acknowledged load job %s ended %s", id, st.State)
+		}
+	}
+}
+
+// freePorts reserves n distinct ports by holding all the listeners
+// open at once before releasing any — one-at-a-time reservation (see
+// freePort) lets the OS hand the same port out twice.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	ports := make([]int, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		ports[i] = ln.Addr().(*net.TCPAddr).Port
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return ports
+}
+
+// chaosSubmitStatus posts a submission and returns the full initial
+// status (chaosSubmit's richer sibling — the durability gate needs the
+// Durability field, not just the ID).
+func chaosSubmitStatus(t *testing.T, routerURL string, body []byte) server.JobStatus {
+	t.Helper()
+	resp, err := http.Post(routerURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, got)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

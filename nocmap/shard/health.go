@@ -93,17 +93,31 @@ func (rt *Router) probeTick() {
 	}
 }
 
-// promoteReplicas tells backend i's ring successor to adopt i's
-// replicas. Reports success; a false return leaves promotedEpoch
-// behind downEpoch so the next tick (or the next job lookup) retries.
+// promoteReplicas promotes a down backend's replicas on the
+// best-informed surviving holder. With replication factor R the dead
+// backend's records live on up to R ring successors; the holders can
+// disagree (one may have acked further into the origin's terminal
+// history before the crash), so the router asks each surviving holder
+// for its acked watermark (GET /v1/replication/watermark) and promotes
+// on the one holding the highest terminal seq — ties broken by replica
+// count, so a holder with live-only records (watermark 0) still wins
+// over an empty one. Reports success; a false return leaves
+// promotedEpoch behind downEpoch so the next tick (or the next job
+// lookup) retries.
 func (rt *Router) promoteReplicas(ctx context.Context, topo *topology, i int) bool {
-	succ := replicationSuccessor(topo.backends, i)
-	if succ < 0 {
+	holders := successorsOf(topo.backends, i, rt.cfg.ReplicationFactor)
+	if len(holders) == 0 {
 		return false // single-backend fleet: nowhere to promote
 	}
 	rt.mu.Lock()
 	prefix := topo.prefixes[i]
 	epoch := topo.health[i].downEpoch
+	live := make([]int, 0, len(holders))
+	for _, h := range holders {
+		if topo.health[h].state != HealthDown {
+			live = append(live, h)
+		}
+	}
 	rt.mu.Unlock()
 	if !prefix.known || prefix.prefix == "" {
 		// Never discovered the backend's ID prefix while it was alive —
@@ -111,8 +125,34 @@ func (rt *Router) promoteReplicas(ctx context.Context, topo *topology, i int) bo
 		// still land if the backend flaps back up.
 		return false
 	}
+	if len(live) == 0 {
+		return false // every holder is down too; retry next tick
+	}
+	best, bestSeq, bestReplicas := -1, uint64(0), -1
+	for _, h := range live {
+		var wm server.WatermarkResponse
+		url := topo.backends[h] + "/v1/replication/watermark?origin=" + prefix.prefix
+		resp, err := rt.getRetry(ctx, url, 1)
+		if err != nil {
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(&wm)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if best < 0 || wm.HighSeq > bestSeq ||
+			(wm.HighSeq == bestSeq && wm.Replicas > bestReplicas) {
+			best, bestSeq, bestReplicas = h, wm.HighSeq, wm.Replicas
+		}
+	}
+	if best < 0 {
+		// No holder answered its watermark; fall back to the first live
+		// one rather than leaving the outage unpromoted.
+		best = live[0]
+	}
 	var resp server.PromoteResponse
-	err := rt.postJSON(ctx, topo.backends[succ]+"/v1/promote",
+	err := rt.postJSON(ctx, topo.backends[best]+"/v1/promote",
 		server.PromoteRequest{Origin: prefix.prefix}, &resp)
 	if err != nil {
 		return false
@@ -121,6 +161,7 @@ func (rt *Router) promoteReplicas(ctx context.Context, topo *topology, i int) bo
 	h := topo.health[i]
 	if h.promotedEpoch < epoch {
 		h.promotedEpoch = epoch
+		h.promotedTo = topo.backends[best]
 		rt.stats.Promotions++
 	}
 	rt.mu.Unlock()
@@ -128,13 +169,16 @@ func (rt *Router) promoteReplicas(ctx context.Context, topo *topology, i int) bo
 }
 
 // reconcileRejoin runs the anti-entropy sweep onto a backend that just
-// came back: everything its successor holds under the rejoined
+// came back: everything every replica holder keeps under the rejoined
 // backend's ID prefix — the promoted outcomes of its lost jobs — is
 // pushed back, and terminal-beats-live adoption on the backend folds
-// them in.
+// it in. With replication factor R the holders can diverge (only one
+// was promoted; the others stopped at whatever they had acked), so the
+// sweep merges from all of them — adoption keeps the highest-seq
+// terminal record per job, whichever holder it came from.
 func (rt *Router) reconcileRejoin(ctx context.Context, topo *topology, i int) {
-	succ := replicationSuccessor(topo.backends, i)
-	if succ < 0 {
+	holders := successorsOf(topo.backends, i, rt.cfg.ReplicationFactor)
+	if len(holders) == 0 {
 		return
 	}
 	rt.mu.Lock()
@@ -143,27 +187,38 @@ func (rt *Router) reconcileRejoin(ctx context.Context, topo *topology, i int) {
 	if !prefix.known || prefix.prefix == "" {
 		return
 	}
-	recs, err := rt.fetchRecords(ctx, topo.backends[succ], prefix.prefix)
-	if err != nil {
-		return
+	merged := false
+	for _, h := range holders {
+		recs, err := rt.fetchRecords(ctx, topo.backends[h], prefix.prefix)
+		if err != nil {
+			continue
+		}
+		if len(recs.Records) == 0 && len(recs.Cache) == 0 {
+			continue
+		}
+		var resp server.ReconcileResponse
+		err = rt.postJSON(ctx, topo.backends[i]+"/v1/reconcile",
+			server.ReconcileRequest{Records: recs.Records, Cache: recs.Cache}, &resp)
+		if err != nil {
+			continue
+		}
+		merged = true
 	}
-	if len(recs.Records) == 0 && len(recs.Cache) == 0 {
-		return
+	if merged {
+		rt.count(func(s *RouterStats) { s.Reconciles++ })
 	}
-	var resp server.ReconcileResponse
-	err = rt.postJSON(ctx, topo.backends[i]+"/v1/reconcile",
-		server.ReconcileRequest{Records: recs.Records, Cache: recs.Cache}, &resp)
-	if err != nil {
-		return
-	}
-	rt.count(func(s *RouterStats) { s.Reconciles++ })
 }
 
 // failoverTarget maps a backend to where its jobs answer from right
-// now: itself while up, its ring successor while probed down. Before
-// redirecting at the successor it makes sure the current outage's
-// promotion actually ran — a lookup racing the prober must not 404 on
-// the successor for want of a promotion that was about to happen.
+// now: itself while up, the promoted replica holder while probed down.
+// Before redirecting it makes sure the current outage's promotion
+// actually ran — a lookup racing the prober must not 404 on a holder
+// for want of a promotion that was about to happen. The promotion
+// records which holder won (watermark-best of the R successors), so the
+// redirect follows promotedTo rather than assuming the first successor;
+// if the promoted holder is itself down — the double-failure case — the
+// redirect falls through to the first live successor, and the next
+// probe tick re-promotes there.
 func (rt *Router) failoverTarget(ctx context.Context, topo *topology, b int) (int, bool) {
 	rt.mu.Lock()
 	h := topo.health[b]
@@ -173,29 +228,52 @@ func (rt *Router) failoverTarget(ctx context.Context, topo *topology, b int) (in
 	if !down {
 		return b, false
 	}
-	succ := replicationSuccessor(topo.backends, b)
-	if succ < 0 {
+	holders := successorsOf(topo.backends, b, rt.cfg.ReplicationFactor)
+	if len(holders) == 0 {
 		return b, false
 	}
 	if needPromote {
 		rt.promoteReplicas(ctx, topo, b)
 	}
-	return succ, true
+	rt.mu.Lock()
+	promotedTo := h.promotedTo
+	rt.mu.Unlock()
+	target := -1
+	for _, s := range holders {
+		rt.mu.Lock()
+		holderDown := topo.health[s].state == HealthDown
+		rt.mu.Unlock()
+		if holderDown {
+			continue
+		}
+		if topo.backends[s] == promotedTo {
+			target = s
+			break
+		}
+		if target < 0 {
+			target = s
+		}
+	}
+	if target < 0 {
+		target = holders[0] // every holder down: redirect somewhere deterministic
+	}
+	return target, true
 }
 
-// pushReplicationTarget points backend i at its ring successor (or at
-// nothing, in a single-backend fleet). Idempotent and cheap on the
-// backend — an unchanged target is a no-op there — so the prober
-// re-pushes it every tick. Best-effort: an unreachable backend will be
-// re-pushed when it answers probes again.
+// pushReplicationTarget points backend i at its replica holder set —
+// its ReplicationFactor distinct ring successors (or at nothing, in a
+// single-backend fleet). Idempotent and cheap on the backend — an
+// unchanged set is a no-op there — so the prober re-pushes it every
+// tick. Best-effort: an unreachable backend will be re-pushed when it
+// answers probes again.
 func (rt *Router) pushReplicationTarget(ctx context.Context, topo *topology, i int) {
-	target := ""
-	if succ := replicationSuccessor(topo.backends, i); succ >= 0 {
-		target = topo.backends[succ]
+	target := server.ReplicationTarget{URLs: rt.successorURLs(topo, i)}
+	if len(target.URLs) > 0 {
+		target.URL = target.URLs[0]
 	}
 	var resp server.ReplicationTarget
 	_ = rt.postJSONMethod(ctx, http.MethodPut, topo.backends[i]+"/v1/replication/target",
-		server.ReplicationTarget{URL: target}, &resp)
+		target, &resp)
 }
 
 // pushReplicationTargets wires the whole fleet's replication ring.

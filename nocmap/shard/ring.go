@@ -66,17 +66,22 @@ func (r *ring) search(key string) int {
 	return i
 }
 
-// replicationSuccessor returns the index of backend b's replication
-// target: its successor on a backend-level ring (one point per backend,
-// not the virtual-node ring — replica placement must depend only on the
-// membership set, never on the virtual-node count). -1 when there is no
-// distinct successor (single-backend fleet). By construction the
-// successor is never b itself, so a backend can never be told to
-// replicate onto itself.
-func replicationSuccessor(backends []string, b int) int {
+// successorsOf returns the indices of backend b's first r replication
+// targets: its successors on a backend-level ring (one point per
+// backend, not the virtual-node ring — replica placement must depend
+// only on the membership set, never on the virtual-node count). The
+// result holds min(r, n-1) distinct indices in ring order, never
+// includes b itself (a backend can never be told to replicate onto
+// itself), and is empty for a single-backend fleet, r <= 0 or an
+// out-of-range b. Wrap-around is by ring position, so small fleets
+// (n <= r) simply yield every other backend exactly once.
+func successorsOf(backends []string, b, r int) []int {
 	n := len(backends)
-	if n < 2 || b < 0 || b >= n {
-		return -1
+	if n < 2 || b < 0 || b >= n || r <= 0 {
+		return nil
+	}
+	if r > n-1 {
+		r = n - 1
 	}
 	type point struct {
 		hash uint64
@@ -94,10 +99,24 @@ func replicationSuccessor(backends []string, b int) int {
 	})
 	for k, p := range pts {
 		if p.i == b {
-			return pts[(k+1)%n].i
+			succ := make([]int, 0, r)
+			for step := 1; step <= r; step++ {
+				succ = append(succ, pts[(k+step)%n].i)
+			}
+			return succ
 		}
 	}
-	return -1
+	return nil
+}
+
+// replicationSuccessor is successorsOf with r=1 flattened to a single
+// index: the first ring successor, or -1 when there is none.
+func replicationSuccessor(backends []string, b int) int {
+	succ := successorsOf(backends, b, 1)
+	if len(succ) == 0 {
+		return -1
+	}
+	return succ[0]
 }
 
 // sequence returns every distinct backend in ring order starting at the

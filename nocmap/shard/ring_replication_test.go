@@ -81,6 +81,96 @@ func TestReplicationSuccessorDegenerateRings(t *testing.T) {
 	}
 }
 
+// TestSuccessorsOfProperties pins the replication-factor generalisation
+// of successor placement for R in {1,2,3}: the holder set has exactly
+// min(R, n-1) members, every member is a valid index, distinct from
+// every other and never the backend itself, the first member agrees
+// with the legacy single-successor mapping, and the whole ordered set
+// is a pure function of the membership SET — shuffling the backend
+// list permutes indices but maps to the same URLs in the same order.
+func TestSuccessorsOfProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, r := range []int{1, 2, 3} {
+		for n := 2; n <= 12; n++ {
+			backends := syntheticBackends(n)
+			want := r
+			if n-1 < want {
+				want = n - 1 // fan-out caps at fleet size - 1
+			}
+			holdersOf := map[string][]string{}
+			for i := range backends {
+				succ := successorsOf(backends, i, r)
+				if len(succ) != want {
+					t.Fatalf("r=%d n=%d: successorsOf(%d) has %d holders, want %d",
+						r, n, i, len(succ), want)
+				}
+				seen := map[int]bool{}
+				urls := make([]string, 0, len(succ))
+				for _, s := range succ {
+					if s < 0 || s >= n {
+						t.Fatalf("r=%d n=%d: successorsOf(%d) holder %d out of range", r, n, i, s)
+					}
+					if s == i {
+						t.Fatalf("r=%d n=%d: backend %d is its own replica holder", r, n, i)
+					}
+					if seen[s] {
+						t.Fatalf("r=%d n=%d: successorsOf(%d) repeats holder %d", r, n, i, s)
+					}
+					seen[s] = true
+					urls = append(urls, backends[s])
+				}
+				if first := replicationSuccessor(backends, i); backends[first] != urls[0] {
+					t.Fatalf("r=%d n=%d: first holder %s disagrees with replicationSuccessor %s",
+						r, n, urls[0], backends[first])
+				}
+				holdersOf[backends[i]] = urls
+			}
+			// Order independence: shuffle the list; every backend's
+			// ordered holder set (as URLs) must be unchanged.
+			shuffled := append([]string(nil), backends...)
+			rng.Shuffle(n, func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+			for i, b := range shuffled {
+				succ := successorsOf(shuffled, i, r)
+				for k, s := range succ {
+					if shuffled[s] != holdersOf[b][k] {
+						t.Fatalf("r=%d n=%d: holder %d of %s changed with list order: %s vs %s",
+							r, n, k, b, shuffled[s], holdersOf[b][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSuccessorsOfDegenerate pins the edges: a single backend has no
+// holders at all (never self-replication), a two-backend fleet runs
+// R=1 regardless of the requested factor, and nonsense inputs (zero
+// factor, out-of-range backend) return nothing rather than panicking.
+func TestSuccessorsOfDegenerate(t *testing.T) {
+	if got := successorsOf(syntheticBackends(1), 0, 3); got != nil {
+		t.Fatalf("single backend: holders = %v, want none", got)
+	}
+	two := syntheticBackends(2)
+	for i := range two {
+		got := successorsOf(two, i, 3)
+		if len(got) != 1 || got[0] == i {
+			t.Fatalf("two backends: successorsOf(%d, 3) = %v, want exactly the peer", i, got)
+		}
+	}
+	if got := successorsOf(syntheticBackends(4), 1, 0); got != nil {
+		t.Fatalf("zero factor: holders = %v, want none", got)
+	}
+	if got := successorsOf(syntheticBackends(4), 9, 2); got != nil {
+		t.Fatalf("out-of-range backend: holders = %v, want none", got)
+	}
+	// n <= R: every other backend becomes a holder, exactly once.
+	three := syntheticBackends(3)
+	got := successorsOf(three, 0, 5)
+	if len(got) != 2 || got[0] == got[1] || got[0] == 0 || got[1] == 0 {
+		t.Fatalf("n=3 r=5: holders = %v, want both peers once each", got)
+	}
+}
+
 // TestJoinMovesOnlyNewcomerRanges is the join half of the rebalancing
 // contract (the leave half — survivors never exchange keys — is pinned
 // by TestShardAssignmentStableAcrossRestarts): when a backend joins,

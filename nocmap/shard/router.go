@@ -49,6 +49,11 @@ type Config struct {
 	// RecoverThreshold is how many consecutive probe successes mark a
 	// down backend up again (<= 0: 2).
 	RecoverThreshold int
+	// ReplicationFactor is how many distinct ring successors each
+	// backend replicates to (<= 0: 2). Effective fan-out is capped at
+	// fleet size - 1 — a 2-backend fleet runs R=1 no matter the setting
+	// — and recomputed on every elastic join/leave.
+	ReplicationFactor int
 }
 
 // CodeUnavailable is the typed error code when no backend could take a
@@ -91,6 +96,11 @@ type backendHealth struct {
 	// promotes exactly once (and failed promotions retry next tick).
 	downEpoch     uint64
 	promotedEpoch uint64
+	// promotedTo is the URL of the replica holder the last successful
+	// promotion picked — where this backend's jobs answer from while it
+	// is down. A URL, not an index: elastic join/leave swaps topologies
+	// and invalidates indices, but the holder keeps its address.
+	promotedTo string
 }
 
 // RouterStats counts the router's own work (GET /v1/stats, "router").
@@ -173,6 +183,9 @@ func New(cfg Config) (*Router, error) {
 	if cfg.RecoverThreshold <= 0 {
 		cfg.RecoverThreshold = 2
 	}
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = 2
+	}
 	httpc := cfg.HTTPClient
 	if httpc == nil {
 		httpc = http.DefaultClient
@@ -251,19 +264,40 @@ func (rt *Router) Owner(key string) string {
 	return topo.backends[topo.ring.owner(key)]
 }
 
-// Successor returns the backend URL that holds a backend's replicas —
-// its ring successor — or "" for a single-backend fleet.
+// Successor returns the first backend URL that holds a backend's
+// replicas — its immediate ring successor — or "" for a single-backend
+// fleet.
 func (rt *Router) Successor(backend string) string {
+	if succ := rt.Successors(backend); len(succ) > 0 {
+		return succ[0]
+	}
+	return ""
+}
+
+// Successors returns the full replica holder set for a backend — its
+// ReplicationFactor distinct ring successors, nearest first — or nil
+// for a single-backend fleet.
+func (rt *Router) Successors(backend string) []string {
 	topo := rt.snapshot()
 	for i, b := range topo.backends {
 		if b == backend {
-			if s := replicationSuccessor(topo.backends, i); s >= 0 {
-				return topo.backends[s]
-			}
-			return ""
+			return rt.successorURLs(topo, i)
 		}
 	}
-	return ""
+	return nil
+}
+
+// successorURLs resolves successorsOf indices to URLs for one backend.
+func (rt *Router) successorURLs(topo *topology, i int) []string {
+	idx := successorsOf(topo.backends, i, rt.cfg.ReplicationFactor)
+	if len(idx) == 0 {
+		return nil
+	}
+	urls := make([]string, len(idx))
+	for k, s := range idx {
+		urls[k] = topo.backends[s]
+	}
+	return urls
 }
 
 // Stats snapshots the router's own counters.
@@ -727,6 +761,11 @@ func addStats(a, b server.Stats) server.Stats {
 	a.StoreErrors += b.StoreErrors
 	a.Replicated += b.Replicated
 	a.ReplicationPending += b.ReplicationPending
+	a.ReplicationLag += b.ReplicationLag
+	a.ReplicationStalls += b.ReplicationStalls
+	a.ReplicationStalled = a.ReplicationStalled || b.ReplicationStalled
+	a.DurableAcks += b.DurableAcks
+	a.DurableAcksDegraded += b.DurableAcksDegraded
 	a.Replicas += b.Replicas
 	a.Promoted += b.Promoted
 	a.Reconciled += b.Reconciled
@@ -745,31 +784,69 @@ type ShardBackend struct {
 	// Health is the probed state: "up", "degraded" or "down". Without
 	// probing (Config.ProbeInterval zero) every backend reads "up".
 	Health string `json:"health"`
-	// Successor is the backend holding this one's replicas ("" for a
-	// single-backend fleet).
+	// Successor is the first backend holding this one's replicas ("" for
+	// a single-backend fleet).
 	Successor string `json:"successor,omitempty"`
+	// Successors is the full replica holder set — the backend's
+	// ReplicationFactor distinct ring successors, nearest first.
+	Successors []string `json:"successors,omitempty"`
+	// ReplicationLag is the backend's summed acked-watermark lag across
+	// its replication streams (terminal records sent but not yet
+	// acknowledged as persisted by a follower). Filled from a live
+	// /v1/stats fan-out; zero when the backend did not answer.
+	ReplicationLag uint64 `json:"replication_lag,omitempty"`
+	// ReplicationStalled reports a replication stream stuck past its
+	// failure threshold on this backend.
+	ReplicationStalled bool `json:"replication_stalled,omitempty"`
 }
 
 // ShardInfo is the GET /v1/shards response.
 type ShardInfo struct {
-	Backends []string       `json:"backends"`
-	Replicas int            `json:"replicas"`
-	Fleet    []ShardBackend `json:"fleet"`
-	Router   RouterStats    `json:"router"`
+	Backends []string `json:"backends"`
+	Replicas int      `json:"replicas"`
+	// ReplicationFactor is how many distinct ring successors each
+	// backend replicates to (capped at fleet size - 1 in effect).
+	ReplicationFactor int            `json:"replication_factor"`
+	Fleet             []ShardBackend `json:"fleet"`
+	Router            RouterStats    `json:"router"`
 }
 
 func (rt *Router) handleShards(w http.ResponseWriter, r *http.Request) {
 	topo := rt.snapshot()
 	info := ShardInfo{
-		Backends: append([]string(nil), topo.backends...),
-		Replicas: rt.cfg.Replicas,
+		Backends:          append([]string(nil), topo.backends...),
+		Replicas:          rt.cfg.Replicas,
+		ReplicationFactor: rt.cfg.ReplicationFactor,
+	}
+	// Live per-backend replication lag, gathered before taking the lock:
+	// the fleet view is where operators look first when durability
+	// degrades, so it carries the watermark lag next to the topology.
+	results := rt.fanOut(r.Context(), topo, "/v1/stats", 1)
+	lag := make([]uint64, len(results))
+	stalled := make([]bool, len(results))
+	for i, res := range results {
+		if res.err != nil || res.status != http.StatusOK {
+			continue
+		}
+		var st server.Stats
+		if json.Unmarshal(res.body, &st) == nil {
+			lag[i] = st.ReplicationLag
+			stalled[i] = st.ReplicationStalled
+		}
 	}
 	rt.mu.Lock()
 	info.Router = rt.stats
 	for i, b := range topo.backends {
-		row := ShardBackend{URL: b, Health: topo.health[i].state, Prefix: topo.prefixes[i].prefix}
-		if s := replicationSuccessor(topo.backends, i); s >= 0 {
-			row.Successor = topo.backends[s]
+		row := ShardBackend{
+			URL:                b,
+			Health:             topo.health[i].state,
+			Prefix:             topo.prefixes[i].prefix,
+			Successors:         rt.successorURLs(topo, i),
+			ReplicationLag:     lag[i],
+			ReplicationStalled: stalled[i],
+		}
+		if len(row.Successors) > 0 {
+			row.Successor = row.Successors[0]
 		}
 		info.Fleet = append(info.Fleet, row)
 	}
