@@ -1,0 +1,102 @@
+// nocmapvet is the repo's multichecker: it runs the custom static
+// analyzers in internal/analysis/analyzers over the tree and exits
+// non-zero on any unbaselined finding. It is wired into `make
+// nocmapvet` (full suite) and `make importgate` (-importgate only) and
+// runs in CI next to go vet.
+//
+// Usage:
+//
+//	nocmapvet [flags] [package patterns]
+//
+// With no analyzer flags the full suite runs; naming one or more
+// analyzers (-importgate, -blockingunderlock, ...) runs only those.
+// Patterns default to ./... and are resolved by `go list`, so build
+// tags and module resolution match the real build. Findings are
+// suppressed in place with
+//
+//	//nocmapvet:allow <analyzer> <reason with a file or URL reference>
+//
+// and a malformed baseline is itself a finding. See
+// docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("nocmapvet", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	selected := make(map[string]*bool)
+	for _, a := range analyzers.All() {
+		selected[a.Name] = fs.Bool(a.Name, false, "run only the named analyzers: "+a.Doc)
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	suite := analyzers.All()
+	var chosen []*analysis.Analyzer
+	for _, a := range suite {
+		if *selected[a.Name] {
+			chosen = append(chosen, a)
+		}
+	}
+	if len(chosen) == 0 {
+		chosen = suite
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocmapvet: %v\n", err)
+		return 2
+	}
+	broken := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "nocmapvet: %s: %v\n", p.ImportPath, terr)
+			broken = true
+		}
+	}
+	if broken {
+		fmt.Fprintln(os.Stderr, "nocmapvet: refusing to analyze packages that do not type-check")
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, chosen, analyzers.Names())
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && len(rel) < len(file) {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nocmapvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+const allowPrefix = "nocmapvet:allow"
+
+// allowDirective is one parsed, valid baseline comment.
+type allowDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// allowDirectives scans every comment in the package (test files
+// included) for //nocmapvet:allow directives. Valid ones come back as
+// suppressions; malformed ones come back as unsuppressible findings
+// under BaselineAnalyzer. known is the full analyzer-name registry.
+func (p *Package) allowDirectives(known []string) ([]allowDirective, []Diagnostic) {
+	var dirs []allowDirective
+	var bad []Diagnostic
+	scan := func(f *ast.File) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if d, msg := parseAllow(text, known); msg == "" {
+					dirs = append(dirs, allowDirective{
+						file:     pos.Filename,
+						line:     pos.Line,
+						analyzer: d.analyzer,
+						reason:   d.reason,
+					})
+				} else {
+					bad = append(bad, Diagnostic{
+						Analyzer: BaselineAnalyzer,
+						Pos:      pos,
+						Message:  msg,
+					})
+				}
+			}
+		}
+	}
+	for _, f := range p.Files {
+		scan(f)
+	}
+	for _, f := range p.TestFiles {
+		scan(f)
+	}
+	return dirs, bad
+}
+
+// directiveText extracts the payload of a //nocmapvet:allow comment,
+// or ok=false for any other comment. Like go:build directives, the
+// marker must open the comment (no space after //).
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//"+allowPrefix)
+	if !ok {
+		return "", false
+	}
+	// Fixture files embed `want "..."` expectations in the same
+	// comment (a trailing comment can't be followed by another); the
+	// expectation is not part of the directive.
+	if i := strings.Index(body, ` want "`); i >= 0 {
+		body = body[:i]
+	}
+	return strings.TrimSpace(body), true
+}
+
+// parseAllow validates one directive payload. A valid baseline names a
+// known analyzer and gives a reason containing a file or URL reference
+// (a token with '/', '#', '.' or ':'), so every suppression links to
+// its justification. The returned message is empty on success.
+func parseAllow(text string, known []string) (allowDirective, string) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return allowDirective{}, "unexplained nocmapvet:allow: want `//nocmapvet:allow <analyzer> <reason with a file or URL reference>`"
+	}
+	name := fields[0]
+	knownName := false
+	for _, k := range known {
+		if k == name {
+			knownName = true
+			break
+		}
+	}
+	if !knownName {
+		return allowDirective{}, fmt.Sprintf("nocmapvet:allow names unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+	}
+	reason := strings.Join(fields[1:], " ")
+	if reason == "" {
+		return allowDirective{}, "unexplained nocmapvet:allow for " + name + ": a baseline needs a reason with a file or URL reference"
+	}
+	if !strings.ContainsAny(reason, "/#.:") {
+		return allowDirective{}, "nocmapvet:allow reason for " + name + " needs a file or URL reference pointing at the justification (e.g. ROADMAP.md#open-items)"
+	}
+	return allowDirective{analyzer: name, reason: reason}, ""
+}

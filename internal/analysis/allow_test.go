@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+var knownNames = []string{"blockingunderlock", "reprodeterminism"}
+
+func TestDirectiveText(t *testing.T) {
+	cases := []struct {
+		comment string
+		text    string
+		ok      bool
+	}{
+		{"//nocmapvet:allow reprodeterminism ROADMAP.md#open-items", "reprodeterminism ROADMAP.md#open-items", true},
+		// Like go:build, the marker must open the comment.
+		{"// nocmapvet:allow reprodeterminism ROADMAP.md", "", false},
+		{"// plain comment", "", false},
+		// Fixture want clauses are stripped before validation.
+		{`//nocmapvet:allow reprodeterminism ROADMAP.md want "ranging"`, "reprodeterminism ROADMAP.md", true},
+	}
+	for _, c := range cases {
+		text, ok := directiveText(c.comment)
+		if ok != c.ok || text != c.text {
+			t.Errorf("directiveText(%q) = %q, %v; want %q, %v", c.comment, text, ok, c.text, c.ok)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text    string
+		errPart string // "" means the directive must parse
+	}{
+		{"reprodeterminism fsync debt; ROADMAP.md#open-items", ""},
+		{"reprodeterminism see https://example.com/issue/7", ""},
+		{"", "unexplained nocmapvet:allow"},
+		{"reprodeterminism", "unexplained nocmapvet:allow for reprodeterminism"},
+		{"nosuchpass ROADMAP.md", `unknown analyzer "nosuchpass"`},
+		{"reprodeterminism because I said so", "needs a file or URL reference"},
+	}
+	for _, c := range cases {
+		d, msg := parseAllow(c.text, knownNames)
+		if c.errPart == "" {
+			if msg != "" {
+				t.Errorf("parseAllow(%q): unexpected error %q", c.text, msg)
+			} else if d.analyzer != "reprodeterminism" {
+				t.Errorf("parseAllow(%q): analyzer = %q", c.text, d.analyzer)
+			}
+			continue
+		}
+		if !strings.Contains(msg, c.errPart) {
+			t.Errorf("parseAllow(%q) = %q; want error containing %q", c.text, msg, c.errPart)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package analysis is nocmapvet's self-contained static-analysis
+// framework: a deliberately small, stdlib-only re-statement of the
+// golang.org/x/tools/go/analysis API shape (Analyzer, Pass, Diagnostic,
+// an analysistest-style fixture harness) built for a container that
+// cannot fetch x/tools. Packages are loaded with full type information
+// by shelling out to `go list -export -deps` and feeding the compiler's
+// export data to go/importer (see load.go), so analyzers get the same
+// types view `go vet` would.
+//
+// The framework also owns the repo-wide baseline mechanism: a finding
+// can be suppressed in place with
+//
+//	//nocmapvet:allow <analyzer> <reason containing a file or URL reference>
+//
+// on (or immediately above) the offending line. A malformed directive —
+// unknown analyzer, missing reason, or a reason with no file/URL
+// reference to a justification — is itself a finding and can never be
+// suppressed, so the baseline stays explained. See
+// docs/STATIC_ANALYSIS.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// An Analyzer describes one nocmapvet pass: a named invariant and the
+// function that checks one package against it.
+type Analyzer struct {
+	// Name identifies the analyzer in reports, selection flags and
+	// //nocmapvet:allow directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by -list.
+	Doc string
+	// Run inspects one loaded package and reports findings via
+	// pass.Reportf. Packages are independent; Run must not retain pass.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one loaded package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at node's position.
+func (p *Pass) Reportf(node ast.Node, format string, args ...any) {
+	pos := p.Pkg.Fset.Position(node.Pos())
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: which analyzer, where, what.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// BaselineAnalyzer is the reserved analyzer name under which malformed
+// //nocmapvet:allow directives are reported. It is not a selectable
+// pass and its findings cannot be suppressed.
+const BaselineAnalyzer = "baseline"
+
+// Run applies the given analyzers to every package, filters findings
+// through valid //nocmapvet:allow directives, and appends one
+// unsuppressible finding per malformed directive. known is the full
+// registry of analyzer names (not just the selected set), so running a
+// single analyzer cannot misreport another analyzer's baselines as
+// unknown. Diagnostics come back sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, known []string) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			a.Run(pass)
+		}
+		directives, bad := pkg.allowDirectives(known)
+		for _, d := range raw {
+			if !suppressed(d, directives) {
+				out = append(out, d)
+			}
+		}
+		out = append(out, bad...)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		a, b := out[i].Pos, out[k].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[k].Analyzer
+	})
+	return out
+}
+
+// suppressed reports whether a valid allow directive covers the
+// diagnostic: same file, same analyzer, and the directive sits on the
+// finding's line or the line directly above it.
+func suppressed(d Diagnostic, directives []allowDirective) bool {
+	for _, dir := range directives {
+		if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+			continue
+		}
+		if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Package analyzers holds nocmapvet's invariant checks. Each analyzer
+// mechanizes one rule the repo previously enforced by review (or by
+// grep): no blocking IO under a mutex, no nondeterminism in the
+// reproduction kernels, no dropped request contexts in the service
+// layer, and no internal/ imports from the public-facing packages. See
+// docs/STATIC_ANALYSIS.md for the invariant each one encodes and how
+// to baseline a finding.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full suite in reporting order. The slice is the
+// registry: selection flags, //nocmapvet:allow validation and the docs
+// all derive from it.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		BlockingUnderLock,
+		ReproDeterminism,
+		CtxFlow,
+		ImportGate,
+	}
+}
+
+// Names returns the analyzer names All carries, for allow-directive
+// validation.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// inScope reports whether a module-relative package path is one of (or
+// inside one of) the given roots. Matching is path-relative so the
+// rules apply identically to the real tree and to fixture modules.
+func inScope(rel string, roots []string) bool {
+	for _, r := range roots {
+		if rel == r || strings.HasPrefix(rel, r+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// callee resolves a call expression to the *types.Func it invokes
+// (package function, method, or interface method), or nil for builtins,
+// type conversions and indirect calls through function values.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the defining package path of an object, or "" for
+// builtins and universe-scope objects.
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// recvTypeName returns the bare receiver type name of a method ("File"
+// for (*os.File).Sync), or "" for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

@@ -1,0 +1,17 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestBaselineMechanism pins the //nocmapvet:allow contract end to end
+// against a real analyzer: a justified directive (same line or the
+// line above) suppresses the finding; a bare, unknown-analyzer,
+// reference-free or mismatched-analyzer directive suppresses nothing —
+// and the malformed ones are themselves findings.
+func TestBaselineMechanism(t *testing.T) {
+	analysis.TestFixtures(t, "testdata/src/allow",
+		[]*analysis.Analyzer{ReproDeterminism}, Names())
+}

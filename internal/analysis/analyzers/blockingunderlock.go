@@ -1,0 +1,558 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// BlockingUnderLock flags blocking operations — file IO and fsync,
+// network calls, job-store calls, blocking channel sends — performed
+// while a sync.Mutex or sync.RWMutex is held. Holding the server mutex
+// across an fsynced store write serializes the whole API behind disk
+// latency (ROADMAP open item 1); this analyzer keeps every such site
+// explicit. The check is intra-procedural with one package-local
+// refinement: a function whose body (transitively, within the package)
+// reaches a blocking operation is itself treated as blocking, so
+// `s.persistJob(j)` under `s.mu` is flagged at the call site that
+// holds the lock.
+//
+// Known limits, by design: lock state is tracked per function with a
+// branch-intersection heuristic (a lock released on every
+// fall-through path counts as released), calls through function
+// values and goroutine bodies are not charged to the caller, and
+// channel operations inside a select with a default case are
+// non-blocking and ignored.
+var BlockingUnderLock = &analysis.Analyzer{
+	Name: "blockingunderlock",
+	Doc:  "flag fsync/file-IO/network/store calls and blocking channel sends made while a sync mutex is held",
+	Run:  runBlockingUnderLock,
+}
+
+// storePathSuffix marks the job-store package: every exported method on
+// its types potentially fsyncs, so calling one under a lock is treated
+// as blocking IO regardless of the concrete implementation behind the
+// JobStore interface.
+const storePathSuffix = "nocmap/store"
+
+// blockingFuncs lists package-level functions that block on IO or time.
+var blockingFuncs = map[string]map[string]bool{
+	"os": setOf("Open", "OpenFile", "Create", "ReadFile", "WriteFile",
+		"Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll", "Truncate"),
+	"net":      setOf("Dial", "DialTimeout", "Listen"),
+	"net/http": setOf("Get", "Post", "PostForm", "Head"),
+	"time":     setOf("Sleep"),
+}
+
+// blockingMethods lists methods that block, keyed by package path and
+// receiver type name.
+var blockingMethods = map[[2]string]map[string]bool{
+	{"os", "File"}: setOf("Sync", "Write", "WriteString", "WriteAt",
+		"Read", "ReadAt", "Truncate", "Close"),
+	{"net/http", "Client"}: setOf("Do", "Get", "Post", "PostForm", "Head"),
+	{"net", "Conn"}:        setOf("Read", "Write"),
+}
+
+func setOf(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func runBlockingUnderLock(pass *analysis.Pass) {
+	r := &bulRunner{pass: pass, info: pass.Pkg.Info}
+	r.buildSummaries()
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				r.simulate(fd.Body)
+			}
+		}
+	}
+}
+
+type bulRunner struct {
+	pass *analysis.Pass
+	info *types.Info
+
+	// blockingWhy maps package-local functions known to reach a
+	// blocking operation to a short human explanation of the path.
+	blockingWhy map[*types.Func]string
+}
+
+// buildSummaries computes, to a package-local fixpoint, which declared
+// functions reach a blocking operation.
+func (r *bulRunner) buildSummaries() {
+	r.blockingWhy = make(map[*types.Func]string)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	callers := make(map[*types.Func][]*types.Func) // callee -> callers
+	var worklist []*types.Func
+
+	for _, f := range r.pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := r.info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fd
+		}
+	}
+	for obj, fd := range decls {
+		direct := ""
+		r.scanSequential(fd.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if _, op := r.lockOp(n); op != 0 {
+					return
+				}
+				if desc := r.externalBlockingDesc(n); desc != "" && direct == "" {
+					direct = desc
+				}
+				if fn := callee(r.info, n); fn != nil {
+					if _, local := decls[fn]; local {
+						callers[fn] = append(callers[fn], obj)
+					}
+				}
+			case *ast.SendStmt:
+				if direct == "" {
+					direct = "a blocking channel send"
+				}
+			}
+		})
+		if direct != "" {
+			r.blockingWhy[obj] = direct
+			worklist = append(worklist, obj)
+		}
+	}
+	for len(worklist) > 0 {
+		fn := worklist[0]
+		worklist = worklist[1:]
+		for _, caller := range callers[fn] {
+			if _, known := r.blockingWhy[caller]; known {
+				continue
+			}
+			why := r.blockingWhy[fn]
+			if !strings.HasPrefix(why, "calls ") {
+				why = "which does " + why
+			}
+			r.blockingWhy[caller] = fmt.Sprintf("calls %s, %s", fn.Name(), why)
+			worklist = append(worklist, caller)
+		}
+	}
+}
+
+// scanSequential walks every node of body reachable on the calling
+// goroutine: function literals and `go` statement calls are skipped
+// (they run elsewhere, or later), and channel operations inside a
+// select carrying a default case are reported to fn only when the
+// select can actually block (it cannot).
+func (r *bulRunner) scanSequential(body ast.Node, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// The spawned call runs concurrently; its arguments are
+			// still evaluated here.
+			for _, arg := range n.Call.Args {
+				r.scanSequential(arg, fn)
+			}
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, c := range n.Body.List {
+					cc := c.(*ast.CommClause)
+					// Skip the comm ops (non-blocking attempts), scan
+					// the clause bodies.
+					for _, s := range cc.Body {
+						r.scanSequential(s, fn)
+					}
+				}
+				return false
+			}
+		case *ast.CallExpr, *ast.SendStmt:
+			fn(n)
+		}
+		return true
+	})
+}
+
+// externalBlockingDesc describes why a call blocks, or returns "" for
+// calls not in the blocking sets.
+func (r *bulRunner) externalBlockingDesc(call *ast.CallExpr) string {
+	fn := callee(r.info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg := pkgPathOf(fn)
+	if recv := recvTypeName(fn); recv != "" {
+		if names, ok := blockingMethods[[2]string{pkg, recv}]; ok && names[fn.Name()] {
+			return fmt.Sprintf("(%s.%s).%s", pkg, recv, fn.Name())
+		}
+		if strings.HasSuffix(pkg, storePathSuffix) && ast.IsExported(fn.Name()) {
+			return fmt.Sprintf("job-store call (%s.%s).%s", pkg, recv, fn.Name())
+		}
+		return ""
+	}
+	if names, ok := blockingFuncs[pkg]; ok && names[fn.Name()] {
+		return pkg + "." + fn.Name()
+	}
+	return ""
+}
+
+// lockOp classifies a call as acquiring (+1) or releasing (-1) a
+// sync.Mutex/RWMutex, returning the lock's key — the printed receiver
+// expression, so `s.mu.Lock()` and `s.mu.Unlock()` pair up.
+func (r *bulRunner) lockOp(call *ast.CallExpr) (string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, _ := r.info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || pkgPathOf(fn) != "sync" {
+		return "", 0
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", 0
+	}
+	key := types.ExprString(sel.X)
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return key, 1
+	case "Unlock", "RUnlock":
+		return key, -1
+	}
+	return "", 0
+}
+
+// --- lock-state simulation -------------------------------------------
+
+type lockSet map[string]bool
+
+func (l lockSet) clone() lockSet {
+	c := make(lockSet, len(l))
+	for k := range l {
+		c[k] = true
+	}
+	return c
+}
+
+func (l lockSet) names() string {
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// intersectInto keeps in dst only the locks held in every state of
+// outs (the fall-through merge after branching control flow).
+func intersectInto(dst lockSet, outs []lockSet) {
+	if len(outs) == 0 {
+		return // no fall-through path reaches here; keep dst as-is
+	}
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k := range outs[0] {
+		heldEverywhere := true
+		for _, o := range outs[1:] {
+			if !o[k] {
+				heldEverywhere = false
+				break
+			}
+		}
+		if heldEverywhere {
+			dst[k] = true
+		}
+	}
+}
+
+// simulate walks one function body in source order, tracking the set of
+// held locks and reporting blocking operations performed while the set
+// is non-empty. Nested function literals are simulated independently
+// with an empty lock set (they run on other goroutines or later).
+func (r *bulRunner) simulate(body *ast.BlockStmt) {
+	r.walkStmts(body.List, lockSet{})
+}
+
+func (r *bulRunner) walkStmts(list []ast.Stmt, held lockSet) {
+	for _, s := range list {
+		r.walkStmt(s, held)
+	}
+}
+
+func (r *bulRunner) walkStmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		r.walkExpr(s.X, held)
+	case *ast.SendStmt:
+		r.walkExpr(s.Chan, held)
+		r.walkExpr(s.Value, held)
+		if len(held) > 0 {
+			r.pass.Reportf(s, "channel send while %s is held; a blocked receiver stalls the critical section", held.names())
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			r.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			r.walkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						r.walkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			r.walkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		r.walkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the remainder of
+		// the function; the deferred call itself runs at return, after
+		// this walk, so it is not charged here. Arguments are
+		// evaluated immediately, and a deferred func literal's body is
+		// simulated on its own (with no inherited locks).
+		for _, arg := range s.Call.Args {
+			r.walkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			r.simulate(lit.Body)
+		}
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			r.walkExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			r.simulate(lit.Body)
+		}
+	case *ast.LabeledStmt:
+		r.walkStmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		r.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			r.walkStmt(s.Init, held)
+		}
+		r.walkExpr(s.Cond, held)
+		var outs []lockSet
+		then := held.clone()
+		r.walkStmts(s.Body.List, then)
+		if !terminates(s.Body) {
+			outs = append(outs, then)
+		}
+		if s.Else != nil {
+			els := held.clone()
+			r.walkStmt(s.Else, els)
+			if !stmtTerminates(s.Else) {
+				outs = append(outs, els)
+			}
+		} else {
+			outs = append(outs, held.clone())
+		}
+		intersectInto(held, outs)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			r.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			r.walkExpr(s.Cond, held)
+		}
+		bodyState := held.clone()
+		r.walkStmts(s.Body.List, bodyState)
+		if s.Post != nil {
+			r.walkStmt(s.Post, bodyState)
+		}
+		if !terminates(s.Body) {
+			intersectInto(held, []lockSet{held.clone(), bodyState})
+		}
+	case *ast.RangeStmt:
+		r.walkExpr(s.X, held)
+		bodyState := held.clone()
+		r.walkStmts(s.Body.List, bodyState)
+		if !terminates(s.Body) {
+			intersectInto(held, []lockSet{held.clone(), bodyState})
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		r.walkCases(s, held)
+	case *ast.SelectStmt:
+		r.walkSelect(s, held)
+	}
+}
+
+func (r *bulRunner) walkCases(s ast.Stmt, held lockSet) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			r.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			r.walkExpr(s.Tag, held)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			r.walkStmt(s.Init, held)
+		}
+		body = s.Body
+	}
+	var outs []lockSet
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		state := held.clone()
+		r.walkStmts(cc.Body, state)
+		if !blockTerminates(cc.Body) {
+			outs = append(outs, state)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, held.clone())
+	}
+	intersectInto(held, outs)
+}
+
+func (r *bulRunner) walkSelect(s *ast.SelectStmt, held lockSet) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	var outs []lockSet
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		state := held.clone()
+		if send, ok := cc.Comm.(*ast.SendStmt); ok {
+			r.walkExpr(send.Chan, state)
+			r.walkExpr(send.Value, state)
+			if !hasDefault && len(state) > 0 {
+				r.pass.Reportf(send, "blocking select send while %s is held; a blocked receiver stalls the critical section", state.names())
+			}
+		}
+		r.walkStmts(cc.Body, state)
+		if !blockTerminates(cc.Body) {
+			outs = append(outs, state)
+		}
+	}
+	intersectInto(held, outs)
+}
+
+// walkExpr evaluates one expression: lock/unlock calls mutate the held
+// set, blocking calls report. Function literals are simulated
+// independently (empty lock set).
+func (r *bulRunner) walkExpr(e ast.Expr, held lockSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			r.simulate(n.Body)
+			return false
+		case *ast.CallExpr:
+			if key, op := r.lockOp(n); op != 0 {
+				if op > 0 {
+					held[key] = true
+				} else {
+					delete(held, key)
+				}
+				return true
+			}
+			if len(held) == 0 {
+				return true
+			}
+			if desc := r.externalBlockingDesc(n); desc != "" {
+				r.pass.Reportf(n, "blocking call to %s while %s is held; move the IO outside the critical section", desc, held.names())
+				return true
+			}
+			if fn := callee(r.info, n); fn != nil {
+				if why, ok := r.blockingWhy[fn]; ok {
+					if !strings.HasPrefix(why, "calls ") {
+						why = "which does " + why
+					}
+					r.pass.Reportf(n, "call to %s (%s) while %s is held; move the IO outside the critical section", fn.Name(), why, held.names())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- termination heuristic -------------------------------------------
+
+func terminates(b *ast.BlockStmt) bool { return blockTerminates(b.List) }
+
+func blockTerminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+// stmtTerminates reports whether control cannot fall out of the bottom
+// of the statement: returns, branches, panics, process exits, and
+// if/else where every branch terminates.
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.LabeledStmt:
+		return stmtTerminates(s.Stmt)
+	case *ast.BlockStmt:
+		return blockTerminates(s.List)
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			return name == "Exit" || strings.HasPrefix(name, "Fatal")
+		}
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body) && stmtTerminates(s.Else)
+	case *ast.ForStmt:
+		// `for { ... }` with no break is treated as terminating; a
+		// break inside makes this heuristic wrong in a direction that
+		// only widens the held set (safe for a vet).
+		return s.Cond == nil && s.Init == nil && s.Post == nil
+	}
+	return false
+}

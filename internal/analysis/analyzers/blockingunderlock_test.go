@@ -1,0 +1,12 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestBlockingUnderLock(t *testing.T) {
+	analysis.TestFixtures(t, "testdata/src/blockingunderlock",
+		[]*analysis.Analyzer{BlockingUnderLock}, Names())
+}

@@ -1,0 +1,106 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ctxPkgs are the service packages whose request paths must thread the
+// inbound context end to end, so client disconnects and cancellations
+// propagate into running solves (the PR 3/PR 4 cancellation contract).
+var ctxPkgs = []string{
+	"nocmap/server",
+	"nocmap/shard",
+	"nocmap/client",
+}
+
+// CtxFlow flags context.Background()/context.TODO() inside functions
+// that already carry an inbound context — a context.Context parameter
+// or an *http.Request (whose Context() is the request's) — in the
+// service packages. Minting a fresh root context below a handler
+// severs cancellation: the client hangs up and the work keeps running.
+// Functions with no inbound context (background loops, constructors,
+// detached job lifecycles) are exempt; deliberate detach points inside
+// request paths should use context.WithoutCancel or carry a baseline.
+// Test files are exempt.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path functions in the service packages must thread the inbound context, not mint context.Background()/TODO()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) {
+	if !inScope(pass.Pkg.RelPath, ctxPkgs) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			src := inboundCtxParam(info, fd)
+			if src == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(info, call)
+				if fn == nil || pkgPathOf(fn) != "context" {
+					return true
+				}
+				switch fn.Name() {
+				case "Background", "TODO":
+					pass.Reportf(call, "context.%s below a request path: %s already carries an inbound context via %q; thread it (or context.WithoutCancel for a deliberate detach)", fn.Name(), fd.Name.Name, src)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// inboundCtxParam returns the name of the first parameter that carries
+// an inbound context — a context.Context or *http.Request — or "".
+func inboundCtxParam(info *types.Info, fd *ast.FuncDecl) string {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if !isInboundCtxType(tv.Type) {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0].Name
+		}
+		return "_"
+	}
+	return ""
+}
+
+func isInboundCtxType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch {
+	case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+		return true
+	case obj.Pkg().Path() == "net/http" && obj.Name() == "Request":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysis.TestFixtures(t, "testdata/src/ctxflow",
+		[]*analysis.Analyzer{CtxFlow}, Names())
+}

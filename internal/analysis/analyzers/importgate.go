@@ -1,0 +1,92 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// gatedPkgs are the packages that must live strictly on the public
+// nocmap API: binaries, examples, and the service layer. The list
+// mirrors what the grep-based `make importgate` covered before this
+// analyzer replaced it.
+var gatedPkgs = []string{
+	"cmd",
+	"examples",
+	"nocmap/server",
+	"nocmap/client",
+	"nocmap/store",
+	"nocmap/shard",
+	"nocmap/httpfault",
+}
+
+// importGateExceptions maps a gated package to the internal subtrees
+// it alone may import. cmd/nocmapvet is dev tooling, not a product
+// binary: the analyzer framework it drives is internal on purpose (it
+// is not part of the solver API surface), and this is the one sanctioned
+// edge — anything else under internal/ stays forbidden even for it.
+var importGateExceptions = map[string][]string{
+	"cmd/nocmapvet": {"internal/analysis"},
+}
+
+// ImportGate is the analyzer-backed replacement for the shell-grep
+// import gate: packages under cmd/, examples/ and the nocmap service
+// layer must never import repro/internal/... — the public nocmap API
+// is their only door into the engine. Unlike the grep, it resolves
+// real import declarations (string matches in comments or test
+// literals cannot trip it), sees exactly the files the build sees
+// (build tags included), and checks _test.go files of gated packages
+// too.
+var ImportGate = &analysis.Analyzer{
+	Name: "importgate",
+	Doc:  "cmd/, examples/ and the nocmap service packages must import the public nocmap API, never repro/internal/...",
+	Run:  runImportGate,
+}
+
+func runImportGate(pass *analysis.Pass) {
+	rel := pass.Pkg.RelPath
+	if pass.Pkg.Module == "" || !inScope(rel, gatedPkgs) {
+		return
+	}
+	check := func(f *ast.File) {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			relImp, ok := strings.CutPrefix(path, pass.Pkg.Module+"/")
+			if !ok {
+				continue
+			}
+			if relImp != "internal" && !strings.HasPrefix(relImp, "internal/") {
+				continue
+			}
+			if allowedException(rel, relImp) {
+				continue
+			}
+			pass.Reportf(imp, "%s must not import %s: binaries, examples and the service layer use the public nocmap API only", rel, path)
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		check(f)
+	}
+	for _, f := range pass.Pkg.TestFiles {
+		check(f)
+	}
+}
+
+func allowedException(rel, relImp string) bool {
+	for owner, subtrees := range importGateExceptions {
+		if rel != owner && !strings.HasPrefix(rel, owner+"/") {
+			continue
+		}
+		for _, sub := range subtrees {
+			if relImp == sub || strings.HasPrefix(relImp, sub+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestImportGate(t *testing.T) {
+	analysis.TestFixtures(t, "testdata/src/importgate",
+		[]*analysis.Analyzer{ImportGate}, Names())
+}

@@ -1,0 +1,125 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// reproPkgs are the reproduction-critical packages: everything that
+// feeds the paper's figures and tables, where run-to-run determinism
+// is a published invariant (byte-identical cmd/experiments output).
+var reproPkgs = []string{
+	"internal/core",
+	"internal/lp",
+	"internal/mcf",
+	"internal/baseline",
+	"internal/graph",
+}
+
+// ReproDeterminism bans the three classic sources of run-to-run
+// nondeterminism inside the reproduction kernels: ranging over a map
+// (iteration order is randomized and PR 1 had to fix exactly such a
+// bug in MCF conservation-row order), reading the wall clock
+// (time.Now/Since/Until), and unseeded randomness (the global
+// math/rand functions; explicitly seeded rand.New(rand.NewSource(s))
+// generators are fine). Test files are exempt — the rule protects
+// shipped outputs, not assertions.
+var ReproDeterminism = &analysis.Analyzer{
+	Name: "reprodeterminism",
+	Doc:  "forbid map iteration, wall-clock reads and unseeded randomness in reproduction-critical packages",
+	Run:  runReproDeterminism,
+}
+
+// seededConstructors are the math/rand entry points that take (or
+// build) an explicit seed, keyed by package path.
+var seededConstructors = map[string]map[string]bool{
+	"math/rand":    setOf("New", "NewSource", "NewZipf"),
+	"math/rand/v2": setOf("New", "NewPCG", "NewChaCha8", "NewZipf"),
+}
+
+// isKeyCollectLoop recognizes the one sanctioned map-range idiom — the
+// first half of sorted iteration:
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The loop's effect is order-independent (the slice is sorted before
+// use), and banning it would ban the recommended fix itself. Anything
+// more in the body disqualifies it.
+func isKeyCollectLoop(n *ast.RangeStmt) bool {
+	key, ok := n.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if n.Value != nil {
+		if v, ok := n.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(n.Body.List) != 1 {
+		return false
+	}
+	asg, ok := n.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	arg, ok2 := call.Args[1].(*ast.Ident)
+	lhs, ok3 := asg.Lhs[0].(*ast.Ident)
+	return ok && ok2 && ok3 && dst.Name == lhs.Name && arg.Name == key.Name
+}
+
+func runReproDeterminism(pass *analysis.Pass) {
+	if !inScope(pass.Pkg.RelPath, reproPkgs) {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap && !isKeyCollectLoop(n) {
+					pass.Reportf(n, "ranging over a map in a reproduction-critical package: iteration order is nondeterministic; iterate a sorted key slice instead")
+				}
+			case *ast.CallExpr:
+				fn := callee(info, n)
+				if fn == nil {
+					return true
+				}
+				pkg := pkgPathOf(fn)
+				if recvTypeName(fn) != "" {
+					// Methods (e.g. on a seeded *rand.Rand) are fine;
+					// the nondeterminism is flagged at construction.
+					return true
+				}
+				switch pkg {
+				case "time":
+					switch fn.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(n, "time.%s in a reproduction-critical package: wall-clock reads make runs nonreproducible; plumb timings through the caller", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededConstructors[pkg][fn.Name()] {
+						pass.Reportf(n, "%s.%s in a reproduction-critical package draws from the unseeded global source; use an explicitly seeded rand.New(rand.NewSource(seed))", pkg, fn.Name())
+					}
+				case "crypto/rand":
+					pass.Reportf(n, "crypto/rand in a reproduction-critical package: entropy is inherently nonreproducible")
+				}
+			}
+			return true
+		})
+	}
+}

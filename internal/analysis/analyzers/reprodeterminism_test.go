@@ -1,0 +1,12 @@
+package analyzers
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+func TestReproDeterminism(t *testing.T) {
+	analysis.TestFixtures(t, "testdata/src/reprodeterminism",
+		[]*analysis.Analyzer{ReproDeterminism}, Names())
+}

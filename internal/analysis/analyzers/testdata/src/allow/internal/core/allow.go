@@ -1,0 +1,62 @@
+// Package core exercises the //nocmapvet:allow baseline machinery
+// against a real analyzer (reprodeterminism flags every map range in
+// this package, making suppression easy to probe).
+package core
+
+// A justified baseline on the finding's own line suppresses it.
+func honored(m map[int]int) int {
+	n := 0
+	for range m { //nocmapvet:allow reprodeterminism counting is order-independent; docs/STATIC_ANALYSIS.md#baselines
+		n++
+	}
+	return n
+}
+
+// A baseline on the line above the finding also suppresses it.
+func lineAbove(m map[int]int) int {
+	n := 0
+	//nocmapvet:allow reprodeterminism counting is order-independent; docs/STATIC_ANALYSIS.md#baselines
+	for range m {
+		n++
+	}
+	return n
+}
+
+// A bare allow suppresses nothing and is itself a finding.
+func unexplained(m map[int]int) int {
+	n := 0
+	for range m { //nocmapvet:allow reprodeterminism want "ranging over a map" want "unexplained nocmapvet:allow for reprodeterminism"
+		n++
+	}
+	return n
+}
+
+// Naming an unknown analyzer is a finding and suppresses nothing.
+func unknown(m map[int]int) int {
+	n := 0
+	for range m { //nocmapvet:allow nosuchpass docs/STATIC_ANALYSIS.md want "ranging over a map" want "unknown analyzer \"nosuchpass\""
+		n++
+	}
+	return n
+}
+
+// A reason with no file or URL reference is rejected: every baseline
+// must link to its justification.
+func noref(m map[int]int) int {
+	n := 0
+	for range m { //nocmapvet:allow reprodeterminism because I said so want "ranging over a map" want "needs a file or URL reference"
+		n++
+	}
+	return n
+}
+
+// An allow for a different analyzer does not suppress this one.
+func wrongAnalyzer(m map[int]int) int {
+	n := 0
+	for range m { //nocmapvet:allow ctxflow mismatched analyzer, suppresses nothing here; docs/STATIC_ANALYSIS.md#baselines want "ranging over a map"
+		n++
+	}
+	return n
+}
+
+var sink = []func(map[int]int) int{honored, lineAbove, unexplained, unknown, noref, wrongAnalyzer}

@@ -1,0 +1,115 @@
+package bul
+
+import (
+	"os"
+	"sync"
+
+	"repro/nocmap/store"
+)
+
+type server struct {
+	mu  sync.Mutex
+	wal *os.File
+	st  store.Store
+	ch  chan int
+}
+
+// Direct IO under the lock is flagged; after the unlock it is clean.
+func (s *server) direct() {
+	s.mu.Lock()
+	s.wal.Sync() // want "blocking call to \(os.File\).Sync while s.mu is held"
+	s.mu.Unlock()
+	s.wal.Sync()
+}
+
+// persist holds no lock itself: its store call is clean here, but the
+// package-local summary marks persist as blocking for its callers.
+func (s *server) persist() {
+	_ = s.st.PutJob(1)
+}
+
+// A deferred unlock keeps the lock held to the end of the function, so
+// the transitive call through persist is flagged at this call site.
+func (s *server) submit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persist() // want "call to persist \(which does job-store call \(repro/nocmap/store.Store\).PutJob\) while s.mu is held"
+}
+
+// Two package-local hops still resolve to the underlying store call.
+func (s *server) wrapper() {
+	s.persist()
+}
+
+func (s *server) twoHop() {
+	s.mu.Lock()
+	s.wrapper() // want "call to wrapper \(calls persist, which does job-store call"
+	s.mu.Unlock()
+}
+
+// Early-return unlock: every path out of the branch releases the lock,
+// so the tail is lock-free.
+func (s *server) early(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.wal.Sync()
+}
+
+// A bare channel send blocks until a receiver arrives.
+func (s *server) send() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// A select without default blocks the same way.
+func (s *server) selectSend() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1: // want "blocking select send while s.mu is held"
+	}
+	s.mu.Unlock()
+}
+
+// A select with a default case is a non-blocking attempt.
+func (s *server) trySend() {
+	s.mu.Lock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// A goroutine body runs off-thread: its IO is not charged to the lock
+// holder, and it starts with no inherited locks.
+func (s *server) spawn() {
+	s.mu.Lock()
+	go func() {
+		s.wal.Sync()
+	}()
+	s.mu.Unlock()
+}
+
+// Read locks serialize writers just the same.
+type reader struct {
+	mu sync.RWMutex
+	f  *os.File
+}
+
+func (r *reader) read() {
+	r.mu.RLock()
+	r.f.Sync() // want "blocking call to \(os.File\).Sync while r.mu is held"
+	r.mu.RUnlock()
+}
+
+// A justified baseline suppresses the finding.
+func (s *server) baselined() {
+	s.mu.Lock()
+	s.wal.Sync() //nocmapvet:allow blockingunderlock fixture for the baseline path; docs/STATIC_ANALYSIS.md#baselines
+	s.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// An *http.Request parameter carries the inbound context; minting a
+// fresh root below it severs cancellation.
+func handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background below a request path"
+	_ = ctx
+	_ = r
+	w.WriteHeader(http.StatusOK)
+}
+
+// Same for an explicit context.Context parameter, even when the fresh
+// root is buried inside a With* wrapper.
+func solve(ctx context.Context) error {
+	fresh, cancel := context.WithTimeout(context.TODO(), 0) // want "context.TODO below a request path"
+	defer cancel()
+	_ = fresh
+	return ctx.Err()
+}
+
+// Deliberate detach: WithoutCancel keeps the request's values and
+// drops only its cancellation — the sanctioned way to outlive it.
+func detach(ctx context.Context) context.Context {
+	return context.WithoutCancel(ctx)
+}
+
+// No inbound context: a background loop may mint its own root.
+func loop() context.Context {
+	return context.Background()
+}
+
+// A justified baseline is honored.
+func adopt(ctx context.Context) context.Context {
+	_ = ctx
+	return context.Background() //nocmapvet:allow ctxflow submitted jobs outlive their request by design; docs/STATIC_ANALYSIS.md#baselines
+}

@@ -1,0 +1,11 @@
+// Package worker is not one of the gated service packages: ctxflow
+// does not apply outside nocmap/server, nocmap/shard and nocmap/client.
+package worker
+
+import "context"
+
+func Run(ctx context.Context) error {
+	root := context.Background()
+	_ = root
+	return ctx.Err()
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/engine" // want "cmd/nocmapvet must not import repro/internal/engine"
+)
+
+// cmd/nocmapvet's sanctioned exception covers internal/analysis only;
+// every other internal subtree stays forbidden even for it.
+func main() {
+	fmt.Println(analysis.Version(), engine.Solve())
+}

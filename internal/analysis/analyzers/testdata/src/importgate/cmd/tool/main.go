@@ -1,0 +1,11 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/engine" // want "cmd/tool must not import repro/internal/engine"
+)
+
+func main() {
+	fmt.Println(engine.Solve())
+}

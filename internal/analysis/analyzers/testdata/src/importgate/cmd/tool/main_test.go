@@ -1,0 +1,15 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/engine" // want "cmd/tool must not import repro/internal/engine"
+)
+
+// The gate sees _test.go files too — the grep it replaced did as well,
+// but only by accident of matching any line.
+func TestSolve(t *testing.T) {
+	if engine.Solve() != 42 {
+		t.Fatal("wrong answer")
+	}
+}

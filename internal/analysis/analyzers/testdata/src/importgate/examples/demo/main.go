@@ -1,0 +1,7 @@
+package main
+
+import "repro/internal/engine" // want "examples/demo must not import repro/internal/engine"
+
+func main() {
+	_ = engine.Solve()
+}

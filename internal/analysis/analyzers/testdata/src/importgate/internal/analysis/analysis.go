@@ -1,0 +1,3 @@
+package analysis
+
+func Version() string { return "dev" }

@@ -1,0 +1,7 @@
+// Package nocmap is the public facade: it is not a gated package, so
+// it alone wraps the internal engine for everyone else.
+package nocmap
+
+import "repro/internal/engine"
+
+func Solve() int { return engine.Solve() }

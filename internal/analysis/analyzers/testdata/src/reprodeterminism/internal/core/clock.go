@@ -1,0 +1,17 @@
+package core
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in a reproduction-critical package"
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in a reproduction-critical package"
+}
+
+// Durations handed in by the caller are fine: the clock read happened
+// outside the kernel.
+func Budget(d time.Duration) time.Duration {
+	return d / 2
+}

@@ -1,0 +1,13 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: assertions may read the clock freely.
+func TestClockExempt(t *testing.T) {
+	if time.Now().IsZero() {
+		t.Fatal("clock went backwards past the epoch")
+	}
+}

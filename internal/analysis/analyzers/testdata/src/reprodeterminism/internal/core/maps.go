@@ -1,0 +1,32 @@
+package core
+
+import "sort"
+
+// Direct map iteration leaks randomized order into the fold.
+func SumValues(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "ranging over a map in a reproduction-critical package"
+		total += v
+	}
+	return total
+}
+
+// The sanctioned idiom: collect the keys, sort, iterate the slice. The
+// key-collection loop itself is order-independent and not flagged.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Slices iterate in index order; nothing to flag.
+func SumSlice(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+)
+
+func Unseeded() int {
+	return rand.Intn(10) // want "math/rand.Intn in a reproduction-critical package draws from the unseeded global source"
+}
+
+// An explicitly seeded generator is the sanctioned source: the
+// constructor is allowed and methods on the *rand.Rand are too.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func Entropy(buf []byte) {
+	crand.Read(buf) // want "crypto/rand in a reproduction-critical package"
+}

@@ -1,0 +1,11 @@
+// Package util is not reproduction-critical: the determinism rules do
+// not apply outside the scoped kernel packages.
+package util
+
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

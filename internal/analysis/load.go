@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package plus its parsed (but
+// deliberately not type-checked) test files. Analyzers that need type
+// information walk Files; syntax-only analyzers (importgate) also walk
+// TestFiles, which include both in-package and external _test.go files.
+type Package struct {
+	ImportPath string
+	// RelPath is ImportPath with the module prefix stripped — the path
+	// scope rules match against ("internal/core", "cmd/nmap", ...), so
+	// the rules work identically on the real tree and on fixture
+	// modules that reuse the "repro" module name.
+	RelPath string
+	Dir     string
+	Module  string
+
+	Fset      *token.FileSet
+	Files     []*ast.File // type-checked, non-test
+	TestFiles []*ast.File // parsed only: TestGoFiles + XTestGoFiles
+
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects type-checker complaints; the driver treats
+	// any as fatal so analyzers never run on half-checked code.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	Export       string
+	DepOnly      bool
+	Module       *struct{ Path string }
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Load type-checks the packages matched by patterns in dir (a module
+// root or any directory inside one). It shells out to
+// `go list -e -json -export -deps`, so build constraints, generated
+// export data and module resolution are exactly the toolchain's, then
+// type-checks each matched package from source with its dependencies
+// imported from compiler export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Name,Dir,Export,Module,DepOnly,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,Error", "-export", "-deps", "--"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		lp := p
+		byPath[p.ImportPath] = &lp
+		if !p.DepOnly {
+			targets = append(targets, &lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	// One shared importer: export data loaded once per dependency, and
+	// cross-package type identity holds across every analyzed package.
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Name == "" || strings.HasSuffix(t.ImportPath, ".test") {
+			continue
+		}
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by nocmapvet", t.ImportPath)
+		}
+		pkg := &Package{
+			ImportPath: t.ImportPath,
+			RelPath:    t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+		}
+		if t.Module != nil {
+			pkg.Module = t.Module.Path
+			pkg.RelPath = strings.TrimPrefix(strings.TrimPrefix(t.ImportPath, t.Module.Path), "/")
+		}
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		for _, name := range append(append([]string(nil), t.TestGoFiles...), t.XTestGoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		}
+		// Check returns the (possibly partial) package even on error;
+		// the collected TypeErrors are the real signal.
+		pkg.Types, _ = conf.Check(t.ImportPath, fset, pkg.Files, pkg.Info)
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

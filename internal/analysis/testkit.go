@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestFixtures is the analysistest-style harness: it loads the fixture
+// module rooted at dir (each analyzer keeps its own module under
+// testdata/src/<name>/, named "repro" so path-scope rules match the
+// real tree), runs the given analyzers through the full pipeline —
+// //nocmapvet:allow suppression included — and compares the findings
+// against `want "regexp"` expectations embedded in the fixtures'
+// comments.
+//
+// Every want must be matched by a finding on its line whose message
+// matches the regexp; every finding must be covered by a want. A line
+// with several findings carries several want clauses. Fixture lines
+// with no want clause therefore double as true-negative assertions.
+func TestFixtures(t *testing.T, dir string, analyzers []*Analyzer, known []string, patterns ...string) {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures in %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v in %s", patterns, dir)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", pkg.ImportPath, terr)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("fix the fixtures before checking expectations")
+	}
+
+	diags := Run(pkgs, analyzers, known)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*wantClause)
+	for _, pkg := range pkgs {
+		collect := func(f *ast.File) {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, w := range parseWants(t, c.Text) {
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], w)
+					}
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			collect(f)
+		}
+		for _, f := range pkg.TestFiles {
+			collect(f)
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	var missed []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				missed = append(missed, fmt.Sprintf("%s:%d: no finding matched want %q", k.file, k.line, w.re))
+			}
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+type wantClause struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRe = regexp.MustCompile(`want "((?:[^"\\]|\\.)*)"`)
+
+// parseWants extracts every `want "re"` clause from one comment. The
+// clause may trail any comment text, including a nocmapvet:allow
+// directive under test (directiveText strips it before validation).
+func parseWants(t *testing.T, comment string) []*wantClause {
+	if !strings.Contains(comment, `want "`) {
+		return nil
+	}
+	var out []*wantClause
+	for _, m := range wantRe.FindAllStringSubmatch(comment, -1) {
+		re, err := regexp.Compile(m[1])
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", m[1], err)
+		}
+		out = append(out, &wantClause{re: re})
+	}
+	return out
+}

@@ -348,8 +348,9 @@ func (c *Client) waitOrCancel(ctx context.Context, id string, onProgress func(se
 		return c.Wait(ctx, id) // stream broke: fall back to polling
 	}
 	// Caller cancelled: propagate to the server, then collect the final
-	// status (the partial result) on a grace context.
-	grace, done := context.WithTimeout(context.Background(), 10*time.Second)
+	// status (the partial result) on a grace context — detached from the
+	// dead ctx's cancellation but keeping its values.
+	grace, done := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
 	defer done()
 	if _, cerr := c.Cancel(grace, id); cerr != nil {
 		return st, ctx.Err()

@@ -167,7 +167,7 @@ func (s *Server) replay() error {
 		evicted := s.doneOrder[0]
 		delete(s.jobs, evicted)
 		s.doneOrder = s.doneOrder[1:]
-		s.dropPersistedJob(evicted)
+		s.dropPersistedJob(evicted) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 	}
 
 	// The persisted cache re-warms the LRU before any live job looks at
@@ -180,7 +180,7 @@ func (s *Server) replay() error {
 	// otherwise re-enqueue (coalescing duplicates back together).
 	for _, rec := range live {
 		s.stats.Recovered++
-		s.recoverLive(rec)
+		s.recoverLive(rec) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 	}
 
 	// The replica namespace — other backends' records replicated here —

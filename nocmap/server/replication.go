@@ -635,7 +635,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		s.replicas[rec.ID] = rec
 		persisted := true
 		if s.cfg.Store != nil {
-			if err := s.cfg.Store.PutReplica(rec); err != nil {
+			if err := s.cfg.Store.PutReplica(rec); err != nil { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 				s.stats.StoreErrors++
 				persistFailed = true
 				persisted = false
@@ -658,7 +658,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		delete(s.replicas, id)
 		delete(s.replicaDirty, id)
 		if s.cfg.Store != nil {
-			if err := s.cfg.Store.DeleteReplica(id); err != nil {
+			if err := s.cfg.Store.DeleteReplica(id); err != nil { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 				s.stats.StoreErrors++
 			}
 		}
@@ -673,7 +673,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		if !ok || rec.Origin != req.Origin || s.cfg.Store == nil {
 			continue
 		}
-		if err := s.cfg.Store.PutReplica(rec); err != nil {
+		if err := s.cfg.Store.PutReplica(rec); err != nil { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 			s.stats.StoreErrors++
 			continue
 		}
@@ -738,9 +738,9 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 			continue // already promoted (or adopted via reconcile)
 		}
 		if store.Terminal(rec.State) {
-			s.installTerminalLocked(rec)
+			s.installTerminalLocked(rec) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 		} else {
-			s.recoverLive(rec)
+			s.recoverLive(rec) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 		}
 		s.stats.Promoted++
 		promoted++
@@ -800,7 +800,7 @@ func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
 		if rec.ID == "" {
 			continue
 		}
-		if s.adoptRecordLocked(rec) {
+		if s.adoptRecordLocked(rec) { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 			s.stats.Reconciled++
 			applied++
 		}
@@ -813,7 +813,7 @@ func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.cache.add(entry.Key, entry.Result)
-		s.persistCachePut(entry.Key, entry.Result)
+		s.persistCachePut(entry.Key, entry.Result) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 		applied++
 	}
 	s.cond.Broadcast() // adopted live jobs joined the queue

@@ -157,7 +157,7 @@ type Server struct {
 	// terminal seq held both in memory and durably in the store. A
 	// replica whose store write failed is tracked in replicaDirty and
 	// never vouched for. Guarded by mu.
-	replicaHigh map[string]uint64
+	replicaHigh  map[string]uint64
 	replicaDirty map[string]bool
 	// rep fans this instance's own records out to its replication
 	// target set. Its internal locks nest under mu (mu -> stream.mu);
@@ -179,8 +179,8 @@ type Server struct {
 // may wait on: the first acked record for the job (the submit ack) and
 // the first acked terminal record (the sync-solve ack).
 type ackWaiter struct {
-	first    chan struct{}
-	terminal chan struct{}
+	first               chan struct{}
+	terminal            chan struct{}
 	firstDone, termDone bool
 }
 
@@ -263,7 +263,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	for _, j := range s.queue {
-		s.finishLocked(j, StateCancelled, nil,
+		s.finishLocked(j, StateCancelled, nil, //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 			&ErrorPayload{Code: CodeShuttingDown, Message: "server shutting down"})
 	}
 	s.queue = nil
@@ -341,7 +341,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 	}
 	if cached, ok := s.cache.get(key); ok {
 		s.registerLocked(j)
-		s.finishCachedLocked(j, cached)
+		s.finishCachedLocked(j, cached) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 		return j, nil
 	}
 	if leader, ok := s.leaders[key]; ok {
@@ -351,7 +351,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		s.stats.Coalesced++
-		s.persistJob(j)
+		s.persistJob(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 		return j, nil
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
@@ -363,7 +363,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 	j.state = StateQueued
 	s.leaders[key] = j
 	s.queue = append(s.queue, j)
-	s.persistJob(j)
+	s.persistJob(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 	s.cond.Signal()
 	return j, nil
 }
@@ -517,7 +517,7 @@ func (s *Server) get(id string) (*job, bool) {
 func (s *Server) cancelJob(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cancelLocked(j)
+	s.cancelLocked(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 }
 
 // abandon is the synchronous handler's disconnect path: cancel the job
@@ -529,7 +529,7 @@ func (s *Server) abandon(j *job) {
 	if j.leader == nil && len(j.followers) > 0 {
 		return
 	}
-	s.cancelLocked(j)
+	s.cancelLocked(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 }
 
 func (s *Server) cancelLocked(j *job) {
@@ -698,15 +698,15 @@ func (s *Server) solve(j *job, problems map[string]*nocmap.Problem) {
 	switch {
 	case err == nil:
 		s.cache.add(j.key, raw)
-		s.persistCachePut(j.key, raw)
-		s.finishLocked(j, StateDone, raw, nil)
+		s.persistCachePut(j.key, raw)          //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.finishLocked(j, StateDone, raw, nil) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 	case j.ctx.Err() != nil:
 		// Cancelled mid-solve: the partial result (Result.Partial) rides
 		// along when the algorithm salvaged one.
-		s.finishLocked(j, StateCancelled, raw,
+		s.finishLocked(j, StateCancelled, raw, //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 			&ErrorPayload{Code: CodeCancelled, Message: err.Error()})
 	default:
-		s.finishLocked(j, StateFailed, raw, errorPayload(err))
+		s.finishLocked(j, StateFailed, raw, errorPayload(err)) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
 	}
 	s.mu.Unlock()
 }

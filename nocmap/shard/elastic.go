@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 
 	"repro/nocmap/server"
@@ -105,7 +106,7 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 	rt.count(func(s *RouterStats) { s.Migrated += uint64(migrated) })
 
 	rt.install(next)
-	rt.pushReplicationTargets(r.Context(), next)
+	rt.pushReplicationTargets(r.Context(), next) //nocmapvet:allow blockingunderlock elasticMu intentionally serializes membership changes end-to-end; docs/STATIC_ANALYSIS.md#baselines
 	writeJSON(w, http.StatusOK, ElasticResponse{
 		Backends: append([]string(nil), next.backends...), Migrated: migrated})
 }
@@ -155,7 +156,7 @@ func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
 	// already unreachable the migration is skipped and its replicas on
 	// the ring successor (promoted when it went down) stand in.
 	migrated := 0
-	if recs, err := rt.fetchRecords(r.Context(), url, ""); err == nil {
+	if recs, err := rt.fetchRecords(r.Context(), url, ""); err == nil { //nocmapvet:allow blockingunderlock elasticMu intentionally serializes membership changes end-to-end; docs/STATIC_ANALYSIS.md#baselines
 		byOwner := make(map[int]*server.ReconcileRequest)
 		dest := func(owner int) *server.ReconcileRequest {
 			m, ok := byOwner[owner]
@@ -179,21 +180,29 @@ func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
 			m := dest(next.ring.owner(entry.Key))
 			m.Cache = append(m.Cache, entry)
 		}
-		for owner, move := range byOwner {
+		// Drain owners in ring order, not map order, so a leave always
+		// issues the same reconcile sequence for the same fleet state.
+		owners := make([]int, 0, len(byOwner))
+		for owner := range byOwner {
+			owners = append(owners, owner)
+		}
+		sort.Ints(owners)
+		for _, owner := range owners {
+			move := byOwner[owner]
 			var resp server.ReconcileResponse
-			if rt.postJSON(r.Context(), next.backends[owner]+"/v1/reconcile", *move, &resp) != nil {
+			if rt.postJSON(r.Context(), next.backends[owner]+"/v1/reconcile", *move, &resp) != nil { //nocmapvet:allow blockingunderlock elasticMu intentionally serializes membership changes end-to-end; docs/STATIC_ANALYSIS.md#baselines
 				continue
 			}
 			migrated += len(move.Records) + len(move.Cache)
 		}
 		// Decommission: stop the departed backend's replication stream.
-		rt.postJSONMethod(r.Context(), http.MethodPut, url+"/v1/replication/target",
+		rt.postJSONMethod(r.Context(), http.MethodPut, url+"/v1/replication/target", //nocmapvet:allow blockingunderlock elasticMu intentionally serializes membership changes end-to-end; docs/STATIC_ANALYSIS.md#baselines
 			server.ReplicationTarget{URL: ""}, nil)
 	}
 	rt.count(func(s *RouterStats) { s.Migrated += uint64(migrated) })
 
 	rt.install(next)
-	rt.pushReplicationTargets(r.Context(), next)
+	rt.pushReplicationTargets(r.Context(), next) //nocmapvet:allow blockingunderlock elasticMu intentionally serializes membership changes end-to-end; docs/STATIC_ANALYSIS.md#baselines
 	writeJSON(w, http.StatusOK, ElasticResponse{
 		Backends: append([]string(nil), next.backends...), Migrated: migrated})
 }

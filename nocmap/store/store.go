@@ -33,7 +33,7 @@ type JobRecord struct {
 	Problem json.RawMessage `json:"problem,omitempty"`
 	// Spec is the normalized solve options (server.SolveSpec) as JSON.
 	Spec  json.RawMessage `json:"spec,omitempty"`
-	State string `json:"state"`
+	State string          `json:"state"`
 	// CacheHit and Coalesced mirror the job's wire-status flags so a
 	// restored status answers byte-identical to the pre-crash one, flags
 	// included.
