@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke chaos-smoke-r2 cover nocmapvet lint
+.PHONY: build test race bench bench-json bench-gate bench-service bench-service-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke chaos-smoke-r2 cover nocmapvet lint
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,26 @@ bench-json:
 # Bench smoke with allocs/op regression gates on the hot kernels.
 bench-gate:
 	$(GO) run ./cmd/benchjson -out BENCH.json -gate '$(BENCH_GATES)'
+
+# Service-level load benchmark: boot a durable nocmapd, drive it with
+# cmd/nocmapload at a sustained seeded request rate, and record jobs/sec
+# + P50/P85/P99 into BENCH.json's "service" section — once per store
+# mode, so the async group-commit writer and the fsync-per-record
+# baseline are always measured side by side (behind a 1ms injected
+# fsync latency; see scripts/bench_service.sh). Tunables match the
+# script.
+SERVICE_RPS ?= 900
+SERVICE_DURATION ?= 5s
+bench-service:
+	bash scripts/bench_service.sh $(SERVICE_RPS) $(SERVICE_DURATION)
+
+# XmR control-chart gate over the recorded service runs: the newest run
+# of each name must sit inside the natural process limits of its own
+# history (jobs/sec lower limit, P99 upper limit). With fewer than 4
+# prior runs it records without gating.
+bench-service-gate: bench-service
+	$(GO) run ./cmd/nocmapload -gate solve-group
+	$(GO) run ./cmd/nocmapload -gate solve-sync
 
 experiments:
 	$(GO) run ./cmd/experiments

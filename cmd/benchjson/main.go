@@ -32,13 +32,17 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// Report is the JSON document benchjson writes.
+// Report is the JSON document benchjson writes. Service is the
+// service-level benchmark history owned by cmd/nocmapload — benchjson
+// carries it through verbatim so rewriting the kernel sections never
+// clobbers recorded load runs.
 type Report struct {
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Benchtime  string   `json:"benchtime"`
-	Pattern    string   `json:"pattern"`
-	Results    []Result `json:"results"`
+	GoVersion  string          `json:"go_version"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Benchtime  string          `json:"benchtime"`
+	Pattern    string          `json:"pattern"`
+	Results    []Result        `json:"results"`
+	Service    json.RawMessage `json:"service,omitempty"`
 }
 
 const defaultPattern = "BenchmarkMapSinglePathSwapDelta$|BenchmarkRouteSinglePath$|" +
@@ -105,6 +109,14 @@ func main() {
 	if len(rep.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: no benchmark lines parsed from:\n%s\n", raw)
 		os.Exit(1)
+	}
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old struct {
+			Service json.RawMessage `json:"service"`
+		}
+		if json.Unmarshal(prev, &old) == nil {
+			rep.Service = old.Service
+		}
 	}
 
 	enc, err := json.MarshalIndent(&rep, "", "  ")

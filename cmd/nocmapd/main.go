@@ -17,6 +17,9 @@
 //	                                 # record to these followers (nocmapsh
 //	                                 # manages the set automatically when
 //	                                 # probing is on)
+//	nocmapd -store-mode sync         # fsync-per-record baseline writes
+//	                                 # (default "group": async group-commit
+//	                                 # writer — many records per fsync)
 //	nocmapd -store-fault fail-every=100
 //	                                 # fault-injected store (tests/chaos)
 //
@@ -42,6 +45,11 @@ import (
 	"repro/nocmap/store"
 )
 
+// syncOnly hides a store's batch/sync fast paths behind the plain
+// JobStore interface, so the server applies one op per store call — the
+// fsync-per-record baseline -store-mode=sync benchmarks against.
+type syncOnly struct{ store.JobStore }
+
 func main() {
 	addr := flag.String("addr", ":8537", "listen address (host:port; port 0 picks one)")
 	pool := flag.Int("pool", 0, "solver workers (0: one per CPU)")
@@ -55,6 +63,8 @@ func main() {
 	replicateTo := flag.String("replicate-to", "", "comma-separated base URLs of the ring successors to replicate job records to (empty: replication off until the router pushes a target set)")
 	durableAckWait := flag.Duration("durable-ack-wait", 0, "how long a durability=replicated submission waits for a follower ack before degrading to async (0: 2s default)")
 	storeFault := flag.String("store-fault", "", `fault-inject the job store, e.g. "fail-every=100,latency=2ms,torn=1" (chaos testing; requires -store)`)
+	storeMode := flag.String("store-mode", "group", `durable-store write path: "group" (async group-commit writer: many records per fsync, bounded queue, backpressure) or "sync" (one fsync per record — the pre-group-commit baseline, kept for benchmarking and bisection)`)
+	storeQueue := flag.Int("store-queue", 4096, "group-commit queue depth before store writes apply backpressure (store-mode=group)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -73,20 +83,35 @@ func main() {
 	}
 	cfg.DurableAckWait = *durableAckWait
 	if *storeDir != "" {
-		js, err := store.Open(*storeDir)
+		fs, err := store.Open(*storeDir)
 		if err != nil {
 			log.Fatalf("nocmapd: %v", err)
 		}
-		defer js.Close()
-		cfg.Store = js
+		js := store.JobStore(fs)
 		if *storeFault != "" {
-			fs := store.NewFaultStore(js)
-			if err := store.ParseFaultSpec(fs, *storeFault); err != nil {
+			fault := store.NewFaultStore(js)
+			if err := store.ParseFaultSpec(fault, *storeFault); err != nil {
 				log.Fatalf("nocmapd: -store-fault: %v", err)
 			}
-			cfg.Store = fs
+			js = fault
 			log.Printf("nocmapd: store faults armed: %s", *storeFault)
 		}
+		switch *storeMode {
+		case "group":
+			// The async writer sits outermost: it batches everything —
+			// including injected fault latency, which then costs one
+			// "seek" per batch instead of one per record.
+			js = store.NewGroupCommit(js, store.GroupCommitConfig{QueueSize: *storeQueue})
+		case "sync":
+			// Every record pays its own fsync: hide the batch fast path so
+			// the server's flusher falls back to one write per op — the
+			// pre-group-commit baseline, kept for benchmark comparison.
+			js = syncOnly{js}
+		default:
+			log.Fatalf("nocmapd: unknown -store-mode %q (want \"group\" or \"sync\")", *storeMode)
+		}
+		defer js.Close()
+		cfg.Store = js
 	} else if *storeFault != "" {
 		log.Fatalf("nocmapd: -store-fault requires -store")
 	}

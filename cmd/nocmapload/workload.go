@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/nocmap"
+	"repro/nocmap/server"
+)
+
+// WorkloadSpec pins a deterministic request stream: the same seed and
+// spec always produce byte-identical submission bodies, so two load
+// runs (or two machines) drive the server with exactly the same work.
+// The fields marshal into the BENCH.json service entry, making every
+// recorded number reproducible from its own metadata.
+type WorkloadSpec struct {
+	// Mesh is the topology geometry as "WxH" (e.g. "4x4").
+	Mesh string `json:"mesh"`
+	// Cores is the application size per problem; must fit the mesh.
+	Cores int `json:"cores"`
+	// Flows is how many random directed flows each problem carries.
+	Flows int `json:"flows"`
+	// Variants is how many distinct problems the stream cycles through.
+	// More variants means fewer result-cache hits and more store writes
+	// per request — the store-heavy regime group commit exists for.
+	Variants int `json:"variants"`
+	// Algorithm is the solve algorithm requested (e.g. "nmap-single").
+	Algorithm string `json:"algorithm"`
+	// Durability is the submission durability class ("" for async,
+	// "replicated" to hold acks for fsync + follower).
+	Durability string `json:"durability,omitempty"`
+}
+
+// meshDims parses the "WxH" geometry.
+func (s WorkloadSpec) meshDims() (w, h int, err error) {
+	if _, err := fmt.Sscanf(strings.TrimSpace(s.Mesh), "%dx%d", &w, &h); err != nil {
+		return 0, 0, fmt.Errorf("bad mesh %q (want WxH): %w", s.Mesh, err)
+	}
+	return w, h, nil
+}
+
+// generate builds the deterministic request stream: Variants distinct
+// POST /v1/solve bodies, a pure function of (seed, spec). Flow
+// endpoints and bandwidths come from a seeded math/rand sequence;
+// bandwidths stay small against the mesh link capacity so every
+// generated problem is feasible.
+func generate(seed int64, spec WorkloadSpec) ([][]byte, error) {
+	w, h, err := spec.meshDims()
+	if err != nil {
+		return nil, err
+	}
+	if spec.Cores > w*h {
+		return nil, fmt.Errorf("%d cores cannot map onto a %dx%d mesh", spec.Cores, w, h)
+	}
+	if spec.Cores < 2 {
+		return nil, fmt.Errorf("need at least 2 cores, have %d", spec.Cores)
+	}
+	const linkBW = 1000
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([][]byte, 0, spec.Variants)
+	for v := 0; v < spec.Variants; v++ {
+		app := nocmap.NewCoreGraph(fmt.Sprintf("load-%d-%d", seed, v))
+		type pair struct{ a, b int }
+		seen := make(map[pair]bool)
+		flows := 0
+		for attempt := 0; flows < spec.Flows && attempt < spec.Flows*8; attempt++ {
+			a := rng.Intn(spec.Cores)
+			b := rng.Intn(spec.Cores - 1)
+			if b >= a {
+				b++ // distinct endpoints: Connect panics on self-loops
+			}
+			bw := float64(5 + rng.Intn(46)) // 5..50 MB/s against 1000 MB/s links
+			if seen[pair{a, b}] {
+				continue
+			}
+			seen[pair{a, b}] = true
+			app.Connect(fmt.Sprintf("c%d", a), fmt.Sprintf("c%d", b), bw)
+			flows++
+		}
+		mesh, err := nocmap.NewMesh(w, h, linkBW)
+		if err != nil {
+			return nil, err
+		}
+		p, err := nocmap.NewProblem(app, mesh)
+		if err != nil {
+			return nil, fmt.Errorf("variant %d: %w", v, err)
+		}
+		raw, err := json.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(server.SubmitRequest{
+			Problem: raw,
+			Options: server.SolveSpec{Algorithm: spec.Algorithm, Durability: spec.Durability},
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies, nil
+}

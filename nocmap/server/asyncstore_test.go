@@ -1,0 +1,227 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/nocmap/server"
+	"repro/nocmap/store"
+)
+
+// batchCountingStore records every ApplyOps batch the server's flusher
+// hands down — the probe the eviction-batching regression test reads
+// flush granularity from.
+type batchCountingStore struct {
+	*store.MemStore
+
+	mu      sync.Mutex
+	batches [][]store.Op
+}
+
+func (b *batchCountingStore) ApplyOps(ops []store.Op) error {
+	b.mu.Lock()
+	b.batches = append(b.batches, append([]store.Op(nil), ops...))
+	b.mu.Unlock()
+	return b.MemStore.ApplyOps(ops)
+}
+
+func (b *batchCountingStore) snapshotBatches() [][]store.Op {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([][]store.Op, len(b.batches))
+	copy(out, b.batches)
+	return out
+}
+
+// slowAsyncStore builds the slow-disk fixture: a group-commit writer
+// over a FaultStore that charges `latency` per durability barrier.
+func slowAsyncStore(t *testing.T, latency time.Duration) (*store.GroupCommitStore, *store.MemStore) {
+	t.Helper()
+	mem := store.NewMemStore()
+	fault := store.NewFaultStore(mem)
+	fault.SetLatency(latency)
+	return store.NewGroupCommit(fault, store.GroupCommitConfig{}), mem
+}
+
+// TestReplicatedAckImpliesLocalFsync is the durability-class regression
+// test for the async write path: a durability=replicated ack must imply
+// the terminal record is already fsynced on the local store — the ack
+// may never leapfrog records still sitting in the write-behind queue.
+// The disk is made slow enough (100ms per barrier) that an ack which
+// skipped the sync barrier would beat the record to disk every time.
+func TestReplicatedAckImpliesLocalFsync(t *testing.T) {
+	_, follower := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p1-", Store: store.NewMemStore(),
+	})
+	gcs, mem := slowAsyncStore(t, 100*time.Millisecond)
+	_, primary := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, IDPrefix: "p0-", Store: gcs,
+		ReplicaTargets: []string{follower.URL},
+	})
+
+	resp, got := post(t, primary.URL+"/v1/solve",
+		submitBody(t, tinyProblemJSON(t, "fsync-before-ack"), server.SolveSpec{Durability: server.DurabilityReplicated}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d (body %s)", resp.StatusCode, got)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Durability != server.DurabilityReplicated {
+		t.Fatalf("status durability = %q, want %q", st.Durability, server.DurabilityReplicated)
+	}
+	// The moment the ack is in hand, the terminal record must already be
+	// on the (slow) disk — read the innermost store directly, bypassing
+	// the async writer whose queue an unsynced record would hide in.
+	snap, err := mem.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range snap.Jobs {
+		if rec.ID == st.ID {
+			if !store.Terminal(rec.State) {
+				t.Fatalf("acked job persisted as %q — the ack outran the terminal fsync", rec.State)
+			}
+			return
+		}
+	}
+	t.Fatalf("job %s acked replicated but absent from the local store", st.ID)
+}
+
+// TestSlowDiskDoesNotBlockReads pins the other half of the async-path
+// contract: with the store 250ms-per-barrier slow and writes pending
+// behind it, GET /v1/jobs/{id} answers from memory in milliseconds —
+// reads never queue behind an fsync (the old under-lock store write
+// path serialized exactly this).
+func TestSlowDiskDoesNotBlockReads(t *testing.T) {
+	gcs, _ := slowAsyncStore(t, 250*time.Millisecond)
+	svc, ts := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, Store: gcs,
+	})
+	resp, got := post(t, ts.URL+"/v1/solve",
+		submitBody(t, tinyProblemJSON(t, "slow-disk-reads"), server.SolveSpec{}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d (body %s)", resp.StatusCode, got)
+	}
+	var st server.JobStatus
+	if err := json.Unmarshal(got, &st); err != nil {
+		t.Fatal(err)
+	}
+	// The solve's records are still paying their 250ms barriers: the
+	// write-behind window must be visibly non-empty...
+	if pending := svc.Stats().StorePending; pending == 0 {
+		t.Fatal("StorePending = 0 right after a solve on a 250ms-per-barrier disk")
+	}
+	// ...and reads must not be stuck behind it.
+	start := time.Now()
+	gresp, body := get(t, ts.URL+"/v1/jobs/"+st.ID)
+	elapsed := time.Since(start)
+	if gresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET status = %d (body %s)", gresp.StatusCode, body)
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("GET took %v with writes pending — reads are blocking on the slow disk", elapsed)
+	}
+}
+
+// TestReplayEvictionFlushesOnce is the regression test for the old
+// persist path where a retention sweep fsynced every evicted job
+// individually under the server lock: a replay that evicts dozens of
+// restored jobs must hand ALL the drops to the store as one batch.
+func TestReplayEvictionFlushesOnce(t *testing.T) {
+	const seeded, retention = 30, 8
+	bs := &batchCountingStore{MemStore: store.NewMemStore()}
+	for i := 0; i < seeded; i++ {
+		rec := store.JobRecord{
+			ID:    "p0-job-" + string(rune('a'+i/10)) + string(rune('a'+i%10)),
+			Key:   "key",
+			State: store.StateDone,
+			Seq:   uint64(i + 1),
+		}
+		if err := bs.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bs.mu.Lock()
+	bs.batches = nil // forget the seeding writes; count only the server's
+	bs.mu.Unlock()
+
+	_, ts := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, Retention: retention, Store: bs,
+	})
+	wantDrops := seeded - retention
+	deletes := func() (total, largestBatch int) {
+		for _, batch := range bs.snapshotBatches() {
+			n := 0
+			for _, op := range batch {
+				if op.Kind == store.OpDeleteJob {
+					n++
+				}
+			}
+			total += n
+			if n > largestBatch {
+				largestBatch = n
+			}
+		}
+		return total, largestBatch
+	}
+	waitFor(t, "the replay eviction sweep to reach the store", func() bool {
+		total, _ := deletes()
+		return total >= wantDrops
+	})
+	total, largest := deletes()
+	if total != wantDrops {
+		t.Fatalf("store saw %d drops, want %d", total, wantDrops)
+	}
+	if largest != wantDrops {
+		t.Fatalf("largest delete batch = %d of %d drops — the sweep split into multiple flushes", largest, wantDrops)
+	}
+	_ = ts
+}
+
+// TestStoreBackpressure429 pins the durability backpressure: when the
+// write-behind window hits Config.StoreQueue, submissions shed with a
+// 429 whose message names the store (not the job queue), and the server
+// recovers once the disk catches up.
+func TestStoreBackpressure429(t *testing.T) {
+	fault := store.NewFaultStore(store.NewMemStore())
+	fault.SetLatency(300 * time.Millisecond)
+	_, ts := newConfiguredServer(t, server.Config{
+		Pool: 1, QueueSize: 8, CacheSize: 8, Store: fault, StoreQueue: 1,
+	})
+	resp, got := post(t, ts.URL+"/v1/jobs",
+		submitBody(t, tinyProblemJSON(t, "bp-first"), server.SolveSpec{}))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d (body %s)", resp.StatusCode, got)
+	}
+	// The first submission's record is paying its 300ms barrier: the
+	// window is full, so the next submission must shed.
+	resp, got = post(t, ts.URL+"/v1/jobs",
+		submitBody(t, tinyProblemJSON(t, "bp-second"), server.SolveSpec{}))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit status = %d (body %s), want 429", resp.StatusCode, got)
+	}
+	if code := errCode(t, got); code != server.CodeQueueFull {
+		t.Fatalf("code = %q, want %q", code, server.CodeQueueFull)
+	}
+	var envelope struct {
+		Error server.ErrorPayload `json:"error"`
+	}
+	if err := json.Unmarshal(got, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(envelope.Error.Message, "write-behind") {
+		t.Fatalf("429 message %q does not name the store write-behind window", envelope.Error.Message)
+	}
+	// Once the disk catches up the server admits work again.
+	waitFor(t, "the write-behind window to drain", func() bool {
+		resp, _ := post(t, ts.URL+"/v1/jobs",
+			submitBody(t, tinyProblemJSON(t, "bp-third"), server.SolveSpec{}))
+		return resp.StatusCode == http.StatusAccepted
+	})
+}

@@ -26,6 +26,10 @@ import (
 //   - the interrupted and queued jobs are re-run to completion under
 //     their original IDs,
 //   - /v1/stats exposes the recovered/restored counters.
+//
+// It runs once per -store-mode: "group" (the async group-commit
+// default) and "sync" (the fsync-per-record baseline) must make the
+// same recovery promises.
 func TestCrashRecoveryE2E(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and kills real nocmapd processes")
@@ -36,10 +40,19 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("building nocmapd: %v\n%s", err, out)
 	}
-	storeDir := filepath.Join(workdir, "store")
-	args := []string{"-addr", "127.0.0.1:0", "-store", storeDir, "-pool", "1", "-queue", "32"}
+	for _, mode := range []string{"group", "sync"} {
+		t.Run(mode, func(t *testing.T) {
+			crashRecoveryE2E(t, bin, workdir, mode)
+		})
+	}
+}
 
-	cmd, base := startNocmapd(t, bin, args, filepath.Join(workdir, "boot1.log"))
+func crashRecoveryE2E(t *testing.T, bin, workdir, mode string) {
+	storeDir := filepath.Join(workdir, "store-"+mode)
+	args := []string{"-addr", "127.0.0.1:0", "-store", storeDir, "-store-mode", mode,
+		"-pool", "1", "-queue", "32"}
+
+	cmd, base := startNocmapd(t, bin, args, filepath.Join(workdir, "boot1-"+mode+".log"))
 
 	// Two quick jobs reach terminal state and the result cache.
 	quick := make(map[string]json.RawMessage) // id -> pre-crash result
@@ -59,15 +72,30 @@ func TestCrashRecoveryE2E(t *testing.T) {
 		queuedIDs = append(queuedIDs, submitE2E(t, base, quickBody(t, i)))
 	}
 
-	// SIGKILL strictly mid-solve: wait for "running", then pull the plug.
+	// SIGKILL strictly mid-solve: wait for "running", let the async
+	// write-behind window drain (plain durability promises crash safety
+	// only for settled writes — the slow solve keeps the kill mid-flight
+	// while the disk catches up), then pull the plug.
 	waitRemoteState(t, base, slowID, server.StateRunning, 10*time.Second)
+	waitFor(t, "the write-behind window to settle before the kill", func() bool {
+		var stats server.Stats
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			return false
+		}
+		return stats.StorePending == 0
+	})
 	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
 		t.Fatal(err)
 	}
 	_ = cmd.Wait()
 
 	// Reboot over the same store.
-	cmd2, base2 := startNocmapd(t, bin, args, filepath.Join(workdir, "boot2.log"))
+	cmd2, base2 := startNocmapd(t, bin, args, filepath.Join(workdir, "boot2-"+mode+".log"))
 	defer func() {
 		cmd2.Process.Signal(syscall.SIGTERM)
 		cmd2.Wait()

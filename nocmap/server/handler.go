@@ -162,7 +162,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	outcome := ""
 	if spec.Durability == DurabilityReplicated {
-		outcome = s.awaitDurable(j.id, false)
+		outcome = s.awaitDurable(r.Context(), j.id, false)
 		w.Header().Set("X-Nocmap-Durability", outcome)
 	}
 	status := http.StatusAccepted
@@ -200,7 +200,7 @@ func (s *Server) handleSolveSync(w http.ResponseWriter, r *http.Request) {
 	if spec.Durability == DurabilityReplicated {
 		// The sync ack vouches for the outcome, so it waits for the
 		// terminal record — not just the submit record — to be acked.
-		st.Durability = s.awaitDurable(j.id, true)
+		st.Durability = s.awaitDurable(r.Context(), j.id, true)
 		w.Header().Set("X-Nocmap-Durability", st.Durability)
 	}
 	writeJSON(w, http.StatusOK, st)

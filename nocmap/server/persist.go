@@ -43,17 +43,19 @@ func (s *Server) recordOf(j *job, seq uint64) store.JobRecord {
 }
 
 // persistJob mirrors a job's current state everywhere it needs to
-// survive: the local store (if one is configured; failures are counted,
-// not fatal — the server keeps serving with best-effort durability) and
-// the ring successor's replica namespace (if a replication target is
-// set; the push is async, from memory, so store faults cannot poison
-// it). Callers hold s.mu.
+// survive: the persistence outbox toward the local store (if one is
+// configured; flusher-side failures are counted, not fatal — the server
+// keeps serving with best-effort durability) and the ring successor's
+// replica namespace (if a replication target is set; the push is async,
+// from memory, so store faults cannot poison it). Neither path blocks:
+// the record becomes durable when the flusher and the store's writer
+// get to it, which is what syncStore and the durability classes wait
+// on. Callers hold s.mu.
 func (s *Server) persistJob(j *job) {
 	rec := s.recordOf(j, j.seq)
 	if s.cfg.Store != nil {
-		if err := s.cfg.Store.PutJob(rec); err != nil {
-			s.stats.StoreErrors++
-		}
+		r := rec
+		s.enqueueOpLocked(store.Op{Kind: store.OpPutJob, Rec: &r})
 	}
 	s.rep.enqueue(rec)
 }
@@ -66,21 +68,17 @@ func (s *Server) persistCachePut(key string, result json.RawMessage) {
 	if s.cfg.Store == nil || s.cache.cap <= 0 {
 		return
 	}
-	if err := s.cfg.Store.PutCache(key, result); err != nil {
-		s.stats.StoreErrors++
-	}
+	s.enqueueOpLocked(store.Op{Kind: store.OpPutCache, Key: key, Result: result})
 }
 
 // dropPersistedJob forgets a retention-evicted job in the store, so a
 // replay cannot resurrect what the live server already let go — and
 // pushes the same deletion to the follower, so a promotion cannot
-// either. Callers hold s.mu.
+// either. The delete rides the outbox: a retention sweep that evicts
+// dozens of jobs in one critical section lands as one batched flush,
+// not dozens of fsyncs. Callers hold s.mu.
 func (s *Server) dropPersistedJob(id string) {
-	if s.cfg.Store != nil {
-		if err := s.cfg.Store.DeleteJob(id); err != nil {
-			s.stats.StoreErrors++
-		}
-	}
+	s.enqueueOpLocked(store.Op{Kind: store.OpDeleteJob, ID: id})
 	s.rep.enqueueDelete(id)
 }
 
@@ -92,11 +90,7 @@ func (s *Server) dropReplicaLocked(id string) {
 	}
 	delete(s.replicas, id)
 	delete(s.replicaDirty, id)
-	if s.cfg.Store != nil {
-		if err := s.cfg.Store.DeleteReplica(id); err != nil {
-			s.stats.StoreErrors++
-		}
-	}
+	s.enqueueOpLocked(store.Op{Kind: store.OpDeleteReplica, ID: id})
 }
 
 // replay loads the configured store and rebuilds the pre-restart world:
@@ -162,12 +156,14 @@ func (s *Server) replay() error {
 		s.stats.Restored++
 	}
 	// Apply retention to the restored history exactly as the live
-	// server would have.
+	// server would have. The drops ride the outbox, so a replay that
+	// evicts dozens of jobs at once (a shrunk Retention, an over-full
+	// store) flushes them as one batch instead of one fsync each.
 	for len(s.doneOrder) > s.cfg.Retention {
 		evicted := s.doneOrder[0]
 		delete(s.jobs, evicted)
 		s.doneOrder = s.doneOrder[1:]
-		s.dropPersistedJob(evicted) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.dropPersistedJob(evicted)
 	}
 
 	// The persisted cache re-warms the LRU before any live job looks at
@@ -180,7 +176,7 @@ func (s *Server) replay() error {
 	// otherwise re-enqueue (coalescing duplicates back together).
 	for _, rec := range live {
 		s.stats.Recovered++
-		s.recoverLive(rec) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.recoverLive(rec)
 	}
 
 	// The replica namespace — other backends' records replicated here —

@@ -606,9 +606,13 @@ func (s *Server) reseedAbove(target string, fromSeq uint64) {
 // batches re-apply harmlessly, and a stale record can never roll a
 // replica's terminal state back. The response carries the acked
 // watermark: the origin's highest terminal seq this follower holds
-// durably. A failed store write keeps the record serving from memory
-// but holds the whole request's watermark advance back — the follower
-// must never vouch for durability the disk refused.
+// durably. Store writes ride the async outbox, so the handler applies
+// the batch to memory under mu, then waits OUTSIDE the lock for the
+// flusher and the store's fsync barrier (syncStore) before advancing
+// the watermark — the follower never vouches for a record that is
+// still sitting in a commit queue, and a failed write (surfaced via
+// storeOpFailed marking the record dirty) holds the whole origin's
+// advance back until a later batch heals it.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	var req ReplicateRequest
 	if !decodeInternal(w, r, &req) {
@@ -616,39 +620,30 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	applied := 0
-	persistFailed := false
-	var maxSeq uint64
+	// touched collects every ID this request may vouch for; their
+	// durable seqs are re-read from memory after the store settles.
+	touched := make([]string, 0, len(req.Records))
 	for _, rec := range req.Records {
 		if rec.ID == "" {
 			continue
 		}
 		if existing, ok := s.replicas[rec.ID]; ok &&
 			store.Terminal(existing.State) && rec.Seq <= existing.Seq {
-			// Idempotent re-delivery or stale state. It still vouches for
-			// the seq — unless its original persist failed.
-			if !s.replicaDirty[rec.ID] && rec.Seq > maxSeq {
-				maxSeq = rec.Seq
-			}
+			// Idempotent re-delivery or stale state: the record we already
+			// hold vouches (unless dirty), nothing to re-persist.
+			touched = append(touched, rec.ID)
 			continue
 		}
 		rec.Origin = req.Origin
 		s.replicas[rec.ID] = rec
-		persisted := true
 		if s.cfg.Store != nil {
-			if err := s.cfg.Store.PutReplica(rec); err != nil { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
-				s.stats.StoreErrors++
-				persistFailed = true
-				persisted = false
-			}
-		}
-		if persisted {
+			// Clear the dirty mark optimistically: if this write fails
+			// too, storeOpFailed re-marks it before syncStore returns.
 			delete(s.replicaDirty, rec.ID)
-			if store.Terminal(rec.State) && rec.Seq > maxSeq {
-				maxSeq = rec.Seq
-			}
-		} else {
-			s.replicaDirty[rec.ID] = true
+			rc := rec
+			s.enqueueOpLocked(store.Op{Kind: store.OpPutReplica, Rec: &rc})
 		}
+		touched = append(touched, rec.ID)
 		applied++
 	}
 	for _, id := range req.Deletes {
@@ -657,39 +652,52 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 		delete(s.replicas, id)
 		delete(s.replicaDirty, id)
-		if s.cfg.Store != nil {
-			if err := s.cfg.Store.DeleteReplica(id); err != nil { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
-				s.stats.StoreErrors++
-			}
-		}
+		s.enqueueOpLocked(store.Op{Kind: store.OpDeleteReplica, ID: id})
 		applied++
 	}
 	// Dirty replicas — applied in memory but refused by the store on an
 	// earlier request — get their persist retried on every subsequent
 	// batch, so a transient store fault heals without waiting for a
 	// restart or a reconcile sweep.
-	for id := range s.replicaDirty {
-		rec, ok := s.replicas[id]
-		if !ok || rec.Origin != req.Origin || s.cfg.Store == nil {
-			continue
-		}
-		if err := s.cfg.Store.PutReplica(rec); err != nil { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
-			s.stats.StoreErrors++
-			continue
-		}
-		delete(s.replicaDirty, id)
-		if store.Terminal(rec.State) && rec.Seq > maxSeq {
-			maxSeq = rec.Seq
+	if s.cfg.Store != nil {
+		for id := range s.replicaDirty {
+			rec, ok := s.replicas[id]
+			if !ok || rec.Origin != req.Origin {
+				continue
+			}
+			delete(s.replicaDirty, id) // re-marked by storeOpFailed on failure
+			rc := rec
+			s.enqueueOpLocked(store.Op{Kind: store.OpPutReplica, Rec: &rc})
+			touched = append(touched, id)
 		}
 	}
-	// Conservative watermark: any persist failure in this batch — or any
-	// still-dirty replica from an earlier one — keeps the watermark
-	// where it was, so a lost earlier record can never hide behind a
-	// later one that made it to disk.
+	ticket := s.outSeq
+	s.mu.Unlock()
+
+	// The durability barrier, outside the lock: everything this batch
+	// enqueued must be on disk before the watermark may vouch for it.
+	syncErr := s.syncStore(r.Context(), ticket)
+
+	s.mu.Lock()
+	persistFailed := syncErr != nil
+	// Conservative watermark: any still-dirty replica for this origin —
+	// from this batch or an earlier one — keeps the watermark where it
+	// was, so a lost earlier record can never hide behind a later one
+	// that made it to disk.
 	for id := range s.replicaDirty {
 		if rec, ok := s.replicas[id]; ok && rec.Origin == req.Origin {
 			persistFailed = true
 			break
+		}
+	}
+	var maxSeq uint64
+	for _, id := range touched {
+		rec, ok := s.replicas[id]
+		if !ok || s.replicaDirty[id] || rec.Origin != req.Origin {
+			continue
+		}
+		if store.Terminal(rec.State) && rec.Seq > maxSeq {
+			maxSeq = rec.Seq
 		}
 	}
 	if !persistFailed && maxSeq > s.replicaHigh[req.Origin] {
@@ -738,9 +746,9 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 			continue // already promoted (or adopted via reconcile)
 		}
 		if store.Terminal(rec.State) {
-			s.installTerminalLocked(rec) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+			s.installTerminalLocked(rec)
 		} else {
-			s.recoverLive(rec) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+			s.recoverLive(rec)
 		}
 		s.stats.Promoted++
 		promoted++
@@ -800,7 +808,7 @@ func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
 		if rec.ID == "" {
 			continue
 		}
-		if s.adoptRecordLocked(rec) { //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		if s.adoptRecordLocked(rec) {
 			s.stats.Reconciled++
 			applied++
 		}
@@ -813,7 +821,7 @@ func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.cache.add(entry.Key, entry.Result)
-		s.persistCachePut(entry.Key, entry.Result) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.persistCachePut(entry.Key, entry.Result)
 		applied++
 	}
 	s.cond.Broadcast() // adopted live jobs joined the queue

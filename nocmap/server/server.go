@@ -68,6 +68,14 @@ type Config struct {
 	// degrades to async (<= 0: 2s). Solve throughput is never blocked —
 	// only the submitting handler waits.
 	DurableAckWait time.Duration
+	// StoreQueue bounds the async persistence write-behind window: when
+	// more than this many store ops are enqueued but not yet settled,
+	// new submissions are rejected with 429 until the disk catches up
+	// (<= 0: 4096). This is the durability backpressure that keeps a
+	// slow disk from growing unpersisted state without bound — the
+	// replacement for the old behavior of serializing the whole API
+	// behind each fsync.
+	StoreQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DurableAckWait <= 0 {
 		c.DurableAckWait = 2 * time.Second
+	}
+	if c.StoreQueue <= 0 {
+		c.StoreQueue = 4096
 	}
 	return c
 }
@@ -172,7 +183,36 @@ type Server struct {
 	ackMu      sync.Mutex
 	ackWaiters map[string]*ackWaiter
 
+	// The persistence outbox: store mutations decided under mu are
+	// appended here (enqueueOpLocked) and handed to Config.Store by the
+	// flusher goroutine OUTSIDE the lock, in exactly the order the lock
+	// serialized them. This is what keeps every store write — and its
+	// fsync — off the API's critical section: a slow disk now delays
+	// durability acknowledgments, never submissions or status reads.
+	// All guarded by mu; outCond wakes the flusher.
+	outbox     []store.Op
+	outSeq     uint64 // ops ever enqueued to the outbox
+	outFlushed uint64 // ops the flusher has handed to the store
+	outWaiters []outWaiter
+	outClosed  bool
+	outCond    *sync.Cond
+	flushWG    sync.WaitGroup
+
 	wg sync.WaitGroup
+}
+
+// outWaiter parks a syncStore caller until the flusher has handed the
+// op it is waiting on to the store.
+type outWaiter struct {
+	target uint64
+	ch     chan struct{}
+}
+
+// storeSyncer is the durability-barrier hook an async store exposes
+// (store.GroupCommitStore.Sync): syncStore calls it so "flushed from the
+// outbox" becomes "fsynced on disk" before any watermark advances.
+type storeSyncer interface {
+	Sync(ctx context.Context) error
 }
 
 // ackWaiter carries the two acknowledgment edges a durable submission
@@ -209,17 +249,26 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.cache = newResultCache(s.cfg.CacheSize)
 	if s.cfg.Store != nil {
+		// LRU eviction fires under mu; the delete rides the outbox like
+		// every other store write.
 		s.cache.onEvict = func(key string) {
-			if err := s.cfg.Store.DeleteCache(key); err != nil {
-				s.stats.StoreErrors++
-			}
+			s.enqueueOpLocked(store.Op{Kind: store.OpDeleteCache, Key: key})
 		}
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.outCond = sync.NewCond(&s.mu)
+	if gcs, ok := s.cfg.Store.(*store.GroupCommitStore); ok {
+		// Async-store failures surface on the writer goroutine; route
+		// them back so StoreErrors counts them and failed replica puts
+		// are marked dirty before any watermark can vouch for them.
+		gcs.SetOnError(s.storeOpFailed)
+	}
 	if s.cfg.Store != nil {
 		if err := s.replay(); err != nil {
 			return nil, err
 		}
+		s.flushWG.Add(1)
+		go s.persistLoop()
 	}
 	for i := 0; i < s.cfg.Pool; i++ {
 		s.wg.Add(1)
@@ -251,19 +300,23 @@ func (s *Server) Info() Info {
 	return info
 }
 
-// Close stops accepting jobs, cancels everything queued or running and
-// waits for the workers to drain. Queued jobs finish cancelled without
-// a result; running jobs finish cancelled with their partial result.
+// Close stops accepting jobs, cancels everything queued or running,
+// waits for the workers to drain, then drains the persistence outbox —
+// every state change decided before Close returns has been handed to
+// the store (callers owning an async store still Close it to fsync the
+// tail). Queued jobs finish cancelled without a result; running jobs
+// finish cancelled with their partial result.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.flushWG.Wait()
 		return
 	}
 	s.closed = true
 	for _, j := range s.queue {
-		s.finishLocked(j, StateCancelled, nil, //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.finishLocked(j, StateCancelled, nil,
 			&ErrorPayload{Code: CodeShuttingDown, Message: "server shutting down"})
 	}
 	s.queue = nil
@@ -274,7 +327,12 @@ func (s *Server) Close() {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	s.wg.Wait()
+	s.wg.Wait() // workers may still finish jobs, appending outbox ops
+	s.mu.Lock()
+	s.outClosed = true
+	s.outCond.Broadcast()
+	s.mu.Unlock()
+	s.flushWG.Wait()
 	s.rep.close()
 }
 
@@ -286,8 +344,15 @@ func (s *Server) Stats() Stats {
 	st.Running = s.running
 	st.CacheLen = s.cache.len()
 	st.Replicas = len(s.replicas)
+	st.StorePending = int(s.outSeq - s.outFlushed) // outbox + the flusher's in-flight batch
 	termSeq := s.termSeq
 	s.mu.Unlock()
+	if gcs, ok := s.cfg.Store.(*store.GroupCommitStore); ok {
+		// Include the async writer's own queue: the full write-behind
+		// window a crash at this instant would lose.
+		enq, durable := gcs.Watermark()
+		st.StorePending += int(enq - durable)
+	}
 	// The replication breakdown comes from the streams' own locks,
 	// outside mu (mu nests above them, never below).
 	st.ReplicaTargets = s.rep.targetStats(termSeq)
@@ -339,9 +404,17 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 		return nil, &submitError{status: 503,
 			payload: &ErrorPayload{Code: CodeShuttingDown, Message: "server shutting down"}}
 	}
+	if s.cfg.Store != nil && int(s.outSeq-s.outFlushed) >= s.cfg.StoreQueue {
+		// Durability backpressure: the async write path is StoreQueue ops
+		// behind. Admitting more work would grow the unpersisted window
+		// without bound, so shed load until the disk catches up.
+		return nil, &submitError{status: 429,
+			payload: &ErrorPayload{Code: CodeQueueFull,
+				Message: fmt.Sprintf("store write-behind full (%d ops pending)", s.outSeq-s.outFlushed)}}
+	}
 	if cached, ok := s.cache.get(key); ok {
 		s.registerLocked(j)
-		s.finishCachedLocked(j, cached) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.finishCachedLocked(j, cached)
 		return j, nil
 	}
 	if leader, ok := s.leaders[key]; ok {
@@ -351,7 +424,7 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 		j.leader = leader
 		leader.followers = append(leader.followers, j)
 		s.stats.Coalesced++
-		s.persistJob(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.persistJob(j)
 		return j, nil
 	}
 	if len(s.queue) >= s.cfg.QueueSize {
@@ -363,9 +436,132 @@ func (s *Server) submit(p *nocmap.Problem, problemJSON []byte, spec SolveSpec) (
 	j.state = StateQueued
 	s.leaders[key] = j
 	s.queue = append(s.queue, j)
-	s.persistJob(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+	s.persistJob(j)
 	s.cond.Signal()
 	return j, nil
+}
+
+// enqueueOpLocked appends one store mutation to the persistence outbox
+// and wakes the flusher. The outbox preserves mu's serialization order,
+// so the WAL always agrees with the in-memory history. Callers hold
+// s.mu; with no store configured this is a no-op.
+func (s *Server) enqueueOpLocked(op store.Op) {
+	if s.cfg.Store == nil {
+		return
+	}
+	s.outbox = append(s.outbox, op)
+	s.outSeq++
+	s.outCond.Signal()
+}
+
+// persistLoop is the flusher goroutine: it drains the outbox in FIFO
+// order and applies each drained batch to the store with no lock held.
+// Everything that accumulated while the previous batch was writing
+// flushes as one batch — group commit forms naturally under load.
+func (s *Server) persistLoop() {
+	defer s.flushWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.outbox) == 0 && !s.outClosed {
+			s.outCond.Wait()
+		}
+		if len(s.outbox) == 0 && s.outClosed {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.outbox
+		s.outbox = nil
+		s.mu.Unlock()
+
+		s.applyStoreOps(batch)
+
+		s.mu.Lock()
+		s.outFlushed += uint64(len(batch))
+		rest := s.outWaiters[:0]
+		for _, w := range s.outWaiters {
+			if w.target <= s.outFlushed {
+				close(w.ch)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		s.outWaiters = rest
+		s.mu.Unlock()
+	}
+}
+
+// applyStoreOps hands one outbox batch to the store, outside every
+// server lock. Batch-capable stores take it whole (one durability
+// barrier — or one queue append for an async store); on a batch error,
+// or for plain stores, the ops run one by one so a single bad op cannot
+// condemn the records around it.
+func (s *Server) applyStoreOps(batch []store.Op) {
+	if bs, ok := s.cfg.Store.(store.BatchStore); ok {
+		if err := bs.ApplyOps(batch); err == nil {
+			return
+		}
+		// The store rolled the batch back; retry op by op to isolate
+		// the failure.
+	}
+	for _, op := range batch {
+		if err := store.ApplyOp(s.cfg.Store, op); err != nil {
+			s.storeOpFailed(op, err)
+		}
+	}
+}
+
+// storeOpFailed is the shared failure sink for the async write path: the
+// flusher's per-op fallback and an async store's writer (via
+// GroupCommitStore.SetOnError) both land here, off every lock. Failures
+// are counted, and a failed replica put marks the record dirty so no
+// durability watermark vouches for it until a later write heals it.
+func (s *Server) storeOpFailed(op store.Op, err error) {
+	_ = err // the stats counter is the signal; the server keeps serving
+	s.mu.Lock()
+	s.stats.StoreErrors++
+	if op.Kind == store.OpPutReplica && op.Rec != nil {
+		if _, ok := s.replicas[op.Rec.ID]; ok {
+			s.replicaDirty[op.Rec.ID] = true
+		}
+	}
+	s.mu.Unlock()
+}
+
+// storeTicket snapshots the outbox enqueue counter: syncStore(ticket)
+// then means "everything persisted up to this instant is settled" —
+// which covers any record the caller just wrote under mu.
+func (s *Server) storeTicket() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outSeq
+}
+
+// syncStore blocks until the flusher has handed every op up to ticket
+// to the store and — when the store is an async writer exposing a Sync
+// barrier — until those ops are durable on disk. This is the bridge
+// from "enqueued" to "persisted" that durability acks and replication
+// watermarks key off.
+func (s *Server) syncStore(ctx context.Context, ticket uint64) error {
+	if s.cfg.Store == nil || ticket == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.outFlushed < ticket {
+		w := outWaiter{target: ticket, ch: make(chan struct{})}
+		s.outWaiters = append(s.outWaiters, w)
+		s.mu.Unlock()
+		select {
+		case <-w.ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	} else {
+		s.mu.Unlock()
+	}
+	if sy, ok := s.cfg.Store.(storeSyncer); ok {
+		return sy.Sync(ctx)
+	}
+	return nil
 }
 
 // registerLocked admits an accepted job: rejected submissions (queue
@@ -413,20 +609,33 @@ func (s *Server) replicationAcked(target string, acks []repAck) {
 }
 
 // awaitDurable implements the replicated durability class: hold the
-// submission ack until a follower acknowledged the job's record
-// (terminal=false waits for any record — the async submit ack;
-// terminal=true waits for a terminal one — the sync solve ack). The
-// wait is bounded by Config.DurableAckWait; with no replication
+// submission ack until the job's record is BOTH settled on the local
+// store — flushed through the outbox and past the async writer's fsync
+// barrier, so the ack can never leapfrog a record still sitting in the
+// commit queue — and acknowledged by a follower (terminal=false waits
+// for any record — the async submit ack; terminal=true waits for a
+// terminal one — the sync solve ack). The whole wait is bounded by
+// Config.DurableAckWait and the caller's ctx; with no replication
 // targets it degrades immediately. Returns the outcome for the
 // X-Nocmap-Durability header.
-func (s *Server) awaitDurable(id string, terminal bool) string {
+func (s *Server) awaitDurable(ctx context.Context, id string, terminal bool) string {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.DurableAckWait)
+	defer cancel()
+	// Local durability first: everything persisted up to this point —
+	// which includes this job's record — must be on disk before any
+	// follower ack may be reported as "replicated".
+	localOK := s.syncStore(ctx, s.storeTicket()) == nil
+
 	s.ackMu.Lock()
 	w, ok := s.ackWaiters[id]
 	s.ackMu.Unlock()
 	if !ok {
 		// The waiter already resolved terminally (and was removed) before
-		// the handler got here: fully acknowledged.
-		s.countDurable(true)
+		// the handler got here: fully acknowledged — if the disk kept up.
+		s.countDurable(localOK)
+		if !localOK {
+			return DurabilityDegraded
+		}
 		return DurabilityReplicated
 	}
 	ch := w.first
@@ -434,11 +643,11 @@ func (s *Server) awaitDurable(id string, terminal bool) string {
 		ch = w.terminal
 	}
 	outcome := DurabilityDegraded
-	if s.rep.hasTargets() {
+	if localOK && s.rep.hasTargets() {
 		select {
 		case <-ch:
 			outcome = DurabilityReplicated
-		case <-time.After(s.cfg.DurableAckWait):
+		case <-ctx.Done():
 		}
 	}
 	// Drop the waiter: nobody else waits on this submission, and a
@@ -517,7 +726,7 @@ func (s *Server) get(id string) (*job, bool) {
 func (s *Server) cancelJob(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.cancelLocked(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+	s.cancelLocked(j)
 }
 
 // abandon is the synchronous handler's disconnect path: cancel the job
@@ -529,7 +738,7 @@ func (s *Server) abandon(j *job) {
 	if j.leader == nil && len(j.followers) > 0 {
 		return
 	}
-	s.cancelLocked(j) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+	s.cancelLocked(j)
 }
 
 func (s *Server) cancelLocked(j *job) {
@@ -698,15 +907,15 @@ func (s *Server) solve(j *job, problems map[string]*nocmap.Problem) {
 	switch {
 	case err == nil:
 		s.cache.add(j.key, raw)
-		s.persistCachePut(j.key, raw)          //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
-		s.finishLocked(j, StateDone, raw, nil) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.persistCachePut(j.key, raw)
+		s.finishLocked(j, StateDone, raw, nil)
 	case j.ctx.Err() != nil:
 		// Cancelled mid-solve: the partial result (Result.Partial) rides
 		// along when the algorithm salvaged one.
-		s.finishLocked(j, StateCancelled, raw, //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.finishLocked(j, StateCancelled, raw,
 			&ErrorPayload{Code: CodeCancelled, Message: err.Error()})
 	default:
-		s.finishLocked(j, StateFailed, raw, errorPayload(err)) //nocmapvet:allow blockingunderlock fsynced store write held under s.mu — ROADMAP.md#open-items item 1 (async WAL writer)
+		s.finishLocked(j, StateFailed, raw, errorPayload(err))
 	}
 	s.mu.Unlock()
 }

@@ -355,6 +355,12 @@ type Stats struct {
 	// serving (durability is then best-effort) but the counter makes the
 	// degradation observable.
 	StoreErrors uint64 `json:"store_errors"`
+	// StorePending is the write-behind depth of the async persistence
+	// path at the snapshot instant: outbox ops not yet handed to the
+	// store plus, for a group-commit store, ops its writer has not yet
+	// fsynced. This is the window a crash right now would lose for
+	// plain (non-replicated) durability.
+	StorePending int `json:"store_pending,omitempty"`
 	// Replicated counts record pushes (and deletion pushes) the
 	// replication followers acknowledged, summed over the target set;
 	// ReplicationPending is how many are queued or in flight. Pending

@@ -322,6 +322,60 @@ func (fs *FileStore) append(op walOp) error {
 	return nil
 }
 
+// ApplyOps implements BatchStore: every op in the batch is marshaled,
+// written and fsynced as ONE WAL append — the group commit that lets an
+// async writer amortize fsync latency over many terminal transitions.
+// Order inside the batch is the WAL order. On a write or sync error the
+// file is rolled back to the pre-batch line boundary, so a failed batch
+// leaves no partial ops behind and may be retried op by op. Compaction
+// is considered once per batch, not once per op, which keeps it off the
+// per-transition hot path.
+func (fs *FileStore) ApplyOps(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("store: closed")
+	}
+	wops := make([]walOp, len(ops))
+	var buf bytes.Buffer
+	for i, op := range ops {
+		w := op.wal()
+		if err := w.validate(); err != nil {
+			return err // never fsync an op replay would choke on
+		}
+		line, err := json.Marshal(w)
+		if err != nil {
+			return fmt.Errorf("store: encoding wal op: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		wops[i] = w
+	}
+	if _, err := fs.wal.Write(buf.Bytes()); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		return fmt.Errorf("store: appending wal batch: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		return fmt.Errorf("store: syncing wal batch: %w", err)
+	}
+	fs.walSize += int64(buf.Len())
+	for _, w := range wops {
+		if err := fs.state.apply(w); err != nil {
+			return err
+		}
+		fs.walOps++
+	}
+	live := len(fs.state.jobs) + len(fs.state.cache) + len(fs.state.replicas)
+	if fs.walOps >= fs.compact && fs.walOps > 4*live {
+		return fs.compactLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	}
+	return nil
+}
+
 // rollbackLocked restores the WAL to its last known line boundary after
 // a failed append. If even the truncate fails, the store refuses
 // further writes — better loudly read-only than silently corrupting.

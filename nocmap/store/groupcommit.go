@@ -1,0 +1,341 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// GroupCommitConfig tunes a GroupCommitStore. The zero value picks the
+// defaults noted on each field.
+type GroupCommitConfig struct {
+	// QueueSize bounds the in-memory commit queue. Enqueues block
+	// (backpressure) once the queue is full, so a stalled disk slows
+	// producers down instead of growing memory without bound.
+	// Default 4096.
+	QueueSize int
+	// MaxBatch caps how many ops the writer folds into one durability
+	// barrier (one fsync on a FileStore). Default 1024.
+	MaxBatch int
+	// FlushInterval is an optional accumulation delay: after waking on a
+	// non-empty queue the writer waits this long before draining, trading
+	// latency for larger batches. Zero (the default) drains immediately —
+	// batches then form naturally out of whatever arrived while the
+	// previous fsync was in flight. Tests raise it to force many writes
+	// into one deterministic batch.
+	FlushInterval time.Duration
+	// OnError, when set, is called once per op that failed to apply —
+	// from the writer goroutine, with no store lock held. This is how
+	// the server learns which records are dirty on disk and must be
+	// re-persisted before a durability watermark may vouch for them.
+	OnError func(op Op, err error)
+}
+
+// GroupCommitStats is a point-in-time snapshot of the writer's work.
+type GroupCommitStats struct {
+	// Batches is how many durability barriers (fsyncs on a FileStore)
+	// the writer has paid.
+	Batches uint64
+	// Ops is how many operations those batches carried.
+	Ops uint64
+	// Failed counts ops whose apply returned an error.
+	Failed uint64
+	// MaxBatch is the largest single batch so far.
+	MaxBatch int
+	// Pending is the current queue depth.
+	Pending int
+}
+
+// gcWaiter is one Sync caller parked until the writer has applied
+// everything enqueued before the call.
+type gcWaiter struct {
+	target uint64
+	ch     chan struct{}
+}
+
+// GroupCommitStore is the ordered async WAL writer: JobStore mutations
+// enqueue into a bounded in-memory commit queue and return immediately;
+// a single writer goroutine drains the queue in strict FIFO order,
+// batching many ops per durability barrier (BatchStore.ApplyOps — one
+// fsync on a FileStore) so N terminal transitions cost one fsync, not N.
+//
+// The price of asynchrony is an honest watermark: an enqueued op is NOT
+// durable until the writer has applied it. Watermark exposes both
+// counters, and Sync blocks until everything enqueued before the call is
+// persisted — the hook the server's "replicated" durability class and
+// replication acked-watermarks key off, so an ack can never vouch for a
+// record that is still sitting in the queue.
+//
+// Ordering guarantees: ops enqueue under one mutex, so the WAL order is
+// exactly the enqueue order; a batch handed to ApplyOps lands
+// contiguously. On a batch failure the writer re-applies the batch op by
+// op (the inner store rolled the whole batch back), isolating the
+// failing op(s) and reporting each through OnError; failed ops still
+// advance the applied watermark — Sync means "settled", and Failed()
+// plus OnError carry the bad news.
+type GroupCommitStore struct {
+	inner JobStore
+	cfg   GroupCommitConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond // queue-not-full (enqueuers) and queue-drained (Close)
+	queue    []Op
+	enq      uint64 // ops ever enqueued
+	applied  uint64 // ops the writer has settled (durable on the inner store unless failed)
+	failed   uint64 // ops whose apply errored
+	batches  uint64
+	maxBatch int
+	waiters  []gcWaiter
+	closed   bool
+	onErr    func(Op, error)
+
+	writerDone chan struct{}
+}
+
+// NewGroupCommit wraps inner with the async group-commit writer and
+// starts its writer goroutine. Close drains the queue and closes inner.
+func NewGroupCommit(inner JobStore, cfg GroupCommitConfig) *GroupCommitStore {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 4096
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	g := &GroupCommitStore{inner: inner, cfg: cfg, onErr: cfg.OnError, writerDone: make(chan struct{})}
+	g.cond = sync.NewCond(&g.mu)
+	go g.writer()
+	return g
+}
+
+// SetOnError replaces the per-op failure callback (see
+// GroupCommitConfig.OnError). The server uses it to wire an
+// already-constructed store into its own error accounting.
+func (g *GroupCommitStore) SetOnError(fn func(Op, error)) {
+	g.mu.Lock()
+	g.onErr = fn
+	g.mu.Unlock()
+}
+
+// enqueue appends ops to the commit queue as one atomic block,
+// blocking while the queue is full. A block larger than the whole
+// queue is admitted once the queue is empty — it simply becomes an
+// oversized batch — so callers can never deadlock on their own batch.
+func (g *GroupCommitStore) enqueue(ops ...Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for !g.closed && len(g.queue) > 0 && len(g.queue)+len(ops) > g.cfg.QueueSize {
+		g.cond.Wait()
+	}
+	if g.closed {
+		return fmt.Errorf("store: closed")
+	}
+	for _, op := range ops {
+		g.queue = append(g.queue, copyOp(op))
+	}
+	g.enq += uint64(len(ops))
+	g.cond.Broadcast() // wake the writer
+	return nil
+}
+
+// writer is the single goroutine that owns the inner store's write
+// path. It drains the queue in FIFO order, MaxBatch ops at a time,
+// applying each batch outside the store lock.
+func (g *GroupCommitStore) writer() {
+	defer close(g.writerDone)
+	for {
+		g.mu.Lock()
+		for len(g.queue) == 0 && !g.closed {
+			g.cond.Wait()
+		}
+		if len(g.queue) == 0 && g.closed {
+			g.mu.Unlock()
+			return
+		}
+		if g.cfg.FlushInterval > 0 {
+			// Accumulate: give concurrent producers a window to join this
+			// batch before the barrier is paid.
+			g.mu.Unlock()
+			time.Sleep(g.cfg.FlushInterval)
+			g.mu.Lock()
+		}
+		n := len(g.queue)
+		if n > g.cfg.MaxBatch {
+			n = g.cfg.MaxBatch
+		}
+		batch := make([]Op, n)
+		copy(batch, g.queue[:n])
+		g.queue = append(g.queue[:0], g.queue[n:]...)
+		// Taking the batch freed queue space: wake blocked enqueuers now,
+		// not after the fsync — backpressure bounds memory (queue plus one
+		// in-flight batch), it does not serialize producers behind the disk.
+		g.cond.Broadcast()
+		g.mu.Unlock()
+
+		failed := g.apply(batch)
+
+		g.mu.Lock()
+		g.applied += uint64(n)
+		g.failed += failed
+		g.batches++
+		if n > g.maxBatch {
+			g.maxBatch = n
+		}
+		rest := g.waiters[:0]
+		for _, w := range g.waiters {
+			if w.target <= g.applied {
+				close(w.ch)
+			} else {
+				rest = append(rest, w)
+			}
+		}
+		g.waiters = rest
+		g.cond.Broadcast() // wake blocked enqueuers and Close
+		g.mu.Unlock()
+	}
+}
+
+// apply settles one batch against the inner store and returns how many
+// ops failed. The batch fast path is tried first; on error the inner
+// store has rolled the whole batch back (FileStore truncates to the
+// pre-batch boundary), so the ops are retried one by one to isolate the
+// failure instead of condemning the whole batch.
+func (g *GroupCommitStore) apply(batch []Op) (failed uint64) {
+	if bs, ok := g.inner.(BatchStore); ok {
+		if err := bs.ApplyOps(batch); err == nil {
+			return 0
+		}
+	}
+	g.mu.Lock()
+	onErr := g.onErr
+	g.mu.Unlock()
+	for _, op := range batch {
+		if err := ApplyOp(g.inner, op); err != nil {
+			failed++
+			if onErr != nil {
+				onErr(op, err)
+			}
+		}
+	}
+	return failed
+}
+
+// PutJob implements JobStore: the record is queued for the writer and
+// the call returns before it is durable. Use Sync to wait for disk.
+func (g *GroupCommitStore) PutJob(rec JobRecord) error {
+	return g.enqueue(Op{Kind: OpPutJob, Rec: &rec})
+}
+
+// DeleteJob implements JobStore.
+func (g *GroupCommitStore) DeleteJob(id string) error {
+	return g.enqueue(Op{Kind: OpDeleteJob, ID: id})
+}
+
+// PutCache implements JobStore.
+func (g *GroupCommitStore) PutCache(key string, result json.RawMessage) error {
+	return g.enqueue(Op{Kind: OpPutCache, Key: key, Result: result})
+}
+
+// DeleteCache implements JobStore.
+func (g *GroupCommitStore) DeleteCache(key string) error {
+	return g.enqueue(Op{Kind: OpDeleteCache, Key: key})
+}
+
+// PutReplica implements JobStore.
+func (g *GroupCommitStore) PutReplica(rec JobRecord) error {
+	return g.enqueue(Op{Kind: OpPutReplica, Rec: &rec})
+}
+
+// DeleteReplica implements JobStore.
+func (g *GroupCommitStore) DeleteReplica(id string) error {
+	return g.enqueue(Op{Kind: OpDeleteReplica, ID: id})
+}
+
+// ApplyOps implements BatchStore: the whole block enqueues atomically,
+// so it lands contiguously in the WAL and the writer can settle it
+// under one barrier.
+func (g *GroupCommitStore) ApplyOps(ops []Op) error {
+	return g.enqueue(ops...)
+}
+
+// Sync blocks until every operation enqueued before the call has been
+// settled by the writer — durable on the inner store, except for ops
+// that failed (counted by Failed and reported through OnError). It
+// returns early with the context's error if ctx is done first.
+func (g *GroupCommitStore) Sync(ctx context.Context) error {
+	g.mu.Lock()
+	target := g.enq
+	if g.applied >= target {
+		g.mu.Unlock()
+		return nil
+	}
+	w := gcWaiter{target: target, ch: make(chan struct{})}
+	g.waiters = append(g.waiters, w)
+	g.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Watermark returns the enqueued and durable op counters. durable ==
+// enqueued means the queue is fully settled; the gap is the write-behind
+// window a crash would lose.
+func (g *GroupCommitStore) Watermark() (enqueued, durable uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.enq, g.applied
+}
+
+// Failed returns the cumulative count of ops whose apply errored.
+// Callers bracket a window with two reads to learn whether anything in
+// between went bad.
+func (g *GroupCommitStore) Failed() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.failed
+}
+
+// Stats returns a snapshot of the writer's batching behavior.
+func (g *GroupCommitStore) Stats() GroupCommitStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GroupCommitStats{
+		Batches:  g.batches,
+		Ops:      g.applied,
+		Failed:   g.failed,
+		MaxBatch: g.maxBatch,
+		Pending:  len(g.queue),
+	}
+}
+
+// Load implements JobStore. The queue is drained first so the snapshot
+// reflects every enqueued op.
+func (g *GroupCommitStore) Load() (*Snapshot, error) {
+	if err := g.Sync(context.Background()); err != nil {
+		return nil, err
+	}
+	return g.inner.Load()
+}
+
+// Close drains the queue, stops the writer and closes the inner store.
+// Everything enqueued before Close is durable when it returns.
+func (g *GroupCommitStore) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		<-g.writerDone
+		return nil
+	}
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-g.writerDone
+	return g.inner.Close()
+}

@@ -1,0 +1,446 @@
+package store_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/nocmap/store"
+)
+
+// traceStore records the exact op sequence the group-commit writer
+// settles, batch boundaries included — the probe the ordering tests
+// read the "WAL order" from.
+type traceStore struct {
+	*store.MemStore
+
+	mu      sync.Mutex
+	ops     []store.Op
+	batches [][]store.Op
+	gate    chan struct{} // when set, ApplyOps blocks until it closes
+	entered chan struct{} // when set, receives one signal per ApplyOps call
+}
+
+func (ts *traceStore) ApplyOps(ops []store.Op) error {
+	ts.mu.Lock()
+	gate, entered := ts.gate, ts.entered
+	ts.mu.Unlock()
+	if entered != nil {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+	}
+	if gate != nil {
+		<-gate
+	}
+	ts.mu.Lock()
+	ts.ops = append(ts.ops, ops...)
+	ts.batches = append(ts.batches, append([]store.Op(nil), ops...))
+	ts.mu.Unlock()
+	return ts.MemStore.ApplyOps(ops)
+}
+
+func (ts *traceStore) trace() []store.Op {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]store.Op(nil), ts.ops...)
+}
+
+// TestGroupCommitSerialOrder pins the core WAL-order contract: a single
+// producer's enqueue order IS the settle order, across however many
+// batches the writer cuts it into.
+func TestGroupCommitSerialOrder(t *testing.T) {
+	inner := &traceStore{MemStore: store.NewMemStore()}
+	g := store.NewGroupCommit(inner, store.GroupCommitConfig{MaxBatch: 7})
+	const n = 100
+	for i := 0; i < n; i++ {
+		r := rec(fmt.Sprintf("job-%03d", i), store.StateDone, uint64(i+1))
+		if err := g.PutJob(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ops := inner.trace()
+	if len(ops) != n {
+		t.Fatalf("settled %d ops, want %d", len(ops), n)
+	}
+	for i, op := range ops {
+		if want := fmt.Sprintf("job-%03d", i); op.Rec == nil || op.Rec.ID != want {
+			t.Fatalf("op %d settled out of order: got %+v, want %s", i, op, want)
+		}
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitConcurrentOrder drives many concurrent producers and
+// checks every producer's program order survives into the settle order
+// (the batches may interleave producers, but never reorder within one).
+func TestGroupCommitConcurrentOrder(t *testing.T) {
+	inner := &traceStore{MemStore: store.NewMemStore()}
+	g := store.NewGroupCommit(inner, store.GroupCommitConfig{MaxBatch: 16})
+	const producers, perProducer = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r := rec(fmt.Sprintf("p%d-%03d", p, i), store.StateDone, uint64(i+1))
+				if err := g.PutJob(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ops := inner.trace()
+	if len(ops) != producers*perProducer {
+		t.Fatalf("settled %d ops, want %d", len(ops), producers*perProducer)
+	}
+	next := make([]int, producers)
+	for i, op := range ops {
+		if op.Rec == nil {
+			t.Fatalf("op %d has no record", i)
+		}
+		var p, seq int
+		if _, err := fmt.Sscanf(op.Rec.ID, "p%d-%d", &p, &seq); err != nil {
+			t.Fatalf("op %d: unparseable id %q", i, op.Rec.ID)
+		}
+		if seq != next[p] {
+			t.Fatalf("producer %d reordered: settled %03d, expected %03d (settle index %d)",
+				p, seq, next[p], i)
+		}
+		next[p]++
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitBatches proves group commit actually groups: with the
+// inner store gated shut while producers enqueue, releasing the gate
+// must settle the backlog in far fewer barriers than ops.
+func TestGroupCommitBatches(t *testing.T) {
+	inner := &traceStore{MemStore: store.NewMemStore(), gate: make(chan struct{})}
+	g := store.NewGroupCommit(inner, store.GroupCommitConfig{QueueSize: 512})
+	const n = 200
+	// First op wakes the writer, which parks on the gate inside ApplyOps;
+	// everything after accumulates in the queue behind it.
+	for i := 0; i < n; i++ {
+		if err := g.PutJob(rec(fmt.Sprintf("job-%03d", i), store.StateDone, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(inner.gate)
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Ops != n {
+		t.Fatalf("Stats.Ops = %d, want %d", st.Ops, n)
+	}
+	if st.Batches >= n/4 {
+		t.Fatalf("writer paid %d barriers for %d ops — not batching", st.Batches, n)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("MaxBatch = %d, expected a multi-op batch", st.MaxBatch)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitWatermarkAndSync pins the durability accounting: an
+// enqueued op is not durable until settled, Sync is the barrier between
+// the two, and after Sync the watermarks agree.
+func TestGroupCommitWatermarkAndSync(t *testing.T) {
+	inner := &traceStore{MemStore: store.NewMemStore(), gate: make(chan struct{})}
+	g := store.NewGroupCommit(inner, store.GroupCommitConfig{})
+	for i := 0; i < 10; i++ {
+		if err := g.PutJob(rec(fmt.Sprintf("job-%d", i), store.StateDone, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enq, durable := g.Watermark()
+	if enq != 10 {
+		t.Fatalf("enqueued = %d, want 10", enq)
+	}
+	if durable == 10 {
+		t.Fatal("all ops durable while the inner store is gated shut")
+	}
+	// A Sync against the gated store must respect its context.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.Sync(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sync under a gated store = %v, want deadline exceeded", err)
+	}
+	close(inner.gate)
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	enq, durable = g.Watermark()
+	if enq != 10 || durable != 10 {
+		t.Fatalf("after Sync: enqueued=%d durable=%d, want 10/10", enq, durable)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitBackpressure pins the bounded-queue contract: with the
+// writer stalled and the queue full, the next enqueue blocks until the
+// writer drains — it does not grow the queue and does not fail.
+func TestGroupCommitBackpressure(t *testing.T) {
+	inner := &traceStore{
+		MemStore: store.NewMemStore(),
+		gate:     make(chan struct{}),
+		entered:  make(chan struct{}, 1),
+	}
+	g := store.NewGroupCommit(inner, store.GroupCommitConfig{QueueSize: 4})
+	// Park the writer mid-batch: one op, then wait until it is in the
+	// writer's hands (inside the gated ApplyOps), so the queue is empty
+	// and the next four ops fill it exactly.
+	if err := g.PutJob(rec("job-0", store.StateDone, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-inner.entered
+	for i := 1; i < 5; i++ {
+		if err := g.PutJob(rec(fmt.Sprintf("job-%d", i), store.StateDone, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- g.PutJob(rec("job-overflow", store.StateDone, 1)) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("enqueue into a full queue returned (%v) instead of blocking", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(inner.gate) // writer drains; the blocked producer must get through
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("enqueue still blocked after the writer drained")
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ops := inner.trace(); len(ops) != 6 {
+		t.Fatalf("settled %d ops, want 6", len(ops))
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitFailureIsolation pins the batch-failure path: when a
+// batch barrier fails, the writer retries op by op, reports each bad op
+// through OnError, and Sync still settles (durability answers "settled",
+// Failed carries the bad news).
+func TestGroupCommitFailureIsolation(t *testing.T) {
+	fault := store.NewFaultStore(store.NewMemStore())
+	g := store.NewGroupCommit(fault, store.GroupCommitConfig{})
+	var mu sync.Mutex
+	var failedIDs []string
+	g.SetOnError(func(op store.Op, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if op.Rec != nil {
+			failedIDs = append(failedIDs, op.Rec.ID)
+		}
+	})
+	if err := g.PutJob(rec("job-ok", store.StateDone, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the batch barrier AND the first per-op retry: job-bad is lost,
+	// the op behind it in the same batch must still land.
+	fault.FailNext(2)
+	if err := g.ApplyOps([]store.Op{
+		{Kind: store.OpPutJob, Rec: &store.JobRecord{ID: "job-bad", State: store.StateDone}},
+		{Kind: store.OpPutJob, Rec: &store.JobRecord{ID: "job-behind", State: store.StateDone}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Failed(); got != 1 {
+		t.Fatalf("Failed() = %d, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(failedIDs) != 1 || failedIDs[0] != "job-bad" {
+		t.Fatalf("OnError saw %v, want [job-bad]", failedIDs)
+	}
+	snap, err := g.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, j := range snap.Jobs {
+		ids = append(ids, j.ID)
+	}
+	sort.Strings(ids)
+	if strings.Join(ids, ",") != "job-behind,job-ok" {
+		t.Fatalf("snapshot jobs = %v, want job-behind and job-ok", ids)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitCrashPrefix is the SIGKILL-mid-batch property: after a
+// crash, the reopened store holds a strict PREFIX of the write order —
+// everything Sync acked, possibly a few settled-but-unacked writes
+// behind it, and never a hole. The crash is simulated the same way the
+// FileStore torn-tail test does it: a half-written batch tail appended
+// straight to the WAL.
+func TestGroupCommitCrashPrefix(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := store.NewGroupCommit(fs, store.GroupCommitConfig{MaxBatch: 8})
+	const acked = 40
+	for i := 0; i < acked; i++ {
+		if err := g.PutJob(rec(fmt.Sprintf("job-%03d", i), store.StateDone, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The durability barrier: everything before this is acked.
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL mid-batch: the next group commit tore halfway through its
+	// WAL append.
+	wal := filepath.Join(dir, "wal.jsonl")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"job","job":{"id":"job-040","state":"done"}}` + "\n" +
+		`{"op":"job","job":{"id":"job-041","st`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	again, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after mid-batch crash: %v", err)
+	}
+	defer again.Close()
+	snap, err := again.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) < acked {
+		t.Fatalf("recovered %d jobs, acked %d — acked writes lost", len(snap.Jobs), acked)
+	}
+	// Prefix property: job IDs must be exactly 0..len-1, no holes.
+	seen := make(map[int]bool)
+	for _, j := range snap.Jobs {
+		n, err := strconv.Atoi(strings.TrimPrefix(j.ID, "job-"))
+		if err != nil {
+			t.Fatalf("unexpected job id %q", j.ID)
+		}
+		seen[n] = true
+	}
+	for i := 0; i < len(snap.Jobs); i++ {
+		if !seen[i] {
+			t.Fatalf("recovered set has a hole at %d: %d jobs recovered", i, len(snap.Jobs))
+		}
+	}
+}
+
+// TestGroupCommitTornBatch reuses the FaultStore torn-write hook at
+// batch granularity: the barrier reports failure but the batch reached
+// the disk. The writer's per-op retry then re-applies the batch — replay
+// idempotency absorbs the duplicates, and no op is lost or reordered.
+func TestGroupCommitTornBatch(t *testing.T) {
+	mem := store.NewMemStore()
+	fault := store.NewFaultStore(mem)
+	fault.SetTorn(true)
+	g := store.NewGroupCommit(fault, store.GroupCommitConfig{})
+	fault.FailNext(1) // the first barrier tears: applied, then "ack lost"
+	if err := g.ApplyOps([]store.Op{
+		{Kind: store.OpPutJob, Rec: &store.JobRecord{ID: "job-a", State: store.StateDone, Seq: 1}},
+		{Kind: store.OpPutJob, Rec: &store.JobRecord{ID: "job-b", State: store.StateDone, Seq: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := g.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 2 {
+		t.Fatalf("torn batch lost records: %+v", snap.Jobs)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupCommitCloseDrains pins the shutdown contract: Close returns
+// only after everything enqueued is durable on the inner store, and
+// enqueues after Close fail.
+func TestGroupCommitCloseDrains(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := store.NewGroupCommit(fs, store.GroupCommitConfig{})
+	for i := 0; i < 50; i++ {
+		if err := g.PutJob(rec(fmt.Sprintf("job-%02d", i), store.StateDone, uint64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PutJob(rec("job-late", store.StateDone, 1)); err == nil {
+		t.Fatal("PutJob after Close must fail")
+	}
+	again, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	snap, err := again.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Jobs) != 50 {
+		t.Fatalf("reopen found %d jobs, want 50 — Close returned before the drain", len(snap.Jobs))
+	}
+}

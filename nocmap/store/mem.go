@@ -57,6 +57,19 @@ func (m *MemStore) apply(op walOp) error {
 	return m.state.apply(op)
 }
 
+// ApplyOps implements BatchStore: the whole batch folds into the state
+// under one lock hold, mirroring FileStore's one-fsync batch.
+func (m *MemStore) ApplyOps(ops []Op) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, op := range ops {
+		if err := m.state.apply(op.wal()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load implements JobStore.
 func (m *MemStore) Load() (*Snapshot, error) {
 	m.mu.Lock()

@@ -112,6 +112,61 @@ type JobStore interface {
 	Close() error
 }
 
+// OpKind names one kind of store mutation. The values match the WAL's
+// on-disk op strings so a batched op folds into the same log format as
+// the single-shot JobStore methods.
+type OpKind string
+
+// The store mutations a batch may carry.
+const (
+	OpPutJob        OpKind = "job"
+	OpDeleteJob     OpKind = "deljob"
+	OpPutCache      OpKind = "cache"
+	OpDeleteCache   OpKind = "delcache"
+	OpPutReplica    OpKind = "replica"
+	OpDeleteReplica OpKind = "delreplica"
+)
+
+// Op is one store mutation in batch form. Exactly the fields the Kind
+// needs are set: Rec for puts of job/replica records, ID for job/replica
+// deletes, Key (and Result for puts) for cache operations.
+type Op struct {
+	Kind   OpKind
+	Rec    *JobRecord
+	ID     string
+	Key    string
+	Result json.RawMessage
+}
+
+// wal converts a batch op to its WAL form. Callers own validation (the
+// walOp validate runs before anything is written).
+func (op Op) wal() walOp {
+	return walOp{Op: string(op.Kind), Job: op.Rec, ID: op.ID, Key: op.Key, Result: op.Result}
+}
+
+// copyOp deep-copies an op so the store may hold it past the call.
+func copyOp(op Op) Op {
+	if op.Rec != nil {
+		r := copyRecord(*op.Rec)
+		op.Rec = &r
+	}
+	op.Result = rawCopy(op.Result)
+	return op
+}
+
+// BatchStore is the group-commit fast path: a JobStore that can apply
+// many mutations under a single durability barrier (one fsync for a
+// FileStore). Order within the batch is preserved exactly; on error the
+// whole batch is rolled back where the implementation can (FileStore
+// truncates to the last whole pre-batch line), so callers may safely
+// retry op by op. Implementations must serialize ApplyOps against the
+// single-op methods.
+type BatchStore interface {
+	JobStore
+	// ApplyOps applies ops in order under one durability barrier.
+	ApplyOps(ops []Op) error
+}
+
 // rawCopy deep-copies a raw message so callers may reuse their buffers.
 func rawCopy(m json.RawMessage) json.RawMessage {
 	if m == nil {
