@@ -4,7 +4,7 @@ GO ?= go
 # CI fails the build when any regresses.
 BENCH_GATES = MapSinglePathSwapDelta<=0,RouteSinglePath<=0,PBBVOPD<=2000
 
-.PHONY: build test race bench bench-json bench-gate bench-service bench-service-gate experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke chaos-smoke-r2 cover nocmapvet lint
+.PHONY: build test race bench bench-json bench-gate bench-service bench-service-gate bench-store-compact experiments apicheck api-update importgate linkcheck server-smoke fuzz-smoke chaos-smoke chaos-smoke-r2 cover nocmapvet lint
 
 build:
 	$(GO) build ./...
@@ -63,6 +63,14 @@ bench-service-gate: bench-service
 	$(GO) run ./cmd/nocmapload -gate solve-group
 	$(GO) run ./cmd/nocmapload -gate solve-sync
 
+# Store-level large-volume benchmark: seed a multi-thousand-record
+# FileStore, force a throttled multi-second compaction pass, and gate
+# p99 single-op append latency DURING the pass at <= 2x the idle
+# baseline (plus record the run into BENCH.json's "store" section).
+# Proves appends never stall behind snapshot IO. CI runs this.
+bench-store-compact:
+	STORE_BENCH_OUT=$(abspath BENCH.json) $(GO) test -count=1 -run TestAppendLatencyDuringCompaction -v ./nocmap/store/
+
 experiments:
 	$(GO) run ./cmd/experiments
 
@@ -119,6 +127,7 @@ linkcheck:
 # CI runs this.
 chaos-smoke:
 	$(GO) test -race -count=1 ./nocmap/shard/ -run TestChaosFleetE2E -timeout 420s -v
+	$(GO) test -race -count=1 ./nocmap/store/ -run TestStoreCompactionCrash -timeout 120s -v
 
 # Quorum-durability chaos gate under the race detector: nocmapsh with
 # -replication-factor 2 + 4 durable nocmapd processes, sustained load

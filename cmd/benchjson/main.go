@@ -33,9 +33,10 @@ type Result struct {
 }
 
 // Report is the JSON document benchjson writes. Service is the
-// service-level benchmark history owned by cmd/nocmapload — benchjson
-// carries it through verbatim so rewriting the kernel sections never
-// clobbers recorded load runs.
+// service-level benchmark history owned by cmd/nocmapload and Store the
+// store-level history owned by the nocmap/store compaction benchmark —
+// benchjson carries both through verbatim so rewriting the kernel
+// sections never clobbers recorded runs.
 type Report struct {
 	GoVersion  string          `json:"go_version"`
 	GOMAXPROCS int             `json:"gomaxprocs"`
@@ -43,6 +44,7 @@ type Report struct {
 	Pattern    string          `json:"pattern"`
 	Results    []Result        `json:"results"`
 	Service    json.RawMessage `json:"service,omitempty"`
+	Store      json.RawMessage `json:"store,omitempty"`
 }
 
 const defaultPattern = "BenchmarkMapSinglePathSwapDelta$|BenchmarkRouteSinglePath$|" +
@@ -113,9 +115,11 @@ func main() {
 	if prev, err := os.ReadFile(*out); err == nil {
 		var old struct {
 			Service json.RawMessage `json:"service"`
+			Store   json.RawMessage `json:"store"`
 		}
 		if json.Unmarshal(prev, &old) == nil {
 			rep.Service = old.Service
+			rep.Store = old.Store
 		}
 	}
 

@@ -50,6 +50,10 @@ import (
 // fsync-per-record baseline -store-mode=sync benchmarks against.
 type syncOnly struct{ store.JobStore }
 
+// Unwrap exposes the wrapped store so the server's stats can reach the
+// backing FileStore's compaction counters through the shim.
+func (s syncOnly) Unwrap() store.JobStore { return s.JobStore }
+
 func main() {
 	addr := flag.String("addr", ":8537", "listen address (host:port; port 0 picks one)")
 	pool := flag.Int("pool", 0, "solver workers (0: one per CPU)")
@@ -65,6 +69,8 @@ func main() {
 	storeFault := flag.String("store-fault", "", `fault-inject the job store, e.g. "fail-every=100,latency=2ms,torn=1" (chaos testing; requires -store)`)
 	storeMode := flag.String("store-mode", "group", `durable-store write path: "group" (async group-commit writer: many records per fsync, bounded queue, backpressure) or "sync" (one fsync per record — the pre-group-commit baseline, kept for benchmarking and bisection)`)
 	storeQueue := flag.Int("store-queue", 4096, "group-commit queue depth before store writes apply backpressure (store-mode=group)")
+	storeCompactOps := flag.Int("store-compact-ops", 0, "WAL ops before the store rotates segments and compacts off the write path (0: default 1024)")
+	storeCompactBytes := flag.Int64("store-compact-bytes", 0, "WAL bytes before the store compacts regardless of op count (0: default 256MiB)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -83,7 +89,10 @@ func main() {
 	}
 	cfg.DurableAckWait = *durableAckWait
 	if *storeDir != "" {
-		fs, err := store.Open(*storeDir)
+		fs, err := store.OpenConfig(*storeDir, store.FileConfig{
+			CompactOps:   *storeCompactOps,
+			CompactBytes: *storeCompactBytes,
+		})
 		if err != nil {
 			log.Fatalf("nocmapd: %v", err)
 		}

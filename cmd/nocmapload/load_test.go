@@ -149,7 +149,8 @@ func TestPercentileNearestRank(t *testing.T) {
 // each name's history is pruned oldest-first.
 func TestAppendResultMergesAndPrunes(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH.json")
-	kernel := `{"go_version":"go1.x","results":[{"name":"K","ns_per_op":1}]}`
+	kernel := `{"go_version":"go1.x","results":[{"name":"K","ns_per_op":1}],` +
+		`"store":[{"name":"append-during-compaction","ratio_p99":1.2}]}`
 	if err := os.WriteFile(path, []byte(kernel), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -172,6 +173,13 @@ func TestAppendResultMergesAndPrunes(t *testing.T) {
 	}
 	if compact.String() != `[{"name":"K","ns_per_op":1}]` {
 		t.Fatalf("kernel results damaged: %s", compact.String())
+	}
+	compact.Reset()
+	if err := json.Compact(&compact, bf.Store); err != nil {
+		t.Fatal(err)
+	}
+	if compact.String() != `[{"name":"append-during-compaction","ratio_p99":1.2}]` {
+		t.Fatalf("store section damaged: %s", compact.String())
 	}
 	var aSeeds []int64
 	bCount := 0

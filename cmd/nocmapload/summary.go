@@ -91,6 +91,7 @@ type benchFile struct {
 	Pattern    json.RawMessage `json:"pattern,omitempty"`
 	Results    json.RawMessage `json:"results,omitempty"`
 	Service    []ServiceResult `json:"service,omitempty"`
+	Store      json.RawMessage `json:"store,omitempty"`
 }
 
 func readBenchFile(path string) (*benchFile, error) {

@@ -353,6 +353,12 @@ func (s *Server) Stats() Stats {
 		enq, durable := gcs.Watermark()
 		st.StorePending += int(enq - durable)
 	}
+	if fs := backingFileStore(s.cfg.Store); fs != nil {
+		cs := fs.CompactionStats()
+		st.Compactions = cs.Compactions
+		st.CompactRunning = cs.Running
+		st.StoreSegments = cs.Segments
+	}
 	// The replication breakdown comes from the streams' own locks,
 	// outside mu (mu nests above them, never below).
 	st.ReplicaTargets = s.rep.targetStats(termSeq)
@@ -369,6 +375,23 @@ func (s *Server) Stats() Stats {
 	}
 	st.ReplicationStalls = s.rep.stallCount()
 	return st
+}
+
+// backingFileStore walks the store wrapper chain (group commit, fault
+// injection, the sync-mode shim, ...) via Unwrap down to the durable
+// *store.FileStore, or nil when persistence is memory-only or absent.
+func backingFileStore(js store.JobStore) *store.FileStore {
+	for js != nil {
+		if fs, ok := js.(*store.FileStore); ok {
+			return fs
+		}
+		u, ok := js.(interface{ Unwrap() store.JobStore })
+		if !ok {
+			return nil
+		}
+		js = u.Unwrap()
+	}
+	return nil
 }
 
 // submitError couples a typed payload with the HTTP status the handler

@@ -361,6 +361,14 @@ type Stats struct {
 	// fsynced. This is the window a crash right now would lose for
 	// plain (non-replicated) durability.
 	StorePending int `json:"store_pending,omitempty"`
+	// Compactions / CompactRunning / StoreSegments surface the backing
+	// FileStore's WAL compaction machinery (found by unwrapping the
+	// store chain): snapshots published since boot, whether a pass is
+	// folding right now, and the WAL segment files on disk. Only set
+	// when the server persists to a file store.
+	Compactions    uint64 `json:"compactions,omitempty"`
+	CompactRunning bool   `json:"compact_running,omitempty"`
+	StoreSegments  int    `json:"segments,omitempty"`
 	// Replicated counts record pushes (and deletion pushes) the
 	// replication followers acknowledged, summed over the target set;
 	// ReplicationPending is how many are queued or in flight. Pending

@@ -206,6 +206,10 @@ func ApplyOp(s JobStore, op Op) error {
 // Load implements JobStore; never injected — boot must see the truth.
 func (f *FaultStore) Load() (*Snapshot, error) { return f.inner.Load() }
 
+// Unwrap returns the wrapped store, so callers can walk a wrapper
+// chain down to the concrete backing store.
+func (f *FaultStore) Unwrap() JobStore { return f.inner }
+
 // Close implements JobStore; never injected.
 func (f *FaultStore) Close() error { return f.inner.Close() }
 

@@ -1,32 +1,68 @@
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
 )
 
-// FileStore is the durable JobStore: an append-only JSON-lines log
-// (wal.jsonl) compacted into a snapshot (snapshot.json) once it grows
-// past a multiple of the live state. Every append is fsynced before the
-// call returns, so a SIGKILL at any instant loses at most the operation
-// in flight; a torn final line (the signature of a crash mid-append) is
-// detected and truncated away on the next Open.
+// FileStore is the durable JobStore: an append-only JSON-lines WAL,
+// split into segment files (wal.000001.jsonl, ...), folded into a
+// snapshot (snapshot.json) by a dedicated compactor goroutine. Every
+// append is fsynced before the call returns, so a SIGKILL at any
+// instant loses at most the operation in flight; a torn final line in
+// the active segment (the signature of a crash mid-append) is detected
+// and truncated away on the next Open.
+//
+// Compaction is off the writer path by construction: hitting a trigger
+// (op count or WAL bytes, see FileConfig) rotates to a fresh active
+// segment — a couple of metadata syscalls under the store lock — and
+// the compactor streams the sealed segments plus the prior snapshot
+// into a new snapshot without ever blocking an append. A snapshot that
+// takes seconds to write therefore costs concurrent appends nothing
+// but disk bandwidth.
 type FileStore struct {
 	dir string
 
 	mu      sync.Mutex
-	wal     *os.File
-	walOps  int   // appends since the last compaction
-	walSize int64 // end offset of the last fully appended line
+	wal     *os.File // active segment, open for append
+	walSeq  uint64   // active segment's sequence number
+	walOps  int      // whole-line appends in the active segment
+	walSize int64    // end offset of the last fully appended line
 	closed  bool
+	roCause string // non-empty: the store refused further writes (see readOnlyLocked)
 	state   memState
-	compact int // compaction threshold floor (tests lower it)
+
+	compactOps   int   // op-count compaction trigger floor
+	compactBytes int64 // byte-size compaction trigger
+
+	// Compactor coordination. sealedOps/sealedSize cover segments
+	// sealed by rotation but not yet folded into the snapshot; snapSeq
+	// is the highest segment the published snapshot covers.
+	sealedOps      int
+	sealedSize     int64
+	segments       int // segment files on disk (sealed + active)
+	snapSeq        uint64
+	compacting     bool
+	compactCond    *sync.Cond
+	kick           chan struct{}
+	quit           chan struct{}
+	compactorDone  chan struct{}
+	compactions    uint64
+	compactErrs    uint64
+	lastCompactErr string
+
+	// Test hooks, nil in production: applyFault poisons state.apply
+	// after the fsync (the mid-batch failure contract), compactHook
+	// observes the compactor's publish steps (the crash suite SIGKILLs
+	// inside it), compactThrottle stretches the snapshot encode (the
+	// latency bench forces a multi-second compaction with it).
+	applyFault      func(walOp) error
+	compactHook     func(step string)
+	compactThrottle func()
 }
 
 // memState is the store's authoritative in-memory image, mirrored by
@@ -58,127 +94,184 @@ type walOp struct {
 }
 
 const (
-	snapshotFile = "snapshot.json"
-	walFile      = "wal.jsonl"
-
-	// defaultCompactFloor is the minimum number of WAL appends before a
+	// defaultCompactOps is the minimum number of WAL appends before a
 	// compaction is considered; beyond it, the WAL is folded into the
 	// snapshot whenever it holds more than 4x the live record count.
-	defaultCompactFloor = 1024
+	defaultCompactOps = 1024
+
+	// defaultCompactBytes triggers a compaction on WAL volume alone: a
+	// handful of huge terminal-result records can grow the log to GBs
+	// without ever reaching the op-count floor, and the byte trigger
+	// bounds the replay a reboot would pay.
+	defaultCompactBytes = 256 << 20
 )
 
-// Open opens (or creates) a file store rooted at dir. It reads the
-// snapshot, replays the WAL on top — dropping a torn trailing line left
-// by a crash mid-append — and leaves the WAL open for appending.
-func Open(dir string) (*FileStore, error) {
+// FileConfig tunes a FileStore. The zero value picks the defaults
+// noted on each field.
+type FileConfig struct {
+	// CompactOps is the op-count compaction floor: once at least this
+	// many WAL appends have accumulated since the last snapshot AND the
+	// log holds more than 4x the live record count, the store rotates
+	// segments and compacts. Default 1024.
+	CompactOps int
+	// CompactBytes is the byte-size compaction trigger: once the WAL
+	// (sealed + active segments) exceeds it, the store compacts
+	// regardless of op count — a few multi-MB result records must not
+	// grow the log without bound. Default 256 MiB.
+	CompactBytes int64
+}
+
+// Open opens (or creates) a file store rooted at dir with default
+// compaction triggers. See OpenConfig.
+func Open(dir string) (*FileStore, error) { return OpenConfig(dir, FileConfig{}) }
+
+// OpenConfig opens (or creates) a file store rooted at dir. It reads
+// the snapshot, replays the WAL segments on top — deleting stale
+// segments the snapshot already covers, dropping a torn trailing line
+// left by a crash mid-append, and removing a stale snapshot.json.tmp
+// left by a compaction the crash interrupted — then leaves the active
+// segment open for appending and starts the compactor goroutine. A
+// pre-segment wal.jsonl is migrated to segment 1 in place.
+func OpenConfig(dir string, cfg FileConfig) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 	}
-	fs := &FileStore{dir: dir, state: newMemState(), compact: defaultCompactFloor}
-	if err := fs.loadSnapshot(); err != nil {
-		return nil, err
+	fs := &FileStore{
+		dir:           dir,
+		state:         newMemState(),
+		compactOps:    cfg.CompactOps,
+		compactBytes:  cfg.CompactBytes,
+		kick:          make(chan struct{}, 1),
+		quit:          make(chan struct{}),
+		compactorDone: make(chan struct{}),
 	}
-	if err := fs.replayWAL(); err != nil {
-		return nil, err
+	if fs.compactOps <= 0 {
+		fs.compactOps = defaultCompactOps
 	}
-	wal, err := os.OpenFile(fs.path(walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if fs.compactBytes <= 0 {
+		fs.compactBytes = defaultCompactBytes
+	}
+	fs.compactCond = sync.NewCond(&fs.mu)
+
+	// A snapshot.json.tmp is a compaction that never published — a
+	// crash or error between the tmp write and the rename. It must not
+	// survive into this incarnation: the next compaction recreates it
+	// from scratch, and nothing else may ever read it.
+	if err := os.Remove(fs.path(snapshotTmpFile)); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: removing stale snapshot tmp: %w", err)
+	}
+
+	segs, err := listSegments(dir)
 	if err != nil {
-		return nil, fmt.Errorf("store: opening wal: %w", err)
+		return nil, err
 	}
-	if info, err := wal.Stat(); err == nil {
-		fs.walSize = info.Size() // replayWAL left only whole lines behind
+	// Migrate a pre-segment store: its single wal.jsonl becomes segment 1.
+	if _, err := os.Stat(fs.path(legacyWALFile)); err == nil {
+		if len(segs) > 0 {
+			return nil, fmt.Errorf("store: both %s and wal segments present in %s", legacyWALFile, dir)
+		}
+		if err := os.Rename(fs.path(legacyWALFile), fs.path(segmentName(1))); err != nil {
+			return nil, fmt.Errorf("store: migrating legacy wal: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			return nil, fmt.Errorf("store: syncing dir after wal migration: %w", err)
+		}
+		segs = []uint64{1}
+	}
+
+	snapSeq, err := readSnapshot(fs.path(snapshotFile), &fs.state, nil)
+	if err != nil {
+		return nil, err
+	}
+	fs.snapSeq = snapSeq
+
+	// Segments the snapshot already covers are leftovers of a crash (or
+	// failed delete) after the rename landed: their ops are folded in,
+	// so replaying them would be redundant at best. Delete, don't read.
+	live := segs[:0]
+	stale := false
+	for _, seq := range segs {
+		if seq <= snapSeq {
+			if err := os.Remove(fs.path(segmentName(seq))); err != nil {
+				return nil, fmt.Errorf("store: removing folded segment %s: %w", segmentName(seq), err)
+			}
+			stale = true
+			continue
+		}
+		live = append(live, seq)
+	}
+	if stale {
+		if err := syncDir(dir); err != nil {
+			return nil, fmt.Errorf("store: syncing dir after stale segment cleanup: %w", err)
+		}
+	}
+	// The surviving segments must be exactly snapSeq+1..snapSeq+n: a
+	// hole means a segment of fsynced ops vanished — fail loudly rather
+	// than replay around it.
+	for i, seq := range live {
+		if want := snapSeq + 1 + uint64(i); seq != want {
+			return nil, fmt.Errorf("store: wal segment %s missing (found %s)", segmentName(want), segmentName(seq))
+		}
+	}
+
+	for i, seq := range live {
+		active := i == len(live)-1
+		path := fs.path(segmentName(seq))
+		ops, good, err := replaySegment(path, &fs.state, active, nil)
+		if err != nil {
+			return nil, err
+		}
+		if !active {
+			fs.sealedOps += ops
+			fs.sealedSize += good
+			continue
+		}
+		if info, serr := os.Stat(path); serr == nil && good < info.Size() {
+			// Crash mid-append: drop the torn tail so the next append
+			// starts on a clean line boundary.
+			if err := os.Truncate(path, good); err != nil {
+				return nil, fmt.Errorf("store: truncating torn wal tail: %w", err)
+			}
+		}
+		fs.walOps = ops
+		fs.walSize = good
+	}
+
+	if len(live) == 0 {
+		fs.walSeq = snapSeq + 1
+	} else {
+		fs.walSeq = live[len(live)-1]
+	}
+	wal, err := os.OpenFile(fs.path(segmentName(fs.walSeq)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening wal segment: %w", err)
+	}
+	if len(live) == 0 {
+		// The fresh active segment must survive a crash before its
+		// first append, or the next Open would see a hole.
+		if err := syncDir(dir); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: syncing dir after segment create: %w", err)
+		}
 	}
 	fs.wal = wal
+	fs.segments = len(live)
+	if fs.segments == 0 {
+		fs.segments = 1
+	}
+
+	go fs.compactor()
+	if fs.segments > 1 {
+		// Sealed segments survived the restart (a crash beat the
+		// compactor, or deletes failed); fold them now.
+		fs.mu.Lock()
+		fs.kickCompactorLocked()
+		fs.mu.Unlock()
+	}
 	return fs, nil
 }
 
 func (fs *FileStore) path(name string) string { return filepath.Join(fs.dir, name) }
-
-// loadSnapshot reads snapshot.json into the in-memory state, if present.
-func (fs *FileStore) loadSnapshot() error {
-	data, err := os.ReadFile(fs.path(snapshotFile))
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("store: reading snapshot: %w", err)
-	}
-	var snap Snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("store: parsing snapshot: %w", err)
-	}
-	for _, rec := range snap.Jobs {
-		fs.state.putJob(rec)
-	}
-	for _, entry := range snap.Cache {
-		fs.state.putCache(entry.Key, entry.Result)
-	}
-	for _, rec := range snap.Replicas {
-		fs.state.putReplica(rec)
-	}
-	return nil
-}
-
-// replayWAL applies wal.jsonl on top of the snapshot. Only the final
-// line can be torn (every earlier line was fsynced whole before the
-// next append started), so an undecodable or unterminated trailing
-// line marks the crash point and is truncated away; an invalid line
-// followed by more data is real corruption and fails Open loudly
-// instead of silently discarding the records behind it.
-func (fs *FileStore) replayWAL() error {
-	f, err := os.Open(fs.path(walFile))
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("store: opening wal: %w", err)
-	}
-	defer f.Close()
-
-	var good int64                      // offset of the last cleanly applied line's end
-	r := bufio.NewReaderSize(f, 64<<10) // no line-length cap: ReadBytes grows
-	for {
-		line, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			if len(bytes.TrimSpace(line)) > 0 {
-				break // unterminated tail: torn mid-append
-			}
-			good += int64(len(line))
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("store: reading wal: %w", err)
-		}
-		advance := int64(len(line))
-		if len(bytes.TrimSpace(line)) == 0 {
-			good += advance
-			continue
-		}
-		var op walOp
-		if uerr := json.Unmarshal(line, &op); uerr != nil {
-			if _, peekErr := r.Peek(1); peekErr == io.EOF {
-				break // torn final line
-			}
-			return fmt.Errorf("store: corrupt wal line at offset %d (not the torn tail): %w", good, uerr)
-		}
-		if aerr := fs.state.apply(op); aerr != nil {
-			if _, peekErr := r.Peek(1); peekErr == io.EOF {
-				break
-			}
-			return fmt.Errorf("store: invalid wal op at offset %d (not the torn tail): %w", good, aerr)
-		}
-		fs.walOps++
-		good += advance
-	}
-	if info, err := f.Stat(); err == nil && good < info.Size() {
-		// Crash mid-append: drop the torn tail so the next append starts
-		// on a clean line boundary.
-		if err := os.Truncate(fs.path(walFile), good); err != nil {
-			return fmt.Errorf("store: truncating torn wal tail: %w", err)
-		}
-	}
-	return nil
-}
 
 // validate rejects malformed operations before they reach the WAL or
 // the state: an invalid op must never be fsynced to disk, where it
@@ -282,13 +375,47 @@ func (s *memState) delReplica(id string) {
 	}
 }
 
-// append writes one op to the WAL, fsyncs it and folds it into the
-// in-memory state, compacting when the log has outgrown the state.
+// writableLocked reports whether the store accepts writes. Callers
+// hold fs.mu.
+func (fs *FileStore) writableLocked() error {
+	if fs.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if fs.roCause != "" {
+		return fmt.Errorf("store: read-only: %s", fs.roCause)
+	}
+	return nil
+}
+
+// applyLocked folds one fsynced op into the in-memory state. A failure
+// here is the one divergence the store cannot absorb: the op is durable
+// in the WAL but not in memory, so writes stop loudly (read-only)
+// instead of letting the two images drift apart silently. Callers hold
+// fs.mu and have already counted the op into walOps/walSize.
+func (fs *FileStore) applyLocked(op walOp) error {
+	err := func() error {
+		if fs.applyFault != nil {
+			if ferr := fs.applyFault(op); ferr != nil {
+				return ferr
+			}
+		}
+		return fs.state.apply(op)
+	}()
+	if err != nil {
+		fs.roCause = fmt.Sprintf("fsynced wal op failed to apply: %v", err)
+		return fmt.Errorf("store: %s", fs.roCause)
+	}
+	return nil
+}
+
+// append writes one op to the active WAL segment, fsyncs it and folds
+// it into the in-memory state, rotating segments (and waking the
+// compactor) when the log has outgrown the state.
 func (fs *FileStore) append(op walOp) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return fmt.Errorf("store: closed")
+	if err := fs.writableLocked(); err != nil {
+		return err
 	}
 	if err := op.validate(); err != nil {
 		return err // never fsync an op replay would choke on
@@ -298,27 +425,24 @@ func (fs *FileStore) append(op walOp) error {
 		return fmt.Errorf("store: encoding wal op: %w", err)
 	}
 	line = append(line, '\n')
-	if _, err := fs.wal.Write(line); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	if _, err := fs.wal.Write(line); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
 		// A short write (ENOSPC, I/O error) may have left a line
 		// fragment; roll the file back to the last whole line so a later
 		// successful append cannot glue onto the fragment and turn a
 		// transient failure into permanent mid-log corruption.
-		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
 		return fmt.Errorf("store: appending wal: %w", err)
 	}
-	if err := fs.wal.Sync(); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
-		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	if err := fs.wal.Sync(); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
 		return fmt.Errorf("store: syncing wal: %w", err)
 	}
 	fs.walSize += int64(len(line))
-	if err := fs.state.apply(op); err != nil {
+	fs.walOps++
+	if err := fs.applyLocked(op); err != nil {
 		return err
 	}
-	fs.walOps++
-	live := len(fs.state.jobs) + len(fs.state.cache) + len(fs.state.replicas)
-	if fs.walOps >= fs.compact && fs.walOps > 4*live {
-		return fs.compactLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
-	}
+	fs.maybeCompactLocked() //nocmapvet:allow blockingunderlock segment rotation is metadata-only WAL-path IO under fs.mu by design; docs/STATIC_ANALYSIS.md#baselines
 	return nil
 }
 
@@ -327,8 +451,11 @@ func (fs *FileStore) append(op walOp) error {
 // async writer amortize fsync latency over many terminal transitions.
 // Order inside the batch is the WAL order. On a write or sync error the
 // file is rolled back to the pre-batch line boundary, so a failed batch
-// leaves no partial ops behind and may be retried op by op. Compaction
-// is considered once per batch, not once per op, which keeps it off the
+// leaves no partial ops behind and may be retried op by op; once the
+// batch IS fsynced, it applies whole — an op that then fails to apply
+// flips the store read-only (see applyLocked) instead of leaving the
+// WAL silently ahead of the in-memory state. Rotation is considered
+// once per batch, not once per op, which keeps it off the
 // per-transition hot path.
 func (fs *FileStore) ApplyOps(ops []Op) error {
 	if len(ops) == 0 {
@@ -336,8 +463,8 @@ func (fs *FileStore) ApplyOps(ops []Op) error {
 	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if fs.closed {
-		return fmt.Errorf("store: closed")
+	if err := fs.writableLocked(); err != nil {
+		return err
 	}
 	wops := make([]walOp, len(ops))
 	var buf bytes.Buffer
@@ -354,75 +481,106 @@ func (fs *FileStore) ApplyOps(ops []Op) error {
 		buf.WriteByte('\n')
 		wops[i] = w
 	}
-	if _, err := fs.wal.Write(buf.Bytes()); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
-		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	if _, err := fs.wal.Write(buf.Bytes()); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
 		return fmt.Errorf("store: appending wal batch: %w", err)
 	}
-	if err := fs.wal.Sync(); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
-		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	if err := fs.wal.Sync(); err != nil { //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+		fs.rollbackLocked() //nocmapvet:allow blockingunderlock fs.mu is the WAL append serialization point by design; docs/STATIC_ANALYSIS.md#baselines
 		return fmt.Errorf("store: syncing wal batch: %w", err)
 	}
 	fs.walSize += int64(buf.Len())
+	fs.walOps += len(wops)
+	var firstErr error
 	for _, w := range wops {
-		if err := fs.state.apply(w); err != nil {
-			return err
+		if err := fs.applyLocked(w); err != nil && firstErr == nil {
+			// Keep applying the rest: the WAL holds the whole batch, so
+			// memory should carry everything it can before the store
+			// goes read-only on the divergence.
+			firstErr = err
 		}
-		fs.walOps++
 	}
-	live := len(fs.state.jobs) + len(fs.state.cache) + len(fs.state.replicas)
-	if fs.walOps >= fs.compact && fs.walOps > 4*live {
-		return fs.compactLocked() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	if firstErr != nil {
+		return firstErr
 	}
+	fs.maybeCompactLocked() //nocmapvet:allow blockingunderlock segment rotation is metadata-only WAL-path IO under fs.mu by design; docs/STATIC_ANALYSIS.md#baselines
 	return nil
 }
 
-// rollbackLocked restores the WAL to its last known line boundary after
-// a failed append. If even the truncate fails, the store refuses
-// further writes — better loudly read-only than silently corrupting.
+// rollbackLocked restores the active segment to its last known line
+// boundary after a failed append. If even the truncate fails, the
+// store refuses further writes — better loudly read-only than silently
+// corrupting.
 func (fs *FileStore) rollbackLocked() {
 	if err := fs.wal.Truncate(fs.walSize); err != nil {
-		fs.closed = true
+		fs.roCause = fmt.Sprintf("wal rollback failed: %v", err)
 	}
 }
 
-// compactLocked folds the WAL into a fresh snapshot: write the full
-// state to a temp file, fsync, rename over snapshot.json, then truncate
-// the WAL. Crash-safe at every step — the rename is atomic and the WAL
-// still holds every op until after it lands.
-func (fs *FileStore) compactLocked() error {
-	snap := fs.state.snapshot()
-	data, err := json.Marshal(snap)
+// maybeCompactLocked checks the compaction triggers and, when one
+// fires, rotates to a fresh active segment and wakes the compactor.
+// The rotation is the append path's entire share of a compaction:
+// open-next-segment + fsync-dir, a couple of metadata syscalls —
+// snapshot IO happens on the compactor goroutine, never here. Callers
+// hold fs.mu.
+func (fs *FileStore) maybeCompactLocked() {
+	if fs.closed || fs.roCause != "" {
+		return
+	}
+	live := len(fs.state.jobs) + len(fs.state.cache) + len(fs.state.replicas)
+	totalOps := fs.sealedOps + fs.walOps
+	totalBytes := fs.sealedSize + fs.walSize
+	opsTrigger := totalOps >= fs.compactOps && totalOps > 4*live
+	if !opsTrigger && totalBytes < fs.compactBytes {
+		return
+	}
+	// Rotate only when the active segment itself is worth sealing:
+	// either it alone crossed a trigger, or nothing is sealed yet. When
+	// a sealed backlog already exists (an in-flight pass, or a failed
+	// one awaiting retry), appends must not rotate once per op — a
+	// multi-second compaction bounds the active segment by re-rotating
+	// only when that segment re-crosses a trigger on its own.
+	activeBig := fs.walOps >= fs.compactOps || fs.walSize >= fs.compactBytes
+	if fs.walOps > 0 && (activeBig || (fs.sealedOps == 0 && fs.sealedSize == 0)) {
+		if err := fs.rotateLocked(); err != nil {
+			// The WAL keeps appending to the current segment; the trigger
+			// stays satisfied and retries on the next append.
+			fs.compactErrs++
+			fs.lastCompactErr = err.Error()
+			return
+		}
+	}
+	if !fs.compacting && fs.walSeq > fs.snapSeq+1 {
+		fs.kickCompactorLocked()
+	}
+}
+
+// rotateLocked seals the active segment and opens the next one. The
+// new segment is created and the directory fsynced BEFORE the switch,
+// so an append acknowledged into it can never land in a file a crash
+// would un-create. Callers hold fs.mu.
+func (fs *FileStore) rotateLocked() error {
+	next := fs.walSeq + 1
+	f, err := os.OpenFile(fs.path(segmentName(next)), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
 	if err != nil {
-		return fmt.Errorf("store: encoding snapshot: %w", err)
+		return fmt.Errorf("store: creating wal segment: %w", err)
 	}
-	tmp := fs.path(snapshotFile + ".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: creating snapshot: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
+	if err := syncDir(fs.dir); err != nil {
 		f.Close()
-		return fmt.Errorf("store: writing snapshot: %w", err)
+		os.Remove(fs.path(segmentName(next)))
+		return fmt.Errorf("store: syncing dir after segment create: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("store: syncing snapshot: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("store: closing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, fs.path(snapshotFile)); err != nil {
-		return fmt.Errorf("store: publishing snapshot: %w", err)
-	}
-	if dir, err := os.Open(fs.dir); err == nil {
-		_ = dir.Sync() // persist the rename itself
-		dir.Close()
-	}
-	if err := fs.wal.Truncate(0); err != nil {
-		return fmt.Errorf("store: truncating wal: %w", err)
-	}
+	old := fs.wal
+	fs.wal = f
+	fs.walSeq = next
+	fs.sealedOps += fs.walOps
+	fs.sealedSize += fs.walSize
 	fs.walOps = 0
 	fs.walSize = 0
+	fs.segments++
+	// Every line in the sealed segment is already fsynced whole; the
+	// close releases the descriptor, nothing more.
+	old.Close()
 	return nil
 }
 
@@ -480,13 +638,20 @@ func (fs *FileStore) Load() (*Snapshot, error) {
 	return fs.state.snapshot(), nil
 }
 
-// Close implements JobStore: further writes fail.
+// Close implements JobStore: further writes fail. An in-flight
+// compaction is drained first (its snapshot publish is already
+// crash-safe, but a clean close leaves no work half-done), then the
+// compactor goroutine is stopped and the active segment released.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	if fs.closed {
+		fs.mu.Unlock()
 		return nil
 	}
 	fs.closed = true
-	return fs.wal.Close() //nocmapvet:allow blockingunderlock fs.mu is the store's IO serialization point by design; docs/STATIC_ANALYSIS.md#baselines
+	fs.waitCompactionsLocked()
+	fs.mu.Unlock()
+	close(fs.quit)
+	<-fs.compactorDone
+	return fs.wal.Close()
 }

@@ -284,6 +284,11 @@ func (g *GroupCommitStore) Sync(ctx context.Context) error {
 	}
 }
 
+// Unwrap returns the store this writer settles into, so callers can
+// walk a wrapper chain down to the concrete backing store (e.g. the
+// server surfacing FileStore compaction stats).
+func (g *GroupCommitStore) Unwrap() JobStore { return g.inner }
+
 // Watermark returns the enqueued and durable op counters. durable ==
 // enqueued means the queue is fully settled; the gap is the write-behind
 // window a crash would lose.

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -340,7 +339,7 @@ func TestGroupCommitCrashPrefix(t *testing.T) {
 	}
 	// SIGKILL mid-batch: the next group commit tore halfway through its
 	// WAL append.
-	wal := filepath.Join(dir, "wal.jsonl")
+	wal := activeSegment(t, dir)
 	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)

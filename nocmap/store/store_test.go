@@ -29,6 +29,17 @@ func stores(t *testing.T, run func(t *testing.T, open func(t *testing.T) store.J
 	})
 }
 
+// activeSegment returns the path of the highest-numbered WAL segment —
+// the one that was open for appends when the store last closed.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal.*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s (err=%v)", dir, err)
+	}
+	return segs[len(segs)-1] // zero-padded names: lexical order is numeric order
+}
+
 func rec(id, state string, seq uint64) store.JobRecord {
 	return store.JobRecord{
 		ID:      id,
@@ -166,7 +177,7 @@ func TestFileStoreTornTail(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	wal := filepath.Join(dir, "wal.jsonl")
+	wal := activeSegment(t, dir)
 	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
@@ -236,12 +247,20 @@ func TestFileStoreCompaction(t *testing.T) {
 	if snapInfo.Size() == 0 {
 		t.Fatal("snapshot is empty")
 	}
-	walInfo, err := os.Stat(filepath.Join(dir, "wal.jsonl"))
+	segs, err := filepath.Glob(filepath.Join(dir, "wal.*.jsonl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if walInfo.Size() > 64<<10 {
-		t.Fatalf("wal did not shrink at compaction: %d bytes", walInfo.Size())
+	var walSize int64
+	for _, seg := range segs {
+		info, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walSize += info.Size()
+	}
+	if walSize > 64<<10 {
+		t.Fatalf("wal did not shrink at compaction: %d bytes across %d segments", walSize, len(segs))
 	}
 
 	again, err := store.Open(dir)
@@ -324,7 +343,7 @@ func TestFileStoreMidLogCorruptionFailsLoudly(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	wal := filepath.Join(dir, "wal.jsonl")
+	wal := activeSegment(t, dir)
 	data, err := os.ReadFile(wal)
 	if err != nil {
 		t.Fatal(err)
